@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Full-size experiments (hours of host time for the quality sweeps).
+bench-full:
+	REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/pcb_drill_routing.py 400
+	python examples/logistics_fleet.py 400
+	python examples/noisy_sram_playground.py
+	python examples/chip_designer_report.py
+	python examples/maxcut_annealing.py 200
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

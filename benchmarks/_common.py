@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper table/figure has one module here.  Conventions:
+
+* benches run under ``pytest benchmarks/ --benchmark-only``; each test
+  wraps its headline computation in the ``benchmark`` fixture so the
+  harness also reports host runtimes;
+* experiment output is rendered as an ASCII table, printed, and saved
+  under ``benchmarks/results/`` so the artifacts survive output
+  capture;
+* annealing benches accept ``REPRO_BENCH_SCALE`` (default 0.1): the
+  fraction of each paper instance's size to run.  ``1.0`` reproduces
+  the full-size experiments (hours of host time); the default keeps the
+  whole suite in minutes while exercising identical code paths.  The
+  scale used is recorded in every saved table.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.utils.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.1) -> float:
+    """The instance-size scale for annealing benches (env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", str(default))
+    scale = float(raw)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be in (0,1], got {raw}")
+    return scale
+
+
+def bench_seed() -> int:
+    """Seed shared by all benches (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+
+
+def save_and_print(table: Table, name: str) -> str:
+    """Render a table, persist it under results/, and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = table.render()
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+    print()
+    print(rendered)
+    print(f"[saved to {path}]")
+    return rendered

@@ -1,0 +1,103 @@
+"""Extension — Max-Cut workloads and the Table III normalisation law.
+
+The Table III comparison chips are Max-Cut annealers; the paper's
+footnotes argue TSP needs N²/N⁴ resources where Max-Cut needs n/n².
+This bench (a) solves chip-scale Max-Cut instances with the annealing
+machinery to show the substrate is complete, and (b) prints the
+resource-blow-up law that justifies the functional normalisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.maxcut import (
+    anneal_maxcut,
+    greedy_maxcut,
+    gset_style,
+    local_search_improve,
+    planted_bisection,
+    spin_scaling_comparison,
+)
+from repro.utils.tables import Table
+
+#: Spin counts of the published chips (Table III).
+CHIP_SPINS = {"STATICA": 512, "CIM-Spin": 480, "Yamaoka": 1024}
+
+
+@pytest.mark.benchmark(group="ext-maxcut")
+def test_maxcut_at_published_chip_sizes(benchmark):
+    from repro.maxcut import SBParams, simulated_bifurcation_maxcut
+
+    def run():
+        rows = []
+        for chip, n in CHIP_SPINS.items():
+            problem = gset_style(n, avg_degree=6.0, seed=42)
+            greedy = greedy_maxcut(problem, seed=0)
+            annealed = anneal_maxcut(problem, n_sweeps=150, seed=0)
+            polished = local_search_improve(problem, annealed.spins)
+            sb = simulated_bifurcation_maxcut(
+                problem, SBParams(n_steps=1000), seed=0
+            )
+            rows.append((chip, n, problem.n_edges, greedy.cut_value,
+                         annealed.cut_value, polished.cut_value,
+                         sb.cut_value))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — Max-Cut at the published chips' spin counts "
+        "(G-set-style, +-1 weights)",
+        ["chip size of", "#spins", "#edges", "greedy cut", "annealed cut",
+         "+local search", "simulated bifurcation"],
+    )
+    for row in rows:
+        table.add_row(list(row))
+    table.add_note(
+        "SA and dSB (refs [14-16]) both implemented end to end; all "
+        "parallel-update families land in one quality band"
+    )
+    save_and_print(table, "ext_maxcut_chipsizes")
+
+    for _, _, _, greedy, annealed, polished, sb in rows:
+        assert annealed >= greedy       # annealing beats construction
+        assert polished >= annealed     # polishing never hurts
+        assert sb >= 0.9 * annealed     # dSB lands in the same band
+
+
+@pytest.mark.benchmark(group="ext-maxcut")
+def test_maxcut_recovers_planted_cut(benchmark):
+    problem, _, planted_cut = planted_bisection(200, seed=7)
+    res = benchmark.pedantic(
+        anneal_maxcut, args=(problem,),
+        kwargs=dict(n_sweeps=200, seed=0), rounds=1, iterations=1,
+    )
+    assert res.cut_value >= 0.97 * planted_cut
+
+
+@pytest.mark.benchmark(group="ext-maxcut")
+def test_spin_scaling_law(benchmark):
+    sizes = [512, 1024, 3038, 5915, 85900]
+    out = benchmark(spin_scaling_comparison, sizes)
+
+    table = Table(
+        "Extension — resource blow-up: Max-Cut vs (unoptimised) Ising TSP",
+        ["problem size", "Max-Cut spins", "TSP spins (N^2)",
+         "Max-Cut weight bits", "TSP weight bits (N^4*8)", "weight blow-up"],
+    )
+    for n in sizes:
+        r = out[n]
+        table.add_row(
+            [n, r["maxcut_spins"], r["tsp_spins"], r["maxcut_weight_bits"],
+             r["tsp_weight_bits"], r["weight_blowup"]]
+        )
+    table.add_note(
+        "Table III footnote: pla85900 functionally needs 7.4G spins and "
+        "4e20 weight bits before the clustering/CIM optimisations"
+    )
+    save_and_print(table, "ext_spin_scaling")
+
+    assert out[85900]["tsp_spins"] == pytest.approx(7.38e9, rel=0.01)
+    assert out[85900]["tsp_weight_bits"] == pytest.approx(4.36e20, rel=0.01)

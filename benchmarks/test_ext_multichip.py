@@ -1,0 +1,69 @@
+"""Extension — multi-chip scaling of the compact clustered annealer.
+
+Table III's [23] needed 9 chips for 144 kb of annealing capacity;
+Amorphica ships a multi-chip spin-transfer extension.  Because the
+compact design's clusters form a 1-D ring with p-bit boundary traffic
+(Fig. 5e), it partitions across chips with negligible off-chip
+bandwidth.  This bench sweeps chip-area budgets for the pla85900
+flagship and reports the chip count and boundary traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.hardware.multichip import partition_design
+from repro.utils.tables import Table
+
+FLAGSHIP_CLUSTERS = 42950  # pla85900 at p_max = 3
+BUDGETS_MM2 = [100.0, 50.0, 20.0, 10.0, 5.0, 1.0]
+
+
+@pytest.mark.benchmark(group="ext-multichip")
+def test_multichip_partitioning_sweep(benchmark):
+    def run():
+        return {
+            budget: partition_design(
+                p=3, n_clusters=FLAGSHIP_CLUSTERS, max_chip_area_mm2=budget
+            )
+            for budget in BUDGETS_MM2
+        }
+
+    plans = benchmark(run)
+
+    table = Table(
+        "Extension — pla85900 (p_max = 3) across chip-area budgets",
+        ["budget mm^2", "#chips", "arrays/chip", "chip area mm^2",
+         "off-chip bits/iteration", "total silicon mm^2"],
+    )
+    for budget in BUDGETS_MM2:
+        plan = plans[budget]
+        table.add_row(
+            [
+                budget,
+                plan.n_chips,
+                plan.arrays_per_chip,
+                plan.chip_area_m2 * 1e6,
+                plan.offchip_bits_per_iteration,
+                plan.total_area_m2 * 1e6,
+            ]
+        )
+    table.add_note(
+        "boundary traffic stays in the hundreds of bits per iteration "
+        "even at 44 chips - the Fig. 5e dataflow scales out trivially"
+    )
+    save_and_print(table, "ext_multichip")
+
+    # Monotone: tighter budget, more chips.
+    chips = [plans[b].n_chips for b in BUDGETS_MM2]
+    assert all(a <= b for a, b in zip(chips, chips[1:]))
+    # The 100 mm^2 budget fits the monolithic 43.8 mm^2 flagship.
+    assert plans[100.0].n_chips == 1
+    # Off-chip traffic is linear in chips and tiny in absolute terms.
+    worst = plans[1.0]
+    assert worst.n_chips > 40
+    assert worst.offchip_bits_per_iteration == 2 * worst.n_chips * 3
+    assert worst.offchip_bits_per_iteration < 1e4
+    # Silicon overhead of partitioning stays under 25%.
+    assert worst.total_area_m2 * 1e6 < 1.25 * 43.8

@@ -1,0 +1,76 @@
+"""Extension — technology-node scaling of the flagship design.
+
+The paper notes digital CIM "is compatible with the advanced foundry
+process such as 3 nm or beyond" (Sec. II-B).  This bench projects the
+pla85900 / p_max = 3 design point across nodes with the first-order
+scaling rules of :class:`repro.hardware.tech.TechNode` (area ∝ node²,
+energy ∝ node·V², delay ∝ node).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.hardware import TechNode, evaluate_ppa
+from repro.utils.tables import Table
+from repro.utils.units import format_energy, format_time
+
+#: (node nm, nominal V_DD, clock scaled inversely with node).
+NODES = [
+    (28.0, 0.9),
+    (22.0, 0.85),
+    (16.0, 0.8),
+    (7.0, 0.7),
+    (3.0, 0.65),
+]
+
+
+@pytest.mark.benchmark(group="ext-node-scaling")
+def test_node_scaling_projection(benchmark):
+    n = 85900
+    clusters = ceil(2 * n / 4)
+
+    def run():
+        out = {}
+        for node, vdd in NODES:
+            tech = TechNode(
+                node_nm=node, vdd_v=vdd, f_clk_hz=900e6 * (16.0 / node)
+            )
+            out[node] = evaluate_ppa(
+                n_cities=n, p=3, n_clusters=clusters, tech=tech
+            )
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — pla85900 / p_max = 3 across technology nodes",
+        ["node nm", "chip area mm^2", "time-to-solution", "energy",
+         "avg power mW"],
+    )
+    for node, _ in NODES:
+        rep = reports[node]
+        table.add_row(
+            [
+                node,
+                rep.chip_area_mm2,
+                format_time(rep.time_to_solution_s),
+                format_energy(rep.energy_to_solution_j),
+                rep.average_power_w * 1e3,
+            ]
+        )
+    table.add_note("first-order scaling: area ~ node^2, energy ~ node*V^2")
+    save_and_print(table, "ext_node_scaling")
+
+    # 16 nm row must equal the calibrated reference point.
+    assert reports[16.0].chip_area_mm2 == pytest.approx(43.7, rel=0.01)
+    # Area and energy shrink monotonically with the node.
+    areas = [reports[node].chip_area_mm2 for node, _ in NODES]
+    energies = [reports[node].energy_to_solution_j for node, _ in NODES]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+    assert all(a > b for a, b in zip(energies, energies[1:]))
+    # A 3 nm port lands well under 2 mm^2.
+    assert reports[3.0].chip_area_mm2 < 2.0

@@ -1,0 +1,131 @@
+"""Extension — the clustered CIM annealer vs richer software solvers.
+
+Sec. VI lists parallel-updating/parallel-replica algorithms (simulated
+bifurcation, parallel tempering, ...) and notes they are hard to
+benchmark directly because they were tested on small problems.  We run
+the comparison ourselves at a common size: parallel tempering (PBM+PT,
+ref [5]'s algorithm), single-chain SA, and the clustered CIM annealer,
+on the same instance and seeds.
+
+The expected shape: PT is the strongest software baseline in quality,
+but it operates on the full N²-spin formulation at seconds of CPU;
+the clustered annealer lands in the same quality band from hardware
+that finishes in microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+from repro.hardware import evaluate_ppa
+from repro.ising.solver import solve_tsp_ising
+from repro.ising.tempering import TemperingParams, parallel_tempering_tsp
+from repro.tsp.generators import rl_style
+from repro.tsp.reference import reference_length
+from repro.utils.tables import Table
+from repro.utils.units import format_time
+
+N_SEEDS = 3
+
+
+@pytest.mark.benchmark(group="ext-tempering")
+def test_cim_vs_parallel_tempering(benchmark):
+    scale = bench_scale()
+    n = max(150, int(3038 * scale * 0.7))
+    inst = rl_style(n, seed=bench_seed() + 5)
+    ref = reference_length(inst)
+
+    from repro.tsp.baselines import nearest_neighbor_tour
+
+    init = nearest_neighbor_tour(inst, start=0)
+
+    def run_all():
+        rows = {}
+        t0 = time.perf_counter()
+        cim = [
+            ClusteredCIMAnnealer(AnnealerConfig(seed=s)).solve(inst)
+            for s in range(N_SEEDS)
+        ]
+        rows["cim"] = ([r.length for r in cim], time.perf_counter() - t0, cim)
+
+        # Software solvers get a warm NN start (standard practice:
+        # swap-only chains from random tours need O(N^2) moves just to
+        # untangle, which is the very scalability wall the paper is
+        # attacking).
+        t0 = time.perf_counter()
+        sa = [
+            solve_tsp_ising(
+                inst, n_sweeps=150, seed=s, initial_tour=init, t_start=0.2
+            )
+            for s in range(N_SEEDS)
+        ]
+        rows["sa"] = ([r.length for r in sa], time.perf_counter() - t0, sa)
+
+        # Fixed-temperature ladders need per-size tuning (a practical
+        # drawback vs annealed schedules): keep the hottest rung cool
+        # enough not to destroy the warm start at large N.
+        t0 = time.perf_counter()
+        pt = [
+            parallel_tempering_tsp(
+                inst,
+                TemperingParams(
+                    n_replicas=4, n_sweeps=150, t_max=0.05, t_min=0.002
+                ),
+                seed=s,
+                initial_tour=init,
+            )
+            for s in range(N_SEEDS)
+        ]
+        rows["pt"] = ([r.length for r in pt], time.perf_counter() - t0, pt)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cim_res = rows["cim"][2][0]
+    hw = evaluate_ppa(
+        n_cities=inst.n, p=cim_res.chip.p,
+        n_clusters=cim_res.chip.n_clusters, chip=cim_res.chip,
+    )
+
+    table = Table(
+        f"Extension — solver comparison (rl-style, N = {n}, {N_SEEDS} seeds)",
+        ["solver", "mean ratio", "best ratio", "host time s", "hw time"],
+    )
+    labels = {
+        "cim": "clustered CIM annealer",
+        "sa": "single-chain SA (PBM moves)",
+        "pt": "parallel tempering (PBM+PT)",
+    }
+    for key in ("cim", "sa", "pt"):
+        lengths, host_s, _ = rows[key]
+        ratios = np.asarray(lengths) / ref
+        table.add_row(
+            [
+                labels[key],
+                float(ratios.mean()),
+                float(ratios.min()),
+                f"{host_s:.1f}",
+                format_time(hw.time_to_solution_s) if key == "cim" else "-",
+            ]
+        )
+    table.add_note(
+        "PT runs the full N^2-spin formulation in software; the CIM "
+        "annealer reaches the same band in microseconds of hardware time"
+    )
+    save_and_print(table, "ext_parallel_tempering")
+
+    cim_mean = float(np.mean(rows["cim"][0]))
+    sa_mean = float(np.mean(rows["sa"][0]))
+    pt_mean = float(np.mean(rows["pt"][0]))
+    # All three solvers land in one quality band at this budget (PT's
+    # replica overhead only pays off on longer, more rugged runs, and
+    # its fixed ladder is size-sensitive — hence the wider tolerance).
+    assert pt_mean <= sa_mean * 1.3
+    # The clustered annealer is competitive with the best software
+    # solver while its hardware time is microseconds.
+    assert cim_mean <= min(sa_mean, pt_mean) * 1.2

@@ -1,0 +1,82 @@
+"""Extension — robustness to fabrication-corner variability.
+
+The annealing noise *is* the process variation, so a natural design
+question the paper leaves open: what happens on a die whose mismatch
+spread differs from the calibrated corner?  We sweep the
+critical-voltage spread σ_v (0.25× to 4× the nominal 55 mV) and measure
+solution quality under the unchanged V_DD schedule.
+
+Expected shape: a broad plateau around the nominal corner (the V_DD
+ramp covers a wide noise range), with degradation only at extreme
+corners — too little variation starves the annealer of noise, too much
+swamps the energy comparisons until late in the ramp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+from repro.sram.cell import SRAMCellParams
+from repro.sram.errormodel import ErrorRateModel
+from repro.tsp.generators import rl_style
+from repro.tsp.reference import reference_length
+from repro.utils.tables import Table
+
+SIGMA_SCALES = [0.25, 0.5, 1.0, 2.0, 4.0]
+N_SEEDS = 3
+
+
+@pytest.mark.benchmark(group="ext-variability")
+def test_quality_across_fabrication_corners(benchmark):
+    scale = bench_scale()
+    n = max(200, int(3038 * scale))
+    inst = rl_style(n, seed=bench_seed() + 6)
+    ref = reference_length(inst)
+
+    def run():
+        out = {}
+        for sigma_scale in SIGMA_SCALES:
+            params = SRAMCellParams(sigma_v_mv=55.0 * sigma_scale)
+            ratios = [
+                ClusteredCIMAnnealer(
+                    AnnealerConfig(seed=s, cell_params=params)
+                ).solve(inst).optimal_ratio(ref)
+                for s in range(N_SEEDS)
+            ]
+            out[sigma_scale] = float(np.mean(ratios))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension — quality vs mismatch spread (rl-style, N = {n}, "
+        f"{N_SEEDS} seeds)",
+        ["sigma_v scale", "sigma_v (mV)", "error rate @300mV",
+         "mean optimal ratio"],
+    )
+    for s in SIGMA_SCALES:
+        model = ErrorRateModel(SRAMCellParams(sigma_v_mv=55.0 * s))
+        table.add_row(
+            [f"{s:g}x", 55.0 * s, f"{model.rate(300.0):.3f}",
+             f"{out[s]:.4f}"]
+        )
+    table.add_note(
+        "the V_DD ramp tolerates a wide fabrication corner: quality is "
+        "flat within ~2x of the calibrated spread"
+    )
+    table.add_note(
+        "the 300 mV rate is corner-independent by construction: the "
+        "ramp starts exactly at the population's median critical voltage"
+    )
+    save_and_print(table, "ext_variability")
+
+    # --- shape checks ----------------------------------------------------
+    nominal = out[1.0]
+    # Broad plateau: half/double the spread stays within 5 pp.
+    assert out[0.5] <= nominal + 0.05
+    assert out[2.0] <= nominal + 0.05
+    # All corners still deliver sane tours.
+    assert all(r < 1.5 for r in out.values())

@@ -1,0 +1,55 @@
+"""Fig. 1 — required memory capacity vs TSP scale.
+
+Paper claim: the Eq. (3) mapping needs O(N⁴) weight bits, the clustered
+approach [3] reduces it to O(N²), and the compact digital-CIM mapping
+(this work) reaches O(N) — tens-of-thousands-of-city TSPs fit in
+MB-level SRAM (46.4 Mb for pla85900).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.analysis.capacity import fig1_series
+from repro.utils.tables import Table
+
+N_VALUES = [100, 300, 1000, 3038, 5915, 11849, 33810, 85900]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_capacity_curves(benchmark):
+    series = benchmark(fig1_series, N_VALUES, 3)
+
+    table = Table(
+        "Fig. 1 — weight memory capacity vs TSP scale (bits, p_max = 3)",
+        ["N", "conventional O(N^4)", "clustered O(N^2)", "compact O(N) (ours)"],
+    )
+    for i, n in enumerate(N_VALUES):
+        table.add_row(
+            [
+                n,
+                series["conventional_O(N^4)"][i],
+                series["clustered_O(N^2)"][i],
+                series["compact_O(N)"][i],
+            ]
+        )
+    table.add_note(
+        "paper anchor: pla85900 fits in 46.4 Mb with the compact mapping"
+    )
+    save_and_print(table, "fig1_capacity")
+
+    # --- reproduction checks -------------------------------------------
+    compact = series["compact_O(N)"]
+    clustered = series["clustered_O(N^2)"]
+    conventional = series["conventional_O(N^4)"]
+    assert np.all(compact < clustered) and np.all(clustered < conventional)
+    # pla85900 headline: 46.4 Mb compact vs ~4x10^20 b conventional.
+    assert compact[-1] == pytest.approx(46.4e6, rel=0.01)
+    assert conventional[-1] == pytest.approx(4.36e20, rel=0.01)
+    # Slopes on log-log: 1 / 2 / 4.
+    logn = np.log10(np.asarray(N_VALUES, dtype=float))
+    assert np.polyfit(logn, np.log10(compact), 1)[0] == pytest.approx(1.0, abs=0.05)
+    assert np.polyfit(logn, np.log10(clustered), 1)[0] == pytest.approx(2.0, abs=0.01)
+    assert np.polyfit(logn, np.log10(conventional), 1)[0] == pytest.approx(4.0, abs=0.01)

@@ -1,0 +1,80 @@
+"""Fig. 4 — hierarchical clustering and hierarchical annealing.
+
+Paper: clustering is applied bottom-up (every p cities / sub-cluster
+centroids grouped, repeated for all levels), then annealing proceeds
+top-down, so at most p·N spins are ever needed.  We build the hierarchy
+for a pcb3038-style analog and report the level structure, then verify
+the top-down anneal touches every level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+from repro.clustering import SemiFlexibleStrategy, build_hierarchy
+from repro.tsp.generators import pcb_style
+from repro.utils.tables import Table
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_hierarchy_structure(benchmark):
+    scale = bench_scale()
+    n = max(128, int(3038 * scale))
+    inst = pcb_style(n, seed=bench_seed())
+    strategy = SemiFlexibleStrategy(p_max=3)
+
+    tree = benchmark.pedantic(
+        build_hierarchy, args=(inst, strategy), rounds=1, iterations=1
+    )
+
+    table = Table(
+        f"Fig. 4 — bottom-up hierarchy (pcb-style, N = {n}, p_max = 3, "
+        f"scale = {scale:g})",
+        ["level", "#clusters", "mean size", "max size", "#items grouped"],
+    )
+    n_items = inst.n
+    for lv, level in enumerate(tree.levels):
+        sizes = level.sizes
+        table.add_row(
+            [lv, level.n_clusters, float(sizes.mean()), int(sizes.max()), n_items]
+        )
+        n_items = level.n_clusters
+    table.add_note(
+        f"spin bound: p*N = {3 * inst.n} vs conventional N^2 = {inst.n**2}"
+    )
+    save_and_print(table, "fig4_hierarchy")
+
+    # --- reproduction checks -------------------------------------------
+    tree.validate()
+    assert tree.levels[-1].n_clusters <= 8
+    assert tree.max_level_size() <= 3
+    counts = [lvl.n_clusters for lvl in tree.levels]
+    assert all(a > b for a, b in zip(counts, counts[1:]))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_topdown_anneal_visits_every_level(benchmark):
+    scale = bench_scale()
+    n = max(128, int(3038 * scale))
+    inst = pcb_style(n, seed=bench_seed())
+    ann = ClusteredCIMAnnealer(AnnealerConfig(seed=4))
+    tree = ann.build_tree(inst)
+
+    result = benchmark.pedantic(ann.solve, args=(inst,), rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 4 — top-down hierarchical annealing order",
+        ["solve order", "level", "#clusters", "#items", "objective after"],
+    )
+    for k, rep in enumerate(result.levels):
+        table.add_row([k, rep.level, rep.n_clusters, rep.n_items,
+                       rep.objective_after])
+    save_and_print(table, "fig4_topdown_anneal")
+
+    # Top solve + every hierarchy level, in descending level order.
+    assert result.n_levels == tree.n_levels + 1
+    levels_visited = [rep.level for rep in result.levels[1:]]
+    assert levels_visited == list(range(tree.n_levels - 1, -1, -1))
+    assert result.levels[-1].n_items == inst.n

@@ -1,0 +1,97 @@
+"""Fig. 6(b) — SRAM pseudo-read error rate vs supply voltage.
+
+Paper: Monte-Carlo SPICE at TSMC 16 nm, 1000 samples per point, V_DD
+swept 800 → 200 mV.  Error rate rises from ~0% to ~50% along a sigmoid;
+higher bit-line capacitance sharpens the transition.  We rerun the
+experiment on the behavioural cell model with the same sample count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.sram.cell import SRAMCellParams
+from repro.sram.montecarlo import monte_carlo_error_rate
+from repro.utils.tables import Table
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_error_rate_sigmoid(benchmark):
+    base = benchmark.pedantic(
+        monte_carlo_error_rate,
+        kwargs=dict(n_samples=1000, seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    sharp = monte_carlo_error_rate(
+        n_samples=1000, params=SRAMCellParams(bl_cap_ratio=4.0), seed=6
+    )
+
+    table = Table(
+        "Fig. 6b — pseudo-read error rate vs V_DD (1000-sample Monte Carlo)",
+        ["V_DD (mV)", "error rate (1x BL cap)", "error rate (4x BL cap)", "analytic (1x)"],
+    )
+    for k in range(0, base.vdd_mv.size, 2):
+        table.add_row(
+            [
+                base.vdd_mv[k],
+                float(base.error_rate[k]),
+                float(sharp.rate_at(float(base.vdd_mv[k]))),
+                float(base.analytic[k]),
+            ]
+        )
+    table.add_note(
+        f"5%-45% transition width: {base.transition_width_mv():.0f} mV (1x) "
+        f"vs {sharp.transition_width_mv():.0f} mV (4x BL cap)"
+    )
+    save_and_print(table, "fig6b_error_rate")
+
+    # --- reproduction checks -------------------------------------------
+    assert base.error_rate[-1] < 0.01          # ~0% at 800 mV (nominal)
+    assert base.rate_at(200.0) > 0.40          # "close to 50%" at 200 mV
+    assert sharp.transition_width_mv() < base.transition_width_mv()
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_butterfly_snm(benchmark):
+    """Fig. 6(a) — read SNM collapse under lowered V_DD and mismatch."""
+    from repro.sram.butterfly import critical_voltage_mv, read_snm_mv
+
+    vdds = [800, 600, 500, 400, 300, 250, 200]
+    mismatches = [0.0, 40.0, 80.0, 120.0]
+
+    snm = benchmark.pedantic(
+        lambda: {
+            (v, m): read_snm_mv(float(v), m) for v in vdds for m in mismatches
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Fig. 6a — read static noise margin (mV) vs V_DD and mismatch",
+        ["V_DD (mV)"] + [f"mismatch {m:.0f} mV" for m in mismatches],
+    )
+    for v in vdds:
+        table.add_row([v] + [snm[(v, m)] for m in mismatches])
+    table.add_note(
+        "critical voltage (SNM < 40 mV): "
+        + ", ".join(
+            f"{m:.0f}mV mismatch -> {critical_voltage_mv(m, 40.0):.0f} mV"
+            for m in mismatches[1:]
+        )
+    )
+    save_and_print(table, "fig6a_butterfly_snm")
+
+    # --- reproduction checks -------------------------------------------
+    # SNM shrinks monotonically with V_DD at every mismatch...
+    for m in mismatches:
+        series = [snm[(v, m)] for v in vdds]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+    # ...and with mismatch at every V_DD.
+    for v in vdds:
+        series = [snm[(v, m)] for m in mismatches]
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+    # Pseudo-read regime: big mismatch + low V_DD leaves no margin.
+    assert snm[(200, 120.0)] < 5.0

@@ -1,0 +1,86 @@
+"""Fig. 7(b)(c)(d) — chip area, latency, and dynamic energy.
+
+Paper: for datasets 3 038 → 85 900 cities and p_max ∈ {2, 3, 4}:
+
+* (b) chip area is almost proportional to SRAM capacity;
+* (c) latency is read-dominated (write-back every 50 iterations is a
+  small slice); p_max = 2 needs the most hierarchy levels → slowest;
+* (d) dynamic energy likewise splits into a large read/compute part and
+  a small write part;
+* the best trade-off is p_max = 3 (moderate cost, near-best quality).
+
+These are model evaluations (as in the paper, which uses NeuroSim-style
+macro models), so the full problem sizes run in milliseconds of host
+time — no instance scaling needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.analysis.sweep import ppa_sweep
+from repro.utils.tables import Table
+from repro.utils.units import format_bits, format_energy, format_time
+
+DATASETS = ["pcb3038", "rl5915", "rl11849", "pla33810", "pla85900"]
+
+
+@pytest.mark.benchmark(group="fig7bcd")
+def test_fig7bcd_ppa_sweep(benchmark):
+    out = benchmark.pedantic(
+        ppa_sweep, args=(DATASETS,), kwargs=dict(p_values=(2, 3, 4)),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        "Fig. 7b/c/d — PPA vs dataset and p_max (16 nm, 8-bit weights)",
+        ["dataset", "p_max", "capacity", "area mm^2", "levels",
+         "latency", "write %t", "energy", "write %E"],
+    )
+    for dataset in DATASETS:
+        for p in (2, 3, 4):
+            rep = out[dataset][p]
+            table.add_row(
+                [
+                    dataset,
+                    p,
+                    format_bits(rep.capacity_bits),
+                    rep.chip_area_mm2,
+                    rep.n_levels,
+                    format_time(rep.time_to_solution_s),
+                    f"{100 * rep.latency.write_fraction:.1f}",
+                    format_energy(rep.energy_to_solution_j),
+                    f"{100 * rep.energy.write_fraction:.1f}",
+                ]
+            )
+    table.add_note("paper anchors: pla85900/p3 = 43.7 mm^2, 46.4 Mb, 433 mW")
+    table.add_note("paper anchor: rl5934 annealing ~44 us at p_max = 3")
+    save_and_print(table, "fig7bcd_ppa")
+
+    # --- reproduction checks -------------------------------------------
+    for dataset in DATASETS:
+        reps = out[dataset]
+        # (b) area ordered by p_max; proportional to capacity.
+        assert reps[2].chip_area_mm2 < reps[3].chip_area_mm2 < reps[4].chip_area_mm2
+        for p in (2, 3, 4):
+            ratio = reps[p].chip_area_mm2 / (reps[p].capacity_bits / 1e6)
+            assert 0.5 < ratio < 2.0  # mm^2 per Mb stays in a tight band
+        # (c) p_max = 2: least area but the most levels -> longest time.
+        assert reps[2].n_levels >= reps[3].n_levels >= reps[4].n_levels
+        assert reps[2].time_to_solution_s >= reps[4].time_to_solution_s
+        # (c)/(d) write share is the small slice.
+        for p in (2, 3, 4):
+            assert reps[p].latency.write_fraction < 0.3
+            assert reps[p].energy.write_fraction < 0.3
+
+    # Headline anchors (pla85900, p_max = 3).
+    flagship = out["pla85900"][3]
+    assert flagship.chip_area_mm2 == pytest.approx(43.7, rel=0.01)
+    assert flagship.capacity_bits == pytest.approx(46.4e6, rel=0.01)
+    assert flagship.average_power_w == pytest.approx(0.433, rel=0.10)
+
+    # Area scales ~linearly with N at fixed p (Fig. 7b).
+    a_small = out["pcb3038"][3].chip_area_mm2
+    a_large = out["pla85900"][3].chip_area_mm2
+    assert a_large / a_small == pytest.approx(85900 / 3038, rel=0.05)

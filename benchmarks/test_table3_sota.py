@@ -1,0 +1,88 @@
+"""Table III — comparison with state-of-the-art scalable annealers.
+
+Paper: against five published Max-Cut annealer chips, the proposed
+design achieves 0.94 µm² and 9.3 nW per *physical* weight bit —
+slightly better than the best published — and, normalised by the
+*functionally equivalent* weight bits of an unoptimised N⁴ TSP mapping
+(4×10²⁰ b for pla85900), improves area and power by >10¹³×.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+import pytest
+
+from benchmarks._common import save_and_print
+from repro.hardware import build_comparison_table, evaluate_ppa
+from repro.utils.tables import Table
+
+
+def _build():
+    n = 85900
+    rep = evaluate_ppa(n_cities=n, p=3, n_clusters=ceil(2 * n / 4))
+    table = build_comparison_table(
+        {
+            "n_spins": rep.n_spins,
+            "weight_memory_bits": rep.capacity_bits,
+            "chip_area_mm2": rep.chip_area_mm2,
+            "chip_power_w": rep.peak_power_w,  # datasheet peak, as in Table III
+        },
+        n_cities=n,
+    )
+    return rep, table
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sota_comparison(benchmark):
+    rep, rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    table = Table(
+        "Table III — comparison with SOTA scalable annealers",
+        ["design", "#spins", "weight memory", "area mm^2", "power",
+         "um^2/bit", "nW/bit"],
+    )
+    for name, r in rows.items():
+        power = r["chip_power_w"]
+        per_bit_w = r["power_per_bit_w"]
+        table.add_row(
+            [
+                name,
+                f"{r['n_spins']:.3g}",
+                f"{r['weight_memory_bits']:.3g} b",
+                r["chip_area_mm2"],
+                "NA" if power is None else f"{power * 1e3:.3g} mW",
+                r["area_per_bit_um2"],
+                "NA" if per_bit_w is None else f"{per_bit_w * 1e9:.3g}",
+            ]
+        )
+    ours = rows["This design"]
+    table.add_note(
+        f"functional (pre-optimisation) requirement: "
+        f"{ours['functional_spins']:.2g} spins, "
+        f"{ours['functional_weight_bits']:.2g} weight bits"
+    )
+    table.add_note(
+        f"functionally normalised improvement vs best published: "
+        f"area {ours['area_improvement_normalized']:.2g}x, "
+        f"power {ours['power_improvement_normalized']:.2g}x (paper: >1e13x)"
+    )
+    save_and_print(table, "table3_sota")
+
+    # --- reproduction checks (paper's Table III row) --------------------
+    assert ours["n_spins"] == pytest.approx(0.39e6, rel=0.01)
+    assert ours["weight_memory_bits"] == pytest.approx(46.4e6, rel=0.01)
+    assert ours["chip_area_mm2"] == pytest.approx(43.7, rel=0.01)
+    assert ours["chip_power_w"] == pytest.approx(0.433, rel=0.10)
+    assert ours["area_per_bit_um2"] == pytest.approx(0.94, abs=0.03)
+    assert ours["power_per_bit_w"] == pytest.approx(9.3e-9, rel=0.15)
+    # Physical per-bit numbers beat every published row.
+    for name, r in rows.items():
+        if name == "This design":
+            continue
+        assert ours["area_per_bit_um2"] < r["area_per_bit_um2"]
+        if r["power_per_bit_w"] is not None:
+            assert ours["power_per_bit_w"] < r["power_per_bit_w"]
+    # Functional normalisation: >1e13x on both metrics.
+    assert ours["area_improvement_normalized"] > 1e13
+    assert ours["power_improvement_normalized"] > 1e13

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Delivery-route planning over a clustered metro area.
+
+The paper's intro motivates TSP with supply-chain logistics: depots
+serve customers concentrated in neighbourhoods (natural clusters).
+This example plans a courier route over such a geography, shows how
+the hierarchy the annealer builds mirrors the neighbourhood structure,
+and compares against the CPU simulated-annealing baseline at equal
+move counts.
+
+Run:
+    python examples/logistics_fleet.py [n_stops]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import AnnealerConfig, ClusteredCIMAnnealer, random_clustered
+from repro.tsp.baselines import SAParams, simulated_annealing_tsp
+from repro.tsp.reference import reference_length
+from repro.utils.tables import Table
+
+
+def main(n_stops: int = 800) -> None:
+    # A metro area: 12 dense neighbourhoods + 10% scattered stops.
+    city = random_clustered(
+        n_stops, n_clusters=12, seed=11, cluster_std=18.0,
+        background_fraction=0.10, name=f"metro{n_stops}",
+    )
+    print(f"delivery area: {city} (12 neighbourhoods)")
+    reference = reference_length(city, seed=0)
+
+    # ------------------------------------------------------------------
+    # The clustered CIM annealer: hierarchy should track neighbourhoods.
+    # ------------------------------------------------------------------
+    annealer = ClusteredCIMAnnealer(AnnealerConfig(seed=5))
+    tree = annealer.build_tree(city)
+    print(
+        "hierarchy levels (clusters per level): "
+        + " -> ".join(str(lvl.n_clusters) for lvl in tree.levels)
+    )
+
+    t0 = time.perf_counter()
+    result = annealer.solve(city)
+    cim_host_s = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # CPU SA baseline with the same total number of proposed moves.
+    # ------------------------------------------------------------------
+    moves = sum(lv.swaps_proposed for lv in result.levels)
+    t0 = time.perf_counter()
+    sa = simulated_annealing_tsp(
+        city, SAParams(n_iterations=max(10_000, moves)), seed=5
+    )
+    sa_host_s = time.perf_counter() - t0
+
+    table = Table(
+        f"Courier route over {n_stops} stops",
+        ["planner", "route length", "optimal ratio", "proposed moves",
+         "host time s"],
+    )
+    table.add_row(
+        ["clustered CIM annealer", result.length, result.length / reference,
+         moves, f"{cim_host_s:.1f}"]
+    )
+    table.add_row(
+        ["CPU simulated annealing", sa.length, sa.length / reference,
+         sa.proposed_moves, f"{sa_host_s:.1f}"]
+    )
+    table.add_row(
+        ["CPU reference (2-opt/Or-opt)", reference, 1.0, "-", "-"]
+    )
+    table.add_note(
+        "on hardware the CIM moves run 4 cycles each with all "
+        "neighbourhoods updating in parallel - see evaluate_ppa()"
+    )
+    print()
+    print(table)
+
+    # The hierarchy is the win: each annealing level only reorders
+    # within-neighbourhood, so the required spins collapse from N^2 to
+    # p*N (Fig. 1) while route quality stays in the same band.
+    print(
+        f"\nspins: conventional N^2 = {n_stops**2:,} vs clustered "
+        f"p*N = {3 * n_stops:,}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 800)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""PCB drill routing — the workload behind TSPLIB's pcb instances.
+
+A drilling machine must visit every hole on a board exactly once; the
+tour length is machine time.  This example builds a pcb3038-style
+synthetic board (component blocks of gridded holes plus scattered
+vias), explores the cluster-size design space on it (the Table I
+experiment), and reports the winning configuration's hardware cost.
+
+Run:
+    python examples/pcb_drill_routing.py [n_holes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import evaluate_ppa
+from repro.analysis.capacity import table1_capacity_bytes
+from repro.analysis.sweep import explore_cluster_strategies
+from repro.clustering.strategies import strategy_from_name
+from repro.tsp.generators import pcb_style
+from repro.tsp.reference import reference_length
+from repro.utils.tables import Table
+from repro.utils.units import format_bytes, format_time
+
+
+def main(n_holes: int = 600) -> None:
+    board = pcb_style(n_holes, seed=3, name=f"pcb{n_holes}-demo")
+    print(f"board: {board} (drill holes on a snapped grid)")
+
+    reference = reference_length(board, seed=0)
+    print(f"CPU reference tour (greedy + 2-opt + Or-opt): {reference:.0f}")
+
+    # ------------------------------------------------------------------
+    # Design-space exploration: which cluster strategy would you build?
+    # ------------------------------------------------------------------
+    strategies = ("2", "1/2", "1/2/3", "1/2/3/4")
+    rows = explore_cluster_strategies(
+        board, strategies=strategies, seed=1, reference=reference
+    )
+
+    table = Table(
+        f"Cluster-strategy exploration on the {n_holes}-hole board",
+        ["strategy", "weight memory", "optimal ratio", "drill-path overhead %"],
+    )
+    for r in rows:
+        capacity = table1_capacity_bytes(board.n, r.strategy_name)
+        table.add_row(
+            [
+                r.strategy_name,
+                format_bytes(capacity),
+                r.optimal_ratio,
+                f"{100 * (r.optimal_ratio - 1):.1f}",
+            ]
+        )
+    table.add_note("paper sweet spot: 1/2/3 (p_max = 3)")
+    print()
+    print(table)
+
+    # ------------------------------------------------------------------
+    # Hardware report for the best quality/cost configuration.
+    # ------------------------------------------------------------------
+    best = min(rows, key=lambda r: r.optimal_ratio)
+    strategy = strategy_from_name(best.strategy_name)
+    ppa = evaluate_ppa(
+        n_cities=board.n,
+        p=strategy.hardware_p(),
+        n_clusters=strategy.provisioned_clusters(board.n),
+        mean_cluster_size=(1 + strategy.hardware_p()) / 2,
+    )
+    print()
+    print(
+        f"winning strategy {best.strategy_name!r}: "
+        f"{ppa.n_arrays} arrays, {ppa.chip_area_mm2:.3f} mm^2, "
+        f"drill path computed in {format_time(ppa.time_to_solution_s)} "
+        f"of annealing"
+    )
+
+    # ------------------------------------------------------------------
+    # Visual check: write the winning drill path as an SVG.
+    # ------------------------------------------------------------------
+    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+    from repro.tsp.svg import save_tour_svg
+
+    result = ClusteredCIMAnnealer(
+        AnnealerConfig(strategy=best.strategy_name, seed=1)
+    ).solve(board)
+    svg_path = "pcb_drill_path.svg"
+    save_tour_svg(board, svg_path, tour=result.tour,
+                  title=f"{board.name} drill path")
+    print(f"drill path rendered to {svg_path}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 600)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: solve a TSP with the clustered digital-CIM annealer.
+
+Builds a 500-city instance, solves it with the paper's default
+configuration (semi-flexible clustering with p_max = 3, the
+300→580 mV noisy-SRAM annealing schedule), compares the result against
+classical CPU baselines, and prints the hardware cost of the simulated
+chip.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnnealerConfig,
+    ClusteredCIMAnnealer,
+    evaluate_ppa,
+    random_uniform,
+    tour_length,
+)
+from repro.tsp.baselines import (
+    greedy_edge_tour,
+    nearest_neighbor_tour,
+    two_opt_improve,
+)
+from repro.utils.tables import Table
+from repro.utils.units import format_area, format_bits, format_energy, format_time
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A problem instance.  Any (n, 2) coordinate array works; TSPLIB
+    #    files load via repro.load_tsplib(path).
+    # ------------------------------------------------------------------
+    instance = random_uniform(500, seed=42)
+    print(f"instance: {instance}")
+
+    # ------------------------------------------------------------------
+    # 2. Solve with the paper's defaults (p_max = 3 semi-flexible
+    #    clustering, 400 iterations/level, V_DD 300 -> 580 mV).
+    # ------------------------------------------------------------------
+    annealer = ClusteredCIMAnnealer(AnnealerConfig(seed=7))
+    result = annealer.solve(instance)
+    print(
+        f"annealer: length={result.length:.0f}, "
+        f"{result.n_levels} levels, host {result.wall_time_s:.1f}s"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Compare with CPU baselines.
+    # ------------------------------------------------------------------
+    nn = tour_length(instance, nearest_neighbor_tour(instance, seed=0))
+    ge_tour = greedy_edge_tour(instance)
+    ge = tour_length(instance, ge_tour)
+    opt2 = tour_length(instance, two_opt_improve(instance, ge_tour))
+
+    table = Table("Tour quality comparison (500 uniform cities)", ["solver", "length", "vs 2-opt"])
+    for name, length in [
+        ("nearest neighbour", nn),
+        ("greedy edge", ge),
+        ("greedy edge + 2-opt", opt2),
+        ("clustered CIM annealer", result.length),
+    ]:
+        table.add_row([name, length, length / opt2])
+    print()
+    print(table)
+
+    # ------------------------------------------------------------------
+    # 4. Hardware cost of the simulated chip (from recorded counters).
+    # ------------------------------------------------------------------
+    ppa = evaluate_ppa(
+        n_cities=instance.n,
+        p=result.chip.p,
+        n_clusters=result.chip.n_clusters,
+        chip=result.chip,
+    )
+    print()
+    print("simulated hardware (16 nm digital CIM):")
+    print(f"  weight memory   : {format_bits(ppa.capacity_bits)}")
+    print(f"  chip area       : {format_area(ppa.chip_area_m2)}")
+    print(f"  time-to-solution: {format_time(ppa.time_to_solution_s)}")
+    print(f"  energy          : {format_energy(ppa.energy_to_solution_j)}")
+    print(f"  write share     : {100 * ppa.energy.write_fraction:.1f}% of energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The evaluation environment has no network access and no `wheel`
+package, so PEP 517 editable builds (which need bdist_wheel) fail.
+`pip install -e . --no-build-isolation --no-use-pep517` uses this shim;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

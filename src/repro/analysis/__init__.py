@@ -1,0 +1,58 @@
+"""Analysis layer: the closed-form laws and experiment drivers behind
+the paper's figures and tables.
+
+* :mod:`repro.analysis.capacity` — the O(N⁴)/O(N²)/O(N) memory laws
+  (Fig. 1, Fig. 3, Table I capacities);
+* :mod:`repro.analysis.convergence` — energy-trace analytics (Fig. 2);
+* :mod:`repro.analysis.speedup` — Concorde / Neuro-Ising comparisons
+  (Sec. VI);
+* :mod:`repro.analysis.sweep` — design-space exploration drivers
+  (Table I, Fig. 7) shared by the benchmark harness and the examples.
+"""
+
+from repro.analysis.capacity import (
+    clustered_capacity_bits,
+    compact_capacity_bits,
+    conventional_capacity_bits,
+    fig1_series,
+    table1_capacity_bytes,
+)
+from repro.analysis.convergence import summarize_trace, trace_is_stuck
+from repro.analysis.quality import (
+    QualityStats,
+    compare_ensembles,
+    run_ensemble,
+    summarize,
+)
+from repro.analysis.speedup import (
+    NEURO_ISING_RL5934,
+    concorde_speedup,
+    speedup_rows,
+)
+from repro.analysis.sweep import (
+    StrategyResult,
+    explore_cluster_strategies,
+    optimal_ratio_sweep,
+    ppa_sweep,
+)
+
+__all__ = [
+    "conventional_capacity_bits",
+    "clustered_capacity_bits",
+    "compact_capacity_bits",
+    "table1_capacity_bytes",
+    "fig1_series",
+    "summarize_trace",
+    "trace_is_stuck",
+    "QualityStats",
+    "summarize",
+    "run_ensemble",
+    "compare_ensembles",
+    "concorde_speedup",
+    "speedup_rows",
+    "NEURO_ISING_RL5934",
+    "StrategyResult",
+    "explore_cluster_strategies",
+    "optimal_ratio_sweep",
+    "ppa_sweep",
+]

@@ -1,0 +1,127 @@
+"""Memory-capacity laws (Fig. 1, Fig. 3, Table I capacities).
+
+Three mappings of an N-city TSP onto weight memory:
+
+* **conventional** (Eq. 3 dense): N² spins → N⁴ couplings → O(N⁴) bits;
+* **clustered** ([3], input sparsity): p·N spins → (pN)² couplings →
+  O(N²) bits;
+* **compact digital-CIM** (this paper, weight sparsity): only the
+  valid windows are stored — ``(p²+2p)·p²`` weights per window times
+  the number of windows → O(N) bits.
+
+Window counts per strategy (Sec. V-A):
+
+* fixed size p:            ``N / p`` windows;
+* semi-flexible 1..p_max:  ``2N / (1+p_max)`` windows (all provisioned
+  at the full p_max geometry, with redundant columns).
+
+These are closed forms, so the Table I "Capacity (kB)" column and the
+Fig. 1 curves are reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.clustering.strategies import (
+    ClusterStrategy,
+    strategy_from_name,
+)
+from repro.errors import ReproError
+
+
+def _check(n: int, bits: int) -> None:
+    if n < 1:
+        raise ReproError(f"n must be >= 1, got {n}")
+    if bits < 1:
+        raise ReproError(f"bits must be >= 1, got {bits}")
+
+
+def conventional_capacity_bits(n: int, bits: int = 8) -> float:
+    """O(N⁴): dense coupling matrix of the Eq. (3) mapping."""
+    _check(n, bits)
+    return float(n) ** 4 * bits
+
+
+def clustered_capacity_bits(n: int, p: int = 3, bits: int = 8) -> float:
+    """O(N²): the clustered coupling matrix (pN)×(pN) of [3]."""
+    _check(n, bits)
+    if p < 1:
+        raise ReproError(f"p must be >= 1, got {p}")
+    return float(p * n) ** 2 * bits
+
+
+def compact_capacity_bits(
+    n: int, strategy: Union[ClusterStrategy, str], bits: int = 8
+) -> float:
+    """O(N): compact window storage for a given strategy.
+
+    ``(p²+2p)·p²`` weights per window × provisioned windows × bits.
+    Raises for the arbitrary strategy, which has no hardware mapping.
+    """
+    _check(n, bits)
+    if isinstance(strategy, str):
+        strategy = strategy_from_name(strategy)
+    p = strategy.hardware_p()
+    if p is None:
+        raise ReproError(
+            "the arbitrary strategy has no hardware window geometry"
+        )
+    weights_per_window = (p * p + 2 * p) * p * p
+    return float(weights_per_window * strategy.provisioned_clusters(n) * bits)
+
+
+def table1_capacity_bytes(
+    n: int, strategy: Union[ClusterStrategy, str], bits: int = 8
+) -> float:
+    """Table I "Capacity" entry in bytes (the paper prints decimal kB).
+
+    Note the paper's formula uses the *exact* (possibly fractional)
+    window count N/p or 2N/(1+p_max); we match it by not rounding up:
+    48.6 kB for pcb3038 / fixed-2, 466.9 kB for pcb3038 / 1-2-3-4, etc.
+    """
+    _check(n, bits)
+    if isinstance(strategy, str):
+        strategy = strategy_from_name(strategy)
+    p = strategy.hardware_p()
+    if p is None:
+        raise ReproError(
+            "the arbitrary strategy has no hardware window geometry"
+        )
+    weights_per_window = (p * p + 2 * p) * p * p
+    from repro.clustering.strategies import FixedSizeStrategy
+
+    if isinstance(strategy, FixedSizeStrategy):
+        windows = n / p
+    else:  # semi-flexible
+        windows = 2 * n / (1 + p)
+    return weights_per_window * windows * bits / 8.0
+
+
+def fig1_series(
+    n_values: Sequence[int], p: int = 3, bits: int = 8
+) -> Dict[str, np.ndarray]:
+    """The three Fig. 1 curves (bits of weight memory vs N).
+
+    The compact curve uses the semi-flexible window count with
+    ``p_max = p``.
+    """
+    ns = np.asarray(list(n_values), dtype=np.int64)
+    if ns.size == 0 or ns.min(initial=1) < 1:
+        raise ReproError("n_values must be non-empty positive integers")
+    conventional = ns.astype(np.float64) ** 4 * bits
+    clustered = (p * ns.astype(np.float64)) ** 2 * bits
+    weights_per_window = (p * p + 2 * p) * p * p
+    compact = np.asarray(
+        [weights_per_window * ceil(2 * n / (1 + p)) * bits for n in ns],
+        dtype=np.float64,
+    )
+    return {
+        "n": ns.astype(np.float64),
+        "conventional_O(N^4)": conventional,
+        "clustered_O(N^2)": clustered,
+        "compact_O(N)": compact,
+    }

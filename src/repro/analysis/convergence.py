@@ -1,0 +1,71 @@
+"""Convergence-trace analytics (Fig. 2 and the noise ablations).
+
+Fig. 2 illustrates the point of annealing: a pure descent gets stuck in
+a local minimum while the annealed chain escapes and converges lower.
+These helpers quantify that on recorded traces, and detect the
+"fixed trace" pathology of spatial-only spin noise (Sec. IV-B): with a
+deterministic error pattern, repeated attempts retrace the same
+trajectory, so restarts produce identical objective sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.annealer.trace import ConvergenceTrace
+from repro.errors import ReproError
+
+
+def summarize_trace(trace: ConvergenceTrace) -> Dict[int, Dict[str, float]]:
+    """Per-level summary: initial / final / best objective, improvement."""
+    out: Dict[int, Dict[str, float]] = {}
+    for level in trace.levels():
+        _, objs = trace.level_series(level)
+        if objs.size == 0:
+            continue
+        out[level] = {
+            "initial": float(objs[0]),
+            "final": float(objs[-1]),
+            "best": float(objs.min()),
+            "improvement": float((objs[0] - objs[-1]) / objs[0])
+            if objs[0] != 0
+            else 0.0,
+            "uphill_moves": float(np.sum(np.diff(objs) > 0)),
+        }
+    return out
+
+
+def trace_is_stuck(objectives: Sequence[float], tail_fraction: float = 0.5) -> bool:
+    """Did the objective stop improving over the trailing window?
+
+    Used by the Fig. 2 bench to show that greedy descent plateaus while
+    the annealed run keeps improving longer.
+    """
+    objs = np.asarray(list(objectives), dtype=np.float64)
+    if objs.size < 4:
+        raise ReproError("need at least 4 samples to judge convergence")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ReproError(f"tail_fraction must be in (0,1], got {tail_fraction}")
+    tail = objs[int(objs.size * (1 - tail_fraction)) :]
+    return bool(tail.min() >= objs[: objs.size - tail.size].min() - 1e-12)
+
+
+def traces_identical(
+    runs: Sequence[Sequence[float]], rtol: float = 1e-12
+) -> bool:
+    """Are several runs' objective traces numerically identical?
+
+    The signature of spatial-only (deterministic) noise: every restart
+    follows the same trajectory.  Temporal noise (SRAM-on-weights or
+    LFSR) produces distinct traces.
+    """
+    if len(runs) < 2:
+        raise ReproError("need at least 2 runs to compare")
+    first = np.asarray(list(runs[0]), dtype=np.float64)
+    for other in runs[1:]:
+        arr = np.asarray(list(other), dtype=np.float64)
+        if arr.shape != first.shape or not np.allclose(arr, first, rtol=rtol):
+            return False
+    return True

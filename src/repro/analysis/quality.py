@@ -1,0 +1,107 @@
+"""Ensemble quality statistics.
+
+Annealers are stochastic: a single run's optimal ratio is a sample, not
+a result.  These helpers standardise how the benchmark suite and the
+examples aggregate multi-seed ensembles — mean/min/max/std plus a
+bootstrap confidence interval on the mean — and how two solver
+ensembles are compared (win rate + relative mean gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """Summary statistics of one solver ensemble."""
+
+    n_runs: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table rendering."""
+        return {
+            "n_runs": self.n_runs,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_bootstrap: int = 2000,
+    seed: SeedLike = 0,
+) -> QualityStats:
+    """Summarise an ensemble with a bootstrap CI on the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size < 1:
+        raise ReproError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0,1), got {confidence}")
+    if arr.size == 1:
+        v = float(arr[0])
+        return QualityStats(1, v, 0.0, v, v, v, v)
+    rng = spawn_rng(seed)
+    resamples = rng.choice(arr, size=(n_bootstrap, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return QualityStats(
+        n_runs=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=float(lo),
+        ci_high=float(hi),
+    )
+
+
+def run_ensemble(
+    solver: Callable[[int], float],
+    seeds: Sequence[int],
+    **summary_kwargs,
+) -> QualityStats:
+    """Run ``solver(seed)`` for every seed and summarise the outputs."""
+    if not seeds:
+        raise ReproError("need at least one seed")
+    return summarize([solver(int(s)) for s in seeds], **summary_kwargs)
+
+
+def compare_ensembles(
+    a: Sequence[float], b: Sequence[float]
+) -> Dict[str, float]:
+    """Pairwise comparison of two equal-length ensembles.
+
+    Returns the win rate of ``a`` (fraction of seeds where a < b,
+    lower-is-better), the relative mean gap ``mean(a)/mean(b) - 1``,
+    and both means.
+    """
+    va = np.asarray(list(a), dtype=np.float64)
+    vb = np.asarray(list(b), dtype=np.float64)
+    if va.size != vb.size or va.size == 0:
+        raise ReproError("ensembles must be non-empty and equal-length")
+    wins = float(np.mean(va < vb)) + 0.5 * float(np.mean(va == vb))
+    return {
+        "win_rate_a": wins,
+        "mean_a": float(va.mean()),
+        "mean_b": float(vb.mean()),
+        "relative_gap": float(va.mean() / vb.mean() - 1.0),
+    }

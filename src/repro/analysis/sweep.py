@@ -1,0 +1,167 @@
+"""Design-space exploration drivers (Table I, Fig. 7).
+
+Shared by the benchmark harness and the examples:
+
+* :func:`explore_cluster_strategies` — Table I: capacity + optimal
+  ratio for every strategy on one instance;
+* :func:`optimal_ratio_sweep` — Fig. 7a: ratio vs dataset and p_max;
+* :func:`ppa_sweep` — Fig. 7b-d: area / latency / energy vs dataset
+  and p_max, from the hardware models (optionally driven by real
+  simulated chip counters).
+
+All drivers accept a ``size_scale`` so CI-speed runs can shrink the
+instances while keeping every code path identical; the benches print
+the scale they used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.analysis.capacity import table1_capacity_bytes
+from repro.clustering.strategies import (
+    ArbitraryStrategy,
+    ClusterStrategy,
+    SemiFlexibleStrategy,
+    strategy_from_name,
+)
+from repro.errors import ReproError
+from repro.hardware.ppa import PPAReport, evaluate_ppa
+from repro.hardware.tech import TechNode
+from repro.tsp.generators import PAPER_DATASETS, make_paper_instance
+from repro.tsp.instance import TSPInstance
+from repro.tsp.reference import reference_length
+
+
+@dataclass
+class StrategyResult:
+    """One Table I row."""
+
+    strategy_name: str
+    capacity_bytes: Optional[float]  # None for the arbitrary baseline
+    tour_length: float
+    optimal_ratio: float
+
+
+def _resolve(strategy: Union[ClusterStrategy, str]) -> ClusterStrategy:
+    return strategy_from_name(strategy) if isinstance(strategy, str) else strategy
+
+
+#: The Table I row set.
+TABLE1_STRATEGIES = ("arbitrary", "2", "4", "1/2", "1/2/3", "1/2/3/4")
+
+
+def explore_cluster_strategies(
+    instance: TSPInstance,
+    strategies: Sequence[Union[ClusterStrategy, str]] = TABLE1_STRATEGIES,
+    seed: int = 0,
+    reference: Optional[float] = None,
+    config_overrides: Optional[dict] = None,
+) -> List[StrategyResult]:
+    """Run Table I on one instance: capacity + optimal ratio per strategy."""
+    if reference is None:
+        reference = reference_length(instance, seed=seed)
+    results: List[StrategyResult] = []
+    for spec in strategies:
+        strategy = _resolve(spec)
+        kwargs = dict(strategy=strategy, seed=seed)
+        if config_overrides:
+            kwargs.update(config_overrides)
+        annealer = ClusteredCIMAnnealer(AnnealerConfig(**kwargs))
+        res = annealer.solve(instance)
+        capacity = (
+            None
+            if isinstance(strategy, ArbitraryStrategy)
+            else table1_capacity_bytes(instance.n, strategy)
+        )
+        results.append(
+            StrategyResult(
+                strategy_name=strategy.name,
+                capacity_bytes=capacity,
+                tour_length=res.length,
+                optimal_ratio=res.optimal_ratio(reference),
+            )
+        )
+    return results
+
+
+def optimal_ratio_sweep(
+    datasets: Sequence[str],
+    p_values: Sequence[int] = (2, 3, 4),
+    seed: int = 0,
+    size_scale: float = 1.0,
+    include_baseline: bool = True,
+    config_overrides: Optional[dict] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 7a: optimal ratio per dataset per p_max (+ arbitrary baseline).
+
+    ``size_scale`` < 1 shrinks each synthetic instance (e.g. 0.1 turns
+    pcb3038 into a 304-city analog) for fast runs.
+    """
+    if not 0 < size_scale <= 1.0:
+        raise ReproError(f"size_scale must be in (0,1], got {size_scale}")
+    out: Dict[str, Dict[str, float]] = {}
+    for dataset in datasets:
+        instance = _scaled_instance(dataset, size_scale, seed)
+        reference = reference_length(instance, seed=seed)
+        row: Dict[str, float] = {"n": float(instance.n)}
+        strategies: List[ClusterStrategy] = [
+            SemiFlexibleStrategy(p_max=p) for p in p_values
+        ]
+        if include_baseline:
+            strategies.append(ArbitraryStrategy())
+        for strategy in strategies:
+            kwargs = dict(strategy=strategy, seed=seed)
+            if config_overrides:
+                kwargs.update(config_overrides)
+            res = ClusteredCIMAnnealer(AnnealerConfig(**kwargs)).solve(instance)
+            row[strategy.name] = res.optimal_ratio(reference)
+        out[dataset] = row
+    return out
+
+
+def ppa_sweep(
+    datasets: Sequence[str],
+    p_values: Sequence[int] = (2, 3, 4),
+    tech: Optional[TechNode] = None,
+) -> Dict[str, Dict[int, PPAReport]]:
+    """Fig. 7b-d: PPA model predictions per dataset per p_max.
+
+    Pure closed-form (no annealing run): area from the window count,
+    latency/energy from the schedule — identical to how the paper's
+    NeuroSim-based numbers are produced.
+    """
+    out: Dict[str, Dict[int, PPAReport]] = {}
+    for dataset in datasets:
+        if dataset not in PAPER_DATASETS:
+            raise ReproError(f"unknown dataset {dataset!r}")
+        _, n = PAPER_DATASETS[dataset]
+        per_p: Dict[int, PPAReport] = {}
+        for p in p_values:
+            strategy = SemiFlexibleStrategy(p_max=p)
+            per_p[p] = evaluate_ppa(
+                n_cities=n,
+                p=p,
+                n_clusters=strategy.provisioned_clusters(n),
+                tech=tech,
+                mean_cluster_size=strategy.target_mean,
+            )
+        out[dataset] = per_p
+    return out
+
+
+def _scaled_instance(dataset: str, size_scale: float, seed: int) -> TSPInstance:
+    """The paper instance, optionally shrunk for fast sweeps."""
+    if size_scale >= 1.0:
+        return make_paper_instance(dataset, seed=seed + 2024)
+    if dataset not in PAPER_DATASETS:
+        raise ReproError(f"unknown dataset {dataset!r}")
+    family, n = PAPER_DATASETS[dataset]
+    from repro.tsp.generators import pcb_style, pla_style, rl_style
+
+    builder = {"pcb": pcb_style, "rl": rl_style, "pla": pla_style}[family]
+    small_n = max(64, int(n * size_scale))
+    return builder(small_n, seed=seed + 2024, name=f"{dataset}-x{size_scale:g}")

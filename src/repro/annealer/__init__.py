@@ -1,0 +1,37 @@
+"""The paper's core contribution: the clustered digital-CIM annealer.
+
+:class:`ClusteredCIMAnnealer` solves large TSPs end-to-end:
+
+1. build the bottom-up cluster hierarchy (input sparsity, Sec. III-A);
+2. solve the top-level ordering;
+3. anneal each level top-down on simulated CIM windows with noisy
+   8-bit SRAM weights (weight sparsity + SRAM annealing, Sec. III-B /
+   IV), updating odd/even clusters in alternating parallel phases;
+4. report the tour, quality, convergence trace, and the hardware event
+   counters that feed the PPA models.
+
+The heavy lifting happens in :class:`repro.annealer.engine.ClusterLevelEngine`,
+a vectorised implementation of the window MACs that is bit-compatible
+with the golden :class:`repro.cim.window.WeightWindow` model (asserted
+by the integration tests).
+"""
+
+from repro.annealer.batch import EnsembleResult, solve_ensemble
+from repro.annealer.config import AnnealerConfig, NoiseSource, NoiseTarget
+from repro.annealer.engine import ClusterLevelEngine
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.annealer.result import AnnealResult, LevelReport
+from repro.annealer.trace import ConvergenceTrace
+
+__all__ = [
+    "AnnealerConfig",
+    "NoiseSource",
+    "NoiseTarget",
+    "ClusterLevelEngine",
+    "ClusteredCIMAnnealer",
+    "AnnealResult",
+    "LevelReport",
+    "ConvergenceTrace",
+    "EnsembleResult",
+    "solve_ensemble",
+]

@@ -1,0 +1,81 @@
+"""Multi-seed batch solving with ensemble statistics.
+
+Annealer results are stochastic, so credible quality numbers come from
+seed ensembles.  :func:`solve_ensemble` runs the clustered CIM annealer
+across seeds and returns per-seed results plus
+:class:`repro.analysis.quality.QualityStats` on the optimal ratios —
+the exact aggregation the benchmark suite and EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.analysis.quality import QualityStats, summarize
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.annealer.result import AnnealResult
+from repro.errors import AnnealerError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.reference import reference_length
+
+
+@dataclass
+class EnsembleResult:
+    """Results of a multi-seed batch solve."""
+
+    instance: TSPInstance
+    reference: float
+    results: List[AnnealResult] = field(default_factory=list)
+    ratio_stats: Optional[QualityStats] = None
+
+    @property
+    def ratios(self) -> List[float]:
+        """Optimal ratio of every run."""
+        return [r.optimal_ratio(self.reference) for r in self.results]
+
+    @property
+    def best(self) -> AnnealResult:
+        """The shortest-tour run."""
+        return min(self.results, key=lambda r: r.length)
+
+    @property
+    def n_runs(self) -> int:
+        """Ensemble size."""
+        return len(self.results)
+
+
+def solve_ensemble(
+    instance: TSPInstance,
+    seeds: Sequence[int],
+    config: Optional[AnnealerConfig] = None,
+    reference: Optional[float] = None,
+) -> EnsembleResult:
+    """Solve ``instance`` once per seed and aggregate the quality.
+
+    Parameters
+    ----------
+    instance:
+        The problem.
+    seeds:
+        Seeds; each produces an independent fabrication + anneal.
+    config:
+        Base configuration; its ``seed`` field is replaced per run.
+    reference:
+        Reference length for ratios (computed if omitted).
+    """
+    if not seeds:
+        raise AnnealerError("need at least one seed")
+    base = config or AnnealerConfig()
+    if reference is None:
+        reference = reference_length(instance, seed=int(seeds[0]))
+
+    results: List[AnnealResult] = []
+    for seed in seeds:
+        cfg = replace(base, seed=int(seed))
+        results.append(ClusteredCIMAnnealer(cfg).solve(instance))
+
+    out = EnsembleResult(instance=instance, reference=reference, results=results)
+    out.ratio_stats = summarize(out.ratios, seed=int(seeds[0]))
+    return out

@@ -1,0 +1,126 @@
+"""Annealer configuration.
+
+Collects every knob of the co-design in one validated dataclass:
+clustering strategy, V_DD/noise schedule, weight precision, SRAM
+population, and the ablation switches (noise source / noise target /
+parallelism) used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Union
+
+from repro.clustering.strategies import (
+    ClusterStrategy,
+    SemiFlexibleStrategy,
+    strategy_from_name,
+)
+from repro.errors import ConfigError
+from repro.ising.schedule import VddSchedule
+from repro.sram.cell import SRAMCellParams
+
+
+class NoiseSource(str, Enum):
+    """Where the annealing randomness comes from.
+
+    * ``SRAM`` — intrinsic process variation via pseudo-read (proposed);
+    * ``LFSR`` — explicit digital PRNG perturbation of the energy
+      comparison with the same amplitude schedule (conventional);
+    * ``METROPOLIS`` — idealised software baseline: exact energies with
+      probabilistic acceptance exp(−ΔH/T), T following the same
+      amplitude schedule — the ceiling the hardware noise rules are
+      measured against;
+    * ``NONE`` — no noise: pure greedy descent on quantised weights.
+    """
+
+    SRAM = "sram"
+    LFSR = "lfsr"
+    METROPOLIS = "metropolis"
+    NONE = "none"
+
+
+class NoiseTarget(str, Enum):
+    """Where the (spatial) SRAM noise is applied.
+
+    * ``WEIGHTS`` — on the coupling matrix (proposed, Sec. IV-B):
+      spatial variation becomes temporal because each trial reads
+      different cells;
+    * ``SPINS`` — on the spin path (the [4]-style design the paper
+      argues against): the same proposal in the same state always sees
+      the same error, so annealing degenerates to a fixed trace.
+    """
+
+    WEIGHTS = "weights"
+    SPINS = "spins"
+
+
+@dataclass
+class AnnealerConfig:
+    """Configuration of :class:`repro.annealer.ClusteredCIMAnnealer`.
+
+    Attributes
+    ----------
+    strategy:
+        Cluster-size strategy, or a Table I label like ``"1/2/3"``.
+        Defaults to the paper's sweet spot, semi-flexible p_max = 3.
+    schedule:
+        V_DD / write-back schedule per annealing level (paper: 400
+        iterations, 300→580 mV in 40 mV steps every 50).
+    top_size:
+        Maximum clusters at the top hierarchy level (solved directly).
+    weight_bits:
+        CIM weight precision (8).
+    cell_params:
+        SRAM population parameters for the noise fields.
+    noise_source, noise_target:
+        Ablation switches (see the enums).
+    parallel_update:
+        True (default): odd/even clusters update in alternating
+        parallel phases.  False: clusters update one at a time
+        (sequential Gibbs) — same moves, ~K/2× more cycles.
+    seed:
+        Master seed: instance-independent determinism for fabrication
+        noise, initial orders, and proposal streams.
+    record_trace:
+        Record per-iteration tour length during each level (costs one
+        vectorised length evaluation per record).
+    trace_every:
+        Iterations between trace records.
+    """
+
+    strategy: Union[ClusterStrategy, str] = field(
+        default_factory=lambda: SemiFlexibleStrategy(p_max=3)
+    )
+    schedule: VddSchedule = field(default_factory=VddSchedule)
+    top_size: int = 8
+    weight_bits: int = 8
+    cell_params: SRAMCellParams = field(default_factory=SRAMCellParams)
+    noise_source: NoiseSource = NoiseSource.SRAM
+    noise_target: NoiseTarget = NoiseTarget.WEIGHTS
+    parallel_update: bool = True
+    seed: int = 0
+    record_trace: bool = False
+    trace_every: int = 10
+
+    def __post_init__(self) -> None:
+        if isinstance(self.strategy, str):
+            self.strategy = strategy_from_name(self.strategy)
+        if self.top_size < 2:
+            raise ConfigError(f"top_size must be >= 2, got {self.top_size}")
+        if not 1 <= self.weight_bits <= 16:
+            raise ConfigError(
+                f"weight_bits must be in [1,16], got {self.weight_bits}"
+            )
+        if self.trace_every < 1:
+            raise ConfigError(f"trace_every must be >= 1, got {self.trace_every}")
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+        self.noise_source = NoiseSource(self.noise_source)
+        self.noise_target = NoiseTarget(self.noise_target)
+        if self.schedule.weight_bits != self.weight_bits:
+            raise ConfigError(
+                "schedule.weight_bits must match config.weight_bits "
+                f"({self.schedule.weight_bits} != {self.weight_bits})"
+            )

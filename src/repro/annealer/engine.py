@@ -1,0 +1,422 @@
+"""Vectorised clustered-TSP level engine.
+
+Simulates, for one hierarchy level, exactly what the CIM hardware
+computes — swap-trial local energies over quantised, noise-corrupted
+window weights — but batched across all clusters of a phase with numpy
+gathers instead of per-window Python objects (a 3038-city level has
+~1500 windows × 400 iterations; the golden
+:class:`repro.cim.window.WeightWindow` path would take hours).
+
+Bit-compatibility with the golden model is the critical invariant:
+
+* every (column-position, row-position, element-pair) weight usage maps
+  to a *distinct* bit cell with its own critical voltage and preferred
+  state, exactly as in the expanded window of
+  :func:`repro.cim.window.expand_spin_window`;
+* corruption is regenerated at write-back boundaries from the same
+  pseudo-read rule, so within a V_DD step the noise is spatial
+  (deterministic per cell) and across trials it is temporal (different
+  cells are addressed) — the Sec. IV-B mechanism.
+
+The integration tests drive both implementations over the same state
+and assert equal MAC values cell-for-cell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.annealer.config import NoiseSource, NoiseTarget
+from repro.cim.quantize import WeightQuantizer
+from repro.errors import AnnealerError
+from repro.ising.gibbs import cycle_groups
+from repro.sram.cell import SRAMCellParams
+from repro.sram.errormodel import ErrorRateModel
+from repro.utils.rng import RandomState
+
+
+class ClusterLevelEngine:
+    """Batched window-MAC simulator for one hierarchy level.
+
+    Parameters
+    ----------
+    points:
+        ``(M, 2)`` coordinates of the level's items (cities at level 0,
+        centroids above).
+    groups:
+        K index arrays into ``points`` — the clusters, in tour-sequence
+        order (from the level above).  Cyclic: group K−1 precedes 0.
+    p:
+        Window dimension; at least the largest group size.
+    weight_bits:
+        Weight precision (8).
+    cell_params:
+        SRAM population for the noise fields.
+    noise_source, noise_target:
+        Ablation switches (see :mod:`repro.annealer.config`).
+    seed:
+        Fabrication + proposal seed for this level.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        groups: List[np.ndarray],
+        p: int,
+        weight_bits: int = 8,
+        cell_params: Optional[SRAMCellParams] = None,
+        noise_source: NoiseSource = NoiseSource.SRAM,
+        noise_target: NoiseTarget = NoiseTarget.WEIGHTS,
+        seed: int = 0,
+    ):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise AnnealerError(f"points must be (M,2), got {points.shape}")
+        if not groups:
+            raise AnnealerError("need at least one group")
+        self.points = points
+        self.groups = [np.asarray(g, dtype=np.int64) for g in groups]
+        self.K = len(self.groups)
+        self.sizes = np.asarray([g.size for g in self.groups], dtype=np.int64)
+        if int(self.sizes.max()) > p:
+            raise AnnealerError(
+                f"group of size {int(self.sizes.max())} exceeds window p={p}"
+            )
+        if int(self.sizes.min()) < 1:
+            raise AnnealerError("empty group")
+        self.p = int(p)
+        self.weight_bits = int(weight_bits)
+        self.noise_source = NoiseSource(noise_source)
+        self.noise_target = NoiseTarget(noise_target)
+        self.cell_params = cell_params or SRAMCellParams()
+        self._error_model = ErrorRateModel(self.cell_params)
+        self._rs = RandomState(seed)
+        self.rng = self._rs.child("proposals")
+
+        self._build_distance_tensors()
+        self._build_noise_fields()
+
+        # Local visiting order inside each cluster; identity initially
+        # (padded tail positions index themselves and never move).
+        self.order = np.tile(np.arange(self.p, dtype=np.int64), (self.K, 1))
+        self._refresh_boundaries()
+
+        # Effective (possibly corrupted) weights; clean until the first
+        # write-back applies a noise setting.
+        self.C_own = self.Q_own.copy()
+        self.C_prev = self.Q_prev.copy()
+        self.C_next = self.Q_next.copy()
+        self._current_noise_amp_code = 0.0
+        # The [4]-style spin-noise design has no noise ramp (Sec. IV-B
+        # notes it used a single lowered V_DD): freeze its amplitude at
+        # the first write-back's setting.
+        self._spin_amp_code: Optional[float] = None
+
+        # Counters the caller converts into chip events.
+        self.trials_proposed = 0
+        self.trials_accepted = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_distance_tensors(self) -> None:
+        K, p = self.K, self.p
+        coords = np.zeros((K, p, 2))
+        for c, g in enumerate(self.groups):
+            coords[c, : g.size] = self.points[g]
+        self.coords = coords
+
+        diff = coords[:, :, None, :] - coords[:, None, :, :]
+        d_own = np.sqrt((diff * diff).sum(-1))  # (K, p, p) [row l, col k]
+        prev_coords = np.roll(coords, 1, axis=0)  # cluster c-1's elements
+        next_coords = np.roll(coords, -1, axis=0)
+        dp = prev_coords[:, :, None, :] - coords[:, None, :, :]
+        d_prev = np.sqrt((dp * dp).sum(-1))  # (K, p_prev-row, p-col)
+        dn = next_coords[:, :, None, :] - coords[:, None, :, :]
+        d_next = np.sqrt((dn * dn).sum(-1))
+
+        # Zero the padded rows/cols ("redundant columns" hold code 0).
+        valid = np.zeros((K, p), dtype=bool)
+        for c in range(K):
+            valid[c, : self.sizes[c]] = True
+        self._valid = valid
+        own_mask = valid[:, :, None] & valid[:, None, :]
+        d_own *= own_mask
+        prev_valid = np.roll(valid, 1, axis=0)
+        next_valid = np.roll(valid, -1, axis=0)
+        d_prev *= prev_valid[:, :, None] & valid[:, None, :]
+        d_next *= next_valid[:, :, None] & valid[:, None, :]
+
+        max_d = float(max(d_own.max(), d_prev.max(), d_next.max()))
+        self.quantizer = WeightQuantizer(max_d, bits=self.weight_bits)
+        self.Q_own_pair = self.quantizer.quantize(d_own)  # element-pair codes
+        self.Q_prev = self.quantizer.quantize(d_prev)
+        self.Q_next = self.quantizer.quantize(d_next)
+        # Tile own codes per (column position, direction): each usage is
+        # a distinct window cell, hence a distinct noisy bit group.
+        self.Q_own = np.broadcast_to(
+            self.Q_own_pair[:, None, None, :, :], (K, p, 2, p, p)
+        ).copy()
+
+    def _build_noise_fields(self) -> None:
+        if (
+            self.noise_source is not NoiseSource.SRAM
+            or self.noise_target is not NoiseTarget.WEIGHTS
+        ):
+            self._vc_own = self._vc_prev = self._vc_next = None
+            self._pref_own = self._pref_prev = self._pref_next = None
+        else:
+            params = self.cell_params
+            B = self.weight_bits
+
+            def fabricate(name: str, shape: Tuple[int, ...]):
+                rng = self._rs.child(f"fab/{name}")
+                vc = (
+                    params.v50_mv
+                    + params.effective_sigma_mv
+                    * rng.standard_normal(shape + (B,)).astype(np.float32)
+                ).astype(np.float16)
+                pref = rng.integers(0, 2, size=shape + (B,), dtype=np.uint8)
+                return vc, pref
+
+            K, p = self.K, self.p
+            self._vc_own, self._pref_own = fabricate("own", (K, p, 2, p, p))
+            self._vc_prev, self._pref_prev = fabricate("prev", (K, p, p))
+            self._vc_next, self._pref_next = fabricate("next", (K, p, p))
+
+        # Spatial spin-path noise pattern for the [4]-style ablation:
+        # a fixed offset per (cluster, i, j) swap proposal.
+        if self.noise_target is NoiseTarget.SPINS:
+            rng = self._rs.child("fab/spin_offsets")
+            raw = rng.standard_normal((self.K, self.p, self.p))
+            self._spin_offsets = (raw + raw.transpose(0, 2, 1)) / np.sqrt(2.0)
+        else:
+            self._spin_offsets = None
+
+    # ------------------------------------------------------------------
+    # Noise application (write-back boundaries)
+    # ------------------------------------------------------------------
+    def _corrupt(
+        self,
+        codes: np.ndarray,
+        vc: np.ndarray,
+        pref: np.ndarray,
+        vdd_mv: float,
+        noisy_lsbs: int,
+    ) -> np.ndarray:
+        B = self.weight_bits
+        bits = ((codes[..., None] >> np.arange(B)) & 1).astype(np.uint8)
+        mask = vc.astype(np.float32) > np.float32(vdd_mv)
+        if noisy_lsbs < B:
+            mask = mask.copy()
+            mask[..., noisy_lsbs:] = False
+        bits = np.where(mask, pref, bits)
+        return (bits.astype(np.int64) << np.arange(B)).sum(axis=-1)
+
+    def writeback(self, vdd_mv: float, noisy_lsbs: int) -> None:
+        """Refresh weights, then apply this step's pseudo-read corruption.
+
+        For the non-SRAM noise modes the weights stay clean and only
+        the equivalent noise *amplitude* (used to scale the LFSR / spin
+        perturbations) tracks the schedule.
+        """
+        self._current_noise_amp_code = self._error_model.expected_weight_noise(
+            vdd_mv, noisy_lsbs, self.weight_bits
+        )
+        if self._spin_amp_code is None:
+            self._spin_amp_code = self._current_noise_amp_code
+        if self._vc_own is None:
+            return
+        if noisy_lsbs == 0:
+            self.C_own = self.Q_own.copy()
+            self.C_prev = self.Q_prev.copy()
+            self.C_next = self.Q_next.copy()
+            return
+        self.C_own = self._corrupt(
+            self.Q_own, self._vc_own, self._pref_own, vdd_mv, noisy_lsbs
+        )
+        self.C_prev = self._corrupt(
+            self.Q_prev, self._vc_prev, self._pref_prev, vdd_mv, noisy_lsbs
+        )
+        self.C_next = self._corrupt(
+            self.Q_next, self._vc_next, self._pref_next, vdd_mv, noisy_lsbs
+        )
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def _refresh_boundaries(self) -> None:
+        last = self.order[np.arange(self.K), self.sizes - 1]
+        first = self.order[:, 0]
+        # Boundary element (local index in the *neighbour* cluster) seen
+        # by each cluster's window.
+        self.prev_last = np.roll(last, 1)
+        self.next_first = np.roll(first, -1)
+
+    def phase_groups(self) -> List[np.ndarray]:
+        """Chromatic update groups over the cluster cycle (odd/even)."""
+        return cycle_groups(self.K)
+
+    def sequence(self) -> np.ndarray:
+        """Level items in the current visiting order (global indices)."""
+        parts = [
+            self.groups[c][self.order[c, : self.sizes[c]]] for c in range(self.K)
+        ]
+        return np.concatenate(parts)
+
+    def objective(self) -> float:
+        """True (float) cyclic length of the current item sequence."""
+        seq = self.sequence()
+        pts = self.points[seq]
+        nxt = np.roll(pts, -1, axis=0)
+        return float(np.hypot(pts[:, 0] - nxt[:, 0], pts[:, 1] - nxt[:, 1]).sum())
+
+    # ------------------------------------------------------------------
+    # Energy computation (the MACs)
+    # ------------------------------------------------------------------
+    def _pair_energy(
+        self,
+        cs: np.ndarray,
+        pos: np.ndarray,
+        elem: np.ndarray,
+        left_elem: np.ndarray,
+        right_elem: np.ndarray,
+        prev_boundary: Optional[np.ndarray] = None,
+        next_boundary: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Local energy of spin (pos, elem) with explicit neighbours.
+
+        ``left_elem``/``right_elem`` are the local element ids occupying
+        positions pos−1 / pos+1 (ignored where the neighbour is the
+        boundary spin of the adjacent cluster).  ``prev_boundary`` /
+        ``next_boundary`` override the boundary spin element ids — used
+        for after-swap energies when the swap itself moves the
+        cluster's first/last element (only observable when a cluster is
+        its own neighbour, i.e. the K = 1 top level).
+        """
+        last = self.sizes[cs] - 1
+        at_first = pos == 0
+        at_last = pos == last
+        pb = self.prev_last[cs] if prev_boundary is None else prev_boundary
+        nb = self.next_first[cs] if next_boundary is None else next_boundary
+        # Clip override indices so gathers stay in range where masked.
+        le = np.where(at_first, 0, left_elem)
+        re = np.where(at_last, 0, right_elem)
+        lpos = np.where(at_first, 0, pos)  # any valid value when masked
+        left = np.where(
+            at_first,
+            self.C_prev[cs, pb, elem],
+            self.C_own[cs, lpos, 0, le, elem],
+        )
+        right = np.where(
+            at_last,
+            self.C_next[cs, nb, elem],
+            self.C_own[cs, pos, 1, re, elem],
+        )
+        return left + right
+
+    def local_energy(self, cs: np.ndarray, pos: np.ndarray) -> np.ndarray:
+        """Local energy of the spins currently at ``pos`` (MAC output)."""
+        cs = np.asarray(cs)
+        pos = np.asarray(pos)
+        elem = self.order[cs, pos]
+        left_elem = self.order[cs, np.maximum(pos - 1, 0)]
+        right_elem = self.order[cs, np.minimum(pos + 1, self.p - 1)]
+        return self._pair_energy(cs, pos, elem, left_elem, right_elem)
+
+    # ------------------------------------------------------------------
+    # Swap trials
+    # ------------------------------------------------------------------
+    def run_phase_trials(self, phase_cs: np.ndarray) -> Tuple[int, int]:
+        """One swap trial in every cluster of a phase (4 MAC cycles).
+
+        Returns ``(proposed, accepted)`` counts.  Mirrors the hardware
+        exactly: two local-energy MACs with the pre-swap spins, two
+        with the post-swap spins, accept when the (noisy) energy drops.
+        """
+        cs = np.asarray(phase_cs, dtype=np.int64)
+        cs = cs[self.sizes[cs] >= 2]
+        if cs.size == 0:
+            return 0, 0
+        s = self.sizes[cs]
+        u = self.rng.random((2, cs.size))
+        i = np.minimum((u[0] * s).astype(np.int64), s - 1)
+        j = np.minimum((u[1] * s).astype(np.int64), s - 1)
+        lo = np.minimum(i, j)
+        hi = np.maximum(i, j)
+        pick = lo != hi
+        cs, lo, hi = cs[pick], lo[pick], hi[pick]
+        if cs.size == 0:
+            return 0, 0
+
+        order = self.order
+        k = order[cs, lo]  # element at the lower position
+        l = order[cs, hi]  # element at the higher position
+
+        # --- before-swap energies (2 MAC cycles) -----------------------
+        e_before = self.local_energy(cs, lo) + self.local_energy(cs, hi)
+
+        # --- after-swap energies (2 MAC cycles) ------------------------
+        adjacent = hi == lo + 1
+        # When a cluster is its own neighbour (K = 1, the top level),
+        # moving the first/last element also moves the boundary spin the
+        # window sees; compute the post-swap boundary ids.
+        if self.K == 1:
+            last_pos = self.sizes[cs] - 1
+            prev_after = np.where(hi == last_pos, k, order[cs, last_pos])
+            next_after = np.where(lo == 0, l, order[cs, 0])
+        else:
+            prev_after = next_after = None
+        # Spin (lo, l): left neighbour unchanged, right becomes k if adjacent.
+        left_lo = order[cs, np.maximum(lo - 1, 0)]
+        right_lo = np.where(adjacent, k, order[cs, np.minimum(lo + 1, self.p - 1)])
+        e_after_lo = self._pair_energy(
+            cs, lo, l, left_lo, right_lo, prev_after, next_after
+        )
+        # Spin (hi, k): right neighbour unchanged, left becomes l if adjacent.
+        left_hi = np.where(adjacent, l, order[cs, np.maximum(hi - 1, 0)])
+        right_hi = order[cs, np.minimum(hi + 1, self.p - 1)]
+        e_after_hi = self._pair_energy(
+            cs, hi, k, left_hi, right_hi, prev_after, next_after
+        )
+
+        delta = (e_after_lo + e_after_hi - e_before).astype(np.float64)
+
+        # --- non-SRAM noise ablations ----------------------------------
+        amp = self._current_noise_amp_code
+        if self.noise_source is NoiseSource.LFSR and amp > 0:
+            # Temporal PRNG perturbation with the schedule's amplitude
+            # (≈4 independent weight reads per delta → 2·amp spread).
+            delta = delta + 2.0 * amp * self._rs.child(
+                f"lfsr/{self.trials_proposed}"
+            ).standard_normal(cs.size)
+        if self.noise_target is NoiseTarget.SPINS:
+            # Spatial-only noise at a fixed (never-annealed) amplitude:
+            # the same proposal always sees the same offset, and [4]'s
+            # single lowered V_DD means it never decays either.
+            spin_amp = self._spin_amp_code or 0.0
+            if spin_amp > 0:
+                delta = delta + 2.0 * spin_amp * self._spin_offsets[cs, lo, hi]
+
+        if self.noise_source is NoiseSource.METROPOLIS and amp > 0:
+            # Idealised baseline: exact energies, Boltzmann acceptance
+            # at a temperature tracking the noise-amplitude schedule.
+            u = self._rs.child(
+                f"metropolis/{self.trials_proposed}"
+            ).random(cs.size)
+            accept = (delta < 0) | (u < np.exp(-np.maximum(delta, 0.0) / amp))
+        else:
+            accept = delta < 0
+        acc = cs[accept]
+        if acc.size:
+            alo, ahi = lo[accept], hi[accept]
+            tmp = order[acc, alo].copy()
+            order[acc, alo] = order[acc, ahi]
+            order[acc, ahi] = tmp
+            self._refresh_boundaries()
+
+        self.trials_proposed += int(cs.size)
+        self.trials_accepted += int(acc.size)
+        return int(cs.size), int(acc.size)

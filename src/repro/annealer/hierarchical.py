@@ -1,0 +1,174 @@
+"""The hierarchical clustered CIM annealer (Fig. 4, right).
+
+End-to-end solve:
+
+1. **Cluster** bottom-up with the configured strategy.
+2. **Top level** — the ≤ ``top_size`` super-clusters are ordered by the
+   same windowed swap-annealer, run as a single window whose boundary
+   wraps onto itself (a cyclic TSP over the top centroids).
+3. **Descend** — for each level, the cluster sequence fixed above is
+   refined by annealing the internal order of every cluster against its
+   neighbours' boundary spins, on noisy quantised CIM weights, with
+   odd/even clusters updating in alternating parallel phases.
+4. The bottom level's item sequence is the city tour.
+
+Hardware events accumulate in one :class:`repro.cim.macro.CIMChip`
+(arrays are time-multiplexed across levels, so the bottom level sets
+the provisioned window count).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import List, Optional
+
+import numpy as np
+
+from repro.annealer.cluster_tsp import solve_level
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.engine import ClusterLevelEngine
+from repro.annealer.result import AnnealResult, LevelReport
+from repro.annealer.trace import ConvergenceTrace
+from repro.cim.macro import CIMChip
+from repro.clustering.hierarchy import ClusterTree, build_hierarchy
+from repro.errors import AnnealerError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import tour_length
+
+
+class ClusteredCIMAnnealer:
+    """Public solver API of the reproduction.
+
+    Example
+    -------
+    >>> from repro.tsp import random_uniform
+    >>> from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+    >>> inst = random_uniform(200, seed=1)
+    >>> result = ClusteredCIMAnnealer(AnnealerConfig(seed=7)).solve(inst)
+    >>> result.tour.shape
+    (200,)
+    """
+
+    def __init__(self, config: Optional[AnnealerConfig] = None):
+        self.config = config or AnnealerConfig()
+
+    # ------------------------------------------------------------------
+    def build_tree(self, instance: TSPInstance) -> ClusterTree:
+        """Cluster the instance with the configured strategy."""
+        return build_hierarchy(
+            instance,
+            self.config.strategy,
+            top_size=self.config.top_size,
+            seed=self.config.seed,
+        )
+
+    def _make_engine(
+        self,
+        points: np.ndarray,
+        groups: List[np.ndarray],
+        p: int,
+        level_tag: str,
+    ) -> ClusterLevelEngine:
+        cfg = self.config
+        # Distinct fabrication/proposal seed per level, derived from the
+        # master seed so the whole solve is reproducible.
+        seed = (
+            cfg.seed * 1_000_003 + zlib.crc32(level_tag.encode("utf-8"))
+        ) % (2**31 - 1)
+        return ClusterLevelEngine(
+            points=points,
+            groups=groups,
+            p=p,
+            weight_bits=cfg.weight_bits,
+            cell_params=cfg.cell_params,
+            noise_source=cfg.noise_source,
+            noise_target=cfg.noise_target,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def solve(self, instance: TSPInstance) -> AnnealResult:
+        """Run the full hierarchical anneal and return the result."""
+        cfg = self.config
+        start = time.perf_counter()
+        tree = self.build_tree(instance)
+        n_levels = tree.n_levels
+
+        hardware_p = cfg.strategy.hardware_p()
+        chip_p = hardware_p or tree.max_level_size()
+        chip = CIMChip(
+            p=chip_p,
+            n_clusters=cfg.strategy.provisioned_clusters(instance.n),
+            weight_bits=cfg.weight_bits,
+        )
+        trace = ConvergenceTrace() if cfg.record_trace else None
+        reports: List[LevelReport] = []
+
+        # ---- top level: order the super-clusters -----------------------
+        top = tree.levels[-1]
+        top_points = top.centroids
+        k_top = top.n_clusters
+        if k_top == 1:
+            cluster_order = np.array([0], dtype=np.int64)
+        else:
+            engine = self._make_engine(
+                points=top_points,
+                groups=[np.arange(k_top, dtype=np.int64)],
+                p=k_top,
+                level_tag=f"top/{n_levels}",
+            )
+            reports.append(
+                solve_level(
+                    engine,
+                    cfg.schedule,
+                    level=n_levels,  # top solve labelled one above
+                    chip=chip,
+                    trace=trace,
+                    trace_every=cfg.trace_every,
+                    parallel_update=cfg.parallel_update,
+                )
+            )
+            cluster_order = engine.sequence()
+
+        # ---- descend the hierarchy -------------------------------------
+        for level_idx in range(n_levels - 1, -1, -1):
+            level = tree.levels[level_idx]
+            points = tree.points_at(level_idx)
+            groups = [level.members[int(c)] for c in cluster_order]
+            max_size = int(max(g.size for g in groups))
+            p = max(hardware_p or 1, max_size)
+            engine = self._make_engine(
+                points=points,
+                groups=groups,
+                p=p,
+                level_tag=f"level/{level_idx}",
+            )
+            reports.append(
+                solve_level(
+                    engine,
+                    cfg.schedule,
+                    level=level_idx,
+                    chip=chip,
+                    trace=trace,
+                    trace_every=cfg.trace_every,
+                    parallel_update=cfg.parallel_update,
+                )
+            )
+            cluster_order = engine.sequence()
+
+        tour = cluster_order
+        if tour.size != instance.n:
+            raise AnnealerError(
+                f"hierarchy produced {tour.size} cities, expected {instance.n}"
+            )
+        length = tour_length(instance, tour)
+        return AnnealResult(
+            instance=instance,
+            tour=tour,
+            length=length,
+            chip=chip,
+            levels=reports,
+            trace=trace,
+            wall_time_s=time.perf_counter() - start,
+        )

@@ -1,0 +1,106 @@
+"""Results of a hierarchical anneal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.annealer.trace import ConvergenceTrace
+from repro.cim.macro import CIMChip
+from repro.errors import AnnealerError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import tour_length, validate_tour
+
+
+@dataclass
+class LevelReport:
+    """Statistics of one annealed hierarchy level."""
+
+    level: int
+    n_items: int
+    n_clusters: int
+    p: int
+    iterations: int
+    swaps_proposed: int
+    swaps_accepted: int
+    objective_before: float
+    objective_after: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposed swaps accepted at this level."""
+        return self.swaps_accepted / max(1, self.swaps_proposed)
+
+    @property
+    def improvement(self) -> float:
+        """Relative objective reduction at this level."""
+        if self.objective_before == 0:
+            return 0.0
+        return (self.objective_before - self.objective_after) / self.objective_before
+
+
+@dataclass
+class AnnealResult:
+    """Everything a solve produces.
+
+    Attributes
+    ----------
+    instance:
+        The problem solved.
+    tour:
+        Final city visiting order (validated permutation).
+    length:
+        Tour length on the true (unquantised) metric.
+    chip:
+        The CIM chip with recorded hardware-event counters (feed it to
+        :func:`repro.hardware.evaluate_ppa` for time/energy).
+    levels:
+        Per-level statistics, top level first.
+    trace:
+        Convergence samples (present when the config asked for them).
+    wall_time_s:
+        Host wall-clock of the simulation (not the hardware time!).
+    """
+
+    instance: TSPInstance
+    tour: np.ndarray
+    length: float
+    chip: Optional[CIMChip] = None
+    levels: List[LevelReport] = field(default_factory=list)
+    trace: Optional[ConvergenceTrace] = None
+    wall_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.tour = validate_tour(self.tour, self.instance.n)
+        recomputed = tour_length(self.instance, self.tour)
+        if abs(recomputed - self.length) > max(1e-6, 1e-9 * abs(recomputed)):
+            raise AnnealerError(
+                f"reported length {self.length} does not match tour "
+                f"({recomputed})"
+            )
+
+    def optimal_ratio(self, reference_length: float) -> float:
+        """Tour length / reference — the paper's quality metric."""
+        if reference_length <= 0:
+            raise AnnealerError(
+                f"reference_length must be > 0, got {reference_length}"
+            )
+        return self.length / reference_length
+
+    @property
+    def total_swaps_accepted(self) -> int:
+        """Accepted swaps across all levels."""
+        return sum(lv.swaps_accepted for lv in self.levels)
+
+    @property
+    def n_levels(self) -> int:
+        """Hierarchy levels annealed (including the top solve)."""
+        return len(self.levels)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnealResult(n={self.instance.n}, length={self.length:.1f}, "
+            f"levels={self.n_levels})"
+        )

@@ -1,0 +1,56 @@
+"""Convergence-trace recording (Fig. 2-style energy curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnnealerError
+
+
+@dataclass
+class ConvergenceTrace:
+    """Objective-vs-iteration samples across the hierarchical anneal.
+
+    Samples are ``(level, iteration, objective)`` tuples; the objective
+    is the true (float, unquantised) length of the level's current item
+    sequence.  Because upper levels order centroids, objectives are
+    comparable *within* a level but jump between levels — plots should
+    group by level (the benchmark harness does).
+    """
+
+    samples: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def record(self, level: int, iteration: int, objective: float) -> None:
+        """Append one sample."""
+        if iteration < 0:
+            raise AnnealerError(f"iteration must be >= 0, got {iteration}")
+        self.samples.append((level, iteration, float(objective)))
+
+    def level_series(self, level: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(iterations, objectives)`` arrays for one level."""
+        pts = [(it, obj) for lv, it, obj in self.samples if lv == level]
+        if not pts:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        its, objs = zip(*pts)
+        return np.asarray(its, dtype=np.int64), np.asarray(objs)
+
+    def levels(self) -> List[int]:
+        """Distinct levels present, in recording order."""
+        seen: List[int] = []
+        for lv, _, _ in self.samples:
+            if lv not in seen:
+                seen.append(lv)
+        return seen
+
+    def improvement(self, level: int) -> Optional[float]:
+        """Relative objective drop over one level (first → last sample)."""
+        _, objs = self.level_series(level)
+        if objs.size < 2 or objs[0] == 0:
+            return None
+        return float((objs[0] - objs[-1]) / objs[0])
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,44 @@
+"""Digital compute-in-memory substrate (Sec. III-B).
+
+Bit-accurate behavioural model of the proposed digital CIM macro:
+
+* :mod:`repro.cim.quantize` — 8-bit weight quantisation;
+* :mod:`repro.cim.cell` — the 14T bit cell (6T SRAM + 4T NOR multiply
+  + two 2T transmission gates for the cell/window MUXes);
+* :mod:`repro.cim.adder_tree` — shift-and-add accumulation over a
+  window column;
+* :mod:`repro.cim.window` — the compact (p²+2p)×p² weight window of
+  Fig. 3(c), including its expansion from element distances and the
+  per-bit-cell spatial noise;
+* :mod:`repro.cim.array` — a 5×2-window CIM array with cell/window MUX
+  semantics and cycle counting (Table II geometry);
+* :mod:`repro.cim.mapping` — cluster → (array, window slot) compact
+  mapping and inter-array p-bit dataflow accounting (Fig. 5e);
+* :mod:`repro.cim.macro` — the multi-array chip with aggregate
+  cycle/write/transfer counters consumed by the PPA models.
+
+The vectorised annealer engine (:mod:`repro.annealer.engine`) computes
+the same MACs with batched numpy gathers for speed; the classes here
+are the golden reference it is tested against, plus the source of all
+hardware-event counts.
+"""
+
+from repro.cim.adder_tree import AdderTree
+from repro.cim.cell import Cell14T
+from repro.cim.mapping import ClusterWindowMapping
+from repro.cim.macro import CIMChip
+from repro.cim.quantize import WeightQuantizer
+from repro.cim.window import WeightWindow, window_shape
+
+from repro.cim.array import CIMArray  # noqa: E402  (after window)
+
+__all__ = [
+    "WeightQuantizer",
+    "Cell14T",
+    "AdderTree",
+    "WeightWindow",
+    "window_shape",
+    "CIMArray",
+    "ClusterWindowMapping",
+    "CIMChip",
+]

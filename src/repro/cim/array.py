@@ -1,0 +1,129 @@
+"""A CIM memory array: 5×2 windows with MUX semantics (Table II).
+
+The paper's arrays stack five rows and two columns of windows.  The
+two window columns hold alternating clusters (even-phase / odd-phase),
+so the window MUX enables exactly one column per update cycle and all
+five windows of that column compute one MAC each, concurrently.  The
+cell MUX (shared along a window row) picks which parameter column
+inside the enabled windows is reduced by the adder trees.
+
+Array bit-geometry (reproducing Table II):
+
+* rows  = 5 · (p² + 2p)
+* cols  = 2 · p² · weight_bits        (one bit column per weight bit)
+
+This class is the golden functional model for small problems and
+tests; large runs use the counter-only :class:`repro.cim.macro.CIMChip`
+plus the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cim.window import WeightWindow, window_shape
+from repro.errors import CIMError
+from repro.sram.cell import SRAMCellParams
+from repro.utils.rng import RandomState
+
+#: Window grid per array (Table II: "five rows and two columns").
+WINDOW_ROWS = 5
+WINDOW_COLS = 2
+WINDOWS_PER_ARRAY = WINDOW_ROWS * WINDOW_COLS
+
+
+def array_bit_geometry(p: int, weight_bits: int = 8) -> Tuple[int, int]:
+    """``(bit_rows, bit_cols)`` of one array — reproduces Table II.
+
+    >>> array_bit_geometry(2)
+    (40, 64)
+    >>> array_bit_geometry(3)
+    (75, 144)
+    >>> array_bit_geometry(4)
+    (120, 256)
+    """
+    rows, cols = window_shape(p)
+    return (WINDOW_ROWS * rows, WINDOW_COLS * cols * weight_bits)
+
+
+class CIMArray:
+    """A materialised 5×2-window array.
+
+    Parameters
+    ----------
+    p:
+        Window dimension (cluster size cap).
+    weight_bits:
+        Weight precision.
+    cell_params:
+        SRAM population parameters shared by all windows.
+    seed:
+        Fabrication seed; each window gets a derived stream so two
+        arrays with different seeds are different dice.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        weight_bits: int = 8,
+        cell_params: Optional[SRAMCellParams] = None,
+        seed: int = 0,
+    ):
+        self.p = p
+        self.weight_bits = weight_bits
+        rs = RandomState(seed)
+        self.windows: List[WeightWindow] = [
+            WeightWindow(
+                p,
+                weight_bits=weight_bits,
+                cell_params=cell_params,
+                seed=rs.child(f"window/{w}"),
+            )
+            for w in range(WINDOWS_PER_ARRAY)
+        ]
+        self.mac_cycles = 0
+
+    def window_at(self, row: int, col: int) -> WeightWindow:
+        """The window in grid slot (row, col)."""
+        if not (0 <= row < WINDOW_ROWS and 0 <= col < WINDOW_COLS):
+            raise CIMError(f"window slot ({row},{col}) out of 5x2 grid")
+        return self.windows[row * WINDOW_COLS + col]
+
+    @property
+    def bit_rows(self) -> int:
+        """Physical SRAM rows (Table II array height)."""
+        return array_bit_geometry(self.p, self.weight_bits)[0]
+
+    @property
+    def bit_cols(self) -> int:
+        """Physical SRAM bit columns (Table II array width)."""
+        return array_bit_geometry(self.p, self.weight_bits)[1]
+
+    def compute_cycle(
+        self,
+        window_col: int,
+        columns: List[int],
+        inputs: List[np.ndarray],
+        vdd_mv: float = 800.0,
+        noisy_lsbs: int = 0,
+    ) -> List[int]:
+        """One update cycle: every window of ``window_col`` does one MAC.
+
+        ``columns[r]`` / ``inputs[r]`` select the parameter column and
+        spin input of window row ``r``; both lists must have length 5.
+        Returns the five MAC results.
+        """
+        if window_col not in (0, 1):
+            raise CIMError(f"window_col must be 0 or 1, got {window_col}")
+        if len(columns) != WINDOW_ROWS or len(inputs) != WINDOW_ROWS:
+            raise CIMError(f"need {WINDOW_ROWS} column/input selections")
+        results = []
+        for r in range(WINDOW_ROWS):
+            win = self.window_at(r, window_col)
+            results.append(
+                win.mac(columns[r], inputs[r], vdd_mv=vdd_mv, noisy_lsbs=noisy_lsbs)
+            )
+        self.mac_cycles += 1
+        return results

@@ -1,0 +1,90 @@
+"""The proposed 14T digital CIM bit cell (Fig. 5b).
+
+Composition:
+
+* **6T SRAM** — stores one weight bit at its storage node;
+* **4T NOR** — multiplies the stored bit by the 1-bit input without a
+  sense-amplifier read.  With the input applied in complemented form,
+  ``NOR(in_b, w_b_complement)`` realises ``input AND weight``, which is
+  the 1-bit product;
+* **2T transmission gate (cell MUX)** — connects the product to the
+  adder tree only when this *parameter column inside the window* is
+  selected (control shared along an entire row of windows);
+* **2T transmission gate (window MUX)** — enables the cell only when
+  its *window column* is selected (control shared along an entire
+  column of windows; odd/even cluster phases alternate).
+
+:class:`Cell14T` models the functional behaviour exactly — including
+the noisy storage node, whose value may differ from the programmed bit
+after a reduced-V_DD pseudo-read (see :mod:`repro.sram.cell`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CIMError
+
+
+@dataclass
+class Cell14T:
+    """One 14T digital CIM bit cell.
+
+    Attributes
+    ----------
+    stored:
+        Programmed weight bit (what write-back restores).
+    node:
+        Current storage-node value; may deviate from ``stored`` after a
+        destabilising pseudo-read.
+    critical_voltage_mv:
+        Fabrication-determined supply voltage below which pseudo-read
+        destabilises the latch.
+    preferred:
+        State the latch resolves to when destabilised.
+    """
+
+    stored: int = 0
+    node: int = 0
+    critical_voltage_mv: float = 0.0
+    preferred: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("stored", "node", "preferred"):
+            v = getattr(self, name)
+            if v not in (0, 1):
+                raise CIMError(f"{name} must be 0 or 1, got {v!r}")
+
+    def write(self, bit: int) -> None:
+        """Program the cell (write-back): storage node = stored = bit."""
+        if bit not in (0, 1):
+            raise CIMError(f"bit must be 0 or 1, got {bit!r}")
+        self.stored = bit
+        self.node = bit
+
+    def pseudo_read(self, vdd_mv: float) -> int:
+        """Expose the node at supply ``vdd_mv``; may flip it (sticky)."""
+        if vdd_mv <= 0:
+            raise CIMError(f"vdd_mv must be > 0, got {vdd_mv}")
+        if vdd_mv < self.critical_voltage_mv:
+            self.node = self.preferred
+        return self.node
+
+    def multiply(
+        self,
+        input_bit: int,
+        cell_mux_on: bool,
+        window_mux_on: bool,
+        vdd_mv: float = 800.0,
+    ) -> int:
+        """1-bit product delivered to the adder tree this cycle.
+
+        Zero when either transmission gate is off (deselected column or
+        window); otherwise ``input AND node`` where the node value comes
+        from a pseudo-read at the plane's supply voltage.
+        """
+        if input_bit not in (0, 1):
+            raise CIMError(f"input_bit must be 0 or 1, got {input_bit!r}")
+        if not (cell_mux_on and window_mux_on):
+            return 0
+        return input_bit & self.pseudo_read(vdd_mv)

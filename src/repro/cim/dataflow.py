@@ -1,0 +1,163 @@
+"""Intra- and inter-array dataflow (Fig. 5e).
+
+The HNN is recurrent: each update's output spins are the next update's
+input spins.  Fig. 5e shows how that recurrence is wired:
+
+* **intra-array** — the input register is *shifted upward* between the
+  solid (even-cluster) and dash (odd-cluster) phases so the spin
+  segments line up with the relocated weight windows;
+* **inter-array** — only boundary spins cross arrays: during solid
+  phases each array needs the last element of the cluster *above* its
+  first cluster (p bits from upstream); during dash phases the first
+  element of the cluster *below* its last cluster (p bits from
+  downstream).
+
+:class:`DataflowSimulator` plays the schedule over an explicit register
+model and verifies, cycle by cycle, that every window's boundary inputs
+are either locally resident or delivered by exactly one p-bit seam
+transfer — the property that makes the paper's "data transmissions ...
+are very trivial" claim true.  The test suite asserts it against the
+:class:`repro.cim.mapping.ClusterWindowMapping` seam accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.cim.mapping import ClusterWindowMapping
+from repro.errors import CIMError
+
+
+@dataclass
+class TransferRecord:
+    """One seam transfer: p bits moved between adjacent arrays."""
+
+    phase: int
+    from_array: int
+    to_array: int
+    cluster: int      # the cluster whose boundary spin is needed
+    for_cluster: int  # the cluster being updated
+
+    @property
+    def is_wrap(self) -> bool:
+        """True for the single ring-closing transfer (first <-> last)."""
+        return abs(self.cluster - self.for_cluster) > 1
+
+
+@dataclass
+class DataflowSimulator:
+    """Registers + transfer log for one level's update schedule.
+
+    Parameters
+    ----------
+    n_clusters:
+        Clusters at the level (mapped 10 per array).
+    p:
+        Window dimension (boundary transfers move p bits).
+    """
+
+    n_clusters: int
+    p: int
+    _resident: Dict[int, Set[int]] = field(default_factory=dict)
+    transfers: List[TransferRecord] = field(default_factory=list)
+    iterations_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise CIMError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        self.mapping = ClusterWindowMapping(self.n_clusters, self.p)
+        # Initially every array holds the spin registers of exactly the
+        # clusters mapped to it.
+        for c in range(self.n_clusters):
+            array = self.mapping.slot_of(c)[0]
+            self._resident.setdefault(array, set()).add(c)
+
+    # ------------------------------------------------------------------
+    def array_of(self, cluster: int) -> int:
+        """Array hosting a cluster's spin register."""
+        return self.mapping.slot_of(cluster)[0]
+
+    def boundary_needed(self, cluster: int, phase: int) -> int:
+        """Which neighbour cluster's boundary spin this phase reads.
+
+        Solid (phase 0) windows read the previous cluster's last
+        element; dash (phase 1) windows read the next cluster's first
+        element.
+        """
+        if phase == 0:
+            return (cluster - 1) % self.n_clusters
+        if phase == 1:
+            return (cluster + 1) % self.n_clusters
+        raise CIMError(f"phase must be 0 or 1, got {phase}")
+
+    def run_phase(self, phase: int) -> Tuple[int, int]:
+        """Execute one phase; return (local_reads, seam_transfers).
+
+        For every cluster updated this phase, locate its needed
+        boundary spin: if it is resident in the same array, the read is
+        local (input-register shift); otherwise schedule one p-bit
+        transfer from the hosting array (upstream→downstream for solid
+        phases, downstream→upstream for dash phases, per Fig. 5e).
+        """
+        local = 0
+        seams = 0
+        for cluster in self.mapping.clusters_in_phase(phase):
+            neighbour = self.boundary_needed(cluster, phase)
+            here = self.array_of(cluster)
+            there = self.array_of(neighbour)
+            if there == here:
+                local += 1
+                continue
+            seams += 1
+            self.transfers.append(
+                TransferRecord(
+                    phase=phase, from_array=there, to_array=here,
+                    cluster=neighbour, for_cluster=cluster,
+                )
+            )
+        return local, seams
+
+    def run_iteration(self) -> Tuple[int, int]:
+        """Run both phases; return totals (local_reads, seam_transfers)."""
+        l0, s0 = self.run_phase(0)
+        l1, s1 = self.run_phase(1)
+        self.iterations_run += 1
+        return l0 + l1, s0 + s1
+
+    # ------------------------------------------------------------------
+    def verify_against_mapping(self) -> None:
+        """Check the transfer log matches the mapping's seam accounting.
+
+        Raises :class:`CIMError` on any mismatch — used by the tests as
+        the dataflow/mapping consistency oracle.  Requires at least one
+        full :meth:`run_iteration`.
+        """
+        if self.iterations_run == 0:
+            raise CIMError("run at least one iteration before verifying")
+        by_phase: Dict[int, int] = {0: 0, 1: 0}
+        for t in self.transfers:
+            by_phase[t.phase] += 1
+        for phase in (0, 1):
+            expected = self.mapping.transfers_per_phase(phase)
+            got = by_phase[phase] / self.iterations_run
+            if abs(got - expected) > 1e-9:
+                raise CIMError(
+                    f"phase {phase}: {got} transfers/iteration, mapping "
+                    f"says {expected}"
+                )
+
+    def transfer_directions_follow_fig5e(self) -> bool:
+        """Solid transfers flow downstream, dash transfers upstream.
+
+        "Downstream" = towards higher array index along the cluster
+        chain (ignoring the single cyclic wrap link).
+        """
+        for t in self.transfers:
+            if t.is_wrap:
+                continue  # the ring-closing link flows "backwards" by design
+            if t.phase == 0 and t.from_array > t.to_array:
+                return False
+            if t.phase == 1 and t.from_array < t.to_array:
+                return False
+        return True

@@ -1,0 +1,66 @@
+"""Weight quantisation for the CIM arrays.
+
+The paper stores 8-bit weights ("to ensure solution quality" and to
+give "sufficient granularity for noise control").  Distances at one
+annealing level are quantised with a shared linear scale so MAC results
+remain comparable across clusters:
+
+    code = round(d / scale),   scale = d_max / (2^bits − 1)
+
+The quantiser is deliberately simple (unsigned, zero-anchored) because
+TSP edge weights are non-negative; the reconstruction error is at most
+scale/2 per weight, which at 8 bits is ≤ 0.2% of the largest window
+distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CIMError
+
+
+class WeightQuantizer:
+    """Linear unsigned quantiser shared by all windows of one level.
+
+    Parameters
+    ----------
+    max_value:
+        Largest distance that must be representable (the level's
+        maximum window entry).
+    bits:
+        Weight precision (paper: 8).
+    """
+
+    def __init__(self, max_value: float, bits: int = 8):
+        if bits < 1 or bits > 16:
+            raise CIMError(f"bits must be in [1,16], got {bits}")
+        if max_value < 0 or not np.isfinite(max_value):
+            raise CIMError(f"max_value must be finite and >= 0, got {max_value}")
+        self.bits = bits
+        self.levels = (1 << bits) - 1
+        # A zero max (degenerate single-point windows) still needs a
+        # valid scale; any positive value works since all codes are 0.
+        self.scale = (max_value / self.levels) if max_value > 0 else 1.0
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Float distances → integer codes (clipped to the code range)."""
+        v = np.asarray(values, dtype=np.float64)
+        if np.any(v < 0):
+            raise CIMError("distances must be non-negative")
+        codes = np.round(v / self.scale)
+        return np.clip(codes, 0, self.levels).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes → reconstructed float distances."""
+        c = np.asarray(codes)
+        if np.any(c < 0) or np.any(c > self.levels):
+            raise CIMError(f"codes out of range [0, {self.levels}]")
+        return c.astype(np.float64) * self.scale
+
+    def quantization_error_bound(self) -> float:
+        """Worst-case absolute reconstruction error (scale / 2)."""
+        return self.scale / 2.0
+
+    def __repr__(self) -> str:
+        return f"WeightQuantizer(bits={self.bits}, scale={self.scale:.6g})"

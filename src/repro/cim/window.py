@@ -1,0 +1,203 @@
+"""The compact weight window of Fig. 3(c).
+
+One window holds every coupling a cluster's spins participate in:
+
+* **columns** — the cluster's own p² spins (position-major:
+  ``col = position · p + element``);
+* **rows** — the same p² own spins plus 2p *boundary* spins: the p
+  elements of the previous cluster (each a candidate occupant of the
+  preceding boundary position) and the p elements of the next cluster.
+
+The stored value at (row, col) is the quantised distance between the
+two entities when their positions are adjacent in the tour, else 0 —
+so a MAC of the full one-hot spin input against one column yields that
+spin's local energy, Eq. (2), and the window is storage-complete: it
+never needs reprogramming when a *neighbouring* cluster reorders (only
+the input spins change).
+
+Every bit cell carries its own process-variation fingerprint
+(:class:`repro.sram.noise.SpatialNoiseField`), so the same element
+distance stored at different (row, col) cells corrupts differently —
+the spatial-to-temporal noise conversion of Sec. IV-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cim.adder_tree import AdderTree
+from repro.errors import CIMError
+from repro.sram.cell import SRAMCellParams
+from repro.sram.noise import SpatialNoiseField
+from repro.utils.rng import SeedLike
+
+
+def window_shape(p: int) -> Tuple[int, int]:
+    """``(p²+2p, p²)`` — rows × columns of a cluster window."""
+    if p < 1:
+        raise CIMError(f"p must be >= 1, got {p}")
+    return (p * p + 2 * p, p * p)
+
+
+def expand_spin_window(
+    d_own: np.ndarray,
+    d_prev: np.ndarray,
+    d_next: np.ndarray,
+    p: int,
+    size: Optional[int] = None,
+) -> np.ndarray:
+    """Tile element distances into the spin-level window matrix.
+
+    Parameters
+    ----------
+    d_own:
+        ``(s, s)`` quantised intra-cluster distances.
+    d_prev:
+        ``(s_prev, s)`` distances from previous-cluster elements.
+    d_next:
+        ``(s_next, s)`` distances from next-cluster elements.
+    p:
+        Provisioned window dimension (p_max); s, s_prev, s_next ≤ p.
+        Unused rows/columns stay 0 — the paper's "redundant columns".
+    size:
+        Actual cluster size s (default: inferred from ``d_own``).
+    """
+    d_own = np.asarray(d_own)
+    d_prev = np.asarray(d_prev)
+    d_next = np.asarray(d_next)
+    s = size if size is not None else d_own.shape[0]
+    if d_own.shape != (s, s):
+        raise CIMError(f"d_own must be ({s},{s}), got {d_own.shape}")
+    if s > p or d_prev.shape[0] > p or d_next.shape[0] > p:
+        raise CIMError("cluster or neighbour size exceeds window dimension p")
+    if d_prev.shape[1] != s or d_next.shape[1] != s:
+        raise CIMError("boundary distance column count must equal cluster size")
+
+    rows, cols = window_shape(p)
+    W = np.zeros((rows, cols), dtype=np.int64)
+
+    # Own-spin rows: adjacent positions only.
+    for i in range(s):  # column position
+        for k in range(s):  # column element
+            col = i * p + k
+            for j in (i - 1, i + 1):  # adjacent row position
+                if not 0 <= j < s:
+                    continue
+                for l in range(s):  # row element
+                    if l == k:
+                        continue  # an element cannot occupy two positions
+                    W[j * p + l, col] = d_own[l, k]
+    # Boundary rows: previous cluster feeds position 0, next feeds s-1.
+    for k in range(s):
+        for l in range(d_prev.shape[0]):
+            W[p * p + l, 0 * p + k] = d_prev[l, k]
+        for l in range(d_next.shape[0]):
+            W[p * p + p + l, (s - 1) * p + k] = d_next[l, k]
+    return W
+
+
+class WeightWindow:
+    """One programmable cluster window with noisy bit cells.
+
+    This is the bit-exact golden model: :meth:`mac` pseudo-reads the
+    selected column through the noise field and reduces it with the
+    adder tree.  The vectorised annealer engine reproduces these values
+    with batched gathers and is tested against this class.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        weight_bits: int = 8,
+        cell_params: Optional[SRAMCellParams] = None,
+        seed: SeedLike = None,
+    ):
+        self.p = p
+        self.rows, self.cols = window_shape(p)
+        self.weight_bits = weight_bits
+        self.noise = SpatialNoiseField(
+            (self.rows, self.cols),
+            weight_bits=weight_bits,
+            params=cell_params,
+            seed=seed,
+        )
+        self._stored = np.zeros((self.rows, self.cols), dtype=np.int64)
+        self._tree = AdderTree(self.rows, weight_bits)
+        self.write_count = 0
+        self.mac_count = 0
+
+    # ------------------------------------------------------------------
+    def col_index(self, position: int, element: int) -> int:
+        """Column of spin (position, element)."""
+        if not (0 <= position < self.p and 0 <= element < self.p):
+            raise CIMError(
+                f"(position={position}, element={element}) outside p={self.p}"
+            )
+        return position * self.p + element
+
+    def own_row(self, position: int, element: int) -> int:
+        """Row of an own spin (same indexing as columns)."""
+        return self.col_index(position, element)
+
+    def prev_row(self, element: int) -> int:
+        """Row of a previous-cluster boundary spin."""
+        if not 0 <= element < self.p:
+            raise CIMError(f"element {element} outside p={self.p}")
+        return self.p * self.p + element
+
+    def next_row(self, element: int) -> int:
+        """Row of a next-cluster boundary spin."""
+        if not 0 <= element < self.p:
+            raise CIMError(f"element {element} outside p={self.p}")
+        return self.p * self.p + self.p + element
+
+    # ------------------------------------------------------------------
+    def program(self, weights: np.ndarray) -> None:
+        """Write-back: program the full window with correct codes."""
+        w = np.asarray(weights)
+        if w.shape != (self.rows, self.cols):
+            raise CIMError(
+                f"weights must be ({self.rows},{self.cols}), got {w.shape}"
+            )
+        if np.any(w < 0) or np.any(w >= (1 << self.weight_bits)):
+            raise CIMError("weight codes out of storage range")
+        self._stored = w.astype(np.int64).copy()
+        self.write_count += 1
+
+    @property
+    def stored(self) -> np.ndarray:
+        """Programmed (correct) weight codes."""
+        return self._stored
+
+    def effective_weights(self, vdd_mv: float, noisy_lsbs: int) -> np.ndarray:
+        """Corrupted codes as seen through pseudo-read this step."""
+        return self.noise.corrupt(self._stored, vdd_mv, noisy_lsbs)
+
+    def mac(
+        self,
+        column: int,
+        input_bits: np.ndarray,
+        vdd_mv: float = 800.0,
+        noisy_lsbs: int = 0,
+    ) -> int:
+        """Local-energy MAC of one column against the spin input.
+
+        Bit-exact path: every selected bit cell produces its 1-bit
+        product (input AND pseudo-read node value) and the adder tree
+        reduces them.
+        """
+        if not 0 <= column < self.cols:
+            raise CIMError(f"column {column} out of range 0..{self.cols - 1}")
+        x = np.asarray(input_bits)
+        if x.shape != (self.rows,):
+            raise CIMError(f"input must have shape ({self.rows},), got {x.shape}")
+        if not np.isin(x, (0, 1)).all():
+            raise CIMError("input must be 1-bit values")
+        weights = self.effective_weights(vdd_mv, noisy_lsbs)[:, column]
+        bits = (weights[:, None] >> np.arange(self.weight_bits)) & 1
+        products = bits * x[:, None]
+        mac, _ = self._tree.reduce(products)
+        self.mac_count += 1
+        return mac

@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Installs as ``repro`` (console script) and also runs as
+``python -m repro.cli``.  Subcommands:
+
+* ``solve``     — solve a TSP (synthetic family or a TSPLIB file) with
+  the clustered CIM annealer and report quality + hardware cost;
+* ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
+* ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
+* ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
+* ``maxcut``    — anneal a random Max-Cut instance (Table III workload).
+
+Examples
+--------
+::
+
+    repro solve --family rl --n 1000 --strategy 1/2/3 --seed 7 --ppa
+    repro solve --tsplib pcb3038.tsp
+    repro capacity --sizes 1000 10000 85900
+    repro sram-curve --samples 1000
+    repro ppa --n 85900 --p 3
+    repro maxcut --nodes 300 --sweeps 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.utils.tables import Table
+from repro.utils.units import (
+    format_area,
+    format_bits,
+    format_energy,
+    format_power,
+    format_time,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Digital CIM clustered annealer (DAC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a TSP with the CIM annealer")
+    src = p_solve.add_mutually_exclusive_group()
+    src.add_argument("--tsplib", metavar="FILE", help="TSPLIB .tsp file to load")
+    src.add_argument(
+        "--family",
+        choices=["uniform", "clustered", "pcb", "rl", "pla"],
+        default="uniform",
+        help="synthetic instance family (default: uniform)",
+    )
+    p_solve.add_argument("--n", type=int, default=500, help="cities (synthetic)")
+    p_solve.add_argument("--strategy", default="1/2/3", help="cluster strategy label")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--ppa", action="store_true", help="also print the hardware report"
+    )
+    p_solve.add_argument(
+        "--reference", action="store_true",
+        help="compute the CPU reference and report the optimal ratio",
+    )
+    p_solve.add_argument(
+        "--svg", metavar="FILE", help="render the tour to an SVG file"
+    )
+
+    p_cap = sub.add_parser("capacity", help="Fig. 1 capacity table")
+    p_cap.add_argument("--sizes", type=int, nargs="+",
+                       default=[1000, 10000, 85900])
+    p_cap.add_argument("--p", type=int, default=3)
+
+    p_sram = sub.add_parser("sram-curve", help="Fig. 6b error-rate sweep")
+    p_sram.add_argument("--samples", type=int, default=1000)
+    p_sram.add_argument("--bl-cap", type=float, default=1.0)
+    p_sram.add_argument("--seed", type=int, default=0)
+
+    p_ppa = sub.add_parser("ppa", help="chip sizing report")
+    p_ppa.add_argument("--n", type=int, required=True, help="target cities")
+    p_ppa.add_argument("--p", type=int, default=3, help="p_max")
+
+    p_mc = sub.add_parser("maxcut", help="anneal a random Max-Cut")
+    p_mc.add_argument("--nodes", type=int, default=200)
+    p_mc.add_argument("--degree", type=float, default=6.0)
+    p_mc.add_argument("--sweeps", type=int, default=200)
+    p_mc.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+    from repro.hardware import evaluate_ppa
+    from repro.tsp import load_tsplib
+    from repro.tsp.generators import (
+        pcb_style,
+        pla_style,
+        random_clustered,
+        random_uniform,
+        rl_style,
+    )
+
+    if args.tsplib:
+        instance = load_tsplib(args.tsplib)
+    else:
+        builders = {
+            "uniform": random_uniform,
+            "clustered": lambda n, seed: random_clustered(
+                n, n_clusters=max(4, n // 60), seed=seed
+            ),
+            "pcb": pcb_style,
+            "rl": rl_style,
+            "pla": pla_style,
+        }
+        instance = builders[args.family](args.n, seed=args.seed)
+
+    print(f"instance : {instance}")
+    cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
+    result = ClusteredCIMAnnealer(cfg).solve(instance)
+    print(
+        f"solution : length={result.length:.1f}  levels={result.n_levels}  "
+        f"host={result.wall_time_s:.1f}s"
+    )
+    if args.reference:
+        from repro.tsp.reference import reference_length
+
+        ref = reference_length(instance, seed=args.seed)
+        print(
+            f"reference: {ref:.1f}  optimal ratio = "
+            f"{result.optimal_ratio(ref):.3f}"
+        )
+    if args.ppa:
+        rep = evaluate_ppa(
+            n_cities=instance.n,
+            p=result.chip.p,
+            n_clusters=result.chip.n_clusters,
+            chip=result.chip,
+        )
+        print(
+            f"hardware : {format_bits(rep.capacity_bits)} in "
+            f"{rep.n_arrays} arrays, {format_area(rep.chip_area_m2)}, "
+            f"tts={format_time(rep.time_to_solution_s)}, "
+            f"E={format_energy(rep.energy_to_solution_j)}, "
+            f"P={format_power(rep.average_power_w)}"
+        )
+    if args.svg:
+        from repro.tsp.svg import save_tour_svg
+
+        save_tour_svg(instance, args.svg, tour=result.tour)
+        print(f"tour SVG : {args.svg}")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.analysis.capacity import fig1_series
+
+    series = fig1_series(args.sizes, p=args.p)
+    table = Table(
+        f"Weight memory vs TSP scale (p_max = {args.p})",
+        ["N", "conventional O(N^4)", "clustered O(N^2)", "compact O(N)"],
+    )
+    for i, n in enumerate(args.sizes):
+        table.add_row(
+            [
+                n,
+                format_bits(float(series["conventional_O(N^4)"][i])),
+                format_bits(float(series["clustered_O(N^2)"][i])),
+                format_bits(float(series["compact_O(N)"][i])),
+            ]
+        )
+    print(table)
+    return 0
+
+
+def _cmd_sram_curve(args: argparse.Namespace) -> int:
+    from repro.sram.cell import SRAMCellParams
+    from repro.sram.montecarlo import monte_carlo_error_rate
+
+    curve = monte_carlo_error_rate(
+        n_samples=args.samples,
+        params=SRAMCellParams(bl_cap_ratio=args.bl_cap),
+        seed=args.seed,
+    )
+    table = Table(
+        f"Pseudo-read error rate ({args.samples} samples, "
+        f"BL cap x{args.bl_cap:g})",
+        ["V_DD (mV)", "measured", "analytic"],
+    )
+    for k in range(0, curve.vdd_mv.size, 2):
+        table.add_row(
+            [curve.vdd_mv[k], float(curve.error_rate[k]), float(curve.analytic[k])]
+        )
+    print(table)
+    return 0
+
+
+def _cmd_ppa(args: argparse.Namespace) -> int:
+    from repro.clustering import SemiFlexibleStrategy
+    from repro.hardware import evaluate_ppa
+
+    strategy = SemiFlexibleStrategy(p_max=args.p)
+    rep = evaluate_ppa(
+        n_cities=args.n,
+        p=args.p,
+        n_clusters=strategy.provisioned_clusters(args.n),
+        mean_cluster_size=strategy.target_mean,
+    )
+    table = Table(
+        f"Chip sizing: {args.n:,}-city TSP at p_max = {args.p} (16 nm)",
+        ["metric", "value"],
+    )
+    table.add_row(["cluster windows", rep.n_clusters])
+    table.add_row(["arrays (5x2 windows)", rep.n_arrays])
+    table.add_row(["physical spins", rep.n_spins])
+    table.add_row(["weight memory", format_bits(rep.capacity_bits)])
+    table.add_row(["chip area", format_area(rep.chip_area_m2)])
+    table.add_row(["hierarchy levels", rep.n_levels])
+    table.add_row(["time-to-solution", format_time(rep.time_to_solution_s)])
+    table.add_row(["energy-to-solution", format_energy(rep.energy_to_solution_j)])
+    table.add_row(["average power", format_power(rep.average_power_w)])
+    print(table)
+    return 0
+
+
+def _cmd_maxcut(args: argparse.Namespace) -> int:
+    from repro.maxcut import anneal_maxcut, greedy_maxcut, gset_style
+
+    problem = gset_style(args.nodes, avg_degree=args.degree, seed=args.seed)
+    print(f"problem  : {problem}")
+    greedy = greedy_maxcut(problem, seed=args.seed)
+    annealed = anneal_maxcut(problem, n_sweeps=args.sweeps, seed=args.seed)
+    print(f"greedy   : cut = {greedy.cut_value:.1f}")
+    print(
+        f"annealed : cut = {annealed.cut_value:.1f} "
+        f"(acceptance {annealed.acceptance_rate:.2f})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "capacity": _cmd_capacity,
+    "sram-curve": _cmd_sram_curve,
+    "ppa": _cmd_ppa,
+    "maxcut": _cmd_maxcut,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Hierarchical clustering substrate (input sparsity, Sec. III-A).
+
+Cities are grouped bottom-up into clusters of ``p`` elements (or fewer,
+depending on the strategy); cluster centroids are then clustered again,
+level by level, until a small top-level problem remains.  Annealing is
+later performed top-down over this tree (see
+:mod:`repro.annealer.hierarchical`).
+
+Three cluster-size strategies from Table I:
+
+* :class:`ArbitraryStrategy` — only the number of clusters is fixed
+  (average size 2, any actual size): best quality, unimplementable
+  hardware ("absolute flexibility").
+* :class:`FixedSizeStrategy` — every cluster has exactly ``p``
+  elements: cheapest hardware, worst quality.
+* :class:`SemiFlexibleStrategy` — sizes range 1..p_max with average
+  (1+p_max)/2: the paper's proposed compromise.
+"""
+
+from repro.clustering.geometry import centroid, pairwise_distances
+from repro.clustering.hierarchy import ClusterLevel, ClusterTree, build_hierarchy
+from repro.clustering.strategies import (
+    ArbitraryStrategy,
+    ClusterStrategy,
+    FixedSizeStrategy,
+    SemiFlexibleStrategy,
+    strategy_from_name,
+)
+
+__all__ = [
+    "centroid",
+    "pairwise_distances",
+    "ClusterLevel",
+    "ClusterTree",
+    "build_hierarchy",
+    "ClusterStrategy",
+    "ArbitraryStrategy",
+    "FixedSizeStrategy",
+    "SemiFlexibleStrategy",
+    "strategy_from_name",
+]

@@ -1,0 +1,72 @@
+"""Geometric helpers for clustering: centroids, scales, neighbour search."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def centroid(points: np.ndarray) -> np.ndarray:
+    """Arithmetic centroid of an ``(m, 2)`` point set."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] == 0:
+        raise ClusteringError(f"points must be (m, 2) with m >= 1, got {pts.shape}")
+    return pts.mean(axis=0)
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distances between two point sets."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def typical_spacing(points: np.ndarray, sample: int = 256, seed: int = 0) -> float:
+    """Median nearest-neighbour distance (sampled for large sets).
+
+    Used as the local length scale for the distance-gated greedy
+    agglomeration: a candidate further than a few spacings away should
+    start a new cluster rather than stretch the current one.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n < 2:
+        raise ClusteringError("need at least 2 points for a spacing estimate")
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n) if n <= sample else rng.choice(n, size=sample, replace=False)
+    nn = np.empty(idx.size)
+    for out, i in enumerate(idx):
+        d = np.hypot(pts[:, 0] - pts[i, 0], pts[:, 1] - pts[i, 1])
+        d[i] = np.inf
+        nn[out] = d.min()
+    spacing = float(np.median(nn))
+    if spacing == 0.0:
+        # Degenerate duplicates (snapped grids): fall back to mean.
+        spacing = float(np.mean(nn))
+    return max(spacing, 1e-12)
+
+
+def morton_order(points: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Indices of ``points`` sorted along a Morton (Z-order) curve.
+
+    Gives a spatially coherent processing order for the greedy
+    agglomerator so clusters do not jump across the plane.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    mins = pts.min(axis=0)
+    span = np.maximum(pts.max(axis=0) - mins, 1e-12)
+    scale = (1 << bits) - 1
+    q = ((pts - mins) / span * scale).astype(np.uint64)
+
+    def spread(v: np.ndarray) -> np.ndarray:
+        v = v & np.uint64(0xFFFF)
+        v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF)
+        v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F)
+        v = (v | (v << np.uint64(2))) & np.uint64(0x33333333)
+        v = (v | (v << np.uint64(1))) & np.uint64(0x55555555)
+        return v
+
+    code = spread(q[:, 0]) | (spread(q[:, 1]) << np.uint64(1))
+    return np.argsort(code, kind="stable")

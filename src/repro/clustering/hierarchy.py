@@ -1,0 +1,252 @@
+"""Bottom-up hierarchical clustering (Fig. 4, left).
+
+Level 0 groups the cities; level ℓ groups the centroids of level ℓ−1;
+construction stops when a level has at most ``top_size`` clusters.  The
+grouping itself is a spatially-coherent greedy agglomeration:
+
+1. visit points in Morton (Z-curve) order;
+2. seed a cluster at the first unassigned point;
+3. repeatedly add the nearest unassigned point (searched through
+   precomputed k-NN candidate lists) until the strategy's
+   ``should_stop`` fires — either the size cap or a geometric gap.
+
+The strategy object (see :mod:`repro.clustering.strategies`) is what
+differentiates the Table I rows; the agglomeration machinery is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.clustering.geometry import morton_order, typical_spacing
+from repro.clustering.strategies import ClusterStrategy
+from repro.errors import ClusteringError
+from repro.tsp.instance import TSPInstance
+
+
+@dataclass
+class ClusterLevel:
+    """One level of the hierarchy.
+
+    Attributes
+    ----------
+    members:
+        ``members[c]`` lists the indices (into the level below, or into
+        the cities for level 0) belonging to cluster ``c``.
+    centroids:
+        ``(n_clusters, 2)`` centroid coordinates.
+    """
+
+    members: List[np.ndarray]
+    centroids: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters at this level."""
+        return len(self.members)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes as an int array."""
+        return np.asarray([m.size for m in self.members], dtype=np.int64)
+
+    def validate(self, n_below: int) -> None:
+        """Check the level partitions ``range(n_below)`` exactly."""
+        seen = np.zeros(n_below, dtype=bool)
+        for m in self.members:
+            if m.size == 0:
+                raise ClusteringError("empty cluster")
+            if seen[m].any():
+                raise ClusteringError("overlapping clusters")
+            seen[m] = True
+        if not seen.all():
+            raise ClusteringError("clusters do not cover all items")
+
+
+@dataclass
+class ClusterTree:
+    """The full hierarchy for one instance + strategy.
+
+    ``levels[0]`` clusters cities; ``levels[-1]`` is the top level used
+    to seed the top-down hierarchical annealing.
+    """
+
+    instance: TSPInstance
+    strategy: ClusterStrategy
+    levels: List[ClusterLevel] = field(default_factory=list)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of clustering levels."""
+        return len(self.levels)
+
+    def points_at(self, level: int) -> np.ndarray:
+        """Coordinates of the items grouped by ``levels[level]``.
+
+        Level 0 groups city coordinates; level ℓ groups the centroids
+        of level ℓ−1.
+        """
+        if not 0 <= level < self.n_levels:
+            raise ClusteringError(f"level {level} out of range")
+        if level == 0:
+            return self.instance.coords
+        return self.levels[level - 1].centroids
+
+    def expand_to_cities(self, level: int, cluster: int) -> np.ndarray:
+        """All city indices contained (transitively) in a cluster."""
+        if not 0 <= level < self.n_levels:
+            raise ClusteringError(f"level {level} out of range")
+        items = self.levels[level].members[cluster]
+        for lower in range(level - 1, -1, -1):
+            items = np.concatenate(
+                [self.levels[lower].members[int(i)] for i in items]
+            )
+        return items
+
+    def validate(self) -> None:
+        """Validate every level partitions the one below."""
+        n_below = self.instance.n
+        for lvl in self.levels:
+            lvl.validate(n_below)
+            n_below = lvl.n_clusters
+
+    def max_level_size(self) -> int:
+        """Largest cluster size anywhere in the tree."""
+        return int(max(lvl.sizes.max() for lvl in self.levels))
+
+
+def _greedy_level(
+    points: np.ndarray,
+    strategy: ClusterStrategy,
+    rng_seed: int,
+) -> ClusterLevel:
+    """Group one level of points according to ``strategy``."""
+    from repro.tsp.baselines.two_opt import build_neighbor_lists
+
+    n = points.shape[0]
+    if n == 1:
+        return ClusterLevel(
+            members=[np.array([0], dtype=np.int64)], centroids=points.copy()
+        )
+    max_size = strategy.max_size or n
+    k = min(n - 1, max(8, 3 * min(max_size, 16)))
+    nbrs = build_neighbor_lists(points, k)
+    spacing = typical_spacing(points, seed=rng_seed)
+    order = morton_order(points)
+
+    assigned = np.zeros(n, dtype=bool)
+    members: List[np.ndarray] = []
+    for seed_pt in order:
+        seed_pt = int(seed_pt)
+        if assigned[seed_pt]:
+            continue
+        cluster = [seed_pt]
+        assigned[seed_pt] = True
+        centroid_acc = points[seed_pt].astype(np.float64).copy()
+        while len(cluster) < max_size:
+            # Candidates: unassigned k-NN of any current member.
+            best, best_d = -1, np.inf
+            cx, cy = centroid_acc / len(cluster)
+            for m in cluster:
+                for cand in nbrs[m]:
+                    cand = int(cand)
+                    if assigned[cand]:
+                        continue
+                    d = float(np.hypot(points[cand, 0] - cx, points[cand, 1] - cy))
+                    if d < best_d:
+                        best, best_d = cand, d
+            if best < 0:
+                break  # no unassigned neighbours in candidate lists
+            if strategy.should_stop(len(cluster), best_d / spacing):
+                break
+            cluster.append(best)
+            assigned[best] = True
+            centroid_acc += points[best]
+        members.append(np.asarray(cluster, dtype=np.int64))
+
+    centroids = np.stack([points[m].mean(axis=0) for m in members])
+    return ClusterLevel(members=members, centroids=centroids)
+
+
+def _force_reduction(
+    level: ClusterLevel, points: np.ndarray, max_size: Optional[int]
+) -> ClusterLevel:
+    """Merge nearest cluster pairs until the level shrinks enough.
+
+    Guards against gate-dominated levels where almost every cluster is
+    a singleton, which would stall the hierarchy.  Merging respects the
+    strategy's size cap when one is set.
+    """
+    target = max(1, int(0.67 * points.shape[0]))
+    members = [m.copy() for m in level.members]
+    cap = max_size or points.shape[0]
+    while len(members) > target:
+        centroids = np.stack([points[m].mean(axis=0) for m in members])
+        sizes = np.asarray([m.size for m in members])
+        # Merge the pair of mergeable clusters with closest centroids.
+        diff = centroids[:, None, :] - centroids[None, :, :]
+        d = np.sqrt((diff * diff).sum(-1))
+        np.fill_diagonal(d, np.inf)
+        size_ok = (sizes[:, None] + sizes[None, :]) <= cap
+        d[~size_ok] = np.inf
+        flat = int(np.argmin(d))
+        i, j = divmod(flat, len(members))
+        if not np.isfinite(d[i, j]):
+            break  # nothing mergeable under the cap
+        members[i] = np.concatenate([members[i], members[j]])
+        members.pop(j)
+    centroids = np.stack([points[m].mean(axis=0) for m in members])
+    return ClusterLevel(members=members, centroids=centroids)
+
+
+def build_hierarchy(
+    instance: TSPInstance,
+    strategy: ClusterStrategy,
+    top_size: int = 8,
+    seed: int = 0,
+) -> ClusterTree:
+    """Build the full bottom-up hierarchy (Fig. 4).
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance to cluster.
+    strategy:
+        Cluster-size policy (Table I row).
+    top_size:
+        Stop when a level has at most this many clusters; the top-level
+        ordering is then solved directly by annealing.
+    seed:
+        Seed for the spacing estimator subsample (the agglomeration
+        itself is deterministic given the point set).
+    """
+    if top_size < 2:
+        raise ClusteringError(f"top_size must be >= 2, got {top_size}")
+    tree = ClusterTree(instance=instance, strategy=strategy)
+    points = instance.coords
+    guard = 0
+    while points.shape[0] > top_size:
+        level = _greedy_level(points, strategy, rng_seed=seed + guard)
+        # Ensure real progress: a level must shrink the problem.
+        if level.n_clusters > 0.8 * points.shape[0] and points.shape[0] > top_size:
+            level = _force_reduction(level, points, strategy.max_size)
+        level.validate(points.shape[0])
+        tree.levels.append(level)
+        if level.n_clusters >= points.shape[0]:
+            raise ClusteringError(
+                "hierarchy stalled: level did not reduce the problem"
+            )
+        points = level.centroids
+        guard += 1
+        if guard > 64:
+            raise ClusteringError("hierarchy exceeded 64 levels (bug guard)")
+    if not tree.levels:
+        # Tiny instance: single trivial level so the annealer has a top.
+        members = [np.array([i], dtype=np.int64) for i in range(instance.n)]
+        tree.levels.append(
+            ClusterLevel(members=members, centroids=instance.coords.copy())
+        )
+    return tree

@@ -1,0 +1,207 @@
+"""Cluster-size strategies (Table I).
+
+A strategy answers two questions during bottom-up agglomeration:
+
+* ``max_size`` — the hard size cap a cluster may reach (hardware window
+  height/width derive from this);
+* ``should_stop(size, gap_ratio)`` — whether to close the current
+  cluster given its size and how far (in units of the level's typical
+  point spacing) the nearest unassigned point is.
+
+and one for the hardware model:
+
+* ``provisioned_clusters(n)`` — how many windows the hardware must
+  provision for an ``n``-element level, which with ``window`` geometry
+  gives the Table I memory capacity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import ClusteringError
+
+
+class ClusterStrategy(ABC):
+    """Abstract cluster-size policy."""
+
+    #: Hard cap on elements per cluster (None = unbounded).
+    max_size: int | None
+
+    @abstractmethod
+    def should_stop(self, size: int, gap_ratio: float) -> bool:
+        """Close the growing cluster at ``size`` elements?
+
+        ``gap_ratio`` is the distance from the cluster centroid to the
+        nearest unassigned point divided by the level's typical point
+        spacing (large ⇒ the next point is geometrically foreign).
+        """
+
+    @abstractmethod
+    def provisioned_clusters(self, n: int) -> int:
+        """Windows the hardware provisions for an ``n``-element level."""
+
+    @abstractmethod
+    def hardware_p(self) -> int | None:
+        """Window-dimension parameter p (None when unimplementable)."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short label used in tables (e.g. ``"1/2/3"``)."""
+
+
+@dataclass(frozen=True)
+class ArbitraryStrategy(ClusterStrategy):
+    """Unlimited p, only the cluster count is restricted (Table I baseline).
+
+    Average cluster size 2; actual sizes follow the geometry.  This is
+    the quality upper bound — the paper deems it unimplementable
+    ("great reconfigurability challenges"), so :meth:`hardware_p`
+    returns None and no capacity is reported for it in Table I.
+
+    There is no *hardware* size cap, but growth is budgeted at twice
+    the target mean so the *average* stays near 2 (the paper's
+    "two elements on average, exact value arbitrary") even on uniform
+    grids where no geometric gap ever fires.
+    """
+
+    gate: float = 3.0
+    target_mean: float = 2.0
+
+    @property
+    def max_size(self) -> int | None:  # type: ignore[override]
+        """No hard cap — growth is budgeted, not bounded."""
+        return None
+
+    def should_stop(self, size: int, gap_ratio: float) -> bool:
+        if size < 1:
+            return False
+        if gap_ratio > self.gate:
+            return True
+        if size >= 2 * self.target_mean:
+            return True  # growth budget: keep the average near target
+        # Past the target mean, only keep growing for very close points.
+        if size >= self.target_mean and gap_ratio > 0.5 * self.gate:
+            return True
+        return False
+
+    def provisioned_clusters(self, n: int) -> int:
+        return ceil(n / self.target_mean)
+
+    def hardware_p(self) -> int | None:
+        return None
+
+    @property
+    def name(self) -> str:
+        return "arbitrary"
+
+
+@dataclass(frozen=True)
+class FixedSizeStrategy(ClusterStrategy):
+    """Exactly ``p`` elements per cluster ("strictly fixed", Table I).
+
+    Geometry is ignored: the cluster closes only when full, so spatially
+    poor clusters are forced — the source of the degraded optimal ratio
+    the paper reports for this strategy.
+    """
+
+    p: int = 2
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ClusteringError(f"p must be >= 1, got {self.p}")
+
+    @property
+    def max_size(self) -> int | None:  # type: ignore[override]
+        """Exactly p elements per cluster."""
+        return self.p
+
+    def should_stop(self, size: int, gap_ratio: float) -> bool:
+        return size >= self.p
+
+    def provisioned_clusters(self, n: int) -> int:
+        return ceil(n / self.p)
+
+    def hardware_p(self) -> int | None:
+        return self.p
+
+    @property
+    def name(self) -> str:
+        return str(self.p)
+
+
+@dataclass(frozen=True)
+class SemiFlexibleStrategy(ClusterStrategy):
+    """Sizes 1..p_max with average (1+p_max)/2 (the paper's proposal).
+
+    The hardware supports ``2N/(1+p_max)`` clusters all provisioned at
+    the full p_max window, so size flexibility costs only redundant
+    columns.  Geometric gaps close clusters early; dense runs fill to
+    p_max.
+    """
+
+    p_max: int = 3
+    gate: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.p_max < 1:
+            raise ClusteringError(f"p_max must be >= 1, got {self.p_max}")
+
+    @property
+    def max_size(self) -> int | None:  # type: ignore[override]
+        """At most p_max elements per cluster."""
+        return self.p_max
+
+    @property
+    def target_mean(self) -> float:
+        """The average cluster size the hardware budget assumes."""
+        return (1 + self.p_max) / 2.0
+
+    def should_stop(self, size: int, gap_ratio: float) -> bool:
+        if size >= self.p_max:
+            return True
+        if size >= 1 and gap_ratio > self.gate:
+            return True
+        if size >= self.target_mean and gap_ratio > 0.5 * self.gate:
+            return True
+        return False
+
+    def provisioned_clusters(self, n: int) -> int:
+        return ceil(2 * n / (1 + self.p_max))
+
+    def hardware_p(self) -> int | None:
+        return self.p_max
+
+    @property
+    def name(self) -> str:
+        return "/".join(str(i) for i in range(1, self.p_max + 1))
+
+
+def strategy_from_name(name: str) -> ClusterStrategy:
+    """Parse a Table I row label into a strategy.
+
+    ``"arbitrary"`` → :class:`ArbitraryStrategy`; ``"4"`` →
+    :class:`FixedSizeStrategy(4)`; ``"1/2/3"`` →
+    :class:`SemiFlexibleStrategy(3)`.
+    """
+    label = name.strip().lower()
+    if label in ("arbitrary", "baseline", "arbitrary (baseline)"):
+        return ArbitraryStrategy()
+    if "/" in label:
+        parts = label.split("/")
+        try:
+            sizes = [int(p) for p in parts]
+        except ValueError:
+            raise ClusteringError(f"cannot parse strategy {name!r}") from None
+        if sizes != list(range(1, len(sizes) + 1)):
+            raise ClusteringError(
+                f"semi-flexible label must be 1/2/.../p_max, got {name!r}"
+            )
+        return SemiFlexibleStrategy(p_max=sizes[-1])
+    try:
+        return FixedSizeStrategy(p=int(label))
+    except ValueError:
+        raise ClusteringError(f"cannot parse strategy {name!r}") from None

@@ -1,0 +1,37 @@
+"""Hardware PPA (power / performance / area) models.
+
+NeuroSim-style analytical macro models for the 16 nm FinFET digital
+CIM annealer, calibrated against the paper's published design points:
+
+* **Area** (:mod:`repro.hardware.area`) — per-array geometry fitted to
+  Table II (57×55 / 102×98 / 161×162 µm² for p_max = 2/3/4) and chip
+  area anchored at 43.7 mm² for pla85900;
+* **Latency** (:mod:`repro.hardware.latency`) — cycle-accurate counts
+  from the CIM chip counters at the macro clock, anchored at the
+  paper's ~44 µs rl5934 annealing time;
+* **Energy** (:mod:`repro.hardware.energy`) — per-event energies
+  (window MAC, weight-bit write, seam-bit transfer) anchored at the
+  433 mW chip power of Table III;
+* **Comparison** (:mod:`repro.hardware.comparison`) — the Table III
+  SOTA dataset and the functional-normalisation arithmetic.
+"""
+
+from repro.hardware.area import AreaModel
+from repro.hardware.comparison import SOTA_ANNEALERS, build_comparison_table
+from repro.hardware.energy import EnergyModel, EnergyReport
+from repro.hardware.latency import LatencyModel, LatencyReport
+from repro.hardware.ppa import PPAReport, evaluate_ppa
+from repro.hardware.tech import TechNode
+
+__all__ = [
+    "TechNode",
+    "AreaModel",
+    "LatencyModel",
+    "LatencyReport",
+    "EnergyModel",
+    "EnergyReport",
+    "PPAReport",
+    "evaluate_ppa",
+    "SOTA_ANNEALERS",
+    "build_comparison_table",
+]

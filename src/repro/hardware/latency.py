@@ -1,0 +1,103 @@
+"""Latency model (Fig. 7c).
+
+Time-to-solution is derived from the CIM chip's cycle counters:
+
+* **read/compute cycles** — each swap trial is four MAC cycles (two
+  local energies before the swap, two after, Fig. 5a); odd and even
+  cluster phases run in alternate cycles, and all windows of a phase
+  compute in parallel, so one *iteration* (a trial in every cluster)
+  costs ``4 (solid) + 4 (dash) = 8`` cycles regardless of problem size;
+* **write cycles** — at every write-back the correct weights are
+  rewritten row-by-row, all arrays in parallel:
+  ``5 · (p² + 2p)`` cycles per event;
+* seam transfers overlap the MAC pipeline (p bits on dedicated links)
+  and add no cycles — consistent with "data transmissions ... are very
+  trivial" (Sec. III-B).
+
+At the 900 MHz macro clock this lands rl5934 / p_max = 3 (≈10
+hierarchy levels × 400 iterations) at ≈42 µs vs the paper's 44 µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cim.macro import CIMChip
+from repro.errors import HardwareModelError
+from repro.hardware.tech import TechNode
+
+#: MAC cycles per swap trial (2 energies before + 2 after the swap).
+CYCLES_PER_TRIAL = 4
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Time-to-solution breakdown in seconds."""
+
+    read_time_s: float
+    write_time_s: float
+    read_cycles: int
+    write_cycles: int
+
+    @property
+    def total_time_s(self) -> float:
+        """Total annealing time."""
+        return self.read_time_s + self.write_time_s
+
+    @property
+    def write_fraction(self) -> float:
+        """Share of time spent writing (small, per Fig. 7c)."""
+        total = self.total_time_s
+        return self.write_time_s / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Turns chip counters into a :class:`LatencyReport`."""
+
+    tech: TechNode = field(default_factory=TechNode)
+
+    def write_cycles_per_event(self, chip: CIMChip) -> int:
+        """Row-sequential refresh of one array (arrays in parallel)."""
+        rows, _ = chip.array_bit_geometry()
+        return rows
+
+    def report(self, chip: CIMChip) -> LatencyReport:
+        """Latency report from a chip's recorded counters."""
+        read_cycles = chip.mac_cycles
+        write_cycles = chip.writeback_events * self.write_cycles_per_event(chip)
+        t = self.tech.cycle_time_s
+        return LatencyReport(
+            read_time_s=read_cycles * t,
+            write_time_s=write_cycles * t,
+            read_cycles=read_cycles,
+            write_cycles=write_cycles,
+        )
+
+    def predict(
+        self,
+        chip: CIMChip,
+        n_levels: int,
+        iterations_per_level: int = 400,
+        writebacks_per_level: int = 8,
+    ) -> LatencyReport:
+        """Closed-form prediction without running the annealer.
+
+        Used by the large-scale PPA sweeps (Fig. 7c for pla85900) where
+        simulating the full anneal in Python would be slow: cycles
+        follow directly from the schedule since the per-iteration cost
+        is size-independent.
+        """
+        if n_levels < 1 or iterations_per_level < 1 or writebacks_per_level < 0:
+            raise HardwareModelError("schedule parameters must be positive")
+        read_cycles = n_levels * iterations_per_level * 2 * CYCLES_PER_TRIAL
+        write_cycles = (
+            n_levels * writebacks_per_level * self.write_cycles_per_event(chip)
+        )
+        t = self.tech.cycle_time_s
+        return LatencyReport(
+            read_time_s=read_cycles * t,
+            write_time_s=write_cycles * t,
+            read_cycles=read_cycles,
+            write_cycles=write_cycles,
+        )

@@ -1,0 +1,103 @@
+"""Multi-chip partitioning (the related-work scaling axis).
+
+Table III's [23] scales Max-Cut annealing across 9 chips with
+chip-to-chip links; Amorphica advertises "compressed-spin-transfer
+multi-chip extension".  The compact clustered design scales the same
+way: the cluster sequence is a 1-D chain, so splitting it into
+contiguous chip-sized segments only adds p-bit boundary transfers at
+chip seams — exactly the Fig. 5e dataflow, one level up.
+
+:func:`partition_design` sizes a multi-chip system under a per-chip
+area budget and reports the seam-bandwidth overhead, letting the
+extension bench explore problems beyond a single reticle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional
+
+from repro.cim.array import WINDOWS_PER_ARRAY
+from repro.errors import HardwareModelError
+from repro.hardware.area import AreaModel
+from repro.hardware.tech import TechNode
+
+
+@dataclass(frozen=True)
+class MultiChipPlan:
+    """A partitioned design.
+
+    Attributes
+    ----------
+    n_chips:
+        Chips required under the area budget.
+    arrays_per_chip:
+        Arrays on each chip (last chip may be partially filled).
+    chip_area_m2:
+        Area of one full chip.
+    clusters_per_chip:
+        Cluster windows hosted per chip.
+    seam_transfers_per_phase:
+        Cross-chip boundary transfers per update phase (p bits each) —
+        chip seams are a strict subset of array seams, so this bounds
+        the extra off-chip bandwidth.
+    offchip_bits_per_iteration:
+        Total bits crossing chip boundaries per iteration (two phases).
+    """
+
+    n_chips: int
+    arrays_per_chip: int
+    chip_area_m2: float
+    clusters_per_chip: int
+    seam_transfers_per_phase: int
+    offchip_bits_per_iteration: int
+
+    @property
+    def total_area_m2(self) -> float:
+        """Silicon across all chips."""
+        return self.n_chips * self.chip_area_m2
+
+
+def partition_design(
+    p: int,
+    n_clusters: int,
+    max_chip_area_mm2: float,
+    tech: Optional[TechNode] = None,
+) -> MultiChipPlan:
+    """Partition ``n_clusters`` windows across chips of bounded area.
+
+    Contiguous cluster ranges go to each chip, so each chip boundary
+    introduces exactly one seam cluster per phase (the cyclic wrap
+    closes the chain across the first/last chip).
+    """
+    if max_chip_area_mm2 <= 0:
+        raise HardwareModelError(
+            f"max_chip_area_mm2 must be > 0, got {max_chip_area_mm2}"
+        )
+    if n_clusters < 1:
+        raise HardwareModelError(f"n_clusters must be >= 1, got {n_clusters}")
+    area_model = AreaModel(tech=tech or TechNode())
+    array_area_mm2 = area_model.array_area_m2(p) * 1e6
+    arrays_per_chip = int(max_chip_area_mm2 // array_area_mm2)
+    if arrays_per_chip < 1:
+        raise HardwareModelError(
+            f"one {p=} array ({array_area_mm2:.4f} mm^2) exceeds the "
+            f"{max_chip_area_mm2} mm^2 chip budget"
+        )
+    n_arrays = ceil(n_clusters / WINDOWS_PER_ARRAY)
+    n_chips = ceil(n_arrays / arrays_per_chip)
+    clusters_per_chip = arrays_per_chip * WINDOWS_PER_ARRAY
+    # One boundary per chip seam; with >1 chip the cyclic wrap adds the
+    # closing seam, giving exactly n_chips seams on the cluster ring.
+    seams = n_chips if n_chips > 1 else 0
+    # Each phase moves p bits per seam; two phases per iteration.
+    offchip_bits = 2 * seams * p
+    return MultiChipPlan(
+        n_chips=n_chips,
+        arrays_per_chip=arrays_per_chip,
+        chip_area_m2=arrays_per_chip * array_area_mm2 * 1e-6,
+        clusters_per_chip=clusters_per_chip,
+        seam_transfers_per_phase=seams,
+        offchip_bits_per_iteration=offchip_bits,
+    )

@@ -1,0 +1,152 @@
+"""Combined PPA evaluation (Fig. 7b-d, Table III inputs).
+
+:func:`evaluate_ppa` joins the area, latency, and energy models into a
+single :class:`PPAReport` for one (instance size, strategy) design
+point — either from a *simulated* chip (counters recorded during an
+actual anneal) or *predicted* from the schedule (large problems where
+simulating every MAC in Python is unnecessary: the cycle counts follow
+deterministically from the schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log
+from typing import Optional
+
+from repro.cim.macro import CIMChip
+from repro.errors import HardwareModelError
+from repro.hardware.area import AreaModel
+from repro.hardware.energy import EnergyModel, EnergyReport
+from repro.hardware.latency import LatencyModel, LatencyReport
+from repro.hardware.tech import TechNode
+
+
+@dataclass(frozen=True)
+class PPAReport:
+    """One design point of Fig. 7b-d / Table III."""
+
+    p: int
+    n_cities: int
+    n_clusters: int
+    n_arrays: int
+    n_levels: int
+    capacity_bits: int
+    chip_area_m2: float
+    latency: LatencyReport
+    energy: EnergyReport
+    #: Power while the *bottom* (largest) hierarchy level runs — every
+    #: provisioned window active.  This is the number a chip datasheet
+    #: (and the paper's Table III "Chip Power") quotes.  The
+    #: time-average over a whole anneal is lower because upper levels
+    #: activate progressively fewer windows.
+    peak_power_w: float = 0.0
+
+    @property
+    def chip_area_mm2(self) -> float:
+        """Chip area in mm²."""
+        return self.chip_area_m2 * 1e6
+
+    @property
+    def time_to_solution_s(self) -> float:
+        """Total annealing time."""
+        return self.latency.total_time_s
+
+    @property
+    def energy_to_solution_j(self) -> float:
+        """Total dynamic energy."""
+        return self.energy.total_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        """Average chip power over the anneal."""
+        return self.energy.average_power_w(self.latency)
+
+    @property
+    def n_spins(self) -> int:
+        """Physical spins: p² per provisioned window."""
+        return self.n_clusters * self.p * self.p
+
+
+def estimate_levels(
+    n_cities: int, mean_cluster_size: float, top_size: int = 8
+) -> int:
+    """Hierarchy depth: levels until ≤ ``top_size`` clusters remain."""
+    if n_cities < 2:
+        raise HardwareModelError(f"n_cities must be >= 2, got {n_cities}")
+    if mean_cluster_size <= 1.0:
+        raise HardwareModelError(
+            f"mean_cluster_size must be > 1, got {mean_cluster_size}"
+        )
+    if n_cities <= top_size:
+        return 1
+    return max(1, ceil(log(n_cities / top_size) / log(mean_cluster_size)))
+
+
+def evaluate_ppa(
+    n_cities: int,
+    p: int,
+    n_clusters: int,
+    tech: Optional[TechNode] = None,
+    chip: Optional[CIMChip] = None,
+    n_levels: Optional[int] = None,
+    iterations_per_level: int = 400,
+    writebacks_per_level: int = 8,
+    mean_cluster_size: Optional[float] = None,
+) -> PPAReport:
+    """Evaluate one design point.
+
+    When ``chip`` carries recorded counters (a real simulated anneal),
+    latency/energy come from those; otherwise they are predicted from
+    the schedule.  ``n_levels`` defaults to the hierarchy-depth
+    estimate for the strategy's mean cluster size.
+    """
+    tech = tech or TechNode()
+    area_model = AreaModel(tech=tech)
+    latency_model = LatencyModel(tech=tech)
+    energy_model = EnergyModel(tech=tech)
+
+    measured = chip is not None and chip.mac_cycles > 0
+    if chip is None:
+        chip = CIMChip(p=p, n_clusters=n_clusters)
+    if n_levels is None:
+        mean = mean_cluster_size or (1 + p) / 2.0
+        n_levels = estimate_levels(n_cities, mean)
+
+    if measured:
+        latency = latency_model.report(chip)
+        energy = energy_model.report(chip)
+    else:
+        latency = latency_model.predict(
+            chip,
+            n_levels=n_levels,
+            iterations_per_level=iterations_per_level,
+            writebacks_per_level=writebacks_per_level,
+        )
+        energy = energy_model.predict(
+            chip, n_levels=n_levels, iterations_per_level=iterations_per_level
+        )
+
+    # Datasheet-style peak power: one full bottom level, every
+    # provisioned window active (matches the paper's Table III row).
+    peak_latency = latency_model.predict(
+        chip, n_levels=1, iterations_per_level=iterations_per_level,
+        writebacks_per_level=writebacks_per_level,
+    )
+    peak_energy = energy_model.predict(
+        chip, n_levels=1, iterations_per_level=iterations_per_level
+    )
+    peak_power = peak_energy.average_power_w(peak_latency)
+
+    return PPAReport(
+        p=p,
+        n_cities=n_cities,
+        n_clusters=n_clusters,
+        n_arrays=chip.n_arrays,
+        n_levels=n_levels,
+        capacity_bits=chip.capacity_bits,
+        chip_area_m2=area_model.chip_area_m2(p, n_clusters),
+        latency=latency,
+        energy=energy,
+        peak_power_w=peak_power,
+    )

@@ -1,0 +1,122 @@
+"""Permutational-Boltzmann-machine (PBM) moves.
+
+Sec. II-A: the two-way one-hot penalty of Eq. (3) can be avoided by
+only ever proposing *swap* moves — four spins (σ_ik, σ_il, σ_jk, σ_jl)
+updated together so that the state stays a valid permutation.  The
+energy difference of a swap is then just the change in the objective
+(tour length) term:
+
+    ΔH = H(σ'_il) + H(σ'_jk) − H(σ_ik) − H(σ_jl)
+
+which the hardware evaluates with four MAC cycles (two before, two
+after the swap).  :class:`PermutationState` maintains the permutation
+and its inverse; :func:`swap_delta_energy` computes ΔH directly from
+city distances — the software-exact value the CIM computation (with
+quantised, possibly noisy weights) approximates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import IsingError
+from repro.tsp.tour import validate_tour
+
+DistanceFn = Callable[[int, int], float]
+
+
+class PermutationState:
+    """A permutation state with O(1) swap and inverse lookup.
+
+    ``order[i]`` is the city visited at position ``i``;
+    ``position[k]`` is the position of city ``k``.
+    """
+
+    def __init__(self, order: np.ndarray):
+        self._order = validate_tour(np.asarray(order), None).copy()
+        n = self._order.size
+        self._position = np.empty(n, dtype=np.int64)
+        self._position[self._order] = np.arange(n)
+
+    @property
+    def n(self) -> int:
+        """Number of positions (= cities)."""
+        return int(self._order.size)
+
+    @property
+    def order(self) -> np.ndarray:
+        """Position → city array (live view; treat as read-only)."""
+        return self._order
+
+    @property
+    def position(self) -> np.ndarray:
+        """City → position array (live view; treat as read-only)."""
+        return self._position
+
+    def city_at(self, pos: int) -> int:
+        """City visited at position ``pos`` (cyclic)."""
+        return int(self._order[pos % self.n])
+
+    def swap_positions(self, i: int, j: int) -> None:
+        """Exchange the cities at positions ``i`` and ``j`` (the 4-spin move)."""
+        n = self.n
+        i %= n
+        j %= n
+        if i == j:
+            raise IsingError("swap positions must differ")
+        ci, cj = self._order[i], self._order[j]
+        self._order[i], self._order[j] = cj, ci
+        self._position[ci], self._position[cj] = j, i
+
+    def to_spins(self) -> np.ndarray:
+        """Flat {0,1} σ_ik spin vector of this permutation."""
+        from repro.ising.tsp_mapping import tour_to_spins
+
+        return tour_to_spins(self._order)
+
+    def copy(self) -> "PermutationState":
+        """Deep copy of the state."""
+        return PermutationState(self._order)
+
+
+def swap_delta_energy(
+    state: PermutationState,
+    i: int,
+    j: int,
+    dist: DistanceFn,
+) -> float:
+    """Objective-energy change of swapping positions ``i`` and ``j``.
+
+    ``dist(k, l)`` supplies city-pair distances — in the hardware path
+    this closure reads *quantised, noise-corrupted* weights out of the
+    CIM array, which is exactly how the paper injects annealing noise.
+
+    Handles the cyclically-adjacent cases (j = i±1 mod n) where the
+    naive 8-edge formula double-counts the shared edge.
+    """
+    n = state.n
+    i %= n
+    j %= n
+    if i == j:
+        raise IsingError("swap positions must differ")
+    ci, cj = state.city_at(i), state.city_at(j)
+
+    # Cyclic adjacency: make i the predecessor of j when adjacent.
+    if (i + 1) % n == j:
+        pred, succ = state.city_at(i - 1), state.city_at(j + 1)
+        before = dist(pred, ci) + dist(ci, cj) + dist(cj, succ)
+        after = dist(pred, cj) + dist(cj, ci) + dist(ci, succ)
+        return after - before
+    if (j + 1) % n == i:
+        pred, succ = state.city_at(j - 1), state.city_at(i + 1)
+        before = dist(pred, cj) + dist(cj, ci) + dist(ci, succ)
+        after = dist(pred, ci) + dist(ci, cj) + dist(cj, succ)
+        return after - before
+
+    ip, iN = state.city_at(i - 1), state.city_at(i + 1)
+    jp, jN = state.city_at(j - 1), state.city_at(j + 1)
+    before = dist(ip, ci) + dist(ci, iN) + dist(jp, cj) + dist(cj, jN)
+    after = dist(ip, cj) + dist(cj, iN) + dist(jp, ci) + dist(ci, jN)
+    return after - before

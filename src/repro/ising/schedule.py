@@ -1,0 +1,150 @@
+"""Annealing schedules.
+
+Two families:
+
+* **Temperature schedules** for software Metropolis/Gibbs annealing
+  (geometric and linear), used by CPU baselines;
+* **the V_DD schedule** of Sec. V: the supply voltage applied to the
+  noisy LSB SRAM cells starts at 300 mV and is raised by 40 mV every
+  50 iterations up to 580 mV, after which all bits run at nominal V_DD
+  (no noise).  Each V_DD step is also where weights are written back
+  (error "recovery"), and the number of noisy LSBs can shrink with the
+  voltage for finer noise-granularity control (Sec. IV-B procedure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GeometricTemperatureSchedule:
+    """T(k) = t_start · (t_end/t_start)^(k/(n-1)) for k in [0, n)."""
+
+    t_start: float
+    t_end: float
+    n_steps: int
+
+    def __post_init__(self) -> None:
+        if self.t_start <= 0 or self.t_end <= 0:
+            raise ConfigError("temperatures must be > 0")
+        if self.t_end > self.t_start:
+            raise ConfigError("t_end must be <= t_start")
+        if self.n_steps < 1:
+            raise ConfigError("n_steps must be >= 1")
+
+    def temperature(self, step: int) -> float:
+        """Temperature at iteration ``step`` (clamped to the range)."""
+        k = min(max(step, 0), self.n_steps - 1)
+        if self.n_steps == 1:
+            return self.t_start
+        ratio = self.t_end / self.t_start
+        return self.t_start * ratio ** (k / (self.n_steps - 1))
+
+
+@dataclass(frozen=True)
+class LinearTemperatureSchedule:
+    """T(k) linearly interpolated from t_start to t_end."""
+
+    t_start: float
+    t_end: float
+    n_steps: int
+
+    def __post_init__(self) -> None:
+        if self.t_start <= 0 or self.t_end < 0:
+            raise ConfigError("t_start must be > 0 and t_end >= 0")
+        if self.t_end > self.t_start:
+            raise ConfigError("t_end must be <= t_start")
+        if self.n_steps < 1:
+            raise ConfigError("n_steps must be >= 1")
+
+    def temperature(self, step: int) -> float:
+        """Temperature at iteration ``step`` (clamped to the range)."""
+        k = min(max(step, 0), self.n_steps - 1)
+        if self.n_steps == 1:
+            return self.t_start
+        frac = k / (self.n_steps - 1)
+        return self.t_start + (self.t_end - self.t_start) * frac
+
+
+@dataclass(frozen=True)
+class VddSchedule:
+    """The paper's noisy-SRAM annealing schedule (Sec. IV-B / Sec. V).
+
+    Attributes
+    ----------
+    vdd_start_mv, vdd_end_mv, vdd_step_mv:
+        Supply-voltage ramp applied to the noisy LSBs.  Paper values:
+        300 → 580 mV in 40 mV increments.
+    iterations_per_step:
+        Iterations between V_DD increments; this is also the write-back
+        period (weights refreshed at each step boundary).  Paper: 50.
+    total_iterations:
+        Total update iterations per annealing level.  Paper: 400.
+    noisy_lsbs_start:
+        Number of LSBs under reduced V_DD at the first step; one fewer
+        bit is noisy after each step (floor 0), per the Sec. IV-B
+        procedure ("6 bits ... then 5 bits ...").
+    weight_bits:
+        Weight precision (8-bit in the paper).
+    lsb_countdown:
+        When True (paper behaviour) the noisy-LSB count decrements per
+        step; False pins it at ``noisy_lsbs_start`` — used by the
+        constant-noise ablation, where nothing may anneal.
+    """
+
+    vdd_start_mv: float = 300.0
+    vdd_end_mv: float = 580.0
+    vdd_step_mv: float = 40.0
+    iterations_per_step: int = 50
+    total_iterations: int = 400
+    noisy_lsbs_start: int = 6
+    weight_bits: int = 8
+    lsb_countdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vdd_step_mv <= 0:
+            raise ConfigError("vdd_step_mv must be > 0")
+        if self.vdd_end_mv < self.vdd_start_mv:
+            raise ConfigError("vdd_end_mv must be >= vdd_start_mv")
+        if self.iterations_per_step < 1 or self.total_iterations < 1:
+            raise ConfigError("iteration counts must be >= 1")
+        if not 0 <= self.noisy_lsbs_start <= self.weight_bits:
+            raise ConfigError("noisy_lsbs_start must be in [0, weight_bits]")
+        if self.weight_bits < 1:
+            raise ConfigError("weight_bits must be >= 1")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of annealing steps (write-back periods)."""
+        return -(-self.total_iterations // self.iterations_per_step)
+
+    def step_of(self, iteration: int) -> int:
+        """Annealing step index containing ``iteration``."""
+        if not 0 <= iteration < self.total_iterations:
+            raise ConfigError(
+                f"iteration {iteration} outside [0, {self.total_iterations})"
+            )
+        return iteration // self.iterations_per_step
+
+    def vdd_mv(self, step: int) -> float:
+        """Noisy-LSB supply voltage (mV) during annealing step ``step``."""
+        v = self.vdd_start_mv + step * self.vdd_step_mv
+        return min(v, self.vdd_end_mv)
+
+    def noisy_lsbs(self, step: int) -> int:
+        """How many LSBs run at reduced V_DD during ``step``."""
+        if not self.lsb_countdown:
+            return self.noisy_lsbs_start
+        return max(0, self.noisy_lsbs_start - step)
+
+    def is_writeback_iteration(self, iteration: int) -> bool:
+        """True at step boundaries, where correct weights are rewritten."""
+        return iteration % self.iterations_per_step == 0
+
+    def vdd_trace(self) -> List[float]:
+        """V_DD (mV) per step, e.g. [300, 340, ..., 580] for defaults."""
+        return [self.vdd_mv(s) for s in range(self.n_steps)]

@@ -1,0 +1,199 @@
+"""The Eq. (3) TSP → Ising mapping.
+
+An N-city TSP is encoded with N² binary spins σ_ik ∈ {0, 1}, where
+σ_ik = 1 means "city k is visited at order i":
+
+    H_TSP =  a · Σ_{k≠l} Σ_i W_kl σ_ik σ_{(i+1)l}        (objective)
+           + b · Σ_i (Σ_k σ_ik − 1)²                     (one city per order)
+           + c · Σ_k (Σ_i σ_ik − 1)²                     (one order per city)
+
+This module builds the mapping explicitly (for small N — the point of
+the paper is precisely that this explodes as O(N⁴) couplings) and
+provides the conversions between tours and spin matrices.  The
+clustered annealer never materialises this; it is the reference the
+compact CIM windows are validated against, and the substrate of the
+software Ising baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IsingError
+from repro.ising.model import IsingModel
+from repro.tsp.instance import TSPInstance
+
+
+@dataclass(frozen=True)
+class TSPIsingMapping:
+    """A built Eq. (3) mapping.
+
+    Attributes
+    ----------
+    instance:
+        The TSP instance.
+    qubo:
+        ``(N², N²)`` upper-structure QUBO matrix ``Q`` such that
+        ``H = σᵀQσ + qᵀσ + offset`` over σ ∈ {0,1}.
+    linear:
+        The linear term ``q``.
+    offset:
+        The constant term (b·N + c·N from expanding the penalties).
+    a, b, c:
+        Hyper-parameters of Eq. (3).
+    """
+
+    instance: TSPInstance
+    qubo: np.ndarray
+    linear: np.ndarray
+    offset: float
+    a: float
+    b: float
+    c: float
+
+    @property
+    def n_cities(self) -> int:
+        """Number of cities N."""
+        return self.instance.n
+
+    @property
+    def n_spins(self) -> int:
+        """Number of spins N²."""
+        return self.n_cities * self.n_cities
+
+    def spin_index(self, order: int, city: int) -> int:
+        """Flat index of spin σ_{order, city}."""
+        n = self.n_cities
+        if not (0 <= order < n and 0 <= city < n):
+            raise IsingError(f"(order={order}, city={city}) out of range for N={n}")
+        return order * n + city
+
+    def energy(self, spins: np.ndarray) -> float:
+        """Eq. (3) Hamiltonian for a flat {0,1} spin vector."""
+        s = np.asarray(spins, dtype=np.float64).reshape(-1)
+        if s.size != self.n_spins:
+            raise IsingError(f"expected {self.n_spins} spins, got {s.size}")
+        return float(s @ self.qubo @ s + self.linear @ s + self.offset)
+
+    def to_ising_model(self) -> IsingModel:
+        """Convert to an :class:`IsingModel` in the {0,1} convention.
+
+        ``H = -ΣᵢΣⱼ Jᵢⱼσᵢσⱼ - Σᵢ hᵢσᵢ + offset`` with the double-counted
+        ordered-pair convention of :class:`IsingModel`.
+        """
+        Q = self.qubo
+        sym = (Q + Q.T) / 2.0
+        diag = np.diag(sym).copy()
+        np.fill_diagonal(sym, 0.0)
+        J = -sym
+        # σᵢ² = σᵢ folds the QUBO diagonal into the linear term.
+        h = -(self.linear + diag)
+        return IsingModel(J, h, convention="01")
+
+
+def build_tsp_ising(
+    instance: TSPInstance,
+    a: float = 1.0,
+    b: Optional[float] = None,
+    c: Optional[float] = None,
+) -> TSPIsingMapping:
+    """Build the Eq. (3) mapping for ``instance``.
+
+    Penalty weights default to ``2 · a · max(W)`` which guarantees that
+    violating a one-hot constraint always costs more than any tour-edge
+    saving (the standard sufficient condition).
+
+    The dense QUBO is O(N⁴) memory — exactly the scalability wall the
+    paper attacks — so this refuses N > 64 (64⁴ = 16M couplings).
+    """
+    n = instance.n
+    if n > 64:
+        raise IsingError(
+            f"explicit Eq. (3) mapping is O(N^4); refusing N={n} > 64 "
+            "(use the clustered annealer for large instances)"
+        )
+    W = instance.distance_matrix()
+    w_max = float(W.max())
+    if b is None:
+        b = 2.0 * a * w_max
+    if c is None:
+        c = 2.0 * a * w_max
+    if a <= 0 or b <= 0 or c <= 0:
+        raise IsingError("a, b, c must all be > 0")
+
+    n_spins = n * n
+    Q = np.zeros((n_spins, n_spins))
+    q = np.zeros(n_spins)
+
+    def idx(order: int, city: int) -> int:
+        return order * n + city
+
+    # Objective: a * W_kl between consecutive orders (cyclic).
+    for i in range(n):
+        i_next = (i + 1) % n
+        for k in range(n):
+            for l in range(n):
+                if k == l:
+                    continue
+                Q[idx(i, k), idx(i_next, l)] += a * W[k, l]
+
+    # Penalty b: one city per order (rows of the spin matrix).
+    for i in range(n):
+        for k in range(n):
+            q[idx(i, k)] += -b  # (σ² - 2σ) with σ²=σ
+            for l in range(k + 1, n):
+                Q[idx(i, k), idx(i, l)] += 2.0 * b
+
+    # Penalty c: one order per city (columns of the spin matrix).
+    for k in range(n):
+        for i in range(n):
+            q[idx(i, k)] += -c
+            for j in range(i + 1, n):
+                Q[idx(i, k), idx(j, k)] += 2.0 * c
+
+    offset = b * n + c * n
+    return TSPIsingMapping(
+        instance=instance, qubo=Q, linear=q, offset=offset, a=a, b=b, c=c
+    )
+
+
+def tour_to_spins(tour: np.ndarray, n: Optional[int] = None) -> np.ndarray:
+    """Encode a tour as a flat {0,1} spin vector (σ_ik layout)."""
+    from repro.tsp.tour import validate_tour
+
+    arr = validate_tour(tour, n)
+    size = arr.size
+    spins = np.zeros(size * size)
+    for order, city in enumerate(arr):
+        spins[order * size + int(city)] = 1.0
+    return spins
+
+
+def decode_spins_to_tour(
+    spins: np.ndarray, n: int, strict: bool = True
+) -> Tuple[np.ndarray, bool]:
+    """Decode a spin vector to ``(tour, feasible)``.
+
+    With ``strict=True`` an infeasible assignment (violated one-hot
+    constraints) raises; otherwise each order slot takes its argmax city
+    and duplicates are repaired greedily, returning ``feasible=False``.
+    """
+    s = np.asarray(spins, dtype=np.float64).reshape(n, n)
+    feasible = bool(
+        np.all(s.sum(axis=0) == 1.0) and np.all(s.sum(axis=1) == 1.0)
+    )
+    if strict and not feasible:
+        raise IsingError("spin state violates the one-hot constraints")
+    tour = np.argmax(s, axis=1).astype(np.int64)
+    if not feasible:
+        # Greedy repair: keep first occurrence, fill gaps with unused cities.
+        used = set()
+        missing = [c for c in range(n) if c not in set(tour.tolist())]
+        for i in range(n):
+            if int(tour[i]) in used:
+                tour[i] = missing.pop()
+            used.add(int(tour[i]))
+    return tour, feasible

@@ -1,0 +1,50 @@
+"""Max-Cut substrate.
+
+Every comparison chip in Table III (STATICA, CIM-Spin, Amorphica, ...)
+is a Max-Cut annealer: Max-Cut needs only #spins = #nodes, which is
+exactly why the paper calls it "a much simpler problem" than TSP's N²
+spins and argues for functional normalisation.  This subpackage makes
+that argument executable:
+
+* :class:`MaxCutProblem` — weighted graphs with cut evaluation;
+* generators for the standard benchmark families (G-set-style random
+  graphs, planted bisections);
+* the Max-Cut → Ising mapping (cut maximisation = Ising ground state
+  with J = +w/... antiferromagnetic couplings);
+* an annealed solver reusing :mod:`repro.ising`, plus greedy and
+  random-rounding baselines;
+* :func:`spin_scaling_comparison` — the #spins-vs-problem-size law that
+  motivates Table III's normalisation.
+"""
+
+from repro.maxcut.bifurcation import (
+    SBParams,
+    SBResult,
+    simulated_bifurcation_maxcut,
+)
+from repro.maxcut.problem import MaxCutProblem
+from repro.maxcut.generators import gset_style, planted_bisection, random_graph
+from repro.maxcut.mapping import maxcut_to_ising
+from repro.maxcut.solver import (
+    MaxCutResult,
+    anneal_maxcut,
+    greedy_maxcut,
+    local_search_improve,
+)
+from repro.maxcut.scaling import spin_scaling_comparison
+
+__all__ = [
+    "MaxCutProblem",
+    "random_graph",
+    "gset_style",
+    "planted_bisection",
+    "maxcut_to_ising",
+    "anneal_maxcut",
+    "greedy_maxcut",
+    "local_search_improve",
+    "MaxCutResult",
+    "spin_scaling_comparison",
+    "SBParams",
+    "SBResult",
+    "simulated_bifurcation_maxcut",
+]

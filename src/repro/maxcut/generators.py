@@ -1,0 +1,104 @@
+"""Max-Cut benchmark graph generators.
+
+The SOTA annealer chips of Table III report results on random graphs in
+the spirit of the G-set suite (Erdős–Rényi and toroidal families with
+unit or ±1 weights) and on planted instances.  Three generators cover
+the behaviours the benches need:
+
+* :func:`random_graph` — Erdős–Rényi G(n, p) with optional ±1 weights;
+* :func:`gset_style` — fixed average degree with ±1 weights (the G-set
+  look);
+* :func:`planted_bisection` — a known-good partition planted by making
+  cross-partition edges heavier/denser, so solvers can be scored
+  against a known reference cut.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.maxcut.problem import MaxCutProblem
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def _all_pairs(n: int) -> np.ndarray:
+    iu = np.triu_indices(n, k=1)
+    return np.stack(iu, axis=1)
+
+
+def random_graph(
+    n_nodes: int,
+    edge_prob: float,
+    seed: SeedLike = None,
+    signed: bool = False,
+    name: Optional[str] = None,
+) -> MaxCutProblem:
+    """Erdős–Rényi G(n, p), optionally with ±1 edge weights."""
+    if not 0.0 < edge_prob <= 1.0:
+        raise ReproError(f"edge_prob must be in (0,1], got {edge_prob}")
+    if n_nodes > 2000:
+        raise ReproError("random_graph enumerates all pairs; n must be <= 2000")
+    rng = spawn_rng(seed)
+    pairs = _all_pairs(n_nodes)
+    keep = rng.random(pairs.shape[0]) < edge_prob
+    edges = pairs[keep]
+    if edges.shape[0] == 0:
+        # Guarantee connectivity of at least one edge.
+        edges = pairs[:1]
+    weights = (
+        rng.choice([-1.0, 1.0], size=edges.shape[0]) if signed else None
+    )
+    return MaxCutProblem(
+        n_nodes, edges, weights, name=name or f"er{n_nodes}-p{edge_prob:g}"
+    )
+
+
+def gset_style(
+    n_nodes: int,
+    avg_degree: float = 6.0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> MaxCutProblem:
+    """Sparse random graph with ±1 weights (G-set flavour)."""
+    if avg_degree <= 0:
+        raise ReproError(f"avg_degree must be > 0, got {avg_degree}")
+    p = min(1.0, avg_degree / max(1, n_nodes - 1))
+    return random_graph(
+        n_nodes, p, seed=seed, signed=True,
+        name=name or f"gset{n_nodes}-d{avg_degree:g}",
+    )
+
+
+def planted_bisection(
+    n_nodes: int,
+    p_cross: float = 0.5,
+    p_within: float = 0.05,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Tuple[MaxCutProblem, np.ndarray, float]:
+    """A graph with a planted near-optimal bisection.
+
+    Returns ``(problem, planted_spins, planted_cut)``.  Cross-partition
+    pairs get edges with probability ``p_cross``; within-partition
+    pairs with ``p_within`` — so cutting along the planted partition
+    captures most of the total weight.
+    """
+    if n_nodes < 4:
+        raise ReproError(f"n_nodes must be >= 4, got {n_nodes}")
+    if not (0 <= p_within < p_cross <= 1.0):
+        raise ReproError("need 0 <= p_within < p_cross <= 1")
+    rng = spawn_rng(seed)
+    side = rng.permutation(n_nodes) < n_nodes // 2  # balanced partition
+    pairs = _all_pairs(n_nodes)
+    crossing = side[pairs[:, 0]] != side[pairs[:, 1]]
+    prob = np.where(crossing, p_cross, p_within)
+    keep = rng.random(pairs.shape[0]) < prob
+    edges = pairs[keep]
+    problem = MaxCutProblem(
+        n_nodes, edges, name=name or f"planted{n_nodes}"
+    )
+    spins = np.where(side, 1.0, -1.0)
+    return problem, spins, problem.cut_value(spins)

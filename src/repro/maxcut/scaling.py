@@ -1,0 +1,68 @@
+"""The spin-scaling argument behind Table III's normalisation.
+
+Paper (Sec. VI): "the number of required spins for Max-Cut is equal to
+its number of nodes, instead of the quadratic relationship for TSP, and
+thus Max-Cut is a much simpler problem."  This module turns that into
+numbers: for a given problem size, how many spins and weight bits does
+each formulation need, and what is the TSP-to-Max-Cut resource ratio
+that justifies comparing *functionally normalised* metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ReproError
+
+
+def maxcut_spins(n_nodes: int) -> int:
+    """Spins a Max-Cut annealer needs: one per node."""
+    if n_nodes < 1:
+        raise ReproError(f"n_nodes must be >= 1, got {n_nodes}")
+    return n_nodes
+
+
+def maxcut_weight_bits(n_nodes: int, bits: int = 8) -> float:
+    """Weight bits for all-to-all Max-Cut couplings: n² · bits.
+
+    Matches how the Table III chips report weight memory (e.g. STATICA:
+    512 spins, 512²·... ≈ 1.31 Mb at their precision).
+    """
+    return float(n_nodes) ** 2 * bits
+
+
+def tsp_spins(n_cities: int) -> float:
+    """Spins an unclustered Ising TSP needs: N²."""
+    if n_cities < 1:
+        raise ReproError(f"n_cities must be >= 1, got {n_cities}")
+    return float(n_cities) ** 2
+
+
+def tsp_weight_bits(n_cities: int, bits: int = 8) -> float:
+    """Weight bits for unclustered Ising TSP: N⁴ · bits."""
+    return float(n_cities) ** 4 * bits
+
+
+def spin_scaling_comparison(
+    sizes: Sequence[int], bits: int = 8
+) -> Dict[int, Dict[str, float]]:
+    """Per-size resource comparison Max-Cut vs (unoptimised) TSP.
+
+    Returns, for every problem size n, the spins/weight-bits of a
+    Max-Cut annealer on an n-node graph vs an Ising TSP on n cities,
+    plus the blow-up ratios — the quantities Table III's footnotes
+    normalise away.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for n in sizes:
+        mc_s, mc_w = maxcut_spins(n), maxcut_weight_bits(n, bits)
+        t_s, t_w = tsp_spins(n), tsp_weight_bits(n, bits)
+        out[int(n)] = {
+            "maxcut_spins": float(mc_s),
+            "maxcut_weight_bits": mc_w,
+            "tsp_spins": t_s,
+            "tsp_weight_bits": t_w,
+            "spin_blowup": t_s / mc_s,
+            "weight_blowup": t_w / mc_w,
+        }
+    return out

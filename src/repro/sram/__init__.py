@@ -1,0 +1,50 @@
+"""Noisy-SRAM substrate (Sec. IV).
+
+Behavioural model of the pseudo-read bit-error mechanism:
+
+* each 6T SRAM cell gets, at "fabrication", a *critical supply voltage*
+  ``Vc`` (from its inverter mismatch) and a *preferred state* (the
+  direction its latch falls when destabilised);
+* a pseudo-read at supply voltage below ``Vc`` resolves the cell to its
+  preferred state — an error when that differs from the stored bit;
+* the resulting error-rate-vs-V_DD curve is a Gaussian-CDF sigmoid
+  from ~0% at nominal 800 mV down to ~50% at 200 mV, sharper for
+  larger bit-line capacitance (Fig. 6b), which the Monte-Carlo driver
+  in :mod:`repro.sram.montecarlo` reproduces with 1000 samples exactly
+  like the paper's SPICE experiment;
+* :class:`SpatialNoiseField` carries the per-cell (Vc, preferred)
+  pattern for a whole weight array and corrupts stored 8-bit weights on
+  selected LSB planes — the paper's knob for noise granularity.
+
+An LFSR pseudo-random generator (:mod:`repro.sram.lfsr`) is included as
+the conventional digital noise source the paper argues against, used by
+the ablation benchmarks.
+"""
+
+from repro.sram.butterfly import (
+    butterfly_curves,
+    critical_voltage_mv,
+    inverter_vtc,
+    read_snm_mv,
+)
+from repro.sram.cell import SRAMCellParams, sample_critical_voltages
+from repro.sram.errormodel import ErrorRateModel
+from repro.sram.lfsr import LFSR
+from repro.sram.montecarlo import ErrorRateCurve, monte_carlo_error_rate
+from repro.sram.noise import SpatialNoiseField
+from repro.sram.writeback import WritebackController
+
+__all__ = [
+    "butterfly_curves",
+    "inverter_vtc",
+    "read_snm_mv",
+    "critical_voltage_mv",
+    "SRAMCellParams",
+    "sample_critical_voltages",
+    "ErrorRateModel",
+    "ErrorRateCurve",
+    "monte_carlo_error_rate",
+    "SpatialNoiseField",
+    "LFSR",
+    "WritebackController",
+]

@@ -1,0 +1,152 @@
+"""Butterfly curves and static noise margin (Fig. 6a).
+
+The cell model in :mod:`repro.sram.cell` compresses everything into one
+per-cell critical voltage.  This module backs that abstraction with the
+circuit picture the paper draws in Fig. 6(a): the cross-coupled
+inverter voltage-transfer curves (VTCs) form the butterfly plot, the
+read static noise margin (SNM) is the side of the largest square
+inscribed in the smaller lobe, and both lowering V_DD and
+threshold-voltage mismatch visibly squeeze the lobes until the margin
+collapses — which is exactly when pseudo-read flips become likely.
+
+Models (behavioural, not SPICE):
+
+* inverter VTC — a logistic transition centred at the switching
+  threshold ``Vm = V_DD/2 + δ`` with width ∝ V_DD (sharper inverters at
+  higher supply);
+* read disturbance — during a (pseudo-)read the access transistor pulls
+  the low node up to a fraction of V_DD, flattening the VTC's low rail;
+* SNM — Seevinck's rotated-coordinates construction evaluated
+  numerically on both lobes.
+
+:func:`critical_voltage_mv` inverts SNM(V_DD) = 0 by bisection, giving
+the same quantity :func:`repro.sram.cell.sample_critical_voltages`
+draws statistically — the tests check the two views agree on trends.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SRAMError
+
+#: Fraction of V_DD the access transistor lifts the low node to at read.
+READ_DISTURB_FRACTION = 0.15
+#: VTC transition width as a fraction of V_DD.
+TRANSITION_WIDTH_FRACTION = 0.08
+
+
+def inverter_vtc(
+    vin_mv: np.ndarray,
+    vdd_mv: float,
+    vth_shift_mv: float = 0.0,
+    read_mode: bool = True,
+) -> np.ndarray:
+    """Logistic inverter voltage-transfer curve.
+
+    Parameters
+    ----------
+    vin_mv:
+        Input voltages (mV).
+    vdd_mv:
+        Supply voltage (mV).
+    vth_shift_mv:
+        Mismatch-induced shift of the switching threshold.
+    read_mode:
+        Model the word-line-on read disturbance: the output low level is
+        lifted to ``READ_DISTURB_FRACTION · V_DD``.
+    """
+    if vdd_mv <= 0:
+        raise SRAMError(f"vdd_mv must be > 0, got {vdd_mv}")
+    vin = np.asarray(vin_mv, dtype=np.float64)
+    vm = vdd_mv / 2.0 + vth_shift_mv
+    width = max(TRANSITION_WIDTH_FRACTION * vdd_mv, 1e-6)
+    vout = vdd_mv / (1.0 + np.exp((vin - vm) / width))
+    if read_mode:
+        vout = np.maximum(vout, READ_DISTURB_FRACTION * vdd_mv)
+    return vout
+
+
+def butterfly_curves(
+    vdd_mv: float,
+    mismatch_mv: float = 0.0,
+    n_points: int = 512,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The two read VTCs of a (possibly mismatched) cell.
+
+    Returns ``(v, vtc1(v), vtc2(v))`` where the mismatch is applied
+    antisymmetrically (+δ/2 on one inverter, −δ/2 on the other) — the
+    worst case for one lobe, as in Fig. 6(a)'s skewed butterfly.
+    """
+    v = np.linspace(0.0, vdd_mv, n_points)
+    vtc1 = inverter_vtc(v, vdd_mv, +mismatch_mv / 2.0)
+    vtc2 = inverter_vtc(v, vdd_mv, -mismatch_mv / 2.0)
+    return v, vtc1, vtc2
+
+
+def read_snm_mv(
+    vdd_mv: float, mismatch_mv: float = 0.0, n_points: int = 512
+) -> float:
+    """Read static noise margin via Seevinck's rotated-axes method.
+
+    The butterfly is formed by curve A = (v, vtc1(v)) and curve
+    B = (vtc2(v), v).  In coordinates rotated by 45°, the vertical gap
+    between the curves equals √2 × the inscribed square's side; the SNM
+    is the smaller lobe's maximum square.
+    """
+    v, vtc1, vtc2 = butterfly_curves(vdd_mv, mismatch_mv, n_points)
+    # Rotate both curves by -45°: u = (x − y)/√2 (abscissa),
+    # w = (x + y)/√2.  A square of side s inscribed in a lobe touches
+    # the two curves at corners separated by (s, s) — same u, and a
+    # w-gap of s·√2.
+    s2 = np.sqrt(2.0)
+    u_a, w_a = (v - vtc1) / s2, (v + vtc1) / s2
+    u_b, w_b = (vtc2 - v) / s2, (vtc2 + v) / s2
+    # Interpolate on a common abscissa spanning both curves.
+    u_lo = max(u_a.min(), u_b.min())
+    u_hi = min(u_a.max(), u_b.max())
+    if u_hi <= u_lo:
+        return 0.0
+    grid = np.linspace(u_lo, u_hi, n_points)
+    # Curves must be sampled in ascending-u order for interp.
+    order_a = np.argsort(u_a)
+    order_b = np.argsort(u_b)
+    wa = np.interp(grid, u_a[order_a], w_a[order_a])
+    wb = np.interp(grid, u_b[order_b], w_b[order_b])
+    gap = wa - wb
+    upper_lobe = float(gap.max())
+    lower_lobe = float(-gap.min())
+    snm_diag = min(upper_lobe, lower_lobe)
+    return max(0.0, snm_diag / s2)
+
+
+def critical_voltage_mv(
+    mismatch_mv: float,
+    snm_threshold_mv: float = 5.0,
+    v_lo: float = 50.0,
+    v_hi: float = 1000.0,
+    tol: float = 0.5,
+) -> float:
+    """Supply voltage below which the read SNM collapses.
+
+    Bisection on ``read_snm_mv(V) = snm_threshold_mv``: below the
+    returned voltage the cell is effectively metastable at read — the
+    circuit-level counterpart of the statistical critical voltage in
+    :mod:`repro.sram.cell`.
+    """
+    if snm_threshold_mv <= 0:
+        raise SRAMError("snm_threshold_mv must be > 0")
+    if read_snm_mv(v_hi, mismatch_mv) <= snm_threshold_mv:
+        return v_hi
+    if read_snm_mv(v_lo, mismatch_mv) > snm_threshold_mv:
+        return v_lo
+    lo, hi = v_lo, v_hi
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if read_snm_mv(mid, mismatch_mv) > snm_threshold_mv:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,128 @@
+"""SRAM bit-cell process-variation model.
+
+Physical picture (Sec. IV-A): the 6T cell's cross-coupled inverters are
+nominally symmetric; threshold-voltage mismatch skews the butterfly
+curve and shrinks the read static-noise margin (SNM).  Lowering the
+cell supply voltage during a word-line-activated *pseudo-read* shrinks
+the SNM further until the bit-line disturbance flips the latch.
+
+We compress this into a single per-cell parameter, the **critical
+supply voltage** ``Vc``:
+
+    Vc_i = v50 + s · δ_i,      δ_i ~ N(0, 1)
+
+* pseudo-read at ``V_DD < Vc_i`` destabilises the cell — it resolves to
+  its *preferred state* (fixed by the mismatch sign);
+* ``V_DD ≥ Vc_i`` reads are non-destructive.
+
+Since stored data is uncorrelated with the preferred state, the error
+probability is half the destabilisation probability:
+
+    P_err(V) = 0.5 · Φ((v50 − V) / s)
+
+which is exactly the sigmoid of Fig. 6b.  The mismatch spread ``s``
+shrinks with bit-line capacitance (a larger C_BL integrates the
+disturbance over more charge, so the outcome is governed by the supply
+voltage rather than by per-cell randomness), reproducing the "higher BL
+capacitance → sharper transition" observation:
+
+    s(C_BL) = sigma_v / sqrt(1 + C_BL / C_ref)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SRAMError
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: Nominal supply for the 16 nm node used throughout the paper (mV).
+NOMINAL_VDD_MV = 800.0
+
+
+@dataclass(frozen=True)
+class SRAMCellParams:
+    """Population parameters of the pseudo-read flip model.
+
+    Attributes
+    ----------
+    v50_mv:
+        Supply voltage at which half the cells destabilise (so the
+        *error* rate is 25% there).  Calibrated so the paper's 300 mV
+        annealing start sits at a high-noise point and 580 mV is
+        essentially noise-free.
+    sigma_v_mv:
+        Mismatch-induced spread of the critical voltage at the
+        reference bit-line capacitance.
+    bl_cap_ratio:
+        Bit-line capacitance relative to the reference (array height
+        proxy); > 1 sharpens the error-rate transition.
+    """
+
+    v50_mv: float = 300.0
+    sigma_v_mv: float = 55.0
+    bl_cap_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v50_mv <= 0:
+            raise SRAMError(f"v50_mv must be > 0, got {self.v50_mv}")
+        if self.sigma_v_mv <= 0:
+            raise SRAMError(f"sigma_v_mv must be > 0, got {self.sigma_v_mv}")
+        if self.bl_cap_ratio <= 0:
+            raise SRAMError(f"bl_cap_ratio must be > 0, got {self.bl_cap_ratio}")
+
+    @property
+    def effective_sigma_mv(self) -> float:
+        """Critical-voltage spread after the bit-line-capacitance effect."""
+        return self.sigma_v_mv / float(np.sqrt(self.bl_cap_ratio))
+
+
+def sample_critical_voltages(
+    shape: Tuple[int, ...],
+    params: SRAMCellParams,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample a fabricated cell population.
+
+    Returns ``(critical_voltage_mv, preferred_state)`` arrays of the
+    given shape — the immutable spatial fingerprint of the die.  The
+    preferred state is an independent fair coin per cell (mismatch sign).
+    """
+    rng = spawn_rng(seed)
+    vc = params.v50_mv + params.effective_sigma_mv * rng.standard_normal(shape)
+    preferred = rng.integers(0, 2, size=shape, dtype=np.uint8)
+    return vc, preferred
+
+
+def pseudo_read(
+    stored: np.ndarray,
+    critical_voltage_mv: np.ndarray,
+    preferred: np.ndarray,
+    vdd_mv: float,
+) -> np.ndarray:
+    """Pseudo-read an array of bits at supply ``vdd_mv``.
+
+    Destabilised cells (``vdd_mv < Vc``) return their preferred state;
+    stable cells return the stored bit.  Matches the irreversible-flip
+    semantics of the paper: the *returned* array is what the storage
+    node now holds (callers model recovery via write-back).
+    """
+    if vdd_mv <= 0:
+        raise SRAMError(f"vdd_mv must be > 0, got {vdd_mv}")
+    stored = np.asarray(stored)
+    if stored.shape != critical_voltage_mv.shape or stored.shape != preferred.shape:
+        raise SRAMError("stored/Vc/preferred shapes must match")
+    unstable = critical_voltage_mv > vdd_mv
+    return np.where(unstable, preferred, stored).astype(np.uint8)
+
+
+def analytic_error_rate(vdd_mv: float, params: SRAMCellParams) -> float:
+    """Closed-form P_err(V) = 0.5 · Φ((v50 − V)/s) of the cell model."""
+    from math import erf, sqrt
+
+    z = (params.v50_mv - vdd_mv) / params.effective_sigma_mv
+    phi = 0.5 * (1.0 + erf(z / sqrt(2.0)))
+    return 0.5 * phi

@@ -1,0 +1,88 @@
+"""Closed-form error-rate model and its inverse.
+
+Wraps the analytic sigmoid of the cell model with convenience queries
+used by the annealer and the hardware energy model:
+
+* ``rate(vdd)`` — expected bit-error probability at a supply voltage;
+* ``vdd_for_rate(p)`` — the supply voltage that produces a target error
+  rate (useful for designing schedules);
+* ``expected_weight_noise(vdd, noisy_lsbs)`` — expected absolute weight
+  perturbation (in weight LSB units) when the given number of LSB
+  planes run at reduced V_DD, which is the effective "temperature" of
+  the annealer.
+"""
+
+from __future__ import annotations
+
+from math import log, sqrt
+from typing import Optional
+
+from repro.errors import SRAMError
+from repro.sram.cell import SRAMCellParams, analytic_error_rate
+
+
+def _phi_inv(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise SRAMError(f"probability must be in (0,1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = sqrt(-2 * log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = sqrt(-2 * log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+                ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+
+
+class ErrorRateModel:
+    """Analytic pseudo-read error model for one cell population."""
+
+    def __init__(self, params: Optional[SRAMCellParams] = None):
+        self.params = params or SRAMCellParams()
+
+    def rate(self, vdd_mv: float) -> float:
+        """Expected bit-error probability at ``vdd_mv``."""
+        if vdd_mv <= 0:
+            raise SRAMError(f"vdd_mv must be > 0, got {vdd_mv}")
+        return analytic_error_rate(vdd_mv, self.params)
+
+    def vdd_for_rate(self, rate: float) -> float:
+        """Supply voltage (mV) at which the error rate equals ``rate``.
+
+        Valid for rates in (0, 0.5) — 0.5 is the metastable asymptote.
+        """
+        if not 0.0 < rate < 0.5:
+            raise SRAMError(f"rate must be in (0, 0.5), got {rate}")
+        # rate = 0.5·Φ((v50−V)/s)  =>  (v50−V)/s = Φ⁻¹(2·rate)
+        z = _phi_inv(2.0 * rate)
+        return self.params.v50_mv - z * self.params.effective_sigma_mv
+
+    def expected_weight_noise(self, vdd_mv: float, noisy_lsbs: int, weight_bits: int = 8) -> float:
+        """Expected |Δw| (in LSB units) with ``noisy_lsbs`` noisy planes.
+
+        Each noisy bit plane b flips with probability p, contributing
+        2^b on flip; flips are independent, so E|Δw| ≤ Σ p·2^b (equality
+        when flips are rare; for large p, opposing flips partially
+        cancel — we report the upper bound, a monotone noise measure).
+        """
+        if not 0 <= noisy_lsbs <= weight_bits:
+            raise SRAMError(
+                f"noisy_lsbs must be in [0, {weight_bits}], got {noisy_lsbs}"
+            )
+        p = self.rate(vdd_mv)
+        return p * float(sum(2**b for b in range(noisy_lsbs)))

@@ -1,0 +1,90 @@
+"""Linear-feedback shift register (LFSR) pseudo-random source.
+
+The conventional digital annealing-noise generator the paper replaces
+with intrinsic SRAM variation.  Implemented as a Fibonacci LFSR with
+maximal-length taps; used by the ablation benchmark comparing
+SRAM-noise annealing against LFSR-noise annealing, and as a
+deterministic bit source in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import SRAMError
+
+#: Maximal-length tap sets (XOR form) for common widths.
+_MAXIMAL_TAPS: Dict[int, Tuple[int, ...]] = {
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+}
+
+
+class LFSR:
+    """A Fibonacci LFSR producing bits, integers, and floats.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (8, 16, 24 or 32 — widths with known
+        maximal-length taps).
+    seed:
+        Non-zero initial register state (the all-zero state is a fixed
+        point and is rejected).
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1):
+        if width not in _MAXIMAL_TAPS:
+            raise SRAMError(
+                f"width must be one of {sorted(_MAXIMAL_TAPS)}, got {width}"
+            )
+        self.width = width
+        self._mask = (1 << width) - 1
+        seed &= self._mask
+        if seed == 0:
+            raise SRAMError("LFSR seed must be non-zero")
+        self._state = seed
+        self._taps = _MAXIMAL_TAPS[width]
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Sequence period (2^width − 1 for maximal-length taps)."""
+        return (1 << self.width) - 1
+
+    def next_bit(self) -> int:
+        """Shift once and return the output bit."""
+        feedback = 0
+        for t in self._taps:
+            feedback ^= (self._state >> (t - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & self._mask
+        return self._state & 1
+
+    def next_int(self, bits: int | None = None) -> int:
+        """Next ``bits``-wide integer (default: full register width)."""
+        if bits is None:
+            bits = self.width
+        if not 1 <= bits <= 64:
+            raise SRAMError(f"bits must be in [1,64], got {bits}")
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.next_bit()
+        return value
+
+    def next_float(self) -> float:
+        """Next float uniform in [0, 1) with register-width resolution."""
+        return self.next_int() / (1 << self.width)
+
+    def bits(self, count: int) -> np.ndarray:
+        """Array of the next ``count`` output bits."""
+        if count < 0:
+            raise SRAMError(f"count must be >= 0, got {count}")
+        return np.asarray([self.next_bit() for _ in range(count)], dtype=np.uint8)

@@ -1,0 +1,117 @@
+"""Monte-Carlo error-rate extraction (Fig. 6b).
+
+The paper sweeps the cell supply from 800 mV (nominal for 16 nm) down
+to 200 mV, taking 1000 Monte-Carlo SPICE samples per point, and reports
+the pseudo-read error rate.  This module reruns that experiment on the
+behavioural cell model: sample 1000 fabricated cells, store random
+data, pseudo-read at each supply voltage, and count bit errors.
+
+The measured points should track the analytic sigmoid
+``0.5·Φ((v50−V)/s)`` within binomial sampling noise — asserted by the
+test suite — and sharpen with bit-line capacitance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SRAMError
+from repro.sram.cell import (
+    SRAMCellParams,
+    analytic_error_rate,
+    pseudo_read,
+    sample_critical_voltages,
+)
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: The paper's sweep: 800 mV (nominal) down to 200 mV.
+DEFAULT_VDD_SWEEP_MV = tuple(float(v) for v in range(200, 801, 25))
+
+
+@dataclass
+class ErrorRateCurve:
+    """A measured error-rate-vs-V_DD curve.
+
+    Attributes
+    ----------
+    vdd_mv:
+        Swept supply voltages (mV), ascending.
+    error_rate:
+        Measured pseudo-read error rate per voltage.
+    analytic:
+        Closed-form model prediction at the same voltages.
+    params:
+        Cell-population parameters used.
+    n_samples:
+        Monte-Carlo samples per voltage point.
+    """
+
+    vdd_mv: np.ndarray
+    error_rate: np.ndarray
+    analytic: np.ndarray
+    params: SRAMCellParams
+    n_samples: int
+
+    def rate_at(self, vdd_mv: float) -> float:
+        """Linearly interpolated measured error rate at ``vdd_mv``."""
+        return float(np.interp(vdd_mv, self.vdd_mv, self.error_rate))
+
+    def transition_width_mv(self) -> float:
+        """Voltage span between the 5% and 45% error-rate crossings.
+
+        A sharper sigmoid (higher BL capacitance) has a smaller width.
+        Interpolates on the analytic curve for robustness to MC noise.
+        """
+        # analytic is monotonically decreasing in V.
+        v_hi = float(np.interp(-0.05, -self.analytic, self.vdd_mv))
+        v_lo = float(np.interp(-0.45, -self.analytic, self.vdd_mv))
+        return v_hi - v_lo
+
+
+def monte_carlo_error_rate(
+    vdd_sweep_mv: Sequence[float] = DEFAULT_VDD_SWEEP_MV,
+    n_samples: int = 1000,
+    params: Optional[SRAMCellParams] = None,
+    seed: SeedLike = 0,
+) -> ErrorRateCurve:
+    """Re-run the paper's Fig. 6b Monte-Carlo experiment.
+
+    Parameters
+    ----------
+    vdd_sweep_mv:
+        Supply voltages to sweep (default 200..800 mV).
+    n_samples:
+        Cells per voltage point (paper: 1000).
+    params:
+        Cell-population parameters (default paper calibration).
+    seed:
+        Seed for the fabricated population and the stored data.
+    """
+    if n_samples < 1:
+        raise SRAMError(f"n_samples must be >= 1, got {n_samples}")
+    vdds = np.asarray(sorted(float(v) for v in vdd_sweep_mv))
+    if vdds.size == 0:
+        raise SRAMError("empty V_DD sweep")
+    params = params or SRAMCellParams()
+    rng = spawn_rng(seed)
+
+    # One fabricated population reused across the sweep, fresh random
+    # data per point (matches the paper's averaging over samples).
+    vc, preferred = sample_critical_voltages((n_samples,), params, seed=rng)
+    rates = np.empty(vdds.size)
+    for k, v in enumerate(vdds):
+        stored = rng.integers(0, 2, size=n_samples, dtype=np.uint8)
+        read = pseudo_read(stored, vc, preferred, float(v))
+        rates[k] = float(np.mean(read != stored))
+
+    analytic = np.asarray([analytic_error_rate(float(v), params) for v in vdds])
+    return ErrorRateCurve(
+        vdd_mv=vdds,
+        error_rate=rates,
+        analytic=analytic,
+        params=params,
+        n_samples=n_samples,
+    )

@@ -1,0 +1,128 @@
+"""Spatial noise fields over weight memories (Sec. IV-B).
+
+A :class:`SpatialNoiseField` is the fabrication fingerprint of the bit
+cells backing one weight array: a critical voltage and a preferred
+state per *bit* cell.  Because the paper stores the noise in the
+**weights** (not the spins), a pseudo-read at reduced V_DD corrupts the
+weight planes deterministically-per-cell — and since each MAC cycle
+addresses different rows/columns, the spatial pattern is experienced as
+*temporal* noise by the annealing dynamics.
+
+The field corrupts only the selected LSB planes (MSBs stay at nominal
+V_DD), giving the two noise knobs of the paper: supply voltage and
+number of noisy bits.
+
+Simplification vs silicon: a destabilised cell physically flips the
+first time it is pseudo-read within a write-back period and stays
+flipped; we apply the flip from the start of the period.  Since almost
+every weight column is exercised within the first few iterations of a
+50-iteration period, the difference is a sub-iteration transient.
+(Recorded in DESIGN.md §2.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SRAMError
+from repro.sram.cell import SRAMCellParams, sample_critical_voltages
+from repro.utils.rng import SeedLike
+
+
+class SpatialNoiseField:
+    """Per-bit-cell (Vc, preferred-state) pattern for a weight array.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the *weight* array (values, not bits), e.g. the
+        ``(p²+2p, p²)`` window or a whole-array stack of windows.
+    weight_bits:
+        Bit width of each weight (8 in the paper); the field holds
+        ``shape + (weight_bits,)`` bit cells.
+    params:
+        Cell-population parameters.
+    seed:
+        Fabrication seed — two fields with the same seed are the same
+        die.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        weight_bits: int = 8,
+        params: Optional[SRAMCellParams] = None,
+        seed: SeedLike = None,
+    ):
+        if weight_bits < 1 or weight_bits > 16:
+            raise SRAMError(f"weight_bits must be in [1,16], got {weight_bits}")
+        self.shape = tuple(int(s) for s in shape)
+        self.weight_bits = weight_bits
+        self.params = params or SRAMCellParams()
+        bit_shape = self.shape + (weight_bits,)
+        self._vc, self._preferred = sample_critical_voltages(
+            bit_shape, self.params, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    def flip_mask(self, vdd_mv: float, noisy_lsbs: int) -> np.ndarray:
+        """Boolean bit-plane mask of destabilised cells.
+
+        True where the cell (a) sits in one of the ``noisy_lsbs`` LSB
+        planes (the only ones run at reduced V_DD) and (b) has a
+        critical voltage above ``vdd_mv``.
+        """
+        if vdd_mv <= 0:
+            raise SRAMError(f"vdd_mv must be > 0, got {vdd_mv}")
+        if not 0 <= noisy_lsbs <= self.weight_bits:
+            raise SRAMError(
+                f"noisy_lsbs must be in [0, {self.weight_bits}], got {noisy_lsbs}"
+            )
+        mask = self._vc > vdd_mv
+        if noisy_lsbs < self.weight_bits:
+            mask = mask.copy()
+            mask[..., noisy_lsbs:] = False  # MSB planes at nominal V_DD
+        return mask
+
+    def corrupt(
+        self, weights: np.ndarray, vdd_mv: float, noisy_lsbs: int
+    ) -> np.ndarray:
+        """Pseudo-read ``weights`` under reduced V_DD on the LSB planes.
+
+        Destabilised bit cells resolve to their preferred state; the
+        corrupted integer weights are returned (stored data unchanged —
+        the caller owns write-back bookkeeping).
+        """
+        w = np.asarray(weights)
+        if w.shape != self.shape:
+            raise SRAMError(
+                f"weights shape {w.shape} does not match field shape {self.shape}"
+            )
+        if np.any(w < 0) or np.any(w >= (1 << self.weight_bits)):
+            raise SRAMError(
+                f"weights out of range for {self.weight_bits}-bit storage"
+            )
+        mask = self.flip_mask(vdd_mv, noisy_lsbs)
+        if not mask.any():
+            return w.astype(np.int64)
+        bits = (w[..., None] >> np.arange(self.weight_bits)) & 1
+        bits = np.where(mask, self._preferred, bits.astype(np.uint8))
+        out = (bits.astype(np.int64) << np.arange(self.weight_bits)).sum(axis=-1)
+        return out
+
+    def error_rate(self, vdd_mv: float, noisy_lsbs: int) -> float:
+        """Measured fraction of destabilised cells among the noisy planes."""
+        if noisy_lsbs == 0:
+            return 0.0
+        mask = self.flip_mask(vdd_mv, noisy_lsbs)
+        noisy_cells = mask[..., :noisy_lsbs]
+        # Half of destabilised cells hold their preferred value already.
+        return float(noisy_cells.mean()) * 0.5
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialNoiseField(shape={self.shape}, "
+            f"weight_bits={self.weight_bits})"
+        )

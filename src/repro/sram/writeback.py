@@ -1,0 +1,70 @@
+"""Write-back (weight recovery) bookkeeping (Sec. IV-B).
+
+Pseudo-read flips are irreversible — raising V_DD back to nominal does
+not restore the storage node — so the correct weights must be
+periodically rewritten.  The paper writes back every 50 iterations, at
+the same boundaries where V_DD steps up and the noisy-LSB count steps
+down.
+
+:class:`WritebackController` tracks those events so the hardware
+energy/latency models can charge the write cost (Fig. 7c/d separate the
+read and write portions of both), and exposes the current corruption
+settings to the annealer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import SRAMError
+from repro.ising.schedule import VddSchedule
+
+
+@dataclass
+class WritebackController:
+    """Drives V_DD / noisy-LSB settings and counts write-back events.
+
+    One controller is stepped through the iterations of one annealing
+    level; :meth:`begin_iteration` returns the noise settings in force
+    and whether a write-back (weight refresh) happens first.
+    """
+
+    schedule: VddSchedule = field(default_factory=VddSchedule)
+    writeback_count: int = 0
+    iterations_seen: int = 0
+    _events: List[Tuple[int, float, int]] = field(default_factory=list)
+
+    def begin_iteration(self, iteration: int) -> Tuple[bool, float, int]:
+        """Settings for ``iteration``: ``(writeback, vdd_mv, noisy_lsbs)``.
+
+        ``writeback`` is True when the correct weights are rewritten
+        before this iteration runs (step boundaries, including
+        iteration 0 — the initial programming of the arrays).
+        """
+        step = self.schedule.step_of(iteration)
+        writeback = self.schedule.is_writeback_iteration(iteration)
+        vdd = self.schedule.vdd_mv(step)
+        lsbs = self.schedule.noisy_lsbs(step)
+        if writeback:
+            self.writeback_count += 1
+            self._events.append((iteration, vdd, lsbs))
+        self.iterations_seen += 1
+        return writeback, vdd, lsbs
+
+    @property
+    def events(self) -> List[Tuple[int, float, int]]:
+        """Write-back events as ``(iteration, vdd_mv, noisy_lsbs)``."""
+        return list(self._events)
+
+    def expected_writebacks(self) -> int:
+        """Write-backs a full level incurs (one per schedule step)."""
+        return self.schedule.n_steps
+
+    def validate_complete(self) -> None:
+        """Assert a full level was stepped through exactly once."""
+        if self.iterations_seen != self.schedule.total_iterations:
+            raise SRAMError(
+                f"saw {self.iterations_seen} iterations, schedule has "
+                f"{self.schedule.total_iterations}"
+            )

@@ -1,0 +1,59 @@
+"""TSP substrate: instances, tours, TSPLIB I/O, synthetic generators,
+reference solutions, and classical CPU baselines.
+
+This subpackage is the problem-side foundation of the reproduction:
+every experiment in the paper is run on a travelling-salesman instance,
+either a TSPLIB benchmark (parsed from disk if available) or a
+structure-matched synthetic analog (see :mod:`repro.tsp.generators`).
+"""
+
+from repro.tsp.generators import (
+    circle,
+    circle_optimal_length,
+    make_paper_instance,
+    pcb_style,
+    pla_style,
+    random_clustered,
+    random_uniform,
+    rl_style,
+)
+from repro.tsp.instance import TSPInstance
+from repro.tsp.reference import (
+    BEST_KNOWN_LENGTHS,
+    CONCORDE_RUNTIMES_S,
+    bhh_estimate,
+    reference_length,
+)
+from repro.tsp.tour import (
+    Tour,
+    random_tour,
+    tour_length,
+    validate_tour,
+)
+from repro.tsp.svg import render_tour_svg, save_tour_svg
+from repro.tsp.tsplib import load_tsplib, parse_tsplib, write_tsplib
+
+__all__ = [
+    "TSPInstance",
+    "Tour",
+    "tour_length",
+    "validate_tour",
+    "random_tour",
+    "load_tsplib",
+    "parse_tsplib",
+    "write_tsplib",
+    "render_tour_svg",
+    "save_tour_svg",
+    "random_uniform",
+    "circle",
+    "circle_optimal_length",
+    "random_clustered",
+    "pcb_style",
+    "rl_style",
+    "pla_style",
+    "make_paper_instance",
+    "BEST_KNOWN_LENGTHS",
+    "CONCORDE_RUNTIMES_S",
+    "bhh_estimate",
+    "reference_length",
+]

@@ -1,0 +1,34 @@
+"""Classical CPU baselines for TSP.
+
+These serve three roles in the reproduction:
+
+* construct *reference tours* for synthetic instances (greedy / NN +
+  2-opt + Or-opt), standing in for TSPLIB best-known lengths;
+* provide the *CPU simulated-annealing baseline* the clustered
+  CIM annealer is compared against;
+* provide an *exact solver* (Held–Karp) for small instances, used by
+  tests to check optimality gaps.
+"""
+
+from repro.tsp.baselines.christofides import christofides_tour
+from repro.tsp.baselines.greedy_edge import greedy_edge_tour
+from repro.tsp.baselines.held_karp import held_karp
+from repro.tsp.baselines.nearest_neighbor import nearest_neighbor_tour
+from repro.tsp.baselines.sa import SAParams, simulated_annealing_tsp
+from repro.tsp.baselines.two_opt import (
+    build_neighbor_lists,
+    or_opt_improve,
+    two_opt_improve,
+)
+
+__all__ = [
+    "nearest_neighbor_tour",
+    "greedy_edge_tour",
+    "christofides_tour",
+    "held_karp",
+    "two_opt_improve",
+    "or_opt_improve",
+    "build_neighbor_lists",
+    "simulated_annealing_tsp",
+    "SAParams",
+]

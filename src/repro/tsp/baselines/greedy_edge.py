@@ -1,0 +1,153 @@
+"""Greedy-edge (greedy matching) tour construction.
+
+Sort edges by length and add an edge whenever it does not create a
+vertex of degree 3 or a premature sub-cycle; the surviving edges form a
+Hamiltonian cycle.  Typically ~15% above optimal on uniform instances,
+noticeably better than nearest-neighbour.
+
+To avoid materialising all O(n²) edges, only the ``k`` nearest
+neighbours of every city are considered as candidates (k-NN via a
+simple uniform grid bucketing — no scipy dependency).  If the candidate
+set cannot complete the cycle, the remaining path endpoints are linked
+greedily, which is rare for k >= 12 on planar point sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import SeedLike
+
+
+def _knn_candidate_edges(
+    coords: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (u, v, dist) arrays for the union of k-NN edges."""
+    n = coords.shape[0]
+    k = min(k, n - 1)
+    # Grid bucketing: expected O(n * k) neighbour search.
+    from repro.tsp.baselines.two_opt import build_neighbor_lists
+
+    nbrs = build_neighbor_lists(coords, k)
+    u = np.repeat(np.arange(n, dtype=np.int64), k)
+    v = nbrs.reshape(-1)
+    keep = u < v  # dedupe symmetric pairs
+    # Keep asymmetric ones too (j may be in i's kNN but not vice versa).
+    anti = u > v
+    pair_lo = np.where(keep, u, v)[keep | anti]
+    pair_hi = np.where(keep, v, u)[keep | anti]
+    packed = pair_lo * np.int64(n) + pair_hi
+    uniq = np.unique(packed)
+    uu = (uniq // n).astype(np.int64)
+    vv = (uniq % n).astype(np.int64)
+    d = np.hypot(
+        coords[uu, 0] - coords[vv, 0], coords[uu, 1] - coords[vv, 1]
+    )
+    return uu, vv, d
+
+
+class _DisjointSet:
+    """Union-find with path compression for sub-cycle detection."""
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def greedy_edge_tour(
+    instance: TSPInstance,
+    k_neighbors: int = 16,
+    seed: SeedLike = None,  # accepted for interface uniformity; unused
+) -> np.ndarray:
+    """Construct a tour with the greedy-edge heuristic.
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance.
+    k_neighbors:
+        Number of nearest neighbours per city considered as candidate
+        edges.  Larger values improve quality slightly at more memory.
+    seed:
+        Unused (the heuristic is deterministic); present so all
+        constructors share the ``(instance, seed=...)`` signature.
+    """
+    n = instance.n
+    coords = instance.coords
+    u, v, d = _knn_candidate_edges(coords, k_neighbors)
+    order = np.argsort(d, kind="stable")
+
+    degree = np.zeros(n, dtype=np.int64)
+    dsu = _DisjointSet(n)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    added = 0
+    for e in order:
+        a, b = int(u[e]), int(v[e])
+        if degree[a] >= 2 or degree[b] >= 2:
+            continue
+        if dsu.find(a) == dsu.find(b):
+            continue  # would close a sub-cycle early
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+        degree[a] += 1
+        degree[b] += 1
+        dsu.union(a, b)
+        added += 1
+        if added == n - 1:
+            break
+
+    # Link leftover path endpoints (degree < 2) greedily by proximity.
+    endpoints = np.nonzero(degree < 2)[0].tolist()
+    while len(endpoints) > 2:
+        a = endpoints.pop()
+        if degree[a] >= 2:
+            continue
+        best, best_d = -1, np.inf
+        for b in endpoints:
+            if b == a or degree[b] >= 2 or dsu.find(a) == dsu.find(b):
+                continue
+            dist = float(np.hypot(*(coords[a] - coords[b])))
+            if dist < best_d:
+                best, best_d = b, dist
+        if best < 0:
+            continue
+        adjacency[a].append(best)
+        adjacency[best].append(a)
+        degree[a] += 1
+        degree[best] += 1
+        dsu.union(a, best)
+        endpoints = [e for e in endpoints if degree[e] < 2] + (
+            [a] if degree[a] < 2 else []
+        )
+    # Close the final cycle between the last two endpoints.
+    final = np.nonzero(degree < 2)[0]
+    if final.size == 2:
+        a, b = int(final[0]), int(final[1])
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    # Walk the cycle into a tour order.
+    tour = np.empty(n, dtype=np.int64)
+    tour[0] = 0
+    prev, current = -1, 0
+    for step in range(1, n):
+        nxt = adjacency[current][0]
+        if nxt == prev:
+            nxt = adjacency[current][1]
+        tour[step] = nxt
+        prev, current = current, nxt
+    return tour

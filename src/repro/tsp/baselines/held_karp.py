@@ -1,0 +1,86 @@
+"""Held–Karp exact TSP solver (dynamic programming over subsets).
+
+O(n² · 2ⁿ) time and O(n · 2ⁿ) memory — practical to ~16 cities, used by
+the test suite to verify that heuristics and the clustered annealer
+reach (near-)optimal tours on small instances, and by
+:func:`repro.tsp.reference.reference_length` for tiny inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+
+#: Refuse instances above this size (2^20 subset table ≈ 100 MB+).
+MAX_EXACT_N = 16
+
+
+def held_karp(instance: TSPInstance) -> Tuple[np.ndarray, float]:
+    """Solve ``instance`` exactly; return ``(tour, length)``.
+
+    The tour is anchored at city 0 (any rotation is equivalent).
+
+    Raises
+    ------
+    TSPError
+        If the instance has more than :data:`MAX_EXACT_N` cities.
+    """
+    n = instance.n
+    if n > MAX_EXACT_N:
+        raise TSPError(
+            f"Held-Karp is exponential; refusing n={n} > {MAX_EXACT_N}"
+        )
+    dist = instance.distance_matrix()
+    if n == 2:
+        return np.array([0, 1], dtype=np.int64), float(dist[0, 1] * 2)
+
+    m = n - 1  # cities 1..n-1; city 0 is the anchor
+    full = 1 << m
+    # dp[mask, j] = min cost of a path 0 -> ... -> (j+1) visiting the
+    # cities of `mask` (bit j <=> city j+1) exactly.
+    dp = np.full((full, m), np.inf)
+    parent = np.full((full, m), -1, dtype=np.int64)
+    for j in range(m):
+        dp[1 << j, j] = dist[0, j + 1]
+
+    for mask in range(1, full):
+        # Iterate set bits as path endpoints.
+        submask = mask
+        while submask:
+            jbit = submask & (-submask)
+            submask ^= jbit
+            j = jbit.bit_length() - 1
+            cost = dp[mask, j]
+            if not np.isfinite(cost):
+                continue
+            rest = (~mask) & (full - 1)
+            nxt = rest
+            while nxt:
+                kbit = nxt & (-nxt)
+                nxt ^= kbit
+                k = kbit.bit_length() - 1
+                new_cost = cost + dist[j + 1, k + 1]
+                new_mask = mask | kbit
+                if new_cost < dp[new_mask, k]:
+                    dp[new_mask, k] = new_cost
+                    parent[new_mask, k] = j
+
+    closing = dp[full - 1, :] + dist[1:, 0]
+    j = int(np.argmin(closing))
+    best = float(closing[j])
+
+    # Backtrack the optimal path.
+    tour = [0]
+    mask = full - 1
+    chain = []
+    while j >= 0:
+        chain.append(j + 1)
+        pj = int(parent[mask, j])
+        mask ^= 1 << j
+        j = pj
+    tour.extend(reversed(chain))
+    return np.asarray(tour, dtype=np.int64), best

@@ -1,0 +1,60 @@
+"""Nearest-neighbour tour construction.
+
+The classic greedy constructive heuristic: start somewhere, repeatedly
+hop to the closest unvisited city.  Produces tours ~25% above optimal
+on uniform instances; used as one of the starting points for the local
+search reference and as the initial tour of the CPU SA baseline.
+
+Implementation is vectorised per step (O(n) distance evaluations per
+hop, O(n²) total) which is fine up to ~10^5 cities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def nearest_neighbor_tour(
+    instance: TSPInstance,
+    start: int | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Build a tour by always visiting the closest unvisited city.
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance.
+    start:
+        Starting city; random when omitted.
+    seed:
+        Seed used only to pick the starting city when ``start`` is None.
+    """
+    n = instance.n
+    if start is None:
+        start = int(spawn_rng(seed).integers(0, n))
+    if not 0 <= start < n:
+        raise TSPError(f"start city {start} out of range 0..{n - 1}")
+
+    coords = instance.coords
+    visited = np.zeros(n, dtype=bool)
+    tour = np.empty(n, dtype=np.int64)
+    tour[0] = start
+    visited[start] = True
+    current = start
+    # `remaining` holds indices of unvisited cities; we swap-remove.
+    remaining = np.concatenate([np.arange(start), np.arange(start + 1, n)])
+    for step in range(1, n):
+        pts = coords[remaining]
+        d = np.hypot(pts[:, 0] - coords[current, 0], pts[:, 1] - coords[current, 1])
+        k = int(np.argmin(d))
+        current = int(remaining[k])
+        tour[step] = current
+        visited[current] = True
+        remaining[k] = remaining[-1]
+        remaining = remaining[:-1]
+    return tour

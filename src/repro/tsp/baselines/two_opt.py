@@ -1,0 +1,303 @@
+"""Neighbour-list 2-opt and Or-opt local search.
+
+These improvement heuristics turn the constructive tours into strong
+references: greedy-edge + 2-opt + Or-opt lands ~4-6% above optimal on
+uniform Euclidean instances, which is the reference quality assumed by
+EXPERIMENTS.md for synthetic analogs.
+
+Both searches use:
+
+* **k-nearest-neighbour candidate lists** built with a uniform-grid
+  bucketing (:func:`build_neighbor_lists`) so the move neighbourhood is
+  O(n·k) rather than O(n²);
+* **don't-look bits** so converged cities are skipped until one of
+  their tour edges changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+
+_EPS = 1e-10
+
+
+def build_neighbor_lists(coords: np.ndarray, k: int) -> np.ndarray:
+    """``(n, k)`` array of each city's k nearest neighbours.
+
+    Uses a uniform grid with ~1 point per cell and ring search, giving
+    expected O(n·k) work on non-degenerate point sets.  Falls back to
+    brute force for tiny inputs.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if k < 1:
+        raise TSPError(f"k must be >= 1, got {k}")
+    k = min(k, n - 1)
+    if n <= 512:
+        diff = coords[:, None, :] - coords[None, :, :]
+        d = np.sqrt((diff * diff).sum(-1))
+        np.fill_diagonal(d, np.inf)
+        return np.argsort(d, axis=1, kind="stable")[:, :k].astype(np.int64)
+
+    mins = coords.min(axis=0)
+    span = np.maximum(coords.max(axis=0) - mins, 1e-12)
+    n_cells = max(1, int(np.sqrt(n)))
+    cell_size = span / n_cells
+    cell_ids = np.minimum(
+        ((coords - mins) / cell_size).astype(np.int64), n_cells - 1
+    )
+    flat = cell_ids[:, 0] * n_cells + cell_ids[:, 1]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    starts = np.searchsorted(sorted_flat, np.arange(n_cells * n_cells))
+    ends = np.searchsorted(sorted_flat, np.arange(n_cells * n_cells), side="right")
+
+    def cell_points(cx: int, cy: int) -> np.ndarray:
+        if not (0 <= cx < n_cells and 0 <= cy < n_cells):
+            return np.empty(0, dtype=np.int64)
+        f = cx * n_cells + cy
+        return order[starts[f] : ends[f]]
+
+    cell_min = float(min(cell_size))
+    result = np.empty((n, k), dtype=np.int64)
+    for i in range(n):
+        cx, cy = int(cell_ids[i, 0]), int(cell_ids[i, 1])
+        candidates = [cell_points(cx, cy)]
+        count = candidates[0].size - 1
+        ring = 0
+        # Expand rings until the k-th best distance is provably closed:
+        # every point in ring r lies at distance >= (r-1)·cell_min, so
+        # once (ring)·cell_min exceeds the current k-th best, farther
+        # rings cannot improve the answer.
+        while ring < 2 * n_cells:
+            if count >= k:
+                cand = np.concatenate(candidates)
+                cand = cand[cand != i]
+                d = np.hypot(
+                    coords[cand, 0] - coords[i, 0],
+                    coords[cand, 1] - coords[i, 1],
+                )
+                kth = np.partition(d, k - 1)[k - 1] if cand.size >= k else np.inf
+                if ring * cell_min >= kth:
+                    break
+            ring += 1
+            for dx in range(-ring, ring + 1):
+                for dy in range(-ring, ring + 1):
+                    if max(abs(dx), abs(dy)) != ring:
+                        continue
+                    pts = cell_points(cx + dx, cy + dy)
+                    if pts.size:
+                        candidates.append(pts)
+                        count += pts.size
+        cand = np.concatenate(candidates)
+        cand = cand[cand != i]
+        d = np.hypot(
+            coords[cand, 0] - coords[i, 0], coords[cand, 1] - coords[i, 1]
+        )
+        if cand.size > k:
+            sel = np.argpartition(d, k)[:k]
+            sel = sel[np.argsort(d[sel], kind="stable")]
+        else:
+            sel = np.argsort(d, kind="stable")
+        chosen = cand[sel][:k]
+        if chosen.size < k:  # degenerate geometry; pad by brute force
+            d_all = np.hypot(
+                coords[:, 0] - coords[i, 0], coords[:, 1] - coords[i, 1]
+            )
+            d_all[i] = np.inf
+            chosen = np.argsort(d_all, kind="stable")[:k]
+        result[i] = chosen
+    return result
+
+
+def _dist(coords: np.ndarray, a: int, b: int) -> float:
+    return float(
+        np.hypot(coords[a, 0] - coords[b, 0], coords[a, 1] - coords[b, 1])
+    )
+
+
+def two_opt_improve(
+    instance: TSPInstance,
+    tour: np.ndarray,
+    k_neighbors: int = 10,
+    max_rounds: Optional[int] = None,
+    neighbors: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Improve ``tour`` with neighbour-list 2-opt until a local optimum.
+
+    Parameters
+    ----------
+    instance, tour:
+        Problem and starting permutation (not modified).
+    k_neighbors:
+        Candidate-list width; 8-12 captures nearly all improving 2-opt
+        moves on Euclidean instances.
+    max_rounds:
+        Optional cap on full improvement sweeps (None = to convergence).
+    neighbors:
+        Precomputed neighbour lists (from :func:`build_neighbor_lists`)
+        to share across calls.
+    """
+    coords = instance.coords
+    n = instance.n
+    tour = np.array(tour, dtype=np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[tour] = np.arange(n)
+    if neighbors is None:
+        neighbors = build_neighbor_lists(coords, k_neighbors)
+
+    dont_look = np.zeros(n, dtype=bool)
+    queue = deque(tour.tolist())
+
+    def reverse_segment(i: int, j: int) -> None:
+        """Reverse cyclic tour segment between positions i..j inclusive."""
+        if i > j:
+            # Wrapping segment: reversing the complement [j+1 .. i-1]
+            # swaps the same two tour edges, so reverse that instead.
+            # (i == j+1 cannot occur: it would mean reversing the whole
+            # tour, and those moves are filtered before we get here.)
+            i, j = j + 1, i - 1
+        if j - i > n // 2 and i > 0 and j < n - 1:
+            # Reverse the shorter complement instead (same cycle).
+            seg = np.concatenate([tour[j + 1 :], tour[:i]])
+            seg = seg[::-1]
+            tour[j + 1 :] = seg[: n - j - 1]
+            tour[:i] = seg[n - j - 1 :]
+            pos[tour[j + 1 :]] = np.arange(j + 1, n)
+            pos[tour[:i]] = np.arange(i)
+        else:
+            tour[i : j + 1] = tour[i : j + 1][::-1]
+            pos[tour[i : j + 1]] = np.arange(i, j + 1)
+
+    rounds = 0
+    while queue:
+        if max_rounds is not None and rounds >= max_rounds * n:
+            break
+        rounds += 1
+        a = queue.popleft()
+        if dont_look[a]:
+            continue
+        dont_look[a] = True
+        improved = False
+        for direction in (1, -1):
+            pa = pos[a]
+            t2 = int(tour[(pa + direction) % n])
+            d_at2 = _dist(coords, a, t2)
+            for b in neighbors[a]:
+                b = int(b)
+                d_ab = _dist(coords, a, b)
+                if d_ab >= d_at2 - _EPS:
+                    break  # neighbours sorted: no gain possible further
+                t4 = int(tour[(pos[b] + direction) % n])
+                if t4 == a or b == t2:
+                    continue
+                delta = d_ab + _dist(coords, t2, t4) - d_at2 - _dist(coords, b, t4)
+                if delta < -_EPS:
+                    if direction == 1:
+                        reverse_segment(int((pa + 1) % n), int(pos[b]))
+                    else:
+                        reverse_segment(int(pos[b]), int((pa - 1) % n))
+                    improved = True
+                    for city in (a, b, t2, t4):
+                        if dont_look[city]:
+                            dont_look[city] = False
+                            queue.append(city)
+                    break
+            if improved:
+                break
+        if improved:
+            dont_look[a] = False
+            queue.append(a)
+    return tour
+
+
+def or_opt_improve(
+    instance: TSPInstance,
+    tour: np.ndarray,
+    k_neighbors: int = 8,
+    segment_lengths: tuple[int, ...] = (1, 2, 3),
+    neighbors: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Or-opt: relocate short segments (1-3 cities) to better positions.
+
+    Complements 2-opt (which cannot move a city between two distant
+    tour regions without reversing everything in between).
+    """
+    coords = instance.coords
+    n = instance.n
+    tour = np.array(tour, dtype=np.int64)
+    if n < 5:
+        return tour
+    pos = np.empty(n, dtype=np.int64)
+    pos[tour] = np.arange(n)
+    if neighbors is None:
+        neighbors = build_neighbor_lists(coords, k_neighbors)
+
+    improved_any = True
+    passes = 0
+    while improved_any and passes < 8:
+        improved_any = False
+        passes += 1
+        for seg_len in segment_lengths:
+            i = 0
+            while i < n:
+                s_pos = i
+                e_pos = (i + seg_len - 1) % n
+                if e_pos < s_pos:  # skip wrap segments for simplicity
+                    i += 1
+                    continue
+                s, e = int(tour[s_pos]), int(tour[e_pos])
+                prev_city = int(tour[(s_pos - 1) % n])
+                next_city = int(tour[(e_pos + 1) % n])
+                if prev_city == e or next_city == s:
+                    i += 1
+                    continue
+                removal_gain = (
+                    _dist(coords, prev_city, s)
+                    + _dist(coords, e, next_city)
+                    - _dist(coords, prev_city, next_city)
+                )
+                if removal_gain <= _EPS:
+                    i += 1
+                    continue
+                best_delta, best_c, best_rev = -_EPS, -1, False
+                for c in neighbors[s]:
+                    c = int(c)
+                    pc = int(pos[c])
+                    # c must lie outside the segment (and not be prev).
+                    if s_pos <= pc <= e_pos or c == prev_city:
+                        continue
+                    c_next = int(tour[(pc + 1) % n])
+                    if s_pos <= int(pos[c_next]) <= e_pos:
+                        continue
+                    base = _dist(coords, c, c_next)
+                    for rev in (False, True):
+                        head, tail = (s, e) if not rev else (e, s)
+                        insert_cost = (
+                            _dist(coords, c, head)
+                            + _dist(coords, tail, c_next)
+                            - base
+                        )
+                        delta = removal_gain - insert_cost
+                        if delta > best_delta:
+                            best_delta, best_c, best_rev = delta, c, rev
+                if best_c >= 0:
+                    segment = tour[s_pos : e_pos + 1].copy()
+                    if best_rev:
+                        segment = segment[::-1]
+                    rest = np.concatenate([tour[:s_pos], tour[e_pos + 1 :]])
+                    # position of best_c within `rest`
+                    c_idx = int(np.nonzero(rest == best_c)[0][0])
+                    tour = np.concatenate(
+                        [rest[: c_idx + 1], segment, rest[c_idx + 1 :]]
+                    )
+                    pos[tour] = np.arange(n)
+                    improved_any = True
+                i += 1
+    return tour

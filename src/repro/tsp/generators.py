@@ -1,0 +1,274 @@
+"""Synthetic TSP instance generators.
+
+The paper evaluates on TSPLIB instances from 3 038 to 85 900 cities
+(pcb3038, rl5915, rl5934, rl11849, ..., pla85900).  TSPLIB data is not
+redistributable inside this repository and the evaluation environment
+has no network access, so every experiment falls back to a
+*structure-matched synthetic analog*:
+
+* ``pcb`` instances are drill-hole layouts — points snapped to a fine
+  manufacturing grid with dense regular blocks: modelled by
+  :func:`pcb_style` (jittered grid with block-structured occupancy).
+* ``rl`` instances (Reinelt's "random locations") are non-uniform
+  clustered point fields: modelled by :func:`rl_style` (Gaussian
+  clusters with a uniform background).
+* ``pla`` instances are programmed-logic-array layouts — very large,
+  strongly gridded with big empty regions: modelled by
+  :func:`pla_style` (coarse macro-blocks of fine grid points).
+
+The analog preserves what the paper's metrics depend on: instance size
+``N`` and spatial statistics (cluster structure, local density), which
+drive both the clustered annealer's behaviour and the hardware-cost
+model (which depends only on ``N``).  Substitution is recorded in
+DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: Paper evaluation sizes and their TSPLIB families (Sec. V, Fig. 7).
+PAPER_DATASETS = {
+    "pcb3038": ("pcb", 3038),
+    "rl5915": ("rl", 5915),
+    "rl5934": ("rl", 5934),
+    "rl11849": ("rl", 11849),
+    "usa13509": ("rl", 13509),
+    "d15112": ("rl", 15112),
+    "d18512": ("rl", 18512),
+    "pla33810": ("pla", 33810),
+    "pla85900": ("pla", 85900),
+}
+
+
+def circle(
+    n: int,
+    radius: float = 500.0,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Points on a circle — a known-optimum test oracle.
+
+    With ``jitter == 0`` the optimal tour visits the points in angular
+    order and its length is exactly ``2·n·r·sin(π/n)`` (the inscribed
+    regular polygon), so solvers can be scored against the true optimum
+    at any size.  Points are stored in shuffled order so the identity
+    tour is *not* the answer.
+    """
+    if n < 3:
+        raise TSPError(f"n must be >= 3 for a circle, got {n}")
+    if radius <= 0:
+        raise TSPError(f"radius must be > 0, got {radius}")
+    rng = spawn_rng(seed)
+    angles = 2.0 * math.pi * np.arange(n) / n
+    coords = radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    if jitter > 0:
+        coords = coords + rng.normal(0.0, jitter, size=coords.shape)
+    rng.shuffle(coords, axis=0)
+    return TSPInstance(
+        coords,
+        name=name or f"circle{n}",
+        comment=f"circle r={radius}, jitter={jitter}",
+    )
+
+
+def circle_optimal_length(n: int, radius: float = 500.0) -> float:
+    """Exact optimal tour length of :func:`circle` with zero jitter."""
+    if n < 3:
+        raise TSPError(f"n must be >= 3, got {n}")
+    return 2.0 * n * radius * math.sin(math.pi / n)
+
+
+def random_uniform(
+    n: int,
+    seed: SeedLike = None,
+    side: float = 1000.0,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Uniform random points in a ``side`` × ``side`` square."""
+    if n < 2:
+        raise TSPError(f"n must be >= 2, got {n}")
+    rng = spawn_rng(seed)
+    coords = rng.uniform(0.0, side, size=(n, 2))
+    return TSPInstance(
+        coords,
+        name=name or f"uniform{n}",
+        comment=f"uniform random, side={side}",
+    )
+
+
+def random_clustered(
+    n: int,
+    n_clusters: int,
+    seed: SeedLike = None,
+    side: float = 1000.0,
+    cluster_std: float = 30.0,
+    background_fraction: float = 0.1,
+    name: Optional[str] = None,
+) -> TSPInstance:
+    """Gaussian clusters plus a uniform background.
+
+    ``background_fraction`` of the points are spread uniformly, the rest
+    are split evenly across ``n_clusters`` isotropic Gaussians whose
+    centres are uniform in the square.
+    """
+    if n < 2:
+        raise TSPError(f"n must be >= 2, got {n}")
+    if n_clusters < 1:
+        raise TSPError(f"n_clusters must be >= 1, got {n_clusters}")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise TSPError("background_fraction must be in [0, 1]")
+    rng = spawn_rng(seed)
+    n_background = int(round(n * background_fraction))
+    n_clustered = n - n_background
+    centers = rng.uniform(0.1 * side, 0.9 * side, size=(n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n_clustered)
+    pts = centers[assignment] + rng.normal(0.0, cluster_std, size=(n_clustered, 2))
+    background = rng.uniform(0.0, side, size=(n_background, 2))
+    coords = np.clip(np.vstack([pts, background]), 0.0, side)
+    rng.shuffle(coords, axis=0)
+    return TSPInstance(
+        coords,
+        name=name or f"clustered{n}",
+        comment=(
+            f"clustered random, k={n_clusters}, std={cluster_std}, "
+            f"bg={background_fraction}"
+        ),
+    )
+
+
+def pcb_style(n: int, seed: SeedLike = None, name: Optional[str] = None) -> TSPInstance:
+    """A pcbXXXX-style drill-layout analog.
+
+    Points are snapped to a fine grid; occupancy follows rectangular
+    "component" blocks with dense hole patterns, plus sparse routing
+    vias in between — mimicking the banded, gridded structure of the
+    TSPLIB ``pcb`` family.
+    """
+    if n < 2:
+        raise TSPError(f"n must be >= 2, got {n}")
+    rng = spawn_rng(seed)
+    side = 100.0 * math.sqrt(n)  # keep density roughly constant with n
+    pitch = side / (4.0 * math.sqrt(n))  # fine drill grid
+    n_blocks = max(4, int(math.sqrt(n) / 4))
+    blocks = []
+    for _ in range(n_blocks):
+        cx, cy = rng.uniform(0.1 * side, 0.9 * side, size=2)
+        w = rng.uniform(0.05, 0.2) * side
+        h = rng.uniform(0.02, 0.1) * side
+        blocks.append((cx, cy, w, h))
+
+    n_block_pts = int(n * 0.8)
+    n_via_pts = n - n_block_pts
+    # Dense hole rows inside component blocks.
+    choice = rng.integers(0, n_blocks, size=n_block_pts)
+    pts = []
+    for b in range(n_blocks):
+        count = int(np.sum(choice == b))
+        if count == 0:
+            continue
+        cx, cy, w, h = blocks[b]
+        xs = rng.uniform(cx - w / 2, cx + w / 2, size=count)
+        ys = rng.uniform(cy - h / 2, cy + h / 2, size=count)
+        pts.append(np.stack([xs, ys], axis=1))
+    vias = rng.uniform(0.0, side, size=(n_via_pts, 2))
+    pts.append(vias)
+    coords = np.vstack(pts)[:n]
+    # Snap to the drill grid (collisions are fine: EUC distances of 0
+    # between duplicate holes exist in the real pcb files too).
+    coords = np.round(coords / pitch) * pitch
+    rng.shuffle(coords, axis=0)
+    return TSPInstance(
+        coords,
+        name=name or f"pcb{n}-synthetic",
+        comment="pcb-style analog: gridded drill blocks + vias",
+    )
+
+
+def rl_style(n: int, seed: SeedLike = None, name: Optional[str] = None) -> TSPInstance:
+    """An rlXXXX-style clustered "random locations" analog."""
+    n_clusters = max(8, int(math.sqrt(n) / 2))
+    return random_clustered(
+        n,
+        n_clusters=n_clusters,
+        seed=seed,
+        side=100.0 * math.sqrt(n),
+        cluster_std=2.0 * math.sqrt(n),
+        background_fraction=0.15,
+        name=name or f"rl{n}-synthetic",
+    )
+
+
+def pla_style(n: int, seed: SeedLike = None, name: Optional[str] = None) -> TSPInstance:
+    """A plaXXXXX-style programmed-logic-array analog.
+
+    Coarse macro-blocks on a regular super-grid, each filled with a
+    fine sub-grid of points — the strongly Manhattan-regular structure
+    of the TSPLIB ``pla`` family.
+    """
+    if n < 2:
+        raise TSPError(f"n must be >= 2, got {n}")
+    rng = spawn_rng(seed)
+    side = 100.0 * math.sqrt(n)
+    n_macro = max(4, int(round(math.sqrt(n) / 8)))
+    macro_pitch = side / n_macro
+    pts_per_block = max(1, n // (n_macro * n_macro))
+    sub = max(1, int(math.ceil(math.sqrt(pts_per_block))))
+    sub_pitch = macro_pitch * 0.7 / sub
+    coords = []
+    total = 0
+    for bi in range(n_macro):
+        for bj in range(n_macro):
+            if total >= n:
+                break
+            # Some macro-cells are empty (logic vs wiring regions).
+            if rng.random() < 0.2:
+                continue
+            ox = bi * macro_pitch + 0.15 * macro_pitch
+            oy = bj * macro_pitch + 0.15 * macro_pitch
+            count = min(pts_per_block, n - total)
+            k = np.arange(count)
+            xs = ox + (k % sub) * sub_pitch
+            ys = oy + (k // sub) * sub_pitch
+            coords.append(np.stack([xs, ys], axis=1))
+            total += count
+    # Top up with uniform points if empty cells left us short.
+    if total < n:
+        extra = rng.uniform(0.0, side, size=(n - total, 2))
+        coords.append(extra)
+    coords = np.vstack(coords)[:n]
+    rng.shuffle(coords, axis=0)
+    return TSPInstance(
+        coords,
+        name=name or f"pla{n}-synthetic",
+        comment="pla-style analog: macro-block grid layout",
+    )
+
+
+def make_paper_instance(dataset: str, seed: SeedLike = 2024) -> TSPInstance:
+    """Build the synthetic analog of a paper dataset by name.
+
+    Parameters
+    ----------
+    dataset:
+        One of the keys of :data:`PAPER_DATASETS`, e.g. ``"pcb3038"``.
+    seed:
+        Seed for the generator (default 2024 for reproducibility across
+        the benchmark suite).
+    """
+    if dataset not in PAPER_DATASETS:
+        raise TSPError(
+            f"unknown paper dataset {dataset!r}; "
+            f"choose from {sorted(PAPER_DATASETS)}"
+        )
+    family, n = PAPER_DATASETS[dataset]
+    builder = {"pcb": pcb_style, "rl": rl_style, "pla": pla_style}[family]
+    return builder(n, seed=seed, name=f"{dataset}-synthetic")

@@ -1,0 +1,188 @@
+"""The :class:`TSPInstance` container.
+
+An instance is a set of city coordinates plus a distance metric.  All
+solvers in this library consume instances through this class; distances
+are computed lazily (full matrix for small instances, on-demand blocks
+for large ones, since an 85 900-city matrix would need ~59 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TSPError
+
+#: Instances at or below this size may cache a full distance matrix.
+FULL_MATRIX_LIMIT = 8192
+
+#: Supported TSPLIB-style metrics.
+SUPPORTED_METRICS = ("GEOM", "EUC_2D", "CEIL_2D", "ATT")
+
+
+def _euclidean_block(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between two coordinate blocks."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def apply_metric(
+    raw: np.ndarray, metric: str, sq: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Convert raw Euclidean distances to the instance metric.
+
+    Parameters
+    ----------
+    raw:
+        Plain Euclidean distances.
+    metric:
+        One of :data:`SUPPORTED_METRICS`.  ``GEOM`` is the float
+        identity; ``EUC_2D`` rounds to nearest (TSPLIB nint);
+        ``CEIL_2D`` rounds up; ``ATT`` is the pseudo-Euclidean metric
+        (``r = sqrt(d²/10)`` rounded *up* to the nearest integer).
+    sq:
+        Optional squared distances (needed by ATT; derived from ``raw``
+        when omitted).
+    """
+    if metric == "GEOM":
+        return raw
+    if metric == "EUC_2D":
+        return np.floor(raw + 0.5)
+    if metric == "CEIL_2D":
+        return np.ceil(raw)
+    if metric == "ATT":
+        squared = raw * raw if sq is None else sq
+        r = np.sqrt(squared / 10.0)
+        t = np.floor(r + 0.5)
+        return np.where(t < r, t + 1.0, t)
+    raise TSPError(f"unsupported edge_weight_type {metric!r}")
+
+
+@dataclass
+class TSPInstance:
+    """A symmetric Euclidean travelling-salesman instance.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 2)`` float array of city coordinates.
+    name:
+        Display name (e.g. ``"pcb3038-synthetic"``).
+    comment:
+        Free-form provenance string (generator parameters, TSPLIB
+        COMMENT field, ...).
+    edge_weight_type:
+        TSPLIB-style metric tag.  ``EUC_2D`` (rounded-to-nearest-int
+        Euclidean, the TSPLIB convention) and ``GEOM`` (plain float
+        Euclidean) are supported.
+    """
+
+    coords: np.ndarray
+    name: str = "unnamed"
+    comment: str = ""
+    edge_weight_type: str = "GEOM"
+    _matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        coords = np.asarray(self.coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise TSPError(
+                f"coords must have shape (n, 2), got {coords.shape}"
+            )
+        if coords.shape[0] < 2:
+            raise TSPError("an instance needs at least 2 cities")
+        if not np.all(np.isfinite(coords)):
+            raise TSPError("coords contain non-finite values")
+        if self.edge_weight_type not in SUPPORTED_METRICS:
+            raise TSPError(
+                f"unsupported edge_weight_type {self.edge_weight_type!r}; "
+                f"supported: {SUPPORTED_METRICS}"
+            )
+        self.coords = coords
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        return int(self.coords.shape[0])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"TSPInstance(name={self.name!r}, n={self.n}, "
+            f"metric={self.edge_weight_type})"
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def _round(self, d: np.ndarray) -> np.ndarray:
+        return apply_metric(d, self.edge_weight_type)
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between cities ``i`` and ``j``."""
+        d = np.hypot(*(self.coords[i] - self.coords[j]))
+        return float(apply_metric(np.asarray(d), self.edge_weight_type))
+
+    def distances_from(self, i: int, targets: Optional[np.ndarray] = None) -> np.ndarray:
+        """Distances from city ``i`` to ``targets`` (or all cities)."""
+        pts = self.coords if targets is None else self.coords[np.asarray(targets)]
+        d = np.hypot(pts[:, 0] - self.coords[i, 0], pts[:, 1] - self.coords[i, 1])
+        return self._round(d)
+
+    def distance_block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Dense distance sub-matrix between city index arrays."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return self._round(_euclidean_block(self.coords[rows], self.coords[cols]))
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full dense distance matrix (small instances only).
+
+        Raises
+        ------
+        TSPError
+            If ``n`` exceeds :data:`FULL_MATRIX_LIMIT` — use
+            :meth:`distance_block` instead for large instances.
+        """
+        if self.n > FULL_MATRIX_LIMIT:
+            raise TSPError(
+                f"refusing to build a {self.n}x{self.n} distance matrix; "
+                f"use distance_block() for instances over {FULL_MATRIX_LIMIT}"
+            )
+        if self._matrix is None:
+            idx = np.arange(self.n)
+            self._matrix = self.distance_block(idx, idx)
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def subinstance(self, cities: np.ndarray, name: Optional[str] = None) -> "TSPInstance":
+        """A new instance restricted to ``cities`` (indices kept in order)."""
+        cities = np.asarray(cities, dtype=np.int64)
+        if cities.size < 2:
+            raise TSPError("a subinstance needs at least 2 cities")
+        return TSPInstance(
+            coords=self.coords[cities].copy(),
+            name=name or f"{self.name}[{cities.size}]",
+            comment=f"subinstance of {self.name}",
+            edge_weight_type=self.edge_weight_type,
+        )
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the coordinates."""
+        mins = self.coords.min(axis=0)
+        maxs = self.coords.max(axis=0)
+        return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+    def area(self) -> float:
+        """Bounding-box area (used by the BHH tour-length estimate)."""
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        return (xmax - xmin) * (ymax - ymin)

@@ -1,0 +1,89 @@
+"""SVG rendering of instances and tours.
+
+Dependency-free visual output: an instance's cities and (optionally) a
+tour polyline are written as a standalone ``.svg``, so results can be
+eyeballed without matplotlib.  Used by the examples; the tests parse
+the generated XML structure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import validate_tour
+
+
+def render_tour_svg(
+    instance: TSPInstance,
+    tour: Optional[np.ndarray] = None,
+    width: int = 800,
+    margin: int = 20,
+    point_radius: float = 2.0,
+    stroke: str = "#1f6feb",
+    title: Optional[str] = None,
+) -> str:
+    """Render an instance (and optional tour) as an SVG document string.
+
+    The viewport preserves the instance's aspect ratio at the given
+    pixel ``width``.
+    """
+    if width < 2 * margin + 10:
+        raise TSPError(f"width {width} too small for margin {margin}")
+    xmin, ymin, xmax, ymax = instance.bounding_box()
+    span_x = max(xmax - xmin, 1e-12)
+    span_y = max(ymax - ymin, 1e-12)
+    inner_w = width - 2 * margin
+    scale = inner_w / span_x
+    height = int(round(span_y * scale)) + 2 * margin
+
+    def to_px(pt: np.ndarray) -> tuple[float, float]:
+        x = margin + (pt[0] - xmin) * scale
+        # SVG's y axis points down; flip so north stays up.
+        y = margin + (ymax - pt[1]) * scale
+        return float(x), float(y)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<title>{title or instance.name}</title>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    if tour is not None:
+        order = validate_tour(tour, instance.n)
+        points = [to_px(instance.coords[int(c)]) for c in order]
+        points.append(points[0])  # close the cycle
+        path = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="1.2"/>'
+        )
+
+    for pt in instance.coords:
+        x, y = to_px(pt)
+        parts.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{point_radius}" '
+            f'fill="#24292f"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_tour_svg(
+    instance: TSPInstance,
+    path: Union[str, os.PathLike, TextIO],
+    tour: Optional[np.ndarray] = None,
+    **kwargs,
+) -> None:
+    """Render and write an SVG to a path or text stream."""
+    svg = render_tour_svg(instance, tour=tour, **kwargs)
+    if hasattr(path, "write"):
+        path.write(svg)
+        return
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(svg)

@@ -1,0 +1,125 @@
+"""Tours: validation, length evaluation, and simple manipulations.
+
+A tour is a permutation of ``range(n)`` interpreted cyclically (the
+salesman returns from the last city to the first).  :class:`Tour` is a
+thin immutable wrapper used by solver results; the free functions
+operate on plain integer arrays so hot loops stay allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tsp.instance import TSPInstance
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def validate_tour(tour: np.ndarray, n: Optional[int] = None) -> np.ndarray:
+    """Check that ``tour`` is a permutation of ``range(n)``.
+
+    Returns the tour as an ``int64`` array; raises :class:`TourError`
+    otherwise.  When ``n`` is omitted it is taken as ``len(tour)``.
+    """
+    arr = np.asarray(tour, dtype=np.int64)
+    if arr.ndim != 1:
+        raise TourError(f"tour must be 1-D, got shape {arr.shape}")
+    size = arr.size if n is None else n
+    if arr.size != size:
+        raise TourError(f"tour has {arr.size} cities, expected {size}")
+    if size == 0:
+        raise TourError("tour is empty")
+    seen = np.zeros(size, dtype=bool)
+    if arr.min(initial=0) < 0 or arr.max(initial=0) >= size:
+        raise TourError("tour contains out-of-range city indices")
+    seen[arr] = True
+    if not seen.all():
+        raise TourError("tour is not a permutation (missing/duplicate cities)")
+    return arr
+
+
+def tour_length(instance: TSPInstance, tour: np.ndarray) -> float:
+    """Total cyclic length of ``tour`` on ``instance``.
+
+    Vectorised: computes all leg lengths in one shot, so it is safe for
+    10^5-city tours.
+    """
+    from repro.tsp.instance import apply_metric
+
+    arr = np.asarray(tour, dtype=np.int64)
+    nxt = np.roll(arr, -1)
+    a = instance.coords[arr]
+    b = instance.coords[nxt]
+    d = np.hypot(a[:, 0] - b[:, 0], a[:, 1] - b[:, 1])
+    return float(apply_metric(d, instance.edge_weight_type).sum())
+
+
+def random_tour(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random permutation of ``range(n)``."""
+    if n < 1:
+        raise TourError(f"n must be >= 1, got {n}")
+    return spawn_rng(seed).permutation(n).astype(np.int64)
+
+
+class Tour:
+    """An immutable validated tour bound to an instance.
+
+    Provides cached length, optimal-ratio computation, and segment
+    queries used by examples and reports.
+    """
+
+    def __init__(self, instance: TSPInstance, order: Iterable[int]):
+        self._instance = instance
+        self._order = validate_tour(np.asarray(list(order)), instance.n)
+        self._order.setflags(write=False)
+        self._length: Optional[float] = None
+
+    @property
+    def instance(self) -> TSPInstance:
+        """The instance this tour belongs to."""
+        return self._instance
+
+    @property
+    def order(self) -> np.ndarray:
+        """Read-only city visiting order."""
+        return self._order
+
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        return int(self._order.size)
+
+    @property
+    def length(self) -> float:
+        """Total cyclic tour length (cached)."""
+        if self._length is None:
+            self._length = tour_length(self._instance, self._order)
+        return self._length
+
+    def ratio_to(self, reference_length: float) -> float:
+        """Optimal ratio vs a reference length (paper's quality metric)."""
+        if reference_length <= 0:
+            raise TourError(f"reference length must be > 0, got {reference_length}")
+        return self.length / reference_length
+
+    def position_of(self, city: int) -> int:
+        """Index of ``city`` in the visiting order."""
+        pos = np.nonzero(self._order == city)[0]
+        if pos.size == 0:
+            raise TourError(f"city {city} not in tour")
+        return int(pos[0])
+
+    def legs(self) -> np.ndarray:
+        """``(n, 2)`` array of consecutive city pairs (cyclic)."""
+        return np.stack([self._order, np.roll(self._order, -1)], axis=1)
+
+    def __iter__(self):
+        return iter(self._order.tolist())
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Tour(n={self.n}, length={self.length:.1f})"

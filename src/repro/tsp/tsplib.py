@@ -1,0 +1,152 @@
+"""TSPLIB file format support.
+
+Parses the subset of the TSPLIB95 specification needed for the paper's
+benchmark families (``pcb``, ``rl``, ``pla``, ``d``, ``usa``): 2-D
+coordinate instances with ``EUC_2D`` or ``CEIL_2D`` edge weights, plus
+``.opt.tour`` files.  A writer is provided so synthetic analogs can be
+exported and inspected with standard TSPLIB tooling.
+
+If the user drops real TSPLIB files into a directory, benchmarks can
+load them via :func:`load_tsplib` instead of the synthetic analogs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TSPLIBFormatError
+from repro.tsp.instance import TSPInstance
+
+_SUPPORTED_EDGE_WEIGHTS = {"EUC_2D", "CEIL_2D", "ATT"}
+
+
+def _parse_header(lines: List[str]) -> Tuple[Dict[str, str], int]:
+    """Parse ``KEY : VALUE`` header lines, return (header, body_start)."""
+    header: Dict[str, str] = {}
+    i = 0
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        if line in ("NODE_COORD_SECTION", "TOUR_SECTION", "EOF"):
+            return header, i
+        if ":" in line:
+            key, _, value = line.partition(":")
+            header[key.strip().upper()] = value.strip()
+        else:
+            raise TSPLIBFormatError(f"unparseable header line: {line!r}")
+    return header, i
+
+
+def parse_tsplib(text: str) -> TSPInstance:
+    """Parse TSPLIB file contents into a :class:`TSPInstance`.
+
+    Only ``TYPE: TSP`` with ``NODE_COORD_SECTION`` and a supported
+    ``EDGE_WEIGHT_TYPE`` is accepted.
+    """
+    lines = text.splitlines()
+    header, body_start = _parse_header(lines)
+
+    ftype = header.get("TYPE", "TSP").split()[0].upper()
+    if ftype != "TSP":
+        raise TSPLIBFormatError(f"unsupported TYPE {ftype!r} (only TSP)")
+    ewt = header.get("EDGE_WEIGHT_TYPE", "").upper()
+    if ewt not in _SUPPORTED_EDGE_WEIGHTS:
+        raise TSPLIBFormatError(
+            f"unsupported EDGE_WEIGHT_TYPE {ewt!r}; "
+            f"supported: {sorted(_SUPPORTED_EDGE_WEIGHTS)}"
+        )
+    try:
+        dimension = int(header["DIMENSION"])
+    except KeyError:
+        raise TSPLIBFormatError("missing DIMENSION header") from None
+    except ValueError:
+        raise TSPLIBFormatError(
+            f"bad DIMENSION value {header['DIMENSION']!r}"
+        ) from None
+
+    if body_start >= len(lines) or lines[body_start].strip() != "NODE_COORD_SECTION":
+        raise TSPLIBFormatError("missing NODE_COORD_SECTION")
+
+    coords = np.full((dimension, 2), np.nan)
+    seen = np.zeros(dimension, dtype=bool)
+    for raw in lines[body_start + 1 :]:
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "EOF":
+            break
+        parts = line.split()
+        if len(parts) != 3:
+            raise TSPLIBFormatError(f"bad coordinate line: {line!r}")
+        try:
+            idx = int(parts[0]) - 1  # TSPLIB is 1-indexed
+            x, y = float(parts[1]), float(parts[2])
+        except ValueError:
+            raise TSPLIBFormatError(f"bad coordinate line: {line!r}") from None
+        if not 0 <= idx < dimension:
+            raise TSPLIBFormatError(f"node id {idx + 1} out of range 1..{dimension}")
+        if seen[idx]:
+            raise TSPLIBFormatError(f"duplicate node id {idx + 1}")
+        coords[idx] = (x, y)
+        seen[idx] = True
+
+    if not seen.all():
+        missing = int(np.count_nonzero(~seen))
+        raise TSPLIBFormatError(f"{missing} node(s) missing coordinates")
+
+    return TSPInstance(
+        coords,
+        name=header.get("NAME", "tsplib"),
+        comment=header.get("COMMENT", ""),
+        edge_weight_type=ewt,
+    )
+
+
+def load_tsplib(path: Union[str, os.PathLike]) -> TSPInstance:
+    """Read and parse a ``.tsp`` file from disk."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_tsplib(f.read())
+
+
+def parse_opt_tour(text: str, dimension: Optional[int] = None) -> np.ndarray:
+    """Parse a TSPLIB ``.opt.tour`` file into a 0-indexed tour array."""
+    lines = text.splitlines()
+    header, body_start = _parse_header(lines)
+    ftype = header.get("TYPE", "TOUR").split()[0].upper()
+    if ftype != "TOUR":
+        raise TSPLIBFormatError(f"unsupported TYPE {ftype!r} (only TOUR)")
+    if body_start >= len(lines) or lines[body_start].strip() != "TOUR_SECTION":
+        raise TSPLIBFormatError("missing TOUR_SECTION")
+    tour: List[int] = []
+    for raw in lines[body_start + 1 :]:
+        for token in raw.split():
+            if token in ("-1", "EOF"):
+                arr = np.asarray(tour, dtype=np.int64)
+                if dimension is not None and arr.size != dimension:
+                    raise TSPLIBFormatError(
+                        f"tour has {arr.size} cities, expected {dimension}"
+                    )
+                return arr
+            try:
+                tour.append(int(token) - 1)
+            except ValueError:
+                raise TSPLIBFormatError(f"bad tour token {token!r}") from None
+    raise TSPLIBFormatError("tour not terminated with -1 or EOF")
+
+
+def write_tsplib(instance: TSPInstance, f: TextIO) -> None:
+    """Write an instance in TSPLIB EUC_2D format to a text stream."""
+    f.write(f"NAME : {instance.name}\n")
+    if instance.comment:
+        f.write(f"COMMENT : {instance.comment}\n")
+    f.write("TYPE : TSP\n")
+    f.write(f"DIMENSION : {instance.n}\n")
+    f.write("EDGE_WEIGHT_TYPE : EUC_2D\n")
+    f.write("NODE_COORD_SECTION\n")
+    for i, (x, y) in enumerate(instance.coords, start=1):
+        f.write(f"{i} {x:.6f} {y:.6f}\n")
+    f.write("EOF\n")

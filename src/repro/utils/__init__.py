@@ -1,0 +1,33 @@
+"""Shared utilities: seeded RNG plumbing, unit helpers, validation,
+and plain-text table rendering used by the benchmark harness."""
+
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.tables import Table
+from repro.utils.units import (
+    format_area,
+    format_bits,
+    format_bytes,
+    format_energy,
+    format_power,
+    format_time,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rng",
+    "Table",
+    "format_area",
+    "format_bits",
+    "format_bytes",
+    "format_energy",
+    "format_power",
+    "format_time",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

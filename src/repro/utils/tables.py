@@ -1,0 +1,83 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The reproduction prints every table/figure of the paper as an aligned
+ASCII table (the closest text equivalent of the published artifact).
+:class:`Table` collects rows of heterogeneous cells and renders them
+with a title, column headers, and an optional footer note.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """An aligned, plain-text table.
+
+    Example
+    -------
+    >>> t = Table("Demo", ["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Demo
+    ...
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self._rows: List[List[str]] = []
+        self._notes: List[str] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified (floats get 4 sig figs)."""
+        row = [self._format_cell(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footer note rendered below the table body."""
+        self._notes.append(note)
+
+    @staticmethod
+    def _format_cell(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1e5 or magnitude < 1e-3:
+                return f"{cell:.3e}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """The formatted rows added so far (copy)."""
+        return [list(r) for r in self._rows]
+
+    def render(self) -> str:
+        """Render the table (title, rule, header, body, notes)."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, rule, fmt_line(self.columns), rule]
+        lines.extend(fmt_line(row) for row in self._rows)
+        lines.append(rule)
+        lines.extend(f"  note: {n}" for n in self._notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

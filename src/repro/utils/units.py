@@ -1,0 +1,85 @@
+"""Human-readable formatting for physical quantities.
+
+The hardware PPA models work internally in SI base units (m², s, J, W,
+bits).  These helpers render them with engineering prefixes for the
+benchmark tables, matching the unit conventions of the paper (µm², mm²,
+µs, nJ, mW, kB, Mb).
+"""
+
+from __future__ import annotations
+
+_TIME_STEPS = [
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+    (1e-12, "ps"),
+]
+
+_ENERGY_STEPS = [
+    (1.0, "J"),
+    (1e-3, "mJ"),
+    (1e-6, "uJ"),
+    (1e-9, "nJ"),
+    (1e-12, "pJ"),
+    (1e-15, "fJ"),
+]
+
+_POWER_STEPS = [
+    (1.0, "W"),
+    (1e-3, "mW"),
+    (1e-6, "uW"),
+    (1e-9, "nW"),
+    (1e-12, "pW"),
+]
+
+
+def _format_scaled(value: float, steps, digits: int) -> str:
+    if value == 0:
+        return f"0 {steps[0][1]}"
+    magnitude = abs(value)
+    for scale, suffix in steps:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}f} {suffix}"
+    scale, suffix = steps[-1]
+    return f"{value / scale:.{digits}f} {suffix}"
+
+
+def format_time(seconds: float, digits: int = 2) -> str:
+    """Format a duration in seconds with an engineering prefix."""
+    return _format_scaled(seconds, _TIME_STEPS, digits)
+
+
+def format_energy(joules: float, digits: int = 2) -> str:
+    """Format an energy in joules with an engineering prefix."""
+    return _format_scaled(joules, _ENERGY_STEPS, digits)
+
+
+def format_power(watts: float, digits: int = 2) -> str:
+    """Format a power in watts with an engineering prefix."""
+    return _format_scaled(watts, _POWER_STEPS, digits)
+
+
+def format_area(square_meters: float, digits: int = 2) -> str:
+    """Format an area in m², choosing mm² or µm² as appropriate."""
+    mm2 = square_meters * 1e6
+    if mm2 >= 0.1:
+        return f"{mm2:.{digits}f} mm^2"
+    um2 = square_meters * 1e12
+    return f"{um2:.{digits}f} um^2"
+
+
+def format_bytes(num_bytes: float, digits: int = 1) -> str:
+    """Format a byte count using decimal kB / MB / GB (paper convention)."""
+    for scale, suffix in [(1e9, "GB"), (1e6, "MB"), (1e3, "kB")]:
+        if abs(num_bytes) >= scale:
+            return f"{num_bytes / scale:.{digits}f} {suffix}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_bits(num_bits: float, digits: int = 1) -> str:
+    """Format a bit count using decimal kb / Mb / Gb (paper convention)."""
+    for scale, suffix in [(1e12, "Tb"), (1e9, "Gb"), (1e6, "Mb"), (1e3, "kb")]:
+        if abs(num_bits) >= scale:
+            return f"{num_bits / scale:.{digits}f} {suffix}"
+    return f"{num_bits:.0f} b"

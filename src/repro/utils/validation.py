@@ -1,0 +1,54 @@
+"""Small argument-validation helpers shared across the package.
+
+These raise :class:`ValueError` with uniform, descriptive messages so
+call sites stay one-liners and error text stays consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative).
+
+    Parameters
+    ----------
+    name:
+        Argument name used in the error message.
+    value:
+        The value to validate.
+    strict:
+        When True (default) require ``value > 0``; otherwise ``>= 0``.
+    """
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in [low, high] (or (low, high))."""
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)

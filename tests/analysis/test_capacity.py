@@ -1,0 +1,101 @@
+"""Tests for the capacity laws — exact paper cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import (
+    clustered_capacity_bits,
+    compact_capacity_bits,
+    conventional_capacity_bits,
+    fig1_series,
+    table1_capacity_bytes,
+)
+from repro.errors import ReproError
+
+#: Table I "Capacity (kB)" entries, exactly as published.
+PAPER_TABLE1_KB = {
+    ("pcb3038", "2"): 48.6,
+    ("pcb3038", "4"): 291.8,
+    ("pcb3038", "1/2"): 64.8,
+    ("pcb3038", "1/2/3"): 205.1,
+    ("pcb3038", "1/2/3/4"): 466.9,
+    ("rl5915", "2"): 94.7,
+    ("rl5915", "4"): 567.9,
+    ("rl5915", "1/2"): 126.2,
+    ("rl5915", "1/2/3"): 399.3,
+    ("rl5915", "1/2/3/4"): 908.5,
+}
+SIZES = {"pcb3038": 3038, "rl5915": 5915}
+
+
+class TestTable1Capacities:
+    @pytest.mark.parametrize("key,expected_kb", sorted(PAPER_TABLE1_KB.items()))
+    def test_matches_paper_within_rounding(self, key, expected_kb):
+        dataset, label = key
+        got = table1_capacity_bytes(SIZES[dataset], label) / 1e3
+        assert got == pytest.approx(expected_kb, rel=0.002)
+
+    def test_arbitrary_has_no_capacity(self):
+        with pytest.raises(ReproError, match="arbitrary"):
+            table1_capacity_bytes(3038, "arbitrary")
+
+
+class TestScalingLaws:
+    def test_conventional_is_N4(self):
+        assert conventional_capacity_bits(100) == 100**4 * 8
+        r = conventional_capacity_bits(200) / conventional_capacity_bits(100)
+        assert r == 16.0
+
+    def test_clustered_is_N2(self):
+        r = clustered_capacity_bits(200) / clustered_capacity_bits(100)
+        assert r == 4.0
+
+    def test_compact_is_linear(self):
+        r = compact_capacity_bits(20_000, "1/2/3") / compact_capacity_bits(
+            10_000, "1/2/3"
+        )
+        assert r == pytest.approx(2.0, rel=0.001)
+
+    def test_pla85900_headline(self):
+        # 46.4 Mb for pla85900 at p_max = 3.
+        bits = compact_capacity_bits(85900, "1/2/3")
+        assert bits == pytest.approx(46.4e6, rel=0.01)
+
+    def test_mb_scale_for_huge_tsp(self):
+        # The paper's point: tens of thousands of cities in MB-level SRAM.
+        bytes_ = compact_capacity_bits(85900, "1/2/3") / 8
+        assert bytes_ < 10e6  # under 10 MB
+        conventional = conventional_capacity_bits(85900) / 8
+        assert conventional > 1e18  # exabytes without the optimisation
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            conventional_capacity_bits(0)
+        with pytest.raises(ReproError):
+            clustered_capacity_bits(10, p=0)
+
+
+class TestFig1Series:
+    def test_ordering_at_scale(self):
+        s = fig1_series([1000, 10_000, 85_900])
+        assert np.all(s["compact_O(N)"] < s["clustered_O(N^2)"])
+        assert np.all(s["clustered_O(N^2)"] < s["conventional_O(N^4)"])
+
+    def test_slopes_on_loglog(self):
+        ns = [10**k for k in range(2, 6)]
+        s = fig1_series(ns)
+        log_n = np.log10(s["n"])
+
+        def slope(curve):
+            y = np.log10(curve)
+            return np.polyfit(log_n, y, 1)[0]
+
+        assert slope(s["conventional_O(N^4)"]) == pytest.approx(4.0, abs=0.01)
+        assert slope(s["clustered_O(N^2)"]) == pytest.approx(2.0, abs=0.01)
+        assert slope(s["compact_O(N)"]) == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fig1_series([])

@@ -1,0 +1,95 @@
+"""Tests for convergence analytics and speed-up accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import (
+    summarize_trace,
+    trace_is_stuck,
+    traces_identical,
+)
+from repro.analysis.speedup import (
+    NEURO_ISING_RL5934,
+    concorde_speedup,
+    speedup_rows,
+)
+from repro.annealer.trace import ConvergenceTrace
+from repro.errors import ReproError
+
+
+class TestSummarizeTrace:
+    def test_summary_fields(self):
+        t = ConvergenceTrace()
+        for it, obj in [(0, 100.0), (10, 95.0), (20, 97.0), (30, 90.0)]:
+            t.record(0, it, obj)
+        s = summarize_trace(t)[0]
+        assert s["initial"] == 100.0
+        assert s["final"] == 90.0
+        assert s["best"] == 90.0
+        assert s["improvement"] == pytest.approx(0.1)
+        assert s["uphill_moves"] == 1
+
+
+class TestTraceIsStuck:
+    def test_stuck_plateau(self):
+        assert trace_is_stuck([10, 8, 7, 7, 7, 7, 7, 7])
+
+    def test_still_improving(self):
+        assert not trace_is_stuck([10, 9, 8, 7, 6, 5, 4, 3])
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            trace_is_stuck([1, 2])
+        with pytest.raises(ReproError):
+            trace_is_stuck([1, 2, 3, 4], tail_fraction=0.0)
+
+
+class TestTracesIdentical:
+    def test_identical(self):
+        assert traces_identical([[1.0, 2.0], [1.0, 2.0], [1.0, 2.0]])
+
+    def test_different(self):
+        assert not traces_identical([[1.0, 2.0], [1.0, 2.1]])
+
+    def test_shape_mismatch(self):
+        assert not traces_identical([[1.0, 2.0], [1.0]])
+
+    def test_needs_two(self):
+        with pytest.raises(ReproError):
+            traces_identical([[1.0]])
+
+
+class TestSpeedup:
+    def test_paper_band(self):
+        # Paper: 10^9 to 10^11 speedup over Concorde at µs annealing.
+        assert 1e9 < concorde_speedup("pcb3038", 40e-6) < 1e10
+        assert 1e10 < concorde_speedup("rl5934", 44e-6) < 1e11
+        assert 1e11 < concorde_speedup("rl11849", 60e-6) < 1e12
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError, match="Concorde"):
+            concorde_speedup("pla85900", 1e-6)
+
+    def test_bad_time(self):
+        with pytest.raises(ReproError):
+            concorde_speedup("pcb3038", 0.0)
+
+    def test_rows_with_quality(self):
+        rows = speedup_rows(
+            {"pcb3038": 40e-6, "rl5934": 44e-6},
+            {"pcb3038": 1.18, "rl5934": 1.25},
+        )
+        assert len(rows) == 2
+        pcb = next(r for r in rows if r["dataset"] == "pcb3038")
+        assert pcb["quality_overhead"] == pytest.approx(0.18)
+
+    def test_rows_empty_rejected(self):
+        with pytest.raises(ReproError):
+            speedup_rows({"unknown": 1.0})
+
+    def test_neuro_ising_reference(self):
+        # Sec. VI: ours solves rl5934 at better ratio in µs vs their 8 s.
+        assert NEURO_ISING_RL5934.optimal_ratio == pytest.approx(1.7)
+        assert NEURO_ISING_RL5934.annealing_time_s == pytest.approx(8.0)
+        assert 44e-6 < NEURO_ISING_RL5934.annealing_time_s

@@ -1,0 +1,92 @@
+"""Tests for ensemble quality statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.quality import (
+    QualityStats,
+    compare_ensembles,
+    run_ensemble,
+    summarize,
+)
+from repro.errors import ReproError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n_runs == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_ci_contains_mean(self):
+        s = summarize(np.random.default_rng(0).normal(10, 1, size=30))
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = summarize(rng.normal(0, 1, size=5), seed=1)
+        large = summarize(rng.normal(0, 1, size=200), seed=1)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0 and s.std == 0.0
+        assert s.ci_low == s.ci_high == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            summarize([])
+        with pytest.raises(ReproError):
+            summarize([1.0, 2.0], confidence=1.5)
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"n_runs", "mean", "std", "min", "max", "ci_low", "ci_high"}
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_property(self, values):
+        s = summarize(values)
+        tol = 1e-9 * max(1.0, abs(s.maximum))  # quantile-interp ulp slack
+        assert s.minimum <= s.mean <= s.maximum + tol
+        assert s.minimum - tol <= s.ci_low <= s.ci_high <= s.maximum + tol
+
+
+class TestRunEnsemble:
+    def test_calls_solver_per_seed(self):
+        calls = []
+
+        def solver(seed):
+            calls.append(seed)
+            return float(seed)
+
+        s = run_ensemble(solver, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert s.mean == 2.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ReproError):
+            run_ensemble(lambda s: 1.0, [])
+
+
+class TestCompareEnsembles:
+    def test_clear_winner(self):
+        out = compare_ensembles([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert out["win_rate_a"] == 1.0
+        assert out["relative_gap"] == pytest.approx(-0.5)
+
+    def test_tie_counts_half(self):
+        out = compare_ensembles([1.0, 2.0], [1.0, 1.0])
+        assert out["win_rate_a"] == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            compare_ensembles([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            compare_ensembles([], [])

@@ -1,0 +1,75 @@
+"""Tests for the design-space exploration drivers (small scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import (
+    TABLE1_STRATEGIES,
+    explore_cluster_strategies,
+    optimal_ratio_sweep,
+    ppa_sweep,
+)
+from repro.errors import ReproError
+from repro.ising.schedule import VddSchedule
+from repro.tsp.generators import random_clustered
+
+#: Fast schedule for CI-speed sweep tests.
+FAST = {"schedule": VddSchedule(total_iterations=100, iterations_per_step=25,
+                                vdd_step_mv=80.0)}
+
+
+class TestExploreClusterStrategies:
+    def test_table1_rows_present(self):
+        inst = random_clustered(120, n_clusters=6, seed=0)
+        rows = explore_cluster_strategies(
+            inst, strategies=("arbitrary", "2", "1/2/3"), seed=0,
+            config_overrides=FAST,
+        )
+        names = [r.strategy_name for r in rows]
+        assert names == ["arbitrary", "2", "1/2/3"]
+        assert rows[0].capacity_bytes is None  # arbitrary
+        assert rows[1].capacity_bytes == pytest.approx(120 / 2 * 32)
+        for r in rows:
+            assert r.optimal_ratio > 0.9  # can beat the heuristic reference
+
+    def test_default_strategy_list_matches_paper(self):
+        assert TABLE1_STRATEGIES == ("arbitrary", "2", "4", "1/2", "1/2/3", "1/2/3/4")
+
+
+class TestOptimalRatioSweep:
+    def test_scaled_sweep(self):
+        out = optimal_ratio_sweep(
+            ["pcb3038"], p_values=(2, 3), seed=0, size_scale=0.03,
+            include_baseline=False, config_overrides=FAST,
+        )
+        row = out["pcb3038"]
+        assert row["n"] == pytest.approx(3038 * 0.03, abs=1)
+        assert "1/2" in row and "1/2/3" in row
+        assert all(v > 0.9 for k, v in row.items() if k != "n")
+
+    def test_bad_scale(self):
+        with pytest.raises(ReproError):
+            optimal_ratio_sweep(["pcb3038"], size_scale=0.0)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            optimal_ratio_sweep(["foo42"], size_scale=0.5)
+
+
+class TestPPASweep:
+    def test_fig7_shape(self):
+        out = ppa_sweep(["pcb3038", "rl5915"], p_values=(2, 3, 4))
+        for dataset, per_p in out.items():
+            # Fig. 7b: area grows with p_max at fixed N.
+            assert per_p[2].chip_area_mm2 < per_p[3].chip_area_mm2 < per_p[4].chip_area_mm2
+            # Fig. 7c: p_max=2 needs the most hierarchy levels.
+            assert per_p[2].n_levels >= per_p[3].n_levels >= per_p[4].n_levels
+        # Area grows with N at fixed p_max (capacity-proportional).
+        assert (
+            out["pcb3038"][3].chip_area_mm2 < out["rl5915"][3].chip_area_mm2
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            ppa_sweep(["nope"], p_values=(3,))

@@ -1,0 +1,52 @@
+"""Tests for the multi-seed batch solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer.batch import solve_ensemble
+from repro.annealer.config import AnnealerConfig
+from repro.errors import AnnealerError
+from repro.tsp.generators import random_clustered
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_clustered(120, n_clusters=6, seed=1)
+
+
+class TestSolveEnsemble:
+    def test_runs_per_seed(self, instance):
+        out = solve_ensemble(instance, seeds=[1, 2, 3])
+        assert out.n_runs == 3
+        assert len(out.ratios) == 3
+        assert out.ratio_stats.n_runs == 3
+
+    def test_best_is_minimum(self, instance):
+        out = solve_ensemble(instance, seeds=[4, 5, 6])
+        assert out.best.length == min(r.length for r in out.results)
+
+    def test_seeds_decorrelate(self, instance):
+        out = solve_ensemble(instance, seeds=[7, 8, 9])
+        assert len({r.length for r in out.results}) > 1
+
+    def test_reference_reused(self, instance):
+        out = solve_ensemble(instance, seeds=[1], reference=1000.0)
+        assert out.reference == 1000.0
+        assert out.ratios[0] == pytest.approx(out.results[0].length / 1000.0)
+
+    def test_config_seed_replaced_not_mutated(self, instance):
+        cfg = AnnealerConfig(seed=99)
+        solve_ensemble(instance, seeds=[1, 2], config=cfg)
+        assert cfg.seed == 99  # base config untouched
+
+    def test_stats_bounds(self, instance):
+        out = solve_ensemble(instance, seeds=[10, 11, 12, 13])
+        s = out.ratio_stats
+        assert s.minimum <= s.mean <= s.maximum
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_empty_seeds_rejected(self, instance):
+        with pytest.raises(AnnealerError):
+            solve_ensemble(instance, seeds=[])

@@ -1,0 +1,91 @@
+"""Tests for the single-level solver loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer.cluster_tsp import solve_level
+from repro.annealer.engine import ClusterLevelEngine
+from repro.annealer.trace import ConvergenceTrace
+from repro.cim.macro import CIMChip
+from repro.ising.schedule import VddSchedule
+from repro.tsp.generators import random_uniform
+
+
+def make_engine(n=24, p=3, seed=0):
+    inst = random_uniform(n, seed=seed)
+    groups = [np.arange(i, min(i + p, n)) for i in range(0, n, p)]
+    return ClusterLevelEngine(inst.coords, groups, p=p, seed=seed)
+
+
+class TestSolveLevel:
+    def test_improves_objective(self):
+        engine = make_engine(seed=1)
+        report = solve_level(engine, VddSchedule(), level=0)
+        assert report.objective_after <= report.objective_before
+        assert report.swaps_accepted > 0
+
+    def test_report_fields(self):
+        engine = make_engine(seed=2)
+        report = solve_level(engine, VddSchedule(total_iterations=100), level=3)
+        assert report.level == 3
+        assert report.n_items == 24
+        assert report.n_clusters == 8
+        assert report.iterations == 100
+        assert 0 <= report.acceptance_rate <= 1
+
+    def test_chip_cycle_accounting(self):
+        engine = make_engine(seed=3)
+        chip = CIMChip(p=3, n_clusters=8)
+        schedule = VddSchedule(total_iterations=100, iterations_per_step=50)
+        solve_level(engine, schedule, level=0, chip=chip)
+        # 8 clusters -> 2 phases -> 8 MAC cycles per iteration.
+        assert chip.mac_cycles == 100 * 2 * 4
+        assert chip.writeback_events == 2
+        assert chip.levels_processed == 1
+
+    def test_writeback_bit_accounting(self):
+        engine = make_engine(seed=4)
+        chip = CIMChip(p=3, n_clusters=8)
+        solve_level(engine, VddSchedule(), level=0, chip=chip)
+        # Initial program (8 planes) + refreshes of 6,5,4,3,2,1,0 planes.
+        per_window = chip.weights_per_window
+        expected = 8 * per_window * (8 + 6 + 5 + 4 + 3 + 2 + 1 + 0)
+        assert chip.weight_bits_written == expected
+
+    def test_sequential_mode_more_cycles(self):
+        chip_par = CIMChip(p=3, n_clusters=8)
+        chip_seq = CIMChip(p=3, n_clusters=8)
+        schedule = VddSchedule(total_iterations=50, iterations_per_step=50)
+        solve_level(make_engine(seed=5), schedule, 0, chip=chip_par)
+        solve_level(
+            make_engine(seed=5), schedule, 0, chip=chip_seq, parallel_update=False
+        )
+        # Sequential: 8 clusters × 4 cycles vs 2 phases × 4 cycles.
+        assert chip_seq.mac_cycles == 4 * chip_par.mac_cycles
+
+    def test_trace_recording(self):
+        engine = make_engine(seed=6)
+        trace = ConvergenceTrace()
+        solve_level(
+            engine,
+            VddSchedule(total_iterations=100, iterations_per_step=50),
+            level=2,
+            trace=trace,
+            trace_every=25,
+        )
+        its, objs = trace.level_series(2)
+        assert its.tolist() == [0, 25, 50, 75, 100]
+        assert objs[-1] <= objs[0]
+
+    def test_quality_beats_no_anneal(self):
+        # The annealed level should (on average) outperform the raw
+        # clustering order it starts from.
+        total_before, total_after = 0.0, 0.0
+        for seed in range(5):
+            engine = make_engine(n=45, seed=seed + 10)
+            report = solve_level(engine, VddSchedule(), level=0)
+            total_before += report.objective_before
+            total_after += report.objective_after
+        assert total_after < total_before * 0.98

@@ -1,0 +1,54 @@
+"""Tests for AnnealerConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annealer.config import AnnealerConfig, NoiseSource, NoiseTarget
+from repro.clustering.strategies import FixedSizeStrategy, SemiFlexibleStrategy
+from repro.errors import ConfigError
+from repro.ising.schedule import VddSchedule
+
+
+class TestAnnealerConfig:
+    def test_defaults_are_paper_settings(self):
+        cfg = AnnealerConfig()
+        assert isinstance(cfg.strategy, SemiFlexibleStrategy)
+        assert cfg.strategy.p_max == 3
+        assert cfg.schedule.total_iterations == 400
+        assert cfg.schedule.vdd_start_mv == 300.0
+        assert cfg.weight_bits == 8
+        assert cfg.noise_source is NoiseSource.SRAM
+        assert cfg.noise_target is NoiseTarget.WEIGHTS
+        assert cfg.parallel_update
+
+    def test_strategy_from_label(self):
+        cfg = AnnealerConfig(strategy="4")
+        assert isinstance(cfg.strategy, FixedSizeStrategy)
+        assert cfg.strategy.p == 4
+
+    def test_enums_from_strings(self):
+        cfg = AnnealerConfig(noise_source="lfsr", noise_target="spins")
+        assert cfg.noise_source is NoiseSource.LFSR
+        assert cfg.noise_target is NoiseTarget.SPINS
+
+    def test_bad_enum_rejected(self):
+        with pytest.raises(ValueError):
+            AnnealerConfig(noise_source="thermal")
+
+    def test_weight_bits_must_match_schedule(self):
+        with pytest.raises(ConfigError, match="weight_bits"):
+            AnnealerConfig(weight_bits=4)
+        # Consistent override is fine.
+        cfg = AnnealerConfig(
+            weight_bits=4, schedule=VddSchedule(weight_bits=4, noisy_lsbs_start=3)
+        )
+        assert cfg.weight_bits == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AnnealerConfig(top_size=1)
+        with pytest.raises(ConfigError):
+            AnnealerConfig(trace_every=0)
+        with pytest.raises(ConfigError):
+            AnnealerConfig(seed=-3)

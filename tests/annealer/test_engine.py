@@ -1,0 +1,227 @@
+"""Tests for the vectorised cluster-level engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer.config import NoiseSource, NoiseTarget
+from repro.annealer.engine import ClusterLevelEngine
+from repro.errors import AnnealerError
+from repro.tsp.generators import random_uniform
+
+
+def make_engine(n=24, p=3, seed=0, **kwargs):
+    inst = random_uniform(n, seed=seed)
+    groups = [np.arange(i, min(i + p, n)) for i in range(0, n, p)]
+    return (
+        ClusterLevelEngine(inst.coords, groups, p=p, seed=seed, **kwargs),
+        inst,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        engine, _ = make_engine()
+        assert engine.K == 8
+        assert engine.sizes.tolist() == [3] * 8
+
+    def test_group_too_big_rejected(self):
+        inst = random_uniform(10, seed=1)
+        with pytest.raises(AnnealerError, match="exceeds"):
+            ClusterLevelEngine(inst.coords, [np.arange(10)], p=3)
+
+    def test_empty_group_rejected(self):
+        inst = random_uniform(4, seed=1)
+        with pytest.raises(AnnealerError, match="empty"):
+            ClusterLevelEngine(
+                inst.coords, [np.arange(2), np.array([], dtype=int)], p=3
+            )
+
+    def test_bad_points_rejected(self):
+        with pytest.raises(AnnealerError):
+            ClusterLevelEngine(np.zeros((4, 3)), [np.arange(4)], p=4)
+
+
+class TestSequenceAndObjective:
+    def test_initial_sequence_is_group_concat(self):
+        engine, _ = make_engine()
+        assert engine.sequence().tolist() == list(range(24))
+
+    def test_objective_matches_tour_length(self):
+        from repro.tsp.tour import tour_length
+
+        engine, inst = make_engine()
+        assert engine.objective() == pytest.approx(
+            tour_length(inst, engine.sequence())
+        )
+
+    def test_sequence_stays_permutation_under_trials(self):
+        engine, _ = make_engine(seed=3)
+        engine.writeback(300.0, 6)
+        for _ in range(50):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        seq = engine.sequence()
+        assert sorted(seq.tolist()) == list(range(24))
+
+
+class TestCleanEnergetics:
+    def test_clean_deltas_accepted_only_if_improving(self):
+        # With no noise applied, accepted trials can only shorten the
+        # quantised objective; the true objective tracks within
+        # quantisation error.
+        engine, _ = make_engine(seed=4)
+        engine.writeback(800.0, 0)  # clean
+        before = engine.objective()
+        for _ in range(100):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        after = engine.objective()
+        qerr = engine.quantizer.scale * engine.trials_accepted
+        assert after <= before + qerr
+
+    def test_greedy_converges(self):
+        engine, _ = make_engine(seed=5)
+        engine.writeback(800.0, 0)
+        prev_accepts = None
+        for _ in range(300):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        first_burst = engine.trials_accepted
+        for _ in range(300):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        # Acceptances dry up once the clean local optimum is reached.
+        assert engine.trials_accepted - first_burst < first_burst + 5
+
+
+class TestNoise:
+    def test_writeback_changes_weights(self):
+        engine, _ = make_engine(seed=6)
+        clean = engine.C_own.copy()
+        engine.writeback(250.0, 6)
+        assert not np.array_equal(engine.C_own, clean)
+        engine.writeback(800.0, 0)
+        assert np.array_equal(engine.C_own, engine.Q_own)
+
+    def test_noise_is_spatial_within_step(self):
+        engine, _ = make_engine(seed=7)
+        engine.writeback(300.0, 6)
+        snapshot = engine.C_own.copy()
+        engine.writeback(300.0, 6)
+        assert np.array_equal(engine.C_own, snapshot)
+
+    def test_same_distance_different_cells_differ(self):
+        # The same element-pair distance is stored in distinct cells
+        # for different (position, direction) usages — under noise,
+        # at least some of them must corrupt differently.
+        engine, _ = make_engine(seed=8)
+        engine.writeback(250.0, 6)
+        c = engine.C_own  # (K, p, 2, p, p)
+        spread = c.max(axis=(1, 2)) - c.min(axis=(1, 2))
+        assert spread.max() > 0
+
+    def test_uphill_moves_accepted_under_noise(self):
+        engine, inst = make_engine(n=30, seed=9)
+        engine.writeback(250.0, 6)
+        uphill = 0
+        for _ in range(100):
+            before = engine.objective()
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+            after = engine.objective()
+            if after > before + engine.quantizer.scale:
+                uphill += 1
+        assert uphill > 0  # noise lets the chain climb
+
+    def test_lfsr_noise_differs_across_runs_with_state(self):
+        e1, _ = make_engine(seed=10, noise_source=NoiseSource.LFSR)
+        e1.writeback(300.0, 6)
+        assert np.array_equal(e1.C_own, e1.Q_own)  # weights stay clean
+
+    def test_spin_noise_is_deterministic_per_proposal(self):
+        engine, _ = make_engine(seed=11, noise_target=NoiseTarget.SPINS)
+        engine.writeback(300.0, 6)
+        assert engine._spin_offsets is not None
+        # Offsets fixed (spatial): same (c, i, j) always same offset.
+        off = engine._spin_offsets.copy()
+        engine.writeback(340.0, 5)
+        assert np.array_equal(off, engine._spin_offsets)
+
+
+class TestPhases:
+    def test_even_K_two_phases(self):
+        engine, _ = make_engine(n=24, p=3)
+        groups = engine.phase_groups()
+        assert len(groups) == 2
+
+    def test_odd_K_three_phases(self):
+        engine, _ = make_engine(n=21, p=3)  # 7 groups
+        assert len(engine.phase_groups()) == 3
+
+    def test_phase_independence(self):
+        engine, _ = make_engine(n=24, p=3)
+        for group in engine.phase_groups():
+            lst = group.tolist()
+            for c in lst:
+                assert (c + 1) % engine.K not in lst
+
+    def test_singleton_clusters_skipped(self):
+        inst = random_uniform(5, seed=12)
+        groups = [np.array([0]), np.array([1, 2]), np.array([3]), np.array([4])]
+        engine = ClusterLevelEngine(inst.coords, groups, p=2, seed=0)
+        proposed, _ = engine.run_phase_trials(np.array([0, 2]))
+        assert proposed == 0  # both singletons
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        results = []
+        for _ in range(2):
+            engine, _ = make_engine(seed=13)
+            engine.writeback(300.0, 6)
+            for _ in range(60):
+                for group in engine.phase_groups():
+                    engine.run_phase_trials(group)
+            results.append(engine.sequence().tolist())
+        assert results[0] == results[1]
+
+    def test_different_seed_different_result(self):
+        outs = []
+        for seed in (14, 15):
+            engine, _ = make_engine(n=45, seed=seed)
+            engine.writeback(300.0, 6)
+            for _ in range(80):
+                for group in engine.phase_groups():
+                    engine.run_phase_trials(group)
+            outs.append(engine.sequence().tolist())
+        assert outs[0] != outs[1]
+
+
+class TestMetropolisBaseline:
+    def test_metropolis_accepts_uphill(self):
+        from repro.annealer.config import NoiseSource
+
+        engine, _ = make_engine(n=30, seed=30, noise_source=NoiseSource.METROPOLIS)
+        engine.writeback(300.0, 6)
+        assert np.array_equal(engine.C_own, engine.Q_own)  # weights clean
+        uphill = 0
+        for _ in range(150):
+            before = engine.objective()
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+            if engine.objective() > before + 1e-9:
+                uphill += 1
+        assert uphill > 0  # Boltzmann acceptance climbs sometimes
+
+    def test_metropolis_freezes_at_zero_amp(self):
+        from repro.annealer.config import NoiseSource
+
+        engine, _ = make_engine(n=30, seed=31, noise_source=NoiseSource.METROPOLIS)
+        engine.writeback(580.0, 0)  # amplitude 0 -> pure greedy
+        for _ in range(100):
+            before = engine.objective()
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+            assert engine.objective() <= before + engine.quantizer.scale * 4

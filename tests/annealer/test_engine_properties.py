@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) on the level engine's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealer.engine import ClusterLevelEngine
+from repro.tsp.generators import random_uniform
+
+
+def build_engine(n_points: int, sizes_seed: int, p: int, engine_seed: int):
+    """Random engine: points split into random groups of size 1..p."""
+    inst = random_uniform(n_points, seed=sizes_seed)
+    rng = np.random.default_rng(sizes_seed + 1)
+    order = rng.permutation(n_points)
+    groups = []
+    i = 0
+    while i < n_points:
+        size = int(rng.integers(1, p + 1))
+        size = min(size, n_points - i)
+        groups.append(order[i : i + size])
+        i += size
+    return ClusterLevelEngine(inst.coords, groups, p=p, seed=engine_seed), inst
+
+
+@st.composite
+def engine_params(draw):
+    n = draw(st.integers(min_value=6, max_value=60))
+    p = draw(st.integers(min_value=2, max_value=4))
+    sizes_seed = draw(st.integers(min_value=0, max_value=1000))
+    engine_seed = draw(st.integers(min_value=0, max_value=1000))
+    return n, p, sizes_seed, engine_seed
+
+
+class TestEngineInvariants:
+    @given(engine_params())
+    @settings(max_examples=20, deadline=None)
+    def test_sequence_is_always_a_permutation(self, params):
+        n, p, sizes_seed, engine_seed = params
+        engine, _ = build_engine(n, sizes_seed, p, engine_seed)
+        engine.writeback(300.0, 6)
+        for _ in range(30):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        assert sorted(engine.sequence().tolist()) == list(range(n))
+
+    @given(engine_params())
+    @settings(max_examples=15, deadline=None)
+    def test_objective_matches_tour_length_always(self, params):
+        from repro.tsp.tour import tour_length
+
+        n, p, sizes_seed, engine_seed = params
+        engine, inst = build_engine(n, sizes_seed, p, engine_seed)
+        engine.writeback(250.0, 6)
+        for _ in range(15):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        assert engine.objective() == pytest.approx(
+            tour_length(inst, engine.sequence())
+        )
+
+    @given(engine_params())
+    @settings(max_examples=15, deadline=None)
+    def test_clean_acceptance_never_lengthens_quantised_objective(self, params):
+        n, p, sizes_seed, engine_seed = params
+        engine, _ = build_engine(n, sizes_seed, p, engine_seed)
+        engine.writeback(800.0, 0)  # noise-free
+        before = engine.objective()
+        accepted0 = engine.trials_accepted
+        for _ in range(40):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        accepted = engine.trials_accepted - accepted0
+        # Each accepted clean swap reduces the quantised objective by at
+        # least one code, but the true objective may move by up to the
+        # quantisation error per swap.
+        assert engine.objective() <= before + accepted * engine.quantizer.scale
+
+    @given(engine_params(), st.integers(0, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_writeback_idempotent(self, params, step):
+        n, p, sizes_seed, engine_seed = params
+        engine, _ = build_engine(n, sizes_seed, p, engine_seed)
+        vdd = 300.0 + step * 40.0
+        lsbs = max(0, 6 - step)
+        engine.writeback(vdd, lsbs)
+        snapshot = engine.C_own.copy()
+        engine.writeback(vdd, lsbs)
+        assert np.array_equal(engine.C_own, snapshot)
+
+    @given(engine_params())
+    @settings(max_examples=15, deadline=None)
+    def test_boundaries_consistent_with_orders(self, params):
+        n, p, sizes_seed, engine_seed = params
+        engine, _ = build_engine(n, sizes_seed, p, engine_seed)
+        engine.writeback(300.0, 6)
+        for _ in range(20):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        for c in range(engine.K):
+            prev_c = (c - 1) % engine.K
+            next_c = (c + 1) % engine.K
+            assert engine.prev_last[c] == engine.order[
+                prev_c, engine.sizes[prev_c] - 1
+            ]
+            assert engine.next_first[c] == engine.order[next_c, 0]
+
+    @given(engine_params())
+    @settings(max_examples=10, deadline=None)
+    def test_padded_positions_never_move(self, params):
+        n, p, sizes_seed, engine_seed = params
+        engine, _ = build_engine(n, sizes_seed, p, engine_seed)
+        engine.writeback(250.0, 6)
+        for _ in range(25):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        for c in range(engine.K):
+            s = int(engine.sizes[c])
+            # Tail (padded) slots keep their identity values.
+            assert engine.order[c, s:].tolist() == list(range(s, p))
+            # Active slots hold a permutation of 0..s-1.
+            assert sorted(engine.order[c, :s].tolist()) == list(range(s))

@@ -1,0 +1,146 @@
+"""Bit-compatibility of the vectorised engine with the golden CIM model.
+
+The engine claims to compute exactly what a programmed
+:class:`repro.cim.window.WeightWindow` MAC would produce.  Here we
+build the golden window for every cluster of a small level from the
+engine's own quantised distances, drive both through the same spin
+state, and require equality — noise-free (same stored codes) and under
+a shared corruption pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer.engine import ClusterLevelEngine
+from repro.cim.window import WeightWindow, expand_spin_window
+from repro.tsp.generators import random_uniform
+
+
+@pytest.fixture
+def level():
+    inst = random_uniform(9, seed=21)
+    groups = [np.arange(0, 3), np.arange(3, 6), np.arange(6, 9)]
+    engine = ClusterLevelEngine(inst.coords, groups, p=3, seed=5)
+    return engine, inst
+
+
+def golden_window_for(engine, c):
+    """Program a golden WeightWindow with cluster c's quantised codes."""
+    p = engine.p
+    s = int(engine.sizes[c])
+    s_prev = int(engine.sizes[(c - 1) % engine.K])
+    s_next = int(engine.sizes[(c + 1) % engine.K])
+    d_own = engine.Q_own_pair[c, :s, :s]
+    d_prev = engine.Q_prev[c, :s_prev, :s]
+    d_next = engine.Q_next[c, :s_next, :s]
+    W = expand_spin_window(d_own, d_prev, d_next, p, size=s)
+    win = WeightWindow(p, seed=100 + c)
+    win.program(W)
+    return win
+
+
+def spin_input_for(engine, win, c):
+    """One-hot spin input of cluster c's current state + boundaries."""
+    s = int(engine.sizes[c])
+    inp = np.zeros(win.rows, dtype=np.int64)
+    for pos in range(s):
+        inp[win.own_row(pos, int(engine.order[c, pos]))] = 1
+    inp[win.prev_row(int(engine.prev_last[c]))] = 1
+    inp[win.next_row(int(engine.next_first[c]))] = 1
+    return inp
+
+
+class TestCleanEquivalence:
+    def test_all_local_energies_match(self, level):
+        engine, _ = level
+        for c in range(engine.K):
+            win = golden_window_for(engine, c)
+            inp = spin_input_for(engine, win, c)
+            for pos in range(int(engine.sizes[c])):
+                elem = int(engine.order[c, pos])
+                golden = win.mac(win.col_index(pos, elem), inp)
+                fast = int(engine.local_energy(np.array([c]), np.array([pos]))[0])
+                assert fast == golden, (c, pos)
+
+    def test_match_survives_reordering(self, level):
+        engine, _ = level
+        engine.writeback(800.0, 0)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            for group in engine.phase_groups():
+                engine.run_phase_trials(group)
+        for c in range(engine.K):
+            win = golden_window_for(engine, c)
+            inp = spin_input_for(engine, win, c)
+            for pos in range(int(engine.sizes[c])):
+                elem = int(engine.order[c, pos])
+                golden = win.mac(win.col_index(pos, elem), inp)
+                fast = int(engine.local_energy(np.array([c]), np.array([pos]))[0])
+                assert fast == golden
+
+    def test_swap_delta_matches_golden_four_mac_procedure(self, level):
+        """Reproduce Fig. 5a: ΔH from 4 golden MACs == engine delta."""
+        engine, _ = level
+        c = 1
+        win = golden_window_for(engine, c)
+        i, j = 0, 2
+        k, l = int(engine.order[c, i]), int(engine.order[c, j])
+
+        inp_before = spin_input_for(engine, win, c)
+        h_ik = win.mac(win.col_index(i, k), inp_before)
+        h_jl = win.mac(win.col_index(j, l), inp_before)
+
+        # Swap, rebuild the input, compute the after energies.
+        engine.order[c, i], engine.order[c, j] = l, k
+        engine._refresh_boundaries()
+        inp_after = spin_input_for(engine, win, c)
+        h_il = win.mac(win.col_index(i, l), inp_after)
+        h_jk = win.mac(win.col_index(j, k), inp_after)
+        golden_delta = (h_il + h_jk) - (h_ik + h_jl)
+
+        # Undo and ask the engine for the same pair's energies.
+        engine.order[c, i], engine.order[c, j] = k, l
+        engine._refresh_boundaries()
+        e_before = engine.local_energy(np.array([c, c]), np.array([i, j])).sum()
+        engine.order[c, i], engine.order[c, j] = l, k
+        engine._refresh_boundaries()
+        e_after = engine.local_energy(np.array([c, c]), np.array([i, j])).sum()
+        assert int(e_after - e_before) == golden_delta
+
+
+class TestCorruptionEquivalence:
+    def test_engine_corrupt_matches_bitwise_rule(self, level):
+        """engine._corrupt implements the pseudo-read rule bit-exactly."""
+        engine, _ = level
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 256, size=(4, 5))
+        vc = (300.0 + 55.0 * rng.standard_normal((4, 5, 8))).astype(np.float16)
+        pref = rng.integers(0, 2, size=(4, 5, 8), dtype=np.uint8)
+        out = engine._corrupt(codes, vc, pref, vdd_mv=300.0, noisy_lsbs=6)
+        # Manual reference.
+        expected = np.empty_like(codes)
+        for a in range(4):
+            for b in range(5):
+                value = 0
+                for bit in range(8):
+                    stored = (codes[a, b] >> bit) & 1
+                    if bit < 6 and float(vc[a, b, bit]) > 300.0:
+                        stored = int(pref[a, b, bit])
+                    value |= stored << bit
+                expected[a, b] = value
+        assert np.array_equal(out, expected)
+
+    def test_engine_corruption_matches_noise_field_semantics(self, level):
+        """Same (vc, pref) population → same corruption as SpatialNoiseField."""
+        from repro.sram.noise import SpatialNoiseField
+
+        engine, _ = level
+        field = SpatialNoiseField((3, 3), weight_bits=8, seed=9)
+        codes = np.arange(9).reshape(3, 3) * 20
+        via_field = field.corrupt(codes, 280.0, 5)
+        via_engine = engine._corrupt(
+            codes, field._vc, field._preferred, 280.0, 5
+        )
+        assert np.array_equal(via_field, via_engine)

@@ -1,0 +1,111 @@
+"""Tests for the full hierarchical annealer (public API)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+from repro.clustering.strategies import (
+    ArbitraryStrategy,
+    FixedSizeStrategy,
+    SemiFlexibleStrategy,
+)
+from repro.tsp.baselines import held_karp, nearest_neighbor_tour
+from repro.tsp.generators import random_uniform
+from repro.tsp.reference import reference_length
+from repro.tsp.tour import tour_length, validate_tour
+
+
+class TestSolve:
+    def test_valid_tour(self, medium_instance):
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=1)).solve(medium_instance)
+        validate_tour(res.tour, medium_instance.n)
+        assert res.length == pytest.approx(
+            tour_length(medium_instance, res.tour)
+        )
+
+    def test_quality_band(self, medium_instance):
+        # Paper band: optimal ratio roughly 1.1-1.5 for the clustered
+        # approach (Table I); allow slack for the small instance.
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=1)).solve(medium_instance)
+        ratio = res.optimal_ratio(reference_length(medium_instance))
+        assert 1.0 <= ratio < 1.6
+
+    def test_beats_random_tour_massively(self, medium_instance):
+        from repro.tsp.tour import random_tour
+
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=2)).solve(medium_instance)
+        rnd = tour_length(medium_instance, random_tour(medium_instance.n, seed=0))
+        assert res.length < 0.5 * rnd
+
+    def test_near_optimal_tiny(self):
+        inst = random_uniform(12, seed=3)
+        _, opt = held_karp(inst)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=4, top_size=12)).solve(inst)
+        assert res.length <= 1.35 * opt
+
+    def test_deterministic(self, medium_instance):
+        a = ClusteredCIMAnnealer(AnnealerConfig(seed=5)).solve(medium_instance)
+        b = ClusteredCIMAnnealer(AnnealerConfig(seed=5)).solve(medium_instance)
+        assert np.array_equal(a.tour, b.tour)
+
+    def test_seed_changes_result(self, medium_instance):
+        a = ClusteredCIMAnnealer(AnnealerConfig(seed=6)).solve(medium_instance)
+        b = ClusteredCIMAnnealer(AnnealerConfig(seed=7)).solve(medium_instance)
+        assert a.length != b.length
+
+    @pytest.mark.parametrize("strategy", [FixedSizeStrategy(2), SemiFlexibleStrategy(2), SemiFlexibleStrategy(4), ArbitraryStrategy()])
+    def test_all_strategies_produce_valid_tours(self, medium_instance, strategy):
+        res = ClusteredCIMAnnealer(
+            AnnealerConfig(strategy=strategy, seed=8)
+        ).solve(medium_instance)
+        validate_tour(res.tour, medium_instance.n)
+
+
+class TestLevelsAndChip:
+    def test_level_reports_cover_hierarchy(self, medium_instance):
+        ann = ClusteredCIMAnnealer(AnnealerConfig(seed=9))
+        tree = ann.build_tree(medium_instance)
+        res = ann.solve(medium_instance)
+        # Top solve + one report per hierarchy level.
+        assert res.n_levels == tree.n_levels + 1
+        assert res.levels[-1].n_items == medium_instance.n
+
+    def test_chip_provisioning_follows_strategy(self, medium_instance):
+        res = ClusteredCIMAnnealer(
+            AnnealerConfig(strategy=SemiFlexibleStrategy(3), seed=10)
+        ).solve(medium_instance)
+        assert res.chip.p == 3
+        assert res.chip.n_clusters == -(-2 * medium_instance.n // 4)
+
+    def test_chip_records_cycles_per_level(self, medium_instance):
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=11)).solve(medium_instance)
+        assert res.chip.mac_cycles > 0
+        assert res.chip.writeback_events >= 8 * res.n_levels  # 8 per level
+        assert len(res.chip.per_level_cycles) == res.n_levels
+
+    def test_trace_optional(self, medium_instance):
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=12)).solve(medium_instance)
+        assert res.trace is None
+        res2 = ClusteredCIMAnnealer(
+            AnnealerConfig(seed=12, record_trace=True, trace_every=100)
+        ).solve(medium_instance)
+        assert res2.trace is not None and len(res2.trace) > 0
+
+
+class TestQualityVsBaselines:
+    def test_competitive_with_nearest_neighbor(self):
+        # The clustered annealer should beat or match NN construction
+        # on average (NN is ~25% above optimal).
+        wins = 0
+        for seed in range(4):
+            inst = random_uniform(150, seed=seed + 40)
+            res = ClusteredCIMAnnealer(AnnealerConfig(seed=seed)).solve(inst)
+            nn = tour_length(inst, nearest_neighbor_tour(inst, start=0))
+            wins += res.length <= nn * 1.02
+        assert wins >= 3
+
+    def test_wall_time_recorded(self, medium_instance):
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=13)).solve(medium_instance)
+        assert res.wall_time_s > 0

@@ -1,0 +1,91 @@
+"""Tests for ConvergenceTrace, LevelReport, and AnnealResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer.result import AnnealResult, LevelReport
+from repro.annealer.trace import ConvergenceTrace
+from repro.errors import AnnealerError
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import tour_length
+
+
+class TestConvergenceTrace:
+    def test_record_and_series(self):
+        t = ConvergenceTrace()
+        t.record(0, 0, 100.0)
+        t.record(0, 10, 90.0)
+        t.record(1, 0, 50.0)
+        its, objs = t.level_series(0)
+        assert its.tolist() == [0, 10]
+        assert objs.tolist() == [100.0, 90.0]
+
+    def test_levels_ordering(self):
+        t = ConvergenceTrace()
+        t.record(5, 0, 1.0)
+        t.record(3, 0, 1.0)
+        t.record(5, 1, 1.0)
+        assert t.levels() == [5, 3]
+
+    def test_improvement(self):
+        t = ConvergenceTrace()
+        t.record(0, 0, 100.0)
+        t.record(0, 10, 80.0)
+        assert t.improvement(0) == pytest.approx(0.2)
+        assert t.improvement(9) is None
+
+    def test_empty_series(self):
+        t = ConvergenceTrace()
+        its, objs = t.level_series(4)
+        assert its.size == 0 and objs.size == 0
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(AnnealerError):
+            ConvergenceTrace().record(0, -1, 1.0)
+
+
+class TestLevelReport:
+    def test_rates(self):
+        r = LevelReport(
+            level=0, n_items=10, n_clusters=5, p=2, iterations=100,
+            swaps_proposed=200, swaps_accepted=50,
+            objective_before=100.0, objective_after=80.0,
+        )
+        assert r.acceptance_rate == pytest.approx(0.25)
+        assert r.improvement == pytest.approx(0.2)
+
+    def test_zero_division_guards(self):
+        r = LevelReport(0, 1, 1, 1, 0, 0, 0, 0.0, 0.0)
+        assert r.acceptance_rate == 0
+        assert r.improvement == 0
+
+
+class TestAnnealResult:
+    def test_length_cross_checked(self):
+        inst = random_uniform(8, seed=1)
+        tour = np.arange(8)
+        with pytest.raises(AnnealerError, match="does not match"):
+            AnnealResult(instance=inst, tour=tour, length=1.0)
+
+    def test_optimal_ratio(self):
+        inst = random_uniform(8, seed=2)
+        tour = np.arange(8)
+        res = AnnealResult(
+            instance=inst, tour=tour, length=tour_length(inst, tour)
+        )
+        assert res.optimal_ratio(res.length) == pytest.approx(1.0)
+        with pytest.raises(AnnealerError):
+            res.optimal_ratio(0.0)
+
+    def test_invalid_tour_rejected(self):
+        inst = random_uniform(5, seed=3)
+        with pytest.raises(Exception):
+            AnnealResult(instance=inst, tour=np.zeros(5, dtype=int), length=0.0)
+
+    def test_repr(self):
+        inst = random_uniform(6, seed=4)
+        tour = np.arange(6)
+        res = AnnealResult(inst, tour, tour_length(inst, tour))
+        assert "n=6" in repr(res)

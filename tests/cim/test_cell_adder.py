@@ -1,0 +1,109 @@
+"""Tests for the 14T cell and the adder tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cim.adder_tree import AdderTree
+from repro.cim.cell import Cell14T
+from repro.errors import CIMError
+
+
+class TestCell14T:
+    def test_write_sets_node(self):
+        c = Cell14T()
+        c.write(1)
+        assert c.stored == 1 and c.node == 1
+
+    def test_multiply_truth_table_nominal(self):
+        for w in (0, 1):
+            for x in (0, 1):
+                c = Cell14T(critical_voltage_mv=100.0)
+                c.write(w)
+                assert c.multiply(x, True, True) == (x & w)
+
+    def test_mux_gating(self):
+        c = Cell14T(critical_voltage_mv=100.0)
+        c.write(1)
+        assert c.multiply(1, False, True) == 0
+        assert c.multiply(1, True, False) == 0
+        assert c.multiply(1, True, True) == 1
+
+    def test_pseudo_read_flip_is_sticky(self):
+        c = Cell14T(critical_voltage_mv=500.0, preferred=1)
+        c.write(0)
+        assert c.pseudo_read(300.0) == 1  # destabilised -> preferred
+        assert c.pseudo_read(800.0) == 1  # irreversible until write
+        c.write(0)
+        assert c.node == 0  # write-back recovers
+
+    def test_stable_read_keeps_value(self):
+        c = Cell14T(critical_voltage_mv=200.0, preferred=1)
+        c.write(0)
+        assert c.pseudo_read(400.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(CIMError):
+            Cell14T(stored=2)
+        c = Cell14T()
+        with pytest.raises(CIMError):
+            c.write(5)
+        with pytest.raises(CIMError):
+            c.multiply(3, True, True)
+        with pytest.raises(CIMError):
+            c.pseudo_read(0.0)
+
+
+class TestAdderTree:
+    def _products(self, weights, inputs, bits=8):
+        b = (np.asarray(weights)[:, None] >> np.arange(bits)) & 1
+        return b * np.asarray(inputs)[:, None]
+
+    def test_matches_integer_dot(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            w = rng.integers(0, 256, size=15)
+            x = rng.integers(0, 2, size=15)
+            tree = AdderTree(15, 8)
+            mac, _ = tree.reduce(self._products(w, x))
+            assert mac == int(w @ x)
+
+    def test_window_row_counts(self):
+        # p=2/3/4 windows have 8/15/24 rows (p^2 + 2p).
+        for p, rows in [(2, 8), (3, 15), (4, 24)]:
+            tree = AdderTree(rows, 8)
+            assert tree.n_rows == rows
+
+    def test_all_zero_input(self):
+        tree = AdderTree(8, 8)
+        mac, stats = tree.reduce(np.zeros((8, 8), dtype=int))
+        assert mac == 0
+        assert stats.one_bit_products == 64
+
+    def test_max_value_no_overflow(self):
+        tree = AdderTree(24, 8)
+        mac, _ = tree.reduce(np.ones((24, 8), dtype=int))
+        assert mac == 24 * 255
+
+    def test_shape_checked(self):
+        tree = AdderTree(8, 8)
+        with pytest.raises(CIMError):
+            tree.reduce(np.zeros((7, 8), dtype=int))
+
+    def test_non_binary_rejected(self):
+        tree = AdderTree(4, 8)
+        with pytest.raises(CIMError):
+            tree.reduce(np.full((4, 8), 2))
+
+    def test_stats_counts(self):
+        tree = AdderTree(15, 8)
+        _, stats = tree.reduce(np.zeros((15, 8), dtype=int))
+        assert stats.total_adder_ops == 8 * 14 + 7
+        assert stats.adder_stages == 4  # ceil(log2(15))
+
+    def test_validation(self):
+        with pytest.raises(CIMError):
+            AdderTree(0)
+        with pytest.raises(CIMError):
+            AdderTree(8, 0)

@@ -1,0 +1,64 @@
+"""Tests for weight quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.quantize import WeightQuantizer
+from repro.errors import CIMError
+
+
+class TestWeightQuantizer:
+    def test_endpoints(self):
+        q = WeightQuantizer(100.0, bits=8)
+        codes = q.quantize(np.array([0.0, 100.0]))
+        assert codes.tolist() == [0, 255]
+
+    def test_roundtrip_error_bounded(self):
+        q = WeightQuantizer(1000.0, bits=8)
+        vals = np.random.default_rng(0).uniform(0, 1000, 500)
+        err = np.abs(q.dequantize(q.quantize(vals)) - vals)
+        assert err.max() <= q.quantization_error_bound() + 1e-9
+
+    def test_eight_bit_error_small(self):
+        q = WeightQuantizer(1000.0, bits=8)
+        assert q.quantization_error_bound() < 0.002 * 1000
+
+    def test_clipping(self):
+        q = WeightQuantizer(10.0, bits=4)
+        assert q.quantize(np.array([50.0]))[0] == 15
+
+    def test_zero_max_value_ok(self):
+        q = WeightQuantizer(0.0)
+        assert q.quantize(np.array([0.0]))[0] == 0
+
+    def test_negative_rejected(self):
+        q = WeightQuantizer(10.0)
+        with pytest.raises(CIMError):
+            q.quantize(np.array([-1.0]))
+
+    def test_dequantize_range_checked(self):
+        q = WeightQuantizer(10.0, bits=4)
+        with pytest.raises(CIMError):
+            q.dequantize(np.array([16]))
+
+    def test_bits_validated(self):
+        with pytest.raises(CIMError):
+            WeightQuantizer(10.0, bits=0)
+        with pytest.raises(CIMError):
+            WeightQuantizer(10.0, bits=17)
+
+    def test_nan_rejected(self):
+        with pytest.raises(CIMError):
+            WeightQuantizer(float("nan"))
+
+    @given(st.floats(min_value=1.0, max_value=1e6), st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_property(self, max_value, bits):
+        q = WeightQuantizer(max_value, bits=bits)
+        vals = np.linspace(0, max_value, 64)
+        codes = q.quantize(vals)
+        assert np.all(np.diff(codes) >= 0)

@@ -1,0 +1,155 @@
+"""Tests for the compact weight window (Fig. 3c)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cim.window import WeightWindow, expand_spin_window, window_shape
+from repro.errors import CIMError
+
+
+def _symmetric_distances(rng, s):
+    d = rng.integers(1, 200, size=(s, s))
+    d = (d + d.T) // 2
+    np.fill_diagonal(d, 0)
+    return d
+
+
+@pytest.fixture
+def window_setup():
+    rng = np.random.default_rng(5)
+    p, s = 3, 3
+    d_own = _symmetric_distances(rng, s)
+    d_prev = rng.integers(1, 200, size=(2, s))
+    d_next = rng.integers(1, 200, size=(3, s))
+    W = expand_spin_window(d_own, d_prev, d_next, p)
+    win = WeightWindow(p, seed=3)
+    win.program(W)
+    return win, d_own, d_prev, d_next
+
+
+def _input_for(win, order, prev_elem, next_elem):
+    inp = np.zeros(win.rows, dtype=np.int64)
+    for pos, el in enumerate(order):
+        inp[win.own_row(pos, el)] = 1
+    inp[win.prev_row(prev_elem)] = 1
+    inp[win.next_row(next_elem)] = 1
+    return inp
+
+
+class TestWindowShape:
+    @pytest.mark.parametrize("p,expected", [(2, (8, 4)), (3, (15, 9)), (4, (24, 16))])
+    def test_paper_geometry(self, p, expected):
+        assert window_shape(p) == expected
+
+    def test_validation(self):
+        with pytest.raises(CIMError):
+            window_shape(0)
+
+
+class TestExpandSpinWindow:
+    def test_adjacency_structure(self, window_setup):
+        win, d_own, _, _ = window_setup
+        W = win.stored
+        p = 3
+        # Non-adjacent positions store zeros.
+        assert W[win.own_row(0, 1), win.col_index(2, 0)] == 0
+        # Adjacent positions store the element distance.
+        assert W[win.own_row(0, 1), win.col_index(1, 0)] == d_own[1, 0]
+        assert W[win.own_row(2, 2), win.col_index(1, 0)] == d_own[2, 0]
+
+    def test_boundary_rows(self, window_setup):
+        win, _, d_prev, d_next = window_setup
+        W = win.stored
+        # Previous-cluster rows feed only the first position's columns.
+        assert W[win.prev_row(1), win.col_index(0, 2)] == d_prev[1, 2]
+        assert W[win.prev_row(1), win.col_index(1, 2)] == 0
+        # Next-cluster rows feed only the last position's columns.
+        assert W[win.next_row(0), win.col_index(2, 1)] == d_next[0, 1]
+        assert W[win.next_row(0), win.col_index(0, 1)] == 0
+
+    def test_same_element_never_coupled(self, window_setup):
+        win, _, _, _ = window_setup
+        W = win.stored
+        for i in range(2):
+            for k in range(3):
+                assert W[win.own_row(i + 1, k), win.col_index(i, k)] == 0
+
+    def test_padding_for_small_clusters(self):
+        rng = np.random.default_rng(6)
+        d_own = _symmetric_distances(rng, 2)
+        W = expand_spin_window(
+            d_own, rng.integers(1, 9, (1, 2)), rng.integers(1, 9, (2, 2)), p=3, size=2
+        )
+        assert W.shape == window_shape(3)
+        # Columns of the unused position/element are all zero.
+        assert np.all(W[:, 2 * 3 + 0 :] == 0) or W[:, 6:].sum() == 0
+
+    def test_size_validation(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(CIMError):
+            expand_spin_window(
+                _symmetric_distances(rng, 4),
+                rng.integers(0, 9, (2, 4)),
+                rng.integers(0, 9, (2, 4)),
+                p=3,
+            )
+
+
+class TestWeightWindowMAC:
+    def test_local_energy_interior(self, window_setup):
+        win, d_own, _, _ = window_setup
+        inp = _input_for(win, [2, 0, 1], prev_elem=1, next_elem=0)
+        e = win.mac(win.col_index(1, 0), inp)
+        assert e == d_own[2, 0] + d_own[1, 0]
+
+    def test_local_energy_boundaries(self, window_setup):
+        win, d_own, d_prev, d_next = window_setup
+        inp = _input_for(win, [2, 0, 1], prev_elem=1, next_elem=0)
+        assert win.mac(win.col_index(0, 2), inp) == d_prev[1, 2] + d_own[0, 2]
+        assert win.mac(win.col_index(2, 1), inp) == d_own[0, 1] + d_next[0, 1]
+
+    def test_noisy_mac_deterministic(self, window_setup):
+        win, _, _, _ = window_setup
+        inp = _input_for(win, [0, 1, 2], prev_elem=0, next_elem=0)
+        col = win.col_index(1, 1)
+        a = win.mac(col, inp, vdd_mv=300.0, noisy_lsbs=6)
+        b = win.mac(col, inp, vdd_mv=300.0, noisy_lsbs=6)
+        assert a == b
+
+    def test_mac_counts(self, window_setup):
+        win, _, _, _ = window_setup
+        inp = _input_for(win, [0, 1, 2], prev_elem=0, next_elem=0)
+        before = win.mac_count
+        win.mac(0, inp)
+        assert win.mac_count == before + 1
+
+    def test_program_validation(self):
+        win = WeightWindow(2, seed=0)
+        with pytest.raises(CIMError):
+            win.program(np.zeros((3, 3), dtype=int))
+        with pytest.raises(CIMError):
+            win.program(np.full(window_shape(2), 256))
+
+    def test_mac_validation(self, window_setup):
+        win, _, _, _ = window_setup
+        inp = np.zeros(win.rows, dtype=np.int64)
+        with pytest.raises(CIMError):
+            win.mac(99, inp)
+        with pytest.raises(CIMError):
+            win.mac(0, inp[:-1])
+        inp2 = inp.copy()
+        inp2[0] = 2
+        with pytest.raises(CIMError):
+            win.mac(0, inp2)
+
+    def test_row_index_helpers(self):
+        win = WeightWindow(3, seed=1)
+        assert win.col_index(2, 1) == 7
+        assert win.prev_row(0) == 9
+        assert win.next_row(2) == 14
+        with pytest.raises(CIMError):
+            win.col_index(3, 0)
+        with pytest.raises(CIMError):
+            win.prev_row(3)

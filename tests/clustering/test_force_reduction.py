@@ -1,0 +1,72 @@
+"""Tests for the hierarchy's forced-reduction fallback.
+
+When geometric gates would leave a level almost unreduced (pathological
+point sets), `_force_reduction` merges nearest cluster pairs so the
+hierarchy always terminates.  Exercised directly here since the main
+path rarely triggers it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.hierarchy import (
+    ClusterLevel,
+    _force_reduction,
+    build_hierarchy,
+)
+from repro.clustering.strategies import SemiFlexibleStrategy
+from repro.tsp.instance import TSPInstance
+
+
+def singleton_level(points: np.ndarray) -> ClusterLevel:
+    members = [np.array([i], dtype=np.int64) for i in range(points.shape[0])]
+    return ClusterLevel(members=members, centroids=points.copy())
+
+
+class TestForceReduction:
+    def test_reduces_to_target(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, size=(30, 2))
+        level = _force_reduction(singleton_level(points), points, max_size=3)
+        assert level.n_clusters <= int(0.67 * 30)
+        level.validate(30)
+
+    def test_respects_size_cap(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, size=(24, 2))
+        level = _force_reduction(singleton_level(points), points, max_size=2)
+        assert level.sizes.max() <= 2
+
+    def test_merges_nearest_first(self):
+        # Three tight pairs far apart: only tight pairs ever merge —
+        # no merged cluster spans the big gaps.
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [100.0, 0.0], [100.1, 0.0],
+             [50.0, 50.0], [50.1, 50.0]]
+        )
+        tight_pairs = {frozenset({0, 1}), frozenset({2, 3}), frozenset({4, 5})}
+        level = _force_reduction(singleton_level(points), points, max_size=2)
+        merged = [m for m in level.members if m.size == 2]
+        assert merged, "reduction must merge something"
+        for m in merged:
+            assert frozenset(m.tolist()) in tight_pairs
+
+    def test_unbounded_cap(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 10, size=(12, 2))
+        level = _force_reduction(singleton_level(points), points, max_size=None)
+        level.validate(12)
+
+    def test_hierarchy_terminates_on_pathological_geometry(self):
+        # A widely-spread point set where every pairwise gap looks
+        # "foreign" to the gate: the guard must still build a valid,
+        # terminating hierarchy.
+        rng = np.random.default_rng(3)
+        # Exponentially spread points: all gap ratios are huge.
+        coords = np.cumsum(np.exp(rng.uniform(0, 3, size=(40, 2))), axis=0)
+        inst = TSPInstance(coords, name="pathological")
+        tree = build_hierarchy(inst, SemiFlexibleStrategy(3))
+        tree.validate()
+        assert tree.levels[-1].n_clusters <= 8

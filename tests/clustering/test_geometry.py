@@ -1,0 +1,75 @@
+"""Tests for clustering geometry helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.geometry import (
+    centroid,
+    morton_order,
+    pairwise_distances,
+    typical_spacing,
+)
+from repro.errors import ClusteringError
+
+
+class TestCentroid:
+    def test_mean(self):
+        pts = np.array([[0.0, 0.0], [2.0, 4.0]])
+        assert np.allclose(centroid(pts), [1.0, 2.0])
+
+    def test_single_point(self):
+        assert np.allclose(centroid(np.array([[3.0, 4.0]])), [3.0, 4.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            centroid(np.zeros((0, 2)))
+
+
+class TestPairwiseDistances:
+    def test_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0]])
+        d = pairwise_distances(a, b)
+        assert d.shape == (2, 1)
+        assert d[0, 0] == pytest.approx(3.0)
+        assert d[1, 0] == pytest.approx(np.sqrt(10))
+
+
+class TestTypicalSpacing:
+    def test_grid_spacing(self):
+        pts = np.array([[x, y] for x in range(10) for y in range(10)], dtype=float)
+        assert typical_spacing(pts) == pytest.approx(1.0)
+
+    def test_scales_with_density(self):
+        rng = np.random.default_rng(0)
+        dense = rng.uniform(0, 10, size=(400, 2))
+        sparse = rng.uniform(0, 100, size=(400, 2))
+        assert typical_spacing(dense) < typical_spacing(sparse)
+
+    def test_duplicates_dont_zero(self):
+        pts = np.array([[0.0, 0.0]] * 5 + [[1.0, 1.0]] * 5)
+        assert typical_spacing(pts) > 0
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ClusteringError):
+            typical_spacing(np.array([[0.0, 0.0]]))
+
+
+class TestMortonOrder:
+    def test_is_permutation(self):
+        pts = np.random.default_rng(1).uniform(0, 100, size=(50, 2))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_locality(self):
+        # Consecutive points along the Z-curve are spatially closer on
+        # average than a random order.
+        pts = np.random.default_rng(2).uniform(0, 100, size=(500, 2))
+        order = morton_order(pts)
+        z = pts[order]
+        z_hops = np.hypot(*np.diff(z, axis=0).T).mean()
+        rand = pts[np.random.default_rng(3).permutation(500)]
+        r_hops = np.hypot(*np.diff(rand, axis=0).T).mean()
+        assert z_hops < 0.5 * r_hops

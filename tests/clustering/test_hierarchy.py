@@ -1,0 +1,111 @@
+"""Tests for hierarchical clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.hierarchy import build_hierarchy
+from repro.clustering.strategies import (
+    ArbitraryStrategy,
+    FixedSizeStrategy,
+    SemiFlexibleStrategy,
+)
+from repro.errors import ClusteringError
+from repro.tsp.generators import random_clustered, random_uniform
+
+
+class TestBuildHierarchy:
+    def test_partitions_every_level(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        tree.validate()  # raises on any violation
+
+    def test_top_size_respected(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3), top_size=8)
+        assert tree.levels[-1].n_clusters <= 8
+
+    def test_sizes_respect_cap(self, medium_instance):
+        for p in (2, 3, 4):
+            tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(p))
+            assert tree.max_level_size() <= p
+
+    def test_fixed_strategy_mostly_full(self, medium_instance):
+        tree = build_hierarchy(medium_instance, FixedSizeStrategy(3))
+        sizes = tree.levels[0].sizes
+        assert (sizes == 3).mean() > 0.7  # nearly all clusters full
+
+    def test_semi_flexible_sizes_vary(self, clustered_instance):
+        tree = build_hierarchy(clustered_instance, SemiFlexibleStrategy(3))
+        sizes = tree.levels[0].sizes
+        assert sizes.min() >= 1 and sizes.max() <= 3
+        assert len(np.unique(sizes)) >= 2  # actual flexibility used
+
+    def test_arbitrary_can_exceed_small_caps(self):
+        inst = random_clustered(200, n_clusters=5, seed=1, cluster_std=2.0)
+        tree = build_hierarchy(inst, ArbitraryStrategy())
+        assert tree.levels[0].sizes.max() >= 3  # dense blobs grow big
+
+    def test_levels_shrink_monotonically(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        counts = [lvl.n_clusters for lvl in tree.levels]
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+
+    def test_centroids_inside_bbox(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        xmin, ymin, xmax, ymax = medium_instance.bounding_box()
+        for lvl in tree.levels:
+            assert lvl.centroids[:, 0].min() >= xmin - 1e-9
+            assert lvl.centroids[:, 0].max() <= xmax + 1e-9
+
+    def test_clusters_are_spatially_coherent(self, medium_instance):
+        # Mean intra-cluster distance must beat the all-pairs mean.
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        coords = medium_instance.coords
+        intra = []
+        for m in tree.levels[0].members:
+            if m.size >= 2:
+                c = coords[m]
+                d = np.hypot(*(c[:, None] - c[None, :]).transpose(2, 0, 1))
+                intra.append(d[np.triu_indices(m.size, 1)].mean())
+        all_d = np.hypot(*(coords[:, None] - coords[None, :]).transpose(2, 0, 1))
+        assert np.mean(intra) < 0.25 * all_d[np.triu_indices(coords.shape[0], 1)].mean()
+
+    def test_tiny_instance_gets_trivial_level(self):
+        inst = random_uniform(5, seed=1)
+        tree = build_hierarchy(inst, SemiFlexibleStrategy(3), top_size=8)
+        assert tree.n_levels == 1
+        assert tree.levels[0].n_clusters == 5
+
+    def test_expand_to_cities(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        top = tree.n_levels - 1
+        all_cities = np.concatenate(
+            [tree.expand_to_cities(top, c) for c in range(tree.levels[top].n_clusters)]
+        )
+        assert sorted(all_cities.tolist()) == list(range(medium_instance.n))
+
+    def test_bad_top_size(self, medium_instance):
+        with pytest.raises(ClusteringError):
+            build_hierarchy(medium_instance, SemiFlexibleStrategy(3), top_size=1)
+
+    def test_points_at_levels(self, medium_instance):
+        tree = build_hierarchy(medium_instance, SemiFlexibleStrategy(3))
+        assert tree.points_at(0) is medium_instance.coords
+        assert tree.points_at(1).shape[0] == tree.levels[0].n_clusters
+
+    def test_deterministic(self, medium_instance):
+        t1 = build_hierarchy(medium_instance, SemiFlexibleStrategy(3), seed=5)
+        t2 = build_hierarchy(medium_instance, SemiFlexibleStrategy(3), seed=5)
+        assert [l.n_clusters for l in t1.levels] == [l.n_clusters for l in t2.levels]
+        for a, b in zip(t1.levels[0].members, t2.levels[0].members):
+            assert np.array_equal(a, b)
+
+    @given(st.integers(min_value=20, max_value=200), st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_partition_property(self, n, p):
+        inst = random_uniform(n, seed=n)
+        tree = build_hierarchy(inst, SemiFlexibleStrategy(p))
+        tree.validate()
+        assert tree.max_level_size() <= p

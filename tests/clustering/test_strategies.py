@@ -1,0 +1,102 @@
+"""Tests for cluster-size strategies (Table I rows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.strategies import (
+    ArbitraryStrategy,
+    FixedSizeStrategy,
+    SemiFlexibleStrategy,
+    strategy_from_name,
+)
+from repro.errors import ClusteringError
+
+
+class TestFixedSize:
+    def test_stop_only_at_capacity(self):
+        s = FixedSizeStrategy(p=3)
+        assert not s.should_stop(2, gap_ratio=100.0)  # geometry ignored
+        assert s.should_stop(3, gap_ratio=0.0)
+
+    def test_provisioned(self):
+        assert FixedSizeStrategy(2).provisioned_clusters(3038) == 1519
+        assert FixedSizeStrategy(4).provisioned_clusters(3038) == 760
+
+    def test_hardware_p(self):
+        assert FixedSizeStrategy(4).hardware_p() == 4
+
+    def test_name(self):
+        assert FixedSizeStrategy(2).name == "2"
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            FixedSizeStrategy(0)
+
+
+class TestSemiFlexible:
+    def test_stops_at_cap(self):
+        s = SemiFlexibleStrategy(p_max=3)
+        assert s.should_stop(3, gap_ratio=0.0)
+
+    def test_stops_at_geometric_gap(self):
+        s = SemiFlexibleStrategy(p_max=3)
+        assert s.should_stop(1, gap_ratio=10.0)
+        assert not s.should_stop(1, gap_ratio=0.5)
+
+    def test_target_mean(self):
+        assert SemiFlexibleStrategy(3).target_mean == 2.0
+        assert SemiFlexibleStrategy(4).target_mean == 2.5
+
+    def test_provisioned_matches_paper_formula(self):
+        # 2N / (1 + p_max), Table I.
+        assert SemiFlexibleStrategy(3).provisioned_clusters(3038) == 1519
+        assert SemiFlexibleStrategy(4).provisioned_clusters(85900) == 34360
+
+    def test_name(self):
+        assert SemiFlexibleStrategy(3).name == "1/2/3"
+        assert SemiFlexibleStrategy(4).name == "1/2/3/4"
+
+
+class TestArbitrary:
+    def test_no_hard_cap_but_budgeted_growth(self):
+        s = ArbitraryStrategy()
+        assert s.max_size is None
+        assert not s.should_stop(1, gap_ratio=0.1)
+        # Growth budget keeps the average near the target mean of 2.
+        assert s.should_stop(4, gap_ratio=0.1)
+
+    def test_gap_stops(self):
+        assert ArbitraryStrategy().should_stop(1, gap_ratio=5.0)
+
+    def test_not_implementable(self):
+        assert ArbitraryStrategy().hardware_p() is None
+
+    def test_average_two(self):
+        assert ArbitraryStrategy().provisioned_clusters(100) == 50
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "label,cls",
+        [
+            ("arbitrary", ArbitraryStrategy),
+            ("2", FixedSizeStrategy),
+            ("4", FixedSizeStrategy),
+            ("1/2", SemiFlexibleStrategy),
+            ("1/2/3", SemiFlexibleStrategy),
+            ("1/2/3/4", SemiFlexibleStrategy),
+        ],
+    )
+    def test_table1_labels(self, label, cls):
+        s = strategy_from_name(label)
+        assert isinstance(s, cls)
+        assert s.name == ("arbitrary" if label == "arbitrary" else label)
+
+    def test_bad_labels(self):
+        with pytest.raises(ClusteringError):
+            strategy_from_name("2/4")
+        with pytest.raises(ClusteringError):
+            strategy_from_name("banana")
+        with pytest.raises(ClusteringError):
+            strategy_from_name("1/x")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tsp.generators import random_clustered, random_uniform
+from repro.tsp.instance import TSPInstance
+
+
+@pytest.fixture
+def small_instance() -> TSPInstance:
+    """10 uniform cities — fast enough for exact (Held-Karp) checks."""
+    return random_uniform(10, seed=42)
+
+
+@pytest.fixture
+def medium_instance() -> TSPInstance:
+    """120 uniform cities — one full hierarchy for the annealer."""
+    return random_uniform(120, seed=42)
+
+
+@pytest.fixture
+def clustered_instance() -> TSPInstance:
+    """150 clustered cities — structure the clustering should find."""
+    return random_clustered(150, n_clusters=8, seed=42)
+
+
+@pytest.fixture
+def square_instance() -> TSPInstance:
+    """16 points on a 4x4 grid: the optimal tour length is known (16)."""
+    pts = np.array(
+        [[x, y] for x in range(4) for y in range(4)], dtype=np.float64
+    )
+    return TSPInstance(pts, name="grid4x4")

@@ -1,0 +1,55 @@
+"""Tests for the area model (Table II / Fig. 7b anchors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.area import AreaModel
+from repro.hardware.tech import TechNode
+
+
+class TestArrayDimensions:
+    @pytest.mark.parametrize(
+        "p,height,width",
+        [(2, 57.0, 55.0), (3, 102.5, 99.5), (4, 161.0, 161.9)],
+    )
+    def test_table2_within_2um(self, p, height, width):
+        h, w = AreaModel().array_dimensions_um(p)
+        assert h == pytest.approx(height, abs=2.0)
+        assert w == pytest.approx(width, abs=2.0)
+
+    def test_paper_values_within_2_percent(self):
+        paper = {2: (57, 55), 3: (102, 98), 4: (161, 162)}
+        for p, (ph, pw) in paper.items():
+            h, w = AreaModel().array_dimensions_um(p)
+            assert h == pytest.approx(ph, rel=0.02)
+            assert w == pytest.approx(pw, rel=0.02)
+
+    def test_node_scaling(self):
+        base = AreaModel().array_area_m2(3)
+        scaled = AreaModel(tech=TechNode(node_nm=32.0)).array_area_m2(3)
+        assert scaled == pytest.approx(4 * base)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            AreaModel().array_dimensions_um(0)
+
+
+class TestChipArea:
+    def test_pla85900_headline(self):
+        # Paper: 43.7 mm² for pla85900 at p_max = 3 (42950 windows).
+        area = AreaModel().chip_area_m2(3, 42950) * 1e6
+        assert area == pytest.approx(43.7, rel=0.01)
+
+    def test_area_proportional_to_windows(self):
+        # Fig. 7b: chip area tracks the SRAM capacity (window count).
+        am = AreaModel()
+        a1 = am.chip_area_m2(3, 10_000)
+        a2 = am.chip_area_m2(3, 20_000)
+        assert a2 == pytest.approx(2 * a1, rel=0.001)
+
+    def test_area_per_weight_bit(self):
+        # Table III: 0.94 µm² per physical weight bit.
+        per_bit = AreaModel().area_per_weight_bit_um2(3, 42950)
+        assert per_bit == pytest.approx(0.94, abs=0.02)

@@ -1,0 +1,147 @@
+"""Tests for the Table III comparison and the PPA aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.comparison import (
+    SOTA_ANNEALERS,
+    build_comparison_table,
+    functional_spins,
+    functional_weight_bits,
+)
+from repro.hardware.ppa import estimate_levels, evaluate_ppa
+from repro.hardware.tech import TechNode
+
+
+class TestSOTADataset:
+    def test_five_published_rows(self):
+        assert len(SOTA_ANNEALERS) == 5
+        names = {c.name.split()[0] for c in SOTA_ANNEALERS}
+        assert {"STATICA", "CIM-Spin", "Amorphica"} <= names
+
+    def test_published_per_bit_metrics(self):
+        # Paper Table III: STATICA 9 µm²/bit & 495 nW/bit, Amorphica
+        # 1.1 µm²/bit & 38 nW/bit.
+        by_name = {c.name.split()[0]: c for c in SOTA_ANNEALERS}
+        assert by_name["STATICA"].area_per_weight_bit_um2 == pytest.approx(9, rel=0.05)
+        assert by_name["STATICA"].power_per_weight_bit_w == pytest.approx(
+            495e-9, rel=0.05
+        )
+        assert by_name["Amorphica"].area_per_weight_bit_um2 == pytest.approx(
+            1.1, rel=0.05
+        )
+        assert by_name["Amorphica"].power_per_weight_bit_w == pytest.approx(
+            38e-9, rel=0.05
+        )
+
+    def test_na_power_handled(self):
+        takemoto = next(c for c in SOTA_ANNEALERS if "[23]" in c.name)
+        assert takemoto.power_per_weight_bit_w is None
+
+
+class TestFunctionalNormalisation:
+    def test_functional_spins(self):
+        assert functional_spins(85900) == pytest.approx(7.38e9, rel=0.01)
+
+    def test_functional_weight_bits(self):
+        # Paper: 4×10^20 b for pla85900.
+        assert functional_weight_bits(85900) == pytest.approx(4.36e20, rel=0.01)
+
+    def test_improvement_exceeds_1e13(self):
+        table = build_comparison_table(
+            {
+                "n_spins": 386_550,
+                "weight_memory_bits": 46.4e6,
+                "chip_area_mm2": 43.7,
+                "chip_power_w": 0.433,
+            }
+        )
+        ours = table["This design"]
+        assert ours["area_improvement_normalized"] > 1e13
+        assert ours["power_improvement_normalized"] > 1e13
+        assert ours["area_per_bit_um2"] == pytest.approx(0.94, abs=0.03)
+        assert ours["power_per_bit_w"] == pytest.approx(9.3e-9, rel=0.05)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(HardwareModelError, match="missing"):
+            build_comparison_table({"n_spins": 1})
+
+
+class TestEstimateLevels:
+    def test_log_growth(self):
+        assert estimate_levels(8, 2.0) == 1
+        assert estimate_levels(16, 2.0) == 1
+        assert estimate_levels(5934, 2.0) == 10
+        assert estimate_levels(85900, 2.0) == 14
+
+    def test_bigger_clusters_fewer_levels(self):
+        assert estimate_levels(10_000, 2.5) < estimate_levels(10_000, 1.5)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            estimate_levels(1, 2.0)
+        with pytest.raises(HardwareModelError):
+            estimate_levels(100, 1.0)
+
+
+class TestEvaluatePPA:
+    def test_pla85900_headline_report(self):
+        rep = evaluate_ppa(n_cities=85900, p=3, n_clusters=42950)
+        assert rep.chip_area_mm2 == pytest.approx(43.7, rel=0.01)
+        assert rep.capacity_bits == pytest.approx(46.4e6, rel=0.01)
+        assert rep.n_spins == pytest.approx(0.39e6, rel=0.01)
+        assert rep.average_power_w == pytest.approx(0.433, rel=0.10)
+
+    def test_p2_smaller_area_longer_latency(self):
+        # Fig. 7 trade-off: p_max=2 has the least area but the most
+        # hierarchy levels, hence the longest time-to-solution.
+        n = 10_000
+        rep2 = evaluate_ppa(n_cities=n, p=2, n_clusters=2 * n // 3,
+                            mean_cluster_size=1.5)
+        rep4 = evaluate_ppa(n_cities=n, p=4, n_clusters=2 * n // 5,
+                            mean_cluster_size=2.5)
+        assert rep2.chip_area_mm2 < rep4.chip_area_mm2
+        assert rep2.time_to_solution_s > rep4.time_to_solution_s
+
+    def test_measured_chip_counters_used(self):
+        from repro.cim.macro import CIMChip
+
+        chip = CIMChip(p=3, n_clusters=50)
+        chip.record_phase_cycles(active_windows=25, cycles=800)
+        chip.record_writeback()
+        rep = evaluate_ppa(n_cities=100, p=3, n_clusters=50, chip=chip)
+        assert rep.latency.read_cycles == 800
+
+    def test_custom_tech(self):
+        rep = evaluate_ppa(
+            n_cities=1000, p=3, n_clusters=500, tech=TechNode(f_clk_hz=450e6)
+        )
+        rep_fast = evaluate_ppa(n_cities=1000, p=3, n_clusters=500)
+        assert rep.time_to_solution_s == pytest.approx(
+            2 * rep_fast.time_to_solution_s
+        )
+
+
+class TestPeakVsAveragePower:
+    def test_predicted_peak_matches_average(self):
+        # The closed-form prediction assumes every level runs at full
+        # window count, so its average equals the datasheet peak.
+        rep = evaluate_ppa(n_cities=85900, p=3, n_clusters=42950)
+        assert rep.peak_power_w == pytest.approx(rep.average_power_w, rel=0.01)
+        assert rep.peak_power_w == pytest.approx(0.433, rel=0.10)
+
+    def test_measured_average_below_peak(self):
+        # A real anneal activates fewer windows at upper levels, so the
+        # measured time-average sits below the bottom-level peak.
+        from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+        from repro.tsp.generators import random_clustered
+
+        inst = random_clustered(300, n_clusters=10, seed=2)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=2)).solve(inst)
+        rep = evaluate_ppa(
+            n_cities=inst.n, p=res.chip.p,
+            n_clusters=res.chip.n_clusters, chip=res.chip,
+        )
+        assert rep.average_power_w < rep.peak_power_w

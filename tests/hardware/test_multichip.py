@@ -1,0 +1,54 @@
+"""Tests for multi-chip partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.area import AreaModel
+from repro.hardware.multichip import partition_design
+
+
+class TestPartitionDesign:
+    def test_single_chip_when_it_fits(self):
+        # pla85900/p3 is 43.8 mm^2 — fits a 100 mm^2 budget on one chip.
+        plan = partition_design(p=3, n_clusters=42950, max_chip_area_mm2=100.0)
+        assert plan.n_chips == 1
+        assert plan.seam_transfers_per_phase == 0
+        assert plan.offchip_bits_per_iteration == 0
+
+    def test_splits_under_tight_budget(self):
+        plan = partition_design(p=3, n_clusters=42950, max_chip_area_mm2=10.0)
+        assert plan.n_chips > 1
+        # All clusters are hosted.
+        assert plan.n_chips * plan.clusters_per_chip >= 42950
+        # One seam per chip on the cluster ring.
+        assert plan.seam_transfers_per_phase == plan.n_chips
+        assert plan.offchip_bits_per_iteration == 2 * plan.n_chips * 3
+
+    def test_chip_area_within_budget(self):
+        plan = partition_design(p=4, n_clusters=10_000, max_chip_area_mm2=5.0)
+        assert plan.chip_area_m2 * 1e6 <= 5.0 + 1e-9
+
+    def test_total_area_close_to_monolithic(self):
+        # Partitioning should not inflate silicon much beyond the
+        # monolithic chip (only partial-fill waste on the last chip).
+        mono = AreaModel().chip_area_m2(3, 42950)
+        plan = partition_design(p=3, n_clusters=42950, max_chip_area_mm2=12.0)
+        assert plan.total_area_m2 < 1.25 * mono
+
+    def test_offchip_bandwidth_tiny(self):
+        # The paper's point: boundary traffic is trivial.  Even split
+        # across 100 chips, an iteration moves only ~hundreds of bits
+        # vs the 46.4 Mb of weights held on-chip.
+        plan = partition_design(p=3, n_clusters=42950, max_chip_area_mm2=1.0)
+        assert plan.n_chips > 40
+        assert plan.offchip_bits_per_iteration < 1e4
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            partition_design(p=3, n_clusters=100, max_chip_area_mm2=0.0)
+        with pytest.raises(HardwareModelError):
+            partition_design(p=3, n_clusters=0, max_chip_area_mm2=10.0)
+        with pytest.raises(HardwareModelError, match="exceeds"):
+            partition_design(p=4, n_clusters=100, max_chip_area_mm2=0.01)

@@ -1,0 +1,46 @@
+"""Tests for TechNode scaling rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.tech import REFERENCE_NODE_NM, REFERENCE_VDD_V, TechNode
+
+
+class TestTechNode:
+    def test_reference_is_identity(self):
+        t = TechNode()
+        assert t.node_nm == REFERENCE_NODE_NM
+        assert t.linear_scale == 1.0
+        assert t.area_scale == 1.0
+        assert t.energy_scale == 1.0
+
+    def test_linear_and_area_scaling(self):
+        t = TechNode(node_nm=32.0)
+        assert t.linear_scale == 2.0
+        assert t.area_scale == 4.0
+
+    def test_energy_scaling_with_voltage(self):
+        t = TechNode(node_nm=16.0, vdd_v=0.4)
+        assert t.energy_scale == pytest.approx((0.4 / REFERENCE_VDD_V) ** 2)
+
+    def test_combined_energy_scaling(self):
+        t = TechNode(node_nm=8.0, vdd_v=0.8)
+        assert t.energy_scale == pytest.approx(0.5)
+
+    def test_cycle_time(self):
+        t = TechNode(f_clk_hz=1e9)
+        assert t.cycle_time_s == pytest.approx(1e-9)
+
+    def test_default_clock_anchor(self):
+        # 900 MHz is the calibrated default that lands rl5934 at ~44 us.
+        assert TechNode().f_clk_hz == pytest.approx(900e6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(node_nm=0), dict(vdd_v=-1.0), dict(f_clk_hz=0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(HardwareModelError):
+            TechNode(**kwargs)

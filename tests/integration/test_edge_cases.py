@@ -1,0 +1,126 @@
+"""Robustness: degenerate and adversarial inputs across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+from repro.ising.schedule import VddSchedule
+from repro.tsp.generators import circle, circle_optimal_length, random_uniform
+from repro.tsp.instance import TSPInstance
+from repro.tsp.tour import validate_tour
+
+
+class TestTinyInstances:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_annealer_handles_tiny(self, n):
+        inst = random_uniform(n, seed=n)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=0)).solve(inst)
+        validate_tour(res.tour, n)
+
+    def test_two_cities_unique_tour(self):
+        inst = random_uniform(2, seed=1)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=0)).solve(inst)
+        assert sorted(res.tour.tolist()) == [0, 1]
+
+
+class TestDegenerateGeometry:
+    def test_duplicate_points(self):
+        coords = np.array([[0.0, 0.0]] * 5 + [[10.0, 0.0]] * 5 + [[5.0, 8.0]] * 5)
+        inst = TSPInstance(coords, name="dups")
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=1)).solve(inst)
+        validate_tour(res.tour, 15)
+        # Best possible: visit each site once -> perimeter of triangle.
+        perimeter = (
+            np.hypot(10, 0) + np.hypot(5, 8) + np.hypot(5, 8)
+        )
+        assert res.length <= 3.0 * perimeter
+
+    def test_collinear_points(self):
+        coords = np.stack([np.arange(20.0), np.zeros(20)], axis=1)
+        inst = TSPInstance(coords, name="line")
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=2)).solve(inst)
+        validate_tour(res.tour, 20)
+        # Optimal line tour = twice the span.
+        assert res.length <= 2.5 * 19.0
+
+    def test_all_identical_points(self):
+        coords = np.zeros((8, 2))
+        inst = TSPInstance(coords, name="degenerate")
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=3)).solve(inst)
+        validate_tour(res.tour, 8)
+        assert res.length == 0.0
+
+
+class TestCircleOracle:
+    def test_annealer_near_circle_optimum(self):
+        inst = circle(60, seed=4)
+        opt = circle_optimal_length(60)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=4)).solve(inst)
+        # The circle's convex geometry is easy for the hierarchy.
+        assert res.length <= 1.25 * opt
+
+    def test_two_opt_reaches_circle_optimum(self):
+        from repro.tsp.baselines import greedy_edge_tour, two_opt_improve
+        from repro.tsp.tour import tour_length
+
+        inst = circle(40, seed=5)
+        opt = circle_optimal_length(40)
+        tour = two_opt_improve(inst, greedy_edge_tour(inst))
+        assert tour_length(inst, tour) == pytest.approx(opt, rel=1e-6)
+
+
+class TestExtremeConfigs:
+    def test_all_bits_noisy(self):
+        inst = random_uniform(80, seed=6)
+        cfg = AnnealerConfig(
+            seed=6,
+            schedule=VddSchedule(noisy_lsbs_start=8),
+        )
+        res = ClusteredCIMAnnealer(cfg).solve(inst)
+        validate_tour(res.tour, 80)
+
+    def test_low_precision_weights(self):
+        inst = random_uniform(80, seed=7)
+        cfg = AnnealerConfig(
+            seed=7,
+            weight_bits=4,
+            schedule=VddSchedule(weight_bits=4, noisy_lsbs_start=3),
+        )
+        res = ClusteredCIMAnnealer(cfg).solve(inst)
+        validate_tour(res.tour, 80)
+
+    def test_quality_degrades_gracefully_with_precision(self):
+        # 8-bit weights should be no worse on average than 3-bit.
+        inst = random_uniform(150, seed=8)
+        lengths = {}
+        for bits in (3, 8):
+            total = 0.0
+            for seed in range(3):
+                cfg = AnnealerConfig(
+                    seed=seed,
+                    weight_bits=bits,
+                    schedule=VddSchedule(
+                        weight_bits=bits, noisy_lsbs_start=min(6, bits - 1)
+                    ),
+                )
+                total += ClusteredCIMAnnealer(cfg).solve(inst).length
+            lengths[bits] = total
+        assert lengths[8] <= lengths[3] * 1.02
+
+    def test_single_iteration_schedule(self):
+        inst = random_uniform(40, seed=9)
+        cfg = AnnealerConfig(
+            seed=9,
+            schedule=VddSchedule(total_iterations=1, iterations_per_step=1),
+        )
+        res = ClusteredCIMAnnealer(cfg).solve(inst)
+        validate_tour(res.tour, 40)
+
+    def test_huge_top_size(self):
+        inst = random_uniform(30, seed=10)
+        res = ClusteredCIMAnnealer(
+            AnnealerConfig(seed=10, top_size=30)
+        ).solve(inst)
+        validate_tour(res.tour, 30)

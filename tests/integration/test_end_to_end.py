@@ -1,0 +1,102 @@
+"""Cross-module integration tests: solve → chip → PPA → comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnnealerConfig,
+    ClusteredCIMAnnealer,
+    SemiFlexibleStrategy,
+    evaluate_ppa,
+    random_clustered,
+)
+from repro.hardware.comparison import build_comparison_table
+from repro.tsp.reference import reference_length
+from repro.tsp.tour import validate_tour
+
+
+class TestSolveToPPA:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        inst = random_clustered(200, n_clusters=10, seed=3)
+        res = ClusteredCIMAnnealer(
+            AnnealerConfig(strategy=SemiFlexibleStrategy(3), seed=3)
+        ).solve(inst)
+        return inst, res
+
+    def test_tour_and_quality(self, solved):
+        inst, res = solved
+        validate_tour(res.tour, inst.n)
+        ratio = res.optimal_ratio(reference_length(inst))
+        assert ratio < 1.6
+
+    def test_recorded_chip_feeds_ppa(self, solved):
+        inst, res = solved
+        rep = evaluate_ppa(
+            n_cities=inst.n,
+            p=res.chip.p,
+            n_clusters=res.chip.n_clusters,
+            chip=res.chip,
+        )
+        assert rep.time_to_solution_s > 0
+        assert rep.energy_to_solution_j > 0
+        # Latency comes from real recorded cycles.
+        assert rep.latency.read_cycles == res.chip.mac_cycles
+
+    def test_measured_latency_close_to_schedule_prediction(self, solved):
+        inst, res = solved
+        measured = evaluate_ppa(
+            n_cities=inst.n, p=res.chip.p, n_clusters=res.chip.n_clusters,
+            chip=res.chip,
+        )
+        predicted = evaluate_ppa(
+            n_cities=inst.n, p=res.chip.p, n_clusters=res.chip.n_clusters,
+            n_levels=res.n_levels,
+        )
+        assert measured.latency.read_cycles == pytest.approx(
+            predicted.latency.read_cycles, rel=0.6
+        )
+
+    def test_comparison_table_from_real_run(self, solved):
+        inst, res = solved
+        rep = evaluate_ppa(
+            n_cities=inst.n, p=res.chip.p, n_clusters=res.chip.n_clusters,
+            chip=res.chip,
+        )
+        table = build_comparison_table(
+            {
+                "n_spins": rep.n_spins,
+                "weight_memory_bits": rep.capacity_bits,
+                "chip_area_mm2": rep.chip_area_mm2,
+                "chip_power_w": rep.average_power_w,
+            },
+            n_cities=inst.n,
+        )
+        assert "This design" in table
+        assert table["This design"]["area_per_functional_bit_um2"] > 0
+
+
+class TestHierarchyQualityChain:
+    def test_every_level_feeds_the_next(self):
+        # The sequence emitted by level l must be a valid permutation of
+        # level l-1 items — validated transitively by the final tour and
+        # by per-level item counts.
+        inst = random_clustered(180, n_clusters=9, seed=5)
+        ann = ClusteredCIMAnnealer(AnnealerConfig(seed=5))
+        tree = ann.build_tree(inst)
+        res = ann.solve(inst)
+        level_items = [lvl.n_clusters for lvl in tree.levels]
+        expected_counts = level_items[::-1] + [inst.n]
+        got_counts = [r.n_items for r in res.levels[1:]] + [res.levels[-1].n_items]
+        assert res.levels[-1].n_items == inst.n
+        # Reports descend the hierarchy: item counts must be increasing.
+        counts = [r.n_items for r in res.levels]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_solution_improves_down_the_hierarchy(self):
+        inst = random_clustered(180, n_clusters=9, seed=6)
+        res = ClusteredCIMAnnealer(AnnealerConfig(seed=6)).solve(inst)
+        for report in res.levels:
+            assert report.objective_after <= report.objective_before * 1.02

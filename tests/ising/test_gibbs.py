@@ -1,0 +1,114 @@
+"""Tests for sequential and chromatic Gibbs sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IsingError
+from repro.ising.gibbs import chromatic_groups, cycle_groups, gibbs_sweep
+from repro.ising.model import IsingModel
+
+
+def _cycle_edges(n):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+class TestChromaticGroups:
+    def test_even_cycle_two_colors(self):
+        groups = chromatic_groups(8, _cycle_edges(8))
+        assert len(groups) == 2
+        assert sorted(np.concatenate(groups).tolist()) == list(range(8))
+
+    def test_odd_cycle_three_colors(self):
+        groups = chromatic_groups(7, _cycle_edges(7))
+        assert len(groups) == 3
+
+    def test_independence_invariant(self):
+        edges = _cycle_edges(10) + [(0, 5)]
+        groups = chromatic_groups(10, edges)
+        edge_set = {frozenset(e) for e in edges}
+        for g in groups:
+            for a in g:
+                for b in g:
+                    if a != b:
+                        assert frozenset((int(a), int(b))) not in edge_set
+
+    def test_no_edges_single_group(self):
+        groups = chromatic_groups(5, [])
+        assert len(groups) == 1 and groups[0].size == 5
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(IsingError):
+            chromatic_groups(3, [(0, 7)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IsingError):
+            chromatic_groups(0, [])
+
+
+class TestCycleGroups:
+    def test_even(self):
+        groups = cycle_groups(6)
+        assert [g.tolist() for g in groups] == [[0, 2, 4], [1, 3, 5]]
+
+    def test_odd_gets_third_group(self):
+        groups = cycle_groups(7)
+        assert len(groups) == 3
+        assert groups[2].tolist() == [6]
+        # Validate independence on the cycle.
+        for g in groups:
+            lst = g.tolist()
+            for a in lst:
+                assert (a + 1) % 7 not in lst
+
+    def test_tiny(self):
+        assert len(cycle_groups(1)) == 1
+        assert len(cycle_groups(2)) == 2
+
+    def test_partition(self):
+        for n in (2, 5, 8, 13):
+            groups = cycle_groups(n)
+            assert sorted(np.concatenate(groups).tolist()) == list(range(n))
+
+
+class TestGibbsSweep:
+    def _ferro(self, n=6):
+        J = np.ones((n, n)) - np.eye(n)
+        return IsingModel(J)
+
+    def test_zero_temperature_aligns_ferromagnet(self):
+        m = self._ferro()
+        rng = np.random.default_rng(0)
+        s = rng.choice([-1.0, 1.0], size=6)
+        for _ in range(3):
+            s = gibbs_sweep(m, s, temperature=0.0, seed=1)
+        assert np.all(s == s[0])  # fully aligned
+
+    def test_high_temperature_randomises(self):
+        m = self._ferro()
+        s = np.ones(6)
+        flips = 0
+        for seed in range(20):
+            out = gibbs_sweep(m, s, temperature=1e6, seed=seed)
+            flips += int(np.sum(out != s))
+        assert flips > 10  # hot chain flips freely
+
+    def test_input_not_mutated(self):
+        m = self._ferro()
+        s = np.ones(6)
+        gibbs_sweep(m, s, temperature=1.0, seed=2)
+        assert np.all(s == 1.0)
+
+    def test_01_convention(self):
+        J = np.ones((4, 4)) - np.eye(4)
+        m = IsingModel(J, convention="01")
+        s = np.zeros(4)
+        out = gibbs_sweep(m, s, temperature=0.0, seed=3)
+        # Positive couplings: all-ones minimises H in the 01 convention.
+        assert np.all(out == 1.0)
+
+    def test_negative_temperature_rejected(self):
+        m = self._ferro()
+        with pytest.raises(IsingError):
+            gibbs_sweep(m, np.ones(6), temperature=-1.0)

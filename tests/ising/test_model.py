@@ -1,0 +1,113 @@
+"""Tests for the IsingModel (Eq. 1 / Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsingError
+from repro.ising.model import IsingModel
+
+
+def random_model(n, seed, convention="pm1"):
+    rng = np.random.default_rng(seed)
+    J = rng.normal(size=(n, n))
+    J = (J + J.T) / 2
+    np.fill_diagonal(J, 0.0)
+    h = rng.normal(size=n)
+    return IsingModel(J, h, convention=convention)
+
+
+def random_state(model, seed):
+    rng = np.random.default_rng(seed)
+    if model.convention == "pm1":
+        return rng.choice([-1.0, 1.0], size=model.n_spins)
+    return rng.choice([0.0, 1.0], size=model.n_spins)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = random_model(5, 0)
+        assert m.n_spins == 5
+
+    def test_asymmetric_rejected(self):
+        J = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(IsingError, match="symmetric"):
+            IsingModel(J)
+
+    def test_nonzero_diagonal_rejected(self):
+        J = np.eye(3)
+        with pytest.raises(IsingError, match="diagonal"):
+            IsingModel(J)
+
+    def test_bad_field_shape(self):
+        with pytest.raises(IsingError, match="field"):
+            IsingModel(np.zeros((3, 3)), field=np.zeros(4))
+
+    def test_bad_convention(self):
+        with pytest.raises(IsingError, match="convention"):
+            IsingModel(np.zeros((2, 2)), convention="spin")
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(IsingError, match="square"):
+            IsingModel(np.zeros((2, 3)))
+
+
+class TestStates:
+    def test_pm1_accepts_pm1_only(self):
+        m = random_model(4, 1)
+        m.validate_state(np.array([1.0, -1.0, 1.0, -1.0]))
+        with pytest.raises(IsingError, match="invalid"):
+            m.validate_state(np.array([0.0, 1.0, 1.0, -1.0]))
+
+    def test_01_accepts_01_only(self):
+        m = random_model(4, 1, convention="01")
+        m.validate_state(np.array([0.0, 1.0, 0.0, 1.0]))
+        with pytest.raises(IsingError, match="invalid"):
+            m.validate_state(np.array([-1.0, 1.0, 0.0, 1.0]))
+
+
+class TestEnergy:
+    @pytest.mark.parametrize("convention", ["pm1", "01"])
+    def test_flip_delta_matches_energy_difference(self, convention):
+        m = random_model(8, 2, convention)
+        s = random_state(m, 3)
+        for i in range(m.n_spins):
+            flipped = s.copy()
+            flipped[i] = -s[i] if convention == "pm1" else 1 - s[i]
+            expected = m.energy(flipped) - m.energy(s)
+            assert m.flip_delta(s, i) == pytest.approx(expected)
+
+    def test_local_energy_consistent_with_field(self):
+        m = random_model(6, 4)
+        s = random_state(m, 5)
+        fields = m.local_field(s)
+        for i in range(6):
+            assert m.local_energy(s, i) == pytest.approx(-fields[i] * s[i])
+
+    def test_local_energy_index_checked(self):
+        m = random_model(3, 6)
+        with pytest.raises(IsingError):
+            m.local_energy(random_state(m, 0), 99)
+
+    def test_ferromagnet_ground_state(self):
+        # All-up or all-down minimises a ferromagnetic coupling.
+        J = np.ones((4, 4)) - np.eye(4)
+        m = IsingModel(J)
+        up = np.ones(4)
+        mixed = np.array([1.0, -1.0, 1.0, -1.0])
+        assert m.energy(up) < m.energy(mixed)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_spin_symmetry_property(self, n, seed):
+        # With h = 0 and pm1 spins, global flip leaves energy unchanged.
+        rng = np.random.default_rng(seed)
+        J = rng.normal(size=(n, n))
+        J = (J + J.T) / 2
+        np.fill_diagonal(J, 0.0)
+        m = IsingModel(J)
+        s = rng.choice([-1.0, 1.0], size=n)
+        assert m.energy(s) == pytest.approx(m.energy(-s))

@@ -1,0 +1,109 @@
+"""Tests for PBM swap moves (the 4-spin update)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsingError
+from repro.ising.pbm import PermutationState, swap_delta_energy
+from repro.ising.tsp_mapping import build_tsp_ising, tour_to_spins
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import random_tour, tour_length
+
+
+class TestPermutationState:
+    def test_inverse_consistent(self):
+        st_ = PermutationState(np.array([2, 0, 3, 1]))
+        for pos in range(4):
+            assert st_.position[st_.order[pos]] == pos
+
+    def test_swap(self):
+        st_ = PermutationState(np.array([0, 1, 2, 3]))
+        st_.swap_positions(1, 3)
+        assert st_.order.tolist() == [0, 3, 2, 1]
+        assert st_.position[3] == 1 and st_.position[1] == 3
+
+    def test_swap_same_position_rejected(self):
+        st_ = PermutationState(np.arange(4))
+        with pytest.raises(IsingError):
+            st_.swap_positions(2, 2)
+
+    def test_city_at_cyclic(self):
+        st_ = PermutationState(np.array([5, 3, 1, 0, 2, 4]))
+        assert st_.city_at(-1) == 4
+        assert st_.city_at(6) == 5
+
+    def test_copy_is_independent(self):
+        a = PermutationState(np.arange(5))
+        b = a.copy()
+        b.swap_positions(0, 1)
+        assert a.order.tolist() == [0, 1, 2, 3, 4]
+
+    def test_to_spins(self):
+        st_ = PermutationState(np.array([1, 0, 2]))
+        spins = st_.to_spins().reshape(3, 3)
+        assert spins[0, 1] == 1 and spins[1, 0] == 1 and spins[2, 2] == 1
+
+
+class TestSwapDelta:
+    @pytest.mark.parametrize("i,j", [(1, 4), (2, 3), (0, 6), (6, 0), (3, 4)])
+    def test_matches_full_hamiltonian(self, i, j):
+        inst = random_uniform(7, seed=3)
+        mapping = build_tsp_ising(inst)
+        state = PermutationState(random_tour(7, seed=1))
+        e_before = mapping.energy(tour_to_spins(state.order))
+        delta = swap_delta_energy(state, i, j, inst.distance)
+        state.swap_positions(i, j)
+        e_after = mapping.energy(tour_to_spins(state.order))
+        assert delta == pytest.approx(e_after - e_before)
+
+    def test_matches_tour_length_delta(self):
+        inst = random_uniform(9, seed=4)
+        state = PermutationState(random_tour(9, seed=5))
+        before = tour_length(inst, state.order)
+        delta = swap_delta_energy(state, 2, 7, inst.distance)
+        state.swap_positions(2, 7)
+        after = tour_length(inst, state.order)
+        assert delta == pytest.approx(after - before)
+
+    def test_symmetric_in_arguments(self):
+        inst = random_uniform(8, seed=6)
+        state = PermutationState(random_tour(8, seed=7))
+        d1 = swap_delta_energy(state, 2, 5, inst.distance)
+        d2 = swap_delta_energy(state, 5, 2, inst.distance)
+        assert d1 == pytest.approx(d2)
+
+    def test_swap_back_cancels(self):
+        inst = random_uniform(8, seed=8)
+        state = PermutationState(random_tour(8, seed=9))
+        d1 = swap_delta_energy(state, 1, 6, inst.distance)
+        state.swap_positions(1, 6)
+        d2 = swap_delta_energy(state, 1, 6, inst.distance)
+        assert d1 == pytest.approx(-d2)
+
+    def test_same_position_rejected(self):
+        inst = random_uniform(5, seed=10)
+        state = PermutationState(np.arange(5))
+        with pytest.raises(IsingError):
+            swap_delta_energy(state, 3, 3, inst.distance)
+
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.integers(0, 300),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_delta_equals_length_change_property(self, n, seed, pair_seed):
+        inst = random_uniform(n, seed=seed)
+        state = PermutationState(random_tour(n, seed=seed + 1))
+        rng = np.random.default_rng(pair_seed)
+        i, j = rng.choice(n, size=2, replace=False)
+        before = tour_length(inst, state.order)
+        delta = swap_delta_energy(state, int(i), int(j), inst.distance)
+        state.swap_positions(int(i), int(j))
+        assert delta == pytest.approx(
+            tour_length(inst, state.order) - before, abs=1e-8
+        )

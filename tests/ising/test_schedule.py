@@ -1,0 +1,103 @@
+"""Tests for annealing schedules (including the paper's V_DD ramp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ising.schedule import (
+    GeometricTemperatureSchedule,
+    LinearTemperatureSchedule,
+    VddSchedule,
+)
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        s = GeometricTemperatureSchedule(10.0, 0.1, 100)
+        assert s.temperature(0) == pytest.approx(10.0)
+        assert s.temperature(99) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        s = GeometricTemperatureSchedule(5.0, 0.5, 50)
+        temps = [s.temperature(k) for k in range(50)]
+        assert all(a >= b for a, b in zip(temps, temps[1:]))
+
+    def test_clamping(self):
+        s = GeometricTemperatureSchedule(5.0, 0.5, 10)
+        assert s.temperature(-5) == pytest.approx(5.0)
+        assert s.temperature(100) == pytest.approx(0.5)
+
+    def test_single_step(self):
+        s = GeometricTemperatureSchedule(3.0, 1.0, 1)
+        assert s.temperature(0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GeometricTemperatureSchedule(1.0, 2.0, 10)
+        with pytest.raises(ConfigError):
+            GeometricTemperatureSchedule(-1.0, 0.5, 10)
+        with pytest.raises(ConfigError):
+            GeometricTemperatureSchedule(1.0, 0.5, 0)
+
+
+class TestLinear:
+    def test_endpoints_and_midpoint(self):
+        s = LinearTemperatureSchedule(10.0, 0.0, 11)
+        assert s.temperature(0) == 10.0
+        assert s.temperature(10) == 0.0
+        assert s.temperature(5) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinearTemperatureSchedule(1.0, 2.0, 5)
+
+
+class TestVddSchedule:
+    """The Sec. V schedule: 300→580 mV, +40 mV / 50 iters, 400 iters."""
+
+    def test_paper_defaults(self):
+        s = VddSchedule()
+        assert s.n_steps == 8
+        assert s.vdd_trace() == [300.0, 340.0, 380.0, 420.0, 460.0, 500.0, 540.0, 580.0]
+
+    def test_lsb_countdown(self):
+        s = VddSchedule()
+        assert [s.noisy_lsbs(k) for k in range(8)] == [6, 5, 4, 3, 2, 1, 0, 0]
+
+    def test_step_of(self):
+        s = VddSchedule()
+        assert s.step_of(0) == 0
+        assert s.step_of(49) == 0
+        assert s.step_of(50) == 1
+        assert s.step_of(399) == 7
+
+    def test_step_of_out_of_range(self):
+        s = VddSchedule()
+        with pytest.raises(ConfigError):
+            s.step_of(400)
+        with pytest.raises(ConfigError):
+            s.step_of(-1)
+
+    def test_writeback_iterations(self):
+        s = VddSchedule()
+        writebacks = [i for i in range(400) if s.is_writeback_iteration(i)]
+        assert writebacks == list(range(0, 400, 50))
+
+    def test_vdd_clamped_at_end(self):
+        s = VddSchedule()
+        assert s.vdd_mv(100) == 580.0
+
+    def test_partial_last_step(self):
+        s = VddSchedule(total_iterations=120, iterations_per_step=50)
+        assert s.n_steps == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VddSchedule(vdd_step_mv=0)
+        with pytest.raises(ConfigError):
+            VddSchedule(vdd_start_mv=600, vdd_end_mv=500)
+        with pytest.raises(ConfigError):
+            VddSchedule(noisy_lsbs_start=9)
+        with pytest.raises(ConfigError):
+            VddSchedule(total_iterations=0)

@@ -1,0 +1,65 @@
+"""Tests for the software Ising SA solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ising.solver import solve_tsp_ising
+from repro.tsp.baselines import held_karp
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import tour_length, validate_tour
+
+
+class TestSolveTspIsing:
+    def test_near_optimal_small(self, small_instance):
+        _, opt = held_karp(small_instance)
+        res = solve_tsp_ising(small_instance, n_sweeps=400, seed=0)
+        validate_tour(res.tour, small_instance.n)
+        assert res.length <= 1.05 * opt
+
+    def test_annealed_beats_greedy_on_average(self):
+        # Fig. 2's message: annealing escapes local minima that trap
+        # pure descent.  Compare average tour quality over seeds.
+        annealed, greedy = 0.0, 0.0
+        for seed in range(6):
+            inst = random_uniform(30, seed=seed)
+            annealed += solve_tsp_ising(inst, n_sweeps=300, seed=seed).length
+            greedy += solve_tsp_ising(
+                inst, n_sweeps=300, seed=seed, greedy=True
+            ).length
+        assert annealed < greedy
+
+    def test_length_matches_tour(self, small_instance):
+        res = solve_tsp_ising(small_instance, n_sweeps=50, seed=1)
+        assert res.length == pytest.approx(
+            tour_length(small_instance, res.tour)
+        )
+
+    def test_trace(self, small_instance):
+        res = solve_tsp_ising(
+            small_instance, n_sweeps=100, seed=2, record_every=20
+        )
+        assert len(res.trace) == 6
+        sweeps = [s for s, _ in res.trace]
+        assert sweeps == [0, 20, 40, 60, 80, 100]
+
+    def test_initial_tour_respected(self, small_instance):
+        import numpy as np
+
+        init = np.arange(small_instance.n)
+        res = solve_tsp_ising(
+            small_instance, n_sweeps=1, t_start=1e-9, t_end=1e-9,
+            initial_tour=init, seed=3,
+        )
+        # Frozen chain only accepts improving swaps.
+        assert res.length <= tour_length(small_instance, init) + 1e-9
+
+    def test_deterministic(self, small_instance):
+        a = solve_tsp_ising(small_instance, n_sweeps=60, seed=7)
+        b = solve_tsp_ising(small_instance, n_sweeps=60, seed=7)
+        assert a.length == b.length
+
+    def test_sweeps_validated(self, small_instance):
+        with pytest.raises(ConfigError):
+            solve_tsp_ising(small_instance, n_sweeps=0)

@@ -1,0 +1,125 @@
+"""Tests for the Eq. (3) TSP → Ising mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsingError
+from repro.ising.tsp_mapping import (
+    build_tsp_ising,
+    decode_spins_to_tour,
+    tour_to_spins,
+)
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import random_tour, tour_length
+
+
+class TestBuild:
+    def test_feasible_energy_equals_tour_length(self):
+        inst = random_uniform(6, seed=1)
+        m = build_tsp_ising(inst)
+        for seed in range(3):
+            t = random_tour(6, seed=seed)
+            assert m.energy(tour_to_spins(t)) == pytest.approx(
+                tour_length(inst, t)
+            )
+
+    def test_objective_scales_with_a(self):
+        inst = random_uniform(5, seed=2)
+        t = random_tour(5, seed=0)
+        e1 = build_tsp_ising(inst, a=1.0).energy(tour_to_spins(t))
+        e2 = build_tsp_ising(inst, a=2.0).energy(tour_to_spins(t))
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_constraint_violation_penalised(self):
+        inst = random_uniform(5, seed=3)
+        m = build_tsp_ising(inst)
+        feasible = tour_to_spins(np.arange(5))
+        violated = feasible.copy()
+        violated[0] = 0.0  # city missing from order 0
+        assert m.energy(violated) > m.energy(feasible) - 1e-9
+        double = feasible.copy()
+        double[1] = 1.0  # two cities at order 0
+        assert m.energy(double) > m.energy(feasible)
+
+    def test_penalty_dominates_best_edge_saving(self):
+        # Default b, c = 2·a·max(W): dropping a visit never pays off.
+        inst = random_uniform(6, seed=4)
+        m = build_tsp_ising(inst)
+        best = min(
+            m.energy(tour_to_spins(random_tour(6, seed=s))) for s in range(20)
+        )
+        empty = np.zeros(36)
+        assert m.energy(empty) > best
+
+    def test_size_guard(self):
+        inst = random_uniform(65, seed=5)
+        with pytest.raises(IsingError, match="O\\(N\\^4\\)"):
+            build_tsp_ising(inst)
+
+    def test_bad_hyperparams(self):
+        inst = random_uniform(5, seed=6)
+        with pytest.raises(IsingError):
+            build_tsp_ising(inst, a=-1.0)
+
+    def test_spin_index(self):
+        inst = random_uniform(4, seed=7)
+        m = build_tsp_ising(inst)
+        assert m.spin_index(2, 3) == 11
+        with pytest.raises(IsingError):
+            m.spin_index(4, 0)
+
+
+class TestIsingModelConversion:
+    def test_energies_agree_up_to_offset(self):
+        inst = random_uniform(5, seed=8)
+        m = build_tsp_ising(inst)
+        im = m.to_ising_model()
+        for seed in range(4):
+            s = tour_to_spins(random_tour(5, seed=seed))
+            e_qubo = m.energy(s)
+            e_ising = -(s @ im.couplings @ s) - im.field @ s + m.offset
+            assert e_qubo == pytest.approx(e_ising)
+
+    def test_convention_is_01(self):
+        inst = random_uniform(4, seed=9)
+        assert build_tsp_ising(inst).to_ising_model().convention == "01"
+
+
+class TestSpinConversions:
+    def test_roundtrip(self):
+        t = random_tour(7, seed=10)
+        spins = tour_to_spins(t)
+        decoded, feasible = decode_spins_to_tour(spins, 7)
+        assert feasible
+        assert np.array_equal(decoded, t)
+
+    def test_one_hot_structure(self):
+        spins = tour_to_spins(random_tour(6, seed=11)).reshape(6, 6)
+        assert np.all(spins.sum(axis=0) == 1)
+        assert np.all(spins.sum(axis=1) == 1)
+
+    def test_strict_decode_raises_on_violation(self):
+        spins = tour_to_spins(np.arange(5))
+        spins[0] = 0.0
+        with pytest.raises(IsingError, match="one-hot"):
+            decode_spins_to_tour(spins, 5)
+
+    def test_repair_decode(self):
+        spins = tour_to_spins(np.arange(5)).reshape(5, 5)
+        spins[1] = spins[0]  # duplicate row
+        tour, feasible = decode_spins_to_tour(spins.reshape(-1), 5, strict=False)
+        assert not feasible
+        from repro.tsp.tour import validate_tour
+
+        validate_tour(tour, 5)
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        t = random_tour(n, seed=seed)
+        decoded, feasible = decode_spins_to_tour(tour_to_spins(t), n)
+        assert feasible and np.array_equal(decoded, t)

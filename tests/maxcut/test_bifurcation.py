@@ -1,0 +1,73 @@
+"""Tests for discrete simulated bifurcation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.maxcut.bifurcation import SBParams, simulated_bifurcation_maxcut
+from repro.maxcut.generators import gset_style, planted_bisection, random_graph
+from repro.maxcut.solver import greedy_maxcut
+
+
+class TestSBParams:
+    def test_defaults(self):
+        p = SBParams()
+        assert p.n_steps == 1000 and p.a0 == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SBParams(n_steps=0)
+        with pytest.raises(ReproError):
+            SBParams(dt=0.0)
+        with pytest.raises(ReproError):
+            SBParams(c0=-1.0)
+
+
+class TestSimulatedBifurcation:
+    def test_valid_output(self):
+        p = random_graph(40, 0.3, seed=1)
+        res = simulated_bifurcation_maxcut(p, SBParams(n_steps=300), seed=0)
+        p.validate_state(res.spins)
+        assert res.cut_value == p.cut_value(res.spins)
+
+    def test_recovers_planted_cut(self):
+        problem, _, planted = planted_bisection(80, seed=2)
+        res = simulated_bifurcation_maxcut(problem, SBParams(n_steps=800), seed=0)
+        assert res.cut_value >= 0.95 * planted
+
+    def test_beats_greedy_on_average(self):
+        sb_total = greedy_total = 0.0
+        for seed in range(3):
+            p = gset_style(120, seed=seed + 30)
+            sb_total += simulated_bifurcation_maxcut(
+                p, SBParams(n_steps=600), seed=seed
+            ).cut_value
+            greedy_total += greedy_maxcut(p, seed=seed).cut_value
+        assert sb_total >= greedy_total
+
+    def test_deterministic(self):
+        p = random_graph(30, 0.4, seed=3)
+        a = simulated_bifurcation_maxcut(p, SBParams(n_steps=200), seed=5)
+        b = simulated_bifurcation_maxcut(p, SBParams(n_steps=200), seed=5)
+        assert a.cut_value == b.cut_value
+        assert np.array_equal(a.spins, b.spins)
+
+    def test_trace_recorded_and_best_kept(self):
+        p = random_graph(30, 0.4, seed=4)
+        res = simulated_bifurcation_maxcut(
+            p, SBParams(n_steps=200), seed=0, record_every=50
+        )
+        assert len(res.trace) >= 4
+        # The returned cut is the best over the trajectory.
+        assert res.cut_value >= max(c for _, c in res.trace[:-1])
+
+    def test_positions_bounded_by_walls(self):
+        # Indirect: the dynamics stay finite (no blow-up) even with a
+        # large dt, thanks to the inelastic walls.
+        p = random_graph(20, 0.5, seed=5)
+        res = simulated_bifurcation_maxcut(
+            p, SBParams(n_steps=500, dt=1.0), seed=0
+        )
+        assert np.isfinite(res.cut_value)

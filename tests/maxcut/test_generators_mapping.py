@@ -1,0 +1,77 @@
+"""Tests for Max-Cut generators and the Ising mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.maxcut.generators import gset_style, planted_bisection, random_graph
+from repro.maxcut.mapping import cut_from_energy, maxcut_to_ising, verify_mapping
+
+
+class TestGenerators:
+    def test_random_graph_counts(self):
+        g = random_graph(50, 0.2, seed=1)
+        assert g.n_nodes == 50
+        expected = 0.2 * 50 * 49 / 2
+        assert 0.5 * expected < g.n_edges < 1.6 * expected
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(30, 0.3, seed=5)
+        b = random_graph(30, 0.3, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_signed_weights(self):
+        g = random_graph(40, 0.4, seed=2, signed=True)
+        assert set(np.unique(g.weights)) <= {-1.0, 1.0}
+
+    def test_gset_style_degree(self):
+        g = gset_style(200, avg_degree=6.0, seed=3)
+        assert g.n_edges == pytest.approx(200 * 6 / 2, rel=0.3)
+
+    def test_planted_bisection_quality(self):
+        problem, spins, cut = planted_bisection(60, seed=4)
+        assert cut == problem.cut_value(spins)
+        # The planted cut captures most of the weight by construction.
+        assert cut > 0.8 * problem.total_weight
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            random_graph(10, 0.0)
+        with pytest.raises(ReproError):
+            planted_bisection(10, p_cross=0.1, p_within=0.5)
+
+
+class TestMapping:
+    def test_cut_equals_w_half_minus_energy(self):
+        problem = random_graph(20, 0.3, seed=6, signed=True)
+        model = maxcut_to_ising(problem)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s = rng.choice([-1.0, 1.0], size=20)
+            assert problem.cut_value(s) == pytest.approx(
+                cut_from_energy(problem, model.energy(s))
+            )
+
+    def test_verify_mapping_helper(self):
+        problem = random_graph(15, 0.4, seed=7)
+        s = np.random.default_rng(1).choice([-1.0, 1.0], size=15)
+        verify_mapping(problem, s)  # should not raise
+
+    def test_ground_state_is_max_cut_bruteforce(self):
+        problem = random_graph(10, 0.5, seed=8)
+        model = maxcut_to_ising(problem)
+        best_cut, best_energy_cut = -np.inf, None
+        for mask in range(1 << 9):  # fix spin 0 (global flip symmetry)
+            s = np.ones(10)
+            for b in range(9):
+                if (mask >> b) & 1:
+                    s[b + 1] = -1.0
+            cut = problem.cut_value(s)
+            if cut > best_cut:
+                best_cut = cut
+            energy_cut = cut_from_energy(problem, model.energy(s))
+            assert energy_cut == pytest.approx(cut)
+        # The minimum-energy state realises the maximum cut.
+        assert best_cut > 0

@@ -1,0 +1,116 @@
+"""Tests for the Max-Cut problem container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.maxcut.problem import MaxCutProblem
+
+
+def triangle():
+    return MaxCutProblem(3, np.array([[0, 1], [1, 2], [0, 2]]))
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = triangle()
+        assert p.n_nodes == 3 and p.n_edges == 3
+        assert p.total_weight == 3.0
+
+    def test_duplicate_edges_merged(self):
+        p = MaxCutProblem(
+            3, np.array([[0, 1], [1, 0]]), np.array([2.0, 3.0])
+        )
+        assert p.n_edges == 1
+        assert p.total_weight == 5.0
+
+    def test_orientation_canonical(self):
+        p = MaxCutProblem(4, np.array([[3, 1]]))
+        assert p.edges.tolist() == [[1, 3]]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReproError, match="loop"):
+            MaxCutProblem(3, np.array([[1, 1]]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError, match="out of range"):
+            MaxCutProblem(3, np.array([[0, 5]]))
+
+    def test_weight_count_checked(self):
+        with pytest.raises(ReproError, match="weights"):
+            MaxCutProblem(3, np.array([[0, 1]]), np.array([1.0, 2.0]))
+
+
+class TestCutValue:
+    def test_triangle_cuts(self):
+        p = triangle()
+        # Best triangle cut crosses 2 of 3 edges.
+        assert p.cut_value(np.array([1.0, -1.0, 1.0])) == 2.0
+        assert p.cut_value(np.array([1.0, 1.0, 1.0])) == 0.0
+
+    def test_bipartite_full_cut(self):
+        p = MaxCutProblem(4, np.array([[0, 2], [0, 3], [1, 2], [1, 3]]))
+        s = np.array([1.0, 1.0, -1.0, -1.0])
+        assert p.cut_value(s) == p.total_weight
+
+    def test_global_flip_invariant(self):
+        p = triangle()
+        s = np.array([1.0, -1.0, -1.0])
+        assert p.cut_value(s) == p.cut_value(-s)
+
+    def test_bad_state_rejected(self):
+        p = triangle()
+        with pytest.raises(ReproError):
+            p.cut_value(np.array([1.0, 0.0, -1.0]))
+        with pytest.raises(ReproError):
+            p.cut_value(np.array([1.0, -1.0]))
+
+
+class TestFlipGain:
+    def test_matches_recomputation(self):
+        rng = np.random.default_rng(0)
+        p = MaxCutProblem(
+            8,
+            np.array([[i, j] for i in range(8) for j in range(i + 1, 8)]),
+            rng.normal(size=28),
+        )
+        s = rng.choice([-1.0, 1.0], size=8)
+        for node in range(8):
+            flipped = s.copy()
+            flipped[node] = -flipped[node]
+            expected = p.cut_value(flipped) - p.cut_value(s)
+            assert p.flip_gain(s, node) == pytest.approx(expected)
+
+    @given(st.integers(4, 12), st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_flip_gain_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pairs = np.array([[i, j] for i in range(n) for j in range(i + 1, n)])
+        keep = rng.random(pairs.shape[0]) < 0.4
+        if not keep.any():
+            keep[0] = True
+        p = MaxCutProblem(n, pairs[keep])
+        s = rng.choice([-1.0, 1.0], size=n)
+        node = int(rng.integers(0, n))
+        flipped = s.copy()
+        flipped[node] = -flipped[node]
+        assert p.flip_gain(s, node) == pytest.approx(
+            p.cut_value(flipped) - p.cut_value(s)
+        )
+
+
+class TestAdjacency:
+    def test_symmetric(self):
+        p = triangle()
+        A = p.adjacency()
+        assert np.allclose(A, A.T)
+        assert A[0, 1] == 1.0 and A[0, 0] == 0.0
+
+    def test_size_guard(self):
+        p = MaxCutProblem(5000, np.array([[0, 1]]))
+        with pytest.raises(ReproError, match="dense"):
+            p.adjacency()

@@ -1,0 +1,97 @@
+"""Tests for the butterfly-curve / SNM model (Fig. 6a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SRAMError
+from repro.sram.butterfly import (
+    READ_DISTURB_FRACTION,
+    butterfly_curves,
+    critical_voltage_mv,
+    inverter_vtc,
+    read_snm_mv,
+)
+
+
+class TestInverterVTC:
+    def test_rails(self):
+        v = np.array([0.0, 800.0])
+        out = inverter_vtc(v, 800.0, read_mode=False)
+        assert out[0] == pytest.approx(800.0, abs=2.0)
+        assert out[1] == pytest.approx(0.0, abs=2.0)
+
+    def test_monotone_decreasing(self):
+        v = np.linspace(0, 800, 200)
+        out = inverter_vtc(v, 800.0)
+        assert np.all(np.diff(out) <= 1e-9)
+
+    def test_read_disturb_floor(self):
+        out = inverter_vtc(np.array([800.0]), 800.0, read_mode=True)
+        assert out[0] == pytest.approx(READ_DISTURB_FRACTION * 800.0, rel=0.01)
+
+    def test_threshold_shift(self):
+        v = np.array([400.0])
+        hi = inverter_vtc(v, 800.0, vth_shift_mv=+50.0)
+        lo = inverter_vtc(v, 800.0, vth_shift_mv=-50.0)
+        assert hi[0] > lo[0]
+
+    def test_validation(self):
+        with pytest.raises(SRAMError):
+            inverter_vtc(np.array([0.0]), 0.0)
+
+
+class TestReadSNM:
+    def test_nominal_snm_realistic(self):
+        # Read SNM of a balanced 6T cell at nominal V_DD is a modest
+        # fraction of the supply (~20%), not a rail-to-rail margin.
+        snm = read_snm_mv(800.0)
+        assert 80.0 < snm < 250.0
+
+    def test_snm_shrinks_with_vdd(self):
+        snms = [read_snm_mv(v) for v in (800, 600, 400, 300, 200)]
+        assert all(a > b for a, b in zip(snms, snms[1:]))
+
+    def test_snm_shrinks_with_mismatch(self):
+        snms = [read_snm_mv(500.0, m) for m in (0, 40, 80, 120)]
+        assert all(a > b for a, b in zip(snms, snms[1:]))
+
+    def test_snm_collapses(self):
+        # Strong mismatch at low V_DD: no margin left (Fig. 6a inset).
+        assert read_snm_mv(150.0, mismatch_mv=120.0) < 5.0
+
+    def test_butterfly_symmetry_balanced(self):
+        v, vtc1, vtc2 = butterfly_curves(600.0, mismatch_mv=0.0)
+        assert np.allclose(vtc1, vtc2)
+
+    def test_ideal_geometry_sanity(self):
+        # SNM can never exceed half the supply minus the read floor.
+        for vdd in (300.0, 600.0, 800.0):
+            bound = (vdd * (1 - READ_DISTURB_FRACTION)) / 2.0
+            assert read_snm_mv(vdd) < bound
+
+
+class TestCriticalVoltage:
+    def test_increases_with_mismatch(self):
+        vcs = [critical_voltage_mv(m, snm_threshold_mv=40.0)
+               for m in (0, 40, 80, 120)]
+        assert all(a < b for a, b in zip(vcs, vcs[1:]))
+
+    def test_roughly_linear_in_mismatch(self):
+        # The statistical model assumes Vc = v50 + s·δ; the circuit
+        # model should agree to first order.
+        vcs = {m: critical_voltage_mv(m, snm_threshold_mv=40.0)
+               for m in (40, 80, 160)}
+        slope1 = (vcs[80] - vcs[40]) / 40.0
+        slope2 = (vcs[160] - vcs[80]) / 80.0
+        assert slope1 == pytest.approx(slope2, rel=0.25)
+
+    def test_snm_below_threshold_under_vc(self):
+        vc = critical_voltage_mv(60.0, snm_threshold_mv=40.0)
+        assert read_snm_mv(vc - 20.0, 60.0) < 40.0
+        assert read_snm_mv(vc + 20.0, 60.0) > 40.0
+
+    def test_validation(self):
+        with pytest.raises(SRAMError):
+            critical_voltage_mv(0.0, snm_threshold_mv=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the SRAM cell process-variation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SRAMError
+from repro.sram.cell import (
+    NOMINAL_VDD_MV,
+    SRAMCellParams,
+    analytic_error_rate,
+    pseudo_read,
+    sample_critical_voltages,
+)
+
+
+class TestParams:
+    def test_defaults(self):
+        p = SRAMCellParams()
+        assert p.v50_mv == 300.0
+        assert p.effective_sigma_mv == pytest.approx(p.sigma_v_mv)
+
+    def test_bl_cap_shrinks_sigma(self):
+        wide = SRAMCellParams(bl_cap_ratio=1.0)
+        sharp = SRAMCellParams(bl_cap_ratio=4.0)
+        assert sharp.effective_sigma_mv == pytest.approx(
+            wide.effective_sigma_mv / 2
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(v50_mv=0), dict(sigma_v_mv=-1), dict(bl_cap_ratio=0)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SRAMError):
+            SRAMCellParams(**kwargs)
+
+
+class TestSampling:
+    def test_shapes(self):
+        vc, pref = sample_critical_voltages((4, 5), SRAMCellParams(), seed=0)
+        assert vc.shape == (4, 5)
+        assert pref.shape == (4, 5)
+        assert set(np.unique(pref)) <= {0, 1}
+
+    def test_deterministic(self):
+        a, _ = sample_critical_voltages((10,), SRAMCellParams(), seed=3)
+        b, _ = sample_critical_voltages((10,), SRAMCellParams(), seed=3)
+        assert np.allclose(a, b)
+
+    def test_distribution_centered_at_v50(self):
+        vc, _ = sample_critical_voltages((20000,), SRAMCellParams(), seed=1)
+        assert vc.mean() == pytest.approx(300.0, abs=2.0)
+        assert vc.std() == pytest.approx(55.0, rel=0.05)
+
+
+class TestPseudoRead:
+    def test_nominal_vdd_is_safe(self):
+        params = SRAMCellParams()
+        vc, pref = sample_critical_voltages((1000,), params, seed=2)
+        stored = np.random.default_rng(0).integers(0, 2, 1000, dtype=np.uint8)
+        out = pseudo_read(stored, vc, pref, NOMINAL_VDD_MV)
+        # At 800 mV essentially every cell is stable (9+ sigma away).
+        assert np.array_equal(out, stored)
+
+    def test_deep_low_vdd_resolves_to_preferred(self):
+        params = SRAMCellParams()
+        vc, pref = sample_critical_voltages((1000,), params, seed=3)
+        stored = np.zeros(1000, dtype=np.uint8)
+        out = pseudo_read(stored, vc, pref, 1e-3)
+        assert np.array_equal(out, pref)
+
+    def test_errors_directional(self):
+        # A destabilised cell storing its preferred value is NOT an error.
+        params = SRAMCellParams()
+        vc, pref = sample_critical_voltages((5000,), params, seed=4)
+        stored = pref.copy()
+        out = pseudo_read(stored, vc, pref, 250.0)
+        assert np.array_equal(out, stored)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SRAMError):
+            pseudo_read(np.zeros(3, dtype=np.uint8), np.zeros(4), np.zeros(4, dtype=np.uint8), 300.0)
+
+    def test_bad_vdd_rejected(self):
+        with pytest.raises(SRAMError):
+            pseudo_read(np.zeros(2, dtype=np.uint8), np.zeros(2), np.zeros(2, dtype=np.uint8), 0.0)
+
+
+class TestAnalyticRate:
+    def test_quarter_at_v50(self):
+        assert analytic_error_rate(300.0, SRAMCellParams()) == pytest.approx(0.25)
+
+    def test_limits(self):
+        p = SRAMCellParams()
+        assert analytic_error_rate(800.0, p) < 1e-6
+        assert analytic_error_rate(50.0, p) > 0.49
+
+    def test_monotone_decreasing_in_vdd(self):
+        p = SRAMCellParams()
+        rates = [analytic_error_rate(v, p) for v in range(200, 801, 50)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,60 @@
+"""Tests for the analytic error-rate model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SRAMError
+from repro.sram.cell import SRAMCellParams
+from repro.sram.errormodel import ErrorRateModel
+
+
+class TestErrorRateModel:
+    def test_rate_at_v50_is_quarter(self):
+        assert ErrorRateModel().rate(300.0) == pytest.approx(0.25)
+
+    def test_inverse_roundtrip(self):
+        m = ErrorRateModel()
+        for target in (0.01, 0.1, 0.25, 0.4, 0.49):
+            v = m.vdd_for_rate(target)
+            assert m.rate(v) == pytest.approx(target, rel=1e-3)
+
+    def test_inverse_monotone(self):
+        m = ErrorRateModel()
+        assert m.vdd_for_rate(0.01) > m.vdd_for_rate(0.4)
+
+    def test_inverse_range_checked(self):
+        m = ErrorRateModel()
+        with pytest.raises(SRAMError):
+            m.vdd_for_rate(0.0)
+        with pytest.raises(SRAMError):
+            m.vdd_for_rate(0.6)
+
+    def test_rate_vdd_checked(self):
+        with pytest.raises(SRAMError):
+            ErrorRateModel().rate(-1.0)
+
+    def test_expected_weight_noise_monotone_in_lsbs(self):
+        m = ErrorRateModel()
+        noises = [m.expected_weight_noise(300.0, k) for k in range(9)]
+        assert noises[0] == 0.0
+        assert all(a <= b for a, b in zip(noises, noises[1:]))
+
+    def test_expected_weight_noise_follows_schedule(self):
+        # Noise amplitude must decrease along the paper's V_DD ramp.
+        m = ErrorRateModel()
+        steps = [(300, 6), (340, 5), (380, 4), (420, 3), (460, 2), (500, 1), (540, 0)]
+        amps = [m.expected_weight_noise(v, l) for v, l in steps]
+        assert all(a > b for a, b in zip(amps, amps[1:]))
+        assert amps[-1] == 0.0
+
+    def test_noise_respects_custom_params(self):
+        sharp = ErrorRateModel(SRAMCellParams(bl_cap_ratio=4.0))
+        base = ErrorRateModel()
+        # Sharper transition: lower error above v50, higher below.
+        assert sharp.rate(400.0) < base.rate(400.0)
+        assert sharp.rate(250.0) > base.rate(250.0)
+
+    def test_lsbs_validated(self):
+        with pytest.raises(SRAMError):
+            ErrorRateModel().expected_weight_noise(300.0, 9)

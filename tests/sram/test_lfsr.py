@@ -1,0 +1,60 @@
+"""Tests for the LFSR baseline noise source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SRAMError
+from repro.sram.lfsr import LFSR
+
+
+class TestLFSR:
+    def test_deterministic(self):
+        a = LFSR(16, seed=0xBEEF).bits(100)
+        b = LFSR(16, seed=0xBEEF).bits(100)
+        assert np.array_equal(a, b)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(SRAMError):
+            LFSR(16, seed=0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SRAMError):
+            LFSR(13)
+
+    def test_balanced_output(self):
+        bits = LFSR(16, seed=1).bits(4000)
+        assert abs(bits.mean() - 0.5) < 0.05
+
+    def test_full_period_8bit(self):
+        # Maximal-length taps: state returns to the seed after 2^8 - 1.
+        l = LFSR(8, seed=0x5A)
+        states = set()
+        for _ in range(l.period):
+            states.add(l.state)
+            l.next_bit()
+        assert l.state == 0x5A
+        assert len(states) == l.period
+
+    def test_never_all_zero(self):
+        l = LFSR(8, seed=1)
+        for _ in range(300):
+            l.next_bit()
+            assert l.state != 0
+
+    def test_next_int_width(self):
+        v = LFSR(16, seed=7).next_int(5)
+        assert 0 <= v < 32
+        with pytest.raises(SRAMError):
+            LFSR(16, seed=7).next_int(0)
+
+    def test_next_float_range(self):
+        l = LFSR(16, seed=3)
+        for _ in range(20):
+            f = l.next_float()
+            assert 0.0 <= f < 1.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SRAMError):
+            LFSR(16, seed=1).bits(-1)

@@ -1,0 +1,51 @@
+"""Tests for the Fig. 6b Monte-Carlo error-rate experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SRAMError
+from repro.sram.cell import SRAMCellParams
+from repro.sram.montecarlo import DEFAULT_VDD_SWEEP_MV, monte_carlo_error_rate
+
+
+class TestSweep:
+    def test_default_sweep_covers_paper_range(self):
+        assert min(DEFAULT_VDD_SWEEP_MV) == 200.0
+        assert max(DEFAULT_VDD_SWEEP_MV) == 800.0
+
+    def test_sigmoid_shape(self):
+        curve = monte_carlo_error_rate(n_samples=2000, seed=0)
+        assert curve.error_rate[0] > 0.4  # ~50% at 200 mV
+        assert curve.error_rate[-1] < 0.01  # ~0% at 800 mV
+        # Monotone within sampling noise: compare smoothed thirds.
+        thirds = np.array_split(curve.error_rate, 3)
+        assert thirds[0].mean() > thirds[1].mean() > thirds[2].mean()
+
+    def test_matches_analytic_within_mc_noise(self):
+        curve = monte_carlo_error_rate(n_samples=4000, seed=1)
+        # Binomial std at p=0.25, n=4000 is ~0.007; allow 5 sigma.
+        assert np.all(np.abs(curve.error_rate - curve.analytic) < 0.035)
+
+    def test_bl_capacitance_sharpens(self):
+        base = monte_carlo_error_rate(seed=2)
+        sharp = monte_carlo_error_rate(
+            params=SRAMCellParams(bl_cap_ratio=4.0), seed=2
+        )
+        assert sharp.transition_width_mv() < 0.6 * base.transition_width_mv()
+
+    def test_rate_at_interpolation(self):
+        curve = monte_carlo_error_rate(n_samples=1000, seed=3)
+        assert 0.0 <= curve.rate_at(555.0) <= 0.5
+
+    def test_deterministic(self):
+        a = monte_carlo_error_rate(n_samples=500, seed=9)
+        b = monte_carlo_error_rate(n_samples=500, seed=9)
+        assert np.array_equal(a.error_rate, b.error_rate)
+
+    def test_validation(self):
+        with pytest.raises(SRAMError):
+            monte_carlo_error_rate(n_samples=0)
+        with pytest.raises(SRAMError):
+            monte_carlo_error_rate(vdd_sweep_mv=[])

@@ -1,0 +1,100 @@
+"""Tests for the spatial noise field (weight corruption)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SRAMError
+from repro.sram.noise import SpatialNoiseField
+
+
+@pytest.fixture
+def field():
+    return SpatialNoiseField((6, 9), weight_bits=8, seed=11)
+
+
+@pytest.fixture
+def weights():
+    return (np.arange(54).reshape(6, 9) * 4) % 256
+
+
+class TestCorrupt:
+    def test_deterministic_per_setting(self, field, weights):
+        a = field.corrupt(weights, 300.0, 6)
+        b = field.corrupt(weights, 300.0, 6)
+        assert np.array_equal(a, b)  # spatial: same cells, same errors
+
+    def test_nominal_vdd_clean(self, field, weights):
+        assert np.array_equal(field.corrupt(weights, 800.0, 6), weights)
+
+    def test_zero_lsbs_clean(self, field, weights):
+        assert np.array_equal(field.corrupt(weights, 200.0, 0), weights)
+
+    def test_msb_planes_protected(self, field, weights):
+        corrupted = field.corrupt(weights, 200.0, 4)
+        # Only the 4 LSBs may change: deltas bounded by 2^4 - 1.
+        assert np.abs(corrupted - weights).max() <= 15
+
+    def test_more_lsbs_more_noise(self, field, weights):
+        d2 = np.abs(field.corrupt(weights, 250.0, 2) - weights).sum()
+        d6 = np.abs(field.corrupt(weights, 250.0, 6) - weights).sum()
+        assert d6 > d2
+
+    def test_lower_vdd_more_noise(self, field, weights):
+        hi = np.abs(field.corrupt(weights, 500.0, 6) - weights).sum()
+        lo = np.abs(field.corrupt(weights, 250.0, 6) - weights).sum()
+        assert lo > hi
+
+    def test_output_in_storage_range(self, field, weights):
+        out = field.corrupt(weights, 200.0, 8)
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_different_seeds_different_patterns(self, weights):
+        a = SpatialNoiseField((6, 9), seed=1).corrupt(weights, 300.0, 6)
+        b = SpatialNoiseField((6, 9), seed=2).corrupt(weights, 300.0, 6)
+        assert not np.array_equal(a, b)
+
+    def test_shape_checked(self, field):
+        with pytest.raises(SRAMError):
+            field.corrupt(np.zeros((3, 3), dtype=int), 300.0, 6)
+
+    def test_range_checked(self, field):
+        with pytest.raises(SRAMError):
+            field.corrupt(np.full((6, 9), 300), 300.0, 6)
+
+    def test_settings_checked(self, field, weights):
+        with pytest.raises(SRAMError):
+            field.corrupt(weights, 0.0, 6)
+        with pytest.raises(SRAMError):
+            field.corrupt(weights, 300.0, 9)
+
+    @given(st.integers(200, 800), st.integers(0, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_property(self, vdd, lsbs):
+        field = SpatialNoiseField((4, 4), seed=5)
+        w = np.arange(16).reshape(4, 4) * 15
+        once = field.corrupt(w, float(vdd), lsbs)
+        # Corrupting the corrupted values with the same pattern is a
+        # fixed point: destabilised cells already hold their preferred
+        # state.
+        twice = field.corrupt(once % 256, float(vdd), lsbs)
+        assert np.array_equal(once, twice)
+
+
+class TestErrorRate:
+    def test_rate_tracks_model(self):
+        field = SpatialNoiseField((80, 80), seed=6)
+        measured = field.error_rate(300.0, 8)
+        assert measured == pytest.approx(0.25, abs=0.02)
+
+    def test_rate_zero_cases(self, field):
+        assert field.error_rate(800.0, 6) < 1e-3
+        assert field.error_rate(200.0, 0) == 0.0
+
+    def test_flip_mask_lsb_scoping(self, field):
+        mask = field.flip_mask(250.0, 3)
+        assert not mask[..., 3:].any()
+        assert mask[..., :3].any()

@@ -1,0 +1,50 @@
+"""Tests for the write-back controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SRAMError
+from repro.ising.schedule import VddSchedule
+from repro.sram.writeback import WritebackController
+
+
+class TestWritebackController:
+    def test_paper_schedule_events(self):
+        wb = WritebackController()
+        events = []
+        for it in range(400):
+            is_wb, vdd, lsbs = wb.begin_iteration(it)
+            if is_wb:
+                events.append((it, vdd, lsbs))
+        assert [e[0] for e in events] == list(range(0, 400, 50))
+        assert events[0] == (0, 300.0, 6)
+        assert events[-1] == (350, 580.0, 0)
+        assert wb.writeback_count == 8
+
+    def test_settings_constant_within_step(self):
+        wb = WritebackController()
+        settings = {wb.begin_iteration(i)[1:] for i in range(50)}
+        assert settings == {(300.0, 6)}
+
+    def test_validate_complete(self):
+        wb = WritebackController(schedule=VddSchedule(total_iterations=100))
+        for it in range(100):
+            wb.begin_iteration(it)
+        wb.validate_complete()
+
+    def test_validate_incomplete_raises(self):
+        wb = WritebackController()
+        wb.begin_iteration(0)
+        with pytest.raises(SRAMError, match="iterations"):
+            wb.validate_complete()
+
+    def test_events_property_is_copy(self):
+        wb = WritebackController()
+        wb.begin_iteration(0)
+        events = wb.events
+        events.clear()
+        assert len(wb.events) == 1
+
+    def test_expected_writebacks(self):
+        assert WritebackController().expected_writebacks() == 8

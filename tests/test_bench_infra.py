@@ -1,0 +1,57 @@
+"""Tests for the benchmark-harness infrastructure."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print  # noqa: E402
+from repro.utils.tables import Table  # noqa: E402
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.1
+        assert bench_scale(0.5) == 0.5
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1.0")
+        assert bench_scale() == 1.0
+
+    @pytest.mark.parametrize("bad", ["0", "1.5", "-0.1"])
+    def test_out_of_range_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", bad)
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestBenchSeed:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+        assert bench_seed() == 2024
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+        assert bench_seed() == 7
+
+
+class TestSaveAndPrint:
+    def test_writes_and_returns(self, capsys, monkeypatch, tmp_path):
+        import benchmarks._common as common
+
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        t = Table("Demo", ["a"])
+        t.add_row([1])
+        rendered = common.save_and_print(t, "demo_test")
+        assert "Demo" in rendered
+        assert (tmp_path / "demo_test.txt").read_text().startswith("Demo")
+        assert "Demo" in capsys.readouterr().out

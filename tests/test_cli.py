@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.tsp.generators import random_uniform
+from repro.tsp.tsplib import write_tsplib
+
+
+class TestCapacity:
+    def test_prints_table(self, capsys):
+        assert main(["capacity", "--sizes", "1000", "85900"]) == 0
+        out = capsys.readouterr().out
+        assert "85900" in out
+        assert "46.4 Mb" in out
+
+    def test_custom_p(self, capsys):
+        assert main(["capacity", "--sizes", "100", "--p", "2"]) == 0
+        assert "p_max = 2" in capsys.readouterr().out
+
+
+class TestSramCurve:
+    def test_default(self, capsys):
+        assert main(["sram-curve", "--samples", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "V_DD" in out and "800" in out
+
+    def test_bl_cap_label(self, capsys):
+        assert main(["sram-curve", "--samples", "100", "--bl-cap", "4"]) == 0
+        assert "x4" in capsys.readouterr().out
+
+
+class TestPPA:
+    def test_flagship_numbers(self, capsys):
+        assert main(["ppa", "--n", "85900", "--p", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "46.4 Mb" in out
+        assert "43.81 mm^2" in out
+        assert "4295" in out
+
+
+class TestMaxcut:
+    def test_runs(self, capsys):
+        assert main(["maxcut", "--nodes", "60", "--sweeps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "annealed" in out and "cut =" in out
+
+
+class TestSolve:
+    def test_synthetic(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "120", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "solution" in out and "length=" in out
+
+    def test_with_reference_and_ppa(self, capsys):
+        assert main(
+            ["solve", "--family", "clustered", "--n", "150", "--seed", "2",
+             "--reference", "--ppa"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal ratio" in out
+        assert "hardware" in out
+
+    def test_tsplib_file(self, tmp_path, capsys):
+        inst = random_uniform(60, seed=3)
+        path = tmp_path / "demo.tsp"
+        with open(path, "w") as f:
+            write_tsplib(inst, f)
+        assert main(["solve", "--tsplib", str(path)]) == 0
+        assert "n=60" in capsys.readouterr().out
+
+    def test_strategy_option(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "80", "--strategy", "2"]
+        ) == 0
+        assert "length=" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_missing_required_exits(self):
+        with pytest.raises(SystemExit):
+            main(["ppa"])  # --n is required
+
+
+class TestSolveSvg:
+    def test_svg_written(self, tmp_path, capsys):
+        out = tmp_path / "tour.svg"
+        assert main(
+            ["solve", "--family", "uniform", "--n", "60", "--svg", str(out)]
+        ) == 0
+        assert out.read_text().startswith("<svg")
+        assert "tour SVG" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+The deliverable requires doc comments on every public item; this test
+makes the requirement executable — any new public module, class,
+function, or method without a docstring fails CI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in inspect.getmembers(module):
+        if name.startswith("_"):
+            continue
+        mod = getattr(obj, "__module__", None)
+        if mod != module.__name__:
+            continue  # re-exported from elsewhere; checked at its home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        missing = [
+            m.__name__ for m in _walk_modules() if not (m.__doc__ or "").strip()
+        ]
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in _public_members(module):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for cls_name, cls in _public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for meth_name, meth in inspect.getmembers(cls):
+                    if meth_name.startswith("_"):
+                        continue
+                    if not (
+                        inspect.isfunction(meth)
+                        or isinstance(
+                            inspect.getattr_static(cls, meth_name, None),
+                            property,
+                        )
+                    ):
+                        continue
+                    target = (
+                        inspect.getattr_static(cls, meth_name).fget
+                        if isinstance(
+                            inspect.getattr_static(cls, meth_name, None),
+                            property,
+                        )
+                        else meth
+                    )
+                    if getattr(target, "__qualname__", "").split(".")[0] != cls.__name__:
+                        continue  # inherited (e.g. from Enum/dataclass)
+                    # getdoc() follows the MRO: a docstring on the ABC's
+                    # abstract method documents every override.
+                    if not (inspect.getdoc(getattr(cls, meth_name)) or "").strip():
+                        missing.append(
+                            f"{module.__name__}.{cls_name}.{meth_name}"
+                        )
+        assert not missing, f"undocumented public methods: {missing}"

@@ -1,0 +1,67 @@
+"""Smoke tests: every example must run end-to-end (at reduced size)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_examples_directory_complete(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart",
+            "pcb_drill_routing",
+            "logistics_fleet",
+            "noisy_sram_playground",
+            "chip_designer_report",
+            "maxcut_annealing",
+        } <= names
+
+    def test_noisy_sram_playground(self, capsys):
+        load_example("noisy_sram_playground").main()
+        out = capsys.readouterr().out
+        assert "error rate" in out.lower()
+        assert "distinct values" in out
+
+    def test_chip_designer_report(self, capsys):
+        load_example("chip_designer_report").main(5000)
+        out = capsys.readouterr().out
+        assert "Design points" in out
+        assert "This design" in out
+
+    def test_pcb_drill_routing_small(self, capsys):
+        load_example("pcb_drill_routing").main(200)
+        out = capsys.readouterr().out
+        assert "winning strategy" in out
+
+    def test_logistics_fleet_small(self, capsys):
+        load_example("logistics_fleet").main(160)
+        out = capsys.readouterr().out
+        assert "Courier route" in out
+        assert "clustered CIM annealer" in out
+
+    def test_maxcut_annealing_small(self, capsys):
+        load_example("maxcut_annealing").main(120)
+        out = capsys.readouterr().out
+        assert "planted" in out
+        assert "blow-up" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "simulated hardware" in out

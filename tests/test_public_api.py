@@ -1,0 +1,74 @@
+"""Public API stability: everything advertised in __all__ exists."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tsp",
+    "repro.tsp.baselines",
+    "repro.ising",
+    "repro.clustering",
+    "repro.sram",
+    "repro.cim",
+    "repro.annealer",
+    "repro.hardware",
+    "repro.analysis",
+    "repro.maxcut",
+    "repro.utils",
+]
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), f"{package} lacks __all__"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_workflow_importable_from_root(self):
+        # The README quickstart must work from the root namespace alone.
+        from repro import (
+            AnnealerConfig,
+            ClusteredCIMAnnealer,
+            evaluate_ppa,
+            random_uniform,
+        )
+
+        assert callable(evaluate_ppa)
+        assert callable(random_uniform)
+        assert ClusteredCIMAnnealer(AnnealerConfig(seed=0)) is not None
+
+    def test_error_hierarchy_rooted(self):
+        from repro import ReproError
+        from repro.errors import (
+            AnnealerError,
+            CIMError,
+            ClusteringError,
+            ConfigError,
+            HardwareModelError,
+            IsingError,
+            SRAMError,
+            TSPError,
+        )
+
+        for exc in (
+            TSPError,
+            ClusteringError,
+            IsingError,
+            CIMError,
+            SRAMError,
+            HardwareModelError,
+            AnnealerError,
+            ConfigError,
+        ):
+            assert issubclass(exc, ReproError)

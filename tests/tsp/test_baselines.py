@@ -1,0 +1,214 @@
+"""Tests for the CPU baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TSPError
+from repro.tsp.baselines import (
+    SAParams,
+    build_neighbor_lists,
+    greedy_edge_tour,
+    held_karp,
+    nearest_neighbor_tour,
+    or_opt_improve,
+    simulated_annealing_tsp,
+    two_opt_improve,
+)
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import random_tour, tour_length, validate_tour
+
+
+class TestNearestNeighbor:
+    def test_valid_tour(self, medium_instance):
+        t = nearest_neighbor_tour(medium_instance, seed=0)
+        validate_tour(t, medium_instance.n)
+
+    def test_start_city_respected(self, medium_instance):
+        t = nearest_neighbor_tour(medium_instance, start=17)
+        assert t[0] == 17
+
+    def test_bad_start_rejected(self, medium_instance):
+        with pytest.raises(TSPError):
+            nearest_neighbor_tour(medium_instance, start=10_000)
+
+    def test_beats_random(self, medium_instance):
+        nn = tour_length(medium_instance, nearest_neighbor_tour(medium_instance, seed=1))
+        rnd = tour_length(medium_instance, random_tour(medium_instance.n, seed=1))
+        assert nn < rnd
+
+
+class TestGreedyEdge:
+    def test_valid_tour(self, medium_instance):
+        t = greedy_edge_tour(medium_instance)
+        validate_tour(t, medium_instance.n)
+
+    def test_usually_beats_nearest_neighbor(self):
+        wins = 0
+        for seed in range(5):
+            inst = random_uniform(150, seed=seed)
+            ge = tour_length(inst, greedy_edge_tour(inst))
+            nn = tour_length(inst, nearest_neighbor_tour(inst, start=0))
+            wins += ge < nn
+        assert wins >= 3
+
+    @given(st.integers(min_value=5, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_always_a_permutation(self, n):
+        inst = random_uniform(n, seed=n)
+        validate_tour(greedy_edge_tour(inst), n)
+
+
+class TestNeighborLists:
+    def test_shape_and_sorted(self):
+        inst = random_uniform(200, seed=2)
+        nbrs = build_neighbor_lists(inst.coords, 8)
+        assert nbrs.shape == (200, 8)
+        # Sorted ascending by distance for every city.
+        for i in (0, 57, 199):
+            d = np.hypot(*(inst.coords[nbrs[i]] - inst.coords[i]).T)
+            assert np.all(np.diff(d) >= -1e-9)
+
+    def test_no_self_neighbors(self):
+        inst = random_uniform(600, seed=3)  # exercises the grid path
+        nbrs = build_neighbor_lists(inst.coords, 6)
+        assert not np.any(nbrs == np.arange(600)[:, None])
+
+    def test_matches_bruteforce_on_grid_path(self):
+        inst = random_uniform(700, seed=4)
+        fast = build_neighbor_lists(inst.coords, 5)
+        diff = inst.coords[:, None, :] - inst.coords[None, :, :]
+        d = np.sqrt((diff**2).sum(-1))
+        np.fill_diagonal(d, np.inf)
+        brute = np.argsort(d, axis=1, kind="stable")[:, :5]
+        # Compare distances (indices can tie); allow tiny tolerance.
+        d_fast = np.take_along_axis(d, fast, axis=1)
+        d_brute = np.take_along_axis(d, brute, axis=1)
+        assert np.allclose(np.sort(d_fast, axis=1), np.sort(d_brute, axis=1))
+
+    def test_k_validation(self):
+        with pytest.raises(TSPError):
+            build_neighbor_lists(np.zeros((5, 2)), 0)
+
+
+class TestTwoOpt:
+    def test_never_worse(self):
+        for seed in range(4):
+            inst = random_uniform(80, seed=seed)
+            t0 = random_tour(80, seed=seed)
+            t1 = two_opt_improve(inst, t0)
+            validate_tour(t1, 80)
+            assert tour_length(inst, t1) <= tour_length(inst, t0) + 1e-9
+
+    def test_improves_random_substantially(self):
+        inst = random_uniform(150, seed=9)
+        t0 = random_tour(150, seed=9)
+        t1 = two_opt_improve(inst, t0)
+        assert tour_length(inst, t1) < 0.6 * tour_length(inst, t0)
+
+    def test_input_not_mutated(self):
+        inst = random_uniform(40, seed=10)
+        t0 = random_tour(40, seed=10)
+        copy = t0.copy()
+        two_opt_improve(inst, t0)
+        assert np.array_equal(t0, copy)
+
+    def test_local_optimum_is_fixed_point(self):
+        inst = random_uniform(60, seed=11)
+        t1 = two_opt_improve(inst, random_tour(60, seed=11))
+        t2 = two_opt_improve(inst, t1)
+        assert tour_length(inst, t2) == pytest.approx(tour_length(inst, t1))
+
+
+class TestOrOpt:
+    def test_never_worse_and_valid(self):
+        for seed in range(4):
+            inst = random_uniform(70, seed=seed + 20)
+            t0 = two_opt_improve(inst, random_tour(70, seed=seed))
+            t1 = or_opt_improve(inst, t0)
+            validate_tour(t1, 70)
+            assert tour_length(inst, t1) <= tour_length(inst, t0) + 1e-9
+
+    def test_tiny_instance_passthrough(self):
+        inst = random_uniform(4, seed=1)
+        t = or_opt_improve(inst, np.arange(4))
+        validate_tour(t, 4)
+
+
+class TestHeldKarp:
+    def test_matches_bruteforce(self):
+        from itertools import permutations
+
+        inst = random_uniform(7, seed=13)
+        _, best = held_karp(inst)
+        brute = min(
+            tour_length(inst, np.array((0,) + p))
+            for p in permutations(range(1, 7))
+        )
+        assert best == pytest.approx(brute)
+
+    def test_tour_matches_length(self, small_instance):
+        tour, best = held_karp(small_instance)
+        validate_tour(tour, small_instance.n)
+        assert tour_length(small_instance, tour) == pytest.approx(best)
+
+    def test_two_cities(self):
+        inst = random_uniform(2, seed=1)
+        tour, best = held_karp(inst)
+        assert best == pytest.approx(2 * inst.distance(0, 1))
+
+    def test_size_guard(self):
+        inst = random_uniform(20, seed=1)
+        with pytest.raises(TSPError, match="exponential"):
+            held_karp(inst)
+
+    def test_lower_bound_for_heuristics(self, small_instance):
+        _, opt = held_karp(small_instance)
+        nn = tour_length(small_instance, nearest_neighbor_tour(small_instance, start=0))
+        assert opt <= nn + 1e-9
+
+
+class TestSimulatedAnnealing:
+    def test_reaches_optimum_small(self, small_instance):
+        _, opt = held_karp(small_instance)
+        res = simulated_annealing_tsp(
+            small_instance, SAParams(n_iterations=30_000), seed=0
+        )
+        assert res.length <= opt * 1.02
+
+    def test_trace_recorded(self, small_instance):
+        res = simulated_annealing_tsp(
+            small_instance,
+            SAParams(n_iterations=2000, record_every=500),
+            seed=1,
+        )
+        assert len(res.trace) >= 4
+        assert res.trace[-1][1] == pytest.approx(res.length)
+
+    def test_acceptance_rate_sane(self, small_instance):
+        res = simulated_annealing_tsp(
+            small_instance, SAParams(n_iterations=5000), seed=2
+        )
+        assert 0.0 < res.acceptance_rate < 1.0
+
+    def test_initial_tour_used(self, small_instance):
+        init = random_tour(small_instance.n, seed=3)
+        res = simulated_annealing_tsp(
+            small_instance,
+            SAParams(n_iterations=1, t_start=1e-9, t_end=1e-9),
+            initial_tour=init,
+            seed=3,
+        )
+        # One frozen iteration: tour nearly unchanged.
+        assert res.length <= tour_length(small_instance, init) + 1e-9
+
+    def test_param_validation(self):
+        with pytest.raises(Exception):
+            SAParams(n_iterations=0)
+        with pytest.raises(Exception):
+            SAParams(t_start=1.0, t_end=2.0)
+        with pytest.raises(Exception):
+            SAParams(move_mix=1.5)

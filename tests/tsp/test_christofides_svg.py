@@ -1,0 +1,112 @@
+"""Tests for Christofides and the SVG renderer."""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPError
+from repro.tsp.baselines import christofides_tour, held_karp
+from repro.tsp.baselines.christofides import _minimum_spanning_tree
+from repro.tsp.generators import random_uniform
+from repro.tsp.svg import render_tour_svg, save_tour_svg
+from repro.tsp.tour import tour_length, validate_tour
+
+
+class TestMST:
+    def test_tree_size(self):
+        inst = random_uniform(20, seed=1)
+        edges = _minimum_spanning_tree(inst.distance_matrix())
+        assert len(edges) == 19
+
+    def test_spans_all_nodes(self):
+        inst = random_uniform(15, seed=2)
+        edges = _minimum_spanning_tree(inst.distance_matrix())
+        touched = {v for e in edges for v in e}
+        assert touched == set(range(15))
+
+    def test_matches_bruteforce_weight_small(self):
+        # Compare against networkx's MST weight as an oracle.
+        nx = pytest.importorskip("networkx")
+        inst = random_uniform(12, seed=3)
+        dist = inst.distance_matrix()
+        ours = sum(dist[u, v] for u, v in _minimum_spanning_tree(dist))
+        g = nx.Graph()
+        for i in range(12):
+            for j in range(i + 1, 12):
+                g.add_edge(i, j, weight=dist[i, j])
+        theirs = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_tree(g).edges(data=True)
+        )
+        assert ours == pytest.approx(theirs)
+
+
+class TestChristofides:
+    def test_valid_tour(self):
+        pytest.importorskip("networkx")
+        inst = random_uniform(60, seed=4)
+        validate_tour(christofides_tour(inst), 60)
+
+    def test_within_approximation_bound(self):
+        pytest.importorskip("networkx")
+        for seed in range(4):
+            inst = random_uniform(11, seed=seed + 10)
+            _, opt = held_karp(inst)
+            length = tour_length(inst, christofides_tour(inst))
+            assert length <= 1.5 * opt + 1e-9
+
+    def test_competitive_quality(self):
+        pytest.importorskip("networkx")
+        from repro.tsp.baselines import nearest_neighbor_tour
+
+        inst = random_uniform(120, seed=5)
+        chris = tour_length(inst, christofides_tour(inst))
+        nn = tour_length(inst, nearest_neighbor_tour(inst, start=0))
+        assert chris < nn * 1.05
+
+
+class TestSVG:
+    def test_structure_parses(self):
+        inst = random_uniform(25, seed=6)
+        svg = render_tour_svg(inst, tour=np.arange(25))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        tags = [child.tag.split("}")[-1] for child in root]
+        assert "polyline" in tags
+        assert tags.count("circle") == 25
+
+    def test_no_tour_no_polyline(self):
+        inst = random_uniform(10, seed=7)
+        svg = render_tour_svg(inst)
+        assert "polyline" not in svg
+
+    def test_aspect_ratio_preserved(self):
+        coords = np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 50.0], [0.0, 50.0]])
+        from repro.tsp.instance import TSPInstance
+
+        svg = render_tour_svg(TSPInstance(coords), width=400, margin=0)
+        root = ET.fromstring(svg)
+        assert root.attrib["width"] == "400"
+        assert root.attrib["height"] == "200"
+
+    def test_save_to_stream_and_file(self, tmp_path):
+        inst = random_uniform(8, seed=8)
+        buf = io.StringIO()
+        save_tour_svg(inst, buf, tour=np.arange(8))
+        assert buf.getvalue().startswith("<svg")
+        path = tmp_path / "tour.svg"
+        save_tour_svg(inst, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_title(self):
+        inst = random_uniform(5, seed=9)
+        svg = render_tour_svg(inst, title="hello-tour")
+        assert "<title>hello-tour</title>" in svg
+
+    def test_width_validation(self):
+        inst = random_uniform(5, seed=9)
+        with pytest.raises(TSPError):
+            render_tour_svg(inst, width=30, margin=20)

@@ -1,0 +1,65 @@
+"""Tests for the circle oracle generator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TSPError
+from repro.tsp.generators import circle, circle_optimal_length
+from repro.tsp.tour import tour_length
+
+
+class TestCircle:
+    def test_points_on_radius(self):
+        inst = circle(24, radius=100.0, seed=1)
+        r = np.hypot(inst.coords[:, 0], inst.coords[:, 1])
+        assert np.allclose(r, 100.0)
+
+    def test_shuffled_identity_not_optimal(self):
+        inst = circle(30, seed=2)
+        identity = tour_length(inst, np.arange(30))
+        assert identity > circle_optimal_length(30) * 1.05
+
+    def test_angular_order_achieves_optimum(self):
+        inst = circle(36, radius=50.0, seed=3)
+        angles = np.arctan2(inst.coords[:, 1], inst.coords[:, 0])
+        tour = np.argsort(angles)
+        assert tour_length(inst, tour) == pytest.approx(
+            circle_optimal_length(36, radius=50.0)
+        )
+
+    def test_optimal_length_formula(self):
+        # n -> infinity: perimeter approaches 2*pi*r.
+        assert circle_optimal_length(10_000, radius=1.0) == pytest.approx(
+            2 * math.pi, rel=1e-6
+        )
+
+    def test_jitter_perturbs(self):
+        a = circle(20, jitter=0.0, seed=4)
+        b = circle(20, jitter=5.0, seed=4)
+        r = np.hypot(b.coords[:, 0], b.coords[:, 1])
+        assert not np.allclose(r, 500.0)
+        assert a.n == b.n
+
+    def test_validation(self):
+        with pytest.raises(TSPError):
+            circle(2)
+        with pytest.raises(TSPError):
+            circle(10, radius=0.0)
+        with pytest.raises(TSPError):
+            circle_optimal_length(2)
+
+    @given(st.integers(min_value=3, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_optimum_below_circumference_property(self, n):
+        # Inscribed polygon perimeter < circle circumference, and
+        # monotonically approaches it.
+        opt = circle_optimal_length(n, radius=1.0)
+        assert opt < 2 * math.pi
+        if n > 3:
+            assert opt > circle_optimal_length(n - 1, radius=1.0)

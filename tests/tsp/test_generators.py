@@ -1,0 +1,104 @@
+"""Tests for the synthetic instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TSPError
+from repro.tsp.generators import (
+    PAPER_DATASETS,
+    make_paper_instance,
+    pcb_style,
+    pla_style,
+    random_clustered,
+    random_uniform,
+    rl_style,
+)
+
+
+class TestRandomUniform:
+    def test_shape_and_bounds(self):
+        inst = random_uniform(50, seed=1, side=100.0)
+        assert inst.n == 50
+        assert inst.coords.min() >= 0 and inst.coords.max() <= 100
+
+    def test_deterministic(self):
+        a = random_uniform(20, seed=3)
+        b = random_uniform(20, seed=3)
+        assert np.allclose(a.coords, b.coords)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TSPError):
+            random_uniform(1)
+
+
+class TestRandomClustered:
+    def test_counts(self):
+        inst = random_clustered(100, n_clusters=5, seed=2)
+        assert inst.n == 100
+
+    def test_clustering_is_visible(self):
+        # Clustered points have smaller mean NN distance than uniform.
+        from repro.clustering.geometry import typical_spacing
+
+        clustered = random_clustered(
+            300, n_clusters=6, seed=4, cluster_std=5.0, side=1000.0
+        )
+        uniform = random_uniform(300, seed=4, side=1000.0)
+        assert typical_spacing(clustered.coords) < typical_spacing(uniform.coords)
+
+    def test_bad_background_fraction(self):
+        with pytest.raises(TSPError):
+            random_clustered(50, 4, background_fraction=1.5)
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(TSPError):
+            random_clustered(50, 0)
+
+
+class TestStyleGenerators:
+    @pytest.mark.parametrize("builder", [pcb_style, rl_style, pla_style])
+    def test_exact_size(self, builder):
+        inst = builder(257, seed=5)
+        assert inst.n == 257
+        assert np.isfinite(inst.coords).all()
+
+    def test_pcb_points_are_gridded(self):
+        inst = pcb_style(400, seed=6)
+        xs = np.unique(np.round(inst.coords[:, 0], 6))
+        # Snapping to a pitch means far fewer unique coordinates than points.
+        assert xs.size < inst.n * 0.8
+
+    def test_deterministic(self):
+        a = rl_style(100, seed=9)
+        b = rl_style(100, seed=9)
+        assert np.allclose(a.coords, b.coords)
+
+    @given(st.sampled_from([pcb_style, rl_style, pla_style]), st.integers(50, 400))
+    @settings(max_examples=12, deadline=None)
+    def test_any_size_property(self, builder, n):
+        inst = builder(n, seed=n)
+        assert inst.n == n
+
+
+class TestPaperInstances:
+    def test_registry_covers_the_paper(self):
+        for name in ("pcb3038", "rl5915", "rl5934", "rl11849", "pla85900"):
+            assert name in PAPER_DATASETS
+
+    def test_sizes_match_names(self):
+        for name, (_family, n) in PAPER_DATASETS.items():
+            assert str(n) in name
+
+    def test_make_small_paper_instance(self):
+        # Smallest real dataset; building it is a few seconds at most.
+        inst = make_paper_instance("pcb3038")
+        assert inst.n == 3038
+        assert "synthetic" in inst.name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TSPError, match="unknown"):
+            make_paper_instance("nope123")

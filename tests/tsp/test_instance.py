@@ -1,0 +1,109 @@
+"""Tests for TSPInstance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TSPError
+from repro.tsp.instance import FULL_MATRIX_LIMIT, TSPInstance
+
+
+def coords_strategy(min_n=2, max_n=30):
+    return st.integers(min_value=min_n, max_value=max_n).map(
+        lambda n: np.random.default_rng(n).uniform(0, 100, size=(n, 2))
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = TSPInstance(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert inst.n == 2
+        assert len(inst) == 2
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TSPError, match="shape"):
+            TSPInstance(np.zeros((5, 3)))
+
+    def test_single_city_rejected(self):
+        with pytest.raises(TSPError, match="at least 2"):
+            TSPInstance(np.zeros((1, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(TSPError, match="finite"):
+            TSPInstance(np.array([[0.0, 0.0], [np.nan, 1.0]]))
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(TSPError, match="edge_weight_type"):
+            TSPInstance(np.zeros((2, 2)), edge_weight_type="MAN_2D")
+
+    def test_repr(self):
+        inst = TSPInstance(np.zeros((3, 2)), name="demo")
+        assert "demo" in repr(inst)
+
+
+class TestDistances:
+    def test_pythagorean(self):
+        inst = TSPInstance(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert inst.distance(0, 1) == pytest.approx(5.0)
+
+    def test_euc2d_rounding(self):
+        inst = TSPInstance(
+            np.array([[0.0, 0.0], [1.4, 0.0]]), edge_weight_type="EUC_2D"
+        )
+        assert inst.distance(0, 1) == 1.0
+
+    def test_matrix_symmetric_zero_diag(self):
+        inst = TSPInstance(np.random.default_rng(0).uniform(0, 10, (6, 2)))
+        m = inst.distance_matrix()
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0)
+
+    def test_matrix_refused_when_large(self):
+        coords = np.random.default_rng(0).uniform(0, 10, (FULL_MATRIX_LIMIT + 1, 2))
+        inst = TSPInstance(coords)
+        with pytest.raises(TSPError, match="refusing"):
+            inst.distance_matrix()
+
+    def test_distance_block_matches_matrix(self):
+        inst = TSPInstance(np.random.default_rng(1).uniform(0, 10, (8, 2)))
+        m = inst.distance_matrix()
+        block = inst.distance_block(np.array([1, 3]), np.array([0, 2, 5]))
+        assert np.allclose(block, m[np.ix_([1, 3], [0, 2, 5])])
+
+    def test_distances_from(self):
+        inst = TSPInstance(np.random.default_rng(2).uniform(0, 10, (7, 2)))
+        d = inst.distances_from(3)
+        assert d.shape == (7,)
+        assert d[3] == 0
+
+    @given(coords_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_inequality(self, coords):
+        inst = TSPInstance(coords)
+        m = inst.distance_matrix()
+        n = inst.n
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            i, j, k = rng.integers(0, n, size=3)
+            assert m[i, j] <= m[i, k] + m[k, j] + 1e-9
+
+
+class TestDerived:
+    def test_subinstance(self):
+        inst = TSPInstance(np.random.default_rng(3).uniform(0, 10, (9, 2)))
+        sub = inst.subinstance(np.array([2, 5, 7]))
+        assert sub.n == 3
+        assert np.allclose(sub.coords[1], inst.coords[5])
+
+    def test_subinstance_too_small(self):
+        inst = TSPInstance(np.zeros((4, 2)) + np.arange(4)[:, None])
+        with pytest.raises(TSPError):
+            inst.subinstance(np.array([1]))
+
+    def test_bounding_box_and_area(self):
+        inst = TSPInstance(np.array([[0.0, 0.0], [2.0, 3.0]]))
+        assert inst.bounding_box() == (0.0, 0.0, 2.0, 3.0)
+        assert inst.area() == pytest.approx(6.0)

@@ -1,0 +1,98 @@
+"""Tests for the TSPLIB metric variants (EUC_2D / CEIL_2D / ATT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TSPError
+from repro.tsp.instance import TSPInstance, apply_metric
+from repro.tsp.tour import tour_length
+from repro.tsp.tsplib import parse_tsplib
+
+
+def make(metric):
+    coords = np.array([[0.0, 0.0], [1.4, 0.0], [0.0, 2.6]])
+    return TSPInstance(coords, edge_weight_type=metric)
+
+
+class TestApplyMetric:
+    def test_geom_identity(self):
+        d = np.array([1.2, 3.7])
+        assert np.array_equal(apply_metric(d, "GEOM"), d)
+
+    def test_euc2d_rounds_nearest(self):
+        assert apply_metric(np.array([1.4]), "EUC_2D")[0] == 1.0
+        assert apply_metric(np.array([1.5]), "EUC_2D")[0] == 2.0
+
+    def test_ceil2d_rounds_up(self):
+        assert apply_metric(np.array([1.01]), "CEIL_2D")[0] == 2.0
+        assert apply_metric(np.array([2.0]), "CEIL_2D")[0] == 2.0
+
+    def test_att_pseudo_euclidean(self):
+        # TSPLIB: r = sqrt(d^2 / 10); t = nint(r); d = t + 1 if t < r.
+        d = np.array([10.0])  # r = sqrt(10) = 3.162..., t = 3 < r -> 4
+        assert apply_metric(d, "ATT")[0] == 4.0
+        d = np.array([np.sqrt(90.0)])  # r = 3.0 exactly -> 3
+        assert apply_metric(d, "ATT")[0] == 3.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(TSPError):
+            apply_metric(np.array([1.0]), "GEO")
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_metrics_integral_property(self, d):
+        arr = np.array([d])
+        for metric in ("EUC_2D", "CEIL_2D", "ATT"):
+            out = apply_metric(arr, metric)[0]
+            assert out == np.floor(out)
+            # CEIL_2D dominates EUC_2D dominates d-1.
+        assert apply_metric(arr, "CEIL_2D")[0] >= apply_metric(arr, "EUC_2D")[0]
+
+
+class TestInstanceMetrics:
+    @pytest.mark.parametrize("metric", ["EUC_2D", "CEIL_2D", "ATT"])
+    def test_distance_matches_matrix_and_tour(self, metric):
+        inst = make(metric)
+        m = inst.distance_matrix()
+        for i in range(3):
+            for j in range(3):
+                assert inst.distance(i, j) == m[i, j]
+        assert tour_length(inst, [0, 1, 2]) == m[0, 1] + m[1, 2] + m[2, 0]
+
+    def test_ceil_vs_euc_ordering(self):
+        euc = make("EUC_2D").distance(0, 1)
+        ceil = make("CEIL_2D").distance(0, 1)
+        assert ceil >= euc
+
+    def test_att_smaller_than_euclidean(self):
+        # ATT divides by sqrt(10) before rounding: values shrink ~3.16x.
+        att = make("ATT").distance(0, 2)
+        geom = make("GEOM").distance(0, 2)
+        assert att < geom
+
+
+class TestParserMetrics:
+    TEMPLATE = """NAME : m3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : {ewt}
+NODE_COORD_SECTION
+1 0.0 0.0
+2 30.0 0.0
+3 0.0 40.0
+EOF
+"""
+
+    @pytest.mark.parametrize("ewt", ["EUC_2D", "CEIL_2D", "ATT"])
+    def test_metric_preserved(self, ewt):
+        inst = parse_tsplib(self.TEMPLATE.format(ewt=ewt))
+        assert inst.edge_weight_type == ewt
+
+    def test_att_distances_from_parser(self):
+        inst = parse_tsplib(self.TEMPLATE.format(ewt="ATT"))
+        # d(1,2): raw 30 -> r = sqrt(900/10) = 9.4868 -> t = 9 < r -> 10.
+        assert inst.distance(0, 1) == 10.0

@@ -1,0 +1,61 @@
+"""Tests for reference lengths and constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tsp.baselines import held_karp
+from repro.tsp.generators import random_uniform
+from repro.tsp.reference import (
+    BEST_KNOWN_LENGTHS,
+    CONCORDE_RUNTIMES_S,
+    bhh_estimate,
+    lookup_best_known,
+    reference_length,
+)
+
+
+class TestConstants:
+    def test_paper_datasets_present(self):
+        for name in ("pcb3038", "rl5915", "rl5934", "rl11849", "pla85900"):
+            assert name in BEST_KNOWN_LENGTHS
+
+    def test_concorde_times_match_paper_quotes(self):
+        assert CONCORDE_RUNTIMES_S["pcb3038"] == 22 * 3600
+        assert CONCORDE_RUNTIMES_S["rl5934"] == 7 * 86400
+        assert CONCORDE_RUNTIMES_S["rl11849"] == 155 * 86400
+
+    def test_lookup(self):
+        assert lookup_best_known("pcb3038") == 137_694.0
+        assert lookup_best_known("pcb3038-synthetic") is None
+
+
+class TestBHH:
+    def test_scales_with_sqrt_n(self):
+        small = bhh_estimate(random_uniform(100, seed=1, side=100))
+        large = bhh_estimate(random_uniform(400, seed=1, side=100))
+        assert large == pytest.approx(2 * small, rel=0.05)
+
+    def test_reasonable_for_uniform(self):
+        inst = random_uniform(500, seed=2)
+        ref = reference_length(inst, seed=0)
+        est = bhh_estimate(inst)
+        # The heuristic reference sits a few % above the BHH asymptote
+        # (finite-n boundary effects push the true optimum above BHH too).
+        assert 0.9 * est < ref < 1.35 * est
+
+
+class TestReferenceLength:
+    def test_exact_for_tiny(self, small_instance):
+        _, opt = held_karp(small_instance)
+        assert reference_length(small_instance) == pytest.approx(opt)
+
+    def test_heuristic_close_to_optimal_small(self):
+        inst = random_uniform(12, seed=7)
+        _, opt = held_karp(inst)
+        ref = reference_length(inst, max_exact_n=0)  # force heuristic path
+        assert opt <= ref <= 1.12 * opt
+
+    def test_deterministic(self):
+        inst = random_uniform(150, seed=8)
+        assert reference_length(inst, seed=0) == reference_length(inst, seed=0)

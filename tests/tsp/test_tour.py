@@ -1,0 +1,115 @@
+"""Tests for tours."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TourError
+from repro.tsp.generators import random_uniform
+from repro.tsp.tour import Tour, random_tour, tour_length, validate_tour
+
+
+class TestValidateTour:
+    def test_valid(self):
+        arr = validate_tour([2, 0, 1])
+        assert arr.dtype == np.int64
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(TourError, match="permutation"):
+            validate_tour([0, 1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TourError, match="out-of-range"):
+            validate_tour([0, 1, 5])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TourError, match="cities"):
+            validate_tour([0, 1], n=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(TourError, match="1-D"):
+            validate_tour(np.zeros((2, 2), dtype=int))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([], dtype=int))
+
+
+class TestTourLength:
+    def test_unit_square(self):
+        inst = random_uniform(4, seed=0)
+        inst.coords[:] = [[0, 0], [1, 0], [1, 1], [0, 1]]
+        assert tour_length(inst, [0, 1, 2, 3]) == pytest.approx(4.0)
+
+    def test_rotation_invariant(self):
+        inst = random_uniform(10, seed=1)
+        t = random_tour(10, seed=2)
+        rolled = np.roll(t, 3)
+        assert tour_length(inst, t) == pytest.approx(tour_length(inst, rolled))
+
+    def test_reversal_invariant(self):
+        inst = random_uniform(10, seed=1)
+        t = random_tour(10, seed=2)
+        assert tour_length(inst, t) == pytest.approx(tour_length(inst, t[::-1]))
+
+    @given(st.integers(min_value=3, max_value=40), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_length_positive_property(self, n, seed):
+        inst = random_uniform(n, seed=seed)
+        t = random_tour(n, seed=seed + 1)
+        assert tour_length(inst, t) > 0
+
+
+class TestRandomTour:
+    def test_is_permutation(self):
+        t = random_tour(25, seed=3)
+        validate_tour(t, 25)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_tour(10, seed=5), random_tour(10, seed=5))
+
+    def test_rejects_zero(self):
+        with pytest.raises(TourError):
+            random_tour(0)
+
+
+class TestTourClass:
+    def test_length_cached_and_correct(self):
+        inst = random_uniform(12, seed=4)
+        order = random_tour(12, seed=5)
+        t = Tour(inst, order)
+        assert t.length == pytest.approx(tour_length(inst, order))
+        assert len(t) == 12
+
+    def test_order_readonly(self):
+        inst = random_uniform(5, seed=6)
+        t = Tour(inst, [0, 1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            t.order[0] = 3
+
+    def test_ratio(self):
+        inst = random_uniform(5, seed=6)
+        t = Tour(inst, [0, 1, 2, 3, 4])
+        assert t.ratio_to(t.length) == pytest.approx(1.0)
+        with pytest.raises(TourError):
+            t.ratio_to(0.0)
+
+    def test_position_of(self):
+        inst = random_uniform(5, seed=6)
+        t = Tour(inst, [3, 1, 4, 0, 2])
+        assert t.position_of(4) == 2
+
+    def test_legs_cyclic(self):
+        inst = random_uniform(4, seed=7)
+        t = Tour(inst, [0, 1, 2, 3])
+        legs = t.legs()
+        assert legs.shape == (4, 2)
+        assert tuple(legs[-1]) == (3, 0)
+
+    def test_iter(self):
+        inst = random_uniform(3, seed=8)
+        t = Tour(inst, [2, 0, 1])
+        assert list(t) == [2, 0, 1]

@@ -1,0 +1,123 @@
+"""Tests for TSPLIB parsing and writing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPLIBFormatError
+from repro.tsp.generators import random_uniform
+from repro.tsp.tsplib import (
+    load_tsplib,
+    parse_opt_tour,
+    parse_tsplib,
+    write_tsplib,
+)
+
+SAMPLE = """NAME : demo5
+COMMENT : tiny test instance
+TYPE : TSP
+DIMENSION : 5
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 10.0 0.0
+3 10.0 10.0
+4 0.0 10.0
+5 5.0 5.0
+EOF
+"""
+
+SAMPLE_TOUR = """NAME : demo5.opt.tour
+TYPE : TOUR
+DIMENSION : 5
+TOUR_SECTION
+1
+2
+3
+5
+4
+-1
+EOF
+"""
+
+
+class TestParse:
+    def test_roundtrip_fields(self):
+        inst = parse_tsplib(SAMPLE)
+        assert inst.name == "demo5"
+        assert inst.n == 5
+        assert inst.edge_weight_type == "EUC_2D"
+        assert np.allclose(inst.coords[4], [5.0, 5.0])
+
+    def test_integer_distances(self):
+        inst = parse_tsplib(SAMPLE)
+        assert inst.distance(0, 4) == 7.0  # round(7.071)
+
+    def test_missing_dimension(self):
+        bad = SAMPLE.replace("DIMENSION : 5\n", "")
+        with pytest.raises(TSPLIBFormatError, match="DIMENSION"):
+            parse_tsplib(bad)
+
+    def test_wrong_type(self):
+        bad = SAMPLE.replace("TYPE : TSP", "TYPE : HCP")
+        with pytest.raises(TSPLIBFormatError, match="TYPE"):
+            parse_tsplib(bad)
+
+    def test_unsupported_metric(self):
+        bad = SAMPLE.replace("EUC_2D", "GEO")
+        with pytest.raises(TSPLIBFormatError, match="EDGE_WEIGHT_TYPE"):
+            parse_tsplib(bad)
+
+    def test_missing_node(self):
+        bad = SAMPLE.replace("5 5.0 5.0\n", "")
+        with pytest.raises(TSPLIBFormatError, match="missing coordinates"):
+            parse_tsplib(bad)
+
+    def test_duplicate_node(self):
+        bad = SAMPLE.replace("5 5.0 5.0", "4 5.0 5.0")
+        with pytest.raises(TSPLIBFormatError, match="duplicate"):
+            parse_tsplib(bad)
+
+    def test_out_of_range_node(self):
+        bad = SAMPLE.replace("5 5.0 5.0", "9 5.0 5.0")
+        with pytest.raises(TSPLIBFormatError, match="out of range"):
+            parse_tsplib(bad)
+
+    def test_garbage_coordinate(self):
+        bad = SAMPLE.replace("5 5.0 5.0", "5 five five")
+        with pytest.raises(TSPLIBFormatError, match="bad coordinate"):
+            parse_tsplib(bad)
+
+
+class TestOptTour:
+    def test_parse(self):
+        tour = parse_opt_tour(SAMPLE_TOUR, dimension=5)
+        assert tour.tolist() == [0, 1, 2, 4, 3]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(TSPLIBFormatError, match="expected 4"):
+            parse_opt_tour(SAMPLE_TOUR, dimension=4)
+
+    def test_unterminated(self):
+        bad = SAMPLE_TOUR.replace("-1\n", "").replace("EOF\n", "")
+        with pytest.raises(TSPLIBFormatError, match="terminated"):
+            parse_opt_tour(bad)
+
+
+class TestWrite:
+    def test_write_then_parse_roundtrip(self):
+        inst = random_uniform(12, seed=1)
+        buf = io.StringIO()
+        write_tsplib(inst, buf)
+        parsed = parse_tsplib(buf.getvalue())
+        assert parsed.n == 12
+        assert np.allclose(parsed.coords, inst.coords, atol=1e-6)
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "demo.tsp"
+        path.write_text(SAMPLE)
+        inst = load_tsplib(path)
+        assert inst.n == 5

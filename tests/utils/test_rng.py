@@ -1,0 +1,68 @@
+"""Tests for the seeded RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RandomState, spawn_rng
+
+
+class TestSpawnRng:
+    def test_int_seed_is_deterministic(self):
+        a = spawn_rng(7).integers(0, 1000, size=10)
+        b = spawn_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(3)
+        assert spawn_rng(gen) is gen
+
+    def test_none_gives_fresh_entropy(self):
+        # Two unseeded generators almost surely differ.
+        a = spawn_rng(None).integers(0, 2**62)
+        b = spawn_rng(None).integers(0, 2**62)
+        assert isinstance(a, np.int64) or isinstance(a, int)
+        # No equality assertion: they *could* collide; just type-check b.
+        assert b >= 0
+
+
+class TestRandomState:
+    def test_same_name_same_stream(self):
+        a = RandomState(42).child("x").integers(0, 10**9)
+        b = RandomState(42).child("x").integers(0, 10**9)
+        assert a == b
+
+    def test_different_names_different_streams(self):
+        rs = RandomState(42)
+        a = rs.child("x").integers(0, 10**9, size=8)
+        b = rs.child("y").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_order_independent(self):
+        rs1 = RandomState(5)
+        first = rs1.child("a").integers(0, 10**9)
+        rs2 = RandomState(5)
+        rs2.child("b")  # request another child first
+        second = rs2.child("a").integers(0, 10**9)
+        assert first == second
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomState(-1)
+
+    def test_split_is_independent(self):
+        rs = RandomState(9)
+        child = rs.split()
+        assert child.seed != rs.seed
+
+    def test_repr_mentions_seed(self):
+        assert "123" in repr(RandomState(123))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=30))
+    def test_child_deterministic_property(self, seed, name):
+        a = RandomState(seed).child(name).integers(0, 10**9)
+        b = RandomState(seed).child(name).integers(0, 10**9)
+        assert a == b

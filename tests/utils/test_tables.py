@@ -1,0 +1,62 @@
+"""Tests for the ASCII table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+class TestTable:
+    def test_renders_title_and_headers(self):
+        t = Table("My Table", ["a", "b"])
+        t.add_row([1, 2])
+        rendered = t.render()
+        assert "My Table" in rendered
+        assert "a" in rendered and "b" in rendered
+
+    def test_row_length_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("T", [])
+
+    def test_float_formatting(self):
+        t = Table("T", ["x"])
+        t.add_row([1.23456789])
+        assert "1.235" in t.render()
+
+    def test_scientific_for_extremes(self):
+        t = Table("T", ["x"])
+        t.add_row([1.5e13])
+        assert "e+13" in t.render()
+
+    def test_bool_formatting(self):
+        t = Table("T", ["x"])
+        t.add_row([True])
+        assert "yes" in t.render()
+
+    def test_notes_rendered(self):
+        t = Table("T", ["x"])
+        t.add_row([1])
+        t.add_note("hello note")
+        assert "hello note" in t.render()
+
+    def test_alignment(self):
+        t = Table("T", ["name", "v"])
+        t.add_row(["short", 1])
+        t.add_row(["a-much-longer-name", 2])
+        lines = t.render().splitlines()
+        # Both body rows should have the value column aligned.
+        body = [l for l in lines if l.startswith(("short", "a-much"))]
+        assert body[0].index("1") == body[1].index("2")
+
+    def test_rows_property_copies(self):
+        t = Table("T", ["x"])
+        t.add_row([1])
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "1"

@@ -1,0 +1,73 @@
+"""Tests for unit formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.units import (
+    format_area,
+    format_bits,
+    format_bytes,
+    format_energy,
+    format_power,
+    format_time,
+)
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.5, "1.50 s"),
+            (44e-6, "44.00 us"),
+            (3.2e-3, "3.20 ms"),
+            (2e-9, "2.00 ns"),
+            (0.0, "0 s"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_time(value) == expected
+
+    def test_sub_picosecond_clamps_to_ps(self):
+        assert format_time(1e-15).endswith("ps")
+
+
+class TestFormatEnergy:
+    def test_nanojoule(self):
+        assert format_energy(3.4e-9) == "3.40 nJ"
+
+    def test_femtojoule(self):
+        assert format_energy(20e-15) == "20.00 fJ"
+
+
+class TestFormatPower:
+    def test_milliwatt(self):
+        assert format_power(0.433) == "433.00 mW"
+
+    def test_nanowatt(self):
+        assert format_power(9.3e-9) == "9.30 nW"
+
+
+class TestFormatArea:
+    def test_mm2(self):
+        assert format_area(43.7e-6) == "43.70 mm^2"
+
+    def test_um2(self):
+        assert format_area(0.94e-12) == "0.94 um^2"
+
+
+class TestFormatBytesBits:
+    def test_kb_decimal(self):
+        assert format_bytes(48_600) == "48.6 kB"
+
+    def test_mb(self):
+        assert format_bytes(5_800_000) == "5.8 MB"
+
+    def test_plain_bytes(self):
+        assert format_bytes(12) == "12 B"
+
+    def test_mbits(self):
+        assert format_bits(46.4e6) == "46.4 Mb"
+
+    def test_bits(self):
+        assert format_bits(5) == "5 b"

@@ -1,0 +1,50 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import check_in_range, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative_even_non_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("v", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("v", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("v", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_above_high_rejected(self):
+        with pytest.raises(ValueError, match="v must be <= 1"):
+            check_in_range("v", 1.5, 0.0, 1.0)
+
+    def test_open_ended(self):
+        assert check_in_range("v", 1e9, low=0.0) == 1e9
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
