@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full bench-json examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,10 @@ bench:
 # Full-size experiments (hours of host time for the quality sweeps).
 bench-full:
 	REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+
+# Refresh the machine-readable BENCH_ensemble.json throughput artifact.
+bench-json:
+	pytest benchmarks/test_ext_ensemble_throughput.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

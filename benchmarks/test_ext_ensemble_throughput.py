@@ -1,0 +1,113 @@
+"""Extension — ensemble runtime throughput (serial vs process pool).
+
+The ROADMAP north-star is a high-throughput solving service, and the
+multi-replica throughput of an annealer ensemble is the headline metric
+of related studies (TAXI, arXiv:2504.13294).  This bench drives
+:func:`repro.annealer.batch.solve_ensemble` over the same seed set
+serially and through the :class:`repro.runtime.EnsembleExecutor`
+process pool, asserts the two paths are bit-identical, and writes the
+machine-readable ``BENCH_ensemble.json`` artifact at the repo root —
+per-run telemetry (wall time, trials proposed/accepted, write-backs,
+chip MAC counters) plus the serial/parallel throughput comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig
+from repro.annealer.batch import solve_ensemble
+from repro.tsp.generators import random_clustered
+from repro.utils.tables import Table
+
+#: Machine-readable artifact refreshed by ``make bench-json``.
+BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_ensemble.json"
+
+N_SEEDS = 8
+
+
+def _workers() -> int:
+    """Pool width for the parallel leg (env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw:
+        return max(2, int(raw))
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+@pytest.mark.benchmark(group="ext-ensemble-throughput")
+def test_ensemble_throughput_serial_vs_parallel(benchmark):
+    scale = bench_scale()
+    n = max(80, int(3038 * scale * 0.1))
+    inst = random_clustered(n, n_clusters=max(4, n // 25), seed=bench_seed())
+    seeds = list(range(300, 300 + N_SEEDS))
+    cfg = AnnealerConfig()
+    workers = _workers()
+
+    serial = solve_ensemble(inst, seeds, config=cfg, max_workers=1)
+
+    def run_parallel():
+        return solve_ensemble(inst, seeds, config=cfg, max_workers=workers)
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    # Determinism: the pool changes wall-clock, never results.
+    assert [r.length for r in parallel.results] == [
+        r.length for r in serial.results
+    ]
+    assert all(
+        np.array_equal(a.tour, b.tour)
+        for a, b in zip(parallel.results, serial.results)
+    )
+
+    st, pt = serial.telemetry, parallel.telemetry
+    table = Table(
+        f"Ensemble throughput — {N_SEEDS} seeds, N = {n} "
+        f"(host cores: {os.cpu_count()})",
+        ["path", "workers", "wall (s)", "runs/s", "speedup vs serial"],
+    )
+    table.add_row(
+        ["serial", 1, f"{st.wall_time_s:.2f}",
+         f"{st.throughput_runs_per_s:.2f}", "1.00x"],
+    )
+    table.add_row(
+        [pt.mode, workers, f"{pt.wall_time_s:.2f}",
+         f"{pt.throughput_runs_per_s:.2f}",
+         f"{st.wall_time_s / max(pt.wall_time_s, 1e-9):.2f}x"],
+    )
+    table.add_note("bit-identical results; speedup needs a multi-core host")
+    save_and_print(table, "ext_ensemble_throughput")
+
+    payload = {
+        "schema": "repro.bench_ensemble/v1",
+        "instance": {"name": inst.name, "n": inst.n},
+        "n_seeds": N_SEEDS,
+        "seeds": seeds,
+        "host_cpus": os.cpu_count(),
+        "scale": scale,
+        "serial": st.to_dict(),
+        "parallel": pt.to_dict(),
+        "speedup": st.wall_time_s / max(pt.wall_time_s, 1e-9),
+    }
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[saved to {BENCH_JSON_PATH}]")
+
+    # The artifact must be valid, complete, per-run telemetry.
+    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    for leg in ("serial", "parallel"):
+        runs = reread[leg]["runs"]
+        assert len(runs) == N_SEEDS
+        for run in runs:
+            assert run["ok"]
+            assert run["wall_time_s"] > 0
+            assert run["trials_proposed"] >= run["trials_accepted"] >= 0
+            assert run["writeback_events"] > 0
+            assert run["mac_cycles"] > 0
+    assert pt.total_trials_proposed == st.total_trials_proposed

@@ -23,6 +23,7 @@ Package layout
 * :mod:`repro.sram` — noisy SRAM cells, Monte-Carlo error curves;
 * :mod:`repro.cim` — digital CIM windows, arrays, adder trees;
 * :mod:`repro.annealer` — the clustered CIM annealer (core);
+* :mod:`repro.runtime` — parallel ensemble executor + telemetry;
 * :mod:`repro.hardware` — area / latency / energy models, Table III;
 * :mod:`repro.analysis` — capacity laws, sweeps, speedup accounting.
 """
@@ -31,9 +32,12 @@ from repro.annealer import (
     AnnealerConfig,
     AnnealResult,
     ClusteredCIMAnnealer,
+    EnsembleResult,
     NoiseSource,
     NoiseTarget,
+    solve_ensemble,
 )
+from repro.runtime import EnsembleExecutor, EnsembleTelemetry, RunTelemetry
 from repro.clustering import (
     ArbitraryStrategy,
     FixedSizeStrategy,
@@ -74,6 +78,12 @@ __all__ = [
     "NoiseTarget",
     "VddSchedule",
     "SRAMCellParams",
+    # ensemble runtime
+    "solve_ensemble",
+    "EnsembleResult",
+    "EnsembleExecutor",
+    "EnsembleTelemetry",
+    "RunTelemetry",
     # strategies
     "ArbitraryStrategy",
     "FixedSizeStrategy",

@@ -2,21 +2,29 @@
 
 Annealer results are stochastic, so credible quality numbers come from
 seed ensembles.  :func:`solve_ensemble` runs the clustered CIM annealer
-across seeds and returns per-seed results plus
-:class:`repro.analysis.quality.QualityStats` on the optimal ratios —
-the exact aggregation the benchmark suite and EXPERIMENTS.md report.
+across seeds — serially or fanned out over a process pool via
+:class:`repro.runtime.EnsembleExecutor` — and returns per-seed results,
+:class:`repro.analysis.quality.QualityStats` on the optimal ratios, and
+structured :class:`repro.runtime.EnsembleTelemetry` (per-run wall
+times, trial counters, write-backs, chip MAC counters) — the exact
+aggregation the benchmark suite and EXPERIMENTS.md report.
+
+Parallel runs are **bit-identical** to serial ones: each run is fully
+determined by its seed and results are reassembled in seed order, so
+``max_workers`` only changes wall-clock, never tours or lengths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.quality import QualityStats, summarize
 from repro.annealer.config import AnnealerConfig
-from repro.annealer.hierarchical import ClusteredCIMAnnealer
 from repro.annealer.result import AnnealResult
 from repro.errors import AnnealerError
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.telemetry import EnsembleTelemetry
 from repro.tsp.instance import TSPInstance
 from repro.tsp.reference import reference_length
 
@@ -29,20 +37,29 @@ class EnsembleResult:
     reference: float
     results: List[AnnealResult] = field(default_factory=list)
     ratio_stats: Optional[QualityStats] = None
+    telemetry: Optional[EnsembleTelemetry] = None
 
     @property
     def ratios(self) -> List[float]:
         """Optimal ratio of every run."""
+        if not self.results:
+            raise AnnealerError(
+                "ensemble has no successful runs; no ratios to report"
+            )
         return [r.optimal_ratio(self.reference) for r in self.results]
 
     @property
     def best(self) -> AnnealResult:
         """The shortest-tour run."""
+        if not self.results:
+            raise AnnealerError(
+                "ensemble has no successful runs; no best result"
+            )
         return min(self.results, key=lambda r: r.length)
 
     @property
     def n_runs(self) -> int:
-        """Ensemble size."""
+        """Ensemble size (successful runs)."""
         return len(self.results)
 
 
@@ -51,6 +68,9 @@ def solve_ensemble(
     seeds: Sequence[int],
     config: Optional[AnnealerConfig] = None,
     reference: Optional[float] = None,
+    max_workers: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
 ) -> EnsembleResult:
     """Solve ``instance`` once per seed and aggregate the quality.
 
@@ -60,22 +80,53 @@ def solve_ensemble(
         The problem.
     seeds:
         Seeds; each produces an independent fabrication + anneal.
+        Duplicates are rejected — they would silently skew
+        ``ratio_stats`` with correlated runs.
     config:
         Base configuration; its ``seed`` field is replaced per run.
     reference:
         Reference length for ratios (computed if omitted).
+    max_workers:
+        Worker processes for the ensemble; ``1`` (default, the historic
+        behaviour) runs serially in-process.  Results are bit-identical
+        either way.
+    timeout_s:
+        Optional per-run wall-clock budget in pool mode.
+    max_retries:
+        Extra in-process attempts for a failed or timed-out run.
     """
+    seeds = [int(s) for s in seeds]
     if not seeds:
         raise AnnealerError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        dupes = sorted({s for s in seeds if seeds.count(s) > 1})
+        raise AnnealerError(
+            f"duplicate seeds {dupes} would skew ratio_stats; "
+            "pass distinct seeds"
+        )
     base = config or AnnealerConfig()
     if reference is None:
         reference = reference_length(instance, seed=int(seeds[0]))
 
-    results: List[AnnealResult] = []
-    for seed in seeds:
-        cfg = replace(base, seed=int(seed))
-        results.append(ClusteredCIMAnnealer(cfg).solve(instance))
+    executor = EnsembleExecutor(
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+    )
+    results, telemetry = executor.run(
+        instance, seeds, config=base, reference=reference
+    )
+    if not results:
+        raise AnnealerError(
+            f"all {len(seeds)} ensemble runs failed; "
+            f"first error: {telemetry.runs[0].error}"
+        )
 
-    out = EnsembleResult(instance=instance, reference=reference, results=results)
+    out = EnsembleResult(
+        instance=instance,
+        reference=reference,
+        results=results,
+        telemetry=telemetry,
+    )
     out.ratio_stats = summarize(out.ratios, seed=int(seeds[0]))
     return out

@@ -15,6 +15,7 @@ paper's update schedule:
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.annealer.engine import ClusterLevelEngine
@@ -41,6 +42,7 @@ def solve_level(
     """Anneal one hierarchy level in place; return its report."""
     if trace_every < 1:
         raise AnnealerError(f"trace_every must be >= 1, got {trace_every}")
+    start = time.perf_counter()
     controller = WritebackController(schedule=schedule)
     objective_before = engine.objective()
     proposed = accepted = 0
@@ -101,4 +103,5 @@ def solve_level(
         swaps_accepted=accepted,
         objective_before=objective_before,
         objective_after=objective_after,
+        wall_time_s=time.perf_counter() - start,
     )

@@ -32,6 +32,7 @@ from repro.annealer.config import NoiseSource, NoiseTarget
 from repro.cim.quantize import WeightQuantizer
 from repro.errors import AnnealerError
 from repro.ising.gibbs import cycle_groups
+from repro.ising.numerics import boltzmann_accept_probability
 from repro.sram.cell import SRAMCellParams
 from repro.sram.errormodel import ErrorRateModel
 from repro.utils.rng import RandomState
@@ -406,7 +407,9 @@ class ClusterLevelEngine:
             u = self._rs.child(
                 f"metropolis/{self.trials_proposed}"
             ).random(cs.size)
-            accept = (delta < 0) | (u < np.exp(-np.maximum(delta, 0.0) / amp))
+            accept = (delta < 0) | (
+                u < boltzmann_accept_probability(delta, amp)
+            )
         else:
             accept = delta < 0
         acc = cs[accept]

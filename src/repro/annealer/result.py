@@ -27,6 +27,7 @@ class LevelReport:
     swaps_accepted: int
     objective_before: float
     objective_after: float
+    wall_time_s: float = 0.0
 
     @property
     def acceptance_rate(self) -> float:

@@ -4,7 +4,10 @@ Installs as ``repro`` (console script) and also runs as
 ``python -m repro.cli``.  Subcommands:
 
 * ``solve``     — solve a TSP (synthetic family or a TSPLIB file) with
-  the clustered CIM annealer and report quality + hardware cost;
+  the clustered CIM annealer and report quality + hardware cost; with
+  ``--ensemble K`` runs a multi-seed ensemble (optionally fanned out
+  over ``--workers`` processes) and ``--telemetry-out`` exports the
+  per-run telemetry JSON;
 * ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
 * ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
 * ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
@@ -16,6 +19,8 @@ Examples
 
     repro solve --family rl --n 1000 --strategy 1/2/3 --seed 7 --ppa
     repro solve --tsplib pcb3038.tsp
+    repro solve --family rl --n 1000 --ensemble 8 --workers 4 \
+                --telemetry-out telemetry.json
     repro capacity --sizes 1000 10000 85900
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
@@ -66,6 +71,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument(
         "--svg", metavar="FILE", help="render the tour to an SVG file"
+    )
+    p_solve.add_argument(
+        "--ensemble", type=int, default=0, metavar="K",
+        help="solve a K-seed ensemble (seeds SEED..SEED+K-1) and report "
+        "aggregate quality instead of a single run",
+    )
+    p_solve.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="worker processes for the ensemble (1 = serial)",
+    )
+    p_solve.add_argument(
+        "--telemetry-out", metavar="FILE",
+        help="write per-run ensemble telemetry to FILE as JSON",
     )
 
     p_cap = sub.add_parser("capacity", help="Fig. 1 capacity table")
@@ -118,6 +136,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     print(f"instance : {instance}")
     cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
+    if args.ensemble > 0 or args.workers > 1 or args.telemetry_out:
+        return _solve_ensemble(instance, cfg, args)
     result = ClusteredCIMAnnealer(cfg).solve(instance)
     print(
         f"solution : length={result.length:.1f}  levels={result.n_levels}  "
@@ -149,6 +169,48 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from repro.tsp.svg import save_tour_svg
 
         save_tour_svg(instance, args.svg, tour=result.tour)
+        print(f"tour SVG : {args.svg}")
+    return 0
+
+
+def _solve_ensemble(instance, cfg, args: argparse.Namespace) -> int:
+    """Ensemble branch of ``solve``: multi-seed run + telemetry export."""
+    from pathlib import Path
+
+    from repro.annealer.batch import solve_ensemble
+
+    if args.telemetry_out:
+        # Fail before the (possibly long) solve, not after it.
+        parent = Path(args.telemetry_out).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: telemetry output directory {parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+
+    n_seeds = max(1, args.ensemble)
+    seeds = list(range(args.seed, args.seed + n_seeds))
+    out = solve_ensemble(instance, seeds, config=cfg, max_workers=args.workers)
+    tel = out.telemetry
+    print(
+        f"ensemble : {out.n_runs} runs  best={out.best.length:.1f}  "
+        f"mode={tel.mode}  workers={tel.max_workers}  "
+        f"wall={tel.wall_time_s:.1f}s  "
+        f"throughput={tel.throughput_runs_per_s:.2f} runs/s"
+    )
+    s = out.ratio_stats
+    print(
+        f"quality  : ratio mean={s.mean:.3f}  "
+        f"min={s.minimum:.3f}  max={s.maximum:.3f}"
+    )
+    if args.telemetry_out:
+        tel.save(args.telemetry_out)
+        print(f"telemetry: {args.telemetry_out}")
+    if args.svg:
+        from repro.tsp.svg import save_tour_svg
+
+        save_tour_svg(instance, args.svg, tour=out.best.tour)
         print(f"tour SVG : {args.svg}")
     return 0
 

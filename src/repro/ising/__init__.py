@@ -22,6 +22,7 @@ from repro.ising.tempering import (
     parallel_tempering_tsp,
 )
 from repro.ising.model import IsingModel
+from repro.ising.numerics import boltzmann_accept_probability, stable_sigmoid
 from repro.ising.pbm import PermutationState, swap_delta_energy
 from repro.ising.schedule import (
     GeometricTemperatureSchedule,
@@ -46,6 +47,8 @@ __all__ = [
     "swap_delta_energy",
     "gibbs_sweep",
     "chromatic_groups",
+    "stable_sigmoid",
+    "boltzmann_accept_probability",
     "GeometricTemperatureSchedule",
     "LinearTemperatureSchedule",
     "VddSchedule",

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import IsingError
 from repro.ising.model import IsingModel
+from repro.ising.numerics import stable_sigmoid
 from repro.utils.rng import SeedLike, spawn_rng
 
 
@@ -106,7 +107,9 @@ def gibbs_sweep(
         if temperature == 0:
             take_up = gap > 0 or (gap == 0 and rng.random() < 0.5)
         else:
-            p_up = 1.0 / (1.0 + np.exp(-gap / temperature))
+            # Stable sigmoid: naive 1/(1+exp(-gap/T)) overflows for
+            # large |gap| or tiny T.
+            p_up = stable_sigmoid(gap / temperature)
             take_up = rng.random() < p_up
         if model.convention == "pm1":
             s[i] = 1.0 if take_up else -1.0

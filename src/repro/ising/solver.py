@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.ising.numerics import boltzmann_accept_probability
 from repro.ising.pbm import PermutationState, swap_delta_energy
 from repro.ising.schedule import GeometricTemperatureSchedule
 from repro.tsp.instance import TSPInstance
@@ -91,6 +92,10 @@ def solve_tsp_ising(
     for sweep in range(n_sweeps):
         temp = 0.0 if greedy else schedule.temperature(sweep)
         if record_every and sweep % record_every == 0:
+            # The incrementally-accumulated ``length`` carries float
+            # drift; recompute the exact tour length at every recorded
+            # point (and resync the accumulator) so traces are exact.
+            length = tour_length(instance, state.order)
             trace.append((sweep, length))
         for _ in range(n):
             i, j = rng.integers(0, n, size=2)
@@ -99,7 +104,8 @@ def solve_tsp_ising(
             proposed += 1
             delta = swap_delta_energy(state, int(i), int(j), dist)
             if delta <= 0 or (
-                temp > 0 and rng.random() < np.exp(-delta / temp)
+                temp > 0
+                and rng.random() < boltzmann_accept_probability(delta, temp)
             ):
                 state.swap_positions(int(i), int(j))
                 length += delta

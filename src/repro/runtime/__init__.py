@@ -1,0 +1,27 @@
+"""Parallel ensemble runtime.
+
+The scaling spine of the reproduction: everything that turns one
+deterministic :class:`~repro.annealer.hierarchical.ClusteredCIMAnnealer`
+solve into an instrumented many-seed workload lives here.
+
+* :class:`EnsembleExecutor` — process-pool fan-out with chunked seed
+  dispatch, per-run timeout + bounded retry, failure isolation, and
+  deterministic (seed-ordered, serial-identical) results;
+* :class:`RunTelemetry` / :class:`EnsembleTelemetry` — structured,
+  JSON-serialisable per-run and aggregate instrumentation (wall times,
+  per-level solve times, trial counters, write-backs, chip MAC/energy
+  counters).
+
+:func:`repro.annealer.batch.solve_ensemble` is the high-level entry
+point; use the executor directly when you need raw results without the
+quality statistics.
+"""
+
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
+
+__all__ = [
+    "EnsembleExecutor",
+    "EnsembleTelemetry",
+    "RunTelemetry",
+]

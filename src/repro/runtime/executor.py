@@ -1,0 +1,274 @@
+"""Process-pool ensemble executor.
+
+Fans :meth:`repro.annealer.hierarchical.ClusteredCIMAnnealer.solve`
+out across worker processes, one run per seed:
+
+* **Deterministic ordering** — results come back keyed by seed and are
+  reassembled in the caller's seed order, so the output is bit-identical
+  to the serial path no matter which worker finishes first (each run is
+  fully determined by its seed).
+* **Chunked dispatch** — seeds are submitted in bounded waves
+  (``chunk_size``, default ``2 × max_workers``) so a 10 000-seed
+  ensemble never materialises 10 000 pickled instances at once.
+* **Failure isolation** — a run that raises or exceeds ``timeout_s``
+  is retried (in-process, up to ``max_retries`` extra attempts) without
+  disturbing its siblings; terminal failures surface as structured
+  :class:`~repro.runtime.telemetry.RunTelemetry` records with
+  ``ok=False`` instead of poisoning the whole ensemble, unless
+  ``strict`` asks for an :class:`~repro.errors.AnnealerError`.
+* **Graceful degradation** — ``max_workers=1``, a missing
+  ``concurrent.futures`` pool, or a broken pool (e.g. a sandbox that
+  forbids ``fork``) all fall back to the plain serial loop; callers
+  never have to care.
+
+The executor is deliberately solver-agnostic about aggregation: it
+returns the ordered :class:`~repro.annealer.result.AnnealResult` list
+plus an :class:`~repro.runtime.telemetry.EnsembleTelemetry`;
+:func:`repro.annealer.batch.solve_ensemble` layers the quality
+statistics on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnnealerError
+from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
+
+if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
+    from repro.annealer.config import AnnealerConfig
+    from repro.annealer.result import AnnealResult
+    from repro.tsp.instance import TSPInstance
+
+
+def _solve_one(
+    instance: TSPInstance, config: AnnealerConfig, seed: int
+) -> AnnealResult:
+    """Worker entry point: one full solve for one seed.
+
+    Module-level (not a closure) so it pickles into pool workers.
+    """
+    # Imported here so a worker process only pays for what it uses.
+    from repro.annealer.hierarchical import ClusteredCIMAnnealer
+
+    cfg = replace(config, seed=int(seed))
+    return ClusteredCIMAnnealer(cfg).solve(instance)
+
+
+@dataclass
+class EnsembleExecutor:
+    """Configurable parallel runner for seed ensembles.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``1`` (default) runs serially in-process.
+    timeout_s:
+        Per-run wall-clock budget in pool mode (None = unbounded).  A
+        timed-out run is retried in-process; the stuck worker slot is
+        reclaimed when its task eventually finishes or the pool closes.
+    max_retries:
+        Extra attempts for a failed/timed-out run (0 = fail fast).
+        Retries run in-process, isolating them from pool flakiness.
+    chunk_size:
+        Seeds submitted per dispatch wave (None = ``2 × max_workers``).
+    strict:
+        If True, a run that exhausts its retries raises
+        :class:`AnnealerError`; if False (default) it is reported in
+        the telemetry with ``ok=False`` and skipped in the results.
+    """
+
+    max_workers: int = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+    chunk_size: Optional[int] = None
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise AnnealerError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.max_retries < 0:
+            raise AnnealerError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise AnnealerError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise AnnealerError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        instance: TSPInstance,
+        seeds: Sequence[int],
+        config: Optional[AnnealerConfig] = None,
+        reference: Optional[float] = None,
+    ) -> Tuple[List[AnnealResult], EnsembleTelemetry]:
+        """Solve ``instance`` once per seed.
+
+        Returns the successful results **in input-seed order** plus the
+        full telemetry (which also lists failed runs).
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise AnnealerError("need at least one seed")
+        if len(set(seeds)) != len(seeds):
+            dupes = sorted({s for s in seeds if seeds.count(s) > 1})
+            raise AnnealerError(
+                f"duplicate seeds {dupes} would skew ensemble statistics; "
+                "pass distinct seeds"
+            )
+        if config is None:
+            from repro.annealer.config import AnnealerConfig
+
+            config = AnnealerConfig()
+
+        start = time.perf_counter()
+        if self.max_workers == 1:
+            by_seed, mode = self._run_serial(instance, seeds, config, reference)
+        else:
+            by_seed, mode = self._run_pool(instance, seeds, config, reference)
+        wall = time.perf_counter() - start
+
+        telemetry = EnsembleTelemetry(
+            runs=[by_seed[s][1] for s in seeds],
+            max_workers=self.max_workers,
+            mode=mode,
+            wall_time_s=wall,
+        )
+        results = [by_seed[s][0] for s in seeds if by_seed[s][0] is not None]
+        return results, telemetry
+
+    # ------------------------------------------------------------------
+    def _attempt_serial(
+        self,
+        instance: TSPInstance,
+        seed: int,
+        config: AnnealerConfig,
+        reference: Optional[float],
+        first_error: Optional[BaseException] = None,
+        attempts_used: int = 0,
+    ) -> Tuple[Optional[AnnealResult], RunTelemetry]:
+        """Run one seed in-process with the retry budget that is left."""
+        error = first_error
+        attempt = attempts_used
+        while attempt <= self.max_retries:
+            try:
+                result = _solve_one(instance, config, seed)
+                return result, RunTelemetry.from_result(
+                    seed, result, reference, retries=attempt, worker="serial"
+                )
+            except AnnealerError:
+                raise  # configuration errors are not transient: fail loud
+            except Exception as exc:  # noqa: BLE001 — isolate worker faults
+                error = exc
+                attempt += 1
+        if self.strict:
+            raise AnnealerError(
+                f"run for seed {seed} failed after "
+                f"{self.max_retries + 1} attempts: {error!r}"
+            )
+        return None, RunTelemetry.from_failure(
+            seed, error or RuntimeError("unknown failure"), retries=attempt
+        )
+
+    def _run_serial(
+        self,
+        instance: TSPInstance,
+        seeds: List[int],
+        config: AnnealerConfig,
+        reference: Optional[float],
+        mode: str = "serial",
+    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
+        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        for seed in seeds:
+            by_seed[seed] = self._attempt_serial(
+                instance, seed, config, reference
+            )
+        return by_seed, mode
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self,
+        instance: TSPInstance,
+        seeds: List[int],
+        config: AnnealerConfig,
+        reference: Optional[float],
+    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
+        try:
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                TimeoutError as FuturesTimeout,
+            )
+
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        except Exception:  # pool unavailable (sandbox, no fork, ...)
+            return self._run_serial(
+                instance, seeds, config, reference, mode="serial-fallback"
+            )
+
+        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        chunk = self.chunk_size or max(1, 2 * self.max_workers)
+        degraded = False
+        try:
+            for lo in range(0, len(seeds), chunk):
+                wave = seeds[lo : lo + chunk]
+                if degraded:
+                    for seed in wave:
+                        by_seed[seed] = self._attempt_serial(
+                            instance, seed, config, reference
+                        )
+                    continue
+                futures = {
+                    seed: pool.submit(_solve_one, instance, config, seed)
+                    for seed in wave
+                }
+                for seed, fut in futures.items():
+                    try:
+                        result = fut.result(timeout=self.timeout_s)
+                        by_seed[seed] = (
+                            result,
+                            RunTelemetry.from_result(
+                                seed, result, reference, worker="pool"
+                            ),
+                        )
+                    except FuturesTimeout:
+                        fut.cancel()
+                        by_seed[seed] = self._attempt_serial(
+                            instance,
+                            seed,
+                            config,
+                            reference,
+                            first_error=TimeoutError(
+                                f"run exceeded {self.timeout_s}s in pool"
+                            ),
+                            attempts_used=1,
+                        )
+                    except AnnealerError:
+                        raise
+                    except Exception as exc:  # worker crash / broken pool
+                        from concurrent.futures.process import (
+                            BrokenProcessPool,
+                        )
+
+                        if isinstance(exc, BrokenProcessPool):
+                            degraded = True
+                        by_seed[seed] = self._attempt_serial(
+                            instance,
+                            seed,
+                            config,
+                            reference,
+                            first_error=exc,
+                            attempts_used=1,
+                        )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return by_seed, "serial-fallback" if degraded else "parallel"

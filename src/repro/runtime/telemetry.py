@@ -1,0 +1,206 @@
+"""Structured per-run and per-ensemble telemetry.
+
+The ensemble runtime (:mod:`repro.runtime.executor`) produces one
+:class:`RunTelemetry` record per seed — wall time, per-level solve
+times, trial counters, write-back counts, and the chip MAC/energy
+counters — and aggregates them into an :class:`EnsembleTelemetry`
+summary.  Both are plain dataclasses of JSON-native values so they can
+be serialised (``to_dict`` / ``to_json``) and shipped to dashboards or
+the ``BENCH_ensemble.json`` artifact without any custom encoders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import AnnealerError
+
+if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
+    from repro.annealer.result import AnnealResult
+
+
+@dataclass
+class RunTelemetry:
+    """Everything observable about one ensemble run.
+
+    Attributes
+    ----------
+    seed:
+        The run's seed (also its identity inside the ensemble).
+    ok:
+        False when the run failed and exhausted its retries; all other
+        fields except ``error`` are then zero/empty.
+    wall_time_s:
+        Host wall-clock of the solve (includes scheduling overhead in
+        the worker, excludes queue wait).
+    length, optimal_ratio:
+        Solution quality (ratio is 0.0 when no reference was available).
+    level_times_s:
+        Per-level solve wall times, in solve order (top level first).
+    trials_proposed, trials_accepted:
+        Swap trials summed over all hierarchy levels.
+    writeback_events, mac_cycles, macs_performed, weight_bits_written:
+        Chip hardware-event counters for the run.
+    retries:
+        How many extra attempts this run needed (0 = first try).
+    worker:
+        ``"pool"`` when solved in a pool worker, ``"serial"`` when
+        solved in-process (serial path or retry fallback).
+    error:
+        Repr of the terminal failure, empty on success.
+    """
+
+    seed: int
+    ok: bool = True
+    wall_time_s: float = 0.0
+    length: float = 0.0
+    optimal_ratio: float = 0.0
+    level_times_s: List[float] = field(default_factory=list)
+    trials_proposed: int = 0
+    trials_accepted: int = 0
+    writeback_events: int = 0
+    mac_cycles: int = 0
+    macs_performed: int = 0
+    weight_bits_written: int = 0
+    retries: int = 0
+    worker: str = "serial"
+    error: str = ""
+
+    @classmethod
+    def from_result(
+        cls,
+        seed: int,
+        result: AnnealResult,
+        reference: Optional[float] = None,
+        retries: int = 0,
+        worker: str = "serial",
+    ) -> "RunTelemetry":
+        """Extract the telemetry of a completed solve."""
+        chip = result.chip
+        return cls(
+            seed=int(seed),
+            ok=True,
+            wall_time_s=float(result.wall_time_s),
+            length=float(result.length),
+            optimal_ratio=(
+                float(result.optimal_ratio(reference)) if reference else 0.0
+            ),
+            level_times_s=[float(lv.wall_time_s) for lv in result.levels],
+            trials_proposed=sum(lv.swaps_proposed for lv in result.levels),
+            trials_accepted=sum(lv.swaps_accepted for lv in result.levels),
+            writeback_events=int(chip.writeback_events) if chip else 0,
+            mac_cycles=int(chip.mac_cycles) if chip else 0,
+            macs_performed=int(chip.macs_performed) if chip else 0,
+            weight_bits_written=int(chip.weight_bits_written) if chip else 0,
+            retries=int(retries),
+            worker=worker,
+        )
+
+    @classmethod
+    def from_failure(
+        cls, seed: int, error: BaseException, retries: int = 0
+    ) -> "RunTelemetry":
+        """Record a run that exhausted its retries."""
+        return cls(
+            seed=int(seed), ok=False, retries=int(retries), error=repr(error)
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-native dict view."""
+        return asdict(self)
+
+
+@dataclass
+class EnsembleTelemetry:
+    """Aggregated telemetry of one ensemble invocation.
+
+    ``wall_time_s`` is the end-to-end ensemble wall-clock (what a user
+    waits for); ``total_run_time_s`` sums the individual runs' solve
+    times — their ratio is the effective parallel speedup.
+    """
+
+    runs: List[RunTelemetry] = field(default_factory=list)
+    max_workers: int = 1
+    mode: str = "serial"
+    wall_time_s: float = 0.0
+
+    @property
+    def n_runs(self) -> int:
+        """Total runs, including failed ones."""
+        return len(self.runs)
+
+    @property
+    def n_failed(self) -> int:
+        """Runs that exhausted their retries."""
+        return sum(1 for r in self.runs if not r.ok)
+
+    @property
+    def total_run_time_s(self) -> float:
+        """Sum of the per-run solve wall times."""
+        return float(sum(r.wall_time_s for r in self.runs))
+
+    @property
+    def throughput_runs_per_s(self) -> float:
+        """Completed runs per second of ensemble wall-clock."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return (self.n_runs - self.n_failed) / self.wall_time_s
+
+    @property
+    def parallel_speedup(self) -> float:
+        """``total_run_time_s / wall_time_s`` — 1.0 means no overlap."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_run_time_s / self.wall_time_s
+
+    @property
+    def total_trials_proposed(self) -> int:
+        """Swap trials proposed across all runs."""
+        return sum(r.trials_proposed for r in self.runs)
+
+    @property
+    def total_trials_accepted(self) -> int:
+        """Swap trials accepted across all runs."""
+        return sum(r.trials_accepted for r in self.runs)
+
+    def to_dict(self) -> Dict:
+        """JSON-native dict view (runs plus the derived aggregates)."""
+        return {
+            "schema": "repro.ensemble_telemetry/v1",
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "n_runs": self.n_runs,
+            "n_failed": self.n_failed,
+            "wall_time_s": self.wall_time_s,
+            "total_run_time_s": self.total_run_time_s,
+            "throughput_runs_per_s": self.throughput_runs_per_s,
+            "parallel_speedup": self.parallel_speedup,
+            "total_trials_proposed": self.total_trials_proposed,
+            "total_trials_accepted": self.total_trials_accepted,
+            "runs": [r.to_dict() for r in self.runs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path) -> None:
+        """Write the JSON document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EnsembleTelemetry":
+        """Rebuild from a ``to_dict`` payload (derived fields ignored)."""
+        if "runs" not in data:
+            raise AnnealerError("telemetry payload has no 'runs' list")
+        runs = [RunTelemetry(**r) for r in data["runs"]]
+        return cls(
+            runs=runs,
+            max_workers=int(data.get("max_workers", 1)),
+            mode=str(data.get("mode", "serial")),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )

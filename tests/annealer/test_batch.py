@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.annealer.batch import solve_ensemble
+from repro.annealer.batch import EnsembleResult, solve_ensemble
 from repro.annealer.config import AnnealerConfig
 from repro.errors import AnnealerError
 from repro.tsp.generators import random_clustered
@@ -50,3 +50,45 @@ class TestSolveEnsemble:
     def test_empty_seeds_rejected(self, instance):
         with pytest.raises(AnnealerError):
             solve_ensemble(instance, seeds=[])
+
+    def test_duplicate_seeds_rejected(self, instance):
+        with pytest.raises(AnnealerError, match="duplicate seeds"):
+            solve_ensemble(instance, seeds=[1, 2, 2, 3])
+
+    def test_telemetry_attached(self, instance):
+        out = solve_ensemble(instance, seeds=[14, 15])
+        tel = out.telemetry
+        assert tel is not None and tel.n_runs == 2
+        assert tel.mode == "serial" and tel.max_workers == 1
+        assert all(r.ok for r in tel.runs)
+        assert all(r.trials_proposed > 0 for r in tel.runs)
+        assert all(r.optimal_ratio > 0 for r in tel.runs)
+
+    def test_parallel_matches_serial(self, instance):
+        seeds = [21, 22, 23]
+        serial = solve_ensemble(instance, seeds=seeds, max_workers=1)
+        parallel = solve_ensemble(instance, seeds=seeds, max_workers=2)
+        assert [r.length for r in serial.results] == [
+            r.length for r in parallel.results
+        ]
+        assert all(
+            np.array_equal(a.tour, b.tour)
+            for a, b in zip(serial.results, parallel.results)
+        )
+        assert serial.ratio_stats.mean == parallel.ratio_stats.mean
+        assert parallel.telemetry.max_workers == 2
+
+
+class TestEmptyEnsembleGuards:
+    def test_best_on_empty_raises(self, instance):
+        empty = EnsembleResult(instance=instance, reference=100.0)
+        with pytest.raises(AnnealerError, match="no successful runs"):
+            empty.best
+
+    def test_ratios_on_empty_raises(self, instance):
+        empty = EnsembleResult(instance=instance, reference=100.0)
+        with pytest.raises(AnnealerError, match="no successful runs"):
+            empty.ratios
+
+    def test_n_runs_on_empty_is_zero(self, instance):
+        assert EnsembleResult(instance=instance, reference=1.0).n_runs == 0

@@ -1,0 +1,118 @@
+"""Regression tests for the numerically stable acceptance kernels.
+
+The naive ``1/(1+exp(-gap/T))`` sigmoid overflowed (RuntimeWarning,
+``inf`` intermediates) for large gaps or tiny temperatures; the suite
+now promotes ``RuntimeWarning`` to an error, and these tests pin the
+stable kernels' behaviour at the extremes that used to warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import IsingError
+from repro.ising.gibbs import gibbs_sweep
+from repro.ising.model import IsingModel
+from repro.ising.numerics import (
+    boltzmann_accept_probability,
+    stable_sigmoid,
+)
+
+
+def _naive_sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class TestStableSigmoid:
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-30, 30, 201)
+        assert np.allclose(stable_sigmoid(x), _naive_sigmoid(x), atol=0)
+
+    def test_extreme_arguments_saturate_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert stable_sigmoid(1e6) == 1.0
+            assert stable_sigmoid(-1e6) == 0.0
+            assert stable_sigmoid(float("inf")) == 1.0
+            assert stable_sigmoid(float("-inf")) == 0.0
+
+    def test_array_extremes_no_warning(self):
+        x = np.array([-1e308, -750.0, 0.0, 750.0, 1e308])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            p = stable_sigmoid(x)
+        assert p.tolist() == [0.0, 0.0, 0.5, 1.0, 1.0]
+
+    def test_monotonic(self):
+        x = np.linspace(-1000, 1000, 999)
+        p = stable_sigmoid(x)
+        assert np.all(np.diff(p) >= 0)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(stable_sigmoid(0.3), float)
+        assert stable_sigmoid(0.0) == 0.5
+
+    def test_complement_symmetry(self):
+        x = np.linspace(-40, 40, 81)
+        assert np.allclose(stable_sigmoid(x) + stable_sigmoid(-x), 1.0)
+
+
+class TestBoltzmannAcceptProbability:
+    def test_improving_moves_certain(self):
+        assert boltzmann_accept_probability(-5.0, 1.0) == 1.0
+        assert boltzmann_accept_probability(0.0, 1.0) == 1.0
+
+    def test_matches_exp_for_worsening_moves(self):
+        assert boltzmann_accept_probability(2.0, 1.0) == pytest.approx(
+            np.exp(-2.0)
+        )
+
+    def test_zero_temperature_is_greedy(self):
+        assert boltzmann_accept_probability(-1e-12, 0.0) == 1.0
+        assert boltzmann_accept_probability(1e-12, 0.0) == 0.0
+
+    def test_tiny_temperature_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            p = boltzmann_accept_probability(1e6, 1e-300)
+            assert p == 0.0
+            huge = boltzmann_accept_probability(
+                np.array([-1e300, 1e300]), 1e-300
+            )
+        assert huge.tolist() == [1.0, 0.0]
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(IsingError):
+            boltzmann_accept_probability(1.0, -0.1)
+
+
+class TestGibbsSweepStability:
+    """The Gibbs kernel must not warn at extreme gap/temperature."""
+
+    def _strong_model(self, n=8, scale=1e6):
+        rng = np.random.default_rng(0)
+        J = rng.normal(size=(n, n)) * scale
+        J = (J + J.T) / 2.0
+        np.fill_diagonal(J, 0.0)
+        return IsingModel(J)
+
+    def test_huge_couplings_no_warning(self):
+        model = self._strong_model()
+        spins = np.ones(model.n_spins)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = gibbs_sweep(model, spins, temperature=1e-6, seed=1)
+        assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+    def test_tiny_temperature_tracks_greedy(self):
+        # T → 0 must reproduce the deterministic greedy limit for spins
+        # whose gap is non-zero (no ties in a random dense model).
+        model = self._strong_model(scale=1.0)
+        spins = -np.ones(model.n_spins)
+        cold = gibbs_sweep(model, spins, temperature=1e-300, seed=3)
+        greedy = gibbs_sweep(model, spins, temperature=0.0, seed=3)
+        assert np.array_equal(cold, greedy)

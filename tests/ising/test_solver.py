@@ -63,3 +63,75 @@ class TestSolveTspIsing:
     def test_sweeps_validated(self, small_instance):
         with pytest.raises(ConfigError):
             solve_tsp_ising(small_instance, n_sweeps=0)
+
+
+class TestTraceExactness:
+    """Trace entries must be exact tour lengths, not drifted accumulators.
+
+    The solver accumulates ``length += delta`` across thousands of
+    swaps; recorded trace points used to carry that float drift.  These
+    tests replay the identical Markov chain (same RNG stream, same
+    accept rule) and assert each recorded value **bit-equals** the
+    exact ``tour_length`` of the tour at that sweep.
+    """
+
+    @staticmethod
+    def _replay_exact(instance, n_sweeps, t_start, t_end, seed, record_every):
+        from repro.ising.numerics import boltzmann_accept_probability
+        from repro.ising.pbm import PermutationState, swap_delta_energy
+        from repro.ising.schedule import GeometricTemperatureSchedule
+        from repro.utils.rng import spawn_rng
+
+        rng = spawn_rng(seed)
+        n = instance.n
+        state = PermutationState(rng.permutation(n))
+        mean_leg = tour_length(instance, state.order) / n
+        schedule = GeometricTemperatureSchedule(
+            t_start * mean_leg, t_end * mean_leg, n_sweeps
+        )
+        dist = instance.distance
+        trace = []
+        for sweep in range(n_sweeps):
+            temp = schedule.temperature(sweep)
+            if sweep % record_every == 0:
+                trace.append((sweep, tour_length(instance, state.order)))
+            for _ in range(n):
+                i, j = rng.integers(0, n, size=2)
+                if i == j:
+                    continue
+                delta = swap_delta_energy(state, int(i), int(j), dist)
+                if delta <= 0 or (
+                    temp > 0
+                    and rng.random()
+                    < boltzmann_accept_probability(delta, temp)
+                ):
+                    state.swap_positions(int(i), int(j))
+        trace.append((n_sweeps, tour_length(instance, state.order)))
+        return trace
+
+    def test_trace_values_are_exact_lengths(self):
+        inst = random_uniform(24, seed=11)
+        kwargs = dict(
+            n_sweeps=120, t_start=1.0, t_end=0.01, seed=5, record_every=10
+        )
+        res = solve_tsp_ising(inst, **kwargs)
+        expected = self._replay_exact(inst, **kwargs)
+        assert [s for s, _ in res.trace] == [s for s, _ in expected]
+        for (_, got), (_, want) in zip(res.trace, expected):
+            assert got == want  # bit-exact, not approx
+
+    def test_final_trace_entry_equals_result_length(self):
+        inst = random_uniform(20, seed=3)
+        res = solve_tsp_ising(inst, n_sweeps=80, seed=9, record_every=7)
+        assert res.trace[-1] == (80, res.length)
+        assert res.length == tour_length(inst, res.tour)
+
+    def test_first_trace_entry_is_initial_length(self):
+        import numpy as np
+
+        inst = random_uniform(15, seed=2)
+        init = np.arange(inst.n)
+        res = solve_tsp_ising(
+            inst, n_sweeps=40, seed=4, initial_tour=init, record_every=5
+        )
+        assert res.trace[0] == (0, tour_length(inst, init))

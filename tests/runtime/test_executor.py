@@ -1,0 +1,156 @@
+"""Tests for the process-pool ensemble executor."""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.annealer.config import AnnealerConfig
+from repro.errors import AnnealerError
+from repro.runtime.executor import EnsembleExecutor, _solve_one
+from repro.tsp.generators import random_uniform
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_uniform(70, seed=13)
+
+
+SEEDS = [3, 1, 2]  # deliberately unsorted: output must follow input order
+
+
+class TestValidation:
+    def test_bad_settings_rejected(self):
+        with pytest.raises(AnnealerError):
+            EnsembleExecutor(max_workers=0)
+        with pytest.raises(AnnealerError):
+            EnsembleExecutor(max_retries=-1)
+        with pytest.raises(AnnealerError):
+            EnsembleExecutor(timeout_s=0)
+        with pytest.raises(AnnealerError):
+            EnsembleExecutor(chunk_size=0)
+
+    def test_empty_seeds_rejected(self, instance):
+        with pytest.raises(AnnealerError, match="at least one seed"):
+            EnsembleExecutor().run(instance, [])
+
+    def test_duplicate_seeds_rejected(self, instance):
+        with pytest.raises(AnnealerError, match="duplicate seeds"):
+            EnsembleExecutor().run(instance, [1, 2, 1])
+
+
+class TestSerialPath:
+    def test_results_in_seed_order(self, instance):
+        results, tel = EnsembleExecutor(max_workers=1).run(instance, SEEDS)
+        assert tel.mode == "serial"
+        assert [t.seed for t in tel.runs] == SEEDS
+        for seed, res in zip(SEEDS, results):
+            expected = _solve_one(instance, AnnealerConfig(), seed)
+            assert res.length == expected.length
+
+    def test_telemetry_complete(self, instance):
+        _, tel = EnsembleExecutor().run(instance, [4, 5])
+        assert tel.n_runs == 2 and tel.n_failed == 0
+        assert tel.wall_time_s > 0
+        for run in tel.runs:
+            assert run.ok and run.worker == "serial"
+            assert run.trials_proposed > 0
+            assert run.writeback_events > 0
+            assert run.mac_cycles > 0
+            assert len(run.level_times_s) > 0
+
+
+class TestParallelPath:
+    def test_bit_identical_to_serial(self, instance):
+        serial, _ = EnsembleExecutor(max_workers=1).run(instance, SEEDS)
+        parallel, tel = EnsembleExecutor(max_workers=2).run(instance, SEEDS)
+        assert tel.mode in ("parallel", "serial-fallback")
+        assert [r.length for r in parallel] == [r.length for r in serial]
+        assert all(
+            np.array_equal(a.tour, b.tour) for a, b in zip(parallel, serial)
+        )
+
+    def test_chunked_dispatch_covers_all_seeds(self, instance):
+        seeds = list(range(20, 25))
+        results, tel = EnsembleExecutor(max_workers=2, chunk_size=2).run(
+            instance, seeds
+        )
+        assert len(results) == len(seeds)
+        assert [t.seed for t in tel.runs] == seeds
+
+    def test_timeout_falls_back_to_in_process_retry(self, instance):
+        # An (effectively) zero budget times every run out in the pool;
+        # the retry path must still complete each seed in-process.
+        results, tel = EnsembleExecutor(
+            max_workers=2, timeout_s=1e-9, max_retries=1
+        ).run(instance, [8, 9])
+        assert len(results) == 2
+        assert all(t.ok for t in tel.runs)
+        assert all(t.worker == "serial" for t in tel.runs)
+        assert all(t.retries >= 1 for t in tel.runs)
+        serial, _ = EnsembleExecutor(max_workers=1).run(instance, [8, 9])
+        assert [r.length for r in results] == [r.length for r in serial]
+
+    def test_pool_unavailable_degrades_to_serial(self, instance, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", broken_pool
+        )
+        results, tel = EnsembleExecutor(max_workers=4).run(instance, [6, 7])
+        assert tel.mode == "serial-fallback"
+        assert len(results) == 2 and all(t.ok for t in tel.runs)
+
+
+class TestFailureIsolation:
+    def test_failed_run_reported_not_raised(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+
+        def flaky(inst, config, seed):
+            if seed == 2:
+                raise RuntimeError("injected crash")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", flaky)
+        results, tel = EnsembleExecutor(max_retries=1).run(
+            instance, [1, 2, 3]
+        )
+        assert len(results) == 2  # seed 2 dropped, siblings intact
+        by_seed = {t.seed: t for t in tel.runs}
+        assert not by_seed[2].ok
+        assert "injected crash" in by_seed[2].error
+        assert by_seed[2].retries == 2  # first try + 1 retry
+        assert by_seed[1].ok and by_seed[3].ok
+        assert tel.n_failed == 1
+
+    def test_retry_recovers_transient_failure(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+        calls = {"n": 0}
+
+        def transient(inst, config, seed):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", transient)
+        results, tel = EnsembleExecutor(max_retries=2).run(instance, [5])
+        assert len(results) == 1
+        assert tel.runs[0].ok and tel.runs[0].retries == 1
+
+    def test_strict_mode_raises(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        def always_fails(inst, config, seed):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(executor_mod, "_solve_one", always_fails)
+        with pytest.raises(AnnealerError, match="failed after"):
+            EnsembleExecutor(max_retries=1, strict=True).run(instance, [1])

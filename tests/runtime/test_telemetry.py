@@ -1,0 +1,112 @@
+"""Tests for the structured run/ensemble telemetry records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.errors import AnnealerError
+from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
+from repro.tsp.generators import random_uniform
+
+
+@pytest.fixture(scope="module")
+def result():
+    inst = random_uniform(80, seed=5)
+    return ClusteredCIMAnnealer(AnnealerConfig(seed=5)).solve(inst)
+
+
+class TestRunTelemetry:
+    def test_from_result_extracts_counters(self, result):
+        t = RunTelemetry.from_result(5, result, reference=result.length)
+        assert t.ok and t.seed == 5
+        assert t.wall_time_s == result.wall_time_s
+        assert t.optimal_ratio == pytest.approx(1.0)
+        assert t.trials_proposed == sum(
+            lv.swaps_proposed for lv in result.levels
+        )
+        assert t.trials_accepted <= t.trials_proposed
+        assert len(t.level_times_s) == result.n_levels
+        assert all(dt >= 0 for dt in t.level_times_s)
+        assert t.writeback_events == result.chip.writeback_events
+        assert t.mac_cycles == result.chip.mac_cycles
+        assert t.macs_performed == result.chip.macs_performed
+
+    def test_no_reference_means_zero_ratio(self, result):
+        t = RunTelemetry.from_result(1, result)
+        assert t.optimal_ratio == 0.0
+
+    def test_from_failure(self):
+        t = RunTelemetry.from_failure(7, RuntimeError("boom"), retries=2)
+        assert not t.ok
+        assert t.seed == 7 and t.retries == 2
+        assert "boom" in t.error
+
+    def test_to_dict_is_json_native(self, result):
+        t = RunTelemetry.from_result(3, result)
+        payload = json.dumps(t.to_dict())
+        assert json.loads(payload)["seed"] == 3
+
+
+class TestEnsembleTelemetry:
+    def _make(self, result, n=3):
+        runs = [RunTelemetry.from_result(s, result) for s in range(n)]
+        return EnsembleTelemetry(
+            runs=runs, max_workers=2, mode="parallel", wall_time_s=1.0
+        )
+
+    def test_aggregates(self, result):
+        tel = self._make(result)
+        assert tel.n_runs == 3 and tel.n_failed == 0
+        assert tel.total_run_time_s == pytest.approx(
+            3 * result.wall_time_s
+        )
+        assert tel.throughput_runs_per_s == pytest.approx(3.0)
+        assert tel.parallel_speedup == pytest.approx(tel.total_run_time_s)
+        assert tel.total_trials_proposed == 3 * sum(
+            lv.swaps_proposed for lv in result.levels
+        )
+
+    def test_failed_runs_counted(self, result):
+        tel = self._make(result)
+        tel.runs.append(RunTelemetry.from_failure(9, ValueError("x")))
+        assert tel.n_failed == 1
+        assert tel.throughput_runs_per_s == pytest.approx(3.0)
+
+    def test_json_roundtrip(self, result, tmp_path):
+        tel = self._make(result)
+        path = tmp_path / "telemetry.json"
+        tel.save(path)
+        reread = EnsembleTelemetry.from_dict(
+            json.loads(path.read_text(encoding="utf-8"))
+        )
+        assert reread.n_runs == tel.n_runs
+        assert reread.mode == "parallel"
+        assert reread.wall_time_s == tel.wall_time_s
+        assert reread.runs[0].seed == tel.runs[0].seed
+        assert reread.runs[0].level_times_s == tel.runs[0].level_times_s
+
+    def test_dict_schema_fields(self, result):
+        d = self._make(result).to_dict()
+        assert d["schema"] == "repro.ensemble_telemetry/v1"
+        for key in (
+            "mode",
+            "max_workers",
+            "wall_time_s",
+            "throughput_runs_per_s",
+            "parallel_speedup",
+            "runs",
+        ):
+            assert key in d
+
+    def test_from_dict_requires_runs(self):
+        with pytest.raises(AnnealerError):
+            EnsembleTelemetry.from_dict({"mode": "serial"})
+
+    def test_zero_wall_time_guards(self):
+        tel = EnsembleTelemetry()
+        assert tel.throughput_runs_per_s == 0.0
+        assert tel.parallel_speedup == 0.0

@@ -98,3 +98,52 @@ class TestSolveSvg:
         ) == 0
         assert out.read_text().startswith("<svg")
         assert "tour SVG" in capsys.readouterr().out
+
+
+class TestSolveEnsemble:
+    def test_ensemble_summary_printed(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "70", "--seed", "4",
+             "--ensemble", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ensemble : 2 runs" in out
+        assert "throughput=" in out
+        assert "ratio mean=" in out
+
+    def test_workers_flag_parallel_mode(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "70", "--seed", "4",
+             "--ensemble", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "mode=parallel" in out or "mode=serial-fallback" in out
+
+    def test_telemetry_out_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main(
+            ["solve", "--family", "uniform", "--n", "70", "--seed", "1",
+             "--ensemble", "2", "--telemetry-out", str(path)]
+        ) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.ensemble_telemetry/v1"
+        assert payload["n_runs"] == 2
+        runs = payload["runs"]
+        assert [r["seed"] for r in runs] == [1, 2]
+        assert all(r["wall_time_s"] > 0 for r in runs)
+        assert all(r["trials_proposed"] > 0 for r in runs)
+
+    def test_telemetry_without_ensemble_defaults_to_one_run(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "single.json"
+        assert main(
+            ["solve", "--family", "uniform", "--n", "60",
+             "--telemetry-out", str(path)]
+        ) == 0
+        assert "ensemble : 1 runs" in capsys.readouterr().out
+        assert path.exists()

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.sram",
     "repro.cim",
     "repro.annealer",
+    "repro.runtime",
     "repro.hardware",
     "repro.analysis",
     "repro.maxcut",
