@@ -1,9 +1,22 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-full bench-json examples clean
+.PHONY: install test test-fast lint typecheck check bench bench-full bench-json examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
+
+# Domain-aware static analysis (rule catalogue: docs/static-analysis.md).
+lint:
+	PYTHONPATH=tools python -m repro_lint src tests benchmarks
+
+# Strict typing gate; needs mypy (pip install -e .[dev]).  Skips with a
+# notice when mypy is absent so `make check` stays runnable offline.
+typecheck:
+	@python -c "import mypy" 2>/dev/null \
+		&& python -m mypy --strict src/repro \
+		|| echo "typecheck skipped: mypy not installed (pip install -e .[dev])"
+
+check: lint typecheck test
 
 test:
 	pytest tests/

@@ -15,7 +15,6 @@ paper's update schedule:
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 from repro.annealer.engine import ClusterLevelEngine
@@ -24,6 +23,7 @@ from repro.annealer.trace import ConvergenceTrace
 from repro.cim.macro import CIMChip
 from repro.errors import AnnealerError
 from repro.ising.schedule import VddSchedule
+from repro.runtime.telemetry import Stopwatch
 from repro.sram.writeback import WritebackController
 
 #: MAC cycles per swap trial (2 before + 2 after the swap, Fig. 5a).
@@ -42,7 +42,7 @@ def solve_level(
     """Anneal one hierarchy level in place; return its report."""
     if trace_every < 1:
         raise AnnealerError(f"trace_every must be >= 1, got {trace_every}")
-    start = time.perf_counter()
+    watch = Stopwatch()
     controller = WritebackController(schedule=schedule)
     objective_before = engine.objective()
     proposed = accepted = 0
@@ -103,5 +103,5 @@ def solve_level(
         swaps_accepted=accepted,
         objective_before=objective_before,
         objective_after=objective_after,
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=watch.elapsed_s(),
     )

@@ -71,7 +71,7 @@ class ClusterLevelEngine:
         noise_source: NoiseSource = NoiseSource.SRAM,
         noise_target: NoiseTarget = NoiseTarget.WEIGHTS,
         seed: int = 0,
-    ):
+    ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 2:
             raise AnnealerError(f"points must be (M,2), got {points.shape}")
@@ -172,7 +172,7 @@ class ClusterLevelEngine:
             params = self.cell_params
             B = self.weight_bits
 
-            def fabricate(name: str, shape: Tuple[int, ...]):
+            def fabricate(name: str, shape: Tuple[int, ...]) -> np.ndarray:
                 rng = self._rs.child(f"fab/{name}")
                 vc = (
                     params.v50_mv

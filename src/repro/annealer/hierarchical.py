@@ -19,7 +19,6 @@ the provisioned window count).
 
 from __future__ import annotations
 
-import time
 import zlib
 from typing import List, Optional
 
@@ -33,6 +32,7 @@ from repro.annealer.trace import ConvergenceTrace
 from repro.cim.macro import CIMChip
 from repro.clustering.hierarchy import ClusterTree, build_hierarchy
 from repro.errors import AnnealerError
+from repro.runtime.telemetry import Stopwatch
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import tour_length
 
@@ -50,7 +50,7 @@ class ClusteredCIMAnnealer:
     (200,)
     """
 
-    def __init__(self, config: Optional[AnnealerConfig] = None):
+    def __init__(self, config: Optional[AnnealerConfig] = None) -> None:
         self.config = config or AnnealerConfig()
 
     # ------------------------------------------------------------------
@@ -91,7 +91,7 @@ class ClusteredCIMAnnealer:
     def solve(self, instance: TSPInstance) -> AnnealResult:
         """Run the full hierarchical anneal and return the result."""
         cfg = self.config
-        start = time.perf_counter()
+        watch = Stopwatch()
         tree = self.build_tree(instance)
         n_levels = tree.n_levels
 
@@ -170,5 +170,5 @@ class ClusteredCIMAnnealer:
             chip=chip,
             levels=reports,
             trace=trace,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed_s(),
         )

@@ -42,7 +42,7 @@ class AdderTree:
         Bit planes per weight (8 in the paper).
     """
 
-    def __init__(self, n_rows: int, weight_bits: int = 8):
+    def __init__(self, n_rows: int, weight_bits: int = 8) -> None:
         if n_rows < 1:
             raise CIMError(f"n_rows must be >= 1, got {n_rows}")
         if weight_bits < 1 or weight_bits > 16:

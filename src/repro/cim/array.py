@@ -70,7 +70,7 @@ class CIMArray:
         weight_bits: int = 8,
         cell_params: Optional[SRAMCellParams] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         self.p = p
         self.weight_bits = weight_bits
         rs = RandomState(seed)

@@ -32,7 +32,7 @@ class WeightQuantizer:
         Weight precision (paper: 8).
     """
 
-    def __init__(self, max_value: float, bits: int = 8):
+    def __init__(self, max_value: float, bits: int = 8) -> None:
         if bits < 1 or bits > 16:
             raise CIMError(f"bits must be in [1,16], got {bits}")
         if max_value < 0 or not np.isfinite(max_value):

@@ -113,7 +113,7 @@ class WeightWindow:
         weight_bits: int = 8,
         cell_params: Optional[SRAMCellParams] = None,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         self.p = p
         self.rows, self.cols = window_shape(p)
         self.weight_bits = weight_bits

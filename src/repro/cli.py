@@ -31,7 +31,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # CLI imports its heavy deps lazily per subcommand
+    from repro.annealer.config import AnnealerConfig
+    from repro.tsp.instance import TSPInstance
 
 from repro.utils.tables import Table
 from repro.utils.units import (
@@ -173,7 +177,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve_ensemble(instance, cfg, args: argparse.Namespace) -> int:
+def _solve_ensemble(
+    instance: "TSPInstance", cfg: "AnnealerConfig", args: argparse.Namespace
+) -> int:
     """Ensemble branch of ``solve``: multi-seed run + telemetry export."""
     from pathlib import Path
 

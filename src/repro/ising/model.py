@@ -50,7 +50,7 @@ class IsingModel:
         couplings: np.ndarray,
         field: Optional[np.ndarray] = None,
         convention: SpinConvention = "pm1",
-    ):
+    ) -> None:
         J = np.asarray(couplings, dtype=np.float64)
         if J.ndim != 2 or J.shape[0] != J.shape[1]:
             raise IsingError(f"couplings must be square, got shape {J.shape}")

@@ -34,7 +34,7 @@ class PermutationState:
     ``position[k]`` is the position of city ``k``.
     """
 
-    def __init__(self, order: np.ndarray):
+    def __init__(self, order: np.ndarray) -> None:
         self._order = validate_tour(np.asarray(order), None).copy()
         n = self._order.size
         self._position = np.empty(n, dtype=np.int64)

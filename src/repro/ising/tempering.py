@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.ising.numerics import boltzmann_accept_probability
 from repro.ising.pbm import PermutationState, swap_delta_energy
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import tour_length
@@ -126,7 +127,9 @@ def parallel_tempering_tsp(
                 if i == j:
                     continue
                 delta = swap_delta_energy(state, int(i), int(j), dist)
-                if delta <= 0 or rng.random() < np.exp(-delta / temp):
+                if delta <= 0 or rng.random() < boltzmann_accept_probability(
+                    delta, float(temp)
+                ):
                     state.swap_positions(int(i), int(j))
                     lengths[r] += delta
         if (sweep + 1) % params.exchange_every == 0:
@@ -136,7 +139,10 @@ def parallel_tempering_tsp(
                 attempts += 1
                 beta_diff = 1.0 / temps[r] - 1.0 / temps[r + 1]
                 arg = beta_diff * (lengths[r] - lengths[r + 1])
-                if arg >= 0 or rng.random() < np.exp(arg):
+                # min(1, exp(arg)) == boltzmann accept with gap -arg, T=1.
+                if arg >= 0 or rng.random() < boltzmann_accept_probability(
+                    -float(arg), 1.0
+                ):
                     replicas[r], replicas[r + 1] = replicas[r + 1], replicas[r]
                     lengths[r], lengths[r + 1] = lengths[r + 1], lengths[r]
                     accepted += 1

@@ -38,7 +38,7 @@ class MaxCutProblem:
         edges: np.ndarray,
         weights: Optional[np.ndarray] = None,
         name: str = "maxcut",
-    ):
+    ) -> None:
         if n_nodes < 2:
             raise ReproError(f"n_nodes must be >= 2, got {n_nodes}")
         e = np.asarray(edges, dtype=np.int64)

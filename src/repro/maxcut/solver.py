@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ReproError
+from repro.ising.numerics import boltzmann_accept_probability
 from repro.maxcut.problem import MaxCutProblem
 from repro.utils.rng import SeedLike, spawn_rng
 
@@ -36,7 +37,9 @@ class MaxCutResult:
         return self.flips_accepted / max(1, self.flips_proposed)
 
 
-def _adjacency_lists(problem: MaxCutProblem):
+def _adjacency_lists(
+    problem: MaxCutProblem,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
     neighbors: List[List[int]] = [[] for _ in range(problem.n_nodes)]
     weights: List[List[float]] = [[] for _ in range(problem.n_nodes)]
     for (u, v), w in zip(problem.edges, problem.weights):
@@ -136,7 +139,10 @@ def anneal_maxcut(
             i = int(i)
             proposed += 1
             gain = s[i] * float(np.sum(wts[i] * s[nbrs[i]]))
-            if gain >= 0 or rng.random() < np.exp(gain / temp):
+            # A flip worsens the cut by -gain; standard Metropolis accept.
+            if gain >= 0 or rng.random() < boltzmann_accept_probability(
+                -gain, temp
+            ):
                 s[i] = -s[i]
                 cut += gain
                 accepted += 1

@@ -30,12 +30,15 @@ statistics on top.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import AnnealerError
-from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
+from repro.runtime.telemetry import (
+    EnsembleTelemetry,
+    RunTelemetry,
+    Stopwatch,
+)
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
     from repro.annealer.config import AnnealerConfig
@@ -131,12 +134,12 @@ class EnsembleExecutor:
 
             config = AnnealerConfig()
 
-        start = time.perf_counter()
+        watch = Stopwatch()
         if self.max_workers == 1:
             by_seed, mode = self._run_serial(instance, seeds, config, reference)
         else:
             by_seed, mode = self._run_pool(instance, seeds, config, reference)
-        wall = time.perf_counter() - start
+        wall = watch.elapsed_s()
 
         telemetry = EnsembleTelemetry(
             runs=[by_seed[s][1] for s in seeds],
@@ -210,7 +213,9 @@ class EnsembleExecutor:
             )
 
             pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        except Exception:  # pool unavailable (sandbox, no fork, ...)
+        # Pool construction cannot raise AnnealerError, and any failure
+        # here (sandbox, no fork, ...) must degrade to the serial path.
+        except Exception:  # repro-lint: ignore[RL005]
             return self._run_serial(
                 instance, seeds, config, reference, mode="serial-fallback"
             )

@@ -12,13 +12,47 @@ the ``BENCH_ensemble.json`` artifact without any custom encoders.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.errors import AnnealerError
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
+    from pathlib import Path
+
     from repro.annealer.result import AnnealResult
+
+
+class Stopwatch:
+    """Telemetry-layer wall-clock span timer.
+
+    The single sanctioned way to measure wall time inside solver
+    kernels: every duration that ends up in :class:`RunTelemetry`
+    (``wall_time_s``, ``level_times_s``) comes from one of these, so
+    per-level numbers are measured identically everywhere and the
+    RL006 lint rule can flag ad-hoc ``time.*`` reads.
+
+    >>> watch = Stopwatch()
+    >>> watch.elapsed_s() >= 0.0
+    True
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Reset the origin; return the span that just ended."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
 
 
 @dataclass
@@ -107,7 +141,7 @@ class RunTelemetry:
             seed=int(seed), ok=False, retries=int(retries), error=repr(error)
         )
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict view."""
         return asdict(self)
 
@@ -165,7 +199,7 @@ class EnsembleTelemetry:
         """Swap trials accepted across all runs."""
         return sum(r.trials_accepted for r in self.runs)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict view (runs plus the derived aggregates)."""
         return {
             "schema": "repro.ensemble_telemetry/v1",
@@ -186,14 +220,14 @@ class EnsembleTelemetry:
         """Serialise to a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, "Path"]) -> None:
         """Write the JSON document to ``path``."""
         from pathlib import Path
 
         Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "EnsembleTelemetry":
+    def from_dict(cls, data: Dict[str, Any]) -> "EnsembleTelemetry":
         """Rebuild from a ``to_dict`` payload (derived fields ignored)."""
         if "runs" not in data:
             raise AnnealerError("telemetry payload has no 'runs' list")

@@ -52,7 +52,7 @@ def _phi_inv(p: float) -> float:
 class ErrorRateModel:
     """Analytic pseudo-read error model for one cell population."""
 
-    def __init__(self, params: Optional[SRAMCellParams] = None):
+    def __init__(self, params: Optional[SRAMCellParams] = None) -> None:
         self.params = params or SRAMCellParams()
 
     def rate(self, vdd_mv: float) -> float:

@@ -37,7 +37,7 @@ class LFSR:
         point and is rejected).
     """
 
-    def __init__(self, width: int = 16, seed: int = 0xACE1):
+    def __init__(self, width: int = 16, seed: int = 0xACE1) -> None:
         if width not in _MAXIMAL_TAPS:
             raise SRAMError(
                 f"width must be one of {sorted(_MAXIMAL_TAPS)}, got {width}"

@@ -55,7 +55,7 @@ class SpatialNoiseField:
         weight_bits: int = 8,
         params: Optional[SRAMCellParams] = None,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         if weight_bits < 1 or weight_bits > 16:
             raise SRAMError(f"weight_bits must be in [1,16], got {weight_bits}")
         self.shape = tuple(int(s) for s in shape)

@@ -52,7 +52,7 @@ def _knn_candidate_edges(
 class _DisjointSet:
     """Union-find with path compression for sub-cycle detection."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.parent = np.arange(n, dtype=np.int64)
 
     def find(self, x: int) -> int:

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.ising.numerics import boltzmann_accept_probability
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import tour_length, validate_tour
 from repro.utils.rng import SeedLike, spawn_rng
@@ -132,7 +133,9 @@ def simulated_annealing_tsp(
             c, d = int(tour[j]), int(tour[(j + 1) % n])
             delta = _leg(coords, a, c) + _leg(coords, b, d) \
                 - _leg(coords, a, b) - _leg(coords, c, d)
-            if delta <= 0 or rng.random() < np.exp(-delta / temp):
+            if delta <= 0 or rng.random() < boltzmann_accept_probability(
+                delta, temp
+            ):
                 tour[i : j + 1] = tour[i : j + 1][::-1]
                 length += delta
                 accepted += 1
@@ -158,7 +161,9 @@ def simulated_annealing_tsp(
                     - _leg(coords, ip, ci) - _leg(coords, ci, iN)
                     - _leg(coords, jp, cj) - _leg(coords, cj, jN)
                 )
-            if delta <= 0 or rng.random() < np.exp(-delta / temp):
+            if delta <= 0 or rng.random() < boltzmann_accept_probability(
+                delta, temp
+            ):
                 tour[i], tour[j] = cj, ci
                 length += delta
                 accepted += 1

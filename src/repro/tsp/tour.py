@@ -8,7 +8,7 @@ operate on plain integer arrays so hot loops stay allocation-free.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class Tour:
     queries used by examples and reports.
     """
 
-    def __init__(self, instance: TSPInstance, order: Iterable[int]):
+    def __init__(self, instance: TSPInstance, order: Iterable[int]) -> None:
         self._instance = instance
         self._order = validate_tour(np.asarray(list(order)), instance.n)
         self._order.setflags(write=False)
@@ -115,7 +115,7 @@ class Tour:
         """``(n, 2)`` array of consecutive city pairs (cyclic)."""
         return np.stack([self._order, np.roll(self._order, -1)], axis=1)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self._order.tolist())
 
     def __len__(self) -> int:

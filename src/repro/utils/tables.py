@@ -23,7 +23,7 @@ class Table:
     ...
     """
 
-    def __init__(self, title: str, columns: Sequence[str]):
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
         if not columns:
             raise ValueError("a table needs at least one column")
         self.title = title

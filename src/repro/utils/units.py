@@ -8,6 +8,8 @@ benchmark tables, matching the unit conventions of the paper (µm², mm²,
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 _TIME_STEPS = [
     (1.0, "s"),
     (1e-3, "ms"),
@@ -34,7 +36,9 @@ _POWER_STEPS = [
 ]
 
 
-def _format_scaled(value: float, steps, digits: int) -> str:
+def _format_scaled(
+    value: float, steps: Sequence[Tuple[float, str]], digits: int
+) -> str:
     if value == 0:
         return f"0 {steps[0][1]}"
     magnitude = abs(value)

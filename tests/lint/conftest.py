@@ -1,0 +1,15 @@
+"""Make the out-of-tree ``tools/repro_lint`` package importable.
+
+The linter ships under ``tools/`` (it is repo tooling, not part of the
+``repro`` library), so the test suite — which runs with
+``PYTHONPATH=src`` — adds that directory here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

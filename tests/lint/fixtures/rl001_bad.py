@@ -1,0 +1,19 @@
+"""RL001 positive fixture: raw exp in acceptance/sigmoid contexts."""
+
+import math
+
+import numpy as np
+
+
+def metropolis_accept(rng, delta, temp):
+    # Compared against a random draw: the Metropolis-accept idiom.
+    return rng.random() < np.exp(-delta / temp)
+
+
+def gibbs_probability(delta_e, temperature):
+    # Divides by a temperature-like name even without a draw nearby.
+    return 1.0 / (1.0 + np.exp(delta_e / temperature))
+
+
+def math_accept(rng, gap, t):
+    return rng.random() < math.exp(-gap / t)

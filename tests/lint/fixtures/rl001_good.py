@@ -1,0 +1,18 @@
+"""RL001 negative fixture: sanctioned kernels and innocent exp uses."""
+
+import numpy as np
+
+from repro.ising.numerics import boltzmann_accept_probability, stable_sigmoid
+
+
+def metropolis_accept(rng, delta, temp):
+    return rng.random() < boltzmann_accept_probability(delta, temp)
+
+
+def gibbs_probability(delta_e, temperature):
+    return stable_sigmoid(-delta_e / temperature)
+
+
+def gaussian_kernel(x, sigma_sq):
+    # exp of a physical quantity, no temperature, no accept compare.
+    return np.exp(-(x**2) / (2.0 * sigma_sq))

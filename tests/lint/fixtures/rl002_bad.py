@@ -1,0 +1,16 @@
+"""RL002 positive fixture: legacy global-stream RNG."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+
+def sample_legacy(n):
+    values = np.random.rand(n)
+    noise = np.random.normal(0.0, 1.0, size=n)
+    return values + noise + rand(n)
+
+
+def stdlib_stream():
+    return random.random() + random.uniform(0.0, 1.0)

@@ -1,0 +1,16 @@
+"""RL002 negative fixture: explicit seeded Generator streams."""
+
+import numpy as np
+
+
+def sample(rng: np.random.Generator, n: int):
+    return rng.normal(0.0, 1.0, size=n)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng):
+    # Methods on a Generator object are fine, including .random().
+    return rng.random() + rng.uniform(0.0, 1.0)

@@ -1,0 +1,22 @@
+"""RL003 positive fixture: unpicklable state crossing a pool boundary."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(seeds):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda s: s * 2, seed) for seed in seeds]
+    return [f.result() for f in futures]
+
+
+def nested_submit(pool, items):
+    def work(x):
+        return x + 1
+
+    return list(pool.map(work, items))
+
+
+def solve_with_lock(data, lock=threading.Lock()):
+    with lock:
+        return list(data)

@@ -1,0 +1,17 @@
+"""RL003 negative fixture: only module-level callables cross the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(x):
+    return x * 2
+
+
+def fan_out(seeds):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, seeds))
+
+
+def apply_inline(items):
+    # Builtin map never crosses a process boundary: lambdas are fine.
+    return list(map(lambda x: x + 1, items))

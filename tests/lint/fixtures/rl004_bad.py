@@ -1,0 +1,24 @@
+"""RL004 positive fixture: shared mutable defaults."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def pad(values, fill=np.zeros(3)):
+    return values + fill
+
+
+@dataclass
+class Config:
+    weights: np.ndarray = np.ones(4)

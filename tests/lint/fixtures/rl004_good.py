@@ -1,0 +1,17 @@
+"""RL004 negative fixture: None defaults and default_factory."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+def collect(item, bucket: Optional[List[int]] = None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+@dataclass
+class Config:
+    weights: List[float] = field(default_factory=list)
+    name: str = "annealer"
+    dims: Tuple[int, int] = (2, 3)

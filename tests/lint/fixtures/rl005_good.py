@@ -1,0 +1,28 @@
+"""RL005 negative fixture: specific, re-raising, or shielded handlers."""
+
+from repro.errors import AnnealerError
+
+
+def catch_specific(run):
+    try:
+        return run()
+    except ValueError:
+        return None
+
+
+def reraise_broad(run, log):
+    try:
+        return run()
+    except Exception as exc:
+        log(exc)
+        raise
+
+
+def isolate_worker_faults(run, log):
+    try:
+        return run()
+    except AnnealerError:
+        raise  # config errors fail loud
+    except Exception as exc:  # transient worker fault: retry elsewhere
+        log(exc)
+        return None

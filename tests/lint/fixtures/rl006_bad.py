@@ -1,0 +1,18 @@
+"""RL006 positive fixture: ad-hoc kernel timing.
+
+Only a violation when this file sits under ``repro/`` outside the
+runtime layer — the test copies it into a synthetic tree to prove the
+path scoping both ways.
+"""
+
+import time
+from time import perf_counter
+
+
+def solve_kernel(engine):
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    t0 = perf_counter()
+    wall = time.time() - t0
+    return elapsed + wall

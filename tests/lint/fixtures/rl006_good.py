@@ -1,0 +1,9 @@
+"""RL006 negative fixture: telemetry-layer Stopwatch timing."""
+
+from repro.runtime.telemetry import Stopwatch
+
+
+def solve_kernel(engine):
+    watch = Stopwatch()
+    engine.run()
+    return watch.elapsed_s()

@@ -1,0 +1,28 @@
+"""Dogfood gate: the repository itself lints clean.
+
+This is the machine-checked form of the conventions the linter
+enforces — if a new kernel reintroduces a raw ``np.exp`` accept, a
+global-RNG call, or ad-hoc kernel timing, this test fails with the
+exact file:line and the fix direction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro_lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean():
+    report = lint_paths(
+        [
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "benchmarks"),
+        ],
+        root=REPO_ROOT,
+    )
+    assert report.files_checked > 150
+    assert report.ok, "\n".join(v.format() for v in report.violations)

@@ -1,0 +1,53 @@
+"""Reporter round-trips: text formatting and the JSON schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro_lint import lint_paths, render_json, render_text
+from repro_lint.reporters import JSON_SCHEMA
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_text_report_lines_and_summary():
+    report = lint_paths([str(FIXTURES / "rl004_bad.py")])
+    text = render_text(report)
+    lines = text.splitlines()
+    # One line per violation: path:line:col: CODE message.
+    assert len(lines) == len(report.violations) + 1
+    for line, violation in zip(lines, report.violations):
+        assert line == violation.format()
+        assert f": {violation.code} " in line
+    assert "RL004×4" in lines[-1]
+
+
+def test_text_report_clean():
+    report = lint_paths([str(FIXTURES / "rl001_good.py")])
+    assert render_text(report) == "clean: 1 file(s) checked"
+
+
+def test_json_round_trip():
+    report = lint_paths([str(FIXTURES / "rl002_bad.py")])
+    payload = json.loads(render_json(report))
+    assert payload["schema"] == JSON_SCHEMA
+    assert payload["files_checked"] == 1
+    assert payload["n_violations"] == len(report.violations) == 5
+    assert payload["counts_by_code"] == {"RL002": 5}
+    assert len(payload["violations"]) == 5
+    for item, violation in zip(payload["violations"], report.violations):
+        assert item == violation.to_dict()
+        assert set(item) == {"path", "line", "col", "code", "message"}
+
+
+def test_json_report_is_sorted_and_deterministic():
+    paths = [
+        str(FIXTURES / "rl005_bad.py"),
+        str(FIXTURES / "rl001_bad.py"),
+    ]
+    first = json.loads(render_json(lint_paths(paths)))
+    second = json.loads(render_json(lint_paths(list(reversed(paths)))))
+    assert first["violations"] == second["violations"]
+    keys = [(v["path"], v["line"], v["col"]) for v in first["violations"]]
+    assert keys == sorted(keys)

@@ -1,0 +1,123 @@
+"""Every lint rule, demonstrated by a failing and a passing fixture."""
+
+from __future__ import annotations
+
+import shutil
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro_lint import lint_file, lint_paths, rule_codes, select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes_in(path: Path, root: Path | None = None) -> Counter:
+    violations = lint_file(path, select_rules(), root=root)
+    return Counter(v.code for v in violations)
+
+
+def test_all_six_rules_registered():
+    assert rule_codes() == [
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+    ]
+
+
+@pytest.mark.parametrize(
+    "fixture, code, count",
+    [
+        ("rl001_bad.py", "RL001", 3),
+        ("rl002_bad.py", "RL002", 5),
+        ("rl003_bad.py", "RL003", 3),
+        ("rl004_bad.py", "RL004", 4),
+        ("rl005_bad.py", "RL005", 2),
+    ],
+)
+def test_positive_fixture_fails(fixture: str, code: str, count: int):
+    hits = codes_in(FIXTURES / fixture)
+    assert hits[code] == count, f"expected {count}×{code}, got {dict(hits)}"
+    assert set(hits) == {code}, f"unexpected cross-rule hits: {dict(hits)}"
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "rl001_good.py",
+        "rl002_good.py",
+        "rl003_good.py",
+        "rl004_good.py",
+        "rl005_good.py",
+        "rl006_good.py",
+    ],
+)
+def test_negative_fixture_is_clean(fixture: str):
+    assert codes_in(FIXTURES / fixture) == Counter()
+
+
+# ---------------------------------------------------------------------------
+# RL006 is path-scoped: the same file is a violation inside a repro/
+# solver package and clean anywhere else.
+
+
+def test_rl006_flags_kernel_timing_under_repro(tmp_path: Path):
+    kernel_dir = tmp_path / "src" / "repro" / "ising"
+    kernel_dir.mkdir(parents=True)
+    target = kernel_dir / "kernel.py"
+    shutil.copy(FIXTURES / "rl006_bad.py", target)
+    hits = codes_in(target, root=tmp_path)
+    assert hits == Counter({"RL006": 4})
+
+
+def test_rl006_allows_timing_in_runtime_layer(tmp_path: Path):
+    runtime_dir = tmp_path / "src" / "repro" / "runtime"
+    runtime_dir.mkdir(parents=True)
+    target = runtime_dir / "telemetry.py"
+    shutil.copy(FIXTURES / "rl006_bad.py", target)
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+def test_rl006_ignores_files_outside_repro():
+    # At its real location (tests/lint/fixtures) the rule does not apply.
+    assert codes_in(FIXTURES / "rl006_bad.py") == Counter()
+
+
+def test_rl006_stopwatch_kernel_is_clean(tmp_path: Path):
+    kernel_dir = tmp_path / "src" / "repro" / "ising"
+    kernel_dir.mkdir(parents=True)
+    target = kernel_dir / "kernel.py"
+    shutil.copy(FIXTURES / "rl006_good.py", target)
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour around broken input and filtering.
+
+
+def test_syntax_error_reported_as_rl000(tmp_path: Path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def incomplete(:\n", encoding="utf-8")
+    report = lint_paths([str(bad)])
+    assert [v.code for v in report.violations] == ["RL000"]
+
+
+def test_select_and_ignore_filter_rules():
+    path = FIXTURES / "rl002_bad.py"
+    only_rl001 = lint_file(path, select_rules(select=["RL001"]))
+    assert only_rl001 == []
+    without_rl002 = lint_file(path, select_rules(ignore=["RL002"]))
+    assert without_rl002 == []
+    with pytest.raises(KeyError):
+        select_rules(select=["RL999"])
+
+
+def test_discovery_skips_fixture_corpus():
+    # The fixture corpus violates rules on purpose; directory discovery
+    # must not sweep it into a repo-wide run.
+    report = lint_paths([str(Path(__file__).parent)])
+    assert report.ok, [v.format() for v in report.violations]

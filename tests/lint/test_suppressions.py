@@ -1,0 +1,88 @@
+"""Suppression comments: line-level, file-level, wildcard, misuse."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro_lint import lint_paths
+from repro_lint.suppressions import parse_suppressions
+
+VIOLATING_LINE = "values = np.random.rand(8)\n"
+
+
+def _lint(tmp_path: Path, source: str):
+    target = tmp_path / "snippet.py"
+    target.write_text(source, encoding="utf-8")
+    return lint_paths([str(target)], root=tmp_path)
+
+
+def test_unsuppressed_baseline(tmp_path: Path):
+    report = _lint(tmp_path, "import numpy as np\n" + VIOLATING_LINE)
+    assert [v.code for v in report.violations] == ["RL002"]
+
+
+def test_line_suppression_silences_that_line(tmp_path: Path):
+    source = (
+        "import numpy as np\n"
+        "values = np.random.rand(8)  # repro-lint: ignore[RL002]\n"
+        "more = np.random.rand(8)\n"
+    )
+    report = _lint(tmp_path, source)
+    assert [(v.code, v.line) for v in report.violations] == [("RL002", 3)]
+
+
+def test_line_suppression_takes_a_comma_list(tmp_path: Path):
+    source = (
+        "import numpy as np\n"
+        "v = np.random.rand(8)  # repro-lint: ignore[RL001,RL002]\n"
+    )
+    assert _lint(tmp_path, source).ok
+
+
+def test_wrong_code_does_not_suppress(tmp_path: Path):
+    source = (
+        "import numpy as np\n"
+        "v = np.random.rand(8)  # repro-lint: ignore[RL001]\n"
+    )
+    report = _lint(tmp_path, source)
+    assert [v.code for v in report.violations] == ["RL002"]
+
+
+def test_file_level_suppression(tmp_path: Path):
+    source = (
+        "# repro-lint: file-ignore[RL002]\n"
+        "import numpy as np\n"
+        "a = np.random.rand(8)\n"
+        "b = np.random.normal(0.0, 1.0)\n"
+    )
+    assert _lint(tmp_path, source).ok
+
+
+def test_wildcard_suppression(tmp_path: Path):
+    source = (
+        "import numpy as np\n"
+        "v = np.random.rand(8)  # repro-lint: ignore[*]\n"
+    )
+    assert _lint(tmp_path, source).ok
+
+
+def test_magic_text_inside_string_is_not_a_suppression(tmp_path: Path):
+    source = (
+        "import numpy as np\n"
+        'doc = "# repro-lint: file-ignore[RL002]"\n'
+        "v = np.random.rand(8)\n"
+    )
+    report = _lint(tmp_path, source)
+    assert [v.code for v in report.violations] == ["RL002"]
+
+
+def test_parse_suppressions_shapes():
+    sup = parse_suppressions(
+        "# repro-lint: file-ignore[RL006]\n"
+        "x = 1  # repro-lint: ignore[RL001, RL004]\n"
+    )
+    assert sup.file_codes == {"RL006"}
+    assert sup.line_codes == {2: {"RL001", "RL004"}}
+    assert sup.is_suppressed("RL006", 99)
+    assert sup.is_suppressed("RL001", 2)
+    assert not sup.is_suppressed("RL001", 3)

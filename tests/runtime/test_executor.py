@@ -81,15 +81,22 @@ class TestParallelPath:
         assert [t.seed for t in tel.runs] == seeds
 
     def test_timeout_falls_back_to_in_process_retry(self, instance):
-        # An (effectively) zero budget times every run out in the pool;
-        # the retry path must still complete each seed in-process.
+        # An (effectively) zero budget times runs out in the pool; the
+        # retry path must complete them in-process.  A sibling's pool
+        # task may legitimately finish while an earlier seed's serial
+        # retry is running, so we require the retry path to have been
+        # exercised, not that every run took it.
         results, tel = EnsembleExecutor(
             max_workers=2, timeout_s=1e-9, max_retries=1
         ).run(instance, [8, 9])
         assert len(results) == 2
         assert all(t.ok for t in tel.runs)
-        assert all(t.worker == "serial" for t in tel.runs)
-        assert all(t.retries >= 1 for t in tel.runs)
+        assert any(t.worker == "serial" and t.retries >= 1 for t in tel.runs)
+        for t in tel.runs:
+            if t.worker == "serial":
+                assert t.retries >= 1  # reached only via the timeout retry
+            else:
+                assert t.worker == "pool" and t.retries == 0
         serial, _ = EnsembleExecutor(max_workers=1).run(instance, [8, 9])
         assert [r.length for r in results] == [r.length for r in serial]
 

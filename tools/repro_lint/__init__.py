@@ -1,0 +1,62 @@
+"""repro_lint — domain-aware static analysis for the repro codebase.
+
+An AST-based rule engine that machine-checks the conventions the
+reproduction's correctness rests on: numerically stable Boltzmann
+accepts (RL001), explicit seeded ``Generator`` RNG (RL002),
+pickle-safety across the ``repro.runtime`` process-pool boundary
+(RL003), no shared mutable defaults (RL004), no blanket handlers that
+swallow ``AnnealerError`` (RL005), and telemetry-owned wall-clock
+reads in solver kernels (RL006).
+
+Usage::
+
+    python -m repro_lint src tests benchmarks
+    python -m repro_lint --format json src
+    python -m repro_lint --list-rules
+
+Suppress a finding with a justification::
+
+    np.random.SeedSequence()  # repro-lint: ignore[RL002] — entropy root
+
+See ``docs/static-analysis.md`` for the rule catalogue and how to add
+rules.
+"""
+
+from repro_lint.engine import (  # noqa: F401
+    LintReport,
+    discover_files,
+    lint_file,
+    lint_paths,
+)
+from repro_lint.registry import (  # noqa: F401
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule_codes,
+    select_rules,
+)
+from repro_lint.reporters import render_json, render_text  # noqa: F401
+from repro_lint.violations import Violation  # noqa: F401
+
+# Importing the rules package registers the built-in RLnnn rules.
+import repro_lint.rules  # noqa: F401  isort:skip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "discover_files",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_codes",
+    "select_rules",
+    "__version__",
+]

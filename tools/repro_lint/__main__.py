@@ -1,0 +1,7 @@
+"""``python -m repro_lint`` entry point."""
+
+import sys
+
+from repro_lint.cli import main
+
+sys.exit(main())

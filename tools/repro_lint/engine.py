@@ -1,0 +1,146 @@
+"""Lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately small: it turns paths into
+:class:`~repro_lint.context.FileContext` objects, runs every active
+rule over each, filters hits through the file's suppression comments,
+and returns a deterministic, sorted violation list.  All domain
+knowledge lives in the rules; all output formatting in the reporters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, select_rules
+from repro_lint.suppressions import parse_suppressions
+from repro_lint.violations import Violation
+
+#: Directories never descended into during discovery.  ``fixtures``
+#: holds the lint-rule test corpus — files that violate rules on
+#: purpose (they are still linted explicitly by tests/lint).
+_SKIP_DIRS = {
+    "fixtures",
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    ".benchmarks",
+    "results",
+    "results_full",
+    "build",
+    "dist",
+}
+
+#: Code used for files that do not parse (always active, never a rule).
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted unique ``.py`` file list."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for p in candidates:
+            key = p.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+    return out
+
+
+def _build_context(path: Path, root: Optional[Path]) -> FileContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+    except ValueError:
+        rel = path
+    return FileContext(
+        path=str(path),
+        rel_path=rel.as_posix(),
+        source=source,
+        tree=tree,
+    )
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> List[Violation]:
+    """Run ``rules`` over one file, honouring suppression comments."""
+    try:
+        ctx = _build_context(path, root)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(ctx.source)
+    hits: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.is_suppressed(violation.code, violation.line):
+                hits.append(violation)
+    return hits
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint every ``.py`` file reachable from ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (directories are walked recursively).
+    select, ignore:
+        Optional rule-code filters (``select`` empty = all rules).
+    root:
+        Base for the repo-relative paths used by path-scoped rules;
+        defaults to the current working directory.
+    """
+    rules = select_rules(select, ignore)
+    report = LintReport()
+    for path in discover_files(paths):
+        report.files_checked += 1
+        report.violations.extend(lint_file(path, rules, root=root))
+    report.violations.sort()
+    return report

@@ -1,0 +1,105 @@
+"""Pluggable rule registry.
+
+Rules self-register with the :func:`register` class decorator; the
+engine asks :func:`all_rules` for the active set.  Registration is
+keyed by the rule's ``code`` (``RLnnn``) so ``--select`` / ``--ignore``
+and suppression comments can address rules uniformly, and so a rule
+pack shipped outside this package can extend the linter by importing
+:func:`register` and decorating its own :class:`Rule` subclasses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import ClassVar, Dict, Iterable, Iterator, List, Type
+
+from repro_lint.context import FileContext
+from repro_lint.violations import Violation
+
+_CODE_RE = re.compile(r"^RL\d{3}$")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses define the class attributes below and implement
+    :meth:`check`; :meth:`applies_to` optionally scopes the rule to a
+    subset of files (path-based scoping — e.g. solver kernels only).
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: yes)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in the file."""
+        raise NotImplementedError
+
+    # Convenience for subclasses -----------------------------------------
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not _CODE_RE.match(cls.code):
+        raise ValueError(
+            f"rule code must match RLnnn, got {cls.code!r} on {cls.__name__}"
+        )
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> List[str]:
+    """The sorted registered codes."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate the rule registered under ``code``."""
+    if code not in _REGISTRY:
+        raise KeyError(
+            f"unknown rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[code]()
+
+
+def select_rules(
+    select: Iterable[str] = (), ignore: Iterable[str] = ()
+) -> List[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering."""
+    chosen = set(select) or set(_REGISTRY)
+    unknown = (chosen | set(ignore)) - set(_REGISTRY)
+    if unknown:
+        raise KeyError(
+            f"unknown rule code(s) {sorted(unknown)}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return [
+        _REGISTRY[code]()
+        for code in sorted(chosen - set(ignore))
+    ]

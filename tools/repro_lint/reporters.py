@@ -1,0 +1,53 @@
+"""Report rendering: human-readable text and machine-readable JSON.
+
+The JSON schema (``repro_lint.report/v1``) is stable and round-trips
+through :func:`json.loads` into the same shape the test suite asserts
+on; CI artifacts and dashboards consume it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro_lint.engine import LintReport
+
+JSON_SCHEMA = "repro_lint.report/v1"
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col: CODE message`` line per hit, plus a summary."""
+    lines = [v.format() for v in report.violations]
+    if report.violations:
+        by_code: Dict[str, int] = {}
+        for v in report.violations:
+            by_code[v.code] = by_code.get(v.code, 0) + 1
+        summary = ", ".join(
+            f"{code}×{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_checked} file(s) checked [{summary}]"
+        )
+    else:
+        lines.append(f"clean: {report.files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def to_payload(report: LintReport) -> Dict[str, Any]:
+    """JSON-native dict view of a report."""
+    by_code: Dict[str, int] = {}
+    for v in report.violations:
+        by_code[v.code] = by_code.get(v.code, 0) + 1
+    return {
+        "schema": JSON_SCHEMA,
+        "files_checked": report.files_checked,
+        "n_violations": len(report.violations),
+        "counts_by_code": dict(sorted(by_code.items())),
+        "violations": [v.to_dict() for v in report.violations],
+    }
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    """Serialise the report to a JSON document."""
+    return json.dumps(to_payload(report), indent=indent)

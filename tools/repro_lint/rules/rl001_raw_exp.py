@@ -1,0 +1,122 @@
+"""RL001 — raw ``exp`` in a Boltzmann-accept / sigmoid context.
+
+``np.exp(-delta / temp)`` overflows for large gaps or tiny
+temperatures; the repo's convention is to route every acceptance
+probability through :mod:`repro.ising.numerics`
+(``boltzmann_accept_probability`` / ``stable_sigmoid``), whose
+exponent is clamped non-positive by construction.  This rule flags a
+raw ``np.exp`` / ``math.exp`` call when either
+
+* it is compared against a ``*.random()`` / ``*.uniform()`` draw —
+  the Metropolis-accept idiom, or
+* its argument divides by a temperature-like name (``temp``,
+  ``temperature``, ``beta``, ``tau``, a bare ``t``/``T``) — an
+  acceptance or Gibbs probability even when the comparison is built
+  elsewhere.
+
+``repro/ising/numerics.py`` itself is exempt: it is the sanctioned
+implementation the rule points everyone to.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_TEMP_NAME = re.compile(r"(^|_)(t|temp|temperature|beta|tau)(\d*)(_|$)")
+_RANDOM_DRAW_ATTRS = {"random", "uniform", "random_sample", "rand"}
+
+
+def _is_exp_call(ctx: FileContext, node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "exp":
+        if isinstance(func.value, ast.Name):
+            return (
+                func.value.id in ctx.numpy_aliases
+                or func.value.id == "math"
+                and ctx.imports_module("math")
+            )
+    if isinstance(func, ast.Name):
+        origin = ctx.from_imports.get(func.id, "")
+        return origin in ("math.exp", "numpy.exp")
+    return False
+
+
+def _is_random_draw(node: ast.AST) -> bool:
+    """``rng.random()``-shaped call (any receiver, no/any args)."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _RANDOM_DRAW_ATTRS
+    )
+
+
+def _compared_with_random(ctx: FileContext, call: ast.Call) -> bool:
+    """Whether ``call`` is an operand of a compare against a draw."""
+    node: ast.AST = call
+    parent = ctx.parent(node)
+    # Walk through trivial wrappers (unary minus, parens are implicit).
+    while isinstance(parent, (ast.UnaryOp, ast.BinOp)):
+        node = parent
+        parent = ctx.parent(node)
+    if not isinstance(parent, ast.Compare):
+        return False
+    operands = [parent.left, *parent.comparators]
+    return any(_is_random_draw(op) for op in operands if op is not node)
+
+
+def _divides_by_temperature(call: ast.Call) -> Optional[str]:
+    """Temperature-like denominator name inside the exp argument."""
+    for sub in ast.walk(call):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            denom = sub.right
+            name = None
+            if isinstance(denom, ast.Name):
+                name = denom.id
+            elif isinstance(denom, ast.Attribute):
+                name = denom.attr
+            if name is not None and _TEMP_NAME.search(name.lower()):
+                return name
+    return None
+
+
+@register
+class RawExpInAcceptContext(Rule):
+    code = "RL001"
+    name = "raw-exp-accept"
+    description = (
+        "raw np.exp/math.exp in an acceptance/sigmoid context; use "
+        "repro.ising.numerics (boltzmann_accept_probability, "
+        "stable_sigmoid) so the exponent cannot overflow"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.rel_path.endswith("repro/ising/numerics.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_exp_call(ctx, node)):
+                continue
+            if _compared_with_random(ctx, node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "raw exp() compared against a random draw "
+                    "(Metropolis accept); use repro.ising.numerics."
+                    "boltzmann_accept_probability instead",
+                )
+                continue
+            denom = _divides_by_temperature(node)
+            if denom is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"raw exp() of an energy gap over temperature-like "
+                    f"{denom!r}; use the clamped kernels in "
+                    f"repro.ising.numerics instead",
+                )

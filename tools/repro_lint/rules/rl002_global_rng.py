@@ -1,0 +1,115 @@
+"""RL002 — legacy global RNG instead of an explicit ``Generator``.
+
+Reproducibility discipline: every stochastic component takes a seeded
+:class:`numpy.random.Generator` (normalised by
+:func:`repro.utils.rng.spawn_rng`).  Calls into the *global* legacy
+streams — ``np.random.rand(...)``, ``random.random()``, … — are
+process-wide hidden state: they make runs irreproducible under
+parallel dispatch and decouple results from the recorded seed.
+
+Flagged:
+
+* any call ``<numpy>.random.<fn>(...)`` except ``default_rng`` (the
+  sanctioned constructor) — including ``SeedSequence``, which is only
+  legitimate inside ``repro/utils/rng.py`` and is suppressed there
+  with a justification;
+* any call ``random.<fn>(...)`` on the imported stdlib module;
+* importing names out of ``numpy.random`` or stdlib ``random``
+  (``from numpy.random import rand``), which launders the same global
+  state past the call-site checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_ALLOWED_NUMPY_RANDOM = {"default_rng"}
+_ALLOWED_FROM_IMPORTS = {"default_rng", "Generator", "BitGenerator"}
+
+
+def _numpy_random_fn(ctx: FileContext, func: ast.AST) -> str:
+    """``<np>.random.<fn>`` attribute chain → fn name, else ''."""
+    if not isinstance(func, ast.Attribute):
+        return ""
+    base = func.value
+    if (
+        isinstance(base, ast.Attribute)
+        and base.attr == "random"
+        and isinstance(base.value, ast.Name)
+        and base.value.id in ctx.numpy_aliases
+    ):
+        return func.attr
+    # `import numpy.random as npr` → npr.<fn>
+    if isinstance(base, ast.Name) and base.id in ctx.numpy_aliases:
+        # only when the alias is bound to numpy.random itself
+        return func.attr if _alias_is_numpy_random(ctx, base.id) else ""
+    return ""
+
+
+def _alias_is_numpy_random(ctx: FileContext, alias: str) -> bool:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if (a.asname or a.name) == alias and a.name == "numpy.random":
+                    return True
+    return False
+
+
+@register
+class LegacyGlobalRNG(Rule):
+    code = "RL002"
+    name = "legacy-global-rng"
+    description = (
+        "legacy global RNG (np.random.<fn> / random.<fn>); stochastic "
+        "code must take an explicit numpy.random.Generator "
+        "(repro.utils.rng.spawn_rng)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        stdlib_random = ctx.imports_module("random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                fn = _numpy_random_fn(ctx, node.func)
+                if fn and fn not in _ALLOWED_NUMPY_RANDOM:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"np.random.{fn}() uses the legacy global stream; "
+                        "take an explicit Generator "
+                        "(repro.utils.rng.spawn_rng)",
+                    )
+                elif (
+                    stdlib_random
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"random.{node.func.attr}() uses the process-global "
+                        "stdlib stream; take an explicit "
+                        "numpy.random.Generator instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "random",
+                "numpy.random",
+            ):
+                bad = [
+                    a.name
+                    for a in node.names
+                    if a.name not in _ALLOWED_FROM_IMPORTS
+                ]
+                if bad:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"importing {', '.join(bad)} from {node.module} "
+                        "binds global-stream RNG; pass a Generator "
+                        "explicitly",
+                    )

@@ -1,0 +1,164 @@
+"""RL003 — unpicklable state crossing the process-pool boundary.
+
+:mod:`repro.runtime.executor` fans work out over a
+``ProcessPoolExecutor``: everything submitted is pickled into the
+worker.  Lambdas, nested functions, locks, and open handles fail there
+at runtime — sometimes only on the retry path, long after the code
+"worked" serially.  This rule catches the statically visible cases:
+
+* a ``lambda`` or locally-defined (nested) function passed to a
+  pool-crossing call — ``submit`` / ``apply_async`` / ``imap*`` /
+  ``starmap`` on anything, plus ``map`` when the receiver looks like a
+  pool or executor;
+* a default argument or dataclass-field default constructing an
+  unpicklable object (``threading.Lock()`` & friends, ``open(...)``) —
+  shared mutable state that cannot ride along into a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_POOL_ONLY_METHODS = {
+    "submit",
+    "apply_async",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+_POOLISH_RECEIVER = re.compile(r"(pool|executor)", re.IGNORECASE)
+_UNPICKLABLE_CTORS = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Barrier",
+}
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return ""
+
+
+def _is_pool_crossing(node: ast.Call) -> bool:
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    attr = node.func.attr
+    if attr in _POOL_ONLY_METHODS:
+        return True
+    if attr == "map":
+        return bool(_POOLISH_RECEIVER.search(_receiver_name(node.func)))
+    return False
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _is_unpicklable_ctor(node: ast.AST) -> str:
+    """Describe an unpicklable constructor call, or ''."""
+    if not isinstance(node, ast.Call):
+        return ""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open()"
+        if func.id in _UNPICKLABLE_CTORS:
+            return f"{func.id}()"
+    if isinstance(func, ast.Attribute) and func.attr in _UNPICKLABLE_CTORS:
+        base = func.value
+        mod = base.id if isinstance(base, ast.Name) else "?"
+        return f"{mod}.{func.attr}()"
+    return ""
+
+
+@register
+class PoolPickleSafety(Rule):
+    code = "RL003"
+    name = "pool-pickle-safety"
+    description = (
+        "unpicklable state crossing the repro.runtime pool boundary "
+        "(lambda/nested function submitted to a pool, lock or open "
+        "handle as a default); only module-level callables and plain "
+        "data survive pickling into workers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        nested = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_pool_crossing(node):
+                args: List[ast.expr] = [
+                    *node.args,
+                    *[kw.value for kw in node.keywords],
+                ]
+                for arg in args:
+                    if isinstance(arg, ast.Lambda):
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            "lambda submitted across the process-pool "
+                            "boundary cannot be pickled into a worker; "
+                            "use a module-level function",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in nested:
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            f"nested function {arg.id!r} submitted across "
+                            "the process-pool boundary cannot be pickled "
+                            "into a worker; hoist it to module level",
+                        )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                defaults = [
+                    *node.args.defaults,
+                    *[d for d in node.args.kw_defaults if d is not None],
+                ]
+                for default in defaults:
+                    desc = _is_unpicklable_ctor(default)
+                    if desc:
+                        yield self.violation(
+                            ctx,
+                            default,
+                            f"default argument {desc} is unpicklable "
+                            "shared state; create it per call or inject "
+                            "it explicitly",
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                desc = _is_unpicklable_ctor(node.value)
+                if desc and isinstance(
+                    ctx.parent(node), ast.ClassDef
+                ):
+                    yield self.violation(
+                        ctx,
+                        node.value,
+                        f"class attribute default {desc} is unpicklable "
+                        "shared state; it cannot cross the pool boundary "
+                        "— build it in __post_init__ or per use",
+                    )

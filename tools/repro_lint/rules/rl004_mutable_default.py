@@ -1,0 +1,126 @@
+"""RL004 — mutable default arguments (including dataclass fields).
+
+A mutable default (``def f(xs=[])``) is evaluated once at definition
+time and shared across every call — accumulated state leaks between
+runs, which is poison for reproducibility.  Dataclasses reject plain
+``list``/``dict``/``set`` defaults at runtime but happily accept other
+mutables (``np.zeros(3)``, a user object), sharing one instance across
+all dataclass instances.
+
+Flagged as defaults (function args and dataclass fields alike):
+
+* display literals ``[]`` / ``{}`` / ``{…}`` and comprehensions;
+* constructor calls ``list()`` / ``dict()`` / ``set()`` /
+  ``bytearray()`` / ``collections.defaultdict`` / ``deque``;
+* numpy array constructors (``np.array``, ``np.zeros``, …).
+
+Use ``None`` + in-body construction, or
+``dataclasses.field(default_factory=…)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_MUTABLE_CTOR_NAMES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "OrderedDict",
+    "Counter",
+}
+_NUMPY_ARRAY_CTORS = {
+    "array",
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "arange",
+    "linspace",
+    "geomspace",
+}
+
+
+def _mutable_desc(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it builds a fresh mutable object."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CTOR_NAMES:
+            return f"{func.id}()"
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ctx.numpy_aliases
+            and func.attr in _NUMPY_ARRAY_CTORS
+        ):
+            return f"np.{func.attr}() array"
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+@register
+class MutableDefaultArgument(Rule):
+    code = "RL004"
+    name = "mutable-default"
+    description = (
+        "mutable default argument / dataclass field default shared "
+        "across calls; use None or dataclasses.field(default_factory=...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                defaults = [
+                    *node.args.defaults,
+                    *[d for d in node.args.kw_defaults if d is not None],
+                ]
+                for default in defaults:
+                    desc = _mutable_desc(ctx, default)
+                    if desc:
+                        yield self.violation(
+                            ctx,
+                            default,
+                            f"mutable default {desc} is shared across "
+                            "calls; default to None and build it in the "
+                            "body (or use field(default_factory=...))",
+                        )
+            elif isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.AnnAssign)
+                        and stmt.value is not None
+                    ):
+                        desc = _mutable_desc(ctx, stmt.value)
+                        if desc:
+                            yield self.violation(
+                                ctx,
+                                stmt.value,
+                                f"dataclass field default {desc} is one "
+                                "object shared by every instance; use "
+                                "field(default_factory=...)",
+                            )

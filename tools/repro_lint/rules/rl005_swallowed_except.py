@@ -1,0 +1,104 @@
+"""RL005 — bare/overbroad ``except`` that swallows ``AnnealerError``.
+
+:class:`repro.errors.AnnealerError` (and the wider ``ReproError``
+family) signal *configuration* mistakes — they must fail loud, not be
+absorbed by a blanket handler that was aimed at transient worker
+faults.  A bare ``except:`` or ``except Exception:`` whose body never
+re-raises swallows them silently.
+
+Not flagged:
+
+* handlers for specific exception types (``except ValueError:``);
+* broad handlers that re-raise somewhere in their body;
+* broad handlers in a ``try`` where an *earlier* handler already
+  catches and re-raises the repro error family —
+  ``except AnnealerError: raise`` followed by ``except Exception:`` is
+  the sanctioned isolate-worker-faults idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_BROAD = {"Exception", "BaseException"}
+_REPRO_ERRORS = {"ReproError", "AnnealerError"}
+
+
+def _type_names(expr: ast.AST) -> Iterator[str]:
+    if isinstance(expr, ast.Name):
+        yield expr.id
+    elif isinstance(expr, ast.Attribute):
+        yield expr.attr
+    elif isinstance(expr, ast.Tuple):
+        for elt in expr.elts:
+            yield from _type_names(elt)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return any(name in _BROAD for name in _type_names(handler.type))
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(sub, ast.Raise)
+        for stmt in handler.body
+        for sub in ast.walk(stmt)
+    )
+
+
+def _earlier_handler_reraises_repro(
+    try_node: ast.Try, handler: ast.ExceptHandler
+) -> bool:
+    for earlier in try_node.handlers:
+        if earlier is handler:
+            return False
+        if earlier.type is None:
+            continue
+        catches_repro = any(
+            name in _REPRO_ERRORS for name in _type_names(earlier.type)
+        )
+        if catches_repro and _reraises(earlier):
+            return True
+    return False
+
+
+@register
+class SwallowedAnnealerError(Rule):
+    code = "RL005"
+    name = "swallowed-annealer-error"
+    description = (
+        "bare/overbroad except swallows AnnealerError; catch specific "
+        "types, re-raise, or precede with `except AnnealerError: raise`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if not _is_broad(handler):
+                    continue
+                if _reraises(handler):
+                    continue
+                if _earlier_handler_reraises_repro(node, handler):
+                    continue
+                kind = (
+                    "bare except:"
+                    if handler.type is None
+                    else "except "
+                    + "/".join(_type_names(handler.type))
+                )
+                yield self.violation(
+                    ctx,
+                    handler,
+                    f"{kind} swallows AnnealerError (config errors must "
+                    "fail loud); catch specific exceptions, re-raise, or "
+                    "add `except AnnealerError: raise` first",
+                )

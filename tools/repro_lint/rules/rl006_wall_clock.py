@@ -1,0 +1,82 @@
+"""RL006 — wall-clock reads in solver kernels outside the telemetry layer.
+
+``RunTelemetry`` per-level times are only comparable when every timing
+read goes through the telemetry layer's :class:`repro.runtime.telemetry.
+Stopwatch`: ad-hoc ``time.time()`` / ``time.perf_counter()`` calls
+sprinkled through solver kernels measure overlapping spans, get lost
+on the retry path, and silently skew the per-level numbers the
+benchmarks aggregate.
+
+Scope: modules under the ``repro/`` package **except**
+``repro/runtime/`` (the telemetry layer owns the clock).  Tests and
+benchmarks may time whatever they like.
+
+Flagged: calls to ``time.time`` / ``perf_counter`` / ``monotonic`` /
+``process_time`` / ``thread_time`` — via the module (``time.
+perf_counter()``) or a ``from time import perf_counter`` binding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_CLOCK_FNS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+}
+
+
+@register
+class WallClockInSolverKernel(Rule):
+    code = "RL006"
+    name = "wall-clock-in-kernel"
+    description = (
+        "wall-clock read in a solver kernel outside the telemetry "
+        "layer; use repro.runtime.telemetry.Stopwatch so RunTelemetry "
+        "per-level times stay consistent"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        sub = ctx.repro_subpath()
+        if sub is None:
+            return False  # tests/benchmarks/tools may time freely
+        return not sub.startswith("runtime/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            fn = ""
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and ctx.imports_module("time")
+                and func.attr in _CLOCK_FNS
+            ):
+                fn = f"time.{func.attr}"
+            elif isinstance(func, ast.Name):
+                origin = ctx.from_imports.get(func.id, "")
+                if origin.startswith("time.") and origin[5:] in _CLOCK_FNS:
+                    fn = origin
+            if fn:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{fn}() in a solver kernel bypasses the telemetry "
+                    "layer; time spans with "
+                    "repro.runtime.telemetry.Stopwatch",
+                )

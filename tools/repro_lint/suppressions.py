@@ -1,0 +1,71 @@
+"""Suppression-comment parsing.
+
+Two forms, both addressing rules by code:
+
+* line-level — ``# repro-lint: ignore[RL001]`` (or a comma list,
+  ``ignore[RL001,RL005]``) on the same physical line as the violation
+  silences those rules for that line only;
+* file-level — ``# repro-lint: file-ignore[RL006]`` anywhere in the
+  file (conventionally the module docstring area) silences the rules
+  for the whole file.
+
+``ignore[*]`` / ``file-ignore[*]`` silences every rule.  Comments are
+found with :mod:`tokenize` so strings that merely *contain* the magic
+text don't suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>file-ignore|ignore)\[(?P<codes>[^\]]+)\]"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments of one file."""
+
+    file_codes: Set[str] = field(default_factory=set)
+    line_codes: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` is silenced at ``line``."""
+        if code in self.file_codes or "*" in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line, ())
+        return code in at_line or "*" in at_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression comment from ``source``.
+
+    Tolerates files that do not tokenize (the engine reports those as
+    parse errors separately): whatever comments were seen before the
+    tokenizer gave up still count.
+    """
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if not match:
+                continue
+            codes = {
+                c.strip() for c in match.group("codes").split(",") if c.strip()
+            }
+            if match.group("scope") == "file-ignore":
+                sup.file_codes |= codes
+            else:
+                line = tok.start[0]
+                sup.line_codes.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return sup

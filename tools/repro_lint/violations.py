@@ -1,0 +1,37 @@
+"""Violation record emitted by lint rules.
+
+A :class:`Violation` pins one rule hit to a file/line/column.  Records
+are plain data so both reporters (text, JSON) and the test suite can
+consume them without knowing anything about the rule that produced
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit, sortable into deterministic report order."""
+
+    path: str  # posix-style path as given on the command line
+    line: int  # 1-based line of the offending node
+    col: int  # 0-based column of the offending node
+    code: str  # rule code, e.g. "RL001"
+    message: str  # human-readable explanation with the fix direction
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native view (keys match the JSON reporter schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
