@@ -31,9 +31,12 @@ bench:
 bench-full:
 	REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
 
-# Refresh the machine-readable BENCH_ensemble.json throughput artifact.
+# Refresh the machine-readable throughput artifacts:
+# BENCH_ensemble.json (one ensemble, serial vs pool) and
+# BENCH_service.json (AnnealingService, concurrent jobs, shared pool).
 bench-json:
-	pytest benchmarks/test_ext_ensemble_throughput.py --benchmark-only
+	pytest benchmarks/test_ext_ensemble_throughput.py \
+		benchmarks/test_ext_service_throughput.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

@@ -23,6 +23,7 @@ import pytest
 from benchmarks._common import bench_scale, bench_seed, save_and_print
 from repro.annealer import AnnealerConfig
 from repro.annealer.batch import solve_ensemble
+from repro.runtime.options import EnsembleOptions
 from repro.tsp.generators import random_clustered
 from repro.utils.tables import Table
 
@@ -49,10 +50,13 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
     cfg = AnnealerConfig()
     workers = _workers()
 
-    serial = solve_ensemble(inst, seeds, config=cfg, max_workers=1)
+    serial = solve_ensemble(
+        inst, seeds, config=cfg, options=EnsembleOptions(max_workers=1)
+    )
+    pool_options = EnsembleOptions(max_workers=workers)
 
     def run_parallel():
-        return solve_ensemble(inst, seeds, config=cfg, max_workers=workers)
+        return solve_ensemble(inst, seeds, config=cfg, options=pool_options)
 
     parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
 

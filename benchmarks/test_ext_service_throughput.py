@@ -1,0 +1,146 @@
+"""Extension — serving-mode throughput (AnnealingService, shared pool).
+
+Companion to :mod:`benchmarks.test_ext_ensemble_throughput`: instead of
+one ensemble at a time, this bench drives the async
+:class:`repro.runtime.AnnealingService` with several concurrent jobs
+multiplexed onto one shared worker pool — the deployment shape of the
+ROADMAP's high-throughput solving service.  It checks that served
+results stay bit-identical to the serial path, records streaming
+latency (time to first telemetry record vs. total wall time), and
+writes the machine-readable ``BENCH_service.json`` artifact at the repo
+root (refreshed by ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig
+from repro.annealer.batch import solve_ensemble
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.service import AnnealingService
+from repro.tsp.generators import random_clustered
+from repro.utils.tables import Table
+
+#: Machine-readable artifact refreshed by ``make bench-json``.
+BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_service.json"
+
+N_JOBS = 3
+SEEDS_PER_JOB = 3
+
+
+def _workers() -> int:
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw:
+        return max(2, int(raw))
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+async def _drive_service(inst, cfg, job_seeds, workers):
+    """Submit all jobs, stream every record, return timing + results."""
+    t0 = time.perf_counter()
+    first_record_s = None
+    async with AnnealingService(EnsembleOptions(max_workers=workers)) as svc:
+        jobs = [
+            await svc.submit(
+                SolveRequest.build(inst, seeds, config=cfg, tag="bench")
+            )
+            for seeds in job_seeds
+        ]
+
+        async def consume(job):
+            nonlocal first_record_s
+            async for _record in job.stream():
+                if first_record_s is None:
+                    first_record_s = time.perf_counter() - t0
+
+        await asyncio.gather(*(consume(job) for job in jobs))
+        results = [await job.result() for job in jobs]
+    wall_s = time.perf_counter() - t0
+    return results, wall_s, first_record_s
+
+
+@pytest.mark.benchmark(group="ext-service-throughput")
+def test_service_throughput_concurrent_jobs(benchmark):
+    scale = bench_scale()
+    n = max(80, int(3038 * scale * 0.1))
+    inst = random_clustered(n, n_clusters=max(4, n // 25), seed=bench_seed())
+    cfg = AnnealerConfig()
+    workers = _workers()
+    job_seeds = [
+        list(range(500 + 10 * j, 500 + 10 * j + SEEDS_PER_JOB))
+        for j in range(N_JOBS)
+    ]
+
+    def run_service():
+        return asyncio.run(_drive_service(inst, cfg, job_seeds, workers))
+
+    results, wall_s, first_record_s = benchmark.pedantic(
+        run_service, rounds=1, iterations=1
+    )
+
+    # Served results are bit-identical to the serial single-job path.
+    for served, seeds in zip(results, job_seeds):
+        serial = solve_ensemble(
+            inst, seeds, config=cfg, options=EnsembleOptions(max_workers=1)
+        )
+        assert [r.length for r in served.results] == [
+            r.length for r in serial.results
+        ]
+        assert all(
+            np.array_equal(a.tour, b.tour)
+            for a, b in zip(served.results, serial.results)
+        )
+
+    total_runs = N_JOBS * SEEDS_PER_JOB
+    throughput = total_runs / max(wall_s, 1e-9)
+    table = Table(
+        f"Service throughput — {N_JOBS} jobs x {SEEDS_PER_JOB} seeds, "
+        f"N = {n} (host cores: {os.cpu_count()})",
+        ["jobs", "workers", "wall (s)", "runs/s", "first record (s)"],
+    )
+    table.add_row(
+        [N_JOBS, workers, f"{wall_s:.2f}", f"{throughput:.2f}",
+         f"{(first_record_s or 0.0):.2f}"],
+    )
+    table.add_note("one shared pool; telemetry streamed per job")
+    save_and_print(table, "ext_service_throughput")
+
+    payload = {
+        "schema": "repro.bench_service/v1",
+        "instance": {"name": inst.name, "n": inst.n},
+        "n_jobs": N_JOBS,
+        "seeds_per_job": SEEDS_PER_JOB,
+        "job_seeds": job_seeds,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "scale": scale,
+        "wall_time_s": wall_s,
+        "throughput_runs_per_s": throughput,
+        "first_record_s": first_record_s,
+        "jobs": [r.telemetry.to_dict() for r in results],
+    }
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[saved to {BENCH_JSON_PATH}]")
+
+    # The artifact must be valid, complete, per-run telemetry.
+    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    assert len(reread["jobs"]) == N_JOBS
+    assert reread["first_record_s"] is not None
+    assert reread["first_record_s"] < reread["wall_time_s"]
+    for job in reread["jobs"]:
+        assert job["job_id"].startswith("bench-")
+        assert len(job["runs"]) == SEEDS_PER_JOB
+        for run in job["runs"]:
+            assert run["ok"]
+            assert run["wall_time_s"] > 0

@@ -23,7 +23,7 @@ Package layout
 * :mod:`repro.sram` — noisy SRAM cells, Monte-Carlo error curves;
 * :mod:`repro.cim` — digital CIM windows, arrays, adder trees;
 * :mod:`repro.annealer` — the clustered CIM annealer (core);
-* :mod:`repro.runtime` — parallel ensemble executor + telemetry;
+* :mod:`repro.runtime` — parallel ensembles, async serving, telemetry;
 * :mod:`repro.hardware` — area / latency / energy models, Table III;
 * :mod:`repro.analysis` — capacity laws, sweeps, speedup accounting.
 """
@@ -37,7 +37,16 @@ from repro.annealer import (
     NoiseTarget,
     solve_ensemble,
 )
-from repro.runtime import EnsembleExecutor, EnsembleTelemetry, RunTelemetry
+from repro.runtime import (
+    AnnealingService,
+    EnsembleExecutor,
+    EnsembleOptions,
+    EnsembleTelemetry,
+    Job,
+    JobState,
+    RunTelemetry,
+    SolveRequest,
+)
 from repro.clustering import (
     ArbitraryStrategy,
     FixedSizeStrategy,
@@ -78,12 +87,17 @@ __all__ = [
     "NoiseTarget",
     "VddSchedule",
     "SRAMCellParams",
-    # ensemble runtime
+    # ensemble + serving runtime
     "solve_ensemble",
     "EnsembleResult",
     "EnsembleExecutor",
+    "EnsembleOptions",
     "EnsembleTelemetry",
     "RunTelemetry",
+    "SolveRequest",
+    "AnnealingService",
+    "Job",
+    "JobState",
     # strategies
     "ArbitraryStrategy",
     "FixedSizeStrategy",

@@ -1,32 +1,50 @@
 """Multi-seed batch solving with ensemble statistics.
 
 Annealer results are stochastic, so credible quality numbers come from
-seed ensembles.  :func:`solve_ensemble` runs the clustered CIM annealer
-across seeds — serially or fanned out over a process pool via
-:class:`repro.runtime.EnsembleExecutor` — and returns per-seed results,
-:class:`repro.analysis.quality.QualityStats` on the optimal ratios, and
-structured :class:`repro.runtime.EnsembleTelemetry` (per-run wall
-times, trial counters, write-backs, chip MAC counters) — the exact
-aggregation the benchmark suite and EXPERIMENTS.md report.
+seed ensembles.  :func:`solve_ensemble` is the blocking convenience
+entry point: it wraps a :class:`repro.runtime.SolveRequest` and runs
+it as the only job of a private
+:class:`repro.runtime.AnnealingService` — the same serving runtime
+that multiplexes many concurrent ensembles onto one shared pool — and
+returns per-seed results, :class:`repro.analysis.quality.QualityStats`
+on the optimal ratios, and structured
+:class:`repro.runtime.EnsembleTelemetry` (per-run wall times, trial
+counters, write-backs, chip MAC counters) — the exact aggregation the
+benchmark suite and EXPERIMENTS.md report.
 
 Parallel runs are **bit-identical** to serial ones: each run is fully
 determined by its seed and results are reassembled in seed order, so
 ``max_workers`` only changes wall-clock, never tours or lengths.
+
+API (1.1)
+---------
+Canonical forms::
+
+    solve_ensemble(request)                           # a SolveRequest
+    solve_ensemble(instance, seeds,
+                   config=cfg, reference=ref,
+                   options=EnsembleOptions(max_workers=4))
+
+The pre-1.1 tuning keywords (``max_workers=``, ``timeout_s=``,
+``max_retries=``) and positional ``config``/``reference`` still work
+for one release but emit a :class:`DeprecationWarning` (see
+``docs/serving.md`` for the timeline).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.analysis.quality import QualityStats, summarize
+from repro.analysis.quality import QualityStats
 from repro.annealer.config import AnnealerConfig
 from repro.annealer.result import AnnealResult
 from repro.errors import AnnealerError
-from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.service import solve_sync
 from repro.runtime.telemetry import EnsembleTelemetry
 from repro.tsp.instance import TSPInstance
-from repro.tsp.reference import reference_length
 
 
 @dataclass
@@ -63,70 +81,133 @@ class EnsembleResult:
         return len(self.results)
 
 
+#: Old positional order after ``seeds`` (pre-1.1 signature).
+_LEGACY_POSITIONAL = (
+    "config",
+    "reference",
+    "max_workers",
+    "timeout_s",
+    "max_retries",
+)
+#: Old tuning keywords now living on :class:`EnsembleOptions`.
+_LEGACY_TUNING = ("max_workers", "timeout_s", "max_retries")
+
+
 def solve_ensemble(
-    instance: TSPInstance,
-    seeds: Sequence[int],
+    instance: Union[TSPInstance, SolveRequest],
+    seeds: Optional[Sequence[int]] = None,
+    *legacy_args: Any,
     config: Optional[AnnealerConfig] = None,
     reference: Optional[float] = None,
-    max_workers: int = 1,
-    timeout_s: Optional[float] = None,
-    max_retries: int = 1,
+    options: Optional[EnsembleOptions] = None,
+    **legacy_kwargs: Any,
 ) -> EnsembleResult:
     """Solve ``instance`` once per seed and aggregate the quality.
+
+    Thin synchronous wrapper over the serving runtime
+    (:mod:`repro.runtime.service`): builds a
+    :class:`~repro.runtime.options.SolveRequest` (or accepts one
+    directly as the sole argument) and runs it to completion on a
+    private single-job :class:`~repro.runtime.AnnealingService`.
 
     Parameters
     ----------
     instance:
-        The problem.
+        The problem — or a complete :class:`SolveRequest`, in which
+        case every other argument must be omitted.
     seeds:
         Seeds; each produces an independent fabrication + anneal.
         Duplicates are rejected — they would silently skew
         ``ratio_stats`` with correlated runs.
     config:
-        Base configuration; its ``seed`` field is replaced per run.
+        Keyword-only base configuration; its ``seed`` field is
+        replaced per run.
     reference:
-        Reference length for ratios (computed if omitted).
-    max_workers:
-        Worker processes for the ensemble; ``1`` (default, the historic
-        behaviour) runs serially in-process.  Results are bit-identical
-        either way.
-    timeout_s:
-        Optional per-run wall-clock budget in pool mode.
-    max_retries:
-        Extra in-process attempts for a failed or timed-out run.
+        Keyword-only reference length for ratios (computed if
+        omitted).
+    options:
+        Keyword-only runtime tuning
+        (:class:`~repro.runtime.EnsembleOptions`): pool width, per-run
+        timeout/retries, admission-control knobs.  Results are
+        bit-identical for any ``max_workers``.
+
+    Deprecated (one-release shim, warns)
+    ------------------------------------
+    Positional ``config``/``reference`` and the tuning keywords
+    ``max_workers=``, ``timeout_s=``, ``max_retries=``; they are
+    mapped onto ``options`` and behave identically.
     """
-    seeds = [int(s) for s in seeds]
-    if not seeds:
-        raise AnnealerError("need at least one seed")
-    if len(set(seeds)) != len(seeds):
-        dupes = sorted({s for s in seeds if seeds.count(s) > 1})
-        raise AnnealerError(
-            f"duplicate seeds {dupes} would skew ratio_stats; "
-            "pass distinct seeds"
-        )
-    base = config or AnnealerConfig()
-    if reference is None:
-        reference = reference_length(instance, seed=int(seeds[0]))
+    if isinstance(instance, SolveRequest):
+        if (
+            seeds is not None
+            or legacy_args
+            or legacy_kwargs
+            or config is not None
+            or reference is not None
+            or options is not None
+        ):
+            raise AnnealerError(
+                "solve_ensemble(request) takes no other arguments; put "
+                "config/reference/options on the SolveRequest itself"
+            )
+        return solve_sync(instance)
+    if seeds is None:
+        raise TypeError("solve_ensemble() missing required argument: 'seeds'")
 
-    executor = EnsembleExecutor(
-        max_workers=max_workers,
-        timeout_s=timeout_s,
-        max_retries=max_retries,
-    )
-    results, telemetry = executor.run(
-        instance, seeds, config=base, reference=reference
-    )
-    if not results:
-        raise AnnealerError(
-            f"all {len(seeds)} ensemble runs failed; "
-            f"first error: {telemetry.runs[0].error}"
+    legacy: Dict[str, Any] = {}
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                "solve_ensemble() takes at most "
+                f"{2 + len(_LEGACY_POSITIONAL)} positional arguments"
+            )
+        legacy.update(zip(_LEGACY_POSITIONAL, legacy_args))
+    unknown = sorted(set(legacy_kwargs) - set(_LEGACY_TUNING))
+    if unknown:
+        raise TypeError(
+            f"solve_ensemble() got unexpected keyword arguments {unknown}"
         )
+    overlap = sorted(set(legacy) & set(legacy_kwargs))
+    if overlap:
+        raise TypeError(
+            f"solve_ensemble() got multiple values for {overlap}"
+        )
+    legacy.update(legacy_kwargs)
 
-    out = EnsembleResult(
-        instance=instance,
+    if legacy:
+        warnings.warn(
+            "positional config/reference and the max_workers/timeout_s/"
+            "max_retries keywords of solve_ensemble() are deprecated; "
+            "pass config=/reference= and options=EnsembleOptions(...) "
+            "(removal one release after 1.1)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if "config" in legacy:
+            if config is not None:
+                raise TypeError(
+                    "solve_ensemble() got multiple values for 'config'"
+                )
+            config = legacy.pop("config")
+        if "reference" in legacy:
+            if reference is not None:
+                raise TypeError(
+                    "solve_ensemble() got multiple values for 'reference'"
+                )
+            reference = legacy.pop("reference")
+        if legacy and options is not None:
+            raise AnnealerError(
+                "pass tuning either via options=EnsembleOptions(...) or "
+                "the deprecated keywords, not both"
+            )
+        if legacy:
+            options = EnsembleOptions(**legacy)
+
+    request = SolveRequest.build(
+        instance,
+        seeds,
+        config=config,
         reference=reference,
-        results=results,
-        telemetry=telemetry,
+        options=options,
     )
-    out.ratio_stats = summarize(out.ratios, seed=int(seeds[0]))
-    return out
+    return solve_sync(request)

@@ -6,8 +6,11 @@ Installs as ``repro`` (console script) and also runs as
 * ``solve``     — solve a TSP (synthetic family or a TSPLIB file) with
   the clustered CIM annealer and report quality + hardware cost; with
   ``--ensemble K`` runs a multi-seed ensemble (optionally fanned out
-  over ``--workers`` processes) and ``--telemetry-out`` exports the
-  per-run telemetry JSON;
+  over ``--workers`` processes) routed through the serving runtime
+  (:mod:`repro.runtime.service`); ``--stream`` prints each run's
+  telemetry frame as it completes, ``--max-inflight`` caps the job's
+  concurrent seeds, and ``--telemetry-out`` exports the per-run
+  telemetry JSON;
 * ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
 * ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
 * ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
@@ -21,6 +24,7 @@ Examples
     repro solve --tsplib pcb3038.tsp
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 \
                 --telemetry-out telemetry.json
+    repro solve --family rl --n 1000 --ensemble 8 --workers 4 --stream
     repro capacity --sizes 1000 10000 85900
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
@@ -34,7 +38,9 @@ import sys
 from typing import TYPE_CHECKING, List, Optional
 
 if TYPE_CHECKING:  # CLI imports its heavy deps lazily per subcommand
+    from repro.annealer.batch import EnsembleResult
     from repro.annealer.config import AnnealerConfig
+    from repro.runtime.options import SolveRequest
     from repro.tsp.instance import TSPInstance
 
 from repro.utils.tables import Table
@@ -89,6 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", metavar="FILE",
         help="write per-run ensemble telemetry to FILE as JSON",
     )
+    p_solve.add_argument(
+        "--stream", action="store_true",
+        help="stream one telemetry frame per completed run "
+        "(JSON lines, schema repro.run_telemetry/v1)",
+    )
+    p_solve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="M",
+        help="admission control: at most M of this job's seeds in "
+        "flight at once (default: 2 x workers)",
+    )
 
     p_cap = sub.add_parser("capacity", help="Fig. 1 capacity table")
     p_cap.add_argument("--sizes", type=int, nargs="+",
@@ -140,7 +156,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     print(f"instance : {instance}")
     cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
-    if args.ensemble > 0 or args.workers > 1 or args.telemetry_out:
+    if (
+        args.ensemble > 0
+        or args.workers > 1
+        or args.telemetry_out
+        or args.stream
+    ):
         return _solve_ensemble(instance, cfg, args)
     result = ClusteredCIMAnnealer(cfg).solve(instance)
     print(
@@ -180,10 +201,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _solve_ensemble(
     instance: "TSPInstance", cfg: "AnnealerConfig", args: argparse.Namespace
 ) -> int:
-    """Ensemble branch of ``solve``: multi-seed run + telemetry export."""
+    """Ensemble branch of ``solve``: multi-seed run + telemetry export.
+
+    Builds one :class:`repro.runtime.SolveRequest` — the same input
+    type the library and serving APIs take — and runs it through the
+    serving runtime (blocking via :func:`solve_ensemble`, or streaming
+    one telemetry frame per completed run with ``--stream``).
+    """
+    import asyncio
     from pathlib import Path
 
     from repro.annealer.batch import solve_ensemble
+    from repro.runtime.options import EnsembleOptions, SolveRequest
 
     if args.telemetry_out:
         # Fail before the (possibly long) solve, not after it.
@@ -197,7 +226,20 @@ def _solve_ensemble(
 
     n_seeds = max(1, args.ensemble)
     seeds = list(range(args.seed, args.seed + n_seeds))
-    out = solve_ensemble(instance, seeds, config=cfg, max_workers=args.workers)
+    request = SolveRequest.build(
+        instance,
+        seeds,
+        config=cfg,
+        options=EnsembleOptions(
+            max_workers=args.workers,
+            max_inflight_per_job=args.max_inflight,
+        ),
+        tag="cli",
+    )
+    if args.stream:
+        out = asyncio.run(_stream_solve(request))
+    else:
+        out = solve_ensemble(request)
     tel = out.telemetry
     print(
         f"ensemble : {out.n_runs} runs  best={out.best.length:.1f}  "
@@ -219,6 +261,17 @@ def _solve_ensemble(
         save_tour_svg(instance, args.svg, tour=out.best.tour)
         print(f"tour SVG : {args.svg}")
     return 0
+
+
+async def _stream_solve(request: "SolveRequest") -> "EnsembleResult":
+    """Serve one job, printing a JSON telemetry frame per finished run."""
+    from repro.runtime.service import AnnealingService
+
+    async with AnnealingService(request.options) as service:
+        job = await service.submit(request)
+        async for record in job.stream():
+            print(record.to_json_line())
+        return await job.result()
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:

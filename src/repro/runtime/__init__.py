@@ -1,27 +1,54 @@
-"""Parallel ensemble runtime.
+"""Parallel ensemble + async serving runtime.
 
 The scaling spine of the reproduction: everything that turns one
 deterministic :class:`~repro.annealer.hierarchical.ClusteredCIMAnnealer`
-solve into an instrumented many-seed workload lives here.
+solve into an instrumented many-seed, many-instance workload lives
+here.
 
+* :class:`EnsembleOptions` / :class:`SolveRequest` — the frozen,
+  keyword-only tuning surface and *the* input type shared by
+  :func:`repro.annealer.batch.solve_ensemble`,
+  :meth:`AnnealingService.submit`, and the CLI;
 * :class:`EnsembleExecutor` — process-pool fan-out with chunked seed
-  dispatch, per-run timeout + bounded retry, failure isolation, and
-  deterministic (seed-ordered, serial-identical) results;
+  dispatch, per-run timeout + bounded retry, failure isolation,
+  completion callbacks, and deterministic (seed-ordered,
+  serial-identical) results;
+* :class:`AnnealingService` / :class:`Job` / :class:`JobState` — the
+  async multi-instance serving front-end: one shared pool, many
+  concurrent jobs, per-job streamed :class:`RunTelemetry`, admission
+  control, graceful drain/cancel shutdown (``docs/serving.md``);
 * :class:`RunTelemetry` / :class:`EnsembleTelemetry` — structured,
   JSON-serialisable per-run and aggregate instrumentation (wall times,
   per-level solve times, trial counters, write-backs, chip MAC/energy
-  counters).
+  counters), with job ids threaded through the ``worker`` field.
 
-:func:`repro.annealer.batch.solve_ensemble` is the high-level entry
-point; use the executor directly when you need raw results without the
-quality statistics.
+:func:`repro.annealer.batch.solve_ensemble` is the blocking
+convenience entry point (itself a thin wrapper over a single-job
+service); use :class:`AnnealingService` directly to serve many
+concurrent instances, and :func:`solve_async` to await one request.
+Executor internals (``_solve_one``, the dispatch helpers) are private.
 """
 
 from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.service import (
+    AnnealingService,
+    Job,
+    JobState,
+    solve_async,
+    solve_sync,
+)
 from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
 
 __all__ = [
+    "AnnealingService",
     "EnsembleExecutor",
+    "EnsembleOptions",
     "EnsembleTelemetry",
+    "Job",
+    "JobState",
     "RunTelemetry",
+    "SolveRequest",
+    "solve_async",
+    "solve_sync",
 ]

@@ -20,20 +20,44 @@ out across worker processes, one run per seed:
   ``concurrent.futures`` pool, or a broken pool (e.g. a sandbox that
   forbids ``fork``) all fall back to the plain serial loop; callers
   never have to care.
+* **Incremental surfacing** — an ``on_run_complete`` callback fires
+  with each :class:`RunTelemetry` record as it lands, which is how the
+  serving runtime (:mod:`repro.runtime.service`) streams telemetry
+  while an ensemble is still in flight.  A *borrowed* pool (``pool=``)
+  lets many concurrent ensembles multiplex one set of worker
+  processes.
+
+Tuning lives in a frozen
+:class:`~repro.runtime.options.EnsembleOptions`; the old per-field
+keyword form (``EnsembleExecutor(max_workers=4)``) still works for one
+release but emits a :class:`DeprecationWarning`.
 
 The executor is deliberately solver-agnostic about aggregation: it
 returns the ordered :class:`~repro.annealer.result.AnnealResult` list
 plus an :class:`~repro.runtime.telemetry.EnsembleTelemetry`;
 :func:`repro.annealer.batch.solve_ensemble` layers the quality
-statistics on top.
+statistics on top.  ``_solve_one`` and the dispatch helpers
+(``_run_serial`` / ``_run_pool`` / ``_attempt_serial``) are internal:
+only :meth:`EnsembleExecutor.run` is supported API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import AnnealerError
+from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.telemetry import (
     EnsembleTelemetry,
     RunTelemetry,
@@ -41,9 +65,23 @@ from repro.runtime.telemetry import (
 )
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
+    from concurrent.futures import Executor
+    from threading import Event
+
     from repro.annealer.config import AnnealerConfig
     from repro.annealer.result import AnnealResult
     from repro.tsp.instance import TSPInstance
+
+#: Fires with each run's telemetry record the moment it is final.
+RunCallback = Callable[[RunTelemetry], None]
+
+_LEGACY_FIELDS = (
+    "max_workers",
+    "timeout_s",
+    "max_retries",
+    "chunk_size",
+    "strict",
+)
 
 
 def _solve_one(
@@ -60,52 +98,69 @@ def _solve_one(
     return ClusteredCIMAnnealer(cfg).solve(instance)
 
 
-@dataclass
 class EnsembleExecutor:
     """Configurable parallel runner for seed ensembles.
 
-    Parameters
-    ----------
-    max_workers:
-        Worker processes; ``1`` (default) runs serially in-process.
-    timeout_s:
-        Per-run wall-clock budget in pool mode (None = unbounded).  A
-        timed-out run is retried in-process; the stuck worker slot is
-        reclaimed when its task eventually finishes or the pool closes.
-    max_retries:
-        Extra attempts for a failed/timed-out run (0 = fail fast).
-        Retries run in-process, isolating them from pool flakiness.
-    chunk_size:
-        Seeds submitted per dispatch wave (None = ``2 × max_workers``).
-    strict:
-        If True, a run that exhausts its retries raises
-        :class:`AnnealerError`; if False (default) it is reported in
-        the telemetry with ``ok=False`` and skipped in the results.
+    Construct with a frozen :class:`EnsembleOptions`::
+
+        EnsembleExecutor(EnsembleOptions(max_workers=4, timeout_s=30))
+
+    The pre-1.1 per-field keyword form
+    (``EnsembleExecutor(max_workers=4)``) is still accepted but emits a
+    :class:`DeprecationWarning`; it will be removed one release after
+    1.1 (see ``docs/serving.md``).
     """
 
-    max_workers: int = 1
-    timeout_s: Optional[float] = None
-    max_retries: int = 1
-    chunk_size: Optional[int] = None
-    strict: bool = False
+    def __init__(
+        self, options: Optional[EnsembleOptions] = None, **legacy: Any
+    ) -> None:
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
+            if unknown:
+                raise TypeError(
+                    f"EnsembleExecutor got unexpected arguments {unknown}; "
+                    f"tuning fields are {list(_LEGACY_FIELDS)}"
+                )
+            if options is not None:
+                raise AnnealerError(
+                    "pass either an EnsembleOptions or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "EnsembleExecutor(max_workers=..., ...) is deprecated; "
+                "pass EnsembleOptions(...) instead "
+                "(removal one release after 1.1)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = EnsembleOptions(**legacy)
+        self.options = options if options is not None else EnsembleOptions()
 
-    def __post_init__(self) -> None:
-        if self.max_workers < 1:
-            raise AnnealerError(
-                f"max_workers must be >= 1, got {self.max_workers}"
-            )
-        if self.max_retries < 0:
-            raise AnnealerError(
-                f"max_retries must be >= 0, got {self.max_retries}"
-            )
-        if self.timeout_s is not None and self.timeout_s <= 0:
-            raise AnnealerError(
-                f"timeout_s must be > 0, got {self.timeout_s}"
-            )
-        if self.chunk_size is not None and self.chunk_size < 1:
-            raise AnnealerError(
-                f"chunk_size must be >= 1, got {self.chunk_size}"
-            )
+    # -- legacy read access (the pre-1.1 dataclass exposed the fields) --
+    @property
+    def max_workers(self) -> int:
+        """Pool width (see :class:`EnsembleOptions`)."""
+        return self.options.max_workers
+
+    @property
+    def timeout_s(self) -> Optional[float]:
+        """Per-run wall-clock budget (see :class:`EnsembleOptions`)."""
+        return self.options.timeout_s
+
+    @property
+    def max_retries(self) -> int:
+        """Retry budget (see :class:`EnsembleOptions`)."""
+        return self.options.max_retries
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        """Dispatch wave size (see :class:`EnsembleOptions`)."""
+        return self.options.chunk_size
+
+    @property
+    def strict(self) -> bool:
+        """Raise on terminal run failure (see :class:`EnsembleOptions`)."""
+        return self.options.strict
 
     # ------------------------------------------------------------------
     def run(
@@ -114,43 +169,101 @@ class EnsembleExecutor:
         seeds: Sequence[int],
         config: Optional[AnnealerConfig] = None,
         reference: Optional[float] = None,
+        *,
+        on_run_complete: Optional[RunCallback] = None,
+        pool: Optional["Executor"] = None,
+        worker_suffix: str = "",
+        cancel: Optional["Event"] = None,
     ) -> Tuple[List[AnnealResult], EnsembleTelemetry]:
         """Solve ``instance`` once per seed.
 
         Returns the successful results **in input-seed order** plus the
         full telemetry (which also lists failed runs).
+
+        Parameters
+        ----------
+        on_run_complete:
+            Called with each run's final :class:`RunTelemetry` as it is
+            produced (in collection order), while later seeds are still
+            in flight.  Must be cheap and must not raise.
+        pool:
+            A *borrowed* ``concurrent.futures`` executor to dispatch
+            into instead of creating (and tearing down) a private pool.
+            The caller owns its lifecycle; used by the serving runtime
+            to share one pool across concurrent jobs.
+        worker_suffix:
+            Appended to each record's ``worker`` field (the serving
+            runtime threads ``@<job_id>`` through here so multiplexed
+            telemetry streams stay attributable).
+        cancel:
+            A ``threading.Event``; once set, no further seeds are
+            dispatched and the run raises
+            :class:`~repro.errors.AnnealerError`.  In-flight seeds
+            finish first (cancellation is cooperative).
         """
-        seeds = [int(s) for s in seeds]
-        if not seeds:
-            raise AnnealerError("need at least one seed")
-        if len(set(seeds)) != len(seeds):
-            dupes = sorted({s for s in seeds if seeds.count(s) > 1})
-            raise AnnealerError(
-                f"duplicate seeds {dupes} would skew ensemble statistics; "
-                "pass distinct seeds"
-            )
+        request = SolveRequest.build(
+            instance,
+            seeds,
+            config=config,
+            reference=reference,
+            options=self.options,
+        )
+        ordered = list(request.seeds)
         if config is None:
             from repro.annealer.config import AnnealerConfig
 
             config = AnnealerConfig()
 
         watch = Stopwatch()
-        if self.max_workers == 1:
-            by_seed, mode = self._run_serial(instance, seeds, config, reference)
+        if self.max_workers == 1 and pool is None:
+            by_seed, mode = self._run_serial(
+                instance,
+                ordered,
+                config,
+                reference,
+                on_run_complete=on_run_complete,
+                worker_suffix=worker_suffix,
+                cancel=cancel,
+            )
         else:
-            by_seed, mode = self._run_pool(instance, seeds, config, reference)
+            by_seed, mode = self._run_pool(
+                instance,
+                ordered,
+                config,
+                reference,
+                on_run_complete=on_run_complete,
+                pool=pool,
+                worker_suffix=worker_suffix,
+                cancel=cancel,
+            )
         wall = watch.elapsed_s()
 
         telemetry = EnsembleTelemetry(
-            runs=[by_seed[s][1] for s in seeds],
+            runs=[by_seed[s][1] for s in ordered],
             max_workers=self.max_workers,
             mode=mode,
             wall_time_s=wall,
         )
-        results = [by_seed[s][0] for s in seeds if by_seed[s][0] is not None]
+        results = [
+            by_seed[s][0] for s in ordered if by_seed[s][0] is not None
+        ]
         return results, telemetry
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_cancel(cancel: Optional["Event"], done: int, total: int) -> None:
+        if cancel is not None and cancel.is_set():
+            raise AnnealerError(
+                f"ensemble cancelled after {done}/{total} runs"
+            )
+
+    @staticmethod
+    def _emit(
+        on_run_complete: Optional[RunCallback], record: RunTelemetry
+    ) -> None:
+        if on_run_complete is not None:
+            on_run_complete(record)
+
     def _attempt_serial(
         self,
         instance: TSPInstance,
@@ -159,6 +272,7 @@ class EnsembleExecutor:
         reference: Optional[float],
         first_error: Optional[BaseException] = None,
         attempts_used: int = 0,
+        worker_suffix: str = "",
     ) -> Tuple[Optional[AnnealResult], RunTelemetry]:
         """Run one seed in-process with the retry budget that is left."""
         error = first_error
@@ -167,7 +281,11 @@ class EnsembleExecutor:
             try:
                 result = _solve_one(instance, config, seed)
                 return result, RunTelemetry.from_result(
-                    seed, result, reference, retries=attempt, worker="serial"
+                    seed,
+                    result,
+                    reference,
+                    retries=attempt,
+                    worker=f"serial{worker_suffix}",
                 )
             except AnnealerError:
                 raise  # configuration errors are not transient: fail loud
@@ -180,7 +298,10 @@ class EnsembleExecutor:
                 f"{self.max_retries + 1} attempts: {error!r}"
             )
         return None, RunTelemetry.from_failure(
-            seed, error or RuntimeError("unknown failure"), retries=attempt
+            seed,
+            error or RuntimeError("unknown failure"),
+            retries=attempt,
+            worker=f"serial{worker_suffix}",
         )
 
     def _run_serial(
@@ -190,12 +311,22 @@ class EnsembleExecutor:
         config: AnnealerConfig,
         reference: Optional[float],
         mode: str = "serial",
+        *,
+        on_run_complete: Optional[RunCallback] = None,
+        worker_suffix: str = "",
+        cancel: Optional["Event"] = None,
     ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
         by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
-        for seed in seeds:
+        for done, seed in enumerate(seeds):
+            self._check_cancel(cancel, done, len(seeds))
             by_seed[seed] = self._attempt_serial(
-                instance, seed, config, reference
+                instance,
+                seed,
+                config,
+                reference,
+                worker_suffix=worker_suffix,
             )
+            self._emit(on_run_complete, by_seed[seed][1])
         return by_seed, mode
 
     # ------------------------------------------------------------------
@@ -205,44 +336,83 @@ class EnsembleExecutor:
         seeds: List[int],
         config: AnnealerConfig,
         reference: Optional[float],
+        *,
+        on_run_complete: Optional[RunCallback] = None,
+        pool: Optional["Executor"] = None,
+        worker_suffix: str = "",
+        cancel: Optional["Event"] = None,
     ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
-        try:
-            from concurrent.futures import (
-                ProcessPoolExecutor,
-                TimeoutError as FuturesTimeout,
-            )
+        from concurrent.futures import TimeoutError as FuturesTimeout
 
-            pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        # Pool construction cannot raise AnnealerError, and any failure
-        # here (sandbox, no fork, ...) must degrade to the serial path.
-        except Exception:  # repro-lint: ignore[RL005]
-            return self._run_serial(
-                instance, seeds, config, reference, mode="serial-fallback"
-            )
+        owns_pool = pool is None
+        if owns_pool:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            # Pool construction cannot raise AnnealerError, and any failure
+            # here (sandbox, no fork, ...) must degrade to the serial path.
+            except Exception:  # repro-lint: ignore[RL005]
+                return self._run_serial(
+                    instance,
+                    seeds,
+                    config,
+                    reference,
+                    mode="serial-fallback",
+                    on_run_complete=on_run_complete,
+                    worker_suffix=worker_suffix,
+                    cancel=cancel,
+                )
 
         by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
         chunk = self.chunk_size or max(1, 2 * self.max_workers)
         degraded = False
         try:
             for lo in range(0, len(seeds), chunk):
+                self._check_cancel(cancel, lo, len(seeds))
                 wave = seeds[lo : lo + chunk]
                 if degraded:
-                    for seed in wave:
+                    for offset, seed in enumerate(wave):
+                        self._check_cancel(cancel, lo + offset, len(seeds))
                         by_seed[seed] = self._attempt_serial(
-                            instance, seed, config, reference
+                            instance,
+                            seed,
+                            config,
+                            reference,
+                            worker_suffix=worker_suffix,
                         )
+                        self._emit(on_run_complete, by_seed[seed][1])
                     continue
-                futures = {
-                    seed: pool.submit(_solve_one, instance, config, seed)
-                    for seed in wave
-                }
+                try:
+                    futures = {
+                        seed: pool.submit(_solve_one, instance, config, seed)
+                        for seed in wave
+                    }
+                # A borrowed pool can be shut down or broken by a sibling
+                # job mid-flight; finish the remaining seeds serially.
+                except Exception:  # repro-lint: ignore[RL005]
+                    degraded = True
+                    for offset, seed in enumerate(wave):
+                        self._check_cancel(cancel, lo + offset, len(seeds))
+                        by_seed[seed] = self._attempt_serial(
+                            instance,
+                            seed,
+                            config,
+                            reference,
+                            worker_suffix=worker_suffix,
+                        )
+                        self._emit(on_run_complete, by_seed[seed][1])
+                    continue
                 for seed, fut in futures.items():
                     try:
                         result = fut.result(timeout=self.timeout_s)
                         by_seed[seed] = (
                             result,
                             RunTelemetry.from_result(
-                                seed, result, reference, worker="pool"
+                                seed,
+                                result,
+                                reference,
+                                worker=f"pool{worker_suffix}",
                             ),
                         )
                     except FuturesTimeout:
@@ -256,6 +426,7 @@ class EnsembleExecutor:
                                 f"run exceeded {self.timeout_s}s in pool"
                             ),
                             attempts_used=1,
+                            worker_suffix=worker_suffix,
                         )
                     except AnnealerError:
                         raise
@@ -273,7 +444,10 @@ class EnsembleExecutor:
                             reference,
                             first_error=exc,
                             attempts_used=1,
+                            worker_suffix=worker_suffix,
                         )
+                    self._emit(on_run_complete, by_seed[seed][1])
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owns_pool and pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
         return by_seed, "serial-fallback" if degraded else "parallel"

@@ -1,0 +1,182 @@
+"""Keyword-only tuning surface of the solve APIs.
+
+Two frozen value types define every knob of the ensemble/serving
+stack:
+
+* :class:`EnsembleOptions` — the tuning parameters shared by
+  :class:`repro.runtime.EnsembleExecutor`,
+  :class:`repro.runtime.AnnealingService`, and
+  :func:`repro.annealer.batch.solve_ensemble` (pool width, per-run
+  timeout/retry budget, chunked dispatch, and the serving-side
+  admission-control knobs);
+* :class:`SolveRequest` — *the* input type of a solve: instance +
+  seeds + base config + options.  The same object is accepted by
+  ``solve_ensemble``, ``AnnealingService.submit``, and built by the
+  CLI, so every entry point validates seeds exactly once, the same
+  way.
+
+Both are frozen: a request enqueued into the serving runtime must not
+be mutable while worker processes and telemetry streams still refer to
+it.  Legacy positional/keyword forms of the old APIs are mapped onto
+these types by one-release deprecation shims (see
+``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.errors import AnnealerError
+
+if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
+    from repro.annealer.config import AnnealerConfig
+    from repro.tsp.instance import TSPInstance
+
+
+@dataclass(frozen=True)
+class EnsembleOptions:
+    """Tuning parameters of the ensemble/serving runtime (keyword-only
+    by convention: construct with explicit field names).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``1`` (default) runs serially in-process.
+        For an :class:`~repro.runtime.AnnealingService` this is the
+        width of the *shared* pool all jobs multiplex onto.
+    timeout_s:
+        Per-run wall-clock budget in pool mode (None = unbounded).
+    max_retries:
+        Extra in-process attempts for a failed/timed-out run
+        (0 = fail fast).
+    chunk_size:
+        Seeds submitted per dispatch wave (None = ``2 × max_workers``).
+    strict:
+        If True, a run that exhausts its retries raises
+        :class:`~repro.errors.AnnealerError` instead of being reported
+        as ``ok=False`` telemetry.
+    max_inflight_per_job:
+        Admission control: at most this many of one job's seeds may be
+        in flight at once, so a single huge ensemble cannot starve
+        sibling jobs sharing the pool (None = ``2 × max_workers``).
+    max_pending_jobs:
+        Admission control: bound on jobs admitted (queued or running)
+        per service; further ``submit()`` calls apply backpressure by
+        awaiting a free slot.
+    """
+
+    max_workers: int = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+    chunk_size: Optional[int] = None
+    strict: bool = False
+    max_inflight_per_job: Optional[int] = None
+    max_pending_jobs: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise AnnealerError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.max_retries < 0:
+            raise AnnealerError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise AnnealerError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise AnnealerError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if (
+            self.max_inflight_per_job is not None
+            and self.max_inflight_per_job < 1
+        ):
+            raise AnnealerError(
+                "max_inflight_per_job must be >= 1, got "
+                f"{self.max_inflight_per_job}"
+            )
+        if self.max_pending_jobs < 1:
+            raise AnnealerError(
+                f"max_pending_jobs must be >= 1, got {self.max_pending_jobs}"
+            )
+
+    @property
+    def effective_inflight_per_job(self) -> int:
+        """The per-job in-flight seed cap actually enforced."""
+        if self.max_inflight_per_job is not None:
+            return self.max_inflight_per_job
+        return max(1, 2 * self.max_workers)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve: instance + seeds + base config + options.
+
+    The single input type shared by
+    :func:`repro.annealer.batch.solve_ensemble`,
+    :meth:`repro.runtime.AnnealingService.submit`, and the CLI.
+
+    Parameters
+    ----------
+    instance:
+        The problem.
+    seeds:
+        Seeds; each produces an independent fabrication + anneal.
+        Normalised to a tuple of ints; duplicates and empty sequences
+        are rejected here, once, for every entry point.
+    config:
+        Base :class:`~repro.annealer.config.AnnealerConfig`; its
+        ``seed`` field is replaced per run.
+    reference:
+        Reference tour length for optimal ratios (computed from the
+        first seed when omitted).
+    options:
+        Runtime tuning (see :class:`EnsembleOptions`).
+    tag:
+        Optional human label; the serving runtime folds it into the
+        generated job id (and thus each record's ``worker`` field).
+    """
+
+    instance: "TSPInstance"
+    seeds: Tuple[int, ...]
+    config: Optional["AnnealerConfig"] = None
+    reference: Optional[float] = None
+    options: EnsembleOptions = field(default_factory=EnsembleOptions)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        seeds = tuple(int(s) for s in self.seeds)
+        object.__setattr__(self, "seeds", seeds)
+        if not seeds:
+            raise AnnealerError("need at least one seed")
+        if len(set(seeds)) != len(seeds):
+            dupes = sorted({s for s in seeds if seeds.count(s) > 1})
+            raise AnnealerError(
+                f"duplicate seeds {dupes} would skew ensemble statistics; "
+                "pass distinct seeds"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        instance: "TSPInstance",
+        seeds: Sequence[int],
+        *,
+        config: Optional["AnnealerConfig"] = None,
+        reference: Optional[float] = None,
+        options: Optional[EnsembleOptions] = None,
+        tag: str = "",
+    ) -> "SolveRequest":
+        """Keyword-only constructor accepting any seed sequence."""
+        return cls(
+            instance=instance,
+            seeds=tuple(int(s) for s in seeds),
+            config=config,
+            reference=reference,
+            options=options or EnsembleOptions(),
+            tag=tag,
+        )

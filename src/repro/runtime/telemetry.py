@@ -81,7 +81,11 @@ class RunTelemetry:
         How many extra attempts this run needed (0 = first try).
     worker:
         ``"pool"`` when solved in a pool worker, ``"serial"`` when
-        solved in-process (serial path or retry fallback).
+        solved in-process (serial path or retry fallback).  The
+        serving runtime (:mod:`repro.runtime.service`) threads the job
+        id through as a suffix — ``"pool@job-0001"`` — so records from
+        jobs multiplexed onto one shared pool stay attributable; parse
+        it back with :attr:`job_id`.
     error:
         Repr of the terminal failure, empty on success.
     """
@@ -134,16 +138,47 @@ class RunTelemetry:
 
     @classmethod
     def from_failure(
-        cls, seed: int, error: BaseException, retries: int = 0
+        cls,
+        seed: int,
+        error: BaseException,
+        retries: int = 0,
+        worker: str = "serial",
     ) -> "RunTelemetry":
         """Record a run that exhausted its retries."""
         return cls(
-            seed=int(seed), ok=False, retries=int(retries), error=repr(error)
+            seed=int(seed),
+            ok=False,
+            retries=int(retries),
+            worker=worker,
+            error=repr(error),
         )
+
+    @property
+    def job_id(self) -> str:
+        """Job id threaded into ``worker`` by the serving runtime.
+
+        Empty for records produced outside a service (plain
+        ``"serial"`` / ``"pool"`` workers).
+        """
+        _, sep, job = self.worker.partition("@")
+        return job if sep else ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict view."""
         return asdict(self)
+
+    def to_json_line(self) -> str:
+        """One-record stream frame: compact JSON, no embedded newlines.
+
+        The serving runtime's streaming surfaces (``job.stream()``
+        consumers, ``repro solve --stream``) emit one frame per line so
+        downstream collectors can tail them without buffering whole
+        ensembles.
+        """
+        return json.dumps(
+            {"schema": "repro.run_telemetry/v1", **self.to_dict()},
+            separators=(",", ":"),
+        )
 
 
 @dataclass
@@ -153,12 +188,15 @@ class EnsembleTelemetry:
     ``wall_time_s`` is the end-to-end ensemble wall-clock (what a user
     waits for); ``total_run_time_s`` sums the individual runs' solve
     times — their ratio is the effective parallel speedup.
+    ``job_id`` is set by the serving runtime when the ensemble ran as a
+    service job; empty for direct :func:`solve_ensemble`-style calls.
     """
 
     runs: List[RunTelemetry] = field(default_factory=list)
     max_workers: int = 1
     mode: str = "serial"
     wall_time_s: float = 0.0
+    job_id: str = ""
 
     @property
     def n_runs(self) -> int:
@@ -204,6 +242,7 @@ class EnsembleTelemetry:
         return {
             "schema": "repro.ensemble_telemetry/v1",
             "mode": self.mode,
+            "job_id": self.job_id,
             "max_workers": self.max_workers,
             "n_runs": self.n_runs,
             "n_failed": self.n_failed,
@@ -237,4 +276,5 @@ class EnsembleTelemetry:
             max_workers=int(data.get("max_workers", 1)),
             mode=str(data.get("mode", "serial")),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
+            job_id=str(data.get("job_id", "")),
         )

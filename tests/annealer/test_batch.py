@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.annealer.batch import EnsembleResult, solve_ensemble
+from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.annealer.config import AnnealerConfig
 from repro.errors import AnnealerError
 from repro.tsp.generators import random_clustered
@@ -66,8 +67,8 @@ class TestSolveEnsemble:
 
     def test_parallel_matches_serial(self, instance):
         seeds = [21, 22, 23]
-        serial = solve_ensemble(instance, seeds=seeds, max_workers=1)
-        parallel = solve_ensemble(instance, seeds=seeds, max_workers=2)
+        serial = solve_ensemble(instance, seeds, options=EnsembleOptions(max_workers=1))
+        parallel = solve_ensemble(instance, seeds, options=EnsembleOptions(max_workers=2))
         assert [r.length for r in serial.results] == [
             r.length for r in parallel.results
         ]
@@ -92,3 +93,67 @@ class TestEmptyEnsembleGuards:
 
     def test_n_runs_on_empty_is_zero(self, instance):
         assert EnsembleResult(instance=instance, reference=1.0).n_runs == 0
+
+
+class TestSolveRequestForm:
+    def test_request_is_the_single_input_type(self, instance):
+        request = SolveRequest.build(
+            instance, [31, 32], options=EnsembleOptions(max_workers=1)
+        )
+        out = solve_ensemble(request)
+        direct = solve_ensemble(instance, [31, 32])
+        assert [r.length for r in out.results] == [
+            r.length for r in direct.results
+        ]
+        assert out.telemetry.job_id != ""  # served as a job
+
+    def test_request_plus_extra_args_rejected(self, instance):
+        request = SolveRequest.build(instance, [1])
+        with pytest.raises(AnnealerError, match="no other arguments"):
+            solve_ensemble(request, [1])
+        with pytest.raises(AnnealerError, match="no other arguments"):
+            solve_ensemble(request, options=EnsembleOptions())
+
+
+class TestDeprecationShim:
+    def test_legacy_tuning_kwargs_warn(self, instance):
+        with pytest.warns(DeprecationWarning, match="EnsembleOptions"):
+            out = solve_ensemble(instance, [41, 42], max_workers=1)
+        assert out.n_runs == 2
+
+    def test_legacy_positional_config_warns_and_matches(self, instance):
+        cfg = AnnealerConfig(seed=5)
+        with pytest.warns(DeprecationWarning):
+            legacy = solve_ensemble(instance, [43, 44], cfg)
+        new = solve_ensemble(instance, [43, 44], config=cfg)
+        assert [r.length for r in legacy.results] == [
+            r.length for r in new.results
+        ]
+        assert legacy.ratio_stats.mean == new.ratio_stats.mean
+
+    def test_legacy_and_options_together_rejected(self, instance):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(AnnealerError, match="not both"):
+                solve_ensemble(
+                    instance, [1], max_workers=2,
+                    options=EnsembleOptions(),
+                )
+
+    def test_unknown_kwarg_rejected(self, instance):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            solve_ensemble(instance, [1], workers=2)
+
+    def test_double_config_rejected(self, instance):
+        cfg = AnnealerConfig()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                solve_ensemble(instance, [1], cfg, config=cfg)
+
+    def test_new_form_does_not_warn(self, instance, recwarn):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solve_ensemble(
+                instance, [45], options=EnsembleOptions(max_workers=1)
+            )

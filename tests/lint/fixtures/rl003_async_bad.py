@@ -1,0 +1,42 @@
+"""RL003 positive fixture: pool-pickle hazards at the async boundary."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+POOL = ProcessPoolExecutor()
+
+
+async def fan_out(loop, seeds):
+    # lambda through run_in_executor into a real (non-None) executor
+    return await loop.run_in_executor(POOL, lambda: sum(seeds))
+
+
+def submit_coroutine(pool, instance):
+    # a coroutine function as the pool payload: the worker builds a
+    # coroutine object that nothing ever awaits
+    return pool.submit(solve_async, instance)
+
+
+async def solve_async(instance):
+    return instance
+
+
+def submit_with_lock(pool, data):
+    lock = threading.Lock()
+    # a local lock captured into the submit payload
+    return pool.submit(_work, data, lock)
+
+
+async def stream_out(loop, pool, rows):
+    handle = open("out.jsonl", "a")
+    # an open handle riding along as a run_in_executor payload
+    return await loop.run_in_executor(pool, _write, handle, rows)
+
+
+def _work(data, lock):
+    with lock:
+        return list(data)
+
+
+def _write(handle, rows):
+    handle.writelines(rows)

@@ -1,0 +1,29 @@
+"""RL003 negative fixture: clean asyncio/pool boundary usage."""
+
+
+def _solve(instance, seed):
+    return (instance, seed)
+
+
+async def fan_out(loop, pool, instance, seeds):
+    # Module-level plain function + plain data pickles fine.
+    futures = [
+        loop.run_in_executor(pool, _solve, instance, seed) for seed in seeds
+    ]
+    return [await f for f in futures]
+
+
+async def run_inline(loop):
+    # Executor literally None is the default thread pool: the payload
+    # never pickles, so a lambda is allowed.
+    return await loop.run_in_executor(None, lambda: 42)
+
+
+async def orchestrate(items):
+    # Awaiting a coroutine on the loop side is fine; only shipping the
+    # coroutine function across the pool boundary is flagged.
+    return [await handle(x) for x in items]
+
+
+async def handle(x):
+    return x

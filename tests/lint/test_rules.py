@@ -35,6 +35,7 @@ def test_all_six_rules_registered():
         ("rl001_bad.py", "RL001", 3),
         ("rl002_bad.py", "RL002", 5),
         ("rl003_bad.py", "RL003", 3),
+        ("rl003_async_bad.py", "RL003", 4),
         ("rl004_bad.py", "RL004", 4),
         ("rl005_bad.py", "RL005", 2),
     ],
@@ -51,6 +52,7 @@ def test_positive_fixture_fails(fixture: str, code: str, count: int):
         "rl001_good.py",
         "rl002_good.py",
         "rl003_good.py",
+        "rl003_async_good.py",
         "rl004_good.py",
         "rl005_good.py",
         "rl006_good.py",

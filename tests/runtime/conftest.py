@@ -1,0 +1,30 @@
+"""Async test support for the serving-runtime suite.
+
+Native ``async def`` tests run here regardless of whether an asyncio
+pytest plugin is installed: CI installs ``pytest-asyncio`` (see
+``pyproject.toml`` extras), but the suite must also pass in offline
+environments with bare pytest, so this conftest provides the minimal
+runner itself — each async test executes on a fresh event loop via
+``asyncio.run`` (fresh loop per test = no cross-test loop state, same
+semantics as pytest-asyncio's default function-scoped loop).  Being a
+conftest hook, it takes precedence over plugin implementations, so
+behaviour is identical in both environments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any
+
+
+def pytest_pyfunc_call(pyfuncitem: Any) -> Any:
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None  # regular test: let pytest handle it
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(func(**kwargs))
+    return True

@@ -10,6 +10,7 @@ import pytest
 from repro.annealer.config import AnnealerConfig
 from repro.errors import AnnealerError
 from repro.runtime.executor import EnsembleExecutor, _solve_one
+from repro.runtime.options import EnsembleOptions
 from repro.tsp.generators import random_uniform
 
 
@@ -24,13 +25,13 @@ SEEDS = [3, 1, 2]  # deliberately unsorted: output must follow input order
 class TestValidation:
     def test_bad_settings_rejected(self):
         with pytest.raises(AnnealerError):
-            EnsembleExecutor(max_workers=0)
+            EnsembleExecutor(EnsembleOptions(max_workers=0))
         with pytest.raises(AnnealerError):
-            EnsembleExecutor(max_retries=-1)
+            EnsembleExecutor(EnsembleOptions(max_retries=-1))
         with pytest.raises(AnnealerError):
-            EnsembleExecutor(timeout_s=0)
+            EnsembleExecutor(EnsembleOptions(timeout_s=0))
         with pytest.raises(AnnealerError):
-            EnsembleExecutor(chunk_size=0)
+            EnsembleExecutor(EnsembleOptions(chunk_size=0))
 
     def test_empty_seeds_rejected(self, instance):
         with pytest.raises(AnnealerError, match="at least one seed"):
@@ -43,7 +44,7 @@ class TestValidation:
 
 class TestSerialPath:
     def test_results_in_seed_order(self, instance):
-        results, tel = EnsembleExecutor(max_workers=1).run(instance, SEEDS)
+        results, tel = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(instance, SEEDS)
         assert tel.mode == "serial"
         assert [t.seed for t in tel.runs] == SEEDS
         for seed, res in zip(SEEDS, results):
@@ -64,8 +65,8 @@ class TestSerialPath:
 
 class TestParallelPath:
     def test_bit_identical_to_serial(self, instance):
-        serial, _ = EnsembleExecutor(max_workers=1).run(instance, SEEDS)
-        parallel, tel = EnsembleExecutor(max_workers=2).run(instance, SEEDS)
+        serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(instance, SEEDS)
+        parallel, tel = EnsembleExecutor(EnsembleOptions(max_workers=2)).run(instance, SEEDS)
         assert tel.mode in ("parallel", "serial-fallback")
         assert [r.length for r in parallel] == [r.length for r in serial]
         assert all(
@@ -74,7 +75,7 @@ class TestParallelPath:
 
     def test_chunked_dispatch_covers_all_seeds(self, instance):
         seeds = list(range(20, 25))
-        results, tel = EnsembleExecutor(max_workers=2, chunk_size=2).run(
+        results, tel = EnsembleExecutor(EnsembleOptions(max_workers=2, chunk_size=2)).run(
             instance, seeds
         )
         assert len(results) == len(seeds)
@@ -87,7 +88,7 @@ class TestParallelPath:
         # retry is running, so we require the retry path to have been
         # exercised, not that every run took it.
         results, tel = EnsembleExecutor(
-            max_workers=2, timeout_s=1e-9, max_retries=1
+            EnsembleOptions(max_workers=2, timeout_s=1e-9, max_retries=1)
         ).run(instance, [8, 9])
         assert len(results) == 2
         assert all(t.ok for t in tel.runs)
@@ -97,7 +98,7 @@ class TestParallelPath:
                 assert t.retries >= 1  # reached only via the timeout retry
             else:
                 assert t.worker == "pool" and t.retries == 0
-        serial, _ = EnsembleExecutor(max_workers=1).run(instance, [8, 9])
+        serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(instance, [8, 9])
         assert [r.length for r in results] == [r.length for r in serial]
 
     def test_pool_unavailable_degrades_to_serial(self, instance, monkeypatch):
@@ -107,7 +108,7 @@ class TestParallelPath:
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", broken_pool
         )
-        results, tel = EnsembleExecutor(max_workers=4).run(instance, [6, 7])
+        results, tel = EnsembleExecutor(EnsembleOptions(max_workers=4)).run(instance, [6, 7])
         assert tel.mode == "serial-fallback"
         assert len(results) == 2 and all(t.ok for t in tel.runs)
 
@@ -124,7 +125,7 @@ class TestFailureIsolation:
             return real(inst, config, seed)
 
         monkeypatch.setattr(executor_mod, "_solve_one", flaky)
-        results, tel = EnsembleExecutor(max_retries=1).run(
+        results, tel = EnsembleExecutor(EnsembleOptions(max_retries=1)).run(
             instance, [1, 2, 3]
         )
         assert len(results) == 2  # seed 2 dropped, siblings intact
@@ -148,7 +149,7 @@ class TestFailureIsolation:
             return real(inst, config, seed)
 
         monkeypatch.setattr(executor_mod, "_solve_one", transient)
-        results, tel = EnsembleExecutor(max_retries=2).run(instance, [5])
+        results, tel = EnsembleExecutor(EnsembleOptions(max_retries=2)).run(instance, [5])
         assert len(results) == 1
         assert tel.runs[0].ok and tel.runs[0].retries == 1
 
@@ -160,4 +161,123 @@ class TestFailureIsolation:
 
         monkeypatch.setattr(executor_mod, "_solve_one", always_fails)
         with pytest.raises(AnnealerError, match="failed after"):
-            EnsembleExecutor(max_retries=1, strict=True).run(instance, [1])
+            EnsembleExecutor(EnsembleOptions(max_retries=1, strict=True)).run(instance, [1])
+
+
+class TestCompletionCallback:
+    def test_callback_fires_per_run_in_order(self, instance):
+        seen = []
+        results, tel = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+            instance, SEEDS, on_run_complete=seen.append
+        )
+        assert [r.seed for r in seen] == SEEDS
+        assert [r.seed for r in seen] == [t.seed for t in tel.runs]
+
+    def test_callback_sees_failures_too(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+
+        def flaky(inst, config, seed):
+            if seed == 2:
+                raise RuntimeError("injected crash")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", flaky)
+        seen = []
+        EnsembleExecutor(EnsembleOptions(max_retries=0)).run(
+            instance, [1, 2, 3], on_run_complete=seen.append
+        )
+        assert [r.ok for r in seen] == [True, False, True]
+
+    def test_worker_suffix_threaded_through(self, instance):
+        _, tel = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+            instance, [1], worker_suffix="@job-0042"
+        )
+        assert tel.runs[0].worker == "serial@job-0042"
+        assert tel.runs[0].job_id == "job-0042"
+
+
+class TestBorrowedPool:
+    def test_shared_pool_not_shut_down(self, instance):
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=2)
+        try:
+            runner = EnsembleExecutor(EnsembleOptions(max_workers=2))
+            r1, t1 = runner.run(instance, [1, 2], pool=pool)
+            # A second ensemble reuses the same (still-open) pool.
+            r2, t2 = runner.run(instance, [3], pool=pool)
+            assert len(r1) == 2 and len(r2) == 1
+            assert t1.mode == "parallel" and t2.mode == "parallel"
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def test_closed_borrowed_pool_degrades_serially(self, instance):
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=2)
+        pool.shutdown(wait=False, cancel_futures=True)
+        results, tel = EnsembleExecutor(EnsembleOptions(max_workers=2)).run(
+            instance, [1, 2], pool=pool
+        )
+        assert len(results) == 2
+        assert tel.mode == "serial-fallback"
+        assert all(t.ok for t in tel.runs)
+
+
+class TestCancellation:
+    def test_pre_set_cancel_raises_before_any_run(self, instance):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(AnnealerError, match="cancelled after 0/2"):
+            EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+                instance, [1, 2], cancel=cancel
+            )
+
+    def test_cancel_between_seeds_stops_dispatch(self, instance):
+        import threading
+
+        cancel = threading.Event()
+        seen = []
+
+        def stop_after_first(record):
+            seen.append(record)
+            cancel.set()
+
+        with pytest.raises(AnnealerError, match="cancelled after 1/3"):
+            EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+                instance, [1, 2, 3],
+                on_run_complete=stop_after_first,
+                cancel=cancel,
+            )
+        assert len(seen) == 1  # first run finished, rest never dispatched
+
+
+class TestLegacyKwargsShim:
+    def test_legacy_kwargs_warn_and_map(self, instance):
+        with pytest.warns(DeprecationWarning, match="EnsembleOptions"):
+            runner = EnsembleExecutor(max_workers=2, timeout_s=30.0)
+        assert runner.options == EnsembleOptions(max_workers=2, timeout_s=30.0)
+        assert runner.max_workers == 2 and runner.timeout_s == 30.0
+
+    def test_legacy_results_identical(self, instance):
+        with pytest.warns(DeprecationWarning):
+            legacy = EnsembleExecutor(max_workers=1)
+        results_legacy, _ = legacy.run(instance, [1, 2])
+        results_new, _ = EnsembleExecutor(
+            EnsembleOptions(max_workers=1)
+        ).run(instance, [1, 2])
+        assert [r.length for r in results_legacy] == [
+            r.length for r in results_new
+        ]
+
+    def test_options_plus_legacy_rejected(self):
+        with pytest.raises(AnnealerError, match="not both"):
+            EnsembleExecutor(EnsembleOptions(), max_workers=2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected"):
+            EnsembleExecutor(workers=2)

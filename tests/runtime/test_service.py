@@ -1,0 +1,395 @@
+"""Tests for the async multi-instance serving runtime.
+
+Native ``async def`` tests; ``conftest.py`` runs each on a fresh event
+loop.  Deterministic streaming/admission tests gate the worker entry
+point (``repro.runtime.executor._solve_one``) with threading events —
+that only works with ``max_workers=1`` (in-process dispatch), which is
+also what keeps them timing-independent.  The shared-pool test at the
+end exercises the real process pool without gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.annealer.batch import solve_ensemble
+from repro.errors import AnnealerError
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.service import AnnealingService, Job, JobState
+from repro.tsp.generators import random_uniform
+
+#: Generous guard so a bug hangs a test, not the whole suite.
+WAIT = 60.0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_uniform(60, seed=21)
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return random_uniform(40, seed=22)
+
+
+def serial_options(**kwargs):
+    return EnsembleOptions(max_workers=1, **kwargs)
+
+
+async def solve_serial(instance, seeds):
+    """Run ``solve_ensemble`` off-loop (it refuses to block a loop)."""
+    return await asyncio.to_thread(
+        solve_ensemble, instance, seeds, options=serial_options()
+    )
+
+
+class Gate:
+    """Per-seed gates for deterministically pacing in-process solves."""
+
+    def __init__(self, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        self._real = executor_mod._solve_one
+        self._events = {}
+        self._all_open = False
+        self._lock = threading.Lock()
+        monkeypatch.setattr(executor_mod, "_solve_one", self._gated)
+
+    def _event(self, seed):
+        with self._lock:
+            event = self._events.setdefault(seed, threading.Event())
+            if self._all_open:
+                event.set()
+            return event
+
+    def _gated(self, inst, config, seed):
+        assert self._event(seed).wait(timeout=WAIT), f"seed {seed} starved"
+        return self._real(inst, config, seed)
+
+    def release(self, *seeds):
+        for seed in seeds:
+            self._event(seed).set()
+
+    def release_all(self):
+        # Seeds not yet requested must not block either: _event checks
+        # the flag under the same lock before any future wait.
+        with self._lock:
+            self._all_open = True
+            events = list(self._events.values())
+        for event in events:
+            event.set()
+
+
+class TestSubmitAndResult:
+    async def test_result_bit_identical_to_serial_path(self, instance):
+        seeds = [1, 2, 3]
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(
+                SolveRequest.build(instance, seeds, options=serial_options())
+            )
+            served = await asyncio.wait_for(job.result(), WAIT)
+        serial = await solve_serial(instance, seeds)
+        assert [r.length for r in served.results] == [
+            r.length for r in serial.results
+        ]
+        assert all(
+            np.array_equal(a.tour, b.tour)
+            for a, b in zip(served.results, serial.results)
+        )
+        assert served.ratio_stats.mean == serial.ratio_stats.mean
+        assert served.reference == serial.reference
+
+    async def test_job_id_threaded_into_worker_field(self, instance):
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(
+                SolveRequest.build(instance, [1], tag="acme")
+            )
+            result = await asyncio.wait_for(job.result(), WAIT)
+        assert job.job_id.startswith("acme-")
+        assert result.telemetry.job_id == job.job_id
+        for record in result.telemetry.runs:
+            assert record.worker == f"serial@{job.job_id}"
+            assert record.job_id == job.job_id
+
+    async def test_records_complete_before_result_resolves(self, instance):
+        seeds = [4, 5]
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(SolveRequest.build(instance, seeds))
+            await asyncio.wait_for(job.result(), WAIT)
+            # The streaming guarantee: by the time result() resolves,
+            # every record is already observable.
+            assert [r.seed for r in job.records] == seeds
+        assert job.state is JobState.DONE
+
+    async def test_submit_requires_a_request(self, instance):
+        async with AnnealingService(serial_options()) as service:
+            with pytest.raises(AnnealerError, match="SolveRequest"):
+                await service.submit(instance)  # type: ignore[arg-type]
+
+
+class TestStreaming:
+    async def test_stream_is_incremental(
+        self, small_instance, monkeypatch
+    ):
+        gate = Gate(monkeypatch)
+        seeds = [1, 2]
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(SolveRequest.build(small_instance, seeds))
+            stream = job.stream()
+            gate.release(1)
+            first = await asyncio.wait_for(stream.__anext__(), WAIT)
+            # First record observed while the ensemble is still running.
+            assert first.seed == 1
+            assert not job.done
+            assert job.state is JobState.RUNNING
+            gate.release(2)
+            second = await asyncio.wait_for(stream.__anext__(), WAIT)
+            assert second.seed == 2
+            with pytest.raises(StopAsyncIteration):
+                await asyncio.wait_for(stream.__anext__(), WAIT)
+            assert (await job.result()).n_runs == 2
+
+    async def test_late_consumer_replays_buffered_records(self, instance):
+        seeds = [6, 7]
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(SolveRequest.build(instance, seeds))
+            await asyncio.wait_for(job.result(), WAIT)
+            replay = [r.seed async for r in job.stream()]
+        assert replay == seeds
+
+    async def test_two_consumers_see_the_full_sequence(self, instance):
+        seeds = [8, 9]
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(SolveRequest.build(instance, seeds))
+
+            async def consume():
+                return [r.seed async for r in job.stream()]
+
+            a, b = await asyncio.wait_for(
+                asyncio.gather(consume(), consume()), WAIT
+            )
+        assert a == seeds and b == seeds
+
+
+class TestConcurrentJobs:
+    async def test_interleaving_without_cross_contamination(
+        self, small_instance, monkeypatch
+    ):
+        gate = Gate(monkeypatch)
+        seeds_a, seeds_b = [1, 2], [11, 12]
+        async with AnnealingService(serial_options()) as service:
+            job_a = await service.submit(SolveRequest.build(small_instance, seeds_a))
+            job_b = await service.submit(SolveRequest.build(small_instance, seeds_b))
+            order = []
+
+            async def consume(job: Job):
+                async for record in job.stream():
+                    order.append((job.job_id, record.seed, record.job_id))
+
+            consumers = asyncio.gather(consume(job_a), consume(job_b))
+            # Force a cross-job interleaving: a1 → b1 → a2 → b2.
+            for seed in (1, 11, 2, 12):
+                gate.release(seed)
+            await asyncio.wait_for(consumers, WAIT)
+            result_a = await job_a.result()
+            result_b = await job_b.result()
+
+        # Every record carries its own job's id — no cross-talk.
+        assert all(job_id == rec_job for job_id, _, rec_job in order)
+        # Per-job seed ordering is preserved regardless of interleave.
+        assert [s for j, s, _ in order if j == job_a.job_id] == seeds_a
+        assert [s for j, s, _ in order if j == job_b.job_id] == seeds_b
+        # And the payloads match the jobs.
+        assert [r.seed for r in result_a.telemetry.runs] == seeds_a
+        assert [r.seed for r in result_b.telemetry.runs] == seeds_b
+
+
+class TestAdmissionControl:
+    async def test_submit_backpressure_blocks_at_capacity(
+        self, small_instance, monkeypatch
+    ):
+        gate = Gate(monkeypatch)
+        options = serial_options(max_pending_jobs=1)
+        async with AnnealingService(options) as service:
+            job1 = await service.submit(SolveRequest.build(small_instance, [1]))
+            # Capacity 1: the second submit must block until job1 ends.
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    service.submit(SolveRequest.build(small_instance, [2])),
+                    timeout=0.2,
+                )
+            gate.release_all()
+            await asyncio.wait_for(job1.result(), WAIT)
+            job2 = await asyncio.wait_for(
+                service.submit(SolveRequest.build(small_instance, [2])), WAIT
+            )
+            await asyncio.wait_for(job2.result(), WAIT)
+        assert job2.state is JobState.DONE
+
+    async def test_per_job_inflight_cap_limits_dispatch_wave(
+        self, small_instance, monkeypatch
+    ):
+        gate = Gate(monkeypatch)
+        request = SolveRequest.build(
+            small_instance,
+            [1, 2, 3],
+            options=serial_options(max_inflight_per_job=1),
+        )
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(request)
+            stream = job.stream()
+            gate.release(1)
+            first = await asyncio.wait_for(stream.__anext__(), WAIT)
+            assert first.seed == 1
+            gate.release_all()
+            rest = [r.seed async for r in stream]
+        assert rest == [2, 3]
+
+
+class TestShutdown:
+    async def test_drain_finishes_admitted_jobs(self, instance):
+        service = AnnealingService(serial_options())
+        job = await service.submit(SolveRequest.build(instance, [1, 2]))
+        await service.shutdown(drain=True)
+        assert job.done and job.state is JobState.DONE
+        assert (await job.result()).n_runs == 2
+
+    async def test_submit_after_shutdown_rejected(self, instance):
+        service = AnnealingService(serial_options())
+        await service.start()
+        await service.shutdown()
+        with pytest.raises(AnnealerError, match="shut down"):
+            await service.submit(SolveRequest.build(instance, [1]))
+
+    async def test_cancel_shutdown_stops_dispatch(
+        self, small_instance, monkeypatch
+    ):
+        gate = Gate(monkeypatch)
+        service = AnnealingService(serial_options())
+        job = await service.submit(SolveRequest.build(small_instance, [1, 2]))
+        stream = job.stream()
+        gate.release(1)
+        first = await asyncio.wait_for(stream.__anext__(), WAIT)
+        assert first.seed == 1
+        shutdown = asyncio.create_task(service.shutdown(drain=False))
+        gate.release_all()
+        await asyncio.wait_for(shutdown, WAIT)
+        assert job.state is JobState.CANCELLED
+        with pytest.raises(AnnealerError, match="cancelled"):
+            await job.result()
+        # The stream terminated cleanly at cancellation.
+        assert [r.seed async for r in stream] == []
+
+    async def test_job_cancel_mid_run(self, small_instance, monkeypatch):
+        gate = Gate(monkeypatch)
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(
+                SolveRequest.build(small_instance, [1, 2])
+            )
+            stream = job.stream()
+            gate.release(1)
+            await asyncio.wait_for(stream.__anext__(), WAIT)
+            job.cancel()
+            gate.release_all()
+            with pytest.raises(AnnealerError, match="cancelled"):
+                await asyncio.wait_for(job.result(), WAIT)
+        assert job.state is JobState.CANCELLED
+        assert len(job.records) == 1  # seed 2 never dispatched
+
+
+class TestFailureSurfacing:
+    async def test_strict_failure_fails_job(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        def always_fails(inst, config, seed):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(executor_mod, "_solve_one", always_fails)
+        request = SolveRequest.build(
+            instance, [1], options=serial_options(strict=True, max_retries=0)
+        )
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(request)
+            with pytest.raises(AnnealerError, match="failed after"):
+                await asyncio.wait_for(job.result(), WAIT)
+        assert job.state is JobState.FAILED
+
+    async def test_all_failed_non_strict_fails_job(
+        self, instance, monkeypatch
+    ):
+        import repro.runtime.executor as executor_mod
+
+        def always_fails(inst, config, seed):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(executor_mod, "_solve_one", always_fails)
+        request = SolveRequest.build(
+            instance, [1, 2], options=serial_options(max_retries=0)
+        )
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(request)
+            with pytest.raises(AnnealerError, match="all 2 ensemble runs"):
+                await asyncio.wait_for(job.result(), WAIT)
+        # Failed runs still streamed their telemetry.
+        assert [r.ok for r in job.records] == [False, False]
+
+    async def test_solve_ensemble_refuses_to_block_the_loop(self, instance):
+        with pytest.raises(AnnealerError, match="event loop"):
+            solve_ensemble(instance, [1])
+
+
+class TestSharedPool:
+    async def test_two_jobs_one_pool_stream_and_match_serial(self, instance):
+        """Acceptance: two concurrent jobs on one shared pool stream
+        telemetry incrementally and produce bit-identical results."""
+        seeds_a, seeds_b = [31, 32, 33], [41, 42]
+        options = EnsembleOptions(max_workers=2)
+        async with AnnealingService(options) as service:
+            job_a = await service.submit(SolveRequest.build(instance, seeds_a))
+            job_b = await service.submit(SolveRequest.build(instance, seeds_b))
+            events = []
+
+            async def consume(job: Job):
+                async for record in job.stream():
+                    events.append(
+                        {
+                            "job": job.job_id,
+                            "record": record,
+                            "a_done": job_a.done,
+                            "b_done": job_b.done,
+                        }
+                    )
+
+            await asyncio.wait_for(
+                asyncio.gather(consume(job_a), consume(job_b)), WAIT
+            )
+            result_a = await job_a.result()
+            result_b = await job_b.result()
+
+        # Incremental: the first record was observed while both
+        # ensembles were still in flight.
+        first = events[0]
+        assert not first["a_done"] and not first["b_done"]
+        # Both pools of records are complete and uncontaminated.
+        by_job = {job_a.job_id: [], job_b.job_id: []}
+        for ev in events:
+            assert ev["record"].job_id == ev["job"]
+            by_job[ev["job"]].append(ev["record"].seed)
+        assert by_job[job_a.job_id] == seeds_a
+        assert by_job[job_b.job_id] == seeds_b
+
+        # Bit-identical to the serial solve_ensemble path.
+        for served, seeds in ((result_a, seeds_a), (result_b, seeds_b)):
+            serial = await solve_serial(instance, seeds)
+            assert [r.length for r in served.results] == [
+                r.length for r in serial.results
+            ]
+            assert all(
+                np.array_equal(x.tour, y.tour)
+                for x, y in zip(served.results, serial.results)
+            )
+        assert result_a.telemetry.max_workers == 2

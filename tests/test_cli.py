@@ -147,3 +147,44 @@ class TestSolveEnsemble:
         ) == 0
         assert "ensemble : 1 runs" in capsys.readouterr().out
         assert path.exists()
+
+
+class TestSolveStream:
+    def test_stream_emits_one_json_line_per_run(self, capsys):
+        import json
+
+        assert main(
+            ["solve", "--family", "uniform", "--n", "60", "--seed", "5",
+             "--ensemble", "2", "--stream"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [
+            json.loads(line)
+            for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert [rec["seed"] for rec in lines] == [5, 6]
+        assert all(
+            rec["schema"] == "repro.run_telemetry/v1" for rec in lines
+        )
+        assert all(rec["worker"].endswith("@cli-0001") for rec in lines)
+        assert "ensemble : 2 runs" in out
+
+    def test_stream_matches_unstreamed_solve(self, capsys):
+        args = ["solve", "--family", "uniform", "--n", "60", "--seed", "7",
+                "--ensemble", "2"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main([*args, "--stream"]) == 0
+        streamed = capsys.readouterr().out
+        def pick(text):
+            return [line for line in text.splitlines() if "length=" in line]
+
+        assert pick(plain) == pick(streamed)
+
+    def test_max_inflight_flag_accepted(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "60", "--seed", "8",
+             "--ensemble", "3", "--stream", "--max-inflight", "1"]
+        ) == 0
+        assert "ensemble : 3 runs" in capsys.readouterr().out

@@ -49,6 +49,40 @@ class TestPublicAPI:
         assert callable(random_uniform)
         assert ClusteredCIMAnnealer(AnnealerConfig(seed=0)) is not None
 
+    def test_runtime_surface_pinned(self):
+        # The serving runtime's public surface is exactly this; executor
+        # internals (_solve_one, chunking helpers) stay private.
+        import repro.runtime as runtime
+
+        assert sorted(runtime.__all__) == [
+            "AnnealingService",
+            "EnsembleExecutor",
+            "EnsembleOptions",
+            "EnsembleTelemetry",
+            "Job",
+            "JobState",
+            "RunTelemetry",
+            "SolveRequest",
+            "solve_async",
+            "solve_sync",
+        ]
+        assert "_solve_one" not in runtime.__all__
+
+    def test_serving_types_importable_from_root(self):
+        from repro import (
+            AnnealingService,
+            EnsembleOptions,
+            Job,
+            JobState,
+            SolveRequest,
+        )
+
+        assert callable(AnnealingService)
+        assert callable(SolveRequest.build)
+        assert EnsembleOptions().max_workers == 1
+        assert JobState.PENDING.value == "pending"
+        assert Job is not None
+
     def test_error_hierarchy_rooted(self):
         from repro import ReproError
         from repro.errors import (

@@ -13,6 +13,18 @@ at runtime — sometimes only on the retry path, long after the code
 * a default argument or dataclass-field default constructing an
   unpicklable object (``threading.Lock()`` & friends, ``open(...)``) —
   shared mutable state that cannot ride along into a worker.
+
+With the async serving runtime (:mod:`repro.runtime.service`) the same
+hazards appear at the asyncio boundary, so the rule also covers:
+
+* ``loop.run_in_executor(executor, fn, *args)`` — treated as a
+  pool-crossing call unless the executor argument is the literal
+  ``None`` (the default thread pool never pickles its payload);
+* an ``async def`` function name submitted as a pool payload — the
+  worker would manufacture a coroutine object nothing ever awaits;
+* a local name previously bound to an unpicklable constructor (a lock,
+  an ``open()`` handle, …) passed as a pool-crossing payload argument —
+  the capture fails in the worker exactly like a default would.
 """
 
 from __future__ import annotations
@@ -61,9 +73,35 @@ def _is_pool_crossing(node: ast.Call) -> bool:
     attr = node.func.attr
     if attr in _POOL_ONLY_METHODS:
         return True
+    if attr == "run_in_executor":
+        # loop.run_in_executor(None, ...) is the default thread pool:
+        # the payload never pickles, so lambdas/locals are fine there.
+        if node.args and _is_none_literal(node.args[0]):
+            return False
+        return True
     if attr == "map":
         return bool(_POOLISH_RECEIVER.search(_receiver_name(node.func)))
     return False
+
+
+def _is_none_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _payload_args(node: ast.Call) -> List[ast.expr]:
+    """Arguments that actually travel into the worker.
+
+    For ``run_in_executor`` the first positional argument is the
+    executor itself, not payload.
+    """
+    args = list(node.args)
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "run_in_executor"
+        and args
+    ):
+        args = args[1:]
+    return [*args, *[kw.value for kw in node.keywords]]
 
 
 def _nested_function_names(tree: ast.Module) -> Set[str]:
@@ -78,6 +116,37 @@ def _nested_function_names(tree: ast.Module) -> Set[str]:
             if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 nested.add(inner.name)
     return nested
+
+
+def _async_function_names(tree: ast.Module) -> Set[str]:
+    """Names bound to ``async def`` anywhere in the module."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+
+
+def _unpicklable_bindings(tree: ast.Module) -> dict:
+    """Map of simple names assigned an unpicklable constructor."""
+    bindings: dict = {}
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        desc = _is_unpicklable_ctor(value)
+        if not desc:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                bindings[target.id] = desc
+    return bindings
 
 
 def _is_unpicklable_ctor(node: ast.AST) -> str:
@@ -103,20 +172,19 @@ class PoolPickleSafety(Rule):
     name = "pool-pickle-safety"
     description = (
         "unpicklable state crossing the repro.runtime pool boundary "
-        "(lambda/nested function submitted to a pool, lock or open "
-        "handle as a default); only module-level callables and plain "
-        "data survive pickling into workers"
+        "(lambda/nested function/coroutine submitted to a pool or "
+        "run_in_executor, lock or open handle as a default or payload); "
+        "only module-level plain callables and plain data survive "
+        "pickling into workers"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         nested = _nested_function_names(ctx.tree)
+        async_defs = _async_function_names(ctx.tree)
+        bindings = _unpicklable_bindings(ctx.tree)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call) and _is_pool_crossing(node):
-                args: List[ast.expr] = [
-                    *node.args,
-                    *[kw.value for kw in node.keywords],
-                ]
-                for arg in args:
+                for arg in _payload_args(node):
                     if isinstance(arg, ast.Lambda):
                         yield self.violation(
                             ctx,
@@ -132,6 +200,24 @@ class PoolPickleSafety(Rule):
                             f"nested function {arg.id!r} submitted across "
                             "the process-pool boundary cannot be pickled "
                             "into a worker; hoist it to module level",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in async_defs:
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            f"coroutine function {arg.id!r} submitted as a "
+                            "pool payload: the worker would build a "
+                            "coroutine object nothing awaits; submit a "
+                            "plain function and await on the loop side",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in bindings:
+                        yield self.violation(
+                            ctx,
+                            arg,
+                            f"{arg.id!r} is bound to {bindings[arg.id]} "
+                            "and cannot be pickled into a worker; pass "
+                            "plain data and rebuild the resource inside "
+                            "the worker",
                         )
             elif isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef)
