@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-fast lint typecheck check bench bench-full bench-json examples clean
+.PHONY: install test test-fast test-chaos lint typecheck check bench bench-full bench-json examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,6 +23,11 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# Fault-injection suite: seeded crashes/hangs/broken pools on purpose
+# (docs/robustness.md).  Deselect everywhere else with -m "not chaos".
+test-chaos:
+	pytest tests/runtime/test_chaos.py tests/runtime/test_faults.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

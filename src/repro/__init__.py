@@ -39,9 +39,11 @@ from repro.annealer import (
 )
 from repro.runtime import (
     AnnealingService,
+    CircuitBreaker,
     EnsembleExecutor,
     EnsembleOptions,
     EnsembleTelemetry,
+    FaultPlan,
     Job,
     JobState,
     RunTelemetry,
@@ -98,6 +100,9 @@ __all__ = [
     "AnnealingService",
     "Job",
     "JobState",
+    # robustness / chaos
+    "FaultPlan",
+    "CircuitBreaker",
     # strategies
     "ArbitraryStrategy",
     "FixedSizeStrategy",

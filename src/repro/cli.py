@@ -9,8 +9,9 @@ Installs as ``repro`` (console script) and also runs as
   over ``--workers`` processes) routed through the serving runtime
   (:mod:`repro.runtime.service`); ``--stream`` prints each run's
   telemetry frame as it completes, ``--max-inflight`` caps the job's
-  concurrent seeds, and ``--telemetry-out`` exports the per-run
-  telemetry JSON;
+  concurrent seeds, ``--telemetry-out`` exports the per-run telemetry
+  JSON, and ``--chaos-seed`` runs the ensemble under the deterministic
+  fault-injection layer (``docs/robustness.md``);
 * ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
 * ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
 * ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
@@ -25,6 +26,8 @@ Examples
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 \
                 --telemetry-out telemetry.json
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 --stream
+    repro solve --family rl --n 200 --ensemble 16 --chaos-seed 42 \
+                --chaos-crash-rate 0.2
     repro capacity --sizes 1000 10000 85900
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
@@ -105,6 +108,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="admission control: at most M of this job's seeds in "
         "flight at once (default: 2 x workers)",
     )
+    p_solve.add_argument(
+        "--timeout", type=float, default=None, metavar="T",
+        help="per-run wall-clock budget in seconds for pool runs "
+        "(default: unbounded)",
+    )
+    p_solve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="S",
+        help="enable the deterministic fault-injection layer with chaos "
+        "seed S (implies an ensemble run; see docs/robustness.md)",
+    )
+    p_solve.add_argument(
+        "--chaos-crash-rate", type=float, default=0.1, metavar="P",
+        help="per-attempt probability of an injected worker crash "
+        "(default: 0.1; needs --chaos-seed)",
+    )
+    p_solve.add_argument(
+        "--chaos-hang-rate", type=float, default=0.0, metavar="P",
+        help="per-attempt probability of an injected worker hang "
+        "(default: 0; needs --chaos-seed and --timeout)",
+    )
+    p_solve.add_argument(
+        "--chaos-corrupt-rate", type=float, default=0.0, metavar="P",
+        help="per-attempt probability of an injected corrupted result "
+        "(default: 0; needs --chaos-seed)",
+    )
 
     p_cap = sub.add_parser("capacity", help="Fig. 1 capacity table")
     p_cap.add_argument("--sizes", type=int, nargs="+",
@@ -161,6 +189,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         or args.workers > 1
         or args.telemetry_out
         or args.stream
+        or args.chaos_seed is not None
     ):
         return _solve_ensemble(instance, cfg, args)
     result = ClusteredCIMAnnealer(cfg).solve(instance)
@@ -224,6 +253,17 @@ def _solve_ensemble(
             )
             return 2
 
+    plan = None
+    if args.chaos_seed is not None:
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan(
+            seed=args.chaos_seed,
+            crash_rate=args.chaos_crash_rate,
+            hang_rate=args.chaos_hang_rate,
+            corrupt_rate=args.chaos_corrupt_rate,
+            hang_s=(2.0 * args.timeout) if args.timeout else 0.5,
+        )
     n_seeds = max(1, args.ensemble)
     seeds = list(range(args.seed, args.seed + n_seeds))
     request = SolveRequest.build(
@@ -233,6 +273,8 @@ def _solve_ensemble(
         options=EnsembleOptions(
             max_workers=args.workers,
             max_inflight_per_job=args.max_inflight,
+            timeout_s=args.timeout,
+            fault_plan=plan,
         ),
         tag="cli",
     )
@@ -252,6 +294,19 @@ def _solve_ensemble(
         f"quality  : ratio mean={s.mean:.3f}  "
         f"min={s.minimum:.3f}  max={s.maximum:.3f}"
     )
+    if plan is not None:
+        by_kind = tel.faults_by_kind
+        kinds = (
+            "  ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+            or "none"
+        )
+        print(
+            f"chaos    : seed={plan.seed}  "
+            f"faults={tel.total_faults_injected} ({kinds})  "
+            f"retries={tel.total_retries}  "
+            f"backoff={tel.total_backoff_s:.2f}s  "
+            f"pool_rebuilds={tel.pool_rebuilds}"
+        )
     if args.telemetry_out:
         tel.save(args.telemetry_out)
         print(f"telemetry: {args.telemetry_out}")

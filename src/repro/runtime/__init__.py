@@ -20,7 +20,11 @@ here.
 * :class:`RunTelemetry` / :class:`EnsembleTelemetry` — structured,
   JSON-serialisable per-run and aggregate instrumentation (wall times,
   per-level solve times, trial counters, write-backs, chip MAC/energy
-  counters), with job ids threaded through the ``worker`` field.
+  counters), with job ids threaded through the ``worker`` field;
+* :class:`FaultPlan` / :class:`FaultInjector` / :class:`FaultKind` —
+  the deterministic chaos layer, plus the supervision primitives
+  (:class:`Backoff`, :class:`CircuitBreaker`) the runtime recovers
+  with (``docs/robustness.md``).
 
 :func:`repro.annealer.batch.solve_ensemble` is the blocking
 convenience entry point (itself a thin wrapper over a single-job
@@ -30,6 +34,16 @@ Executor internals (``_solve_one``, the dispatch helpers) are private.
 """
 
 from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.faults import (
+    Backoff,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    ResultIntegrityError,
+)
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.service import (
     AnnealingService,
@@ -42,11 +56,19 @@ from repro.runtime.telemetry import EnsembleTelemetry, RunTelemetry
 
 __all__ = [
     "AnnealingService",
+    "Backoff",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "EnsembleExecutor",
     "EnsembleOptions",
     "EnsembleTelemetry",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "InjectedFault",
     "Job",
     "JobState",
+    "ResultIntegrityError",
     "RunTelemetry",
     "SolveRequest",
     "solve_async",

@@ -10,16 +10,32 @@ out across worker processes, one run per seed:
 * **Chunked dispatch** — seeds are submitted in bounded waves
   (``chunk_size``, default ``2 × max_workers``) so a 10 000-seed
   ensemble never materialises 10 000 pickled instances at once.
-* **Failure isolation** — a run that raises or exceeds ``timeout_s``
-  is retried (in-process, up to ``max_retries`` extra attempts) without
+* **Failure isolation** — a run that raises, times out
+  (``timeout_s``), or returns a corrupted payload (integrity-checked
+  at the pool boundary by :func:`repro.runtime.faults.validate_result`)
+  is retried in-process, up to ``max_retries`` extra attempts paced by
+  a bounded, jittered :class:`~repro.runtime.faults.Backoff`, without
   disturbing its siblings; terminal failures surface as structured
   :class:`~repro.runtime.telemetry.RunTelemetry` records with
   ``ok=False`` instead of poisoning the whole ensemble, unless
   ``strict`` asks for an :class:`~repro.errors.AnnealerError`.
+* **Self-healing pools** — a broken ``ProcessPoolExecutor``
+  (``BrokenProcessPool``), or one whose worker slots are all occupied
+  by hung runs, is rebuilt within a bounded ``self_heal_budget``
+  (:class:`_PoolSupervisor`) instead of permanently degrading to the
+  serial path; a *borrowed* shared pool is healed through the owner's
+  ``on_pool_broken`` callback (the serving runtime's budget applies).
+  Hung pool futures are cancelled when possible; an uncancellable one
+  is accounted as an occupied slot until its worker finishes.
 * **Graceful degradation** — ``max_workers=1``, a missing
-  ``concurrent.futures`` pool, or a broken pool (e.g. a sandbox that
-  forbids ``fork``) all fall back to the plain serial loop; callers
-  never have to care.
+  ``concurrent.futures`` pool, or an exhausted self-heal budget all
+  fall back to the plain serial loop; callers never have to care.
+* **Chaos injection** — an :class:`~repro.runtime.faults.FaultPlan` in
+  the options routes every attempt through
+  :func:`_solve_one_injected`, which injects seeded worker-crash /
+  hang / corrupted-result / broken-pool faults; the dispatch side
+  accounts each observed injection in ``RunTelemetry.faults_injected``
+  (see ``docs/robustness.md``).
 * **Incremental surfacing** — an ``on_run_complete`` callback fires
   with each :class:`RunTelemetry` record as it lands, which is how the
   serving runtime (:mod:`repro.runtime.service`) streams telemetry
@@ -43,6 +59,7 @@ only :meth:`EnsembleExecutor.run` is supported API.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import replace
 from typing import (
@@ -57,6 +74,16 @@ from typing import (
 )
 
 from repro.errors import AnnealerError
+from repro.runtime.faults import (
+    Backoff,
+    CircuitBreaker,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    ResultIntegrityError,
+    validate_result,
+)
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.telemetry import (
     EnsembleTelemetry,
@@ -65,7 +92,7 @@ from repro.runtime.telemetry import (
 )
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
-    from concurrent.futures import Executor
+    from concurrent.futures import Executor, Future
     from threading import Event
 
     from repro.annealer.config import AnnealerConfig
@@ -74,6 +101,10 @@ if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
 
 #: Fires with each run's telemetry record the moment it is final.
 RunCallback = Callable[[RunTelemetry], None]
+
+#: Asked to replace a broken borrowed pool; returns the healed pool or
+#: None when the owner's self-heal budget is spent (degrade serially).
+PoolHealer = Callable[["Executor"], Optional["Executor"]]
 
 _LEGACY_FIELDS = (
     "max_workers",
@@ -96,6 +127,124 @@ def _solve_one(
 
     cfg = replace(config, seed=int(seed))
     return ClusteredCIMAnnealer(cfg).solve(instance)
+
+
+def _solve_one_injected(
+    instance: TSPInstance,
+    config: AnnealerConfig,
+    seed: int,
+    plan: FaultPlan,
+    attempt: int,
+    in_pool: bool,
+) -> AnnealResult:
+    """Worker entry point under an active chaos :class:`FaultPlan`.
+
+    Module-level and fed only picklable arguments, like
+    :func:`_solve_one` (which it wraps, so test monkeypatching of the
+    real solve still applies under chaos).
+    """
+    injector = FaultInjector(plan)
+    injector.pre_solve(seed, attempt, in_pool=in_pool)
+    result = _solve_one(instance, config, seed)
+    return injector.post_solve(seed, attempt, result)
+
+
+class _PoolSupervisor:
+    """Owns the pool handle for one :meth:`EnsembleExecutor.run`.
+
+    Centralises the self-healing state: (re)builds owned pools within
+    a bounded rebuild budget, routes borrowed-pool breakage to the
+    owner's ``on_pool_broken`` callback, and accounts worker slots
+    occupied by hung (timed-out but uncancellable) runs so a starved
+    pool is healed like a broken one.
+    """
+
+    def __init__(
+        self,
+        pool: Optional["Executor"],
+        max_workers: int,
+        budget: int,
+        on_pool_broken: Optional[PoolHealer] = None,
+    ) -> None:
+        self.pool = pool
+        self.owns_pool = pool is None
+        self.max_workers = max_workers
+        self.budget_left = budget
+        self.rebuilds = 0
+        self._on_pool_broken = on_pool_broken
+        self._hung = 0
+        self._lock = threading.Lock()
+
+    def build(self) -> bool:
+        """Create the initial owned pool; False → degrade serially."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self.pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return True
+        # Pool construction cannot raise AnnealerError, and any failure
+        # here (sandbox, no fork, ...) must degrade to the serial path.
+        except Exception:  # repro-lint: ignore[RL005]
+            self.pool = None
+            return False
+
+    def note_hung(self, fut: "Future[Any]") -> None:
+        """A timed-out future could not be cancelled: its worker slot
+        stays occupied until the hung run finishes on its own."""
+        with self._lock:
+            self._hung += 1
+
+        def _reclaim(_done: "Future[Any]") -> None:
+            with self._lock:
+                self._hung = max(0, self._hung - 1)
+
+        fut.add_done_callback(_reclaim)
+
+    @property
+    def hung_slots(self) -> int:
+        """Worker slots currently occupied by hung runs."""
+        with self._lock:
+            return self._hung
+
+    def starved(self) -> bool:
+        """True when hung runs occupy every worker slot."""
+        return self.hung_slots >= self.max_workers
+
+    def heal(self) -> bool:
+        """Replace a broken or starved pool; False → degrade serially.
+
+        Owned pools are rebuilt directly (``budget_left`` bounded);
+        borrowed pools defer to the owner's ``on_pool_broken`` (the
+        owner enforces its own budget, and may hand back a pool a
+        sibling already healed).
+        """
+        old = self.pool
+        if self.owns_pool:
+            if self.budget_left <= 0:
+                return False
+            self.budget_left -= 1
+            if old is not None:
+                # Abandon, don't wait: hung workers finish their sleep
+                # and exit on their own; queued tasks are cancelled.
+                old.shutdown(wait=False, cancel_futures=True)
+            if not self.build():
+                return False
+        else:
+            if self._on_pool_broken is None:
+                return False
+            healed = self._on_pool_broken(old) if old is not None else None
+            if healed is None:
+                return False
+            self.pool = healed
+        with self._lock:
+            self._hung = 0
+        self.rebuilds += 1
+        return True
+
+    def shutdown(self) -> None:
+        """Release an owned pool (borrowed pools stay with the owner)."""
+        if self.owns_pool and self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
 
 
 class EnsembleExecutor:
@@ -162,6 +311,12 @@ class EnsembleExecutor:
         """Raise on terminal run failure (see :class:`EnsembleOptions`)."""
         return self.options.strict
 
+    @property
+    def _plan(self) -> Optional[FaultPlan]:
+        """The active chaos plan, or None."""
+        plan = self.options.fault_plan
+        return plan if plan is not None and plan.enabled else None
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -174,6 +329,8 @@ class EnsembleExecutor:
         pool: Optional["Executor"] = None,
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        on_pool_broken: Optional[PoolHealer] = None,
     ) -> Tuple[List[AnnealResult], EnsembleTelemetry]:
         """Solve ``instance`` once per seed.
 
@@ -200,6 +357,18 @@ class EnsembleExecutor:
             dispatched and the run raises
             :class:`~repro.errors.AnnealerError`.  In-flight seeds
             finish first (cancellation is cooperative).
+        breaker:
+            A per-ensemble :class:`~repro.runtime.faults.CircuitBreaker`;
+            consulted before each seed dispatch and fed every terminal
+            run outcome.  Once open, the run raises
+            :class:`~repro.runtime.faults.CircuitOpenError` instead of
+            burning the remaining seeds.
+        on_pool_broken:
+            Self-heal hook for *borrowed* pools: called with the broken
+            pool, must return a replacement (possibly one a sibling
+            already healed) or None to decline, at which point this
+            ensemble degrades to the serial path.  Owned pools heal
+            themselves within ``options.self_heal_budget`` instead.
         """
         request = SolveRequest.build(
             instance,
@@ -215,6 +384,7 @@ class EnsembleExecutor:
             config = AnnealerConfig()
 
         watch = Stopwatch()
+        rebuilds = 0
         if self.max_workers == 1 and pool is None:
             by_seed, mode = self._run_serial(
                 instance,
@@ -224,9 +394,10 @@ class EnsembleExecutor:
                 on_run_complete=on_run_complete,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
+                breaker=breaker,
             )
         else:
-            by_seed, mode = self._run_pool(
+            by_seed, mode, rebuilds = self._run_pool(
                 instance,
                 ordered,
                 config,
@@ -235,6 +406,8 @@ class EnsembleExecutor:
                 pool=pool,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
+                breaker=breaker,
+                on_pool_broken=on_pool_broken,
             )
         wall = watch.elapsed_s()
 
@@ -243,6 +416,7 @@ class EnsembleExecutor:
             max_workers=self.max_workers,
             mode=mode,
             wall_time_s=wall,
+            pool_rebuilds=rebuilds,
         )
         results = [
             by_seed[s][0] for s in ordered if by_seed[s][0] is not None
@@ -258,11 +432,33 @@ class EnsembleExecutor:
             )
 
     @staticmethod
+    def _check_breaker(
+        breaker: Optional[CircuitBreaker], seed: int
+    ) -> None:
+        if breaker is not None:
+            breaker.check(f"run for seed {seed}")
+
+    @staticmethod
     def _emit(
         on_run_complete: Optional[RunCallback], record: RunTelemetry
     ) -> None:
         if on_run_complete is not None:
             on_run_complete(record)
+
+    def _invoke(
+        self,
+        instance: TSPInstance,
+        config: AnnealerConfig,
+        seed: int,
+        attempt: int,
+    ) -> AnnealResult:
+        """One in-process solve attempt (chaos-wrapped when planned)."""
+        plan = self._plan
+        if plan is not None:
+            return _solve_one_injected(
+                instance, config, seed, plan, attempt, False
+            )
+        return _solve_one(instance, config, seed)
 
     def _attempt_serial(
         self,
@@ -273,35 +469,73 @@ class EnsembleExecutor:
         first_error: Optional[BaseException] = None,
         attempts_used: int = 0,
         worker_suffix: str = "",
+        faults: Optional[List[str]] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> Tuple[Optional[AnnealResult], RunTelemetry]:
-        """Run one seed in-process with the retry budget that is left."""
-        error = first_error
+        """Run one seed in-process with the retry budget that is left.
+
+        Retries are paced by a bounded, deterministically jittered
+        :class:`Backoff`; the first failure (possibly handed in from a
+        pool attempt via ``first_error``) is preserved in the record's
+        ``first_error`` field even when a later attempt recovers.
+        """
+        plan = self._plan
+        backoff = Backoff(
+            self.options.backoff_base_s,
+            self.options.backoff_cap_s,
+            seed=seed,
+        )
+        faults = list(faults or [])
+        backoff_s = 0.0
+        first = first_error
+        last = first_error
         attempt = attempts_used
         while attempt <= self.max_retries:
+            if attempt > 0:
+                backoff_s += backoff.wait(attempt)
+            kind = plan.fault_for(seed, attempt) if plan is not None else None
             try:
-                result = _solve_one(instance, config, seed)
+                result = self._invoke(instance, config, seed, attempt)
+                validate_result(instance, result)
+                if kind is not None:
+                    # In-process execution is certain: the scheduled
+                    # fault ran (a hang slept, then solved clean).
+                    faults.append(kind.value)
+                if breaker is not None:
+                    breaker.record_success()
                 return result, RunTelemetry.from_result(
                     seed,
                     result,
                     reference,
                     retries=attempt,
                     worker=f"serial{worker_suffix}",
+                    faults_injected=faults,
+                    backoff_s=backoff_s,
+                    first_error=repr(first) if first is not None else "",
                 )
             except AnnealerError:
                 raise  # configuration errors are not transient: fail loud
             except Exception as exc:  # noqa: BLE001 — isolate worker faults
-                error = exc
+                if kind is not None:
+                    faults.append(kind.value)
+                first = first if first is not None else exc
+                last = exc
                 attempt += 1
+        if breaker is not None:
+            breaker.record_failure()
         if self.strict:
             raise AnnealerError(
                 f"run for seed {seed} failed after "
-                f"{self.max_retries + 1} attempts: {error!r}"
+                f"{self.max_retries + 1} attempts: {last!r}"
             )
         return None, RunTelemetry.from_failure(
             seed,
-            error or RuntimeError("unknown failure"),
+            last or RuntimeError("unknown failure"),
             retries=attempt,
             worker=f"serial{worker_suffix}",
+            faults_injected=faults,
+            backoff_s=backoff_s,
+            first_error=repr(first) if first is not None else "",
         )
 
     def _run_serial(
@@ -315,21 +549,99 @@ class EnsembleExecutor:
         on_run_complete: Optional[RunCallback] = None,
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
         by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
         for done, seed in enumerate(seeds):
             self._check_cancel(cancel, done, len(seeds))
+            self._check_breaker(breaker, seed)
             by_seed[seed] = self._attempt_serial(
                 instance,
                 seed,
                 config,
                 reference,
                 worker_suffix=worker_suffix,
+                breaker=breaker,
             )
             self._emit(on_run_complete, by_seed[seed][1])
         return by_seed, mode
 
     # ------------------------------------------------------------------
+    def _submit_wave(
+        self,
+        supervisor: _PoolSupervisor,
+        wave: List[int],
+        instance: TSPInstance,
+        config: AnnealerConfig,
+    ) -> Optional[Dict[int, "Future[AnnealResult]"]]:
+        """Submit one dispatch wave; None when the pool refuses.
+
+        A partial submission (pool breaking mid-wave) abandons the
+        already-submitted futures — their seeds are re-run serially by
+        the caller, which is deterministic because every run is a pure
+        function of its seed.
+        """
+        pool = supervisor.pool
+        assert pool is not None
+        plan = self._plan
+        try:
+            if plan is not None:
+                return {
+                    seed: pool.submit(
+                        _solve_one_injected,
+                        instance,
+                        config,
+                        seed,
+                        plan,
+                        0,
+                        True,
+                    )
+                    for seed in wave
+                }
+            return {
+                seed: pool.submit(_solve_one, instance, config, seed)
+                for seed in wave
+            }
+        # A borrowed pool can be shut down or broken by a sibling job
+        # mid-flight; the caller heals or degrades.
+        except Exception:  # repro-lint: ignore[RL005]
+            return None
+
+    @staticmethod
+    def _fault_observed(
+        kind: Optional[FaultKind],
+        exc: Optional[BaseException],
+        hung: bool,
+    ) -> bool:
+        """Did the fault scheduled for a *pool* attempt actually run?
+
+        Pool execution is not certain (a queued task can be cancelled
+        or killed by a sibling's pool breakage before its own fault
+        fires), so injected-fault accounting for pool attempts goes by
+        the observed outcome instead of the schedule alone.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        if kind is None:
+            return False
+        if exc is None:
+            # Ran to completion: only a hang (slept, then solved) or a
+            # corrupt fault (caught by validation, so not here) can
+            # coexist with success.
+            return True
+        if isinstance(exc, InjectedFault):
+            return True
+        if isinstance(exc, ResultIntegrityError):
+            return kind is FaultKind.CORRUPT
+        if isinstance(exc, FuturesTimeout):
+            # Only a *running* worker has executed its injected sleep;
+            # a still-queued future timed out on queue wait instead.
+            return kind is FaultKind.HANG and hung
+        if isinstance(exc, BrokenProcessPool):
+            return kind is FaultKind.BROKEN_POOL
+        return False
+
     def _run_pool(
         self,
         instance: TSPInstance,
@@ -341,71 +653,78 @@ class EnsembleExecutor:
         pool: Optional["Executor"] = None,
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
-    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
+        breaker: Optional[CircuitBreaker] = None,
+        on_pool_broken: Optional[PoolHealer] = None,
+    ) -> Tuple[
+        Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str, int
+    ]:
         from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
 
-        owns_pool = pool is None
-        if owns_pool:
-            try:
-                from concurrent.futures import ProcessPoolExecutor
+        supervisor = _PoolSupervisor(
+            pool,
+            max_workers=self.max_workers,
+            budget=self.options.self_heal_budget,
+            on_pool_broken=on_pool_broken,
+        )
+        if supervisor.owns_pool and not supervisor.build():
+            by_seed, mode = self._run_serial(
+                instance,
+                seeds,
+                config,
+                reference,
+                mode="serial-fallback",
+                on_run_complete=on_run_complete,
+                worker_suffix=worker_suffix,
+                cancel=cancel,
+                breaker=breaker,
+            )
+            return by_seed, mode, supervisor.rebuilds
 
-                pool = ProcessPoolExecutor(max_workers=self.max_workers)
-            # Pool construction cannot raise AnnealerError, and any failure
-            # here (sandbox, no fork, ...) must degrade to the serial path.
-            except Exception:  # repro-lint: ignore[RL005]
-                return self._run_serial(
-                    instance,
-                    seeds,
-                    config,
-                    reference,
-                    mode="serial-fallback",
-                    on_run_complete=on_run_complete,
-                    worker_suffix=worker_suffix,
-                    cancel=cancel,
-                )
-
+        plan = self._plan
         by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
         chunk = self.chunk_size or max(1, 2 * self.max_workers)
         degraded = False
+
+        def run_wave_serially(lo: int, wave: List[int]) -> None:
+            for offset, seed in enumerate(wave):
+                self._check_cancel(cancel, lo + offset, len(seeds))
+                self._check_breaker(breaker, seed)
+                by_seed[seed] = self._attempt_serial(
+                    instance,
+                    seed,
+                    config,
+                    reference,
+                    worker_suffix=worker_suffix,
+                    breaker=breaker,
+                )
+                self._emit(on_run_complete, by_seed[seed][1])
+
         try:
             for lo in range(0, len(seeds), chunk):
                 self._check_cancel(cancel, lo, len(seeds))
                 wave = seeds[lo : lo + chunk]
                 if degraded:
-                    for offset, seed in enumerate(wave):
-                        self._check_cancel(cancel, lo + offset, len(seeds))
-                        by_seed[seed] = self._attempt_serial(
-                            instance,
-                            seed,
-                            config,
-                            reference,
-                            worker_suffix=worker_suffix,
-                        )
-                        self._emit(on_run_complete, by_seed[seed][1])
+                    run_wave_serially(lo, wave)
                     continue
-                try:
-                    futures = {
-                        seed: pool.submit(_solve_one, instance, config, seed)
-                        for seed in wave
-                    }
-                # A borrowed pool can be shut down or broken by a sibling
-                # job mid-flight; finish the remaining seeds serially.
-                except Exception:  # repro-lint: ignore[RL005]
-                    degraded = True
-                    for offset, seed in enumerate(wave):
-                        self._check_cancel(cancel, lo + offset, len(seeds))
-                        by_seed[seed] = self._attempt_serial(
-                            instance,
-                            seed,
-                            config,
-                            reference,
-                            worker_suffix=worker_suffix,
-                        )
-                        self._emit(on_run_complete, by_seed[seed][1])
+                futures = self._submit_wave(supervisor, wave, instance, config)
+                if futures is None:
+                    # The pool refused the wave (broken / shut down by a
+                    # sibling): heal it for the *next* wave if the
+                    # budget allows, and finish this one serially.
+                    if not supervisor.heal():
+                        degraded = True
+                    run_wave_serially(lo, wave)
                     continue
+                pool_broke = False
                 for seed, fut in futures.items():
+                    self._check_breaker(breaker, seed)
+                    kind = plan.fault_for(seed, 0) if plan is not None else None
                     try:
                         result = fut.result(timeout=self.timeout_s)
+                        validate_result(instance, result)
+                        if breaker is not None:
+                            breaker.record_success()
                         by_seed[seed] = (
                             result,
                             RunTelemetry.from_result(
@@ -413,10 +732,20 @@ class EnsembleExecutor:
                                 result,
                                 reference,
                                 worker=f"pool{worker_suffix}",
+                                faults_injected=(
+                                    [kind.value]
+                                    if self._fault_observed(kind, None, False)
+                                    else []
+                                ),
                             ),
                         )
-                    except FuturesTimeout:
-                        fut.cancel()
+                    except FuturesTimeout as exc:
+                        # Reclaim the worker slot if the run never
+                        # started; a running (hung) worker cannot be
+                        # cancelled and occupies its slot until done.
+                        hung = not fut.cancel()
+                        if hung:
+                            supervisor.note_hung(fut)
                         by_seed[seed] = self._attempt_serial(
                             instance,
                             seed,
@@ -427,16 +756,18 @@ class EnsembleExecutor:
                             ),
                             attempts_used=1,
                             worker_suffix=worker_suffix,
+                            faults=(
+                                [kind.value]
+                                if self._fault_observed(kind, exc, hung)
+                                else []
+                            ),
+                            breaker=breaker,
                         )
                     except AnnealerError:
                         raise
                     except Exception as exc:  # worker crash / broken pool
-                        from concurrent.futures.process import (
-                            BrokenProcessPool,
-                        )
-
                         if isinstance(exc, BrokenProcessPool):
-                            degraded = True
+                            pool_broke = True
                         by_seed[seed] = self._attempt_serial(
                             instance,
                             seed,
@@ -445,9 +776,20 @@ class EnsembleExecutor:
                             first_error=exc,
                             attempts_used=1,
                             worker_suffix=worker_suffix,
+                            faults=(
+                                [kind.value]
+                                if self._fault_observed(kind, exc, False)
+                                else []
+                            ),
+                            breaker=breaker,
                         )
                     self._emit(on_run_complete, by_seed[seed][1])
+                if pool_broke or supervisor.starved():
+                    # Self-heal: replace the broken/starved pool within
+                    # the budget instead of degrading for good.
+                    if not supervisor.heal():
+                        degraded = True
         finally:
-            if owns_pool and pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
-        return by_seed, "serial-fallback" if degraded else "parallel"
+            supervisor.shutdown()
+        mode = "serial-fallback" if degraded else "parallel"
+        return by_seed, mode, supervisor.rebuilds

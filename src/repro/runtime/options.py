@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.errors import AnnealerError
+from repro.runtime.faults import FaultPlan
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
     from repro.annealer.config import AnnealerConfig
@@ -64,6 +65,27 @@ class EnsembleOptions:
         Admission control: bound on jobs admitted (queued or running)
         per service; further ``submit()`` calls apply backpressure by
         awaiting a free slot.
+    backoff_base_s, backoff_cap_s:
+        Retry pacing: a failed/timed-out run's in-process retries are
+        spaced by a bounded exponential backoff with deterministic
+        jitter (:class:`repro.runtime.faults.Backoff`) starting at
+        ``backoff_base_s`` and capped at ``backoff_cap_s``.
+        ``backoff_base_s=0`` disables the pacing (tests).
+    self_heal_budget:
+        How many times a broken (or hang-starved) worker pool may be
+        rebuilt before the runtime degrades to the serial path.  For
+        an :class:`~repro.runtime.AnnealingService` this bounds
+        rebuilds of the *shared* pool over the service's lifetime.
+    breaker_threshold:
+        Per-job circuit breaker: after this many *consecutive*
+        terminal run failures the job fails fast with
+        :class:`~repro.runtime.faults.CircuitOpenError` instead of
+        burning the rest of its seeds (``None`` disables).
+    fault_plan:
+        Deterministic chaos layer (:class:`repro.runtime.faults.
+        FaultPlan`): injects worker crash / hang / corrupted-result /
+        broken-pool faults at seeded per-attempt probabilities.
+        ``None`` (default) injects nothing.
     """
 
     max_workers: int = 1
@@ -73,6 +95,11 @@ class EnsembleOptions:
     strict: bool = False
     max_inflight_per_job: Optional[int] = None
     max_pending_jobs: int = 16
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    self_heal_budget: int = 2
+    breaker_threshold: Optional[int] = 8
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -102,6 +129,31 @@ class EnsembleOptions:
         if self.max_pending_jobs < 1:
             raise AnnealerError(
                 f"max_pending_jobs must be >= 1, got {self.max_pending_jobs}"
+            )
+        if self.backoff_base_s < 0:
+            raise AnnealerError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise AnnealerError(
+                "backoff_cap_s must be >= backoff_base_s, got "
+                f"cap={self.backoff_cap_s} base={self.backoff_base_s}"
+            )
+        if self.self_heal_budget < 0:
+            raise AnnealerError(
+                f"self_heal_budget must be >= 0, got {self.self_heal_budget}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise AnnealerError(
+                "breaker_threshold must be >= 1 or None, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise AnnealerError(
+                "fault_plan must be a repro.runtime.faults.FaultPlan, got "
+                f"{type(self.fault_plan).__name__}"
             )
 
     @property

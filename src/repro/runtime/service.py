@@ -57,6 +57,7 @@ from typing import (
 
 from repro.errors import AnnealerError
 from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.faults import CircuitBreaker
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.telemetry import RunTelemetry
 
@@ -209,6 +210,9 @@ class AnnealingService:
         self._admission: Optional[asyncio.Semaphore] = None
         self._job_threads: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._heal_budget_left = self.options.self_heal_budget
+        self._pool_rebuilds = 0
         self._started = False
         self._closed = False
 
@@ -222,6 +226,11 @@ class AnnealingService:
     def jobs(self) -> Dict[str, Job]:
         """Snapshot of every job ever admitted, keyed by job id."""
         return dict(self._jobs)
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Shared-pool rebuilds performed by self-healing so far."""
+        return self._pool_rebuilds
 
     async def start(self) -> None:
         """Bind to the running loop and build the shared fabric.
@@ -371,6 +380,8 @@ class AnnealingService:
         if reference is None:
             reference = reference_length(request.instance, seed=int(seeds[0]))
 
+        threshold = request.options.breaker_threshold
+        breaker = CircuitBreaker(threshold) if threshold is not None else None
         runner = EnsembleExecutor(self._job_options(request.options))
         results, telemetry = runner.run(
             request.instance,
@@ -381,6 +392,8 @@ class AnnealingService:
             pool=self._pool,
             worker_suffix=f"@{job.job_id}",
             cancel=job._cancel_event,
+            breaker=breaker,
+            on_pool_broken=self._heal_pool,
         )
         telemetry.job_id = job.job_id
         if not results:
@@ -425,7 +438,49 @@ class AnnealingService:
             strict=requested.strict,
             max_inflight_per_job=requested.max_inflight_per_job,
             max_pending_jobs=requested.max_pending_jobs,
+            backoff_base_s=requested.backoff_base_s,
+            backoff_cap_s=requested.backoff_cap_s,
+            self_heal_budget=requested.self_heal_budget,
+            breaker_threshold=requested.breaker_threshold,
+            fault_plan=requested.fault_plan,
         )
+
+    def _heal_pool(
+        self, broken: "ProcessPoolExecutor"
+    ) -> Optional["ProcessPoolExecutor"]:
+        """Replace the *shared* pool after a job observed it broken.
+
+        Called from job threads (the executor's ``on_pool_broken``
+        hook), so it serialises on a lock.  If a sibling job already
+        healed the pool (``broken`` is no longer the current one), the
+        healed pool is handed back without spending budget.  Otherwise
+        one unit of the service-lifetime ``self_heal_budget`` buys a
+        rebuild; with the budget spent the caller degrades to its
+        serial path and the shared pool stays down.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return None
+            if self._pool is not None and self._pool is not broken:
+                return self._pool  # a sibling already healed it
+            if self._heal_budget_left <= 0:
+                self._pool = None
+                return None
+            self._heal_budget_left -= 1
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.options.max_workers
+                )
+            # Rebuild failure degrades exactly like construction failure
+            # at start(): jobs fall back to the serial path.
+            except Exception:  # repro-lint: ignore[RL005]
+                self._pool = None
+                return None
+            self._pool_rebuilds += 1
+            return self._pool
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,19 @@ class RunTelemetry:
         Chip hardware-event counters for the run.
     retries:
         How many extra attempts this run needed (0 = first try).
+    faults_injected:
+        Chaos accounting: the fault kinds the active
+        :class:`~repro.runtime.faults.FaultPlan` injected into this
+        run's attempts, in attempt order (empty without a plan — real
+        faults show up in ``first_error``/``error`` instead).
+    backoff_s:
+        Total seconds this run spent in retry backoff
+        (:class:`~repro.runtime.faults.Backoff`); deterministic for a
+        given seed.
+    first_error:
+        Repr of the *first* failure this run hit, preserved even when
+        a later attempt recovered (``ok=True``); empty for clean runs.
+        ``error`` keeps the terminal failure of unrecovered runs.
     worker:
         ``"pool"`` when solved in a pool worker, ``"serial"`` when
         solved in-process (serial path or retry fallback).  The
@@ -105,6 +118,9 @@ class RunTelemetry:
     retries: int = 0
     worker: str = "serial"
     error: str = ""
+    faults_injected: List[str] = field(default_factory=list)
+    backoff_s: float = 0.0
+    first_error: str = ""
 
     @classmethod
     def from_result(
@@ -114,6 +130,9 @@ class RunTelemetry:
         reference: Optional[float] = None,
         retries: int = 0,
         worker: str = "serial",
+        faults_injected: Optional[List[str]] = None,
+        backoff_s: float = 0.0,
+        first_error: str = "",
     ) -> "RunTelemetry":
         """Extract the telemetry of a completed solve."""
         chip = result.chip
@@ -134,6 +153,9 @@ class RunTelemetry:
             weight_bits_written=int(chip.weight_bits_written) if chip else 0,
             retries=int(retries),
             worker=worker,
+            faults_injected=list(faults_injected or []),
+            backoff_s=float(backoff_s),
+            first_error=first_error,
         )
 
     @classmethod
@@ -143,6 +165,9 @@ class RunTelemetry:
         error: BaseException,
         retries: int = 0,
         worker: str = "serial",
+        faults_injected: Optional[List[str]] = None,
+        backoff_s: float = 0.0,
+        first_error: str = "",
     ) -> "RunTelemetry":
         """Record a run that exhausted its retries."""
         return cls(
@@ -151,6 +176,9 @@ class RunTelemetry:
             retries=int(retries),
             worker=worker,
             error=repr(error),
+            faults_injected=list(faults_injected or []),
+            backoff_s=float(backoff_s),
+            first_error=first_error or repr(error),
         )
 
     @property
@@ -190,6 +218,9 @@ class EnsembleTelemetry:
     times — their ratio is the effective parallel speedup.
     ``job_id`` is set by the serving runtime when the ensemble ran as a
     service job; empty for direct :func:`solve_ensemble`-style calls.
+    ``pool_rebuilds`` counts worker-pool replacements the self-healing
+    supervisor performed while this ensemble ran (broken or
+    hang-starved pools; see ``docs/robustness.md``).
     """
 
     runs: List[RunTelemetry] = field(default_factory=list)
@@ -197,6 +228,7 @@ class EnsembleTelemetry:
     mode: str = "serial"
     wall_time_s: float = 0.0
     job_id: str = ""
+    pool_rebuilds: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -237,6 +269,30 @@ class EnsembleTelemetry:
         """Swap trials accepted across all runs."""
         return sum(r.trials_accepted for r in self.runs)
 
+    @property
+    def total_retries(self) -> int:
+        """Extra attempts spent across all runs."""
+        return sum(r.retries for r in self.runs)
+
+    @property
+    def total_backoff_s(self) -> float:
+        """Seconds spent in retry backoff across all runs."""
+        return float(sum(r.backoff_s for r in self.runs))
+
+    @property
+    def total_faults_injected(self) -> int:
+        """Chaos faults injected across all runs (0 without a plan)."""
+        return sum(len(r.faults_injected) for r in self.runs)
+
+    @property
+    def faults_by_kind(self) -> Dict[str, int]:
+        """Injected-fault counts keyed by kind, for chaos reports."""
+        counts: Dict[str, int] = {}
+        for run in self.runs:
+            for kind in run.faults_injected:
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict view (runs plus the derived aggregates)."""
         return {
@@ -246,6 +302,11 @@ class EnsembleTelemetry:
             "max_workers": self.max_workers,
             "n_runs": self.n_runs,
             "n_failed": self.n_failed,
+            "pool_rebuilds": self.pool_rebuilds,
+            "total_retries": self.total_retries,
+            "total_backoff_s": self.total_backoff_s,
+            "total_faults_injected": self.total_faults_injected,
+            "faults_by_kind": self.faults_by_kind,
             "wall_time_s": self.wall_time_s,
             "total_run_time_s": self.total_run_time_s,
             "throughput_runs_per_s": self.throughput_runs_per_s,
@@ -277,4 +338,5 @@ class EnsembleTelemetry:
             mode=str(data.get("mode", "serial")),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
             job_id=str(data.get("job_id", "")),
+            pool_rebuilds=int(data.get("pool_rebuilds", 0)),
         )

@@ -1,0 +1,41 @@
+"""RL007 positive fixture: hand-rolled retry loops.
+
+Only a violation when this file sits under ``repro/`` — the test
+copies it into a synthetic tree to prove the path scoping both ways.
+
+Expected hits when scoped: 2 bare sleeps + 2 unbounded while-True
+retries = 4 RL007 violations.
+"""
+
+import time
+from time import sleep
+
+
+def fetch_with_pacing(client):
+    # sleep inside an except handler: lockstep retry pacing (1 hit).
+    for _ in range(3):
+        try:
+            return client.get()
+        except ConnectionError:
+            time.sleep(1.0)
+    return None
+
+
+def spin_until_up(client):
+    # while True + absorbing except arm (1 hit) whose pacer is a bare
+    # from-import sleep inside the retry loop (1 more hit).
+    while True:
+        try:
+            return client.ping()
+        except OSError:
+            sleep(0.1)
+
+
+def wait_forever(queue):
+    # while True retry that swallows and loops again (1 hit); the
+    # except arm has no sleep, so only the loop itself is flagged.
+    while True:
+        try:
+            return queue.pop()
+        except IndexError:
+            continue

@@ -1,0 +1,46 @@
+"""RL007 negative fixture: bounded, Backoff-paced retries.
+
+Clean even when scoped under ``repro/``: attempts are bounded, pacing
+goes through the sanctioned Backoff, and the only ``while True`` loops
+either escape from their except arm or contain no except arm at all.
+"""
+
+import time
+
+from repro.runtime.faults import Backoff
+
+
+def fetch_bounded(client, max_retries=3):
+    backoff = Backoff(base_s=0.05, cap_s=1.0, seed=0)
+    attempt = 0
+    while attempt <= max_retries:
+        if attempt > 0:
+            backoff.wait(attempt)
+        try:
+            return client.get()
+        except ConnectionError:
+            attempt += 1
+    raise TimeoutError(f"gave up after {max_retries + 1} attempts")
+
+
+def stream_records(job):
+    # while True without a try inside: an event loop, not a retry.
+    while True:
+        record = job.next_record()
+        if record is None:
+            return
+        yield record
+
+
+def fetch_escaping(client):
+    # while True whose except arm re-raises: bounded by the fault.
+    while True:
+        try:
+            return client.get()
+        except ConnectionError as exc:
+            raise TimeoutError("fetch failed") from exc
+
+
+def plain_sleep_is_fine():
+    # A sleep with no try/except in sight is not retry pacing.
+    time.sleep(0.01)

@@ -18,7 +18,7 @@ def codes_in(path: Path, root: Path | None = None) -> Counter:
     return Counter(v.code for v in violations)
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert rule_codes() == [
         "RL001",
         "RL002",
@@ -26,6 +26,7 @@ def test_all_six_rules_registered():
         "RL004",
         "RL005",
         "RL006",
+        "RL007",
     ]
 
 
@@ -95,6 +96,33 @@ def test_rl006_stopwatch_kernel_is_clean(tmp_path: Path):
     target = kernel_dir / "kernel.py"
     shutil.copy(FIXTURES / "rl006_good.py", target)
     assert codes_in(target, root=tmp_path) == Counter()
+
+
+# ---------------------------------------------------------------------------
+# RL007 is path-scoped like RL006: hand-rolled retry loops are only a
+# violation inside the repro/ package.
+
+
+def test_rl007_flags_adhoc_retries_under_repro(tmp_path: Path):
+    pkg_dir = tmp_path / "src" / "repro" / "runtime"
+    pkg_dir.mkdir(parents=True)
+    target = pkg_dir / "client.py"
+    shutil.copy(FIXTURES / "rl007_bad.py", target)
+    hits = codes_in(target, root=tmp_path)
+    assert hits == Counter({"RL007": 4})
+
+
+def test_rl007_backoff_paced_retry_is_clean(tmp_path: Path):
+    pkg_dir = tmp_path / "src" / "repro" / "runtime"
+    pkg_dir.mkdir(parents=True)
+    target = pkg_dir / "client.py"
+    shutil.copy(FIXTURES / "rl007_good.py", target)
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+def test_rl007_ignores_files_outside_repro():
+    # At its real location (tests/lint/fixtures) the rule does not apply.
+    assert codes_in(FIXTURES / "rl007_bad.py") == Counter()
 
 
 # ---------------------------------------------------------------------------

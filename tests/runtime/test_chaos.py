@@ -1,0 +1,376 @@
+"""Chaos suite: the runtime under deterministic fault injection.
+
+Every test here runs real solves with a seeded
+:class:`~repro.runtime.faults.FaultPlan` and asserts the three
+invariants the robustness layer promises (``docs/robustness.md``):
+
+1. **Bit-identical recovery** — a chaos ensemble's results equal the
+   fault-free serial path's, tour for tour (retried attempts past the
+   fault budget are clean, the analogue of the paper's write-back
+   recovery);
+2. **Complete accounting** — every injected fault shows up in
+   ``RunTelemetry.faults_injected``;
+3. **No leaks** — no worker process and no pool slot outlives the run.
+
+The full-rate tests are marked ``chaos`` (deselect with
+``-m 'not chaos'``); CI runs a fast subset on push and the whole suite
+on the nightly schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.annealer.config import AnnealerConfig
+from repro.ising.schedule import VddSchedule
+from repro.runtime.executor import EnsembleExecutor
+from repro.runtime.faults import FaultKind, FaultPlan
+from repro.runtime.options import EnsembleOptions
+from repro.tsp.generators import random_uniform
+
+# A deliberately tiny schedule: each solve is a few hundredths of a
+# second, so a 32-seed chaos ensemble stays test-suite friendly.
+CHEAP = AnnealerConfig(
+    schedule=VddSchedule(total_iterations=40, iterations_per_step=10)
+)
+
+ACCEPT_SEEDS = list(range(32))
+
+
+def cheap_instance():
+    return random_uniform(30, seed=11)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return cheap_instance()
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(instance):
+    """Fault-free serial results for the acceptance seed set."""
+    results, tel = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+        instance, ACCEPT_SEEDS, config=CHEAP
+    )
+    assert tel.n_failed == 0
+    return results
+
+
+def find_chaos_seed(**kwargs) -> FaultPlan:
+    """The first chaos seed whose plan injects >= 1 of every enabled
+    kind over the acceptance seed set — so assertions about accounting
+    are never vacuous, whatever the RNG implementation."""
+    want = {
+        kind
+        for kind, rate in [
+            (FaultKind.CRASH, kwargs.get("crash_rate", 0.0)),
+            (FaultKind.HANG, kwargs.get("hang_rate", 0.0)),
+            (FaultKind.CORRUPT, kwargs.get("corrupt_rate", 0.0)),
+            (FaultKind.BROKEN_POOL, kwargs.get("broken_pool_rate", 0.0)),
+        ]
+        if rate > 0
+    }
+    for chaos_seed in range(1000):
+        plan = FaultPlan(seed=chaos_seed, **kwargs)
+        seen = {plan.fault_for(s, 0) for s in ACCEPT_SEEDS}
+        if want <= seen:
+            return plan
+    raise AssertionError(f"no chaos seed below 1000 injects all of {want}")
+
+
+def expected_faults(plan: FaultPlan, tel) -> int:
+    """Faults the plan schedules over the attempts each run made."""
+    return sum(
+        len(plan.faults_for_run(run.seed, run.retries + 1))
+        for run in tel.runs
+    )
+
+
+def assert_no_worker_leak(timeout_s: float = 20.0) -> None:
+    """Every worker process must exit once the run is over.
+
+    Hung (uncancellable) workers are allowed to finish their injected
+    sleep first — *leaked* means still alive after a generous grace
+    period.
+    """
+    deadline = time.monotonic() + timeout_s
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"worker processes leaked: {leaked}"
+
+
+class TestChaosSerial:
+    """In-process injection: exact plan-side fault accounting."""
+
+    def test_acceptance_rates_bit_identical_and_accounted(
+        self, instance, serial_baseline
+    ):
+        # ISSUE acceptance: crash rate >= 0.1 and hang rate >= 0.05
+        # over a >= 32-seed ensemble.
+        plan = find_chaos_seed(
+            crash_rate=0.15, hang_rate=0.08, corrupt_rate=0.05, hang_s=0.02
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=1,
+                max_retries=2,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.01,
+                fault_plan=plan,
+            )
+        ).run(instance, ACCEPT_SEEDS, config=CHEAP)
+
+        # 1. bit-identical to the fault-free serial path
+        assert tel.n_failed == 0
+        assert len(results) == len(serial_baseline)
+        for chaos_res, clean_res in zip(results, serial_baseline):
+            assert chaos_res.length == clean_res.length
+            assert np.array_equal(chaos_res.tour, clean_res.tour)
+
+        # 2. every injected fault accounted, exactly, in attempt order
+        for run in tel.runs:
+            assert tuple(run.faults_injected) == plan.faults_for_run(
+                run.seed, run.retries + 1
+            )
+        assert tel.total_faults_injected == expected_faults(plan, tel) > 0
+        by_kind = tel.faults_by_kind
+        assert by_kind.get("crash", 0) > 0
+        assert by_kind.get("hang", 0) > 0
+        assert by_kind.get("corrupt", 0) > 0
+
+        # Faulted runs retried (with backoff) and recovered.
+        faulted = [t for t in tel.runs if t.faults_injected]
+        assert all(t.retries >= 1 for t in faulted if "hang" not in t.faults_injected)
+        assert any(t.backoff_s > 0 for t in faulted)
+        assert all(t.first_error for t in faulted if t.retries > 0)
+
+    def test_same_chaos_seed_reproduces_telemetry(self, instance):
+        plan = FaultPlan(seed=5, crash_rate=0.3)
+        opts = EnsembleOptions(
+            max_workers=1,
+            max_retries=2,
+            backoff_base_s=0.0,
+            fault_plan=plan,
+        )
+        seeds = list(range(8))
+        _, tel_a = EnsembleExecutor(opts).run(instance, seeds, config=CHEAP)
+        _, tel_b = EnsembleExecutor(opts).run(instance, seeds, config=CHEAP)
+        assert [r.faults_injected for r in tel_a.runs] == [
+            r.faults_injected for r in tel_b.runs
+        ]
+        assert [r.retries for r in tel_a.runs] == [
+            r.retries for r in tel_b.runs
+        ]
+        assert [r.backoff_s for r in tel_a.runs] == [
+            r.backoff_s for r in tel_b.runs
+        ]
+
+    def test_fault_past_retry_budget_fails_run_cleanly(self, instance):
+        # Every attempt of every run faults: retries exhaust, the run
+        # is reported failed, siblings are untouched.
+        plan = FaultPlan(seed=1, crash_rate=1.0, max_faults_per_run=99)
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=1,
+                max_retries=1,
+                backoff_base_s=0.0,
+                fault_plan=plan,
+            )
+        ).run(instance, [0, 1], config=CHEAP)
+        assert results == []
+        assert tel.n_failed == 2
+        for run in tel.runs:
+            assert run.faults_injected == ["crash", "crash"]
+            assert "injected crash" in run.error
+            assert run.first_error
+
+
+@pytest.mark.chaos
+class TestChaosPool:
+    """Pool injection: observed-outcome fault accounting + self-heal."""
+
+    def test_pool_chaos_bit_identical_and_accounted(
+        self, instance, serial_baseline
+    ):
+        plan = find_chaos_seed(
+            crash_rate=0.15, hang_rate=0.08, corrupt_rate=0.05, hang_s=0.02
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=2,
+                max_retries=2,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.01,
+                fault_plan=plan,
+            )
+        ).run(instance, ACCEPT_SEEDS, config=CHEAP)
+        assert tel.n_failed == 0
+        for chaos_res, clean_res in zip(results, serial_baseline):
+            assert chaos_res.length == clean_res.length
+            assert np.array_equal(chaos_res.tour, clean_res.tour)
+        # Without timeouts every pool fault runs to an observable
+        # outcome, so accounting is exact here too.
+        if tel.mode == "parallel":
+            for run in tel.runs:
+                assert tuple(run.faults_injected) == plan.faults_for_run(
+                    run.seed, run.retries + 1
+                )
+            assert tel.total_faults_injected == expected_faults(plan, tel) > 0
+        assert_no_worker_leak()
+
+    def test_hang_timeout_reclaims_or_accounts_slot(self, instance):
+        # Every seed's pool attempt hangs past the timeout; the retry
+        # path must recover every run and the supervisor must reclaim
+        # (or heal past) the hung slots.
+        plan = FaultPlan(seed=2, hang_rate=1.0, hang_s=1.0)
+        serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+            instance, [0, 1, 2], config=CHEAP
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=2,
+                timeout_s=0.25,
+                max_retries=1,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.01,
+                self_heal_budget=2,
+                fault_plan=plan,
+            )
+        ).run(instance, [0, 1, 2], config=CHEAP)
+        assert tel.n_failed == 0
+        assert [r.length for r in results] == [r.length for r in serial]
+        recovered = [t for t in tel.runs if t.worker == "serial"]
+        assert recovered and all(t.retries >= 1 for t in recovered)
+        assert all(
+            "exceeded" in t.first_error or "injected" in t.first_error
+            for t in recovered
+        )
+        # Hung workers finish their 1 s sleep and exit: nothing leaks.
+        assert_no_worker_leak()
+
+    def test_broken_pool_self_heals_within_budget(
+        self, instance, serial_baseline
+    ):
+        plan = find_chaos_seed(broken_pool_rate=0.08)
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=2,
+                max_retries=2,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.01,
+                self_heal_budget=4,
+                fault_plan=plan,
+            )
+        ).run(instance, ACCEPT_SEEDS, config=CHEAP)
+        assert tel.n_failed == 0
+        for chaos_res, clean_res in zip(results, serial_baseline):
+            assert chaos_res.length == clean_res.length
+            assert np.array_equal(chaos_res.tour, clean_res.tour)
+        # The pool actually broke and was actually healed (not the
+        # permanent serial degradation of the pre-robustness runtime).
+        if tel.mode == "parallel":
+            assert tel.pool_rebuilds >= 1
+        broken = [
+            t for t in tel.runs if "broken-pool" in t.faults_injected
+        ]
+        assert broken and all(t.ok and t.retries >= 1 for t in broken)
+        assert_no_worker_leak()
+
+    def test_heal_budget_exhaustion_degrades_not_fails(self, instance):
+        # Breaking the pool on every first attempt exhausts any finite
+        # budget; the run must degrade serially and still succeed.
+        plan = FaultPlan(seed=3, broken_pool_rate=1.0)
+        serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+            instance, [0, 1, 2, 3], config=CHEAP
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=2,
+                chunk_size=2,
+                max_retries=1,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.01,
+                self_heal_budget=1,
+                fault_plan=plan,
+            )
+        ).run(instance, [0, 1, 2, 3], config=CHEAP)
+        assert tel.n_failed == 0
+        assert [r.length for r in results] == [r.length for r in serial]
+        # Wave 1 breaks the pool (budget 1 -> 0, one rebuild); wave 2
+        # breaks it again, the heal is declined, and the rest of the
+        # ensemble degrades to the serial path instead of failing.
+        assert tel.mode == "serial-fallback"
+        assert tel.pool_rebuilds == 1
+        assert_no_worker_leak()
+
+
+@pytest.mark.chaos
+class TestChaosThroughService:
+    """Satellite: pool breakage must not poison an interleaved sibling
+    job multiplexed onto the same shared pool."""
+
+    async def test_broken_pool_job_does_not_poison_sibling(self):
+        from repro.runtime.options import SolveRequest
+        from repro.runtime.service import AnnealingService
+
+        instance = cheap_instance()
+        chaos_seeds = [0, 1, 2]
+        clean_seeds = [10, 11, 12, 13]
+        serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(
+            instance, clean_seeds, config=CHEAP
+        )
+        plan = FaultPlan(seed=4, broken_pool_rate=1.0)
+        common = dict(
+            max_retries=2, backoff_base_s=0.001, backoff_cap_s=0.01
+        )
+        service_opts = EnsembleOptions(
+            max_workers=2, self_heal_budget=2, **common
+        )
+        async with AnnealingService(service_opts) as service:
+            chaos_job = await service.submit(
+                SolveRequest.build(
+                    instance,
+                    chaos_seeds,
+                    config=CHEAP,
+                    options=EnsembleOptions(
+                        max_workers=2, fault_plan=plan, **common
+                    ),
+                    tag="chaos",
+                )
+            )
+            clean_job = await service.submit(
+                SolveRequest.build(
+                    instance,
+                    clean_seeds,
+                    config=CHEAP,
+                    options=EnsembleOptions(max_workers=2, **common),
+                    tag="clean",
+                )
+            )
+            clean_records = [r async for r in clean_job.stream()]
+            clean_result = await clean_job.result()
+            chaos_result = await chaos_job.result()
+
+        # The sibling job was neither cancelled nor corrupted: every
+        # seed completed (possibly via the in-process retry path after
+        # the shared pool broke under it) with bit-identical results,
+        # and its stream carries only its own records.
+        assert [r.seed for r in clean_records] == clean_seeds
+        assert all(r.ok for r in clean_records)
+        assert all(r.job_id == clean_job.job_id for r in clean_records)
+        assert [r.length for r in clean_result.results] == [
+            r.length for r in serial
+        ]
+        assert all(
+            np.array_equal(a.tour, b.tour)
+            for a, b in zip(clean_result.results, serial)
+        )
+        # The chaos job itself also recovered (clean retries).
+        assert chaos_result.n_runs == len(chaos_seeds)
+        assert all(r.ok for r in chaos_job.records)
+        assert_no_worker_leak()

@@ -164,6 +164,129 @@ class TestFailureIsolation:
             EnsembleExecutor(EnsembleOptions(max_retries=1, strict=True)).run(instance, [1])
 
 
+class TestRetryAccounting:
+    def test_first_error_preserved_across_recovery(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+        calls = {"n": 0}
+
+        def transient(inst, config, seed):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("flaky init")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", transient)
+        _, tel = EnsembleExecutor(
+            EnsembleOptions(max_retries=2, backoff_base_s=0.0)
+        ).run(instance, [5])
+        run = tel.runs[0]
+        assert run.ok and run.retries == 1
+        assert run.error == ""  # terminal error empty: the run recovered
+        assert "ValueError" in run.first_error
+        assert "flaky init" in run.first_error
+
+    def test_pool_timeout_preserves_first_error_and_attempts(self, instance):
+        _, tel = EnsembleExecutor(
+            EnsembleOptions(
+                max_workers=2,
+                timeout_s=1e-9,
+                max_retries=1,
+                backoff_base_s=0.0,
+            )
+        ).run(instance, [8])
+        run = tel.runs[0]
+        assert run.ok
+        assert run.worker == "serial" and run.retries >= 1
+        assert "exceeded" in run.first_error  # the pool-side timeout
+
+    def test_terminal_failure_keeps_first_and_last_error(
+        self, instance, monkeypatch
+    ):
+        import repro.runtime.executor as executor_mod
+
+        calls = {"n": 0}
+
+        def changing(inst, config, seed):
+            calls["n"] += 1
+            raise RuntimeError(f"fault #{calls['n']}")
+
+        monkeypatch.setattr(executor_mod, "_solve_one", changing)
+        _, tel = EnsembleExecutor(
+            EnsembleOptions(max_retries=1, backoff_base_s=0.0)
+        ).run(instance, [5])
+        run = tel.runs[0]
+        assert not run.ok and run.retries == 2
+        assert "fault #1" in run.first_error
+        assert "fault #2" in run.error
+
+    def test_backoff_recorded_and_deterministic(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+        calls = {"n": 0}
+
+        def transient(inst, config, seed):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                raise RuntimeError("transient")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", transient)
+        opts = EnsembleOptions(
+            max_retries=1, backoff_base_s=0.002, backoff_cap_s=0.004
+        )
+        _, tel_a = EnsembleExecutor(opts).run(instance, [5])
+        calls["n"] = 0
+        _, tel_b = EnsembleExecutor(opts).run(instance, [5])
+        assert tel_a.runs[0].backoff_s > 0
+        assert tel_a.runs[0].backoff_s == tel_b.runs[0].backoff_s
+
+
+class TestCircuitBreakerDispatch:
+    def test_open_breaker_fails_fast_mid_ensemble(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        from repro.runtime.faults import CircuitBreaker, CircuitOpenError
+
+        attempted = []
+
+        def always_fails(inst, config, seed):
+            attempted.append(seed)
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(executor_mod, "_solve_one", always_fails)
+        breaker = CircuitBreaker(2)
+        with pytest.raises(CircuitOpenError, match="circuit breaker open"):
+            EnsembleExecutor(
+                EnsembleOptions(max_retries=0, backoff_base_s=0.0)
+            ).run(instance, [1, 2, 3, 4], breaker=breaker)
+        assert attempted == [1, 2]  # seeds 3, 4 never burned
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_breaker(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        from repro.runtime.faults import CircuitBreaker
+
+        real = executor_mod._solve_one
+
+        def alternating(inst, config, seed):
+            if seed % 2 == 0:
+                raise RuntimeError("even seeds fail")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", alternating)
+        breaker = CircuitBreaker(2)
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(max_retries=0, backoff_base_s=0.0)
+        ).run(instance, [2, 1, 4, 3], breaker=breaker)
+        assert len(results) == 2  # odd seeds fine, breaker never opens
+        assert tel.n_failed == 2
+        assert breaker.total_failures == 2
+
+
 class TestCompletionCallback:
     def test_callback_fires_per_run_in_order(self, instance):
         seen = []

@@ -341,6 +341,48 @@ class TestFailureSurfacing:
         with pytest.raises(AnnealerError, match="event loop"):
             solve_ensemble(instance, [1])
 
+    async def test_breaker_fails_job_without_poisoning_sibling(
+        self, instance, monkeypatch
+    ):
+        # Seeds below 100 fail terminally; the faulting job's breaker
+        # trips after 2 consecutive failures and fails fast, while the
+        # sibling job on the same service completes untouched.
+        import repro.runtime.executor as executor_mod
+
+        real = executor_mod._solve_one
+
+        def low_seeds_fail(inst, config, seed):
+            if seed < 100:
+                raise RuntimeError("persistent fault")
+            return real(inst, config, seed)
+
+        monkeypatch.setattr(executor_mod, "_solve_one", low_seeds_fail)
+        faulty = SolveRequest.build(
+            instance,
+            [1, 2, 3, 4, 5],
+            options=serial_options(
+                max_retries=0, breaker_threshold=2, backoff_base_s=0.0
+            ),
+            tag="faulty",
+        )
+        healthy = SolveRequest.build(
+            instance,
+            [101, 102],
+            options=serial_options(backoff_base_s=0.0),
+            tag="healthy",
+        )
+        async with AnnealingService(serial_options()) as service:
+            job_faulty = await service.submit(faulty)
+            job_healthy = await service.submit(healthy)
+            with pytest.raises(AnnealerError, match="circuit breaker open"):
+                await asyncio.wait_for(job_faulty.result(), WAIT)
+            result = await asyncio.wait_for(job_healthy.result(), WAIT)
+        assert job_faulty.state is JobState.FAILED
+        # Fail-fast: only the first two seeds burned attempts.
+        assert [r.seed for r in job_faulty.records] == [1, 2]
+        assert job_healthy.state is JobState.DONE
+        assert result.n_runs == 2 and all(r.ok for r in job_healthy.records)
+
 
 class TestSharedPool:
     async def test_two_jobs_one_pool_stream_and_match_serial(self, instance):

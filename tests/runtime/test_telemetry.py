@@ -50,6 +50,28 @@ class TestRunTelemetry:
         payload = json.dumps(t.to_dict())
         assert json.loads(payload)["seed"] == 3
 
+    def test_fault_accounting_fields(self, result):
+        t = RunTelemetry.from_result(
+            3,
+            result,
+            retries=1,
+            faults_injected=["crash"],
+            backoff_s=0.25,
+            first_error="RuntimeError('injected crash')",
+        )
+        assert t.ok and t.faults_injected == ["crash"]
+        assert t.backoff_s == 0.25
+        assert t.first_error.startswith("RuntimeError")
+        assert t.error == ""  # recovered: terminal error stays empty
+
+    def test_from_failure_defaults_first_error_to_terminal(self):
+        t = RunTelemetry.from_failure(7, RuntimeError("boom"))
+        assert t.first_error == t.error
+        kept = RunTelemetry.from_failure(
+            7, RuntimeError("last"), first_error="ValueError('first')"
+        )
+        assert "first" in kept.first_error and "last" in kept.error
+
 
 class TestEnsembleTelemetry:
     def _make(self, result, n=3):
@@ -110,3 +132,39 @@ class TestEnsembleTelemetry:
         tel = EnsembleTelemetry()
         assert tel.throughput_runs_per_s == 0.0
         assert tel.parallel_speedup == 0.0
+
+    def test_fault_aggregates(self, result):
+        tel = self._make(result)
+        tel.runs[0].faults_injected = ["crash", "hang"]
+        tel.runs[0].retries = 2
+        tel.runs[0].backoff_s = 0.5
+        tel.runs[1].faults_injected = ["crash"]
+        tel.runs[1].retries = 1
+        tel.runs[1].backoff_s = 0.25
+        tel.pool_rebuilds = 2
+        assert tel.total_faults_injected == 3
+        assert tel.faults_by_kind == {"crash": 2, "hang": 1}
+        assert tel.total_retries == 3
+        assert tel.total_backoff_s == pytest.approx(0.75)
+        d = tel.to_dict()
+        assert d["pool_rebuilds"] == 2
+        assert d["faults_by_kind"] == {"crash": 2, "hang": 1}
+        assert d["total_faults_injected"] == 3
+        assert d["total_retries"] == 3
+        assert d["total_backoff_s"] == pytest.approx(0.75)
+
+    def test_fault_fields_roundtrip(self, result, tmp_path):
+        tel = self._make(result)
+        tel.runs[0].faults_injected = ["corrupt"]
+        tel.runs[0].first_error = "ResultIntegrityError('corrupted')"
+        tel.runs[0].backoff_s = 0.1
+        tel.pool_rebuilds = 1
+        path = tmp_path / "telemetry.json"
+        tel.save(path)
+        reread = EnsembleTelemetry.from_dict(
+            json.loads(path.read_text(encoding="utf-8"))
+        )
+        assert reread.pool_rebuilds == 1
+        assert reread.runs[0].faults_injected == ["corrupt"]
+        assert reread.runs[0].backoff_s == 0.1
+        assert reread.runs[0].first_error.startswith("ResultIntegrity")

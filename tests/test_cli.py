@@ -188,3 +188,33 @@ class TestSolveStream:
              "--ensemble", "3", "--stream", "--max-inflight", "1"]
         ) == 0
         assert "ensemble : 3 runs" in capsys.readouterr().out
+
+
+class TestSolveChaos:
+    def test_chaos_seed_enables_fault_injection(self, capsys):
+        assert main(
+            ["solve", "--family", "uniform", "--n", "60", "--seed", "3",
+             "--ensemble", "4", "--chaos-seed", "11",
+             "--chaos-crash-rate", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ensemble : 4 runs" in out
+        assert "chaos    : seed=11" in out
+        assert "pool_rebuilds=" in out
+
+    def test_chaos_quality_matches_fault_free_solve(self, capsys):
+        # The chaos layer must not change the answer, only the journey:
+        # the quality line is bit-identical with and without injection.
+        args = ["solve", "--family", "uniform", "--n", "60", "--seed", "9",
+                "--ensemble", "2"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            [*args, "--chaos-seed", "1", "--chaos-crash-rate", "0.4"]
+        ) == 0
+        chaotic = capsys.readouterr().out
+
+        def pick(text):
+            return [ln for ln in text.splitlines() if "quality" in ln]
+
+        assert pick(plain) == pick(chaotic)

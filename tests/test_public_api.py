@@ -56,17 +56,26 @@ class TestPublicAPI:
 
         assert sorted(runtime.__all__) == [
             "AnnealingService",
+            "Backoff",
+            "CircuitBreaker",
+            "CircuitOpenError",
             "EnsembleExecutor",
             "EnsembleOptions",
             "EnsembleTelemetry",
+            "FaultInjector",
+            "FaultKind",
+            "FaultPlan",
+            "InjectedFault",
             "Job",
             "JobState",
+            "ResultIntegrityError",
             "RunTelemetry",
             "SolveRequest",
             "solve_async",
             "solve_sync",
         ]
         assert "_solve_one" not in runtime.__all__
+        assert "_solve_one_injected" not in runtime.__all__
 
     def test_serving_types_importable_from_root(self):
         from repro import (

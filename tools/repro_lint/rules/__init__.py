@@ -13,4 +13,5 @@ from repro_lint.rules import (  # noqa: F401  (imports register the rules)
     rl004_mutable_default,
     rl005_swallowed_except,
     rl006_wall_clock,
+    rl007_unbounded_retry,
 )

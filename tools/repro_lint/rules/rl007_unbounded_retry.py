@@ -1,0 +1,128 @@
+"""RL007 — ad-hoc retry loops: bare sleeps and unbounded ``while True``.
+
+The runtime's sanctioned retry machinery
+(:class:`repro.runtime.faults.Backoff` pacing inside the executor's
+bounded attempt loop) exists so every retry in ``src/repro`` is
+*bounded* (a budget, not a prayer) and *paced* (exponential backoff
+with deterministic jitter, not a constant ``time.sleep``).  Hand-rolled
+retry loops defeat both: a bare ``time.sleep`` in an ``except`` path
+retries in lockstep across workers (thundering herd) and is invisible
+to telemetry's ``backoff_s`` accounting, and a ``while True`` whose
+``except`` arm quietly loops again can spin forever on a persistent
+fault.
+
+Scope: modules under the ``repro/`` package.  Tests, benchmarks, and
+tools may sleep and loop however they like.
+
+Flagged:
+
+* a ``time.sleep`` call (module attribute or ``from time import
+  sleep`` binding) lexically inside an ``except`` handler, or inside a
+  loop that also contains a ``try`` statement (retry pacing);
+* a ``while True`` loop containing an ``except`` handler that neither
+  re-raises nor leaves the loop (no ``raise`` / ``return`` / ``break``
+  in the handler body) — an unbounded retry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+
+def _is_sleep_call(node: ast.AST, ctx: FileContext) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+        and func.attr == "sleep"
+        and ctx.imports_module("time")
+    ):
+        return True
+    if isinstance(func, ast.Name):
+        return ctx.from_imports.get(func.id, "") == "time.sleep"
+    return False
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """Does the ``except`` arm leave the retry loop (or re-raise)?"""
+    for stmt in ast.walk(handler):
+        if isinstance(stmt, (ast.Raise, ast.Return, ast.Break)):
+            return True
+    return False
+
+
+@register
+class UnboundedRetry(Rule):
+    code = "RL007"
+    name = "unbounded-retry"
+    description = (
+        "ad-hoc retry: bare time.sleep pacing or an unbounded "
+        "`while True` retry loop; bound attempts and pace with "
+        "repro.runtime.faults.Backoff"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.repro_subpath() is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Sleeps inside except handlers: always retry pacing.
+        flagged: List[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                for inner in ast.walk(node):
+                    if _is_sleep_call(inner, ctx):
+                        flagged.append(inner)
+                        yield self.violation(
+                            ctx,
+                            inner,
+                            "bare time.sleep in an except path retries in "
+                            "lockstep and is invisible to backoff_s "
+                            "telemetry; pace retries with "
+                            "repro.runtime.faults.Backoff",
+                        )
+        # Sleeps inside a loop that also wraps work in try/except:
+        # the loop is a retry loop and the sleep is its pacer.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            body_nodes = list(ast.walk(node))
+            if not any(isinstance(n, ast.Try) for n in body_nodes):
+                continue
+            for inner in body_nodes:
+                if _is_sleep_call(inner, ctx) and inner not in flagged:
+                    flagged.append(inner)
+                    yield self.violation(
+                        ctx,
+                        inner,
+                        "bare time.sleep pacing a try/except retry loop; "
+                        "use repro.runtime.faults.Backoff (bounded, "
+                        "jittered, telemetry-accounted)",
+                    )
+        # while True loops whose except arm silently loops again.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.ExceptHandler) and not (
+                    _handler_escapes(inner)
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "`while True` retry whose except arm never leaves "
+                        "the loop can spin forever on a persistent fault; "
+                        "bound the attempts (see EnsembleOptions."
+                        "max_retries) and pace them with Backoff",
+                    )
+                    break
