@@ -41,7 +41,8 @@ bench-full:
 # BENCH_service.json (AnnealingService, concurrent jobs, shared pool).
 bench-json:
 	pytest benchmarks/test_ext_ensemble_throughput.py \
-		benchmarks/test_ext_service_throughput.py --benchmark-only
+		benchmarks/test_ext_service_throughput.py \
+		benchmarks/test_ext_gateway_throughput.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

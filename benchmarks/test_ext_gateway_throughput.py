@@ -1,0 +1,182 @@
+"""Extension — HTTP gateway throughput (shard routing over HTTP/SSE).
+
+Companion to :mod:`benchmarks.test_ext_service_throughput`: the same
+concurrent-jobs workload, but driven through the full
+:mod:`repro.gateway` stack — requests serialized to the
+``repro.solve_request/v1`` wire form, submitted over HTTP to a
+multi-shard :class:`~repro.gateway.router.ShardRouter`, telemetry
+streamed back as SSE frames, and final results fetched as
+``repro.job_result/v1`` documents.  It checks that HTTP-served results
+stay bit-identical to the serial in-process path, records the
+protocol's overhead (time to first SSE frame vs. total wall), the
+shard spread achieved by least-inflight routing, and writes the
+machine-readable ``BENCH_gateway.json`` artifact at the repo root
+(refreshed by ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks._common import bench_scale, bench_seed, save_and_print
+from repro.annealer import AnnealerConfig
+from repro.annealer.batch import solve_ensemble
+from repro.gateway import AsyncGatewayClient, GatewayServer, ShardRouter
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.tsp.generators import random_clustered
+from repro.utils.tables import Table
+
+#: Machine-readable artifact refreshed by ``make bench-json``.
+BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_gateway.json"
+
+N_SHARDS = 2
+N_JOBS = 4
+SEEDS_PER_JOB = 2
+
+
+async def _drive_gateway(inst, cfg, job_seeds):
+    """Run the full wire path: submit, stream SSE, fetch results."""
+    t0 = time.perf_counter()
+    first_frame_s = None
+    router = ShardRouter(
+        EnsembleOptions(max_pending_jobs=2 * N_JOBS),
+        shards=N_SHARDS,
+        policy="least-inflight",
+    )
+    async with GatewayServer(router) as server:
+        client = AsyncGatewayClient(server.url)
+        handles = [
+            await client.submit(
+                SolveRequest.build(inst, seeds, config=cfg, tag="bench")
+            )
+            for seeds in job_seeds
+        ]
+
+        async def consume(job_id):
+            nonlocal first_frame_s
+            frames = 0
+            async for _record in client.stream(job_id):
+                if first_frame_s is None:
+                    first_frame_s = time.perf_counter() - t0
+                frames += 1
+            return frames
+
+        frame_counts = await asyncio.gather(
+            *(consume(str(h["job_id"])) for h in handles)
+        )
+        results = [
+            await client.result(str(h["job_id"])) for h in handles
+        ]
+        metrics = await client.metrics()
+    wall_s = time.perf_counter() - t0
+    return handles, frame_counts, results, metrics, wall_s, first_frame_s
+
+
+@pytest.mark.benchmark(group="ext-gateway-throughput")
+def test_gateway_throughput_http_sse(benchmark):
+    scale = bench_scale()
+    n = max(60, int(3038 * scale * 0.05))
+    inst = random_clustered(n, n_clusters=max(4, n // 25), seed=bench_seed())
+    cfg = AnnealerConfig()
+    job_seeds = [
+        list(range(700 + 10 * j, 700 + 10 * j + SEEDS_PER_JOB))
+        for j in range(N_JOBS)
+    ]
+
+    def run_gateway():
+        return asyncio.run(_drive_gateway(inst, cfg, job_seeds))
+
+    handles, frame_counts, results, metrics, wall_s, first_frame_s = (
+        benchmark.pedantic(run_gateway, rounds=1, iterations=1)
+    )
+
+    # Every seed's telemetry arrived as an SSE frame.
+    assert frame_counts == [SEEDS_PER_JOB] * N_JOBS
+
+    # HTTP-served results are bit-identical to the serial in-process
+    # path: the wire round-trip must not perturb tours or lengths.
+    for served, seeds in zip(results, job_seeds):
+        serial = solve_ensemble(
+            inst, seeds, config=cfg, options=EnsembleOptions(max_workers=1)
+        )
+        assert served["lengths"] == [r.length for r in serial.results]
+        assert all(
+            np.array_equal(np.asarray(tour), r.tour)
+            for tour, r in zip(served["tours"], serial.results)
+        )
+
+    placements = [str(h["shard"]) for h in handles]
+    shard_jobs = {s["name"]: s["jobs"] for s in metrics["per_shard"]}
+    total_runs = N_JOBS * SEEDS_PER_JOB
+    throughput = total_runs / max(wall_s, 1e-9)
+    table = Table(
+        f"Gateway throughput — {N_JOBS} jobs x {SEEDS_PER_JOB} seeds over "
+        f"{N_SHARDS} shards, N = {n} (host cores: {os.cpu_count()})",
+        ["jobs", "shards", "wall (s)", "runs/s", "first frame (s)",
+         "spread"],
+    )
+    table.add_row(
+        [N_JOBS, N_SHARDS, f"{wall_s:.2f}", f"{throughput:.2f}",
+         f"{(first_frame_s or 0.0):.2f}",
+         "/".join(str(shard_jobs[f"shard{i}"]) for i in range(N_SHARDS))],
+    )
+    table.add_note("full HTTP/SSE wire path; least-inflight routing")
+    save_and_print(table, "ext_gateway_throughput")
+
+    payload = {
+        "schema": "repro.bench_gateway/v1",
+        "instance": {"name": inst.name, "n": inst.n},
+        "n_shards": N_SHARDS,
+        "n_jobs": N_JOBS,
+        "seeds_per_job": SEEDS_PER_JOB,
+        "job_seeds": job_seeds,
+        "policy": "least-inflight",
+        "host_cpus": os.cpu_count(),
+        "scale": scale,
+        "wall_time_s": wall_s,
+        "throughput_runs_per_s": throughput,
+        "first_frame_s": first_frame_s,
+        "placements": placements,
+        "gateway_metrics": metrics,
+        "jobs": [
+            {
+                "job_id": r["job_id"],
+                "shard": r["shard"],
+                "seeds": r["seeds"],
+                "telemetry": r["telemetry"],
+            }
+            for r in results
+        ],
+    }
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[saved to {BENCH_JSON_PATH}]")
+
+    # The artifact must be valid, complete, and show real shard spread.
+    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    assert len(reread["jobs"]) == N_JOBS
+    assert reread["first_frame_s"] is not None
+    assert reread["first_frame_s"] < reread["wall_time_s"]
+    assert reread["gateway_metrics"]["jobs_submitted"] == N_JOBS
+    spread = {
+        s["name"]: s["jobs"]
+        for s in reread["gateway_metrics"]["per_shard"]
+    }
+    assert sum(spread.values()) == N_JOBS
+    assert all(v > 0 for v in spread.values()), (
+        f"least-inflight left a shard idle: {spread}"
+    )
+    for job in reread["jobs"]:
+        assert job["job_id"].startswith("bench-")
+        assert len(job["telemetry"]["runs"]) == SEEDS_PER_JOB
+        for run in job["telemetry"]["runs"]:
+            assert run["ok"]
+            assert run["worker"].startswith(job["shard"] + "/")

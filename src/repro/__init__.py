@@ -68,7 +68,7 @@ from repro.tsp import (
     tour_length,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -16,9 +16,9 @@ Parallel runs are **bit-identical** to serial ones: each run is fully
 determined by its seed and results are reassembled in seed order, so
 ``max_workers`` only changes wall-clock, never tours or lengths.
 
-API (1.1)
+API (1.2)
 ---------
-Canonical forms::
+The two canonical forms are the only forms::
 
     solve_ensemble(request)                           # a SolveRequest
     solve_ensemble(instance, seeds,
@@ -26,16 +26,15 @@ Canonical forms::
                    options=EnsembleOptions(max_workers=4))
 
 The pre-1.1 tuning keywords (``max_workers=``, ``timeout_s=``,
-``max_retries=``) and positional ``config``/``reference`` still work
-for one release but emit a :class:`DeprecationWarning` (see
-``docs/serving.md`` for the timeline).
+``max_retries=``) and positional ``config``/``reference`` were
+deprecation-shimmed for exactly one release (1.1) and removed in 1.2
+(see ``docs/serving.md`` for the timeline).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.quality import QualityStats
 from repro.annealer.config import AnnealerConfig
@@ -81,26 +80,13 @@ class EnsembleResult:
         return len(self.results)
 
 
-#: Old positional order after ``seeds`` (pre-1.1 signature).
-_LEGACY_POSITIONAL = (
-    "config",
-    "reference",
-    "max_workers",
-    "timeout_s",
-    "max_retries",
-)
-#: Old tuning keywords now living on :class:`EnsembleOptions`.
-_LEGACY_TUNING = ("max_workers", "timeout_s", "max_retries")
-
-
 def solve_ensemble(
     instance: Union[TSPInstance, SolveRequest],
     seeds: Optional[Sequence[int]] = None,
-    *legacy_args: Any,
+    *,
     config: Optional[AnnealerConfig] = None,
     reference: Optional[float] = None,
     options: Optional[EnsembleOptions] = None,
-    **legacy_kwargs: Any,
 ) -> EnsembleResult:
     """Solve ``instance`` once per seed and aggregate the quality.
 
@@ -130,18 +116,10 @@ def solve_ensemble(
         (:class:`~repro.runtime.EnsembleOptions`): pool width, per-run
         timeout/retries, admission-control knobs.  Results are
         bit-identical for any ``max_workers``.
-
-    Deprecated (one-release shim, warns)
-    ------------------------------------
-    Positional ``config``/``reference`` and the tuning keywords
-    ``max_workers=``, ``timeout_s=``, ``max_retries=``; they are
-    mapped onto ``options`` and behave identically.
     """
     if isinstance(instance, SolveRequest):
         if (
             seeds is not None
-            or legacy_args
-            or legacy_kwargs
             or config is not None
             or reference is not None
             or options is not None
@@ -153,55 +131,6 @@ def solve_ensemble(
         return solve_sync(instance)
     if seeds is None:
         raise TypeError("solve_ensemble() missing required argument: 'seeds'")
-
-    legacy: Dict[str, Any] = {}
-    if legacy_args:
-        if len(legacy_args) > len(_LEGACY_POSITIONAL):
-            raise TypeError(
-                "solve_ensemble() takes at most "
-                f"{2 + len(_LEGACY_POSITIONAL)} positional arguments"
-            )
-        legacy.update(zip(_LEGACY_POSITIONAL, legacy_args))
-    unknown = sorted(set(legacy_kwargs) - set(_LEGACY_TUNING))
-    if unknown:
-        raise TypeError(
-            f"solve_ensemble() got unexpected keyword arguments {unknown}"
-        )
-    overlap = sorted(set(legacy) & set(legacy_kwargs))
-    if overlap:
-        raise TypeError(
-            f"solve_ensemble() got multiple values for {overlap}"
-        )
-    legacy.update(legacy_kwargs)
-
-    if legacy:
-        warnings.warn(
-            "positional config/reference and the max_workers/timeout_s/"
-            "max_retries keywords of solve_ensemble() are deprecated; "
-            "pass config=/reference= and options=EnsembleOptions(...) "
-            "(removal one release after 1.1)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if "config" in legacy:
-            if config is not None:
-                raise TypeError(
-                    "solve_ensemble() got multiple values for 'config'"
-                )
-            config = legacy.pop("config")
-        if "reference" in legacy:
-            if reference is not None:
-                raise TypeError(
-                    "solve_ensemble() got multiple values for 'reference'"
-                )
-            reference = legacy.pop("reference")
-        if legacy and options is not None:
-            raise AnnealerError(
-                "pass tuning either via options=EnsembleOptions(...) or "
-                "the deprecated keywords, not both"
-            )
-        if legacy:
-            options = EnsembleOptions(**legacy)
 
     request = SolveRequest.build(
         instance,

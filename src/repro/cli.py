@@ -12,6 +12,12 @@ Installs as ``repro`` (console script) and also runs as
   concurrent seeds, ``--telemetry-out`` exports the per-run telemetry
   JSON, and ``--chaos-seed`` runs the ensemble under the deterministic
   fault-injection layer (``docs/robustness.md``);
+* ``serve``     — run the HTTP/SSE serving gateway
+  (:mod:`repro.gateway`): N :class:`~repro.runtime.AnnealingService`
+  shards behind one ``POST /v1/jobs`` endpoint with a pluggable
+  routing policy (``docs/gateway.md``);
+* ``submit``    — submit a solve to a running gateway over HTTP and
+  (optionally) stream its telemetry frames back;
 * ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
 * ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
 * ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
@@ -28,6 +34,9 @@ Examples
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 --stream
     repro solve --family rl --n 200 --ensemble 16 --chaos-seed 42 \
                 --chaos-crash-rate 0.2
+    repro serve --shards 2 --workers 2 --policy least-inflight
+    repro submit --url http://127.0.0.1:8642 --family rl --n 500 \
+                 --ensemble 8 --stream
     repro capacity --sizes 1000 10000 85900
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
@@ -134,6 +143,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: 0; needs --chaos-seed)",
     )
 
+    p_serve = sub.add_parser("serve", help="run the HTTP/SSE serving gateway")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listening port (0 = ephemeral; default: 8642)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="in-process AnnealingService shards (default: 2)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="worker processes per shard (default: 1 = serial)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=["round-robin", "least-inflight"],
+        default="round-robin", help="shard routing policy",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=16, metavar="J",
+        help="admitted jobs per shard before the gateway answers 429 "
+        "(default: 16)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a solve to a running gateway"
+    )
+    p_submit.add_argument(
+        "--url", required=True, metavar="URL",
+        help="gateway base URL, e.g. http://127.0.0.1:8642",
+    )
+    src_sub = p_submit.add_mutually_exclusive_group()
+    src_sub.add_argument(
+        "--tsplib", metavar="FILE", help="TSPLIB .tsp file to load"
+    )
+    src_sub.add_argument(
+        "--family",
+        choices=["uniform", "clustered", "pcb", "rl", "pla"],
+        default="uniform",
+        help="synthetic instance family (default: uniform)",
+    )
+    p_submit.add_argument(
+        "--n", type=int, default=500, help="cities (synthetic)"
+    )
+    p_submit.add_argument(
+        "--strategy", default="1/2/3", help="cluster strategy label"
+    )
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--ensemble", type=int, default=1, metavar="K",
+        help="seeds SEED..SEED+K-1 (default: 1)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="T",
+        help="per-run wall-clock budget in seconds on the gateway side",
+    )
+    p_submit.add_argument(
+        "--stream", action="store_true",
+        help="stream one telemetry frame per completed run over SSE",
+    )
+    p_submit.add_argument(
+        "--tag", default="cli", help="job label folded into the job id"
+    )
+
     p_cap = sub.add_parser("capacity", help="Fig. 1 capacity table")
     p_cap.add_argument("--sizes", type=int, nargs="+",
                        default=[1000, 10000, 85900])
@@ -156,9 +229,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
-    from repro.hardware import evaluate_ppa
+def _build_instance(args: argparse.Namespace) -> "TSPInstance":
+    """Load or synthesize the instance shared by ``solve``/``submit``."""
     from repro.tsp import load_tsplib
     from repro.tsp.generators import (
         pcb_style,
@@ -169,19 +241,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
 
     if args.tsplib:
-        instance = load_tsplib(args.tsplib)
-    else:
-        builders = {
-            "uniform": random_uniform,
-            "clustered": lambda n, seed: random_clustered(
-                n, n_clusters=max(4, n // 60), seed=seed
-            ),
-            "pcb": pcb_style,
-            "rl": rl_style,
-            "pla": pla_style,
-        }
-        instance = builders[args.family](args.n, seed=args.seed)
+        return load_tsplib(args.tsplib)
+    builders = {
+        "uniform": random_uniform,
+        "clustered": lambda n, seed: random_clustered(
+            n, n_clusters=max(4, n // 60), seed=seed
+        ),
+        "pcb": pcb_style,
+        "rl": rl_style,
+        "pla": pla_style,
+    }
+    return builders[args.family](args.n, seed=args.seed)
 
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+    from repro.hardware import evaluate_ppa
+
+    instance = _build_instance(args)
     print(f"instance : {instance}")
     cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
     if (
@@ -329,6 +406,92 @@ async def _stream_solve(request: "SolveRequest") -> "EnsembleResult":
         return await job.result()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP/SSE gateway in the foreground until interrupted."""
+    import asyncio
+
+    from repro.gateway import GatewayServer, ShardRouter
+    from repro.runtime.options import EnsembleOptions
+
+    options = EnsembleOptions(
+        max_workers=args.workers, max_pending_jobs=args.max_pending
+    )
+    router = ShardRouter(options, shards=args.shards, policy=args.policy)
+
+    async def run() -> None:
+        async with GatewayServer(
+            router, host=args.host, port=args.port
+        ) as server:
+            print(
+                f"gateway  : {server.url}  shards={args.shards}  "
+                f"workers/shard={args.workers}  policy={args.policy}"
+            )
+            print(
+                "endpoints: POST /v1/jobs   GET /v1/jobs/{id}[/events]   "
+                "DELETE /v1/jobs/{id}   GET /metrics"
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("gateway  : interrupted; shards drained")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one solve to a running gateway and report its outcome."""
+    from repro.annealer import AnnealerConfig
+    from repro.gateway.client import GatewayClient, GatewayHTTPError
+    from repro.runtime.options import EnsembleOptions, SolveRequest
+
+    instance = _build_instance(args)
+    print(f"instance : {instance}")
+    cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
+    seeds = list(range(args.seed, args.seed + max(1, args.ensemble)))
+    request = SolveRequest.build(
+        instance,
+        seeds,
+        config=cfg,
+        options=EnsembleOptions(timeout_s=args.timeout),
+        tag=args.tag,
+    )
+    client = GatewayClient(args.url)
+    try:
+        handle = client.submit(request)
+        job_id = str(handle["job_id"])
+        print(
+            f"job      : {job_id}  shard={handle['shard']}  "
+            f"state={handle['state']}"
+        )
+        if args.stream:
+            for record in client.stream(job_id):
+                print(record.to_json_line())
+        result = client.result(job_id)
+    except GatewayHTTPError as exc:
+        print(f"error    : {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(
+            f"error    : cannot reach gateway at {args.url}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    lengths = result["lengths"]
+    best = result["best"]
+    print(
+        f"ensemble : {len(lengths)} runs  best={best['length']:.1f}  "
+        f"shard={result['shard']}"
+    )
+    stats = result["ratio_stats"]
+    if stats is not None:
+        print(
+            f"quality  : ratio mean={stats['mean']:.3f}  "
+            f"min={stats['minimum']:.3f}  max={stats['maximum']:.3f}"
+        )
+    return 0
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     from repro.analysis.capacity import fig1_series
 
@@ -417,6 +580,8 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "capacity": _cmd_capacity,
     "sram-curve": _cmd_sram_curve,
     "ppa": _cmd_ppa,

@@ -13,6 +13,8 @@ by subsystem to make failures self-describing:
   bad bit masks).
 * :class:`HardwareModelError` — PPA model configuration problems.
 * :class:`AnnealerError` — solver configuration or runtime failures.
+* :class:`GatewayError` — serving-gateway failures (malformed wire
+  payloads, overload rejections, unknown jobs).
 """
 
 from __future__ import annotations
@@ -60,3 +62,12 @@ class AnnealerError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when a configuration object contains inconsistent values."""
+
+
+class GatewayError(ReproError):
+    """Raised by the serving gateway (:mod:`repro.gateway`).
+
+    Sub-types map onto the versioned wire error responses: protocol
+    violations (HTTP 400), overload rejections (429), unknown job ids
+    (404).
+    """

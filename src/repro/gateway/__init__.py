@@ -1,0 +1,62 @@
+"""HTTP/SSE serving gateway with horizontal shard routing.
+
+The outermost layer of the serving stack (stdlib-only; no web
+framework):
+
+* :mod:`repro.gateway.protocol` — versioned JSON wire formats
+  (``repro.solve_request/v1`` in, ``repro.run_telemetry/v1`` frames
+  and ``repro.job_result/v1`` out);
+* :mod:`repro.gateway.router` — :class:`ShardRouter` places jobs on N
+  in-process :class:`~repro.runtime.AnnealingService` shards via a
+  pluggable policy and aggregates their admission backpressure into
+  one 429-style rejection;
+* :mod:`repro.gateway.server` — :class:`GatewayServer`, the
+  ``asyncio.start_server`` HTTP/SSE front (submit, stream, result,
+  cancel, metrics);
+* :mod:`repro.gateway.client` — blocking and async clients speaking
+  the same protocol (what ``repro submit --url`` uses).
+
+See ``docs/gateway.md`` for the wire format and an end-to-end tour.
+"""
+
+from repro.gateway.client import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayHTTPError,
+)
+from repro.gateway.protocol import (
+    ProtocolError,
+    decode_solve_request,
+    encode_solve_request,
+    parse_telemetry_frame,
+)
+from repro.gateway.router import (
+    GatewayJob,
+    GatewayOverloadedError,
+    LeastInflightPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ShardRouter,
+    UnknownJobError,
+    policy_from_name,
+)
+from repro.gateway.server import GatewayServer
+
+__all__ = [
+    "AsyncGatewayClient",
+    "GatewayClient",
+    "GatewayHTTPError",
+    "GatewayJob",
+    "GatewayOverloadedError",
+    "GatewayServer",
+    "LeastInflightPolicy",
+    "ProtocolError",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "ShardRouter",
+    "UnknownJobError",
+    "decode_solve_request",
+    "encode_solve_request",
+    "parse_telemetry_frame",
+    "policy_from_name",
+]

@@ -1,0 +1,308 @@
+"""Clients for the serving gateway (stdlib only).
+
+Two clients over the same wire protocol (:mod:`repro.gateway.
+protocol`):
+
+* :class:`GatewayClient` — blocking, built on :mod:`http.client`;
+  what the CLI (``repro submit --url``) and thread-based tests use;
+* :class:`AsyncGatewayClient` — coroutine-based, built on
+  ``asyncio.open_connection``; usable from the same event loop that
+  hosts a :class:`~repro.gateway.server.GatewayServer` under test.
+
+Both raise :class:`GatewayHTTPError` for any non-2xx response; the
+server's ``repro.error/v1`` body is preserved on the exception so
+callers can branch on ``status`` (429 = retry later) without string
+matching.  Streaming methods yield
+:class:`~repro.runtime.telemetry.RunTelemetry` records parsed from
+the SSE ``run`` events and end when the server sends the terminal
+``end`` event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, AsyncIterator, Dict, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import GatewayError
+from repro.gateway.protocol import (
+    ProtocolError,
+    encode_solve_request,
+    parse_telemetry_frame,
+)
+from repro.runtime.options import SolveRequest
+from repro.runtime.telemetry import RunTelemetry
+
+
+class GatewayHTTPError(GatewayError):
+    """A non-2xx gateway response; carries the wire error body.
+
+    ``status`` is the HTTP status (429 = all shards at capacity, 404 =
+    unknown job, 400 = protocol violation); ``payload`` is the decoded
+    ``repro.error/v1`` document (empty when the body was not JSON).
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = str(payload.get("message", "")) or f"HTTP {status}"
+        super().__init__(f"gateway answered {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+def _split_url(url: str) -> Tuple[str, int]:
+    """Host and port of a gateway base URL (http only)."""
+    parts = urlsplit(url)
+    if parts.scheme != "http" or not parts.hostname:
+        raise GatewayError(
+            f"gateway URL must be http://host:port, got {url!r}"
+        )
+    return parts.hostname, parts.port or 80
+
+
+def _raise_for_status(status: int, body: bytes) -> None:
+    if 200 <= status < 300:
+        return
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    raise GatewayHTTPError(status, payload)
+
+
+class _SSEAssembler:
+    """Incremental Server-Sent-Events parser (shared by both clients).
+
+    Feed decoded lines one at a time; a blank line completes an event
+    and :meth:`feed` returns its ``(event, data)`` pair (None while an
+    event is still accumulating).
+    """
+
+    def __init__(self) -> None:
+        self._event = ""
+        self._data = ""
+
+    def feed(self, line: str) -> Optional[Tuple[str, str]]:
+        line = line.rstrip("\r\n")
+        if not line:
+            if not self._event and not self._data:
+                return None
+            out = (self._event or "message", self._data)
+            self._event = ""
+            self._data = ""
+            return out
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None
+        value = value.lstrip(" ")
+        if name == "event":
+            self._event = value
+        elif name == "data":
+            self._data = f"{self._data}\n{value}" if self._data else value
+        return None
+
+
+def _frame_from_event(event: str, data: str) -> Optional[RunTelemetry]:
+    """Map one SSE event to a telemetry record (None = end of stream).
+
+    Unknown event names are skipped — a newer server may interleave
+    new event types; only ``run`` and ``end`` are load-bearing.
+    """
+    if event == "end":
+        return None
+    if event != "run":
+        raise ProtocolError(f"unexpected SSE event {event!r}")
+    return parse_telemetry_frame(data)
+
+
+class GatewayClient:
+    """Blocking gateway client (one HTTP connection per call).
+
+    >>> client = GatewayClient("http://127.0.0.1:8642")
+    >>> handle = client.submit(request)             # doctest: +SKIP
+    >>> for record in client.stream(handle["job_id"]):  # doctest: +SKIP
+    ...     print(record.seed, record.length)
+    """
+
+    def __init__(self, url: str, *, timeout_s: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.host, self.port = _split_url(self.url)
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            _raise_for_status(response.status, raw)
+            decoded = json.loads(raw)
+            if not isinstance(decoded, dict):
+                raise ProtocolError(
+                    f"gateway response is not a JSON object: {decoded!r}"
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+    def submit(self, request: SolveRequest) -> Dict[str, Any]:
+        """Submit a solve; returns the ``repro.job/v1`` handle."""
+        return self._request(
+            "POST", "/v1/jobs", body=encode_solve_request(request)
+        )
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Long-poll the final ``repro.job_result/v1`` document."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cooperative cancellation of a job."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Fetch the gateway's ``repro.gateway_metrics/v1`` counters."""
+        return self._request("GET", "/metrics")
+
+    def stream(self, job_id: str) -> Iterator[RunTelemetry]:
+        """Yield each seed's telemetry record as the server streams it.
+
+        Replays from the first record (the server buffers), ends at
+        the terminal ``end`` event.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                _raise_for_status(response.status, response.read())
+            assembler = _SSEAssembler()
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # server closed without an end event
+                completed = assembler.feed(line.decode("utf-8"))
+                if completed is None:
+                    continue
+                record = _frame_from_event(*completed)
+                if record is None:
+                    return
+                yield record
+        finally:
+            conn.close()
+
+    def solve(self, request: SolveRequest) -> Dict[str, Any]:
+        """Submit and block for the final result (convenience)."""
+        handle = self.submit(request)
+        return self.result(str(handle["job_id"]))
+
+
+class AsyncGatewayClient:
+    """Coroutine gateway client (one connection per call).
+
+    Safe to use on the same event loop as the server it talks to —
+    every await yields to the loop, so the server's handlers make
+    progress between client reads (which is exactly how the e2e tests
+    run both sides single-process).
+    """
+
+    def __init__(self, url: str) -> None:
+        self.url = url.rstrip("/")
+        self.host, self.port = _split_url(self.url)
+
+    # -- plumbing ------------------------------------------------------
+    async def _connect(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, int]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ProtocolError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        while True:  # consume response headers up to the blank line
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return reader, writer, status
+
+    async def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        reader, writer, status = await self._connect(method, path, body)
+        try:
+            raw = await reader.read()
+            _raise_for_status(status, raw)
+            decoded = json.loads(raw)
+            if not isinstance(decoded, dict):
+                raise ProtocolError(
+                    f"gateway response is not a JSON object: {decoded!r}"
+                )
+            return decoded
+        finally:
+            writer.close()
+
+    # -- API -----------------------------------------------------------
+    async def submit(self, request: SolveRequest) -> Dict[str, Any]:
+        """Submit a solve; returns the ``repro.job/v1`` handle."""
+        return await self._request(
+            "POST", "/v1/jobs", body=encode_solve_request(request)
+        )
+
+    async def result(self, job_id: str) -> Dict[str, Any]:
+        """Long-poll the final ``repro.job_result/v1`` document."""
+        return await self._request("GET", f"/v1/jobs/{job_id}")
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cooperative cancellation of a job."""
+        return await self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    async def metrics(self) -> Dict[str, Any]:
+        """Fetch the gateway's ``repro.gateway_metrics/v1`` counters."""
+        return await self._request("GET", "/metrics")
+
+    async def stream(self, job_id: str) -> AsyncIterator[RunTelemetry]:
+        """Yield telemetry records from the SSE stream as they arrive."""
+        reader, writer, status = await self._connect(
+            "GET", f"/v1/jobs/{job_id}/events", None
+        )
+        try:
+            if status != 200:
+                _raise_for_status(status, await reader.read())
+            assembler = _SSEAssembler()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return  # server closed without an end event
+                completed = assembler.feed(line.decode("utf-8"))
+                if completed is None:
+                    continue
+                record = _frame_from_event(*completed)
+                if record is None:
+                    return
+                yield record
+        finally:
+            writer.close()

@@ -1,0 +1,587 @@
+"""Wire protocol of the serving gateway.
+
+Everything that crosses the HTTP boundary is JSON with an explicit
+``schema`` tag, so clients can verify what they are talking to and the
+formats can evolve without guessing:
+
+* ``repro.solve_request/v1`` — a complete
+  :class:`~repro.runtime.options.SolveRequest` (instance coordinates,
+  seeds, annealer config, runtime options including the chaos
+  :class:`~repro.runtime.faults.FaultPlan`), produced by
+  :func:`encode_solve_request` and validated strictly by
+  :func:`decode_solve_request`;
+* ``repro.run_telemetry/v1`` — the per-seed stream frame; the SSE
+  ``data:`` payload is exactly
+  :meth:`repro.runtime.telemetry.RunTelemetry.to_json_line`, parsed
+  back (unknown-field tolerant, so newer servers can add fields) by
+  :func:`parse_telemetry_frame`;
+* ``repro.job/v1`` / ``repro.job_result/v1`` — job handles and the
+  final seed-ordered result (:func:`encode_job_result`);
+* ``repro.error/v1`` — every non-2xx response body
+  (:func:`error_payload`).
+
+Decoding is *strict*: unknown keys, wrong types, and out-of-range
+values raise :class:`ProtocolError` (mapped to HTTP 400 by the
+server), never a silent default.  Only the telemetry stream is
+tolerant of unknown fields — readers of a long-lived stream must not
+break when the server learns new counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import GatewayError, ReproError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.telemetry import RunTelemetry
+from repro.tsp.instance import TSPInstance
+
+if TYPE_CHECKING:  # import cycle: repro.annealer.batch imports runtime
+    from repro.annealer.batch import EnsembleResult
+    from repro.annealer.config import AnnealerConfig
+
+REQUEST_SCHEMA = "repro.solve_request/v1"
+TELEMETRY_SCHEMA = "repro.run_telemetry/v1"
+JOB_SCHEMA = "repro.job/v1"
+RESULT_SCHEMA = "repro.job_result/v1"
+ERROR_SCHEMA = "repro.error/v1"
+METRICS_SCHEMA = "repro.gateway_metrics/v1"
+END_SCHEMA = "repro.job_end/v1"
+
+
+class ProtocolError(GatewayError):
+    """A wire payload violates the schema (HTTP 400)."""
+
+
+# ----------------------------------------------------------------------
+# Validation helpers — small, strict, and loud.
+# ----------------------------------------------------------------------
+def _require_mapping(payload: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown(
+    payload: Mapping[str, Any], allowed: FrozenSet[str], what: str
+) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ProtocolError(f"{what} has unknown fields {unknown}")
+
+
+def _get_str(payload: Mapping[str, Any], key: str, default: str = "") -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str):
+        raise ProtocolError(f"field {key!r} must be a string")
+    return value
+
+
+def _get_bool(payload: Mapping[str, Any], key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be a boolean")
+    return value
+
+
+def _get_int(payload: Mapping[str, Any], key: str, default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer")
+    return value
+
+
+def _get_float(
+    payload: Mapping[str, Any], key: str, default: float
+) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"field {key!r} must be a number")
+    return float(value)
+
+
+def _get_opt_int(
+    payload: Mapping[str, Any], key: str, default: Optional[int]
+) -> Optional[int]:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer or null")
+    return value
+
+
+def _get_opt_float(
+    payload: Mapping[str, Any], key: str, default: Optional[float]
+) -> Optional[float]:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"field {key!r} must be a number or null")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Instance
+# ----------------------------------------------------------------------
+_INSTANCE_FIELDS = frozenset(
+    {"coords", "name", "comment", "edge_weight_type"}
+)
+
+
+def encode_instance(instance: TSPInstance) -> Dict[str, Any]:
+    """JSON view of a :class:`TSPInstance` (coordinates inline)."""
+    return {
+        "name": instance.name,
+        "comment": instance.comment,
+        "edge_weight_type": instance.edge_weight_type,
+        "coords": [[float(x), float(y)] for x, y in instance.coords],
+    }
+
+
+def decode_instance(payload: Any) -> TSPInstance:
+    """Rebuild a :class:`TSPInstance`; strict about shape and types."""
+    payload = _require_mapping(payload, "instance")
+    _reject_unknown(payload, _INSTANCE_FIELDS, "instance")
+    coords = payload.get("coords")
+    if not isinstance(coords, list) or not coords:
+        raise ProtocolError("instance.coords must be a non-empty list")
+    try:
+        arr = np.asarray(coords, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"instance.coords not numeric: {exc}") from exc
+    try:
+        return TSPInstance(
+            coords=arr,
+            name=_get_str(payload, "name", "unnamed"),
+            comment=_get_str(payload, "comment", ""),
+            edge_weight_type=_get_str(payload, "edge_weight_type", "GEOM"),
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"invalid instance: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Annealer config
+# ----------------------------------------------------------------------
+_CONFIG_FIELDS = frozenset(
+    {
+        "strategy",
+        "schedule",
+        "top_size",
+        "weight_bits",
+        "cell_params",
+        "noise_source",
+        "noise_target",
+        "parallel_update",
+        "seed",
+        "record_trace",
+        "trace_every",
+    }
+)
+
+
+def encode_config(config: "AnnealerConfig") -> Dict[str, Any]:
+    """JSON view of an :class:`AnnealerConfig`.
+
+    The cluster strategy travels as its Table I label (``"1/2/3"``,
+    ``"4"``, ``"arbitrary"``) — the same form the CLI accepts — so the
+    wire never carries arbitrary pickled objects.
+    """
+    from repro.clustering.strategies import ClusterStrategy
+
+    strategy = config.strategy
+    label = (
+        strategy.name if isinstance(strategy, ClusterStrategy) else str(strategy)
+    )
+    return {
+        "strategy": label,
+        "schedule": asdict(config.schedule),
+        "top_size": config.top_size,
+        "weight_bits": config.weight_bits,
+        "cell_params": asdict(config.cell_params),
+        "noise_source": config.noise_source.value,
+        "noise_target": config.noise_target.value,
+        "parallel_update": config.parallel_update,
+        "seed": config.seed,
+        "record_trace": config.record_trace,
+        "trace_every": config.trace_every,
+    }
+
+
+def decode_config(payload: Any) -> "AnnealerConfig":
+    """Rebuild an :class:`AnnealerConfig` from its wire form."""
+    from repro.annealer.config import AnnealerConfig
+    from repro.ising.schedule import VddSchedule
+    from repro.sram.cell import SRAMCellParams
+
+    payload = _require_mapping(payload, "config")
+    _reject_unknown(payload, _CONFIG_FIELDS, "config")
+    defaults = AnnealerConfig()
+    try:
+        schedule = defaults.schedule
+        if "schedule" in payload:
+            sched = _require_mapping(payload["schedule"], "config.schedule")
+            _reject_unknown(
+                sched,
+                frozenset(asdict(defaults.schedule)),
+                "config.schedule",
+            )
+            schedule = VddSchedule(**{**asdict(defaults.schedule), **sched})
+        cell_params = defaults.cell_params
+        if "cell_params" in payload:
+            cp = _require_mapping(payload["cell_params"], "config.cell_params")
+            _reject_unknown(
+                cp,
+                frozenset(asdict(defaults.cell_params)),
+                "config.cell_params",
+            )
+            cell_params = SRAMCellParams(
+                **{**asdict(defaults.cell_params), **cp}
+            )
+        return AnnealerConfig(
+            strategy=_get_str(payload, "strategy", "1/2/3"),
+            schedule=schedule,
+            top_size=_get_int(payload, "top_size", defaults.top_size),
+            weight_bits=_get_int(
+                payload, "weight_bits", defaults.weight_bits
+            ),
+            cell_params=cell_params,
+            noise_source=_get_str(
+                payload, "noise_source", defaults.noise_source.value
+            ),
+            noise_target=_get_str(
+                payload, "noise_target", defaults.noise_target.value
+            ),
+            parallel_update=_get_bool(
+                payload, "parallel_update", defaults.parallel_update
+            ),
+            seed=_get_int(payload, "seed", defaults.seed),
+            record_trace=_get_bool(
+                payload, "record_trace", defaults.record_trace
+            ),
+            trace_every=_get_int(
+                payload, "trace_every", defaults.trace_every
+            ),
+        )
+    except ProtocolError:
+        raise
+    except (ReproError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"invalid config: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Runtime options (incl. the chaos plan)
+# ----------------------------------------------------------------------
+_PLAN_FIELDS = frozenset(
+    {
+        "seed",
+        "crash_rate",
+        "hang_rate",
+        "corrupt_rate",
+        "broken_pool_rate",
+        "hang_s",
+        "max_faults_per_run",
+    }
+)
+_OPTIONS_FIELDS = frozenset(
+    {
+        "max_workers",
+        "timeout_s",
+        "max_retries",
+        "chunk_size",
+        "strict",
+        "max_inflight_per_job",
+        "max_pending_jobs",
+        "backoff_base_s",
+        "backoff_cap_s",
+        "self_heal_budget",
+        "breaker_threshold",
+        "fault_plan",
+    }
+)
+
+
+def encode_fault_plan(plan: Optional[FaultPlan]) -> Optional[Dict[str, Any]]:
+    """JSON view of a chaos :class:`FaultPlan` (None passes through)."""
+    return None if plan is None else asdict(plan)
+
+
+def decode_fault_plan(payload: Any) -> Optional[FaultPlan]:
+    """Rebuild a :class:`FaultPlan`; null means no chaos."""
+    if payload is None:
+        return None
+    payload = _require_mapping(payload, "options.fault_plan")
+    _reject_unknown(payload, _PLAN_FIELDS, "options.fault_plan")
+    defaults = FaultPlan()
+    try:
+        return FaultPlan(
+            seed=_get_int(payload, "seed", defaults.seed),
+            crash_rate=_get_float(
+                payload, "crash_rate", defaults.crash_rate
+            ),
+            hang_rate=_get_float(payload, "hang_rate", defaults.hang_rate),
+            corrupt_rate=_get_float(
+                payload, "corrupt_rate", defaults.corrupt_rate
+            ),
+            broken_pool_rate=_get_float(
+                payload, "broken_pool_rate", defaults.broken_pool_rate
+            ),
+            hang_s=_get_float(payload, "hang_s", defaults.hang_s),
+            max_faults_per_run=_get_int(
+                payload, "max_faults_per_run", defaults.max_faults_per_run
+            ),
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"invalid fault_plan: {exc}") from exc
+
+
+def encode_options(options: EnsembleOptions) -> Dict[str, Any]:
+    """JSON view of :class:`EnsembleOptions`."""
+    return {
+        "max_workers": options.max_workers,
+        "timeout_s": options.timeout_s,
+        "max_retries": options.max_retries,
+        "chunk_size": options.chunk_size,
+        "strict": options.strict,
+        "max_inflight_per_job": options.max_inflight_per_job,
+        "max_pending_jobs": options.max_pending_jobs,
+        "backoff_base_s": options.backoff_base_s,
+        "backoff_cap_s": options.backoff_cap_s,
+        "self_heal_budget": options.self_heal_budget,
+        "breaker_threshold": options.breaker_threshold,
+        "fault_plan": encode_fault_plan(options.fault_plan),
+    }
+
+
+def decode_options(payload: Any) -> EnsembleOptions:
+    """Rebuild :class:`EnsembleOptions`; validation errors are 400s."""
+    payload = _require_mapping(payload, "options")
+    _reject_unknown(payload, _OPTIONS_FIELDS, "options")
+    defaults = EnsembleOptions()
+    try:
+        return EnsembleOptions(
+            max_workers=_get_int(
+                payload, "max_workers", defaults.max_workers
+            ),
+            timeout_s=_get_opt_float(
+                payload, "timeout_s", defaults.timeout_s
+            ),
+            max_retries=_get_int(
+                payload, "max_retries", defaults.max_retries
+            ),
+            chunk_size=_get_opt_int(
+                payload, "chunk_size", defaults.chunk_size
+            ),
+            strict=_get_bool(payload, "strict", defaults.strict),
+            max_inflight_per_job=_get_opt_int(
+                payload, "max_inflight_per_job", defaults.max_inflight_per_job
+            ),
+            max_pending_jobs=_get_int(
+                payload, "max_pending_jobs", defaults.max_pending_jobs
+            ),
+            backoff_base_s=_get_float(
+                payload, "backoff_base_s", defaults.backoff_base_s
+            ),
+            backoff_cap_s=_get_float(
+                payload, "backoff_cap_s", defaults.backoff_cap_s
+            ),
+            self_heal_budget=_get_int(
+                payload, "self_heal_budget", defaults.self_heal_budget
+            ),
+            breaker_threshold=_get_opt_int(
+                payload, "breaker_threshold", defaults.breaker_threshold
+            ),
+            fault_plan=decode_fault_plan(payload.get("fault_plan")),
+        )
+    except ProtocolError:
+        raise
+    except ReproError as exc:
+        raise ProtocolError(f"invalid options: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# SolveRequest — the unit of work on the wire
+# ----------------------------------------------------------------------
+_REQUEST_FIELDS = frozenset(
+    {"schema", "instance", "seeds", "config", "reference", "options", "tag"}
+)
+
+
+def encode_solve_request(request: SolveRequest) -> Dict[str, Any]:
+    """Serialize a :class:`SolveRequest` to its ``repro.solve_request/v1``
+    wire form (pure JSON-native values, no pickles)."""
+    return {
+        "schema": REQUEST_SCHEMA,
+        "instance": encode_instance(request.instance),
+        "seeds": [int(s) for s in request.seeds],
+        "config": (
+            None if request.config is None else encode_config(request.config)
+        ),
+        "reference": request.reference,
+        "options": encode_options(request.options),
+        "tag": request.tag,
+    }
+
+
+def decode_solve_request(payload: Any) -> SolveRequest:
+    """Parse and validate a ``repro.solve_request/v1`` body.
+
+    Strict: the schema tag must match, unknown fields are rejected,
+    and every nested object is validated by its own decoder.  All
+    failures raise :class:`ProtocolError` (the server's 400 path).
+    """
+    payload = _require_mapping(payload, "solve request")
+    schema = payload.get("schema")
+    if schema != REQUEST_SCHEMA:
+        raise ProtocolError(
+            f"expected schema {REQUEST_SCHEMA!r}, got {schema!r}"
+        )
+    _reject_unknown(payload, _REQUEST_FIELDS, "solve request")
+    if "instance" not in payload:
+        raise ProtocolError("solve request is missing 'instance'")
+    seeds = payload.get("seeds")
+    if (
+        not isinstance(seeds, list)
+        or not seeds
+        or any(isinstance(s, bool) or not isinstance(s, int) for s in seeds)
+    ):
+        raise ProtocolError("'seeds' must be a non-empty list of integers")
+    instance = decode_instance(payload["instance"])
+    config = (
+        None
+        if payload.get("config") is None
+        else decode_config(payload["config"])
+    )
+    options = (
+        EnsembleOptions()
+        if payload.get("options") is None
+        else decode_options(payload["options"])
+    )
+    try:
+        return SolveRequest.build(
+            instance,
+            seeds,
+            config=config,
+            reference=_get_opt_float(payload, "reference", None),
+            options=options,
+            tag=_get_str(payload, "tag", ""),
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"invalid solve request: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Telemetry frames (the SSE payload)
+# ----------------------------------------------------------------------
+_TELEMETRY_FIELDS = frozenset(
+    RunTelemetry(seed=0).to_dict()
+)
+
+
+def parse_telemetry_frame(line: str) -> RunTelemetry:
+    """Parse one ``repro.run_telemetry/v1`` JSON line back to a record.
+
+    Unknown fields are ignored (a newer server may stream counters
+    this client predates); a missing/foreign schema tag or a frame
+    without a seed is a :class:`ProtocolError`.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"telemetry frame is not JSON: {exc}") from exc
+    payload = _require_mapping(payload, "telemetry frame")
+    schema = payload.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(
+        "repro.run_telemetry/"
+    ):
+        raise ProtocolError(
+            f"expected a repro.run_telemetry/* frame, got {schema!r}"
+        )
+    if "seed" not in payload:
+        raise ProtocolError("telemetry frame has no 'seed'")
+    known = {
+        key: value
+        for key, value in payload.items()
+        if key in _TELEMETRY_FIELDS
+    }
+    try:
+        return RunTelemetry(**known)
+    except TypeError as exc:
+        raise ProtocolError(f"malformed telemetry frame: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """The ``repro.error/v1`` body every non-2xx response carries."""
+    return {
+        "schema": ERROR_SCHEMA,
+        "error": code,
+        "message": message,
+        **extra,
+    }
+
+
+def job_payload(
+    job_id: str, state: str, shard: str, **extra: Any
+) -> Dict[str, Any]:
+    """The ``repro.job/v1`` body (submit/cancel acknowledgements)."""
+    return {
+        "schema": JOB_SCHEMA,
+        "job_id": job_id,
+        "state": state,
+        "shard": shard,
+        **extra,
+    }
+
+
+def encode_job_result(
+    job_id: str, shard: str, result: "EnsembleResult"
+) -> Dict[str, Any]:
+    """The ``repro.job_result/v1`` body: the final seed-ordered result.
+
+    Per-seed tours travel as plain index lists, so a client can verify
+    bit-identity against a local :func:`solve_ensemble` run.
+    """
+    telemetry = result.telemetry
+    ok_seeds = (
+        [r.seed for r in telemetry.runs if r.ok]
+        if telemetry is not None
+        else []
+    )
+    stats = result.ratio_stats
+    return {
+        "schema": RESULT_SCHEMA,
+        "job_id": job_id,
+        "shard": shard,
+        "state": "done",
+        "reference": float(result.reference),
+        "seeds": ok_seeds,
+        "lengths": [float(r.length) for r in result.results],
+        "tours": [[int(c) for c in r.tour] for r in result.results],
+        "ratios": [float(x) for x in result.ratios],
+        "best": {
+            "length": float(result.best.length),
+            "tour": [int(c) for c in result.best.tour],
+        },
+        "ratio_stats": (
+            None
+            if stats is None
+            else {
+                "mean": stats.mean,
+                "minimum": stats.minimum,
+                "maximum": stats.maximum,
+            }
+        ),
+        "telemetry": None if telemetry is None else telemetry.to_dict(),
+    }

@@ -1,0 +1,333 @@
+"""Horizontal shard routing over :class:`AnnealingService` backends.
+
+A :class:`ShardRouter` owns N in-process shards — independent
+:class:`~repro.runtime.service.AnnealingService` instances, each with
+its *own* worker pool and admission queue — and places every incoming
+:class:`~repro.runtime.options.SolveRequest` on one of them via a
+pluggable :class:`RoutingPolicy`:
+
+* :class:`RoundRobinPolicy` — rotate through the shards, skipping any
+  at capacity;
+* :class:`LeastInflightPolicy` — pick the shard with the fewest
+  admitted-and-unsettled jobs (ties break to the lowest index).
+
+The router is the *non-blocking* front of the admission stack.  A
+single service applies backpressure by making ``submit`` wait; a
+gateway cannot hold an HTTP client hostage like that, so the router
+checks :attr:`AnnealingService.at_capacity` instead and raises
+:class:`GatewayOverloadedError` (the server's 429) only when **every**
+shard is full.
+
+The router also owns the job-id space: ids are generated *before*
+dispatch (``<tag>-NNNN``, unique across shards) and passed down via
+``submit(request, job_id=...)``, so the id a client polls is exactly
+the id in each telemetry record's ``worker`` field —
+``shard0/pool@job-0001``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    AsyncIterator,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import GatewayError
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.service import AnnealingService, Job, JobState
+from repro.runtime.telemetry import RunTelemetry
+
+if TYPE_CHECKING:  # import cycle: repro.annealer.batch imports runtime
+    from repro.annealer.batch import EnsembleResult
+
+METRICS_SCHEMA = "repro.gateway_metrics/v1"
+
+
+class GatewayOverloadedError(GatewayError):
+    """Every shard is at capacity (HTTP 429); retry later."""
+
+
+class UnknownJobError(GatewayError):
+    """No job with the requested id exists on any shard (HTTP 404)."""
+
+
+class RoutingPolicy:
+    """How the router picks a shard for the next job.
+
+    Subclasses implement :meth:`choose` over the candidate indices
+    whose shards still have admission capacity; the router has already
+    filtered out full shards (and raises
+    :class:`GatewayOverloadedError` itself when none remain).
+    """
+
+    name = "abstract"
+
+    def choose(
+        self, candidates: Sequence[int], shards: Sequence[AnnealingService]
+    ) -> int:
+        """Return the index (into ``shards``) to place the job on."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Rotate through the shards, skipping any at capacity.
+
+    Fair under uniform job sizes; oblivious to per-shard load, so a
+    shard stuck with one huge ensemble keeps receiving its turn.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, candidates: Sequence[int], shards: Sequence[AnnealingService]
+    ) -> int:
+        n = len(shards)
+        for step in range(n):
+            index = (self._cursor + step) % n
+            if index in candidates:
+                self._cursor = (index + 1) % n
+                return index
+        # The router guarantees candidates is non-empty and every
+        # candidate indexes into shards, so the loop always returns.
+        raise GatewayError("round-robin found no candidate shard")
+
+
+class LeastInflightPolicy(RoutingPolicy):
+    """Pick the shard with the fewest unsettled jobs.
+
+    Load-aware: concurrent submissions spread across shards instead of
+    queueing behind a busy one.  Ties break to the lowest index, so
+    placement stays deterministic for a given load pattern.
+    """
+
+    name = "least-inflight"
+
+    def choose(
+        self, candidates: Sequence[int], shards: Sequence[AnnealingService]
+    ) -> int:
+        return min(candidates, key=lambda i: (shards[i].inflight_jobs, i))
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastInflightPolicy.name: LeastInflightPolicy,
+}
+
+
+def policy_from_name(name: str) -> RoutingPolicy:
+    """Build a routing policy from its CLI/config label."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise GatewayError(
+            f"unknown routing policy {name!r}; known policies: {known}"
+        ) from None
+
+
+class GatewayJob:
+    """A routed job: the shard placement plus the underlying handle.
+
+    Thin pass-through over :class:`repro.runtime.service.Job` that
+    remembers *where* the job landed, so the HTTP layer can report the
+    shard and the metrics can attribute the work.
+    """
+
+    def __init__(self, job: Job, shard_index: int, shard_name: str) -> None:
+        self.job = job
+        self.shard_index = shard_index
+        self.shard_name = shard_name
+
+    @property
+    def job_id(self) -> str:
+        """Router-assigned id, unique across all shards."""
+        return self.job.job_id
+
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state of the underlying job."""
+        return self.job.state
+
+    @property
+    def done(self) -> bool:
+        """True once the underlying job settled."""
+        return self.job.done
+
+    @property
+    def records(self) -> Tuple[RunTelemetry, ...]:
+        """Telemetry records streamed so far."""
+        return self.job.records
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation on the owning shard."""
+        self.job.cancel()
+
+    def stream(self) -> AsyncIterator[RunTelemetry]:
+        """Replayable per-seed telemetry stream (see :meth:`Job.stream`)."""
+        return self.job.stream()
+
+    async def result(self) -> "EnsembleResult":
+        """Await the seed-ordered terminal result (see :meth:`Job.result`)."""
+        return await self.job.result()
+
+
+class ShardRouter:
+    """N in-process :class:`AnnealingService` shards behind one front.
+
+    Use as an async context manager::
+
+        async with ShardRouter(shards=2, policy="least-inflight") as router:
+            job = await router.submit(request)
+            async for record in job.stream():
+                ...
+            result = await job.result()
+
+    Each shard is named ``shard<i>`` and prefixes its name into every
+    telemetry record's ``worker`` field.  ``shard_options`` applies to
+    every shard (pool width per shard = ``shard_options.max_workers``).
+    """
+
+    def __init__(
+        self,
+        shard_options: Optional[EnsembleOptions] = None,
+        *,
+        shards: int = 2,
+        policy: str = RoundRobinPolicy.name,
+    ) -> None:
+        if shards < 1:
+            raise GatewayError(f"need at least one shard, got {shards}")
+        options = shard_options if shard_options is not None else EnsembleOptions()
+        self.options = options
+        self.policy = policy_from_name(policy)
+        self._shards: List[AnnealingService] = [
+            AnnealingService(options, name=f"shard{i}") for i in range(shards)
+        ]
+        self._jobs: Dict[str, GatewayJob] = {}
+        self._counter = itertools.count(1)
+        self._submitted = 0
+        self._rejected = 0
+        self._skips = [0 for _ in range(shards)]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[AnnealingService, ...]:
+        """The backend services, in index order."""
+        return tuple(self._shards)
+
+    @property
+    def jobs(self) -> Dict[str, GatewayJob]:
+        """Snapshot of every routed job, keyed by job id."""
+        return dict(self._jobs)
+
+    async def start(self) -> None:
+        """Start every shard (idempotent; :meth:`submit` auto-starts)."""
+        if self._closed:
+            raise GatewayError("router has been shut down; build a new one")
+        for shard in self._shards:
+            await shard.start()
+
+    async def submit(self, request: SolveRequest) -> GatewayJob:
+        """Route one request to a shard; returns its handle.
+
+        Non-blocking admission: raises :class:`GatewayOverloadedError`
+        when every shard is at capacity, instead of queueing the
+        caller.  The routed job's id is unique across shards.
+        """
+        if self._closed:
+            raise GatewayError("router is shut down; no new jobs accepted")
+        await self.start()
+        candidates = [
+            i for i, shard in enumerate(self._shards) if not shard.at_capacity
+        ]
+        for i, shard in enumerate(self._shards):
+            if shard.at_capacity:
+                self._skips[i] += 1
+        if not candidates:
+            self._rejected += 1
+            raise GatewayOverloadedError(
+                f"all {len(self._shards)} shards at capacity "
+                f"({self.options.max_pending_jobs} pending jobs each); "
+                "retry later"
+            )
+        index = self.policy.choose(candidates, self._shards)
+        shard = self._shards[index]
+        label = request.tag or "job"
+        job_id = f"{label}-{next(self._counter):04d}"
+        job = await shard.submit(request, job_id=job_id)
+        routed = GatewayJob(job, index, shard.name)
+        self._jobs[job_id] = routed
+        self._submitted += 1
+        return routed
+
+    def get(self, job_id: str) -> GatewayJob:
+        """Look up a routed job; :class:`UnknownJobError` when absent."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"no such job: {job_id!r}") from None
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Shut every shard down (drain or cancel). Idempotent."""
+        self._closed = True
+        for shard in self._shards:
+            await shard.shutdown(drain=drain)
+
+    async def __aenter__(self) -> "ShardRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
+        await self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Gateway + per-shard counters (``repro.gateway_metrics/v1``).
+
+        Per-shard ``faults_by_kind`` aggregates the chaos faults
+        injected into that shard's jobs so far (from the records each
+        job has streamed), and ``skips`` counts submit attempts that
+        found the shard at capacity — the per-shard view of admission
+        pressure behind gateway-level ``jobs_rejected``.
+        """
+        per_shard: List[Dict[str, Any]] = []
+        for i, shard in enumerate(self._shards):
+            shard_jobs = shard.jobs
+            faults: Dict[str, int] = {}
+            states: Dict[str, int] = {}
+            for job in shard_jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+                for record in job.records:
+                    for kind in record.faults_injected:
+                        faults[kind] = faults.get(kind, 0) + 1
+            per_shard.append(
+                {
+                    "name": shard.name,
+                    "jobs": len(shard_jobs),
+                    "inflight": shard.inflight_jobs,
+                    "at_capacity": shard.at_capacity,
+                    "skips": self._skips[i],
+                    "pool_rebuilds": shard.pool_rebuilds,
+                    "states": states,
+                    "faults_by_kind": faults,
+                }
+            )
+        return {
+            "schema": METRICS_SCHEMA,
+            "policy": self.policy.name,
+            "shards": len(self._shards),
+            "jobs_submitted": self._submitted,
+            "jobs_rejected": self._rejected,
+            "inflight": sum(s.inflight_jobs for s in self._shards),
+            "per_shard": per_shard,
+        }

@@ -44,9 +44,9 @@ out across worker processes, one run per seed:
   processes.
 
 Tuning lives in a frozen
-:class:`~repro.runtime.options.EnsembleOptions`; the old per-field
-keyword form (``EnsembleExecutor(max_workers=4)``) still works for one
-release but emits a :class:`DeprecationWarning`.
+:class:`~repro.runtime.options.EnsembleOptions`; the pre-1.1 per-field
+keyword form (``EnsembleExecutor(max_workers=4)``) was removed in 1.2
+after its one-release deprecation window.
 
 The executor is deliberately solver-agnostic about aggregation: it
 returns the ordered :class:`~repro.annealer.result.AnnealResult` list
@@ -60,7 +60,6 @@ only :meth:`EnsembleExecutor.run` is supported API.
 from __future__ import annotations
 
 import threading
-import warnings
 from dataclasses import replace
 from typing import (
     TYPE_CHECKING,
@@ -105,14 +104,6 @@ RunCallback = Callable[[RunTelemetry], None]
 #: Asked to replace a broken borrowed pool; returns the healed pool or
 #: None when the owner's self-heal budget is spent (degrade serially).
 PoolHealer = Callable[["Executor"], Optional["Executor"]]
-
-_LEGACY_FIELDS = (
-    "max_workers",
-    "timeout_s",
-    "max_retries",
-    "chunk_size",
-    "strict",
-)
 
 
 def _solve_one(
@@ -255,34 +246,11 @@ class EnsembleExecutor:
         EnsembleExecutor(EnsembleOptions(max_workers=4, timeout_s=30))
 
     The pre-1.1 per-field keyword form
-    (``EnsembleExecutor(max_workers=4)``) is still accepted but emits a
-    :class:`DeprecationWarning`; it will be removed one release after
-    1.1 (see ``docs/serving.md``).
+    (``EnsembleExecutor(max_workers=4)``) was removed in 1.2 after its
+    one-release deprecation window (see ``docs/serving.md``).
     """
 
-    def __init__(
-        self, options: Optional[EnsembleOptions] = None, **legacy: Any
-    ) -> None:
-        if legacy:
-            unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
-            if unknown:
-                raise TypeError(
-                    f"EnsembleExecutor got unexpected arguments {unknown}; "
-                    f"tuning fields are {list(_LEGACY_FIELDS)}"
-                )
-            if options is not None:
-                raise AnnealerError(
-                    "pass either an EnsembleOptions or legacy keyword "
-                    "arguments, not both"
-                )
-            warnings.warn(
-                "EnsembleExecutor(max_workers=..., ...) is deprecated; "
-                "pass EnsembleOptions(...) instead "
-                "(removal one release after 1.1)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            options = EnsembleOptions(**legacy)
+    def __init__(self, options: Optional[EnsembleOptions] = None) -> None:
         self.options = options if options is not None else EnsembleOptions()
 
     # -- legacy read access (the pre-1.1 dataclass exposed the fields) --
@@ -327,6 +295,7 @@ class EnsembleExecutor:
         *,
         on_run_complete: Optional[RunCallback] = None,
         pool: Optional["Executor"] = None,
+        worker_prefix: str = "",
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -348,6 +317,12 @@ class EnsembleExecutor:
             into instead of creating (and tearing down) a private pool.
             The caller owns its lifecycle; used by the serving runtime
             to share one pool across concurrent jobs.
+        worker_prefix:
+            Prepended to each record's ``worker`` field: the backend
+            segment.  A named :class:`~repro.runtime.AnnealingService`
+            (e.g. a gateway shard) threads ``"<name>/"`` through here
+            so records read ``shard0/pool@job-0001`` and telemetry
+            spans multi-backend dispatch.
         worker_suffix:
             Appended to each record's ``worker`` field (the serving
             runtime threads ``@<job_id>`` through here so multiplexed
@@ -392,6 +367,7 @@ class EnsembleExecutor:
                 config,
                 reference,
                 on_run_complete=on_run_complete,
+                worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
@@ -404,6 +380,7 @@ class EnsembleExecutor:
                 reference,
                 on_run_complete=on_run_complete,
                 pool=pool,
+                worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
@@ -468,6 +445,7 @@ class EnsembleExecutor:
         reference: Optional[float],
         first_error: Optional[BaseException] = None,
         attempts_used: int = 0,
+        worker_prefix: str = "",
         worker_suffix: str = "",
         faults: Optional[List[str]] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -508,7 +486,7 @@ class EnsembleExecutor:
                     result,
                     reference,
                     retries=attempt,
-                    worker=f"serial{worker_suffix}",
+                    worker=f"{worker_prefix}serial{worker_suffix}",
                     faults_injected=faults,
                     backoff_s=backoff_s,
                     first_error=repr(first) if first is not None else "",
@@ -532,7 +510,7 @@ class EnsembleExecutor:
             seed,
             last or RuntimeError("unknown failure"),
             retries=attempt,
-            worker=f"serial{worker_suffix}",
+            worker=f"{worker_prefix}serial{worker_suffix}",
             faults_injected=faults,
             backoff_s=backoff_s,
             first_error=repr(first) if first is not None else "",
@@ -547,6 +525,7 @@ class EnsembleExecutor:
         mode: str = "serial",
         *,
         on_run_complete: Optional[RunCallback] = None,
+        worker_prefix: str = "",
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -560,6 +539,7 @@ class EnsembleExecutor:
                 seed,
                 config,
                 reference,
+                worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 breaker=breaker,
             )
@@ -651,6 +631,7 @@ class EnsembleExecutor:
         *,
         on_run_complete: Optional[RunCallback] = None,
         pool: Optional["Executor"] = None,
+        worker_prefix: str = "",
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -675,6 +656,7 @@ class EnsembleExecutor:
                 reference,
                 mode="serial-fallback",
                 on_run_complete=on_run_complete,
+                worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
@@ -695,6 +677,7 @@ class EnsembleExecutor:
                     seed,
                     config,
                     reference,
+                    worker_prefix=worker_prefix,
                     worker_suffix=worker_suffix,
                     breaker=breaker,
                 )
@@ -731,7 +714,7 @@ class EnsembleExecutor:
                                 seed,
                                 result,
                                 reference,
-                                worker=f"pool{worker_suffix}",
+                                worker=f"{worker_prefix}pool{worker_suffix}",
                                 faults_injected=(
                                     [kind.value]
                                     if self._fault_observed(kind, None, False)
@@ -755,6 +738,7 @@ class EnsembleExecutor:
                                 f"run exceeded {self.timeout_s}s in pool"
                             ),
                             attempts_used=1,
+                            worker_prefix=worker_prefix,
                             worker_suffix=worker_suffix,
                             faults=(
                                 [kind.value]
@@ -775,6 +759,7 @@ class EnsembleExecutor:
                             reference,
                             first_error=exc,
                             attempts_used=1,
+                            worker_prefix=worker_prefix,
                             worker_suffix=worker_suffix,
                             faults=(
                                 [kind.value]

@@ -17,9 +17,8 @@ stack:
 
 Both are frozen: a request enqueued into the serving runtime must not
 be mutable while worker processes and telemetry streams still refer to
-it.  Legacy positional/keyword forms of the old APIs are mapped onto
-these types by one-release deprecation shims (see
-``docs/serving.md``).
+it.  (The pre-1.1 positional/keyword forms of the old APIs were
+shimmed for one release and removed in 1.2; see ``docs/serving.md``.)
 """
 
 from __future__ import annotations

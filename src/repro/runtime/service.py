@@ -201,10 +201,21 @@ class AnnealingService:
     started on.
     """
 
-    def __init__(self, options: Optional[EnsembleOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[EnsembleOptions] = None,
+        *,
+        name: str = "",
+    ) -> None:
+        if name and not name.replace("-", "").replace("_", "").isalnum():
+            raise AnnealerError(
+                f"service name must be alphanumeric/-/_, got {name!r}"
+            )
         self.options = options if options is not None else EnsembleOptions()
+        self.name = name
         self._jobs: Dict[str, Job] = {}
         self._active: Set["asyncio.Future[None]"] = set()
+        self._inflight = 0
         self._counter = itertools.count(1)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._admission: Optional[asyncio.Semaphore] = None
@@ -231,6 +242,22 @@ class AnnealingService:
     def pool_rebuilds(self) -> int:
         """Shared-pool rebuilds performed by self-healing so far."""
         return self._pool_rebuilds
+
+    @property
+    def inflight_jobs(self) -> int:
+        """Jobs admitted and not yet settled (queued or running)."""
+        return self._inflight
+
+    @property
+    def at_capacity(self) -> bool:
+        """True when another :meth:`submit` would have to wait.
+
+        The non-blocking view of admission control: front-ends that
+        must *reject* rather than queue (the gateway's 429 path) check
+        this before submitting instead of blocking on the admission
+        semaphore.
+        """
+        return self._inflight >= self.options.max_pending_jobs
 
     async def start(self) -> None:
         """Bind to the running loop and build the shared fabric.
@@ -261,13 +288,21 @@ class AnnealingService:
                 self._pool = None
         self._started = True
 
-    async def submit(self, request: SolveRequest) -> Job:
+    async def submit(
+        self, request: SolveRequest, *, job_id: Optional[str] = None
+    ) -> Job:
         """Admit one request; returns its :class:`Job` handle.
 
         Applies backpressure: when ``max_pending_jobs`` jobs are
         already admitted and unfinished, this awaits until a slot
         frees.  Raises :class:`AnnealerError` once the service is shut
         down.
+
+        ``job_id`` overrides the generated ``<tag>-NNNN`` id; a
+        front-end that owns the id space (the gateway router names
+        jobs before fanning them to shards) passes it so the id in
+        each record's ``worker`` field matches the id it handed to the
+        client.  Duplicate ids are rejected.
         """
         if not isinstance(request, SolveRequest):
             raise AnnealerError(
@@ -283,8 +318,14 @@ class AnnealingService:
         if self._closed:  # shut down while we waited for admission
             self._admission.release()
             raise AnnealerError("service is shut down; no new jobs accepted")
-        label = request.tag or "job"
-        job = Job(f"{label}-{next(self._counter):04d}", request)
+        if job_id is None:
+            label = request.tag or "job"
+            job_id = f"{label}-{next(self._counter):04d}"
+        if job_id in self._jobs:
+            self._admission.release()
+            raise AnnealerError(f"duplicate job id {job_id!r}")
+        job = Job(job_id, request)
+        self._inflight += 1
         self._jobs[job.job_id] = job
         fut = self._loop.run_in_executor(self._job_threads, self._run_job, job)
         self._active.add(fut)
@@ -293,6 +334,7 @@ class AnnealingService:
 
     def _on_job_settled(self, fut: "asyncio.Future[None]") -> None:
         self._active.discard(fut)
+        self._inflight = max(0, self._inflight - 1)
         if self._admission is not None:
             self._admission.release()
         if not fut.cancelled():
@@ -390,6 +432,7 @@ class AnnealingService:
             reference=reference,
             on_run_complete=self._record_poster(job),
             pool=self._pool,
+            worker_prefix=f"{self.name}/" if self.name else "",
             worker_suffix=f"@{job.job_id}",
             cancel=job._cancel_event,
             breaker=breaker,

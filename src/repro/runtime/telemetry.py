@@ -97,8 +97,11 @@ class RunTelemetry:
         solved in-process (serial path or retry fallback).  The
         serving runtime (:mod:`repro.runtime.service`) threads the job
         id through as a suffix — ``"pool@job-0001"`` — so records from
-        jobs multiplexed onto one shared pool stay attributable; parse
-        it back with :attr:`job_id`.
+        jobs multiplexed onto one shared pool stay attributable; a
+        *named* service (a gateway shard) additionally prepends its
+        backend segment — ``"shard0/pool@job-0001"`` — so records
+        from multi-backend dispatch stay attributable too.  Parse the
+        pieces back with :attr:`job_id` and :attr:`backend`.
     error:
         Repr of the terminal failure, empty on success.
     """
@@ -190,6 +193,17 @@ class RunTelemetry:
         """
         _, sep, job = self.worker.partition("@")
         return job if sep else ""
+
+    @property
+    def backend(self) -> str:
+        """Backend segment of ``worker`` (``"shard0"`` of
+        ``"shard0/pool@job-0001"``).
+
+        Empty for records produced outside a named backend (a plain
+        service or a direct executor run).
+        """
+        head, sep, _ = self.worker.partition("/")
+        return head if sep else ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict view."""

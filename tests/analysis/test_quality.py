@@ -54,7 +54,7 @@ class TestSummarize:
     def test_bounds_property(self, values):
         s = summarize(values)
         tol = 1e-9 * max(1.0, abs(s.maximum))  # quantile-interp ulp slack
-        assert s.minimum <= s.mean <= s.maximum + tol
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
         assert s.minimum - tol <= s.ci_low <= s.ci_high <= s.maximum + tol
 
 

@@ -115,41 +115,24 @@ class TestSolveRequestForm:
             solve_ensemble(request, options=EnsembleOptions())
 
 
-class TestDeprecationShim:
-    def test_legacy_tuning_kwargs_warn(self, instance):
-        with pytest.warns(DeprecationWarning, match="EnsembleOptions"):
-            out = solve_ensemble(instance, [41, 42], max_workers=1)
-        assert out.n_runs == 2
+class TestRemovedLegacyForms:
+    """The pre-1.1 call forms were shimmed for one release (1.1) and
+    removed in 1.2: they now fail loudly as plain TypeErrors."""
 
-    def test_legacy_positional_config_warns_and_matches(self, instance):
+    def test_legacy_tuning_kwargs_removed(self, instance):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            solve_ensemble(instance, [41, 42], max_workers=1)
+
+    def test_legacy_positional_config_removed(self, instance):
         cfg = AnnealerConfig(seed=5)
-        with pytest.warns(DeprecationWarning):
-            legacy = solve_ensemble(instance, [43, 44], cfg)
-        new = solve_ensemble(instance, [43, 44], config=cfg)
-        assert [r.length for r in legacy.results] == [
-            r.length for r in new.results
-        ]
-        assert legacy.ratio_stats.mean == new.ratio_stats.mean
-
-    def test_legacy_and_options_together_rejected(self, instance):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(AnnealerError, match="not both"):
-                solve_ensemble(
-                    instance, [1], max_workers=2,
-                    options=EnsembleOptions(),
-                )
+        with pytest.raises(TypeError, match="positional"):
+            solve_ensemble(instance, [43, 44], cfg)
 
     def test_unknown_kwarg_rejected(self, instance):
         with pytest.raises(TypeError, match="unexpected keyword"):
             solve_ensemble(instance, [1], workers=2)
 
-    def test_double_config_rejected(self, instance):
-        cfg = AnnealerConfig()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                solve_ensemble(instance, [1], cfg, config=cfg)
-
-    def test_new_form_does_not_warn(self, instance, recwarn):
+    def test_canonical_form_does_not_warn(self, instance):
         import warnings
 
         with warnings.catch_warnings():

@@ -1,0 +1,69 @@
+"""Async test support for the gateway suite.
+
+Native ``async def`` tests run here regardless of whether an asyncio
+pytest plugin is installed (same shim as ``tests/runtime/conftest.py``:
+each async test executes on a fresh event loop via ``asyncio.run``).
+Also provides the fast shared fixtures of the gateway suite: a tiny
+instance, a short annealing schedule, and a request factory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any, Optional, Sequence
+
+import pytest
+
+from repro.annealer.config import AnnealerConfig
+from repro.ising.schedule import VddSchedule
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.tsp.generators import random_uniform
+from repro.tsp.instance import TSPInstance
+
+
+def pytest_pyfunc_call(pyfuncitem: Any) -> Any:
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None  # regular test: let pytest handle it
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(func(**kwargs))
+    return True
+
+
+@pytest.fixture
+def instance() -> TSPInstance:
+    """Small instance: gateway tests exercise plumbing, not quality."""
+    return random_uniform(16, seed=7)
+
+
+@pytest.fixture
+def fast_config() -> AnnealerConfig:
+    """A short schedule so each seed solves in tens of milliseconds."""
+    return AnnealerConfig(
+        schedule=VddSchedule(total_iterations=40, iterations_per_step=10)
+    )
+
+
+@pytest.fixture
+def make_request(instance, fast_config):
+    """Factory for gateway-sized :class:`SolveRequest` objects."""
+
+    def build(
+        seeds: Sequence[int] = (1, 2, 3),
+        *,
+        options: Optional[EnsembleOptions] = None,
+        tag: str = "t",
+    ) -> SolveRequest:
+        return SolveRequest.build(
+            instance,
+            seeds,
+            config=fast_config,
+            options=options or EnsembleOptions(),
+            tag=tag,
+        )
+
+    return build

@@ -1,0 +1,303 @@
+"""Wire-protocol round-trips and strict validation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.annealer.config import AnnealerConfig, NoiseSource, NoiseTarget
+from repro.gateway.protocol import (
+    REQUEST_SCHEMA,
+    ProtocolError,
+    decode_fault_plan,
+    decode_options,
+    decode_solve_request,
+    encode_fault_plan,
+    encode_options,
+    encode_solve_request,
+    error_payload,
+    job_payload,
+    parse_telemetry_frame,
+)
+from repro.ising.schedule import VddSchedule
+from repro.runtime.faults import FaultPlan
+from repro.runtime.options import EnsembleOptions, SolveRequest
+from repro.runtime.telemetry import RunTelemetry
+from repro.sram.cell import SRAMCellParams
+
+
+def wire_round_trip(request: SolveRequest) -> SolveRequest:
+    """Encode → JSON text → decode, exactly like the HTTP path."""
+    return decode_solve_request(json.loads(json.dumps(encode_solve_request(request))))
+
+
+class TestSolveRequestRoundTrip:
+    def test_basic_fields_lossless(self, make_request):
+        request = make_request((5, 9, 13), tag="rt")
+        back = wire_round_trip(request)
+        assert back.seeds == (5, 9, 13)
+        assert back.tag == "rt"
+        assert back.reference is None
+        np.testing.assert_array_equal(
+            back.instance.coords, request.instance.coords
+        )
+        assert back.instance.edge_weight_type == (
+            request.instance.edge_weight_type
+        )
+
+    def test_config_lossless(self, instance):
+        config = AnnealerConfig(
+            strategy="1/2",
+            schedule=VddSchedule(
+                total_iterations=100, iterations_per_step=20
+            ),
+            top_size=6,
+            cell_params=SRAMCellParams(sigma_v_mv=24.0),
+            noise_source=NoiseSource.LFSR,
+            noise_target=NoiseTarget.SPINS,
+            parallel_update=False,
+            seed=3,
+            record_trace=True,
+            trace_every=5,
+        )
+        request = SolveRequest.build(instance, [1], config=config)
+        back = wire_round_trip(request)
+        assert back.config is not None
+        assert back.config.strategy.name == "1/2"
+        assert back.config.schedule == config.schedule
+        assert back.config.cell_params == config.cell_params
+        assert back.config.noise_source is NoiseSource.LFSR
+        assert back.config.noise_target is NoiseTarget.SPINS
+        assert back.config.parallel_update is False
+        assert back.config.top_size == 6
+        assert back.config.record_trace is True
+        assert back.config.trace_every == 5
+
+    def test_options_and_fault_plan_lossless(self, instance):
+        options = EnsembleOptions(
+            max_workers=3,
+            timeout_s=12.5,
+            max_retries=2,
+            chunk_size=4,
+            strict=True,
+            max_inflight_per_job=5,
+            max_pending_jobs=7,
+            backoff_base_s=0.0,
+            backoff_cap_s=0.5,
+            self_heal_budget=1,
+            breaker_threshold=None,
+            fault_plan=FaultPlan(
+                seed=42,
+                crash_rate=0.2,
+                hang_rate=0.1,
+                corrupt_rate=0.05,
+                broken_pool_rate=0.01,
+                hang_s=1.5,
+                max_faults_per_run=2,
+            ),
+        )
+        request = SolveRequest.build(instance, [1, 2], options=options)
+        back = wire_round_trip(request)
+        assert back.options == options  # frozen dataclasses: deep equality
+
+    def test_reference_survives(self, instance):
+        request = SolveRequest.build(instance, [1], reference=123.5)
+        assert wire_round_trip(request).reference == 123.5
+
+    def test_solved_identically_after_round_trip(self, make_request):
+        # The acceptance bar: a request that crossed the wire solves
+        # bit-identically to the original object.
+        from repro.annealer.batch import solve_ensemble
+
+        request = make_request((21, 22))
+        direct = solve_ensemble(request)
+        wired = solve_ensemble(wire_round_trip(request))
+        assert [r.length for r in wired.results] == [
+            r.length for r in direct.results
+        ]
+        assert [list(r.tour) for r in wired.results] == [
+            list(r.tour) for r in direct.results
+        ]
+
+
+class TestStrictValidation:
+    def test_wrong_schema_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["schema"] = "repro.solve_request/v9"
+        with pytest.raises(ProtocolError, match="expected schema"):
+            decode_solve_request(wire)
+
+    def test_missing_schema_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        del wire["schema"]
+        with pytest.raises(ProtocolError, match="expected schema"):
+            decode_solve_request(wire)
+
+    def test_unknown_top_level_field_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["priority"] = "high"
+        with pytest.raises(ProtocolError, match="unknown fields.*priority"):
+            decode_solve_request(wire)
+
+    def test_unknown_options_field_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["options"]["n_workers"] = 4
+        with pytest.raises(ProtocolError, match="unknown fields.*n_workers"):
+            decode_solve_request(wire)
+
+    def test_unknown_fault_plan_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            decode_fault_plan({"seed": 1, "explode_rate": 1.0})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            decode_solve_request([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "seeds", [None, [], [1, "2"], [1, 2.5], [True, False], "12"]
+    )
+    def test_bad_seeds_rejected(self, make_request, seeds):
+        wire = encode_solve_request(make_request())
+        wire["seeds"] = seeds
+        with pytest.raises(ProtocolError, match="seeds"):
+            decode_solve_request(wire)
+
+    def test_duplicate_seeds_rejected_as_protocol_error(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["seeds"] = [1, 1]
+        with pytest.raises(ProtocolError, match="duplicate seeds"):
+            decode_solve_request(wire)
+
+    def test_missing_instance_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        del wire["instance"]
+        with pytest.raises(ProtocolError, match="missing 'instance'"):
+            decode_solve_request(wire)
+
+    def test_bad_coords_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["instance"]["coords"] = [["a", "b"]]
+        with pytest.raises(ProtocolError, match="coords"):
+            decode_solve_request(wire)
+
+    def test_bad_edge_weight_type_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["instance"]["edge_weight_type"] = "MANHATTAN"
+        with pytest.raises(ProtocolError, match="invalid instance"):
+            decode_solve_request(wire)
+
+    def test_bad_option_types_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            decode_options({"max_workers": "four"})
+        with pytest.raises(ProtocolError, match="must be a boolean"):
+            decode_options({"strict": 1})
+        with pytest.raises(ProtocolError, match="must be a number or null"):
+            decode_options({"timeout_s": "soon"})
+
+    def test_out_of_range_options_rejected(self):
+        # Domain validation (EnsembleOptions.__post_init__) surfaces as
+        # a protocol error, not a 500.
+        with pytest.raises(ProtocolError, match="invalid options"):
+            decode_options({"max_workers": 0})
+
+    def test_bad_strategy_label_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["config"]["strategy"] = "5/6/7/8/9/10/11/12"
+        with pytest.raises(ProtocolError, match="invalid config"):
+            decode_solve_request(wire)
+
+
+class TestFaultPlanCodec:
+    def test_none_passes_through(self):
+        assert encode_fault_plan(None) is None
+        assert decode_fault_plan(None) is None
+
+    def test_defaults_fill_missing_fields(self):
+        plan = decode_fault_plan({"seed": 9, "crash_rate": 0.3})
+        assert plan == FaultPlan(seed=9, crash_rate=0.3)
+
+    def test_options_round_trip_without_plan(self):
+        options = EnsembleOptions(max_workers=2)
+        assert decode_options(encode_options(options)) == options
+
+
+class TestTelemetryFrames:
+    def frame(self, **overrides):
+        record = RunTelemetry(
+            seed=4,
+            wall_time_s=1.25,
+            length=101.5,
+            optimal_ratio=1.05,
+            level_times_s=[0.5, 0.75],
+            trials_proposed=100,
+            trials_accepted=10,
+            retries=1,
+            worker="shard1/pool@job-0007",
+            faults_injected=["crash"],
+            backoff_s=0.05,
+            first_error="AnnealerError('injected')",
+        )
+        payload = json.loads(record.to_json_line())
+        payload.update(overrides)
+        return json.dumps(payload)
+
+    def test_frame_round_trip_lossless(self):
+        line = self.frame()
+        back = parse_telemetry_frame(line)
+        assert back == parse_telemetry_frame(back.to_json_line())
+        assert back.seed == 4
+        assert back.worker == "shard1/pool@job-0007"
+        assert back.backend == "shard1"
+        assert back.job_id == "job-0007"
+        assert back.faults_injected == ["crash"]
+
+    def test_unknown_fields_tolerated(self):
+        # A newer server may stream counters this client predates.
+        line = self.frame(gpu_joules=3.5, queue_wait_s=0.1)
+        back = parse_telemetry_frame(line)
+        assert back.seed == 4 and back.length == 101.5
+
+    def test_schema_version_within_v1_accepted(self):
+        line = self.frame(schema="repro.run_telemetry/v1.3")
+        assert parse_telemetry_frame(line).seed == 4
+
+    def test_foreign_schema_rejected(self):
+        line = self.frame(schema="repro.job/v1")
+        with pytest.raises(ProtocolError, match="run_telemetry"):
+            parse_telemetry_frame(line)
+
+    def test_missing_schema_rejected(self):
+        payload = json.loads(self.frame())
+        del payload["schema"]
+        with pytest.raises(ProtocolError, match="run_telemetry"):
+            parse_telemetry_frame(json.dumps(payload))
+
+    def test_missing_seed_rejected(self):
+        payload = json.loads(self.frame())
+        del payload["seed"]
+        with pytest.raises(ProtocolError, match="no 'seed'"):
+            parse_telemetry_frame(json.dumps(payload))
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            parse_telemetry_frame("event: run")
+
+
+class TestResponsePayloads:
+    def test_error_payload_versioned(self):
+        payload = error_payload("overloaded", "busy", retry=True)
+        assert payload["schema"] == "repro.error/v1"
+        assert payload["error"] == "overloaded"
+        assert payload["retry"] is True
+
+    def test_job_payload_versioned(self):
+        payload = job_payload("job-0001", "pending", "shard0", seeds=3)
+        assert payload["schema"] == "repro.job/v1"
+        assert payload["job_id"] == "job-0001"
+        assert payload["shard"] == "shard0"
+        assert payload["seeds"] == 3
+
+    def test_request_schema_constant(self, make_request):
+        assert encode_solve_request(make_request())["schema"] == REQUEST_SCHEMA

@@ -1,0 +1,41 @@
+"""RL003 positive fixture: gateway handles crossing the pool boundary."""
+
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+POOL = ProcessPoolExecutor()
+
+
+def submit_with_connection(pool, request):
+    conn = socket.socket()
+    # a live client socket captured into the pool payload
+    return pool.submit(_solve, request, conn)
+
+
+async def proxy_through_pool(loop, payload):
+    sock = socket.socket()
+    # a socket riding run_in_executor into a real (non-None) executor
+    return await loop.run_in_executor(POOL, _send, sock, payload)
+
+
+def stream_response(pool, job):
+    writer = open("response.sse", "a")
+    # an open SSE response handle shipped as a pool payload
+    return pool.submit(_stream, job, writer)
+
+
+def handle_request(request, conn=socket.socket()):
+    # a socket default argument is shared unpicklable state
+    return request, conn
+
+
+def _solve(request, conn):
+    return request
+
+
+def _send(sock, payload):
+    sock.sendall(payload)
+
+
+def _stream(job, writer):
+    writer.write(job)

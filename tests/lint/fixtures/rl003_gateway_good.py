@@ -1,0 +1,36 @@
+"""RL003 negative fixture: the gateway keeps handles on the loop side."""
+
+import json
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+POOL = ProcessPoolExecutor()
+
+
+def submit_plain_data(pool, request):
+    # only plain request data crosses; the worker rebuilds what it needs
+    return pool.submit(_solve, request.coords, tuple(request.seeds))
+
+
+async def write_response(loop, writer, payload):
+    # socket work stays on the default thread pool (None): no pickling
+    return await loop.run_in_executor(None, writer.write, payload)
+
+
+def connection_per_call(host, port):
+    # a socket built, used, and closed on one side of the boundary
+    conn = socket.create_connection((host, port))
+    try:
+        return conn.recv(1)
+    finally:
+        conn.close()
+
+
+def persist_result(path, result):
+    # handles opened per use, never passed across the boundary
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(result, out)
+
+
+def _solve(coords, seeds):
+    return coords, seeds

@@ -37,6 +37,7 @@ def test_all_seven_rules_registered():
         ("rl002_bad.py", "RL002", 5),
         ("rl003_bad.py", "RL003", 3),
         ("rl003_async_bad.py", "RL003", 4),
+        ("rl003_gateway_bad.py", "RL003", 4),
         ("rl004_bad.py", "RL004", 4),
         ("rl005_bad.py", "RL005", 2),
     ],
@@ -54,6 +55,7 @@ def test_positive_fixture_fails(fixture: str, code: str, count: int):
         "rl002_good.py",
         "rl003_good.py",
         "rl003_async_good.py",
+        "rl003_gateway_good.py",
         "rl004_good.py",
         "rl005_good.py",
         "rl006_good.py",

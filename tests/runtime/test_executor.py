@@ -379,28 +379,23 @@ class TestCancellation:
         assert len(seen) == 1  # first run finished, rest never dispatched
 
 
-class TestLegacyKwargsShim:
-    def test_legacy_kwargs_warn_and_map(self, instance):
-        with pytest.warns(DeprecationWarning, match="EnsembleOptions"):
-            runner = EnsembleExecutor(max_workers=2, timeout_s=30.0)
-        assert runner.options == EnsembleOptions(max_workers=2, timeout_s=30.0)
-        assert runner.max_workers == 2 and runner.timeout_s == 30.0
+class TestRemovedLegacyKwargs:
+    """The pre-1.1 ``EnsembleExecutor(max_workers=...)`` keyword form
+    was shimmed for one release (1.1) and removed in 1.2."""
 
-    def test_legacy_results_identical(self, instance):
-        with pytest.warns(DeprecationWarning):
-            legacy = EnsembleExecutor(max_workers=1)
-        results_legacy, _ = legacy.run(instance, [1, 2])
-        results_new, _ = EnsembleExecutor(
-            EnsembleOptions(max_workers=1)
-        ).run(instance, [1, 2])
-        assert [r.length for r in results_legacy] == [
-            r.length for r in results_new
-        ]
-
-    def test_options_plus_legacy_rejected(self):
-        with pytest.raises(AnnealerError, match="not both"):
-            EnsembleExecutor(EnsembleOptions(), max_workers=2)
+    def test_legacy_kwargs_removed(self, instance):
+        with pytest.raises(TypeError, match="unexpected"):
+            EnsembleExecutor(max_workers=2, timeout_s=30.0)
 
     def test_unknown_kwarg_rejected(self):
         with pytest.raises(TypeError, match="unexpected"):
             EnsembleExecutor(workers=2)
+
+    def test_canonical_form_does_not_warn(self, instance):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = EnsembleExecutor(EnsembleOptions(max_workers=1))
+        results, _ = runner.run(instance, [1, 2])
+        assert len(results) == 2

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.cim",
     "repro.annealer",
     "repro.runtime",
+    "repro.gateway",
     "repro.hardware",
     "repro.analysis",
     "repro.maxcut",
@@ -34,7 +35,7 @@ class TestPublicAPI:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_headline_workflow_importable_from_root(self):
         # The README quickstart must work from the root namespace alone.
@@ -77,6 +78,31 @@ class TestPublicAPI:
         assert "_solve_one" not in runtime.__all__
         assert "_solve_one_injected" not in runtime.__all__
 
+    def test_gateway_surface_pinned(self):
+        # The gateway's public surface is exactly this; the HTTP
+        # plumbing (_read_request, _send_json, _SSEAssembler) stays
+        # private.
+        import repro.gateway as gateway
+
+        assert sorted(gateway.__all__) == [
+            "AsyncGatewayClient",
+            "GatewayClient",
+            "GatewayHTTPError",
+            "GatewayJob",
+            "GatewayOverloadedError",
+            "GatewayServer",
+            "LeastInflightPolicy",
+            "ProtocolError",
+            "RoundRobinPolicy",
+            "RoutingPolicy",
+            "ShardRouter",
+            "UnknownJobError",
+            "decode_solve_request",
+            "encode_solve_request",
+            "parse_telemetry_frame",
+            "policy_from_name",
+        ]
+
     def test_serving_types_importable_from_root(self):
         from repro import (
             AnnealingService,
@@ -99,6 +125,7 @@ class TestPublicAPI:
             CIMError,
             ClusteringError,
             ConfigError,
+            GatewayError,
             HardwareModelError,
             IsingError,
             SRAMError,
@@ -114,5 +141,26 @@ class TestPublicAPI:
             HardwareModelError,
             AnnealerError,
             ConfigError,
+            GatewayError,
         ):
+            assert issubclass(exc, ReproError)
+
+    def test_gateway_errors_rooted(self):
+        # Wire-facing errors stay catchable both as gateway errors and
+        # at the library-wide root.
+        from repro.errors import GatewayError, ReproError
+        from repro.gateway import (
+            GatewayHTTPError,
+            GatewayOverloadedError,
+            ProtocolError,
+            UnknownJobError,
+        )
+
+        for exc in (
+            ProtocolError,
+            GatewayOverloadedError,
+            UnknownJobError,
+            GatewayHTTPError,
+        ):
+            assert issubclass(exc, GatewayError)
             assert issubclass(exc, ReproError)

@@ -25,6 +25,14 @@ hazards appear at the asyncio boundary, so the rule also covers:
 * a local name previously bound to an unpicklable constructor (a lock,
   an ``open()`` handle, …) passed as a pool-crossing payload argument —
   the capture fails in the worker exactly like a default would.
+
+With the HTTP gateway (:mod:`repro.gateway`) a third resource class
+appears at the same boundary: live connections.  A ``socket.socket()``
+(or anything bound to one) must never ride into a pool payload or a
+default — the worker cannot pickle an open file descriptor, and even
+if it could, two processes writing one HTTP response is wrong.  The
+gateway keeps sockets on the event-loop side and ships only plain
+request data to the shards.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ _UNPICKLABLE_CTORS = {
     "BoundedSemaphore",
     "Event",
     "Barrier",
+    "socket",
 }
 
 
@@ -173,9 +182,9 @@ class PoolPickleSafety(Rule):
     description = (
         "unpicklable state crossing the repro.runtime pool boundary "
         "(lambda/nested function/coroutine submitted to a pool or "
-        "run_in_executor, lock or open handle as a default or payload); "
-        "only module-level plain callables and plain data survive "
-        "pickling into workers"
+        "run_in_executor; lock, socket, or open handle as a default or "
+        "payload); only module-level plain callables and plain data "
+        "survive pickling into workers"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
