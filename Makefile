@@ -36,9 +36,11 @@ bench:
 bench-full:
 	REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
 
-# Refresh the machine-readable throughput artifacts:
-# BENCH_ensemble.json (one ensemble, serial vs pool) and
-# BENCH_service.json (AnnealingService, concurrent jobs, shared pool).
+# Append a run record to the machine-readable throughput logs:
+# BENCH_ensemble.json (one ensemble, serial vs pool vs batched),
+# BENCH_service.json (AnnealingService, concurrent jobs, shared pool)
+# and BENCH_gateway.json.  Each run appends a timestamped entry
+# (schema repro.bench_log/v1) so the perf trajectory accumulates.
 bench-json:
 	pytest benchmarks/test_ext_ensemble_throughput.py \
 		benchmarks/test_ext_service_throughput.py \

@@ -17,12 +17,22 @@ Every paper table/figure has one module here.  Conventions:
 
 from __future__ import annotations
 
+import json
 import os
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Any, Dict
 
 from repro.utils.tables import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema of the appended ``BENCH_*.json`` run logs: a perf trajectory
+#: ``{"schema": ..., "entries": [run, run, ...]}`` where each run
+#: record keeps its own payload schema tag.  ``make bench-json``
+#: *appends* to these artifacts so the trajectory accumulates across
+#: runs instead of being overwritten.
+BENCH_LOG_SCHEMA = "repro.bench_log/v1"
 
 
 def bench_scale(default: float = 0.1) -> float:
@@ -37,6 +47,50 @@ def bench_scale(default: float = 0.1) -> float:
 def bench_seed() -> int:
     """Seed shared by all benches (env-overridable)."""
     return int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+
+
+def append_bench_entry(
+    path: Path, entry: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Append one run record to a schema-tagged ``BENCH_*.json`` log.
+
+    A pre-existing legacy artifact (one bare run record at the top
+    level) is preserved as the log's first entry.  Each appended entry
+    is stamped with a ``recorded_at`` UTC timestamp so the perf
+    trajectory is plottable.  Returns the full log document.
+    """
+    log: Dict[str, Any] = {"schema": BENCH_LOG_SCHEMA, "entries": []}
+    if path.exists():
+        existing = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            isinstance(existing, dict)
+            and existing.get("schema") == BENCH_LOG_SCHEMA
+        ):
+            log["entries"] = list(existing.get("entries", []))
+        elif existing:  # legacy single-record artifact becomes entry 0
+            log["entries"] = [existing]
+    entry = dict(entry)
+    entry.setdefault(
+        "recorded_at", datetime.now(timezone.utc).isoformat()
+    )
+    log["entries"].append(entry)
+    path.write_text(json.dumps(log, indent=2) + "\n", encoding="utf-8")
+    return log
+
+
+def latest_bench_entry(path: Path) -> Dict[str, Any]:
+    """The most recent run record of a ``BENCH_*.json`` artifact.
+
+    Understands both the appended :data:`BENCH_LOG_SCHEMA` log and the
+    legacy single-record form (returned as-is).
+    """
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_LOG_SCHEMA:
+        entries = doc.get("entries", [])
+        if not entries:
+            raise ValueError(f"{path} has no bench entries")
+        return dict(entries[-1])
+    return doc
 
 
 def save_and_print(table: Table, name: str) -> str:

@@ -1,36 +1,44 @@
-"""Extension — ensemble runtime throughput (serial vs process pool).
+"""Extension — ensemble runtime throughput (serial vs pool vs batched).
 
 The ROADMAP north-star is a high-throughput solving service, and the
 multi-replica throughput of an annealer ensemble is the headline metric
 of related studies (TAXI, arXiv:2504.13294).  This bench drives
 :func:`repro.annealer.batch.solve_ensemble` over the same seed set
-serially and through the :class:`repro.runtime.EnsembleExecutor`
-process pool, asserts the two paths are bit-identical, and writes the
-machine-readable ``BENCH_ensemble.json`` artifact at the repo root —
-per-run telemetry (wall time, trials proposed/accepted, write-backs,
-chip MAC counters) plus the serial/parallel throughput comparison.
+serially, through the :class:`repro.runtime.EnsembleExecutor` process
+pool, and through the vectorised batched replica engine
+(``batch_size > 1``), asserts all paths are bit-identical, and appends
+a run record to the machine-readable ``BENCH_ensemble.json`` log at the
+repo root — per-run telemetry (wall time, trials proposed/accepted,
+write-backs, chip MAC counters) plus the throughput comparison.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from benchmarks._common import bench_scale, bench_seed, save_and_print
+from benchmarks._common import (
+    append_bench_entry,
+    bench_scale,
+    bench_seed,
+    latest_bench_entry,
+    save_and_print,
+)
 from repro.annealer import AnnealerConfig
 from repro.annealer.batch import solve_ensemble
 from repro.runtime.options import EnsembleOptions
 from repro.tsp.generators import random_clustered
 from repro.utils.tables import Table
 
-#: Machine-readable artifact refreshed by ``make bench-json``.
+#: Machine-readable run log appended to by ``make bench-json``.
 BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_ensemble.json"
 
-N_SEEDS = 8
+# 32 seeds: wide enough that the batched leg runs at its full default
+# replica width (a batch can never be wider than the seed set).
+N_SEEDS = 32
 
 
 def _workers() -> int:
@@ -39,6 +47,11 @@ def _workers() -> int:
     if raw:
         return max(2, int(raw))
     return max(2, min(4, os.cpu_count() or 1))
+
+
+def _batch() -> int:
+    """Replica batch width for the batched leg (env-overridable)."""
+    return max(2, int(os.environ.get("REPRO_BENCH_BATCH", "32")))
 
 
 @pytest.mark.benchmark(group="ext-ensemble-throughput")
@@ -50,6 +63,8 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
     cfg = AnnealerConfig()
     workers = _workers()
 
+    batch = _batch()
+
     serial = solve_ensemble(
         inst, seeds, config=cfg, options=EnsembleOptions(max_workers=1)
     )
@@ -59,17 +74,22 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
         return solve_ensemble(inst, seeds, config=cfg, options=pool_options)
 
     parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
-
-    # Determinism: the pool changes wall-clock, never results.
-    assert [r.length for r in parallel.results] == [
-        r.length for r in serial.results
-    ]
-    assert all(
-        np.array_equal(a.tour, b.tour)
-        for a, b in zip(parallel.results, serial.results)
+    batched = solve_ensemble(
+        inst, seeds, config=cfg, options=EnsembleOptions(batch_size=batch)
     )
 
-    st, pt = serial.telemetry, parallel.telemetry
+    # Determinism: neither the pool nor the batched replica engine may
+    # change results — only wall-clock.
+    for variant in (parallel, batched):
+        assert [r.length for r in variant.results] == [
+            r.length for r in serial.results
+        ]
+        assert all(
+            np.array_equal(a.tour, b.tour)
+            for a, b in zip(variant.results, serial.results)
+        )
+
+    st, pt, bt = serial.telemetry, parallel.telemetry, batched.telemetry
     table = Table(
         f"Ensemble throughput — {N_SEEDS} seeds, N = {n} "
         f"(host cores: {os.cpu_count()})",
@@ -84,6 +104,11 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
          f"{pt.throughput_runs_per_s:.2f}",
          f"{st.wall_time_s / max(pt.wall_time_s, 1e-9):.2f}x"],
     )
+    table.add_row(
+        [f"batched({batch})", 1, f"{bt.wall_time_s:.2f}",
+         f"{bt.throughput_runs_per_s:.2f}",
+         f"{st.wall_time_s / max(bt.wall_time_s, 1e-9):.2f}x"],
+    )
     table.add_note("bit-identical results; speedup needs a multi-core host")
     save_and_print(table, "ext_ensemble_throughput")
 
@@ -96,16 +121,18 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
         "scale": scale,
         "serial": st.to_dict(),
         "parallel": pt.to_dict(),
+        "batched": bt.to_dict(),
+        "batch_size": batch,
         "speedup": st.wall_time_s / max(pt.wall_time_s, 1e-9),
+        "speedup_batched": st.wall_time_s / max(bt.wall_time_s, 1e-9),
     }
-    BENCH_JSON_PATH.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"[saved to {BENCH_JSON_PATH}]")
+    append_bench_entry(BENCH_JSON_PATH, payload)
+    print(f"[appended to {BENCH_JSON_PATH}]")
 
-    # The artifact must be valid, complete, per-run telemetry.
-    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
-    for leg in ("serial", "parallel"):
+    # The artifact's newest entry must be valid, complete, per-run
+    # telemetry.
+    reread = latest_bench_entry(BENCH_JSON_PATH)
+    for leg in ("serial", "parallel", "batched"):
         runs = reread[leg]["runs"]
         assert len(runs) == N_SEEDS
         for run in runs:
@@ -115,3 +142,4 @@ def test_ensemble_throughput_serial_vs_parallel(benchmark):
             assert run["writeback_events"] > 0
             assert run["mac_cycles"] > 0
     assert pt.total_trials_proposed == st.total_trials_proposed
+    assert bt.total_trials_proposed == st.total_trials_proposed

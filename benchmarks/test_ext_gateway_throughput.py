@@ -17,7 +17,6 @@ machine-readable ``BENCH_gateway.json`` artifact at the repo root
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import time
 from pathlib import Path
@@ -25,7 +24,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks._common import bench_scale, bench_seed, save_and_print
+from benchmarks._common import (
+    append_bench_entry,
+    bench_scale,
+    bench_seed,
+    latest_bench_entry,
+    save_and_print,
+)
 from repro.annealer import AnnealerConfig
 from repro.annealer.batch import solve_ensemble
 from repro.gateway import AsyncGatewayClient, GatewayServer, ShardRouter
@@ -33,7 +38,7 @@ from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.tsp.generators import random_clustered
 from repro.utils.tables import Table
 
-#: Machine-readable artifact refreshed by ``make bench-json``.
+#: Machine-readable run log appended to by ``make bench-json``.
 BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_gateway.json"
 
 N_SHARDS = 2
@@ -155,13 +160,12 @@ def test_gateway_throughput_http_sse(benchmark):
             for r in results
         ],
     }
-    BENCH_JSON_PATH.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"[saved to {BENCH_JSON_PATH}]")
+    append_bench_entry(BENCH_JSON_PATH, payload)
+    print(f"[appended to {BENCH_JSON_PATH}]")
 
-    # The artifact must be valid, complete, and show real shard spread.
-    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    # The artifact's newest entry must be valid, complete, and show
+    # real shard spread.
+    reread = latest_bench_entry(BENCH_JSON_PATH)
     assert len(reread["jobs"]) == N_JOBS
     assert reread["first_frame_s"] is not None
     assert reread["first_frame_s"] < reread["wall_time_s"]

@@ -14,7 +14,6 @@ root (refreshed by ``make bench-json``).
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import time
 from pathlib import Path
@@ -22,7 +21,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks._common import bench_scale, bench_seed, save_and_print
+from benchmarks._common import (
+    append_bench_entry,
+    bench_scale,
+    bench_seed,
+    latest_bench_entry,
+    save_and_print,
+)
 from repro.annealer import AnnealerConfig
 from repro.annealer.batch import solve_ensemble
 from repro.runtime.options import EnsembleOptions, SolveRequest
@@ -30,7 +35,7 @@ from repro.runtime.service import AnnealingService
 from repro.tsp.generators import random_clustered
 from repro.utils.tables import Table
 
-#: Machine-readable artifact refreshed by ``make bench-json``.
+#: Machine-readable run log appended to by ``make bench-json``.
 BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_service.json"
 
 N_JOBS = 3
@@ -128,13 +133,12 @@ def test_service_throughput_concurrent_jobs(benchmark):
         "first_record_s": first_record_s,
         "jobs": [r.telemetry.to_dict() for r in results],
     }
-    BENCH_JSON_PATH.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"[saved to {BENCH_JSON_PATH}]")
+    append_bench_entry(BENCH_JSON_PATH, payload)
+    print(f"[appended to {BENCH_JSON_PATH}]")
 
-    # The artifact must be valid, complete, per-run telemetry.
-    reread = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    # The artifact's newest entry must be valid, complete, per-run
+    # telemetry.
+    reread = latest_bench_entry(BENCH_JSON_PATH)
     assert len(reread["jobs"]) == N_JOBS
     assert reread["first_record_s"] is not None
     assert reread["first_record_s"] < reread["wall_time_s"]

@@ -17,6 +17,7 @@ by the integration tests).
 """
 
 from repro.annealer.batch import EnsembleResult, solve_ensemble
+from repro.annealer.batched import solve_batch
 from repro.annealer.config import AnnealerConfig, NoiseSource, NoiseTarget
 from repro.annealer.engine import ClusterLevelEngine
 from repro.annealer.hierarchical import ClusteredCIMAnnealer
@@ -34,4 +35,5 @@ __all__ = [
     "ConvergenceTrace",
     "EnsembleResult",
     "solve_ensemble",
+    "solve_batch",
 ]

@@ -104,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the ensemble (1 = serial)",
     )
     p_solve.add_argument(
+        "--batch-size", type=int, default=1, metavar="B",
+        help="seeds a worker anneals per dispatch via the batched "
+        "replica engine (1 = serial oracle; results are bit-identical "
+        "either way)",
+    )
+    p_solve.add_argument(
         "--telemetry-out", metavar="FILE",
         help="write per-run ensemble telemetry to FILE as JSON",
     )
@@ -200,6 +206,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock budget in seconds on the gateway side",
     )
     p_submit.add_argument(
+        "--batch-size", type=int, default=1, metavar="B",
+        help="replicas per vectorized batch on the gateway side "
+        "(default: 1, the serial bit-exactness oracle)",
+    )
+    p_submit.add_argument(
         "--stream", action="store_true",
         help="stream one telemetry frame per completed run over SSE",
     )
@@ -264,6 +275,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if (
         args.ensemble > 0
         or args.workers > 1
+        or args.batch_size > 1
         or args.telemetry_out
         or args.stream
         or args.chaos_seed is not None
@@ -352,6 +364,7 @@ def _solve_ensemble(
             max_inflight_per_job=args.max_inflight,
             timeout_s=args.timeout,
             fault_plan=plan,
+            batch_size=args.batch_size,
         ),
         tag="cli",
     )
@@ -453,7 +466,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         instance,
         seeds,
         config=cfg,
-        options=EnsembleOptions(timeout_s=args.timeout),
+        options=EnsembleOptions(
+            timeout_s=args.timeout, batch_size=args.batch_size
+        ),
         tag=args.tag,
     )
     client = GatewayClient(args.url)

@@ -306,6 +306,7 @@ _OPTIONS_FIELDS = frozenset(
         "self_heal_budget",
         "breaker_threshold",
         "fault_plan",
+        "batch_size",
     }
 )
 
@@ -359,6 +360,7 @@ def encode_options(options: EnsembleOptions) -> Dict[str, Any]:
         "self_heal_budget": options.self_heal_budget,
         "breaker_threshold": options.breaker_threshold,
         "fault_plan": encode_fault_plan(options.fault_plan),
+        "batch_size": options.batch_size,
     }
 
 
@@ -401,6 +403,9 @@ def decode_options(payload: Any) -> EnsembleOptions:
                 payload, "breaker_threshold", defaults.breaker_threshold
             ),
             fault_plan=decode_fault_plan(payload.get("fault_plan")),
+            batch_size=_get_int(
+                payload, "batch_size", defaults.batch_size
+            ),
         )
     except ProtocolError:
         raise

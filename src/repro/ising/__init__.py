@@ -14,6 +14,7 @@ Implements the paper's Sec. II background from scratch:
 * a software SA Ising solver used as the small-problem baseline.
 """
 
+from repro.ising.batched import batched_gibbs_sweep, replica_rngs
 from repro.ising.dense_annealer import DenseAnnealResult, anneal_dense_tsp
 from repro.ising.gibbs import chromatic_groups, gibbs_sweep
 from repro.ising.tempering import (
@@ -46,6 +47,8 @@ __all__ = [
     "PermutationState",
     "swap_delta_energy",
     "gibbs_sweep",
+    "batched_gibbs_sweep",
+    "replica_rngs",
     "chromatic_groups",
     "stable_sigmoid",
     "boltzmann_accept_probability",

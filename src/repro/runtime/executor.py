@@ -1,7 +1,10 @@
 """Process-pool ensemble executor.
 
 Fans :meth:`repro.annealer.hierarchical.ClusteredCIMAnnealer.solve`
-out across worker processes, one run per seed:
+out across worker processes, one run per seed (or, with
+``options.batch_size > 1``, one *batched* vectorised solve per group
+of seeds via :func:`repro.annealer.batched.solve_batch` — bit-identical
+results, one :class:`RunTelemetry` per seed either way):
 
 * **Deterministic ordering** — results come back keyed by seed and are
   reassembled in the caller's seed order, so the output is bit-identical
@@ -118,6 +121,20 @@ def _solve_one(
 
     cfg = replace(config, seed=int(seed))
     return ClusteredCIMAnnealer(cfg).solve(instance)
+
+
+def _solve_batch(
+    instance: TSPInstance, config: AnnealerConfig, seeds: List[int]
+) -> List[AnnealResult]:
+    """Worker entry point: one batched solve for a group of seeds.
+
+    Module-level (not a closure) so it pickles into pool workers; the
+    batched replica engine guarantees each returned result is
+    bit-identical to :func:`_solve_one` for the same seed.
+    """
+    from repro.annealer.batched import solve_batch
+
+    return solve_batch(instance, config, seeds)
 
 
 def _solve_one_injected(
@@ -360,17 +377,47 @@ class EnsembleExecutor:
 
         watch = Stopwatch()
         rebuilds = 0
+        # Batched dispatch is a pure throughput path: an active fault
+        # plan needs per-seed attempt accounting, so it pins batch=1.
+        batching = self.options.batch_size > 1 and self._plan is None
         if self.max_workers == 1 and pool is None:
-            by_seed, mode = self._run_serial(
+            if batching:
+                by_seed, mode = self._run_serial_batched(
+                    instance,
+                    ordered,
+                    config,
+                    reference,
+                    on_run_complete=on_run_complete,
+                    worker_prefix=worker_prefix,
+                    worker_suffix=worker_suffix,
+                    cancel=cancel,
+                    breaker=breaker,
+                )
+            else:
+                by_seed, mode = self._run_serial(
+                    instance,
+                    ordered,
+                    config,
+                    reference,
+                    on_run_complete=on_run_complete,
+                    worker_prefix=worker_prefix,
+                    worker_suffix=worker_suffix,
+                    cancel=cancel,
+                    breaker=breaker,
+                )
+        elif batching:
+            by_seed, mode, rebuilds = self._run_pool_batched(
                 instance,
                 ordered,
                 config,
                 reference,
                 on_run_complete=on_run_complete,
+                pool=pool,
                 worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
+                on_pool_broken=on_pool_broken,
             )
         else:
             by_seed, mode, rebuilds = self._run_pool(
@@ -545,6 +592,294 @@ class EnsembleExecutor:
             )
             self._emit(on_run_complete, by_seed[seed][1])
         return by_seed, mode
+
+    # -- batched dispatch ----------------------------------------------
+    def _batch_groups(self, seeds: List[int]) -> List[List[int]]:
+        """Slice the ordered seeds into ``batch_size`` worker claims."""
+        batch = self.options.batch_size
+        return [seeds[i : i + batch] for i in range(0, len(seeds), batch)]
+
+    def _settle_batch(
+        self,
+        instance: TSPInstance,
+        group: List[int],
+        results: List[AnnealResult],
+        config: AnnealerConfig,
+        reference: Optional[float],
+        worker: str,
+        *,
+        on_run_complete: Optional[RunCallback],
+        worker_prefix: str,
+        worker_suffix: str,
+        breaker: Optional[CircuitBreaker],
+    ) -> Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]]:
+        """Per-seed validation + telemetry for one batched solve.
+
+        One :class:`RunTelemetry` per seed, exactly like the unbatched
+        paths; a seed whose payload fails integrity validation is
+        retried through the ordinary serial path.
+        """
+        settled: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        for seed, result in zip(group, results):
+            try:
+                validate_result(instance, result)
+            except AnnealerError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — isolate worker faults
+                settled[seed] = self._attempt_serial(
+                    instance,
+                    seed,
+                    config,
+                    reference,
+                    first_error=exc,
+                    attempts_used=1,
+                    worker_prefix=worker_prefix,
+                    worker_suffix=worker_suffix,
+                    breaker=breaker,
+                )
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                settled[seed] = (
+                    result,
+                    RunTelemetry.from_result(
+                        seed,
+                        result,
+                        reference,
+                        worker=f"{worker_prefix}{worker}{worker_suffix}",
+                    ),
+                )
+            self._emit(on_run_complete, settled[seed][1])
+        return settled
+
+    def _run_serial_batched(
+        self,
+        instance: TSPInstance,
+        seeds: List[int],
+        config: AnnealerConfig,
+        reference: Optional[float],
+        mode: str = "serial",
+        *,
+        on_run_complete: Optional[RunCallback] = None,
+        worker_prefix: str = "",
+        worker_suffix: str = "",
+        cancel: Optional["Event"] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
+        """In-process batched loop: one ``solve_batch`` per seed group."""
+        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        done = 0
+        for group in self._batch_groups(seeds):
+            self._check_cancel(cancel, done, len(seeds))
+            for seed in group:
+                self._check_breaker(breaker, seed)
+            try:
+                results = _solve_batch(instance, config, group)
+            except AnnealerError:
+                raise  # configuration errors are not transient: fail loud
+            except Exception as exc:  # noqa: BLE001 — isolate worker faults
+                for seed in group:
+                    by_seed[seed] = self._attempt_serial(
+                        instance,
+                        seed,
+                        config,
+                        reference,
+                        first_error=exc,
+                        attempts_used=1,
+                        worker_prefix=worker_prefix,
+                        worker_suffix=worker_suffix,
+                        breaker=breaker,
+                    )
+                    self._emit(on_run_complete, by_seed[seed][1])
+            else:
+                by_seed.update(
+                    self._settle_batch(
+                        instance,
+                        group,
+                        results,
+                        config,
+                        reference,
+                        "serial",
+                        on_run_complete=on_run_complete,
+                        worker_prefix=worker_prefix,
+                        worker_suffix=worker_suffix,
+                        breaker=breaker,
+                    )
+                )
+            done += len(group)
+        return by_seed, mode
+
+    def _run_pool_batched(
+        self,
+        instance: TSPInstance,
+        seeds: List[int],
+        config: AnnealerConfig,
+        reference: Optional[float],
+        *,
+        on_run_complete: Optional[RunCallback] = None,
+        pool: Optional["Executor"] = None,
+        worker_prefix: str = "",
+        worker_suffix: str = "",
+        cancel: Optional["Event"] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        on_pool_broken: Optional[PoolHealer] = None,
+    ) -> Tuple[
+        Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str, int
+    ]:
+        """Pool dispatch where each worker claims a batch of seeds.
+
+        One future per seed group; a group whose future times out,
+        crashes, or is refused falls back to the ordinary per-seed
+        serial retry path, so failure isolation and telemetry framing
+        are unchanged — only the happy path is batched.  The per-run
+        ``timeout_s`` budget scales by the group size.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        supervisor = _PoolSupervisor(
+            pool,
+            max_workers=self.max_workers,
+            budget=self.options.self_heal_budget,
+            on_pool_broken=on_pool_broken,
+        )
+        if supervisor.owns_pool and not supervisor.build():
+            by_seed, mode = self._run_serial_batched(
+                instance,
+                seeds,
+                config,
+                reference,
+                mode="serial-fallback",
+                on_run_complete=on_run_complete,
+                worker_prefix=worker_prefix,
+                worker_suffix=worker_suffix,
+                cancel=cancel,
+                breaker=breaker,
+            )
+            return by_seed, mode, supervisor.rebuilds
+
+        groups = self._batch_groups(seeds)
+        chunk = self.chunk_size or max(1, 2 * self.max_workers)
+        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        degraded = False
+        done = 0
+
+        def run_group_serially(group: List[int]) -> None:
+            nonlocal done
+            for seed in group:
+                self._check_cancel(cancel, done, len(seeds))
+                self._check_breaker(breaker, seed)
+                by_seed[seed] = self._attempt_serial(
+                    instance,
+                    seed,
+                    config,
+                    reference,
+                    worker_prefix=worker_prefix,
+                    worker_suffix=worker_suffix,
+                    breaker=breaker,
+                )
+                self._emit(on_run_complete, by_seed[seed][1])
+                done += 1
+
+        def fail_group(group: List[int], exc: BaseException) -> None:
+            nonlocal done
+            for seed in group:
+                by_seed[seed] = self._attempt_serial(
+                    instance,
+                    seed,
+                    config,
+                    reference,
+                    first_error=exc,
+                    attempts_used=1,
+                    worker_prefix=worker_prefix,
+                    worker_suffix=worker_suffix,
+                    breaker=breaker,
+                )
+                self._emit(on_run_complete, by_seed[seed][1])
+                done += 1
+
+        try:
+            for lo in range(0, len(groups), chunk):
+                self._check_cancel(cancel, done, len(seeds))
+                wave = groups[lo : lo + chunk]
+                if degraded:
+                    for group in wave:
+                        run_group_serially(group)
+                    continue
+                wave_pool = supervisor.pool
+                assert wave_pool is not None
+                futures: Dict[int, "Future[List[AnnealResult]]"] = {}
+                try:
+                    for gi, group in enumerate(wave):
+                        futures[gi] = wave_pool.submit(
+                            _solve_batch, instance, config, list(group)
+                        )
+                    refused = False
+                # A borrowed pool can be shut down or broken by a
+                # sibling job mid-flight; heal or degrade, then finish
+                # the wave serially (already-submitted futures are
+                # abandoned: reruns are deterministic per seed).
+                except Exception:  # repro-lint: ignore[RL005]
+                    refused = True
+                if refused:
+                    if not supervisor.heal():
+                        degraded = True
+                    for group in wave:
+                        run_group_serially(group)
+                    continue
+                pool_broke = False
+                for gi, fut in futures.items():
+                    group = wave[gi]
+                    for seed in group:
+                        self._check_breaker(breaker, seed)
+                    budget = (
+                        None
+                        if self.timeout_s is None
+                        else self.timeout_s * len(group)
+                    )
+                    try:
+                        results = fut.result(timeout=budget)
+                    except FuturesTimeout:
+                        hung = not fut.cancel()
+                        if hung:
+                            supervisor.note_hung(fut)
+                        fail_group(
+                            group,
+                            TimeoutError(
+                                f"batch of {len(group)} runs exceeded "
+                                f"{budget}s in pool"
+                            ),
+                        )
+                        continue
+                    except AnnealerError:
+                        raise
+                    except Exception as exc:  # worker crash / broken pool
+                        if isinstance(exc, BrokenProcessPool):
+                            pool_broke = True
+                        fail_group(group, exc)
+                        continue
+                    by_seed.update(
+                        self._settle_batch(
+                            instance,
+                            group,
+                            results,
+                            config,
+                            reference,
+                            "pool",
+                            on_run_complete=on_run_complete,
+                            worker_prefix=worker_prefix,
+                            worker_suffix=worker_suffix,
+                            breaker=breaker,
+                        )
+                    )
+                    done += len(group)
+                if pool_broke or supervisor.starved():
+                    if not supervisor.heal():
+                        degraded = True
+        finally:
+            supervisor.shutdown()
+        mode = "serial-fallback" if degraded else "parallel"
+        return by_seed, mode, supervisor.rebuilds
 
     # ------------------------------------------------------------------
     def _submit_wave(

@@ -85,6 +85,16 @@ class EnsembleOptions:
         FaultPlan`): injects worker crash / hang / corrupted-result /
         broken-pool faults at seeded per-attempt probabilities.
         ``None`` (default) injects nothing.
+    batch_size:
+        Seeds a worker claims and anneals per dispatch via the batched
+        replica engine (:func:`repro.annealer.batched.solve_batch`).
+        ``1`` (default) keeps the serial path — the bit-exactness
+        oracle.  Batching changes throughput only: every replica's
+        result and telemetry counters are bit-identical to its serial
+        run, one ``RunTelemetry`` is still emitted per seed, and
+        configurations the batched kernel cannot represent exactly
+        (LFSR/Metropolis ablations, spin-noise targets, trace
+        recording, active fault plans) transparently run serially.
     """
 
     max_workers: int = 1
@@ -99,8 +109,13 @@ class EnsembleOptions:
     self_heal_budget: int = 2
     breaker_threshold: Optional[int] = 8
     fault_plan: Optional[FaultPlan] = None
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise AnnealerError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
         if self.max_workers < 1:
             raise AnnealerError(
                 f"max_workers must be >= 1, got {self.max_workers}"

@@ -486,6 +486,7 @@ class AnnealingService:
             self_heal_budget=requested.self_heal_budget,
             breaker_threshold=requested.breaker_threshold,
             fault_plan=requested.fault_plan,
+            batch_size=requested.batch_size,
         )
 
     def _heal_pool(

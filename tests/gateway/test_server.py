@@ -159,6 +159,55 @@ class TestAsyncClient:
             for handle in handles:
                 await client.result(str(handle["job_id"]))
 
+    async def test_late_join_sse_replays_full_stream(self, make_request):
+        """A subscriber attaching *after* the job finished must get the
+        complete replay on the wire: one ``run`` SSE frame per seed (in
+        monotonically-increasing ``id:`` order) terminated by exactly
+        one ``end`` event carrying the final state — not an empty or
+        truncated stream."""
+        seeds = (11, 12, 13)
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(make_request(seeds))
+            job_id = str(handle["job_id"])
+            await client.result(job_id)  # job fully done before we join
+
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(
+                    f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n\r\n".encode()
+                )
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=30)
+            finally:
+                writer.close()
+
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"200 OK" in head.split(b"\r\n", 1)[0]
+        assert b"text/event-stream" in head
+
+        frames = []
+        for chunk in body.decode("utf-8").split("\r\n\r\n"):
+            if not chunk.strip():
+                continue
+            fields = dict(
+                line.split(": ", 1) for line in chunk.split("\r\n")
+            )
+            frames.append(fields)
+
+        # Full replay: every seed's run frame, then the terminal end.
+        assert [f["event"] for f in frames] == ["run"] * len(seeds) + ["end"]
+        assert [int(f["id"]) for f in frames] == list(range(len(seeds) + 1))
+        records = [json.loads(f["data"]) for f in frames[:-1]]
+        assert sorted(r["seed"] for r in records) == sorted(seeds)
+        assert all(r["ok"] for r in records)
+        end = json.loads(frames[-1]["data"])
+        assert end["schema"] == "repro.job_end/v1"
+        assert end["job_id"] == job_id
+        assert end["state"] == "done"
+        assert end["records"] == len(seeds)
+
     async def test_cancel_mid_stream(self, make_request):
         async with GatewayServer(ShardRouter(shards=1)) as server:
             client = AsyncGatewayClient(server.url)

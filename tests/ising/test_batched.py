@@ -1,0 +1,244 @@
+"""Batched replica Gibbs engine: bit-identity against the serial oracle.
+
+Every test here compares :func:`batched_gibbs_sweep` against per-replica
+serial :func:`gibbs_sweep` runs with ``==`` — no tolerances.  The serial
+path is the oracle; the batched engine is only correct when it is
+byte-for-byte the same sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IsingError
+from repro.ising.batched import batched_gibbs_sweep, replica_rngs
+from repro.ising.gibbs import chromatic_groups, gibbs_sweep
+from repro.ising.model import IsingModel
+from repro.ising.numerics import stable_sigmoid
+from repro.utils.rng import spawn_rng
+
+
+def _random_model(n, seed, convention="pm1"):
+    rng = np.random.default_rng(seed)
+    J = rng.normal(size=(n, n))
+    J = (J + J.T) / 2.0
+    np.fill_diagonal(J, 0.0)
+    h = rng.normal(size=n)
+    return IsingModel(J, h, convention=convention)
+
+
+def _random_states(model, batch, seed):
+    rng = np.random.default_rng(seed)
+    vals = [-1.0, 1.0] if model.convention == "pm1" else [0.0, 1.0]
+    return rng.choice(vals, size=(model.n_spins, batch))
+
+
+class TestReplicaRngs:
+    def test_streams_match_serial_spawn(self):
+        seeds = [3, 17, 42]
+        for seed, rng in zip(seeds, replica_rngs(seeds)):
+            assert rng.random() == spawn_rng(seed).random()
+
+    def test_streams_independent(self):
+        a, b = replica_rngs([1, 2])
+        assert a.random(4).tolist() != b.random(4).tolist()
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("convention", ["pm1", "01"])
+    @pytest.mark.parametrize("temperature", [0.0, 0.35, 2.0])
+    def test_multi_sweep_matches_serial_per_replica(
+        self, convention, temperature
+    ):
+        model = _random_model(13, seed=5, convention=convention)
+        batch = 6
+        seeds = list(range(100, 100 + batch))
+        states = _random_states(model, batch, seed=9)
+
+        # Serial oracle: each replica anneals alone on its own stream.
+        serial_cols = []
+        for r, seed in enumerate(seeds):
+            rng = spawn_rng(seed)  # persistent stream across sweeps
+            s = states[:, r].copy()
+            for _ in range(4):
+                s = gibbs_sweep(model, s, temperature, seed=rng)
+            serial_cols.append(s)
+
+        rngs = replica_rngs(seeds)
+        S = states.copy()
+        for _ in range(4):
+            S = batched_gibbs_sweep(model, S, temperature, rngs)
+
+        for r in range(batch):
+            assert np.array_equal(S[:, r], serial_cols[r]), f"replica {r}"
+
+    def test_stream_state_aligned_after_sweep(self):
+        # After a batched sweep each replica's generator must sit at
+        # exactly the serial stream position, so mixing batched and
+        # serial sweeps mid-anneal stays bit-exact.
+        model = _random_model(9, seed=2)
+        seeds = [7, 8]
+        states = _random_states(model, 2, seed=3)
+
+        rngs = replica_rngs(seeds)
+        batched_gibbs_sweep(model, states, 0.8, rngs)
+        tail_batched = [rng.random() for rng in rngs]
+
+        tails = []
+        for r, seed in enumerate(seeds):
+            rng = spawn_rng(seed)
+            gibbs_sweep(model, states[:, r], 0.8, seed=rng)
+            tails.append(rng.random())
+        assert tail_batched == tails
+
+    def test_custom_order_matches_serial(self):
+        model = _random_model(8, seed=11)
+        order = np.array([5, 2, 7, 0, 1, 6, 3, 4])
+        seeds = [20, 21, 22]
+        states = _random_states(model, 3, seed=13)
+        rngs = replica_rngs(seeds)
+        out = batched_gibbs_sweep(model, states, 0.5, rngs, order=order)
+        for r, seed in enumerate(seeds):
+            expect = gibbs_sweep(
+                model, states[:, r], 0.5, seed=seed, order=order
+            )
+            assert np.array_equal(out[:, r], expect)
+
+    def test_chromatic_groups_match_sequential_concat(self):
+        # Group updates are only used on chromatically independent
+        # spins; there they must equal the serial sweep over the
+        # concatenated group order.
+        n = 10
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        J = np.zeros((n, n))
+        for a, b in edges:
+            J[a, b] = J[b, a] = 0.7
+        rng = np.random.default_rng(1)
+        model = IsingModel(J, rng.normal(size=n))
+        groups = chromatic_groups(n, edges)
+        order = np.concatenate(groups)
+
+        seeds = [30, 31]
+        states = _random_states(model, 2, seed=4)
+        rngs = replica_rngs(seeds)
+        out = batched_gibbs_sweep(model, states, 0.6, rngs, groups=groups)
+        for r, seed in enumerate(seeds):
+            expect = gibbs_sweep(
+                model, states[:, r], 0.6, seed=seed, order=order
+            )
+            assert np.array_equal(out[:, r], expect)
+
+    def test_zero_temperature_lazy_ties_match_serial(self):
+        # Degenerate model: every spin ties at T=0, so every visited
+        # spin consumes exactly one draw per replica, in visit order.
+        n = 7
+        model = IsingModel(np.zeros((n, n)))
+        seeds = [40, 41, 42, 43]
+        states = _random_states(model, 4, seed=6)
+        rngs = replica_rngs(seeds)
+        out = batched_gibbs_sweep(model, states, 0.0, rngs)
+        for r, seed in enumerate(seeds):
+            expect = gibbs_sweep(model, states[:, r], 0.0, seed=seed)
+            assert np.array_equal(out[:, r], expect)
+
+    def test_extreme_gap_over_temperature_matches_serial(self):
+        # gap/T overflow must mirror the serial kernel's silent inf,
+        # not warn (pytest promotes RuntimeWarning to error) or diverge.
+        n = 5
+        J = np.zeros((n, n))
+        h = np.array([1e308, -1e308, 0.0, 3.0, -3.0])
+        model = IsingModel(J, h)
+        seeds = [50, 51]
+        states = _random_states(model, 2, seed=8)
+        rngs = replica_rngs(seeds)
+        out = batched_gibbs_sweep(model, states, 1e-3, rngs)
+        for r, seed in enumerate(seeds):
+            expect = gibbs_sweep(model, states[:, r], 1e-3, seed=seed)
+            assert np.array_equal(out[:, r], expect)
+
+
+class TestPlatformEquivalences:
+    """Pin the two platform facts the batched kernel's exactness rests on."""
+
+    def test_pcg64_block_draw_equals_scalar_draws(self):
+        a = spawn_rng(123)
+        b = spawn_rng(123)
+        block = a.random(257)
+        scalars = np.array([b.random() for _ in range(257)])
+        assert np.array_equal(block, scalars)
+        assert a.random() == b.random()  # stream state aligned after
+
+    def test_stable_sigmoid_array_equals_scalar(self):
+        rng = np.random.default_rng(99)
+        x = np.concatenate(
+            [rng.normal(scale=50.0, size=500), [0.0, -0.0, np.inf, -np.inf]]
+        )
+        vec = stable_sigmoid(x)
+        for i, xi in enumerate(x):
+            assert vec[i] == stable_sigmoid(float(xi))
+
+
+class TestBatchedValidation:
+    def test_rng_count_mismatch_rejected(self):
+        model = _random_model(4, seed=0)
+        states = _random_states(model, 3, seed=0)
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(model, states, 1.0, replica_rngs([1, 2]))
+
+    def test_negative_temperature_rejected(self):
+        model = _random_model(4, seed=0)
+        states = _random_states(model, 2, seed=0)
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(model, states, -0.5, replica_rngs([1, 2]))
+
+    def test_bad_shape_rejected(self):
+        model = _random_model(4, seed=0)
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(
+                model, np.ones(4), 1.0, replica_rngs([1])
+            )
+
+    def test_coupled_group_rejected(self):
+        model = _random_model(4, seed=1)  # dense: everything coupled
+        states = _random_states(model, 2, seed=0)
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(
+                model,
+                states,
+                1.0,
+                replica_rngs([1, 2]),
+                groups=[np.array([0, 1]), np.array([2, 3])],
+            )
+
+    def test_overlapping_groups_rejected(self):
+        model = IsingModel(np.zeros((4, 4)))
+        states = np.ones((4, 2))
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(
+                model,
+                states,
+                1.0,
+                replica_rngs([1, 2]),
+                groups=[np.array([0, 1]), np.array([1, 2])],
+            )
+
+    def test_order_and_groups_mutually_exclusive(self):
+        model = IsingModel(np.zeros((3, 3)))
+        states = np.ones((3, 1))
+        with pytest.raises(IsingError):
+            batched_gibbs_sweep(
+                model,
+                states,
+                1.0,
+                replica_rngs([1]),
+                order=np.arange(3),
+                groups=[np.arange(3)],
+            )
+
+    def test_input_not_mutated(self):
+        model = _random_model(5, seed=3)
+        states = _random_states(model, 2, seed=1)
+        before = states.copy()
+        batched_gibbs_sweep(model, states, 0.7, replica_rngs([4, 5]))
+        assert np.array_equal(states, before)

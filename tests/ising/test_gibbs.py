@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 import pytest
 
 from repro.errors import IsingError
 from repro.ising.gibbs import chromatic_groups, cycle_groups, gibbs_sweep
 from repro.ising.model import IsingModel
+from repro.ising.numerics import stable_sigmoid
+from repro.utils.rng import spawn_rng
 
 
 def _cycle_edges(n):
@@ -112,3 +116,136 @@ class TestGibbsSweep:
         m = self._ferro()
         with pytest.raises(IsingError):
             gibbs_sweep(m, np.ones(6), temperature=-1.0)
+
+
+class TestBoltzmannConditionals:
+    """Property test: the sweep's conditional probabilities against
+    brute-force Boltzmann enumeration, for both spin conventions.
+
+    The kernel's ``gap`` expression must satisfy ``gap = H(down) -
+    H(up)`` for the model's *double-counted* Hamiltonian ``H = -s·J·s -
+    h·s``: the ``2.0 *`` local-field prefactor is the double-counting
+    factor (shared by both conventions), while the extra pm1-only
+    ``2.0 *`` on the gap is ``Δσ = 2``.  Enumerating every (state,
+    spin) pair on small dense models pins that down exhaustively.
+    """
+
+    @staticmethod
+    def _model(n, convention):
+        rng = np.random.default_rng(n)
+        J = rng.normal(size=(n, n))
+        J = (J + J.T) / 2.0
+        np.fill_diagonal(J, 0.0)
+        return IsingModel(J, rng.normal(size=n), convention=convention)
+
+    @pytest.mark.parametrize("convention", ["pm1", "01"])
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_conditional_matches_enumeration(self, convention, n):
+        m = self._model(n, convention)
+        temperature = 0.7
+        up = 1.0
+        down = -1.0 if convention == "pm1" else 0.0
+        for bits in itertools.product((down, up), repeat=n):
+            s = np.array(bits)
+            for i in range(n):
+                s_up = s.copy()
+                s_up[i] = up
+                s_dn = s.copy()
+                s_dn[i] = down
+                # Brute-force Boltzmann conditional from full energies.
+                p_ref = stable_sigmoid(
+                    (m.energy(s_dn) - m.energy(s_up)) / temperature
+                )
+                # The kernel's conditional (zero diagonal makes the
+                # field independent of s[i]).
+                field = 2.0 * float(m.couplings[i] @ s) + float(m.field[i])
+                gap = 2.0 * field if convention == "pm1" else field
+                p_kernel = stable_sigmoid(gap / temperature)
+                assert p_kernel == pytest.approx(p_ref, rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("convention", ["pm1", "01"])
+    def test_sweep_invariant_under_boltzmann(self, convention):
+        # Detailed balance end-to-end: starting from the exact
+        # Boltzmann distribution over all states, one sweep must leave
+        # it invariant (computed by enumeration, no sampling noise).
+        n = 4
+        m = self._model(n, convention)
+        temperature = 0.9
+        up = 1.0
+        down = -1.0 if convention == "pm1" else 0.0
+        states = [np.array(b) for b in itertools.product((down, up), repeat=n)]
+        energies = np.array([m.energy(s) for s in states])
+        # Exact reference distribution on a 16-state model; the shift
+        # bounds the exponent so the raw exp cannot overflow.
+        w = np.exp(  # repro-lint: ignore[RL001]
+            -(energies - energies.min()) / temperature
+        )
+        pi = w / w.sum()
+        index = {tuple(s): k for k, s in enumerate(states)}
+
+        # Exact one-sweep transition matrix (sequential spin updates).
+        P = np.zeros((len(states), len(states)))
+        for k, start in enumerate(states):
+            probs = {tuple(start): 1.0}
+            for i in range(n):
+                nxt = {}
+                for key, prob in probs.items():
+                    s = np.array(key)
+                    field = (
+                        2.0 * float(m.couplings[i] @ s) + float(m.field[i])
+                    )
+                    gap = 2.0 * field if convention == "pm1" else field
+                    p_up = stable_sigmoid(gap / temperature)
+                    for val, p in ((up, p_up), (down, 1.0 - p_up)):
+                        s2 = s.copy()
+                        s2[i] = val
+                        nxt[tuple(s2)] = nxt.get(tuple(s2), 0.0) + prob * p
+                probs = nxt
+            for key, prob in probs.items():
+                P[k, index[key]] = prob
+        assert np.allclose(pi @ P, pi, atol=1e-12)
+
+
+class TestZeroTemperatureStreamDiscipline:
+    """The greedy path must consume randomness only on actual ties."""
+
+    def test_every_tie_consumes_stream_in_visit_order(self):
+        # Degenerate model: all gaps are exactly zero, so each visited
+        # spin consumes exactly one tie draw.
+        n = 5
+        m = IsingModel(np.zeros((n, n)))
+        out = gibbs_sweep(m, np.ones(n), temperature=0.0, seed=11)
+        rng = spawn_rng(11)
+        expect = np.array(
+            [1.0 if rng.random() < 0.5 else -1.0 for _ in range(n)]
+        )
+        assert np.array_equal(out, expect)
+
+    def test_tie_free_spins_consume_no_draws(self):
+        # Spin 0 is decided (h=5 → no tie) and must NOT burn a draw:
+        # the ties at spins 1..3 start at the stream's first value.  A
+        # kernel drawing unconditionally would shift every tie decision
+        # by one stream position.
+        n = 4
+        h = np.array([5.0, 0.0, 0.0, 0.0])
+        m = IsingModel(np.zeros((n, n)), h)
+        out = gibbs_sweep(m, -np.ones(n), temperature=0.0, seed=7)
+        rng = spawn_rng(7)
+        expect = np.array(
+            [1.0] + [1.0 if rng.random() < 0.5 else -1.0 for _ in range(3)]
+        )
+        assert np.array_equal(out, expect)
+
+    def test_all_decided_sweep_is_stream_pure(self):
+        # No ties anywhere → the greedy sweep is a pure function; two
+        # different seeds must agree bit-for-bit.
+        rng = np.random.default_rng(21)
+        n = 6
+        J = rng.normal(size=(n, n))
+        J = (J + J.T) / 2.0
+        np.fill_diagonal(J, 0.0)
+        m = IsingModel(J, rng.normal(size=n))
+        s = rng.choice([-1.0, 1.0], size=n)
+        a = gibbs_sweep(m, s, temperature=0.0, seed=1)
+        b = gibbs_sweep(m, s, temperature=0.0, seed=2)
+        assert np.array_equal(a, b)

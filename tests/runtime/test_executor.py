@@ -82,22 +82,37 @@ class TestParallelPath:
         assert [t.seed for t in tel.runs] == seeds
 
     def test_timeout_falls_back_to_in_process_retry(self, instance):
-        # An (effectively) zero budget times runs out in the pool; the
-        # retry path must complete them in-process.  A sibling's pool
-        # task may legitimately finish while an earlier seed's serial
-        # retry is running, so we require the retry path to have been
-        # exercised, not that every run took it.
+        # Deterministic hang schedule instead of a wall-clock race: an
+        # injected hang (rate 1.0) makes *every* pool attempt sleep
+        # 0.4s against a 0.05s budget, and chunk_size=1 dispatches one
+        # seed at a time, so both seeds must time out in the pool and
+        # complete via the in-process retry — attempt 1 is always
+        # clean by schedule (max_faults_per_run=1).
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan(
+            seed=99, hang_rate=1.0, hang_s=0.4, max_faults_per_run=1
+        )
         results, tel = EnsembleExecutor(
-            EnsembleOptions(max_workers=2, timeout_s=1e-9, max_retries=1)
+            EnsembleOptions(
+                max_workers=2,
+                timeout_s=0.05,
+                max_retries=1,
+                backoff_base_s=0.0,
+                chunk_size=1,
+                fault_plan=plan,
+            )
         ).run(instance, [8, 9])
         assert len(results) == 2
-        assert all(t.ok for t in tel.runs)
-        assert any(t.worker == "serial" and t.retries >= 1 for t in tel.runs)
+        assert tel.mode == "parallel"
         for t in tel.runs:
-            if t.worker == "serial":
-                assert t.retries >= 1  # reached only via the timeout retry
-            else:
-                assert t.worker == "pool" and t.retries == 0
+            assert t.ok
+            assert t.worker == "serial"  # reached only via timeout retry
+            assert t.retries == 1
+            assert "exceeded" in t.first_error
+            # The hang is accounted when the worker had started its
+            # injected sleep before the parent's budget expired.
+            assert t.faults_injected in ([], ["hang"])
         serial, _ = EnsembleExecutor(EnsembleOptions(max_workers=1)).run(instance, [8, 9])
         assert [r.length for r in results] == [r.length for r in serial]
 
@@ -399,3 +414,101 @@ class TestRemovedLegacyKwargs:
             runner = EnsembleExecutor(EnsembleOptions(max_workers=1))
         results, _ = runner.run(instance, [1, 2])
         assert len(results) == 2
+
+
+class TestBatchedDispatch:
+    """batch_size > 1: a worker claims a batch of seeds; results,
+    telemetry framing, and failure isolation are unchanged."""
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(AnnealerError):
+            EnsembleOptions(batch_size=0)
+
+    def test_serial_batched_matches_oracle(self, instance):
+        oracle, tel0 = EnsembleExecutor(EnsembleOptions()).run(
+            instance, SEEDS
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(batch_size=2)
+        ).run(instance, SEEDS)
+        assert tel.mode == "serial"
+        assert [t.seed for t in tel.runs] == SEEDS
+        for a, b in zip(oracle, results):
+            assert np.array_equal(a.tour, b.tour)
+            assert a.length == b.length
+        for x, y in zip(tel0.runs, tel.runs):
+            assert x.trials_proposed == y.trials_proposed
+            assert x.trials_accepted == y.trials_accepted
+            assert y.worker == "serial" and y.retries == 0
+
+    def test_pool_batched_matches_oracle(self, instance):
+        oracle, _ = EnsembleExecutor(EnsembleOptions()).run(
+            instance, SEEDS
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(batch_size=2, max_workers=2)
+        ).run(instance, SEEDS)
+        assert tel.mode == "parallel"
+        assert [t.seed for t in tel.runs] == SEEDS
+        assert all(t.ok and t.worker == "pool" for t in tel.runs)
+        for a, b in zip(oracle, results):
+            assert np.array_equal(a.tour, b.tour)
+            assert a.length == b.length
+
+    def test_one_telemetry_record_per_seed(self, instance):
+        seen = []
+        EnsembleExecutor(EnsembleOptions(batch_size=4)).run(
+            instance,
+            SEEDS,
+            on_run_complete=lambda rec: seen.append(rec.seed),
+        )
+        assert sorted(seen) == sorted(SEEDS)
+
+    def test_batch_failure_falls_back_per_seed(self, instance, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        def exploding_batch(inst, config, seeds):
+            raise RuntimeError("batched kernel exploded")
+
+        monkeypatch.setattr(executor_mod, "_solve_batch", exploding_batch)
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(batch_size=3)
+        ).run(instance, SEEDS)
+        assert len(results) == len(SEEDS)
+        for t in tel.runs:
+            assert t.ok and t.worker == "serial"
+            assert t.retries == 1
+            assert "exploded" in t.first_error
+
+    def test_fault_plan_pins_batch_to_one(self, instance, monkeypatch):
+        # Chaos runs need per-seed attempt accounting, so an active
+        # plan must bypass the batched path entirely.
+        import repro.runtime.executor as executor_mod
+        from repro.runtime.faults import FaultPlan
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("batched path used under a fault plan")
+
+        monkeypatch.setattr(executor_mod, "_solve_batch", forbidden)
+        plan = FaultPlan(seed=1, crash_rate=0.5, max_faults_per_run=1)
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(batch_size=4, max_retries=2,
+                            backoff_base_s=0.0, fault_plan=plan)
+        ).run(instance, SEEDS)
+        assert len(results) == len(SEEDS)
+        assert all(t.ok for t in tel.runs)
+
+    def test_pool_unavailable_degrades_to_serial_batched(
+        self, instance, monkeypatch
+    ):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", broken_pool
+        )
+        results, tel = EnsembleExecutor(
+            EnsembleOptions(batch_size=2, max_workers=4)
+        ).run(instance, SEEDS)
+        assert tel.mode == "serial-fallback"
+        assert len(results) == len(SEEDS) and all(t.ok for t in tel.runs)

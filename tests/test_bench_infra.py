@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -9,7 +10,14 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent))
 
-from benchmarks._common import bench_scale, bench_seed, save_and_print  # noqa: E402
+from benchmarks._common import (  # noqa: E402
+    BENCH_LOG_SCHEMA,
+    append_bench_entry,
+    bench_scale,
+    bench_seed,
+    latest_bench_entry,
+    save_and_print,
+)
 from repro.utils.tables import Table  # noqa: E402
 
 
@@ -42,6 +50,66 @@ class TestBenchSeed:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SEED", "7")
         assert bench_seed() == 7
+
+
+class TestBenchLog:
+    """Append-only ``BENCH_*.json`` run logs (satellite: the bench
+    artifacts must accumulate a perf trajectory, not be overwritten)."""
+
+    def test_append_creates_schema_tagged_log(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        log = append_bench_entry(path, {"schema": "demo/v1", "x": 1})
+        assert log["schema"] == BENCH_LOG_SCHEMA
+        assert len(log["entries"]) == 1
+        assert log["entries"][0]["x"] == 1
+        assert "recorded_at" in log["entries"][0]
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk == log
+
+    def test_append_accumulates_instead_of_overwriting(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        for i in range(3):
+            append_bench_entry(path, {"schema": "demo/v1", "run": i})
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert [e["run"] for e in doc["entries"]] == [0, 1, 2]
+
+    def test_legacy_single_record_becomes_entry_zero(self, tmp_path):
+        # A pre-existing artifact from before the append-log era must
+        # be preserved as the trajectory's first point.
+        path = tmp_path / "BENCH_demo.json"
+        legacy = {"schema": "demo/v1", "speedup": 2.5}
+        path.write_text(json.dumps(legacy) + "\n", encoding="utf-8")
+        log = append_bench_entry(path, {"schema": "demo/v1", "speedup": 9.0})
+        assert len(log["entries"]) == 2
+        assert log["entries"][0]["speedup"] == 2.5
+        assert log["entries"][1]["speedup"] == 9.0
+
+    def test_latest_returns_newest_entry(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        append_bench_entry(path, {"schema": "demo/v1", "run": 0})
+        append_bench_entry(path, {"schema": "demo/v1", "run": 1})
+        assert latest_bench_entry(path)["run"] == 1
+
+    def test_latest_passes_legacy_doc_through(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        legacy = {"schema": "demo/v1", "speedup": 2.5}
+        path.write_text(json.dumps(legacy) + "\n", encoding="utf-8")
+        assert latest_bench_entry(path) == legacy
+
+    def test_latest_rejects_empty_log(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(
+            json.dumps({"schema": BENCH_LOG_SCHEMA, "entries": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError):
+            latest_bench_entry(path)
+
+    def test_caller_entry_not_mutated(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        entry = {"schema": "demo/v1"}
+        append_bench_entry(path, entry)
+        assert "recorded_at" not in entry
 
 
 class TestSaveAndPrint:
