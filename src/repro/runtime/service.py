@@ -360,8 +360,13 @@ class AnnealingService:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         if self._job_threads is not None:
-            self._job_threads.shutdown(wait=True)
+            # Joining the repro-job threads synchronously would stall
+            # the event loop (and every other service on it) for as
+            # long as the slowest job takes to notice cancellation.
+            job_threads = self._job_threads
             self._job_threads = None
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, job_threads.shutdown)
 
     async def __aenter__(self) -> "AnnealingService":
         await self.start()

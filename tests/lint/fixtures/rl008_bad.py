@@ -1,0 +1,19 @@
+"""Serving-path coroutines that stall the event loop (RL008 corpus)."""
+
+import socket
+import subprocess
+import time
+
+
+async def handle_request(payload):
+    time.sleep(0.1)
+    data = open("config.json").read()
+    proc = subprocess.run(["ls"])
+    conn = socket.create_connection(("example.com", 80))
+    return data, proc, conn
+
+
+async def wait_for_job(fut, job_pool):
+    value = fut.result()
+    job_pool.shutdown(wait=True)
+    return value

@@ -1,0 +1,34 @@
+"""Serving-path coroutines that keep the loop responsive (RL008-clean)."""
+
+import asyncio
+import time
+
+
+def read_config():
+    # Sync helper: blocking file I/O is fine off the loop.
+    with open("config.json") as fh:
+        return fh.read()
+
+
+async def handle_request(loop):
+    await asyncio.sleep(0.1)
+    data = await loop.run_in_executor(None, read_config)
+    return data
+
+
+async def wait_for_job(fut, job_pool):
+    value = await fut
+    job_pool.shutdown(wait=False, cancel_futures=True)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, job_pool.shutdown)
+    return value
+
+
+async def spawn_workers():
+    def pace():  # executor-bound closure may block freely
+        time.sleep(0.5)
+
+    async def tick():
+        await asyncio.sleep(0)
+
+    return pace, tick

@@ -1,0 +1,43 @@
+"""Wire codec with deliberate schema drift (RL009 corpus).
+
+Four drifts against ``JobOptions``: the encoder dict forgets
+``batch_size``, the decoder constructor forgets it too, and the
+``_OPTIONS_FIELDS`` guard both omits ``batch_size`` and allows a
+``retries`` key the dataclass does not have.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+REQUEST_SCHEMA = "repro.solve_request/v1-fixture"
+
+
+@dataclass(frozen=True)
+class JobOptions:
+    max_workers: int = 1
+    timeout_s: Optional[float] = None
+    batch_size: int = 0
+
+
+_OPTIONS_FIELDS = frozenset({"max_workers", "timeout_s", "retries"})
+
+
+def _reject_unknown(payload: Mapping[str, Any], allowed, what: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ValueError(f"{what} has unknown fields {unknown}")
+
+
+def encode_options(options: JobOptions) -> Dict[str, Any]:
+    return {
+        "max_workers": options.max_workers,
+        "timeout_s": options.timeout_s,
+    }
+
+
+def decode_options(payload: Mapping[str, Any]) -> JobOptions:
+    _reject_unknown(payload, _OPTIONS_FIELDS, "options")
+    return JobOptions(
+        max_workers=payload.get("max_workers", 1),
+        timeout_s=payload.get("timeout_s"),
+    )

@@ -1,0 +1,69 @@
+"""Wire codec in bijection with its dataclasses (RL009-clean).
+
+Also exercises the sanctioned exemptions: the ``schema`` envelope key,
+a zero-argument defaults probe, and a ``**merged`` splat the rule
+cannot (and does not) judge lexically.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+REQUEST_SCHEMA = "repro.solve_request/v1-fixture"
+
+
+@dataclass(frozen=True)
+class JobOptions:
+    max_workers: int = 1
+    timeout_s: Optional[float] = None
+    batch_size: int = 0
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    options: JobOptions
+    tag: str = ""
+
+
+_OPTIONS_FIELDS = frozenset({"max_workers", "timeout_s", "batch_size"})
+_REQUEST_FIELDS = frozenset({"schema", "options", "tag"})
+
+
+def _reject_unknown(payload: Mapping[str, Any], allowed, what: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ValueError(f"{what} has unknown fields {unknown}")
+
+
+def encode_options(options: JobOptions) -> Dict[str, Any]:
+    return {
+        "max_workers": options.max_workers,
+        "timeout_s": options.timeout_s,
+        "batch_size": options.batch_size,
+    }
+
+
+def encode_request(request: JobRequest) -> Dict[str, Any]:
+    return {
+        "schema": REQUEST_SCHEMA,
+        "options": encode_options(request.options),
+        "tag": request.tag,
+    }
+
+
+def decode_options(payload: Mapping[str, Any]) -> JobOptions:
+    _reject_unknown(payload, _OPTIONS_FIELDS, "options")
+    defaults = JobOptions()
+    merged = {
+        "max_workers": payload.get("max_workers", defaults.max_workers),
+        "timeout_s": payload.get("timeout_s", defaults.timeout_s),
+        "batch_size": payload.get("batch_size", defaults.batch_size),
+    }
+    return JobOptions(**merged)
+
+
+def decode_request(payload: Mapping[str, Any]) -> JobRequest:
+    _reject_unknown(payload, _REQUEST_FIELDS, "request")
+    return JobRequest(
+        options=decode_options(payload.get("options", {})),
+        tag=payload.get("tag", ""),
+    )

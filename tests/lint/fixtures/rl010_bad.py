@@ -1,0 +1,12 @@
+"""Vectorised float reductions in a batched kernel (RL010 corpus)."""
+
+import numpy as np
+
+
+def batched_energies(weights, states):
+    totals = np.sum(weights * states, axis=1)
+    gaps = weights @ states.T
+    overlap = states.dot(weights)
+    contracted = np.einsum("ij,kj->ik", weights, states)
+    row_sums = states.sum(axis=0)
+    return totals, gaps, overlap, contracted, row_sums

@@ -1,0 +1,16 @@
+"""Bit-exact batched-kernel accumulation patterns (RL010-clean)."""
+
+import numpy as np
+
+
+def serial_gap(ji, cols, r, hi):
+    # The sanctioned serial-gap idiom: one replica's gap collapses to a
+    # Python scalar, combined serially exactly like the oracle.
+    return 2.0 * float(ji @ cols[r]) + hi
+
+
+def window_counts(sizes, blocks, occupancy):
+    n_items = int(sizes.sum())  # integer bookkeeping is exact
+    n_steps = int(sum(block.size for block in blocks))
+    counts = np.bincount(occupancy)
+    return n_items, n_steps, counts

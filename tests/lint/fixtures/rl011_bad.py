@@ -1,0 +1,12 @@
+"""Suppression comments that silence nothing (RL011 corpus)."""
+# repro-lint: file-ignore[RL999]
+
+def boltzmann_exponent(delta: float, temperature: float) -> float:
+    # A plain ratio never triggers RL001 — the comment is a leftover
+    # from an exponentiating implementation long deleted.
+    return -delta / temperature  # repro-lint: ignore[RL001]
+
+
+def counter() -> int:
+    value = 1 + 1  # repro-lint: ignore[RL004]
+    return value

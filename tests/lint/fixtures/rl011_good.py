@@ -1,0 +1,10 @@
+"""Suppressions that each silence a real finding (RL011-clean)."""
+# repro-lint: file-ignore[RL002]
+
+import numpy as np
+
+STATE = np.random.rand(4)  # silenced by the file-ignore above
+
+
+def boltzmann(delta, temperature):
+    return np.exp(-delta / temperature)  # repro-lint: ignore[RL001]

@@ -60,3 +60,20 @@ def test_json_format(capsys):
     assert main(["--format", "json", str(FIXTURES / "rl003_bad.py")]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts_by_code"] == {"RL003": 3}
+
+
+def test_sarif_format(capsys):
+    assert main(["--format", "sarif", str(FIXTURES / "rl009_bad.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["RL009"] * 4
+
+
+def test_cache_path_flag_round_trips(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    target = str(FIXTURES / "rl011_bad.py")
+    assert main(["--cache-path", str(cache), target]) == 1
+    first = capsys.readouterr().out
+    assert cache.exists()
+    assert main(["--cache-path", str(cache), target]) == 1
+    assert capsys.readouterr().out == first

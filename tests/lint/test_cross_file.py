@@ -1,0 +1,150 @@
+"""Cross-file analysis: the ProjectContext and RL009 on the real codec.
+
+The acceptance scenario for RL009 is the exact drift PR 6 had to catch
+by hand: delete ``batch_size`` from one of the three copies of the
+``EnsembleOptions`` field list in ``gateway/protocol.py`` (encoder
+dict, decoder constructor, ``_OPTIONS_FIELDS`` guard) and the linter
+must fire.  The tests below run against a *copy* of the real sources
+so the repo itself stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+from pathlib import Path
+
+from repro_lint import lint_paths
+from repro_lint.project import (
+    build_project_context,
+    module_name_for,
+    summarize_module,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: protocol.py plus every module whose dataclasses its codecs touch.
+_PROTOCOL_CLOSURE = [
+    "src/repro/gateway/protocol.py",
+    "src/repro/runtime/options.py",
+    "src/repro/runtime/faults.py",
+    "src/repro/tsp/instance.py",
+    "src/repro/annealer/config.py",
+]
+
+
+def _copy_closure(tmp_path: Path) -> Path:
+    for rel in _PROTOCOL_CLOSURE:
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(REPO_ROOT / rel, target)
+    return tmp_path / "src"
+
+
+def _codes(tmp_path: Path):
+    report = lint_paths([str(tmp_path / "src")], root=tmp_path)
+    return [(v.code, v.message) for v in report.violations]
+
+
+def test_unmodified_protocol_closure_is_clean(tmp_path: Path):
+    _copy_closure(tmp_path)
+    assert _codes(tmp_path) == []
+
+
+def test_deleting_batch_size_from_encoder_fires_rl009(tmp_path: Path):
+    _copy_closure(tmp_path)
+    protocol = tmp_path / "src/repro/gateway/protocol.py"
+    source = protocol.read_text(encoding="utf-8")
+    drifted = source.replace('"batch_size": options.batch_size,\n', "")
+    assert drifted != source, "encoder line not found; fixture out of date"
+    protocol.write_text(drifted, encoding="utf-8")
+    hits = _codes(tmp_path)
+    assert len(hits) == 1
+    code, message = hits[0]
+    assert code == "RL009"
+    assert "batch_size" in message and "encode_options" in message
+
+
+def test_deleting_batch_size_from_guard_fires_rl009(tmp_path: Path):
+    _copy_closure(tmp_path)
+    protocol = tmp_path / "src/repro/gateway/protocol.py"
+    source = protocol.read_text(encoding="utf-8")
+    drifted = source.replace('        "batch_size",\n', "", 1)
+    assert drifted != source, "guard entry not found; fixture out of date"
+    protocol.write_text(drifted, encoding="utf-8")
+    hits = [h for h in _codes(tmp_path) if h[0] == "RL009"]
+    assert hits, "guard drift went undetected"
+    assert any("_OPTIONS_FIELDS" in message for _, message in hits)
+
+
+def test_adding_a_dataclass_field_fires_on_every_codec_copy(tmp_path: Path):
+    # The converse drift: the dataclass grows a knob the wire never
+    # learned about.  Encoder, decoder, and guard must all light up.
+    _copy_closure(tmp_path)
+    options = tmp_path / "src/repro/runtime/options.py"
+    source = options.read_text(encoding="utf-8")
+    drifted = source.replace(
+        "    batch_size: int = 1\n",
+        "    batch_size: int = 1\n    shiny_new_knob: int = 0\n",
+        1,
+    )
+    assert drifted != source, "anchor line not found; fixture out of date"
+    options.write_text(drifted, encoding="utf-8")
+    messages = [m for c, m in _codes(tmp_path) if c == "RL009"]
+    assert sum("shiny_new_knob" in m for m in messages) >= 3
+
+
+# ---------------------------------------------------------------------------
+# ProjectContext unit behaviour.
+
+
+def test_module_name_for_strips_source_roots():
+    assert module_name_for("src/repro/runtime/options.py") == (
+        "repro.runtime.options"
+    )
+    assert module_name_for("tools/repro_lint/engine.py") == (
+        "repro_lint.engine"
+    )
+    assert module_name_for("src/repro/__init__.py") == "repro"
+    assert module_name_for("README.md") == ""
+
+
+def test_summary_indexes_dataclasses_async_and_imports():
+    tree = ast.parse(
+        "import json\n"
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Point:\n"
+        "    x: float\n"
+        "    y: float\n"
+        "    _cache: int = 0\n"
+        "async def fetch():\n"
+        "    pass\n"
+    )
+    summary = summarize_module("src/pkg/mod.py", tree)
+    assert summary.module == "pkg.mod"
+    assert summary.dataclasses == {"Point": ("x", "y")}
+    assert "fetch" in summary.async_functions
+    assert "json" in summary.imports and "dataclasses" in summary.imports
+
+
+def test_fingerprint_tracks_cross_file_facts(tmp_path: Path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Opt:\n"
+        "    a: int = 0\n",
+        encoding="utf-8",
+    )
+    before = build_project_context([(mod, "src/mod.py")]).fingerprint()
+    mod.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Opt:\n"
+        "    a: int = 0\n"
+        "    b: int = 0\n",
+        encoding="utf-8",
+    )
+    after = build_project_context([(mod, "src/mod.py")]).fingerprint()
+    assert before != after

@@ -18,7 +18,7 @@ def codes_in(path: Path, root: Path | None = None) -> Counter:
     return Counter(v.code for v in violations)
 
 
-def test_all_seven_rules_registered():
+def test_all_eleven_rules_registered():
     assert rule_codes() == [
         "RL001",
         "RL002",
@@ -27,6 +27,10 @@ def test_all_seven_rules_registered():
         "RL005",
         "RL006",
         "RL007",
+        "RL008",
+        "RL009",
+        "RL010",
+        "RL011",
     ]
 
 
@@ -40,6 +44,8 @@ def test_all_seven_rules_registered():
         ("rl003_gateway_bad.py", "RL003", 4),
         ("rl004_bad.py", "RL004", 4),
         ("rl005_bad.py", "RL005", 2),
+        ("rl009_bad.py", "RL009", 4),
+        ("rl011_bad.py", "RL011", 3),
     ],
 )
 def test_positive_fixture_fails(fixture: str, code: str, count: int):
@@ -59,6 +65,8 @@ def test_positive_fixture_fails(fixture: str, code: str, count: int):
         "rl004_good.py",
         "rl005_good.py",
         "rl006_good.py",
+        "rl009_good.py",
+        "rl011_good.py",
     ],
 )
 def test_negative_fixture_is_clean(fixture: str):
@@ -125,6 +133,91 @@ def test_rl007_backoff_paced_retry_is_clean(tmp_path: Path):
 def test_rl007_ignores_files_outside_repro():
     # At its real location (tests/lint/fixtures) the rule does not apply.
     assert codes_in(FIXTURES / "rl007_bad.py") == Counter()
+
+
+# ---------------------------------------------------------------------------
+# RL008 is scoped to the async serving path: repro/runtime/service.py
+# and repro/gateway/**.
+
+
+def _copied(tmp_path: Path, fixture: str, sub: str) -> Path:
+    target = tmp_path / sub
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(FIXTURES / fixture, target)
+    return target
+
+
+@pytest.mark.parametrize(
+    "sub", ["src/repro/gateway/server.py", "src/repro/runtime/service.py"]
+)
+def test_rl008_flags_blocking_calls_on_serving_path(
+    tmp_path: Path, sub: str
+):
+    target = _copied(tmp_path, "rl008_bad.py", sub)
+    assert codes_in(target, root=tmp_path) == Counter({"RL008": 6})
+
+
+def test_rl008_async_idioms_are_clean(tmp_path: Path):
+    target = _copied(tmp_path, "rl008_good.py", "src/repro/gateway/server.py")
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+def test_rl008_blocking_allowed_off_serving_path(tmp_path: Path):
+    # Solver kernels are synchronous by design; only the serving path
+    # is loop-sensitive.
+    target = _copied(tmp_path, "rl008_bad.py", "src/repro/ising/gibbs.py")
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+# ---------------------------------------------------------------------------
+# RL010 is scoped to batched kernels (repro/**/batched.py).
+
+
+@pytest.mark.parametrize(
+    "sub", ["src/repro/ising/batched.py", "src/repro/annealer/batched.py"]
+)
+def test_rl010_flags_float_reductions_in_batched_kernels(
+    tmp_path: Path, sub: str
+):
+    target = _copied(tmp_path, "rl010_bad.py", sub)
+    assert codes_in(target, root=tmp_path) == Counter({"RL010": 5})
+
+
+def test_rl010_serial_gap_idiom_is_clean(tmp_path: Path):
+    target = _copied(tmp_path, "rl010_good.py", "src/repro/ising/batched.py")
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+def test_rl010_reductions_allowed_outside_batched_kernels(tmp_path: Path):
+    target = _copied(tmp_path, "rl010_bad.py", "src/repro/ising/gibbs.py")
+    assert codes_in(target, root=tmp_path) == Counter()
+
+
+# ---------------------------------------------------------------------------
+# RL011 interplay with rule filtering: an entry for a skipped rule is
+# not judged, and ignore[RL011] silences the stale report itself.
+
+
+def test_rl011_not_judged_for_skipped_rules(tmp_path: Path):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "VALUE = 1  # repro-lint: ignore[RL004]\n", encoding="utf-8"
+    )
+    # Full run: the entry is stale.
+    assert codes_in(target)["RL011"] == 1
+    # RL004 skipped: the entry had no chance to fire, so not judged.
+    filtered = lint_file(
+        target, select_rules(select=["RL002", "RL011"])
+    )
+    assert filtered == []
+
+
+def test_rl011_suppressible_on_its_own_line(tmp_path: Path):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "VALUE = 1  # repro-lint: ignore[RL004,RL011]\n", encoding="utf-8"
+    )
+    assert codes_in(target) == Counter()
 
 
 # ---------------------------------------------------------------------------

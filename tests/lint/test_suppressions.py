@@ -32,20 +32,27 @@ def test_line_suppression_silences_that_line(tmp_path: Path):
 
 
 def test_line_suppression_takes_a_comma_list(tmp_path: Path):
+    # Both codes genuinely fire on the line (RL001: raw exp of a
+    # temperature ratio; RL002: global RNG), so both entries are used
+    # and RL011 stays quiet.
     source = (
         "import numpy as np\n"
-        "v = np.random.rand(8)  # repro-lint: ignore[RL001,RL002]\n"
+        "temperature = 2.0\n"
+        "v = np.exp(np.random.rand(8) / temperature)"
+        "  # repro-lint: ignore[RL001,RL002]\n"
     )
     assert _lint(tmp_path, source).ok
 
 
 def test_wrong_code_does_not_suppress(tmp_path: Path):
+    # The RL002 finding sails past an RL001-only entry — and since
+    # RL011, the useless entry is itself reported as stale.
     source = (
         "import numpy as np\n"
         "v = np.random.rand(8)  # repro-lint: ignore[RL001]\n"
     )
     report = _lint(tmp_path, source)
-    assert [v.code for v in report.violations] == ["RL002"]
+    assert sorted(v.code for v in report.violations) == ["RL002", "RL011"]
 
 
 def test_file_level_suppression(tmp_path: Path):

@@ -1,17 +1,28 @@
 """repro_lint — domain-aware static analysis for the repro codebase.
 
-An AST-based rule engine that machine-checks the conventions the
-reproduction's correctness rests on: numerically stable Boltzmann
-accepts (RL001), explicit seeded ``Generator`` RNG (RL002),
-pickle-safety across the ``repro.runtime`` process-pool boundary
-(RL003), no shared mutable defaults (RL004), no blanket handlers that
-swallow ``AnnealerError`` (RL005), and telemetry-owned wall-clock
-reads in solver kernels (RL006).
+A two-pass, project-wide rule engine.  Pass 1 parses every file into a
+:class:`~repro_lint.project.ProjectContext` (import graph, exported
+symbols, dataclass field index, async-def index); pass 2 runs per-file
+AST rules with that context available, which is what lets rules reason
+*across* modules.
+
+The rules machine-check the conventions the reproduction's correctness
+rests on: numerically stable Boltzmann accepts (RL001), explicit
+seeded ``Generator`` RNG (RL002), pickle-safety across the
+``repro.runtime`` process-pool boundary (RL003), no shared mutable
+defaults (RL004), no blanket handlers that swallow ``AnnealerError``
+(RL005), telemetry-owned wall-clock reads in solver kernels (RL006),
+bounded retry loops (RL007), no blocking calls on the async serving
+path (RL008), wire codecs in bijection with their dataclasses
+(RL009), bit-exactness of batched kernels (RL010), and no stale
+suppression comments (RL011).
 
 Usage::
 
-    python -m repro_lint src tests benchmarks
+    python -m repro_lint src tests benchmarks tools
     python -m repro_lint --format json src
+    python -m repro_lint --format sarif --jobs 4 src
+    python -m repro_lint --cache-path .lint-cache.json src
     python -m repro_lint --list-rules
 
 Suppress a finding with a justification::
@@ -22,11 +33,17 @@ See ``docs/static-analysis.md`` for the rule catalogue and how to add
 rules.
 """
 
+from repro_lint.cache import LintCache  # noqa: F401
 from repro_lint.engine import (  # noqa: F401
     LintReport,
     discover_files,
     lint_file,
     lint_paths,
+)
+from repro_lint.project import (  # noqa: F401
+    ModuleSummary,
+    ProjectContext,
+    build_project_context,
 )
 from repro_lint.registry import (  # noqa: F401
     Rule,
@@ -36,27 +53,38 @@ from repro_lint.registry import (  # noqa: F401
     rule_codes,
     select_rules,
 )
-from repro_lint.reporters import render_json, render_text  # noqa: F401
+from repro_lint.reporters import (  # noqa: F401
+    render_json,
+    render_sarif,
+    render_text,
+    to_sarif,
+)
 from repro_lint.violations import Violation  # noqa: F401
 
 # Importing the rules package registers the built-in RLnnn rules.
 import repro_lint.rules  # noqa: F401  isort:skip
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "LintCache",
     "LintReport",
+    "ModuleSummary",
+    "ProjectContext",
     "Rule",
     "Violation",
     "all_rules",
+    "build_project_context",
     "discover_files",
     "get_rule",
     "lint_file",
     "lint_paths",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_codes",
     "select_rules",
+    "to_sarif",
     "__version__",
 ]

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence
 import repro_lint.rules  # noqa: F401  (registers the built-in rules)
 from repro_lint.engine import lint_paths
 from repro_lint.registry import all_rules
-from repro_lint.reporters import render_json, render_text
+from repro_lint.reporters import render_json, render_sarif, render_text
 
 
 def _parse_codes(raw: Optional[str]) -> List[str]:
@@ -38,9 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif is SARIF 2.1.0)",
     )
     parser.add_argument(
         "--select",
@@ -58,6 +58,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "base directory for path-scoped rules "
             "(default: current working directory)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for per-file analysis (default: 1; "
+            "output is byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        help=(
+            "JSON cache of per-file verdicts; replayed when neither "
+            "the file, the rule set, nor the project facts changed"
         ),
     )
     parser.add_argument(
@@ -83,12 +101,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("repro_lint: error: no paths given", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("repro_lint: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     try:
         report = lint_paths(
             args.paths,
             select=_parse_codes(args.select),
             ignore=_parse_codes(args.ignore),
             root=Path(args.root) if args.root else None,
+            jobs=args.jobs,
+            cache_path=Path(args.cache_path) if args.cache_path else None,
         )
     except (FileNotFoundError, KeyError) as exc:
         msg = exc.args[0] if exc.args else str(exc)
@@ -97,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report))
     return 0 if report.ok else 1

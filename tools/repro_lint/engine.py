@@ -1,10 +1,22 @@
-"""Lint engine: file discovery, parsing, rule dispatch, suppression.
+"""Lint engine: two-pass project analysis, rule dispatch, suppression.
 
-The engine is deliberately small: it turns paths into
-:class:`~repro_lint.context.FileContext` objects, runs every active
-rule over each, filters hits through the file's suppression comments,
-and returns a deterministic, sorted violation list.  All domain
-knowledge lives in the rules; all output formatting in the reporters.
+Pass 1 parses every discovered file once and distils it into a
+:class:`~repro_lint.project.ProjectContext` — the cross-file indexes
+(import graph, exported symbols, dataclass fields, async defs) that
+rules like RL009 read.  Pass 2 runs the per-file rules with that
+context attached, filters hits through suppression comments (recording
+which suppressions actually fired, the raw material of RL011), and
+returns a deterministic, sorted violation list.
+
+Two optional accelerators keep the bigger engine pre-commit fast:
+
+* a content-hash cache (``cache_path``) replays per-file verdicts when
+  neither the file, the active rule set, nor the project facts changed;
+* ``jobs > 1`` fans pass 2 out over worker processes, with results
+  re-ordered so output is byte-identical to a serial run.
+
+All domain knowledge lives in the rules; all output formatting in the
+reporters.
 """
 
 from __future__ import annotations
@@ -12,11 +24,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro_lint.cache import LintCache, cache_key, file_digest
 from repro_lint.context import FileContext
-from repro_lint.registry import Rule, select_rules
-from repro_lint.suppressions import parse_suppressions
+from repro_lint.project import ProjectContext, build_project_context
+from repro_lint.registry import Rule, rule_codes, select_rules
+from repro_lint.suppressions import STALE_RULE_CODE, parse_suppressions
 from repro_lint.violations import Violation
 
 #: Directories never descended into during discovery.  ``fixtures``
@@ -45,6 +59,8 @@ class LintReport:
 
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -75,18 +91,26 @@ def discover_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
-def _build_context(path: Path, root: Optional[Path]) -> FileContext:
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
+def rel_path_for(path: Path, root: Optional[Path]) -> str:
+    """Repo-relative posix path used for scoping and cross-file keys."""
     try:
         rel = path.resolve().relative_to((root or Path.cwd()).resolve())
     except ValueError:
         rel = path
+    return rel.as_posix()
+
+
+def _build_context(
+    path: Path, root: Optional[Path], project: Optional[ProjectContext]
+) -> FileContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
     return FileContext(
         path=str(path),
-        rel_path=rel.as_posix(),
+        rel_path=rel_path_for(path, root),
         source=source,
         tree=tree,
+        project=project,
     )
 
 
@@ -94,10 +118,18 @@ def lint_file(
     path: Path,
     rules: Sequence[Rule],
     root: Optional[Path] = None,
+    project: Optional[ProjectContext] = None,
 ) -> List[Violation]:
-    """Run ``rules`` over one file, honouring suppression comments."""
+    """Run ``rules`` over one file, honouring suppression comments.
+
+    When no pass-1 ``project`` is supplied (direct calls, tests), a
+    single-file context is built on the fly so cross-file rules still
+    see the facts of this one module.
+    """
+    if project is None:
+        project = build_project_context([(path, rel_path_for(path, root))])
     try:
-        ctx = _build_context(path, root)
+        ctx = _build_context(path, root, project)
     except SyntaxError as exc:
         return [
             Violation(
@@ -110,13 +142,86 @@ def lint_file(
         ]
     suppressions = parse_suppressions(ctx.source)
     hits: List[Violation] = []
+    active = {rule.code for rule in rules}
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for violation in rule.check(ctx):
-            if not suppressions.is_suppressed(violation.code, violation.line):
+            if not suppressions.suppress(violation.code, violation.line):
                 hits.append(violation)
+    if STALE_RULE_CODE in active:
+        registry = set(rule_codes())
+        # A wildcard entry is only provably stale when every registered
+        # rule had the chance to fire on this run.
+        assess_wildcard = registry.issubset(active)
+        for line, scope, code in suppressions.stale_entries(
+            active, registry, assess_wildcard
+        ):
+            if suppressions.is_suppressed(STALE_RULE_CODE, line):
+                continue
+            hits.append(
+                Violation(
+                    path=str(path),
+                    line=line,
+                    col=0,
+                    code=STALE_RULE_CODE,
+                    message=(
+                        f"stale suppression: {scope}[{code}] silences "
+                        "nothing on this run; remove it or restore the "
+                        "code it excused"
+                    ),
+                )
+            )
     return hits
+
+
+# ----------------------------------------------------------------------
+# --jobs worker plumbing.  Workers are primed once per process with the
+# (picklable) rule selection, root, and project context, then receive
+# bare path strings — the cheap part of each task.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    select: Tuple[str, ...],
+    ignore: Tuple[str, ...],
+    root: Optional[str],
+    project: ProjectContext,
+) -> None:
+    _WORKER_STATE["rules"] = select_rules(select, ignore)
+    _WORKER_STATE["root"] = Path(root) if root else None
+    _WORKER_STATE["project"] = project
+
+
+def _lint_one(path_str: str) -> List[Violation]:
+    return lint_file(
+        Path(path_str),
+        _WORKER_STATE["rules"],  # type: ignore[arg-type]
+        root=_WORKER_STATE["root"],  # type: ignore[arg-type]
+        project=_WORKER_STATE["project"],  # type: ignore[arg-type]
+    )
+
+
+def _lint_parallel(
+    files: Sequence[Path],
+    select: Tuple[str, ...],
+    ignore: Tuple[str, ...],
+    root: Optional[Path],
+    project: ProjectContext,
+    jobs: int,
+) -> Optional[List[List[Violation]]]:
+    """Fan pass 2 out over processes; None when a pool cannot start."""
+    import concurrent.futures
+
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(select, ignore, str(root) if root else None, project),
+        ) as pool:
+            return list(pool.map(_lint_one, [str(p) for p in files]))
+    except (OSError, ValueError, RuntimeError, PermissionError):
+        return None  # sandboxed / restricted env: fall back to serial
 
 
 def lint_paths(
@@ -124,6 +229,8 @@ def lint_paths(
     select: Iterable[str] = (),
     ignore: Iterable[str] = (),
     root: Optional[Path] = None,
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
 ) -> LintReport:
     """Lint every ``.py`` file reachable from ``paths``.
 
@@ -136,11 +243,66 @@ def lint_paths(
     root:
         Base for the repo-relative paths used by path-scoped rules;
         defaults to the current working directory.
+    jobs:
+        Worker processes for pass 2 (1 = in-process serial).  Output
+        is byte-identical either way.
+    cache_path:
+        When given, per-file verdicts are replayed from / persisted to
+        this JSON cache (see :mod:`repro_lint.cache` for the key).
     """
+    select = tuple(select)
+    ignore = tuple(ignore)
     rules = select_rules(select, ignore)
-    report = LintReport()
-    for path in discover_files(paths):
-        report.files_checked += 1
-        report.violations.extend(lint_file(path, rules, root=root))
+    files = discover_files(paths)
+    pairs = [(path, rel_path_for(path, root)) for path in files]
+
+    # Pass 1: project-wide indexes shared by every rule.
+    project = build_project_context(pairs)
+
+    report = LintReport(files_checked=len(files))
+    results: Dict[int, List[Violation]] = {}
+
+    cache: Optional[LintCache] = None
+    keys: Dict[int, str] = {}
+    if cache_path is not None:
+        cache = LintCache.load(cache_path)
+        fingerprint = project.fingerprint()
+        signature = ",".join(sorted(rule.code for rule in rules))
+        for idx, (path, rel) in enumerate(pairs):
+            try:
+                digest = file_digest(path.read_bytes())
+            except OSError:
+                digest = ""
+            keys[idx] = cache_key(rel, str(path), digest, signature, fingerprint)
+            cached = cache.get(keys[idx])
+            if cached is not None:
+                results[idx] = cached
+
+    todo = [idx for idx in range(len(files)) if idx not in results]
+
+    # Pass 2: per-file rules, parallel when asked and worthwhile.
+    fresh: Optional[List[List[Violation]]] = None
+    if jobs > 1 and len(todo) > 1:
+        fresh = _lint_parallel(
+            [files[idx] for idx in todo], select, ignore, root, project, jobs
+        )
+    if fresh is not None:
+        for idx, violations in zip(todo, fresh):
+            results[idx] = violations
+    else:
+        for idx in todo:
+            results[idx] = lint_file(
+                files[idx], rules, root=root, project=project
+            )
+
+    if cache is not None:
+        for idx in todo:
+            cache.put(keys[idx], results[idx])
+        cache.save()
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+
+    for idx in range(len(files)):
+        report.violations.extend(results[idx])
     report.violations.sort()
     return report

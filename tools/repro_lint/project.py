@@ -1,0 +1,266 @@
+"""Project-wide analysis context (pass 1 of the two-pass engine).
+
+Single-file AST walks cannot see the bug classes that live *between*
+modules: a wire codec drifting from the dataclass it serialises, a
+blocking call inside an ``async def`` that a refactor moved across
+files, a suppression left behind after the code it silenced was
+deleted.  Pass 1 therefore parses every discovered file once and
+distils it into a :class:`ProjectContext` — a picklable, pure-data
+snapshot shared by every rule in pass 2:
+
+* **module import graph** — which dotted module imports which;
+* **exported-symbol table** — top-level ``def``/``class`` names (and
+  ``__all__`` when literal) per module;
+* **dataclass field index** — ``module.Class`` → ordered public field
+  names, the ground truth RL009 checks wire codecs against;
+* **decorator / async-def index** — qualified names of coroutine
+  functions and the decorators applied to each top-level definition.
+
+The context is deliberately *data, not ASTs*: it pickles cleanly into
+``--jobs`` worker processes and hashes stably into the lint-cache key
+(editing ``options.py`` must invalidate ``protocol.py``'s cached
+result, because RL009's verdict there depends on both files).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Path roots stripped when deriving dotted module names, so
+#: ``src/repro/runtime/options.py`` and ``tools/repro_lint/engine.py``
+#: index as ``repro.runtime.options`` / ``repro_lint.engine``.
+_SOURCE_ROOTS = ("src", "tools")
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a repo-relative posix path ('' if none)."""
+    parts = rel_path.split("/")
+    if not parts or not parts[-1].endswith(".py"):
+        return ""
+    while parts and parts[0] in _SOURCE_ROOTS:
+        parts = parts[1:]
+    if not parts:
+        return ""
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(p.isidentifier() for p in parts):
+        return ""
+    return ".".join(parts)
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Dotted name of one decorator expression ('' when dynamic)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    return any(
+        _decorator_name(dec).split(".")[-1] == "dataclass"
+        for dec in node.decorator_list
+    )
+
+
+def _annotation_mentions(node: Optional[ast.expr], name: str) -> bool:
+    if node is None:
+        return False
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and inner.id == name:
+            return True
+        if isinstance(inner, ast.Attribute) and inner.attr == name:
+            return True
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+            if name in inner.value:
+                return True
+    return False
+
+
+def dataclass_fields_of(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """Ordered public field names of a ``@dataclass`` ClassDef.
+
+    Returns None when the class is not decorated with ``dataclass``.
+    ``ClassVar`` annotations and underscore-prefixed names (private
+    caches like ``TSPInstance._matrix``) are not wire-visible fields
+    and are excluded.
+    """
+    if not _is_dataclass_decorated(node):
+        return None
+    fields: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id.startswith("_"):
+            continue
+        if _annotation_mentions(stmt.annotation, "ClassVar"):
+            continue
+        fields.append(target.id)
+    return tuple(fields)
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Pure-data distillate of one parsed module (pass-1 output)."""
+
+    rel_path: str
+    module: str  # dotted name, '' when underivable
+    imports: Tuple[str, ...]  # modules named by import/from-import
+    exports: Tuple[str, ...]  # top-level def/class names (or __all__)
+    dataclasses: Dict[str, Tuple[str, ...]]  # class name -> fields
+    async_functions: Tuple[str, ...]  # dotted qualnames of async defs
+    decorators: Dict[str, Tuple[str, ...]]  # qualname -> decorator names
+
+
+def summarize_module(rel_path: str, tree: ast.Module) -> ModuleSummary:
+    """Distil one parsed file into its :class:`ModuleSummary`."""
+    imports: List[str] = []
+    exports: List[str] = []
+    dataclasses: Dict[str, Tuple[str, ...]] = {}
+    async_functions: List[str] = []
+    decorators: Dict[str, Tuple[str, ...]] = {}
+
+    def visit(nodes: Sequence[ast.stmt], prefix: str) -> None:
+        for node in nodes:
+            if isinstance(node, ast.Import):
+                imports.extend(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imports.append(node.module)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{prefix}{node.name}"
+                if not prefix:
+                    exports.append(node.name)
+                names = tuple(
+                    filter(None, map(_decorator_name, node.decorator_list))
+                )
+                if names:
+                    decorators[qual] = names
+                fields = dataclass_fields_of(node)
+                if fields is not None:
+                    dataclasses[node.name if not prefix else qual] = fields
+                visit(node.body, f"{qual}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                if not prefix:
+                    exports.append(node.name)
+                names = tuple(
+                    filter(None, map(_decorator_name, node.decorator_list))
+                )
+                if names:
+                    decorators[qual] = names
+                if isinstance(node, ast.AsyncFunctionDef):
+                    async_functions.append(qual)
+                visit(node.body, f"{qual}.")
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Imports guarded by TYPE_CHECKING / try-except still
+                # bind names the project graph should know about.
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.stmt):
+                        visit([child], prefix)
+
+    visit(tree.body, "")
+    return ModuleSummary(
+        rel_path=rel_path,
+        module=module_name_for(rel_path),
+        imports=tuple(dict.fromkeys(imports)),
+        exports=tuple(dict.fromkeys(exports)),
+        dataclasses=dataclasses,
+        async_functions=tuple(async_functions),
+        decorators=decorators,
+    )
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file indexes shared by every rule during pass 2."""
+
+    modules: Dict[str, ModuleSummary] = field(default_factory=dict)
+    #: rel_path -> dotted module name (for reverse lookups).
+    module_of_path: Dict[str, str] = field(default_factory=dict)
+    #: ``module.Class`` -> ordered public dataclass field names.
+    dataclass_fields: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def add(self, summary: ModuleSummary) -> None:
+        if summary.module:
+            self.modules[summary.module] = summary
+        self.module_of_path[summary.rel_path] = summary.module
+        for cls, fields in summary.dataclasses.items():
+            if summary.module:
+                self.dataclass_fields[f"{summary.module}.{cls}"] = fields
+
+    # ------------------------------------------------------------------
+    def imports_of(self, module: str) -> Tuple[str, ...]:
+        """Modules imported by ``module`` ('' summaries excluded)."""
+        summary = self.modules.get(module)
+        return summary.imports if summary is not None else ()
+
+    def exports_of(self, module: str) -> Tuple[str, ...]:
+        """Top-level definitions of ``module``."""
+        summary = self.modules.get(module)
+        return summary.exports if summary is not None else ()
+
+    def fields_of(self, qualname: str) -> Optional[Tuple[str, ...]]:
+        """Dataclass fields of ``module.Class`` (None when unknown)."""
+        return self.dataclass_fields.get(qualname)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every cross-file fact rules may consume.
+
+        Part of the lint-cache key: a cached verdict for one file is
+        only valid while the *project* facts it may have read are
+        unchanged (RL009's verdict on ``protocol.py`` depends on
+        ``options.py``'s dataclass fields).
+        """
+        payload = {
+            module: {
+                "imports": summary.imports,
+                "exports": summary.exports,
+                "dataclasses": {
+                    cls: list(fields)
+                    for cls, fields in sorted(summary.dataclasses.items())
+                },
+                "async": summary.async_functions,
+                "decorators": {
+                    qual: list(names)
+                    for qual, names in sorted(summary.decorators.items())
+                },
+            }
+            for module, summary in sorted(self.modules.items())
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+def build_project_context(
+    pairs: Sequence[Tuple[Path, str]],
+) -> ProjectContext:
+    """Pass 1: parse ``(path, rel_path)`` pairs into a project context.
+
+    Files that do not parse are skipped here — pass 2 reports them as
+    ``RL000`` parse errors; the project simply has no facts for them.
+    """
+    project = ProjectContext()
+    for path, rel_path in pairs:
+        try:
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+        except (SyntaxError, OSError, UnicodeDecodeError):
+            continue
+        project.add(summarize_module(rel_path, tree))
+    return project

@@ -1,8 +1,12 @@
-"""Report rendering: human-readable text and machine-readable JSON.
+"""Report rendering: human text, machine JSON, and SARIF 2.1.0.
 
 The JSON schema (``repro_lint.report/v1``) is stable and round-trips
 through :func:`json.loads` into the same shape the test suite asserts
-on; CI artifacts and dashboards consume it directly.
+on; CI artifacts and dashboards consume it directly.  The SARIF view
+(``--format sarif``) targets GitHub code scanning: every violation the
+JSON reporter carries appears as one SARIF ``result`` with a physical
+location, and every registered rule is described in the tool driver so
+annotations link back to the rule catalogue.
 """
 
 from __future__ import annotations
@@ -11,8 +15,15 @@ import json
 from typing import Any, Dict
 
 from repro_lint.engine import LintReport
+from repro_lint.registry import all_rules
 
 JSON_SCHEMA = "repro_lint.report/v1"
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport) -> str:
@@ -51,3 +62,71 @@ def to_payload(report: LintReport) -> Dict[str, Any]:
 def render_json(report: LintReport, indent: int = 2) -> str:
     """Serialise the report to a JSON document."""
     return json.dumps(to_payload(report), indent=indent)
+
+
+def to_sarif(report: LintReport) -> Dict[str, Any]:
+    """SARIF 2.1.0 log of a report (one run, one result per hit).
+
+    Parse errors (``RL000``) are reported at level ``error``; rule
+    violations at ``warning`` — they gate CI via the exit code, but a
+    single convention slip should not mask a file that does not parse.
+    """
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+        }
+        for rule in all_rules()
+    ]
+    rules.insert(
+        0,
+        {
+            "id": "RL000",
+            "name": "parse-error",
+            "shortDescription": {"text": "parse-error"},
+            "fullDescription": {"text": "file does not parse"},
+        },
+    )
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error" if v.code == "RL000" else "warning",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in report.violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro_lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, indent: int = 2) -> str:
+    """Serialise the report to a SARIF 2.1.0 document."""
+    return json.dumps(to_sarif(report), indent=indent)

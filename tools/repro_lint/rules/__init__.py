@@ -14,4 +14,8 @@ from repro_lint.rules import (  # noqa: F401  (imports register the rules)
     rl005_swallowed_except,
     rl006_wall_clock,
     rl007_unbounded_retry,
+    rl008_blocking_async,
+    rl009_wire_schema,
+    rl010_bit_exactness,
+    rl011_stale_suppression,
 )

@@ -1,0 +1,200 @@
+"""RL008 — blocking calls inside ``async def`` on the serving path.
+
+The gateway and :class:`~repro.runtime.service.AnnealingService` run on
+a single asyncio event loop; one synchronous ``time.sleep``, sync
+socket/subprocess/file I/O, or blocking ``Future.result()`` inside a
+coroutine stalls *every* in-flight request behind it.  Solver work is
+deliberately pushed onto executor threads — the coroutine layer itself
+must never block.
+
+Scope: ``repro/runtime/service.py`` and everything under
+``repro/gateway/``.  Only statements lexically inside an
+``async def`` body are judged; synchronous helpers defined next to the
+coroutines (and nested ``def`` functions destined for executors) may
+block freely.
+
+Flagged inside a coroutine:
+
+* ``time.sleep(...)`` (module call or ``from time import sleep``) —
+  use ``await asyncio.sleep``;
+* ``subprocess.run/call/check_call/check_output/Popen`` — use
+  ``asyncio.create_subprocess_exec``;
+* ``socket.socket/create_connection/getaddrinfo`` — use asyncio
+  streams / ``loop.getaddrinfo``;
+* builtin ``open(...)`` — do file I/O on an executor;
+* a non-awaited ``.result()`` call — blocking on a Future from a
+  coroutine deadlock-prone; ``await`` the future or wrap it;
+* ``.shutdown(wait=True)`` (or ``wait`` omitted) on an
+  executor/pool/thread-named receiver — joining worker threads from
+  the loop stalls it; offload via ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_SUBPROCESS_FNS = {"run", "call", "check_call", "check_output", "Popen"}
+_SOCKET_FNS = {"socket", "create_connection", "getaddrinfo"}
+#: Receiver-name fragments marking a thread-pool-ish object whose
+#: ``.shutdown()`` joins worker threads.
+_POOL_NAME_HINTS = ("pool", "executor", "thread")
+
+
+def _module_attr_call(
+    ctx: FileContext, node: ast.Call, module: str
+) -> Optional[str]:
+    """``module.fn(...)`` → ``fn`` when ``module`` is imported."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == module
+        and ctx.imports_module(module)
+    ):
+        return func.attr
+    return None
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """Trailing identifier of a receiver expression (lower-cased)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    return ""
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _blocking_reason(ctx: FileContext, node: ast.Call) -> str:
+    """Why this call blocks the event loop ('' when it doesn't)."""
+    func = node.func
+
+    fn = _module_attr_call(ctx, node, "time")
+    if fn == "sleep":
+        return "time.sleep() stalls the event loop; await asyncio.sleep"
+    fn = _module_attr_call(ctx, node, "subprocess")
+    if fn in _SUBPROCESS_FNS:
+        return (
+            f"subprocess.{fn}() blocks the event loop; use "
+            "asyncio.create_subprocess_exec"
+        )
+    fn = _module_attr_call(ctx, node, "socket")
+    if fn in _SOCKET_FNS:
+        return (
+            f"sync socket.{fn}() blocks the event loop; use asyncio "
+            "streams"
+        )
+
+    if isinstance(func, ast.Name):
+        origin = ctx.from_imports.get(func.id, "")
+        if origin == "time.sleep":
+            return (
+                "time.sleep() stalls the event loop; await asyncio.sleep"
+            )
+        if origin.startswith("subprocess.") and origin[11:] in _SUBPROCESS_FNS:
+            return (
+                f"{origin}() blocks the event loop; use "
+                "asyncio.create_subprocess_exec"
+            )
+        if origin.startswith("socket.") and origin[7:] in _SOCKET_FNS:
+            return f"sync {origin}() blocks the event loop; use asyncio streams"
+        if func.id == "open" and func.id not in ctx.from_imports:
+            return (
+                "sync file I/O in a coroutine blocks the event loop; "
+                "offload open() to an executor"
+            )
+
+    if isinstance(func, ast.Attribute):
+        if func.attr == "result":
+            return (
+                "blocking Future.result() in a coroutine can deadlock "
+                "the loop; await the future instead"
+            )
+        if func.attr == "shutdown":
+            receiver = _receiver_name(func.value)
+            if any(hint in receiver for hint in _POOL_NAME_HINTS):
+                wait = _keyword(node, "wait")
+                blocks = wait is None or not (
+                    isinstance(wait, ast.Constant) and wait.value is False
+                )
+                if blocks:
+                    return (
+                        "executor.shutdown(wait=True) joins worker "
+                        "threads on the event loop; offload via "
+                        "loop.run_in_executor"
+                    )
+    return ""
+
+
+def _async_body_calls(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AsyncFunctionDef, ast.Call, bool]]:
+    """Yield ``(coroutine, call, is_awaited)`` for every call lexically
+    inside a coroutine body.
+
+    Nested ``def``/``async def`` bodies are not attributed to the outer
+    coroutine: a sync closure handed to ``run_in_executor`` may block
+    freely, and an inner coroutine is visited in its own right (``ast.
+    walk`` finds it at any nesting depth).  Only the *direct* operand
+    of an ``await`` counts as awaited.
+    """
+    for owner in ast.walk(tree):
+        if not isinstance(owner, ast.AsyncFunctionDef):
+            continue
+
+        def visit(node: ast.AST) -> Iterator[Tuple[ast.Call, bool]]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # separate execution context
+            if isinstance(node, ast.Await) and isinstance(
+                node.value, ast.Call
+            ):
+                yield node.value, True
+                for child in ast.iter_child_nodes(node.value):
+                    yield from visit(child)
+                return
+            if isinstance(node, ast.Call):
+                yield node, False
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        for stmt in owner.body:
+            for call, is_awaited in visit(stmt):
+                yield owner, call, is_awaited
+
+
+@register
+class BlockingCallInAsync(Rule):
+    code = "RL008"
+    name = "blocking-call-in-async"
+    description = (
+        "blocking call (time.sleep, sync socket/subprocess/file I/O, "
+        "Future.result, executor.shutdown(wait=True)) inside an async "
+        "def on the serving path; the event loop must never stall"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        sub = ctx.repro_subpath()
+        if sub is None:
+            return False
+        return sub == "runtime/service.py" or sub.startswith("gateway/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for owner, call, is_awaited in _async_body_calls(ctx.tree):
+            if is_awaited:
+                continue  # awaited expressions yield the loop by design
+            reason = _blocking_reason(ctx, call)
+            if reason:
+                yield self.violation(
+                    ctx, call, f"in 'async def {owner.name}': {reason}"
+                )

@@ -1,0 +1,276 @@
+"""RL009 — wire-schema drift between codecs and their dataclasses.
+
+``repro.solve_request/v1`` payloads are hand-coded in
+``gateway/protocol.py``: ``encode_*`` builds a dict literal per
+dataclass, ``decode_*`` reconstructs the dataclass field by field, and
+a ``_*_FIELDS`` frozenset literal gates unknown keys.  Each of those
+three artefacts repeats the dataclass's field list — so adding a knob
+like ``EnsembleOptions.batch_size`` silently drops off the wire unless
+every copy is updated by hand.  This rule makes the drift loud by
+checking all three against the *actual* field list from the project's
+cross-file dataclass index (pass 1):
+
+* an ``encode_<x>(obj: D)`` returning a dict literal must emit exactly
+  the public fields of ``D`` (the ``schema`` envelope tag is allowed);
+* a constructor call of a known dataclass inside a ``decode_*``
+  function must pass every field (positionally, in field order, or by
+  keyword).  Zero-argument calls (defaults probes) and ``**kwargs``
+  splats are exempt — there is nothing lexical to check;
+* a module-level ``NAME = frozenset({...})`` literal passed to
+  ``_reject_unknown`` in a ``decode_*`` function must equal the field
+  set of the dataclass that same function constructs (again plus
+  ``schema``).
+
+Scope: any file that defines a module-level string constant starting
+with ``repro.solve_request/`` — the wire module and its fixtures, not
+the dataclass definitions themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.violations import Violation
+
+_SCHEMA_PREFIX = "repro.solve_request/"
+
+#: Envelope keys a wire payload may carry beyond dataclass fields.
+_ENVELOPE_KEYS = {"schema"}
+
+
+def _annotation_class_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Bare class name of a parameter annotation, unwrapping
+    ``Optional[X]`` / ``"X"`` string forms.  None when unresolvable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.strip().strip("'\"")
+        return name if name.isidentifier() else None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):  # Optional[X], Type[X], ...
+        return _annotation_class_name(
+            node.slice if not isinstance(node.slice, ast.Tuple) else None
+        )
+    return None
+
+
+def _dict_literal_keys(node: ast.Dict) -> Optional[Set[str]]:
+    """Constant string keys of a dict literal (None when it has a
+    ``**`` splat or non-constant keys — nothing provable)."""
+    keys: Set[str] = set()
+    for key in node.keys:
+        if key is None:
+            return None  # **spread
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.add(key.value)
+    return keys
+
+
+def _frozenset_literal(node: ast.expr) -> Optional[Set[str]]:
+    """Members of ``frozenset({...})`` / ``frozenset([...])`` when all
+    are string constants."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "frozenset"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return None
+    arg = node.args[0]
+    if not isinstance(arg, (ast.Set, ast.List, ast.Tuple)):
+        return None
+    members: Set[str] = set()
+    for elt in arg.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        members.add(elt.value)
+    return members
+
+
+def _constructed_dataclass(
+    ctx: FileContext, call: ast.Call
+) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """``(class name, fields)`` when ``call`` constructs a known
+    dataclass — directly or via a ``.build`` factory classmethod."""
+    func = call.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif (
+        isinstance(func, ast.Attribute)
+        and func.attr == "build"
+        and isinstance(func.value, ast.Name)
+    ):
+        name = func.value.id
+    if name is None:
+        return None
+    fields = ctx.resolve_dataclass(name)
+    if fields is None:
+        return None
+    return name, fields
+
+
+@register
+class WireSchemaDrift(Rule):
+    code = "RL009"
+    name = "wire-schema-drift"
+    description = (
+        "wire codec out of bijection with its dataclass: an encoder "
+        "dict, decoder constructor, or _FIELDS guard is missing or "
+        "inventing fields relative to the dataclass definition"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Constant
+            ):
+                value = node.value.value
+                if isinstance(value, str) and value.startswith(
+                    _SCHEMA_PREFIX
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        guards = self._module_guards(ctx)
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("encode_"):
+                yield from self._check_encoder(ctx, node)
+            elif node.name.startswith("decode_"):
+                yield from self._check_decoder(ctx, node, guards)
+
+    @staticmethod
+    def _module_guards(ctx: FileContext) -> Dict[str, Set[str]]:
+        """Module-level ``NAME = frozenset({...})`` literals."""
+        guards: Dict[str, Set[str]] = {}
+        for node in ctx.tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            members = _frozenset_literal(node.value)
+            if members is not None:
+                guards[node.targets[0].id] = members
+        return guards
+
+    # ------------------------------------------------------------------
+    def _check_encoder(
+        self, ctx: FileContext, fn: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        # Codec convention: ``encode_x(x: X) -> dict``.  Only the first
+        # parameter is considered — envelope builders that *mention* a
+        # dataclass later in their signature (encode_job_result) are
+        # not field codecs.
+        if not fn.args.args:
+            return
+        cls_name = _annotation_class_name(fn.args.args[0].annotation)
+        fields = (
+            ctx.resolve_dataclass(cls_name) if cls_name is not None else None
+        )
+        if fields is None:
+            return  # encoder of something we cannot see; out of scope
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            keys = _dict_literal_keys(node.value)
+            if keys is None:
+                continue
+            for missing in sorted(set(fields) - keys):
+                yield self.violation(
+                    ctx,
+                    node.value,
+                    f"encoder {fn.name}() omits field {missing!r} of "
+                    f"{cls_name}; the wire silently drops it",
+                )
+            for extra in sorted(keys - set(fields) - _ENVELOPE_KEYS):
+                yield self.violation(
+                    ctx,
+                    node.value,
+                    f"encoder {fn.name}() emits key {extra!r} which is "
+                    f"not a field of {cls_name}; the strict decoder "
+                    "will reject it",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_decoder(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        guards: Dict[str, Set[str]],
+    ) -> Iterator[Violation]:
+        constructed: List[Tuple[str, Tuple[str, ...]]] = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            info = _constructed_dataclass(ctx, node)
+            if info is None:
+                continue
+            name, fields = info
+            if not node.args and not node.keywords:
+                continue  # defaults probe (`defaults = EnsembleOptions()`)
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **splat: field list is not lexical here
+            constructed.append((name, fields))
+            covered = set(fields[: len(node.args)])
+            covered |= {kw.arg for kw in node.keywords if kw.arg}
+            for missing in sorted(set(fields) - covered):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"decoder {fn.name}() constructs {name} without "
+                    f"field {missing!r}; wire payloads can never set it",
+                )
+            for unknown in sorted(covered - set(fields)):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"decoder {fn.name}() passes {unknown!r} which is "
+                    f"not a field of {name}",
+                )
+        # The unknown-key guard this decoder applies must match the
+        # field set of the dataclass it constructs.
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "_reject_unknown"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Name)
+            ):
+                continue
+            guard_name = node.args[1].id
+            members = guards.get(guard_name)
+            if members is None or len(constructed) != 1:
+                continue  # nested guards (sub-payloads) are unprovable
+            cls_name, fields = constructed[0]
+            for missing in sorted(set(fields) - members):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"guard {guard_name} omits field {missing!r} of "
+                    f"{cls_name}; valid payloads carrying it are "
+                    "rejected as unknown",
+                )
+            for extra in sorted(members - set(fields) - _ENVELOPE_KEYS):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"guard {guard_name} allows key {extra!r} which is "
+                    f"not a field of {cls_name}; the decoder ignores it "
+                    "silently",
+                )

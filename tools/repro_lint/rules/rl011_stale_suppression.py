@@ -1,0 +1,53 @@
+"""RL011 — stale-suppression hygiene.
+
+A ``# repro-lint: ignore[RLxxx]`` is a debt marker: it says "this line
+knowingly violates RLxxx, here is why".  Once the code it excused is
+fixed or deleted the comment keeps silencing — and the *next* genuine
+violation on that line inherits a free pass.  RL011 closes the loop:
+any suppression entry that silenced nothing over a run is itself a
+violation.
+
+Unlike RL001–RL010 this rule cannot be a per-file AST walk — staleness
+is only knowable *after* every other active rule has run and the
+engine has recorded which suppression entries actually fired.  The
+class below therefore only registers the code (so ``--select RL011``,
+``--ignore RL011`` and suppression comments address it uniformly);
+the detection itself lives in the engine
+(:func:`repro_lint.engine.lint_file`), fed by
+:meth:`repro_lint.suppressions.Suppressions.stale_entries`.
+
+Semantics enforced there:
+
+* entries for codes not in the registry are always stale (typo'd or
+  long-deleted rules);
+* under ``--select``/``--ignore`` filtering, entries for *skipped*
+  rules are not judged — they had no chance to fire;
+* ``ignore[*]`` wildcards are judged only when the full rule set ran;
+* ``ignore[RL011]`` entries are exempt from staleness accounting and
+  instead silence RL011 findings on their line the ordinary way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro_lint.context import FileContext
+from repro_lint.registry import Rule, register
+from repro_lint.suppressions import STALE_RULE_CODE
+from repro_lint.violations import Violation
+
+
+@register
+class StaleSuppression(Rule):
+    code = STALE_RULE_CODE  # "RL011"
+    name = "stale-suppression"
+    description = (
+        "a # repro-lint: ignore[...] / file-ignore[...] entry that "
+        "suppresses nothing; remove it so suppressions cannot rot"
+    )
+
+    #: Detection happens in the engine after all other rules ran.
+    engine_driven = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())

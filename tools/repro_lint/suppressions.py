@@ -1,4 +1,4 @@
-"""Suppression-comment parsing.
+"""Suppression-comment parsing and usage accounting.
 
 Two forms, both addressing rules by code:
 
@@ -12,6 +12,12 @@ Two forms, both addressing rules by code:
 ``ignore[*]`` / ``file-ignore[*]`` silences every rule.  Comments are
 found with :mod:`tokenize` so strings that merely *contain* the magic
 text don't suppress anything.
+
+The engine filters violations through :meth:`Suppressions.suppress`,
+which also *records* which entries fired — the raw material of RL011
+(stale-suppression hygiene): an entry that silenced nothing over a
+whole run is itself reported, so suppressions cannot rot in place
+after the code they excused is fixed or deleted.
 """
 
 from __future__ import annotations
@@ -20,26 +26,87 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Iterator, Set, Tuple
 
 _PATTERN = re.compile(
     r"#\s*repro-lint:\s*(?P<scope>file-ignore|ignore)\[(?P<codes>[^\]]+)\]"
 )
 
+#: The stale-suppression rule's own code.  Its entries are exempt from
+#: staleness accounting (an ``ignore[RL011]`` silences RL011 findings
+#: and is judged by that filtering, not by itself).
+STALE_RULE_CODE = "RL011"
+
 
 @dataclass
 class Suppressions:
-    """Parsed suppression comments of one file."""
+    """Parsed suppression comments of one file, with usage tracking."""
 
     file_codes: Set[str] = field(default_factory=set)
     line_codes: Dict[int, Set[str]] = field(default_factory=dict)
+    #: code -> line of the first ``file-ignore`` comment carrying it.
+    file_entry_lines: Dict[str, int] = field(default_factory=dict)
+    _used_file: Set[str] = field(default_factory=set)
+    _used_line: Set[Tuple[int, str]] = field(default_factory=set)
 
     def is_suppressed(self, code: str, line: int) -> bool:
-        """Whether ``code`` is silenced at ``line``."""
+        """Whether ``code`` is silenced at ``line`` (no usage recorded)."""
         if code in self.file_codes or "*" in self.file_codes:
             return True
         at_line = self.line_codes.get(line, ())
         return code in at_line or "*" in at_line
+
+    def suppress(self, code: str, line: int) -> bool:
+        """Like :meth:`is_suppressed`, but marks matching entries used.
+
+        Every entry that would silence this violation is credited —
+        a hit shared by a line comment and a ``file-ignore`` keeps
+        both alive for RL011 purposes.
+        """
+        hit = False
+        for entry in (code, "*"):
+            if entry in self.file_codes:
+                self._used_file.add(entry)
+                hit = True
+            if entry in self.line_codes.get(line, ()):
+                self._used_line.add((line, entry))
+                hit = True
+        return hit
+
+    def stale_entries(
+        self,
+        active_codes: Set[str],
+        registry_codes: Set[str],
+        assess_wildcard: bool,
+    ) -> Iterator[Tuple[int, str, str]]:
+        """Yield ``(line, scope, code)`` for entries that silenced nothing.
+
+        Only codes in ``active_codes`` are judged — under a
+        ``--select``/``--ignore`` filtered run an entry for a skipped
+        rule had no chance to fire, so it is not stale evidence.  A
+        code absent from ``registry_codes`` can *never* suppress
+        anything and is always stale.  Wildcard entries are judged only
+        when ``assess_wildcard`` (the full rule set ran).  RL011's own
+        entries are exempt (see :data:`STALE_RULE_CODE`).
+        """
+
+        def judge(entry: str) -> bool:
+            if entry == STALE_RULE_CODE:
+                return False
+            if entry == "*":
+                return assess_wildcard
+            if entry not in registry_codes:
+                return True
+            return entry in active_codes
+
+        for entry in sorted(self.file_codes):
+            if judge(entry) and entry not in self._used_file:
+                line = self.file_entry_lines.get(entry, 1)
+                yield (line, "file-ignore", entry)
+        for line in sorted(self.line_codes):
+            for entry in sorted(self.line_codes[line]):
+                if judge(entry) and (line, entry) not in self._used_line:
+                    yield (line, "ignore", entry)
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -61,10 +128,12 @@ def parse_suppressions(source: str) -> Suppressions:
             codes = {
                 c.strip() for c in match.group("codes").split(",") if c.strip()
             }
+            line = tok.start[0]
             if match.group("scope") == "file-ignore":
                 sup.file_codes |= codes
+                for code in codes:
+                    sup.file_entry_lines.setdefault(code, line)
             else:
-                line = tok.start[0]
                 sup.line_codes.setdefault(line, set()).update(codes)
     except tokenize.TokenError:
         pass
