@@ -13,6 +13,7 @@ import pytest
 
 from benchmarks._common import save_and_print
 from repro.maxcut import (
+    MaxCutAnnealParams,
     anneal_maxcut,
     greedy_maxcut,
     gset_style,
@@ -35,7 +36,9 @@ def test_maxcut_at_published_chip_sizes(benchmark):
         for chip, n in CHIP_SPINS.items():
             problem = gset_style(n, avg_degree=6.0, seed=42)
             greedy = greedy_maxcut(problem, seed=0)
-            annealed = anneal_maxcut(problem, n_sweeps=150, seed=0)
+            annealed = anneal_maxcut(
+                problem, params=MaxCutAnnealParams(n_sweeps=150), seed=0
+            )
             polished = local_search_improve(problem, annealed.spins)
             sb = simulated_bifurcation_maxcut(
                 problem, SBParams(n_steps=1000), seed=0
@@ -72,7 +75,8 @@ def test_maxcut_recovers_planted_cut(benchmark):
     problem, _, planted_cut = planted_bisection(200, seed=7)
     res = benchmark.pedantic(
         anneal_maxcut, args=(problem,),
-        kwargs=dict(n_sweeps=200, seed=0), rounds=1, iterations=1,
+        kwargs=dict(params=MaxCutAnnealParams(n_sweeps=200), seed=0),
+        rounds=1, iterations=1,
     )
     assert res.cut_value >= 0.97 * planted_cut
 

@@ -16,6 +16,7 @@ import sys
 
 from repro.analysis.quality import run_ensemble
 from repro.maxcut import (
+    MaxCutAnnealParams,
     anneal_maxcut,
     greedy_maxcut,
     gset_style,
@@ -32,7 +33,9 @@ def main(n_nodes: int = 400) -> None:
     # ------------------------------------------------------------------
     problem, planted_spins, planted_cut = planted_bisection(n_nodes, seed=1)
     print(f"planted instance: {problem}, planted cut = {planted_cut:.0f}")
-    res = anneal_maxcut(problem, n_sweeps=200, seed=0)
+    res = anneal_maxcut(
+        problem, params=MaxCutAnnealParams(n_sweeps=200), seed=0
+    )
     print(
         f"annealed cut    : {res.cut_value:.0f} "
         f"({100 * res.cut_value / planted_cut:.1f}% of planted)"
@@ -48,11 +51,17 @@ def main(n_nodes: int = 400) -> None:
             lambda s: -greedy_maxcut(gset, seed=s).cut_value, seeds
         ),
         "annealed": run_ensemble(
-            lambda s: -anneal_maxcut(gset, n_sweeps=150, seed=s).cut_value, seeds
+            lambda s: -anneal_maxcut(
+                gset, params=MaxCutAnnealParams(n_sweeps=150), seed=s
+            ).cut_value,
+            seeds,
         ),
         "annealed + local search": run_ensemble(
             lambda s: -local_search_improve(
-                gset, anneal_maxcut(gset, n_sweeps=150, seed=s).spins
+                gset,
+                anneal_maxcut(
+                    gset, params=MaxCutAnnealParams(n_sweeps=150), seed=s
+                ).spins,
             ).cut_value,
             seeds,
         ),

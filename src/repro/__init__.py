@@ -23,6 +23,7 @@ Package layout
 * :mod:`repro.sram` — noisy SRAM cells, Monte-Carlo error curves;
 * :mod:`repro.cim` — digital CIM windows, arrays, adder trees;
 * :mod:`repro.annealer` — the clustered CIM annealer (core);
+* :mod:`repro.backends` — the pluggable solver-backend registry;
 * :mod:`repro.runtime` — parallel ensembles, async serving, telemetry;
 * :mod:`repro.hardware` — area / latency / energy models, Table III;
 * :mod:`repro.analysis` — capacity laws, sweeps, speedup accounting.
@@ -36,6 +37,13 @@ from repro.annealer import (
     NoiseSource,
     NoiseTarget,
     solve_ensemble,
+)
+from repro.backends import (
+    DEFAULT_BACKEND,
+    SolverBackend,
+    list_backends,
+    register_backend,
+    resolve_backend,
 )
 from repro.runtime import (
     AnnealingService,
@@ -68,7 +76,7 @@ from repro.tsp import (
     tour_length,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -89,6 +97,12 @@ __all__ = [
     "NoiseTarget",
     "VddSchedule",
     "SRAMCellParams",
+    # solver-backend registry
+    "DEFAULT_BACKEND",
+    "SolverBackend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
     # ensemble + serving runtime
     "solve_ensemble",
     "EnsembleResult",

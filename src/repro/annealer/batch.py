@@ -34,25 +34,35 @@ deprecation-shimmed for exactly one release (1.1) and removed in 1.2
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.analysis.quality import QualityStats
 from repro.annealer.config import AnnealerConfig
-from repro.annealer.result import AnnealResult
 from repro.errors import AnnealerError
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.service import solve_sync
-from repro.runtime.telemetry import EnsembleTelemetry
-from repro.tsp.instance import TSPInstance
+from repro.runtime.telemetry import EnsembleTelemetry, RunResultLike
+
+if TYPE_CHECKING:  # import cycle: repro.backends.base sits above this
+    from repro.backends.base import ProblemLike
 
 
 @dataclass
 class EnsembleResult:
-    """Results of a multi-seed batch solve."""
+    """Results of a multi-seed batch solve.
 
-    instance: TSPInstance
+    ``results`` holds whatever the dispatched backend produced —
+    :class:`~repro.annealer.result.AnnealResult` for the default
+    clustered CIM annealer, :class:`~repro.backends.base.
+    BackendRunResult` otherwise; both satisfy
+    :class:`~repro.runtime.telemetry.RunResultLike`, and ``length`` is
+    always the minimised objective, so ``best`` and ``ratios`` work
+    identically for every backend.
+    """
+
+    instance: "ProblemLike"
     reference: float
-    results: List[AnnealResult] = field(default_factory=list)
+    results: List[RunResultLike] = field(default_factory=list)
     ratio_stats: Optional[QualityStats] = None
     telemetry: Optional[EnsembleTelemetry] = None
 
@@ -66,8 +76,8 @@ class EnsembleResult:
         return [r.optimal_ratio(self.reference) for r in self.results]
 
     @property
-    def best(self) -> AnnealResult:
-        """The shortest-tour run."""
+    def best(self) -> RunResultLike:
+        """The lowest-objective run."""
         if not self.results:
             raise AnnealerError(
                 "ensemble has no successful runs; no best result"
@@ -81,12 +91,13 @@ class EnsembleResult:
 
 
 def solve_ensemble(
-    instance: Union[TSPInstance, SolveRequest],
+    instance: Union["ProblemLike", SolveRequest],
     seeds: Optional[Sequence[int]] = None,
     *,
     config: Optional[AnnealerConfig] = None,
     reference: Optional[float] = None,
     options: Optional[EnsembleOptions] = None,
+    backend: str = "cluster-cim",
 ) -> EnsembleResult:
     """Solve ``instance`` once per seed and aggregate the quality.
 
@@ -116,6 +127,10 @@ def solve_ensemble(
         (:class:`~repro.runtime.EnsembleOptions`): pool width, per-run
         timeout/retries, admission-control knobs.  Results are
         bit-identical for any ``max_workers``.
+    backend:
+        Keyword-only registry name of the solver backend
+        (:func:`repro.backends.list_backends`); the default
+        ``"cluster-cim"`` is the paper's clustered CIM annealer.
     """
     if isinstance(instance, SolveRequest):
         if (
@@ -123,10 +138,11 @@ def solve_ensemble(
             or config is not None
             or reference is not None
             or options is not None
+            or backend != "cluster-cim"
         ):
             raise AnnealerError(
                 "solve_ensemble(request) takes no other arguments; put "
-                "config/reference/options on the SolveRequest itself"
+                "config/reference/options/backend on the SolveRequest itself"
             )
         return solve_sync(instance)
     if seeds is None:
@@ -138,5 +154,6 @@ def solve_ensemble(
         config=config,
         reference=reference,
         options=options,
+        backend=backend,
     )
     return solve_sync(request)

@@ -1,0 +1,107 @@
+"""Backend adapter for the dense Ising TSP annealer.
+
+Wraps :func:`repro.ising.dense_annealer.anneal_dense_tsp` — the
+textbook Eq. (3) mapping annealed by dense Gibbs sweeps — behind the
+:class:`~repro.backends.base.SolverBackend` interface.  Dense N²-spin
+models cap out fast (the mapping refuses N > 64 cities), which is
+exactly the contrast the paper draws against its clustered windows;
+serving both through one API makes that comparison a request parameter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendPlan,
+    BackendRunResult,
+    ProblemLike,
+    SolverBackend,
+)
+from repro.backends.registry import register_backend
+from repro.errors import AnnealerError
+from repro.runtime.telemetry import RunResultLike, Stopwatch
+
+if TYPE_CHECKING:
+    from repro.annealer.config import AnnealerConfig
+
+#: The dense mapping's hard size limit (N² spins, dense J).
+MAX_DENSE_CITIES = 64
+
+
+@register_backend("dense-ising")
+class DenseIsingBackend(SolverBackend):
+    """Dense-mapping Gibbs annealer for small TSP instances."""
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="dense-ising",
+            problem_kinds=("tsp",),
+            batchable=False,
+            accepts_config=False,
+            description=(
+                f"dense Eq.(3) Ising annealer (TSP, N <= {MAX_DENSE_CITIES})"
+            ),
+        )
+
+    def compile(
+        self, problem: ProblemLike, config: Optional["AnnealerConfig"]
+    ) -> BackendPlan:
+        from repro.tsp.instance import TSPInstance
+
+        self._check_kind(problem)
+        assert isinstance(problem, TSPInstance)
+        if problem.n > MAX_DENSE_CITIES:
+            raise AnnealerError(
+                f"backend 'dense-ising' is limited to "
+                f"{MAX_DENSE_CITIES} cities, got {problem.n}"
+            )
+        return BackendPlan(backend="dense-ising", problem=problem)
+
+    def solve(self, plan: BackendPlan, seed: int) -> RunResultLike:
+        from repro.ising.dense_annealer import anneal_dense_tsp
+        from repro.tsp.instance import TSPInstance
+
+        assert isinstance(plan.problem, TSPInstance)
+        watch = Stopwatch()
+        annealed = anneal_dense_tsp(plan.problem, seed=int(seed))
+        return BackendRunResult(
+            tour=annealed.tour,
+            length=float(annealed.length),
+            wall_time_s=watch.elapsed_s(),
+        )
+
+    def validate_result(
+        self, problem: ProblemLike, result: RunResultLike
+    ) -> None:
+        from repro.errors import TSPError
+        from repro.runtime.faults import ResultIntegrityError
+        from repro.tsp.instance import TSPInstance
+        from repro.tsp.tour import tour_length, validate_tour
+
+        assert isinstance(problem, TSPInstance)
+        try:
+            validate_tour(result.tour, problem.n)
+        except TSPError as exc:
+            raise ResultIntegrityError(f"corrupted tour: {exc}") from exc
+        recomputed = float(tour_length(problem, result.tour))
+        if abs(recomputed - result.length) > max(1e-6, 1e-9 * abs(recomputed)):
+            raise ResultIntegrityError(
+                f"corrupted result: reported length {result.length} does "
+                f"not match recomputed tour length {recomputed}"
+            )
+
+    def reference(self, problem: ProblemLike, seed: int) -> float:
+        from repro.tsp.instance import TSPInstance
+        from repro.tsp.reference import reference_length
+
+        assert isinstance(problem, TSPInstance)
+        return float(reference_length(problem, seed=int(seed)))
+
+    def decode(self, result: RunResultLike) -> Dict[str, Any]:
+        return {
+            "backend": "dense-ising",
+            "tour": [int(c) for c in result.tour],
+            "length": float(result.length),
+        }

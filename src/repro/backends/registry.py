@@ -1,0 +1,75 @@
+"""String-keyed registry of solver backends.
+
+Backends register by decorating their class::
+
+    @register_backend("cluster-cim")
+    class ClusterCIMBackend(SolverBackend): ...
+
+and the serving stack resolves them per request with
+:func:`resolve_backend` (one shared, lazily constructed instance per
+name — backends are stateless by contract).  The registry is the
+single source of truth for ``SolveRequest.backend`` validation, the
+CLI ``--backend`` choices, and the gateway's per-backend metrics keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type, TypeVar
+
+from repro.backends.base import SolverBackend
+from repro.errors import AnnealerError
+
+#: The backend every request dispatches to unless told otherwise.
+DEFAULT_BACKEND = "cluster-cim"
+
+_REGISTRY: Dict[str, Type[SolverBackend]] = {}
+_INSTANCES: Dict[str, SolverBackend] = {}
+
+B = TypeVar("B", bound=Type[SolverBackend])
+
+
+def register_backend(name: str) -> Callable[[B], B]:
+    """Class decorator registering a :class:`SolverBackend` by name."""
+    if not name or "/" in name or "@" in name:
+        # "/" and "@" are the worker-framing separators; a backend name
+        # containing them would corrupt telemetry parsing.
+        raise AnnealerError(f"invalid backend name {name!r}")
+
+    def decorate(cls: B) -> B:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise AnnealerError(
+                f"backend {name!r} already registered to "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[name] = cls
+        _INSTANCES.pop(name, None)
+        return cls
+
+    return decorate
+
+
+def resolve_backend(name: str) -> SolverBackend:
+    """The shared instance registered under ``name``.
+
+    Raises :class:`~repro.errors.AnnealerError` (listing the known
+    names) for unknown backends — the gateway maps this to an HTTP 400
+    through the request decoder.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise AnnealerError(
+            f"unknown backend {name!r} (known: {known})"
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = cls()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def list_backends() -> Tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,96 @@
+"""Backend adapter for the SimCIM mean-field optimizer.
+
+Wraps :func:`repro.ising.simcim.simcim_optimize` behind the
+:class:`~repro.backends.base.SolverBackend` interface: general ±1
+Ising models submitted straight through ``SolveRequest`` and the
+gateway.  No quality reference exists for arbitrary spin glasses, so
+``reference`` stays 0.0 and optimal ratios read 0.0 by convention.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+import numpy as np
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendPlan,
+    BackendRunResult,
+    ProblemLike,
+    SolverBackend,
+)
+from repro.backends.registry import register_backend
+from repro.errors import AnnealerError
+from repro.runtime.telemetry import RunResultLike, Stopwatch
+
+if TYPE_CHECKING:
+    from repro.annealer.config import AnnealerConfig
+
+
+@register_backend("simcim")
+class SimCIMBackend(SolverBackend):
+    """SimCIM mean-field relaxation for dense ±1 Ising models."""
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="simcim",
+            problem_kinds=("ising",),
+            batchable=False,
+            accepts_config=False,
+            description="SimCIM mean-field optimizer (pm1 Ising models)",
+        )
+
+    def compile(
+        self, problem: ProblemLike, config: Optional["AnnealerConfig"]
+    ) -> BackendPlan:
+        from repro.ising.model import IsingModel
+
+        self._check_kind(problem)
+        assert isinstance(problem, IsingModel)
+        if problem.convention != "pm1":
+            raise AnnealerError(
+                "backend 'simcim' needs the pm1 spin convention, got "
+                f"{problem.convention!r}"
+            )
+        return BackendPlan(backend="simcim", problem=problem)
+
+    def solve(self, plan: BackendPlan, seed: int) -> RunResultLike:
+        from repro.ising.model import IsingModel
+        from repro.ising.simcim import simcim_optimize
+
+        assert isinstance(plan.problem, IsingModel)
+        watch = Stopwatch()
+        relaxed = simcim_optimize(plan.problem, seed=int(seed))
+        return BackendRunResult(
+            tour=np.asarray(relaxed.spins, dtype=np.int64),
+            length=float(relaxed.energy),
+            wall_time_s=watch.elapsed_s(),
+        )
+
+    def validate_result(
+        self, problem: ProblemLike, result: RunResultLike
+    ) -> None:
+        from repro.errors import IsingError
+        from repro.ising.model import IsingModel
+        from repro.runtime.faults import ResultIntegrityError
+
+        assert isinstance(problem, IsingModel)
+        try:
+            energy = problem.energy(
+                np.asarray(result.tour, dtype=np.float64)
+            )
+        except IsingError as exc:
+            raise ResultIntegrityError(f"corrupted spins: {exc}") from exc
+        if abs(energy - result.length) > max(1e-6, 1e-9 * abs(energy)):
+            raise ResultIntegrityError(
+                f"corrupted result: reported energy {result.length} does "
+                f"not match recomputed energy {energy}"
+            )
+
+    def decode(self, result: RunResultLike) -> Dict[str, Any]:
+        return {
+            "backend": "simcim",
+            "spins": [int(s) for s in result.tour],
+            "energy": float(result.length),
+        }

@@ -3,14 +3,19 @@
 Installs as ``repro`` (console script) and also runs as
 ``python -m repro.cli``.  Subcommands:
 
-* ``solve``     — solve a TSP (synthetic family or a TSPLIB file) with
-  the clustered CIM annealer and report quality + hardware cost; with
-  ``--ensemble K`` runs a multi-seed ensemble (optionally fanned out
-  over ``--workers`` processes) routed through the serving runtime
-  (:mod:`repro.runtime.service`); ``--stream`` prints each run's
-  telemetry frame as it completes, ``--max-inflight`` caps the job's
-  concurrent seeds, ``--telemetry-out`` exports the per-run telemetry
-  JSON, and ``--chaos-seed`` runs the ensemble under the deterministic
+* ``solve``     — solve a problem with a registered solver backend
+  (``--backend``, default the clustered CIM annealer; see
+  ``docs/backends.md``) and report quality + hardware cost; the
+  problem payload follows the backend — a TSP (synthetic family or a
+  TSPLIB file) for ``cluster-cim``/``dense-ising``, a G-set-style
+  Max-Cut graph for ``maxcut-sb``, a random dense Ising model for
+  ``simcim``.  With ``--ensemble K`` runs a multi-seed ensemble
+  (optionally fanned out over ``--workers`` processes) routed through
+  the serving runtime (:mod:`repro.runtime.service`); ``--stream``
+  prints each run's telemetry frame as it completes,
+  ``--max-inflight`` caps the job's concurrent seeds,
+  ``--telemetry-out`` exports the per-run telemetry JSON, and
+  ``--chaos-seed`` runs the ensemble under the deterministic
   fault-injection layer (``docs/robustness.md``);
 * ``serve``     — run the HTTP/SSE serving gateway
   (:mod:`repro.gateway`): N :class:`~repro.runtime.AnnealingService`
@@ -29,6 +34,8 @@ Examples
 
     repro solve --family rl --n 1000 --strategy 1/2/3 --seed 7 --ppa
     repro solve --tsplib pcb3038.tsp
+    repro solve --backend maxcut-sb --n 300 --ensemble 4
+    repro solve --backend dense-ising --n 12 --reference
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 \
                 --telemetry-out telemetry.json
     repro solve --family rl --n 1000 --ensemble 8 --workers 4 --stream
@@ -37,6 +44,7 @@ Examples
     repro serve --shards 2 --workers 2 --policy least-inflight
     repro submit --url http://127.0.0.1:8642 --family rl --n 500 \
                  --ensemble 8 --stream
+    repro submit --url http://127.0.0.1:8642 --backend simcim --n 64
     repro capacity --sizes 1000 10000 85900
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
@@ -52,6 +60,7 @@ from typing import TYPE_CHECKING, List, Optional
 if TYPE_CHECKING:  # CLI imports its heavy deps lazily per subcommand
     from repro.annealer.batch import EnsembleResult
     from repro.annealer.config import AnnealerConfig
+    from repro.backends.base import ProblemLike
     from repro.runtime.options import SolveRequest
     from repro.tsp.instance import TSPInstance
 
@@ -64,6 +73,13 @@ from repro.utils.units import (
     format_time,
 )
 
+#: Registered backend names, duplicated as literals so ``--help`` does
+#: not import the solver stack (the CLI loads heavy deps lazily per
+#: subcommand); ``tests/test_cli.py`` pins this against
+#: :func:`repro.backends.list_backends`.
+_BACKEND_CHOICES = ("cluster-cim", "dense-ising", "maxcut-sb", "simcim")
+_DEFAULT_BACKEND = "cluster-cim"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -72,7 +88,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_solve = sub.add_parser("solve", help="solve a TSP with the CIM annealer")
+    p_solve = sub.add_parser(
+        "solve", help="solve a problem with a registered solver backend"
+    )
+    p_solve.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default=_DEFAULT_BACKEND,
+        help="registered solver backend (default: cluster-cim, the "
+        "paper's clustered CIM annealer; see docs/backends.md)",
+    )
     src = p_solve.add_mutually_exclusive_group()
     src.add_argument("--tsplib", metavar="FILE", help="TSPLIB .tsp file to load")
     src.add_argument(
@@ -81,7 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="uniform",
         help="synthetic instance family (default: uniform)",
     )
-    p_solve.add_argument("--n", type=int, default=500, help="cities (synthetic)")
+    p_solve.add_argument(
+        "--n", type=int, default=500,
+        help="problem size: cities (TSP backends), graph nodes "
+        "(maxcut-sb), or spins (simcim)",
+    )
     p_solve.add_argument("--strategy", default="1/2/3", help="cluster strategy label")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument(
@@ -180,6 +209,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--url", required=True, metavar="URL",
         help="gateway base URL, e.g. http://127.0.0.1:8642",
     )
+    p_submit.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default=_DEFAULT_BACKEND,
+        help="registered solver backend the gateway dispatches to "
+        "(default: cluster-cim)",
+    )
     src_sub = p_submit.add_mutually_exclusive_group()
     src_sub.add_argument(
         "--tsplib", metavar="FILE", help="TSPLIB .tsp file to load"
@@ -191,7 +227,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="synthetic instance family (default: uniform)",
     )
     p_submit.add_argument(
-        "--n", type=int, default=500, help="cities (synthetic)"
+        "--n", type=int, default=500,
+        help="problem size: cities (TSP backends), graph nodes "
+        "(maxcut-sb), or spins (simcim)",
     )
     p_submit.add_argument(
         "--strategy", default="1/2/3", help="cluster strategy label"
@@ -265,13 +303,58 @@ def _build_instance(args: argparse.Namespace) -> "TSPInstance":
     return builders[args.family](args.n, seed=args.seed)
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
-    from repro.hardware import evaluate_ppa
+def _build_problem(args: argparse.Namespace) -> "ProblemLike":
+    """Synthesize the problem payload the chosen backend solves.
 
-    instance = _build_instance(args)
-    print(f"instance : {instance}")
-    cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
+    TSP backends reuse :func:`_build_instance` (family or TSPLIB
+    file); ``maxcut-sb`` gets a G-set-style ±1-weight graph of ``--n``
+    nodes and ``simcim`` a random dense Ising model of ``--n`` spins,
+    both seeded by ``--seed``.  ``--tsplib`` only makes sense for the
+    TSP backends and is rejected elsewhere.
+    """
+    from repro.errors import ReproError
+
+    backend = getattr(args, "backend", _DEFAULT_BACKEND)
+    if backend in ("maxcut-sb", "simcim") and args.tsplib:
+        raise ReproError(
+            f"--tsplib loads a TSP, which backend {backend!r} does not "
+            "solve; drop --tsplib or pick a TSP backend"
+        )
+    if backend == "maxcut-sb":
+        from repro.maxcut import gset_style
+
+        return gset_style(args.n, seed=args.seed)
+    if backend == "simcim":
+        from repro.ising.simcim import random_ising_model
+
+        return random_ising_model(args.n, seed=args.seed)
+    return _build_instance(args)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    backend = args.backend
+    if backend != _DEFAULT_BACKEND and args.ppa:
+        print(
+            f"error: --ppa sizes the clustered CIM chip; backend "
+            f"{backend!r} has no hardware model",
+            file=sys.stderr,
+        )
+        return 2
+    if backend in ("maxcut-sb", "simcim") and args.svg:
+        print(
+            f"error: --svg renders a TSP tour; backend {backend!r} "
+            "solves a different problem",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        problem = _build_problem(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"instance : {problem}")
     if (
         args.ensemble > 0
         or args.workers > 1
@@ -280,7 +363,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         or args.stream
         or args.chaos_seed is not None
     ):
-        return _solve_ensemble(instance, cfg, args)
+        return _solve_ensemble(problem, args)
+    if backend != _DEFAULT_BACKEND:
+        return _solve_single_backend(problem, args)
+    return _solve_single_default(problem, args)
+
+
+def _solve_single_default(
+    instance: "ProblemLike", args: argparse.Namespace
+) -> int:
+    """Single-seed solve on the default clustered CIM annealer."""
+    from repro.annealer import AnnealerConfig, ClusteredCIMAnnealer
+    from repro.hardware import evaluate_ppa
+    from repro.tsp.instance import TSPInstance
+
+    assert isinstance(instance, TSPInstance)
+    cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
     result = ClusteredCIMAnnealer(cfg).solve(instance)
     print(
         f"solution : length={result.length:.1f}  levels={result.n_levels}  "
@@ -316,21 +414,59 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve_ensemble(
-    instance: "TSPInstance", cfg: "AnnealerConfig", args: argparse.Namespace
+def _solve_single_backend(
+    problem: "ProblemLike", args: argparse.Namespace
 ) -> int:
+    """Single-seed solve dispatched through the backend registry."""
+    from repro.backends import resolve_backend
+    from repro.errors import ReproError
+
+    impl = resolve_backend(args.backend)
+    try:
+        plan = impl.compile(problem, None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = impl.solve(plan, args.seed)
+    print(
+        f"solution : backend={args.backend}  "
+        f"objective={result.length:.1f}  host={result.wall_time_s:.1f}s"
+    )
+    if args.reference:
+        ref = impl.reference(problem, args.seed)
+        ratio = result.optimal_ratio(ref)
+        print(f"reference: {ref:.1f}  optimal ratio = {ratio:.3f}")
+    if args.svg:  # TSP backends only (guarded in _cmd_solve)
+        from repro.tsp.instance import TSPInstance
+        from repro.tsp.svg import save_tour_svg
+
+        assert isinstance(problem, TSPInstance)
+        save_tour_svg(problem, args.svg, tour=result.tour)
+        print(f"tour SVG : {args.svg}")
+    return 0
+
+
+def _solve_ensemble(instance: "ProblemLike", args: argparse.Namespace) -> int:
     """Ensemble branch of ``solve``: multi-seed run + telemetry export.
 
     Builds one :class:`repro.runtime.SolveRequest` — the same input
     type the library and serving APIs take — and runs it through the
     serving runtime (blocking via :func:`solve_ensemble`, or streaming
-    one telemetry frame per completed run with ``--stream``).
+    one telemetry frame per completed run with ``--stream``).  The
+    request carries ``--backend``; only the default clustered CIM
+    annealer takes an :class:`AnnealerConfig`.
     """
     import asyncio
     from pathlib import Path
 
     from repro.annealer.batch import solve_ensemble
     from repro.runtime.options import EnsembleOptions, SolveRequest
+
+    cfg: Optional["AnnealerConfig"] = None
+    if args.backend == _DEFAULT_BACKEND:
+        from repro.annealer import AnnealerConfig
+
+        cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
 
     if args.telemetry_out:
         # Fail before the (possibly long) solve, not after it.
@@ -367,6 +503,7 @@ def _solve_ensemble(
             batch_size=args.batch_size,
         ),
         tag="cli",
+        backend=args.backend,
     )
     if args.stream:
         out = asyncio.run(_stream_solve(request))
@@ -400,9 +537,11 @@ def _solve_ensemble(
     if args.telemetry_out:
         tel.save(args.telemetry_out)
         print(f"telemetry: {args.telemetry_out}")
-    if args.svg:
+    if args.svg:  # TSP backends only (guarded in _cmd_solve)
+        from repro.tsp.instance import TSPInstance
         from repro.tsp.svg import save_tour_svg
 
+        assert isinstance(instance, TSPInstance)
         save_tour_svg(instance, args.svg, tour=out.best.tour)
         print(f"tour SVG : {args.svg}")
     return 0
@@ -454,13 +593,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     """Submit one solve to a running gateway and report its outcome."""
-    from repro.annealer import AnnealerConfig
+    from repro.errors import ReproError
     from repro.gateway.client import GatewayClient, GatewayHTTPError
     from repro.runtime.options import EnsembleOptions, SolveRequest
 
-    instance = _build_instance(args)
+    try:
+        instance = _build_problem(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"instance : {instance}")
-    cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
+    cfg: Optional["AnnealerConfig"] = None
+    if args.backend == _DEFAULT_BACKEND:
+        from repro.annealer import AnnealerConfig
+
+        cfg = AnnealerConfig(strategy=args.strategy, seed=args.seed)
     seeds = list(range(args.seed, args.seed + max(1, args.ensemble)))
     request = SolveRequest.build(
         instance,
@@ -470,6 +617,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             timeout_s=args.timeout, batch_size=args.batch_size
         ),
         tag=args.tag,
+        backend=args.backend,
     )
     client = GatewayClient(args.url)
     try:
@@ -579,12 +727,19 @@ def _cmd_ppa(args: argparse.Namespace) -> int:
 
 
 def _cmd_maxcut(args: argparse.Namespace) -> int:
-    from repro.maxcut import anneal_maxcut, greedy_maxcut, gset_style
+    from repro.maxcut import (
+        MaxCutAnnealParams,
+        anneal_maxcut,
+        greedy_maxcut,
+        gset_style,
+    )
 
     problem = gset_style(args.nodes, avg_degree=args.degree, seed=args.seed)
     print(f"problem  : {problem}")
     greedy = greedy_maxcut(problem, seed=args.seed)
-    annealed = anneal_maxcut(problem, n_sweeps=args.sweeps, seed=args.seed)
+    annealed = anneal_maxcut(
+        problem, params=MaxCutAnnealParams(n_sweeps=args.sweeps), seed=args.seed
+    )
     print(f"greedy   : cut = {greedy.cut_value:.1f}")
     print(
         f"annealed : cut = {annealed.cut_value:.1f} "

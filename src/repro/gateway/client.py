@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+from dataclasses import replace
 from typing import Any, AsyncIterator, Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
@@ -40,13 +41,20 @@ class GatewayHTTPError(GatewayError):
     """A non-2xx gateway response; carries the wire error body.
 
     ``status`` is the HTTP status (429 = all shards at capacity, 404 =
-    unknown job, 400 = protocol violation); ``payload`` is the decoded
-    ``repro.error/v1`` document (empty when the body was not JSON).
+    unknown job, 400 = protocol violation — e.g. an unknown backend
+    name); ``payload`` is the decoded ``repro.error/v1`` document
+    (empty when the body was not JSON).  The exception message carries
+    the server's error code *and* message verbatim, so an
+    unknown-backend rejection reads ``gateway answered 400: protocol:
+    invalid solve request: unknown backend ...`` without any client
+    decoding.
     """
 
     def __init__(self, status: int, payload: Dict[str, Any]) -> None:
         message = str(payload.get("message", "")) or f"HTTP {status}"
-        super().__init__(f"gateway answered {status}: {message}")
+        code = str(payload.get("error", ""))
+        detail = f"{code}: {message}" if code else message
+        super().__init__(f"gateway answered {status}: {detail}")
         self.status = status
         self.payload = payload
 
@@ -105,6 +113,21 @@ class _SSEAssembler:
         return None
 
 
+def _with_backend(
+    request: SolveRequest, backend: Optional[str]
+) -> SolveRequest:
+    """Re-target a request at another backend before encoding it.
+
+    ``dataclasses.replace`` re-runs ``SolveRequest.__post_init__``, so
+    the backend name and problem-kind capability are validated on the
+    client before anything crosses the wire; a backend only the server
+    knows must be set via the request itself.
+    """
+    if backend is None or backend == request.backend:
+        return request
+    return replace(request, backend=backend)
+
+
 def _frame_from_event(event: str, data: str) -> Optional[RunTelemetry]:
     """Map one SSE event to a telemetry record (None = end of stream).
 
@@ -156,10 +179,18 @@ class GatewayClient:
             conn.close()
 
     # -- API -----------------------------------------------------------
-    def submit(self, request: SolveRequest) -> Dict[str, Any]:
-        """Submit a solve; returns the ``repro.job/v1`` handle."""
+    def submit(
+        self, request: SolveRequest, *, backend: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Submit a solve; returns the ``repro.job/v1`` handle.
+
+        ``backend`` re-targets the request at another registered
+        solver backend without rebuilding it (validated client-side).
+        """
         return self._request(
-            "POST", "/v1/jobs", body=encode_solve_request(request)
+            "POST",
+            "/v1/jobs",
+            body=encode_solve_request(_with_backend(request, backend)),
         )
 
     def result(self, job_id: str) -> Dict[str, Any]:
@@ -203,9 +234,11 @@ class GatewayClient:
         finally:
             conn.close()
 
-    def solve(self, request: SolveRequest) -> Dict[str, Any]:
+    def solve(
+        self, request: SolveRequest, *, backend: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Submit and block for the final result (convenience)."""
-        handle = self.submit(request)
+        handle = self.submit(request, backend=backend)
         return self.result(str(handle["job_id"]))
 
 
@@ -266,10 +299,18 @@ class AsyncGatewayClient:
             writer.close()
 
     # -- API -----------------------------------------------------------
-    async def submit(self, request: SolveRequest) -> Dict[str, Any]:
-        """Submit a solve; returns the ``repro.job/v1`` handle."""
+    async def submit(
+        self, request: SolveRequest, *, backend: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Submit a solve; returns the ``repro.job/v1`` handle.
+
+        ``backend`` re-targets the request at another registered
+        solver backend without rebuilding it (validated client-side).
+        """
         return await self._request(
-            "POST", "/v1/jobs", body=encode_solve_request(request)
+            "POST",
+            "/v1/jobs",
+            body=encode_solve_request(_with_backend(request, backend)),
         )
 
     async def result(self, job_id: str) -> Dict[str, Any]:

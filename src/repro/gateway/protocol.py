@@ -5,11 +5,16 @@ Everything that crosses the HTTP boundary is JSON with an explicit
 formats can evolve without guessing:
 
 * ``repro.solve_request/v1`` — a complete
-  :class:`~repro.runtime.options.SolveRequest` (instance coordinates,
-  seeds, annealer config, runtime options including the chaos
-  :class:`~repro.runtime.faults.FaultPlan`), produced by
+  :class:`~repro.runtime.options.SolveRequest` (problem payload,
+  seeds, backend name, annealer config, runtime options including the
+  chaos :class:`~repro.runtime.faults.FaultPlan`), produced by
   :func:`encode_solve_request` and validated strictly by
-  :func:`decode_solve_request`;
+  :func:`decode_solve_request`.  The problem payload is a tagged union
+  (:func:`encode_problem`): a TSP instance (``kind: "tsp"``, and the
+  backward-compatible default when the tag is absent — pre-registry
+  payloads decode unchanged), a dense Ising model (``"ising"``), or a
+  Max-Cut graph (``"maxcut"``), each dispatchable to any registered
+  backend that declares the kind;
 * ``repro.run_telemetry/v1`` — the per-seed stream frame; the SSE
   ``data:`` payload is exactly
   :meth:`repro.runtime.telemetry.RunTelemetry.to_json_line`, parsed
@@ -44,6 +49,9 @@ from repro.tsp.instance import TSPInstance
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch imports runtime
     from repro.annealer.batch import EnsembleResult
     from repro.annealer.config import AnnealerConfig
+    from repro.backends.base import ProblemLike
+    from repro.ising.model import IsingModel
+    from repro.maxcut.problem import MaxCutProblem
 
 REQUEST_SCHEMA = "repro.solve_request/v1"
 TELEMETRY_SCHEMA = "repro.run_telemetry/v1"
@@ -167,6 +175,126 @@ def decode_instance(payload: Any) -> TSPInstance:
         )
     except ReproError as exc:
         raise ProtocolError(f"invalid instance: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Problem union — the tagged payload of a solve request
+# ----------------------------------------------------------------------
+_ISING_FIELDS = frozenset({"kind", "couplings", "field", "convention"})
+_MAXCUT_FIELDS = frozenset({"kind", "n_nodes", "edges", "weights", "name"})
+
+
+def encode_ising_model(model: "IsingModel") -> Dict[str, Any]:
+    """JSON view of an :class:`~repro.ising.model.IsingModel`."""
+    return {
+        "kind": "ising",
+        "couplings": [
+            [float(x) for x in row] for row in model.couplings
+        ],
+        "field": [float(h) for h in model.field],
+        "convention": model.convention,
+    }
+
+
+def decode_ising_model(payload: Mapping[str, Any]) -> "IsingModel":
+    """Rebuild an :class:`IsingModel`; strict about shape and types."""
+    from repro.ising.model import IsingModel
+
+    _reject_unknown(payload, _ISING_FIELDS, "instance")
+    couplings = payload.get("couplings")
+    if not isinstance(couplings, list) or not couplings:
+        raise ProtocolError("instance.couplings must be a non-empty list")
+    try:
+        j = np.asarray(couplings, dtype=np.float64)
+        h = (
+            None
+            if payload.get("field") is None
+            else np.asarray(payload["field"], dtype=np.float64)
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"instance payload not numeric: {exc}") from exc
+    try:
+        return IsingModel(
+            j, field=h, convention=_get_str(payload, "convention", "pm1")
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"invalid ising model: {exc}") from exc
+
+
+def encode_maxcut_problem(problem: "MaxCutProblem") -> Dict[str, Any]:
+    """JSON view of a :class:`~repro.maxcut.problem.MaxCutProblem`."""
+    return {
+        "kind": "maxcut",
+        "n_nodes": int(problem.n_nodes),
+        "edges": [[int(u), int(v)] for u, v in problem.edges],
+        "weights": [float(w) for w in problem.weights],
+        "name": problem.name,
+    }
+
+
+def decode_maxcut_problem(payload: Mapping[str, Any]) -> "MaxCutProblem":
+    """Rebuild a :class:`MaxCutProblem`; strict about shape and types."""
+    from repro.maxcut.problem import MaxCutProblem
+
+    _reject_unknown(payload, _MAXCUT_FIELDS, "instance")
+    edges = payload.get("edges")
+    if not isinstance(edges, list) or any(
+        not isinstance(e, list) or len(e) != 2 for e in edges
+    ):
+        raise ProtocolError("instance.edges must be a list of [u, v] pairs")
+    weights = payload.get("weights")
+    try:
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)
+        pairs = [(int(u), int(v)) for u, v in edges]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"instance payload not numeric: {exc}") from exc
+    try:
+        return MaxCutProblem(
+            _get_int(payload, "n_nodes", 0),
+            pairs,
+            weights=w,
+            name=_get_str(payload, "name", "maxcut"),
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"invalid maxcut problem: {exc}") from exc
+
+
+def encode_problem(problem: "ProblemLike") -> Dict[str, Any]:
+    """Tagged JSON view of any problem payload.
+
+    The ``kind`` key discriminates the union on the wire; TSP
+    instances keep their original field layout (plus the tag), so
+    pre-registry clients and recorded payloads stay compatible.
+    """
+    from repro.ising.model import IsingModel
+    from repro.maxcut.problem import MaxCutProblem
+
+    if isinstance(problem, IsingModel):
+        return encode_ising_model(problem)
+    if isinstance(problem, MaxCutProblem):
+        return encode_maxcut_problem(problem)
+    return {"kind": "tsp", **encode_instance(problem)}
+
+
+def decode_problem(payload: Any) -> "ProblemLike":
+    """Rebuild a problem payload; the ``kind`` tag discriminates.
+
+    A payload without ``kind`` is a TSP instance: every
+    ``repro.solve_request/v1`` body encoded before the problem union
+    existed decodes unchanged (and dispatches to the default
+    cluster-CIM backend).
+    """
+    payload = _require_mapping(payload, "instance")
+    kind = _get_str(payload, "kind", "tsp")
+    if kind == "ising":
+        return decode_ising_model(payload)
+    if kind == "maxcut":
+        return decode_maxcut_problem(payload)
+    if kind != "tsp":
+        raise ProtocolError(f"unknown problem kind {kind!r}")
+    return decode_instance(
+        {key: value for key, value in payload.items() if key != "kind"}
+    )
 
 
 # ----------------------------------------------------------------------
@@ -417,7 +545,16 @@ def decode_options(payload: Any) -> EnsembleOptions:
 # SolveRequest — the unit of work on the wire
 # ----------------------------------------------------------------------
 _REQUEST_FIELDS = frozenset(
-    {"schema", "instance", "seeds", "config", "reference", "options", "tag"}
+    {
+        "schema",
+        "instance",
+        "seeds",
+        "config",
+        "reference",
+        "options",
+        "tag",
+        "backend",
+    }
 )
 
 
@@ -426,7 +563,7 @@ def encode_solve_request(request: SolveRequest) -> Dict[str, Any]:
     wire form (pure JSON-native values, no pickles)."""
     return {
         "schema": REQUEST_SCHEMA,
-        "instance": encode_instance(request.instance),
+        "instance": encode_problem(request.instance),
         "seeds": [int(s) for s in request.seeds],
         "config": (
             None if request.config is None else encode_config(request.config)
@@ -434,6 +571,7 @@ def encode_solve_request(request: SolveRequest) -> Dict[str, Any]:
         "reference": request.reference,
         "options": encode_options(request.options),
         "tag": request.tag,
+        "backend": request.backend,
     }
 
 
@@ -460,7 +598,7 @@ def decode_solve_request(payload: Any) -> SolveRequest:
         or any(isinstance(s, bool) or not isinstance(s, int) for s in seeds)
     ):
         raise ProtocolError("'seeds' must be a non-empty list of integers")
-    instance = decode_instance(payload["instance"])
+    instance = decode_problem(payload["instance"])
     config = (
         None
         if payload.get("config") is None
@@ -479,6 +617,7 @@ def decode_solve_request(payload: Any) -> SolveRequest:
             reference=_get_opt_float(payload, "reference", None),
             options=options,
             tag=_get_str(payload, "tag", ""),
+            backend=_get_str(payload, "backend", "cluster-cim"),
         )
     except ReproError as exc:
         raise ProtocolError(f"invalid solve request: {exc}") from exc

@@ -216,6 +216,7 @@ class ShardRouter:
         self._counter = itertools.count(1)
         self._submitted = 0
         self._rejected = 0
+        self._by_backend: Dict[str, int] = {}
         self._skips = [0 for _ in range(shards)]
         self._closed = False
 
@@ -268,6 +269,9 @@ class ShardRouter:
         routed = GatewayJob(job, index, shard.name)
         self._jobs[job_id] = routed
         self._submitted += 1
+        self._by_backend[request.backend] = (
+            self._by_backend.get(request.backend, 0) + 1
+        )
         return routed
 
     def get(self, job_id: str) -> GatewayJob:
@@ -298,7 +302,10 @@ class ShardRouter:
         injected into that shard's jobs so far (from the records each
         job has streamed), and ``skips`` counts submit attempts that
         found the shard at capacity — the per-shard view of admission
-        pressure behind gateway-level ``jobs_rejected``.
+        pressure behind gateway-level ``jobs_rejected``.  Gateway-level
+        ``jobs_by_backend`` counts accepted submissions per solver
+        backend (``{"cluster-cim": 3, "maxcut-sb": 1}``), so operators
+        can see the dispatch mix without scraping job records.
         """
         per_shard: List[Dict[str, Any]] = []
         for i, shard in enumerate(self._shards):
@@ -328,6 +335,7 @@ class ShardRouter:
             "shards": len(self._shards),
             "jobs_submitted": self._submitted,
             "jobs_rejected": self._rejected,
+            "jobs_by_backend": dict(sorted(self._by_backend.items())),
             "inflight": sum(s.inflight_jobs for s in self._shards),
             "per_shard": per_shard,
         }

@@ -15,8 +15,18 @@ Implements the paper's Sec. II background from scratch:
 """
 
 from repro.ising.batched import batched_gibbs_sweep, replica_rngs
-from repro.ising.dense_annealer import DenseAnnealResult, anneal_dense_tsp
+from repro.ising.dense_annealer import (
+    DenseAnnealResult,
+    DenseTSPAnnealParams,
+    anneal_dense_tsp,
+)
 from repro.ising.gibbs import chromatic_groups, gibbs_sweep
+from repro.ising.simcim import (
+    SimCIMParams,
+    SimCIMResult,
+    random_ising_model,
+    simcim_optimize,
+)
 from repro.ising.tempering import (
     TemperingParams,
     TemperingResult,
@@ -59,7 +69,12 @@ __all__ = [
     "IsingSAResult",
     "anneal_dense_tsp",
     "DenseAnnealResult",
+    "DenseTSPAnnealParams",
     "parallel_tempering_tsp",
     "TemperingParams",
     "TemperingResult",
+    "SimCIMParams",
+    "SimCIMResult",
+    "simcim_optimize",
+    "random_ising_model",
 ]

@@ -24,7 +24,7 @@ Only practical for toy sizes (the dense model is O(N⁴) memory).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,44 @@ from repro.ising.tsp_mapping import (
 )
 from repro.tsp.instance import TSPInstance
 from repro.tsp.tour import tour_length
+from repro.utils.deprecation import merge_legacy_args
 from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class DenseTSPAnnealParams:
+    """Tuning of the dense penalty-formulation anneal.
+
+    The keyword-only configuration object :func:`anneal_dense_tsp`
+    takes (API 1.3; the loose ``n_sweeps=...`` keywords are
+    deprecated, see ``docs/serving.md``).
+    """
+
+    #: Full Gibbs sweeps over all N² spins.
+    n_sweeps: int = 300
+    #: Geometric ramp in units of the mean edge weight.
+    t_start: float = 2.0
+    t_end: float = 0.02
+    #: Multiplier on the default ``b = c = 2·max(W)`` penalties —
+    #: exposes the classic tension: weak penalties yield infeasible
+    #: states, strong penalties freeze the objective.
+    penalty_scale: float = 1.0
+    #: Record the model energy every this many sweeps (0 = never).
+    record_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sweeps < 1:
+            raise ConfigError(f"n_sweeps must be >= 1, got {self.n_sweeps}")
+        if self.penalty_scale <= 0:
+            raise ConfigError(
+                f"penalty_scale must be > 0, got {self.penalty_scale}"
+            )
+        if self.t_start <= 0 or self.t_end <= 0 or self.t_end > self.t_start:
+            raise ConfigError("need 0 < t_end <= t_start")
+        if self.record_every < 0:
+            raise ConfigError(
+                f"record_every must be >= 0, got {self.record_every}"
+            )
 
 
 @dataclass
@@ -53,41 +90,66 @@ class DenseAnnealResult:
     trace: List[Tuple[int, float]]
 
 
+#: Positional order of the retired pre-1.3 ``anneal_dense_tsp`` form.
+_LEGACY_ANNEAL_ORDER = (
+    "n_sweeps",
+    "t_start",
+    "t_end",
+    "penalty_scale",
+    "seed",
+    "record_every",
+    "mapping",
+)
+
+
 def anneal_dense_tsp(
     instance: TSPInstance,
-    n_sweeps: int = 300,
-    t_start: float = 2.0,
-    t_end: float = 0.02,
-    penalty_scale: float = 1.0,
+    *legacy_args: Any,
+    params: Optional[DenseTSPAnnealParams] = None,
     seed: SeedLike = None,
-    record_every: int = 0,
     mapping: Optional[TSPIsingMapping] = None,
+    **legacy_kwargs: Any,
 ) -> DenseAnnealResult:
     """Anneal the full Eq. (3) model with single-spin Gibbs sweeps.
 
-    Parameters
-    ----------
-    instance:
-        Small TSP (the dense model refuses N > 64).
-    n_sweeps:
-        Full Gibbs sweeps over all N² spins.
-    t_start, t_end:
-        Geometric temperature ramp in units of the mean edge weight.
-    penalty_scale:
-        Multiplier on the default ``b = c = 2·max(W)`` penalties —
-        exposes the classic tension: weak penalties yield infeasible
-        states, strong penalties freeze the objective.
-    seed:
-        Chain seed.
-    record_every:
-        Record the model energy every this many sweeps (0 = never).
-    mapping:
-        Prebuilt mapping (rebuilt from the instance when omitted).
+    API (1.3): tuning goes through the keyword-only ``params``
+    dataclass; ``seed`` (the chain seed) and ``mapping`` (a prebuilt
+    :class:`~repro.ising.tsp_mapping.TSPIsingMapping`, rebuilt from
+    the instance when omitted) are per-call state and stay direct
+    keywords::
+
+        anneal_dense_tsp(instance,
+                         params=DenseTSPAnnealParams(n_sweeps=600),
+                         seed=3)
+
+    ``instance`` must be small — the dense model refuses N > 64.  The
+    pre-1.3 loose form (``anneal_dense_tsp(instance, n_sweeps=600,
+    penalty_scale=2.0, ...)``) still works for exactly one release
+    behind a :class:`DeprecationWarning` and is removed in 1.4
+    (``docs/serving.md``, *Deprecation timeline*).
     """
-    if n_sweeps < 1:
-        raise ConfigError(f"n_sweeps must be >= 1, got {n_sweeps}")
-    if penalty_scale <= 0:
-        raise ConfigError(f"penalty_scale must be > 0, got {penalty_scale}")
+    if legacy_args or legacy_kwargs:
+        if params is not None:
+            raise TypeError(
+                "anneal_dense_tsp() takes either params= or the "
+                "deprecated loose tuning arguments, not both"
+            )
+        merged = merge_legacy_args(
+            "anneal_dense_tsp",
+            _LEGACY_ANNEAL_ORDER,
+            legacy_args,
+            legacy_kwargs,
+            params_hint="params=DenseTSPAnnealParams(...)",
+            since="1.3",
+            removal="1.4",
+        )
+        seed = merged.pop("seed", seed)
+        mapping = merged.pop("mapping", mapping)
+        params = DenseTSPAnnealParams(**merged)
+    p = params if params is not None else DenseTSPAnnealParams()
+    n_sweeps = p.n_sweeps
+    t_start, t_end = p.t_start, p.t_end
+    penalty_scale, record_every = p.penalty_scale, p.record_every
     rng = spawn_rng(seed)
     if mapping is None:
         w_max = float(instance.distance_matrix().max())

@@ -26,6 +26,7 @@ from repro.maxcut.problem import MaxCutProblem
 from repro.maxcut.generators import gset_style, planted_bisection, random_graph
 from repro.maxcut.mapping import maxcut_to_ising
 from repro.maxcut.solver import (
+    MaxCutAnnealParams,
     MaxCutResult,
     anneal_maxcut,
     greedy_maxcut,
@@ -39,6 +40,7 @@ __all__ = [
     "gset_style",
     "planted_bisection",
     "maxcut_to_ising",
+    "MaxCutAnnealParams",
     "anneal_maxcut",
     "greedy_maxcut",
     "local_search_improve",

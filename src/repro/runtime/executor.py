@@ -51,9 +51,15 @@ Tuning lives in a frozen
 keyword form (``EnsembleExecutor(max_workers=4)``) was removed in 1.2
 after its one-release deprecation window.
 
-The executor is deliberately solver-agnostic about aggregation: it
-returns the ordered :class:`~repro.annealer.result.AnnealResult` list
-plus an :class:`~repro.runtime.telemetry.EnsembleTelemetry`;
+The executor is also solver-agnostic about *which* solver runs:
+``run(backend="...")`` dispatches every attempt through the named
+:class:`~repro.backends.base.SolverBackend` (resolved worker-side from
+its registry name, so only strings and picklable problem payloads
+cross the pool boundary), while the default ``"cluster-cim"`` backend
+keeps the exact pre-registry path — bit-identical results.  It is
+deliberately agnostic about aggregation too: it returns the ordered
+:class:`~repro.runtime.telemetry.RunResultLike` list plus an
+:class:`~repro.runtime.telemetry.EnsembleTelemetry`;
 :func:`repro.annealer.batch.solve_ensemble` layers the quality
 statistics on top.  ``_solve_one`` and the dispatch helpers
 (``_run_serial`` / ``_run_pool`` / ``_attempt_serial``) are internal:
@@ -89,6 +95,7 @@ from repro.runtime.faults import (
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.telemetry import (
     EnsembleTelemetry,
+    RunResultLike,
     RunTelemetry,
     Stopwatch,
 )
@@ -99,7 +106,13 @@ if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
 
     from repro.annealer.config import AnnealerConfig
     from repro.annealer.result import AnnealResult
+    from repro.backends.base import ProblemLike
     from repro.tsp.instance import TSPInstance
+
+#: Mirrors :data:`repro.backends.DEFAULT_BACKEND`.  Kept as a literal:
+#: this module must not import :mod:`repro.backends` at import time
+#: (the registrant modules sit above the runtime layer).
+_DEFAULT_BACKEND = "cluster-cim"
 
 #: Fires with each run's telemetry record the moment it is final.
 RunCallback = Callable[[RunTelemetry], None]
@@ -111,7 +124,7 @@ PoolHealer = Callable[["Executor"], Optional["Executor"]]
 
 def _solve_one(
     instance: TSPInstance, config: AnnealerConfig, seed: int
-) -> AnnealResult:
+) -> RunResultLike:
     """Worker entry point: one full solve for one seed.
 
     Module-level (not a closure) so it pickles into pool workers.
@@ -121,6 +134,25 @@ def _solve_one(
 
     cfg = replace(config, seed=int(seed))
     return ClusteredCIMAnnealer(cfg).solve(instance)
+
+
+def _solve_backend_one(
+    backend: str,
+    problem: "ProblemLike",
+    config: Optional[AnnealerConfig],
+    seed: int,
+) -> RunResultLike:
+    """Worker entry point: one named-backend solve for one seed.
+
+    Module-level (not a closure) so it pickles into pool workers; the
+    backend is resolved by registry name *inside* the worker, so only
+    the name string and the picklable problem payload ever cross the
+    process boundary.
+    """
+    from repro.backends import resolve_backend
+
+    impl = resolve_backend(backend)
+    return impl.solve(impl.compile(problem, config), int(seed))
 
 
 def _solve_batch(
@@ -144,7 +176,7 @@ def _solve_one_injected(
     plan: FaultPlan,
     attempt: int,
     in_pool: bool,
-) -> AnnealResult:
+) -> RunResultLike:
     """Worker entry point under an active chaos :class:`FaultPlan`.
 
     Module-level and fed only picklable arguments, like
@@ -154,6 +186,29 @@ def _solve_one_injected(
     injector = FaultInjector(plan)
     injector.pre_solve(seed, attempt, in_pool=in_pool)
     result = _solve_one(instance, config, seed)
+    return injector.post_solve(seed, attempt, result)
+
+
+def _solve_backend_injected(
+    backend: str,
+    problem: "ProblemLike",
+    config: Optional[AnnealerConfig],
+    seed: int,
+    plan: FaultPlan,
+    attempt: int,
+    in_pool: bool,
+) -> RunResultLike:
+    """Named-backend worker entry point under an active chaos plan.
+
+    The chaos layer is backend-agnostic: crash/hang/broken-pool faults
+    fire before the solve, and the corrupt fault tampers the returned
+    result through the :class:`~repro.runtime.telemetry.RunResultLike`
+    surface, so each backend's ``validate_result`` gate is exercised
+    exactly like the default path's.
+    """
+    injector = FaultInjector(plan)
+    injector.pre_solve(seed, attempt, in_pool=in_pool)
+    result = _solve_backend_one(backend, problem, config, seed)
     return injector.post_solve(seed, attempt, result)
 
 
@@ -305,11 +360,12 @@ class EnsembleExecutor:
     # ------------------------------------------------------------------
     def run(
         self,
-        instance: TSPInstance,
+        instance: "ProblemLike",
         seeds: Sequence[int],
         config: Optional[AnnealerConfig] = None,
         reference: Optional[float] = None,
         *,
+        backend: str = _DEFAULT_BACKEND,
         on_run_complete: Optional[RunCallback] = None,
         pool: Optional["Executor"] = None,
         worker_prefix: str = "",
@@ -317,7 +373,7 @@ class EnsembleExecutor:
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
         on_pool_broken: Optional[PoolHealer] = None,
-    ) -> Tuple[List[AnnealResult], EnsembleTelemetry]:
+    ) -> Tuple[List[RunResultLike], EnsembleTelemetry]:
         """Solve ``instance`` once per seed.
 
         Returns the successful results **in input-seed order** plus the
@@ -325,6 +381,15 @@ class EnsembleExecutor:
 
         Parameters
         ----------
+        backend:
+            Registry name of the solver backend to dispatch to
+            (:func:`repro.backends.list_backends`).  The default
+            clustered CIM annealer keeps the exact pre-registry
+            dispatch path — bit-identical results — while named
+            backends route every attempt through
+            :func:`_solve_backend_one` and their own
+            ``validate_result`` integrity gate.  Every emitted
+            :class:`RunTelemetry` record is stamped with this name.
         on_run_complete:
             Called with each run's final :class:`RunTelemetry` as it is
             produced (in collection order), while later seeds are still
@@ -335,7 +400,7 @@ class EnsembleExecutor:
             The caller owns its lifecycle; used by the serving runtime
             to share one pool across concurrent jobs.
         worker_prefix:
-            Prepended to each record's ``worker`` field: the backend
+            Prepended to each record's ``worker`` field: the shard
             segment.  A named :class:`~repro.runtime.AnnealingService`
             (e.g. a gateway shard) threads ``"<name>/"`` through here
             so records read ``shard0/pool@job-0001`` and telemetry
@@ -368,20 +433,42 @@ class EnsembleExecutor:
             config=config,
             reference=reference,
             options=self.options,
+            backend=backend,
         )
         ordered = list(request.seeds)
-        if config is None:
+        if config is None and backend == _DEFAULT_BACKEND:
             from repro.annealer.config import AnnealerConfig
 
             config = AnnealerConfig()
 
+        # Every record funnels through _emit exactly once; stamping in
+        # the callback keeps the executor free of per-run mutable state
+        # (one instance may serve concurrent run() calls).
+        user_callback = on_run_complete
+
+        def stamp_backend(record: RunTelemetry) -> None:
+            record.backend = backend
+            if user_callback is not None:
+                user_callback(record)
+
+        on_run_complete = stamp_backend
+
         watch = Stopwatch()
         rebuilds = 0
         # Batched dispatch is a pure throughput path: an active fault
-        # plan needs per-seed attempt accounting, so it pins batch=1.
-        batching = self.options.batch_size > 1 and self._plan is None
-        if self.max_workers == 1 and pool is None:
-            if batching:
+        # plan needs per-seed attempt accounting, so it pins batch=1;
+        # only the default backend speaks the batched replica engine.
+        batching = (
+            self.options.batch_size > 1
+            and self._plan is None
+            and backend == _DEFAULT_BACKEND
+        )
+        if batching:
+            from repro.tsp.instance import TSPInstance
+
+            assert isinstance(instance, TSPInstance)
+            assert config is not None
+            if self.max_workers == 1 and pool is None:
                 by_seed, mode = self._run_serial_batched(
                     instance,
                     ordered,
@@ -394,30 +481,31 @@ class EnsembleExecutor:
                     breaker=breaker,
                 )
             else:
-                by_seed, mode = self._run_serial(
+                by_seed, mode, rebuilds = self._run_pool_batched(
                     instance,
                     ordered,
                     config,
                     reference,
                     on_run_complete=on_run_complete,
+                    pool=pool,
                     worker_prefix=worker_prefix,
                     worker_suffix=worker_suffix,
                     cancel=cancel,
                     breaker=breaker,
+                    on_pool_broken=on_pool_broken,
                 )
-        elif batching:
-            by_seed, mode, rebuilds = self._run_pool_batched(
+        elif self.max_workers == 1 and pool is None:
+            by_seed, mode = self._run_serial(
                 instance,
                 ordered,
                 config,
                 reference,
                 on_run_complete=on_run_complete,
-                pool=pool,
                 worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
-                on_pool_broken=on_pool_broken,
+                backend=backend,
             )
         else:
             by_seed, mode, rebuilds = self._run_pool(
@@ -432,6 +520,7 @@ class EnsembleExecutor:
                 cancel=cancel,
                 breaker=breaker,
                 on_pool_broken=on_pool_broken,
+                backend=backend,
             )
         wall = watch.elapsed_s()
 
@@ -441,6 +530,7 @@ class EnsembleExecutor:
             mode=mode,
             wall_time_s=wall,
             pool_rebuilds=rebuilds,
+            backend=backend,
         )
         results = [
             by_seed[s][0] for s in ordered if by_seed[s][0] is not None
@@ -471,24 +561,56 @@ class EnsembleExecutor:
 
     def _invoke(
         self,
-        instance: TSPInstance,
-        config: AnnealerConfig,
+        instance: "ProblemLike",
+        config: Optional[AnnealerConfig],
         seed: int,
         attempt: int,
-    ) -> AnnealResult:
+        backend: str = _DEFAULT_BACKEND,
+    ) -> RunResultLike:
         """One in-process solve attempt (chaos-wrapped when planned)."""
         plan = self._plan
+        if backend != _DEFAULT_BACKEND:
+            if plan is not None:
+                return _solve_backend_injected(
+                    backend, instance, config, seed, plan, attempt, False
+                )
+            return _solve_backend_one(backend, instance, config, seed)
+        from repro.tsp.instance import TSPInstance
+
+        assert isinstance(instance, TSPInstance)
+        assert config is not None
         if plan is not None:
             return _solve_one_injected(
                 instance, config, seed, plan, attempt, False
             )
         return _solve_one(instance, config, seed)
 
+    @staticmethod
+    def _validate(
+        instance: "ProblemLike", result: RunResultLike, backend: str
+    ) -> None:
+        """Integrity-check one result at the dispatch boundary.
+
+        The default backend keeps the exact pre-registry gate
+        (:func:`repro.runtime.faults.validate_result`); named backends
+        supply their own recomputation via
+        :meth:`~repro.backends.base.SolverBackend.validate_result`.
+        """
+        if backend == _DEFAULT_BACKEND:
+            from repro.tsp.instance import TSPInstance
+
+            assert isinstance(instance, TSPInstance)
+            validate_result(instance, result)
+            return
+        from repro.backends import resolve_backend
+
+        resolve_backend(backend).validate_result(instance, result)
+
     def _attempt_serial(
         self,
-        instance: TSPInstance,
+        instance: "ProblemLike",
         seed: int,
-        config: AnnealerConfig,
+        config: Optional[AnnealerConfig],
         reference: Optional[float],
         first_error: Optional[BaseException] = None,
         attempts_used: int = 0,
@@ -496,7 +618,8 @@ class EnsembleExecutor:
         worker_suffix: str = "",
         faults: Optional[List[str]] = None,
         breaker: Optional[CircuitBreaker] = None,
-    ) -> Tuple[Optional[AnnealResult], RunTelemetry]:
+        backend: str = _DEFAULT_BACKEND,
+    ) -> Tuple[Optional[RunResultLike], RunTelemetry]:
         """Run one seed in-process with the retry budget that is left.
 
         Retries are paced by a bounded, deterministically jittered
@@ -520,8 +643,8 @@ class EnsembleExecutor:
                 backoff_s += backoff.wait(attempt)
             kind = plan.fault_for(seed, attempt) if plan is not None else None
             try:
-                result = self._invoke(instance, config, seed, attempt)
-                validate_result(instance, result)
+                result = self._invoke(instance, config, seed, attempt, backend)
+                self._validate(instance, result, backend)
                 if kind is not None:
                     # In-process execution is certain: the scheduled
                     # fault ran (a hang slept, then solved clean).
@@ -565,9 +688,9 @@ class EnsembleExecutor:
 
     def _run_serial(
         self,
-        instance: TSPInstance,
+        instance: "ProblemLike",
         seeds: List[int],
-        config: AnnealerConfig,
+        config: Optional[AnnealerConfig],
         reference: Optional[float],
         mode: str = "serial",
         *,
@@ -576,8 +699,9 @@ class EnsembleExecutor:
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
-    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
-        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        backend: str = _DEFAULT_BACKEND,
+    ) -> Tuple[Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]], str]:
+        by_seed: Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]] = {}
         for done, seed in enumerate(seeds):
             self._check_cancel(cancel, done, len(seeds))
             self._check_breaker(breaker, seed)
@@ -589,6 +713,7 @@ class EnsembleExecutor:
                 worker_prefix=worker_prefix,
                 worker_suffix=worker_suffix,
                 breaker=breaker,
+                backend=backend,
             )
             self._emit(on_run_complete, by_seed[seed][1])
         return by_seed, mode
@@ -612,14 +737,14 @@ class EnsembleExecutor:
         worker_prefix: str,
         worker_suffix: str,
         breaker: Optional[CircuitBreaker],
-    ) -> Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]]:
+    ) -> Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]]:
         """Per-seed validation + telemetry for one batched solve.
 
         One :class:`RunTelemetry` per seed, exactly like the unbatched
         paths; a seed whose payload fails integrity validation is
         retried through the ordinary serial path.
         """
-        settled: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        settled: Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]] = {}
         for seed, result in zip(group, results):
             try:
                 validate_result(instance, result)
@@ -665,9 +790,9 @@ class EnsembleExecutor:
         worker_suffix: str = "",
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
-    ) -> Tuple[Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str]:
+    ) -> Tuple[Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]], str]:
         """In-process batched loop: one ``solve_batch`` per seed group."""
-        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        by_seed: Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]] = {}
         done = 0
         for group in self._batch_groups(seeds):
             self._check_cancel(cancel, done, len(seeds))
@@ -724,7 +849,7 @@ class EnsembleExecutor:
         breaker: Optional[CircuitBreaker] = None,
         on_pool_broken: Optional[PoolHealer] = None,
     ) -> Tuple[
-        Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str, int
+        Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]], str, int
     ]:
         """Pool dispatch where each worker claims a batch of seeds.
 
@@ -760,7 +885,7 @@ class EnsembleExecutor:
 
         groups = self._batch_groups(seeds)
         chunk = self.chunk_size or max(1, 2 * self.max_workers)
-        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        by_seed: Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]] = {}
         degraded = False
         done = 0
 
@@ -886,9 +1011,10 @@ class EnsembleExecutor:
         self,
         supervisor: _PoolSupervisor,
         wave: List[int],
-        instance: TSPInstance,
-        config: AnnealerConfig,
-    ) -> Optional[Dict[int, "Future[AnnealResult]"]]:
+        instance: "ProblemLike",
+        config: Optional[AnnealerConfig],
+        backend: str = _DEFAULT_BACKEND,
+    ) -> Optional[Dict[int, "Future[RunResultLike]"]]:
         """Submit one dispatch wave; None when the pool refuses.
 
         A partial submission (pool breaking mid-wave) abandons the
@@ -900,6 +1026,31 @@ class EnsembleExecutor:
         assert pool is not None
         plan = self._plan
         try:
+            if backend != _DEFAULT_BACKEND:
+                if plan is not None:
+                    return {
+                        seed: pool.submit(
+                            _solve_backend_injected,
+                            backend,
+                            instance,
+                            config,
+                            seed,
+                            plan,
+                            0,
+                            True,
+                        )
+                        for seed in wave
+                    }
+                return {
+                    seed: pool.submit(
+                        _solve_backend_one, backend, instance, config, seed
+                    )
+                    for seed in wave
+                }
+            from repro.tsp.instance import TSPInstance
+
+            assert isinstance(instance, TSPInstance)
+            assert config is not None
             if plan is not None:
                 return {
                     seed: pool.submit(
@@ -959,9 +1110,9 @@ class EnsembleExecutor:
 
     def _run_pool(
         self,
-        instance: TSPInstance,
+        instance: "ProblemLike",
         seeds: List[int],
-        config: AnnealerConfig,
+        config: Optional[AnnealerConfig],
         reference: Optional[float],
         *,
         on_run_complete: Optional[RunCallback] = None,
@@ -971,8 +1122,9 @@ class EnsembleExecutor:
         cancel: Optional["Event"] = None,
         breaker: Optional[CircuitBreaker] = None,
         on_pool_broken: Optional[PoolHealer] = None,
+        backend: str = _DEFAULT_BACKEND,
     ) -> Tuple[
-        Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]], str, int
+        Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]], str, int
     ]:
         from concurrent.futures import TimeoutError as FuturesTimeout
         from concurrent.futures.process import BrokenProcessPool
@@ -995,11 +1147,12 @@ class EnsembleExecutor:
                 worker_suffix=worker_suffix,
                 cancel=cancel,
                 breaker=breaker,
+                backend=backend,
             )
             return by_seed, mode, supervisor.rebuilds
 
         plan = self._plan
-        by_seed: Dict[int, Tuple[Optional[AnnealResult], RunTelemetry]] = {}
+        by_seed: Dict[int, Tuple[Optional[RunResultLike], RunTelemetry]] = {}
         chunk = self.chunk_size or max(1, 2 * self.max_workers)
         degraded = False
 
@@ -1015,6 +1168,7 @@ class EnsembleExecutor:
                     worker_prefix=worker_prefix,
                     worker_suffix=worker_suffix,
                     breaker=breaker,
+                    backend=backend,
                 )
                 self._emit(on_run_complete, by_seed[seed][1])
 
@@ -1025,7 +1179,9 @@ class EnsembleExecutor:
                 if degraded:
                     run_wave_serially(lo, wave)
                     continue
-                futures = self._submit_wave(supervisor, wave, instance, config)
+                futures = self._submit_wave(
+                    supervisor, wave, instance, config, backend
+                )
                 if futures is None:
                     # The pool refused the wave (broken / shut down by a
                     # sibling): heal it for the *next* wave if the
@@ -1040,7 +1196,7 @@ class EnsembleExecutor:
                     kind = plan.fault_for(seed, 0) if plan is not None else None
                     try:
                         result = fut.result(timeout=self.timeout_s)
-                        validate_result(instance, result)
+                        self._validate(instance, result, backend)
                         if breaker is not None:
                             breaker.record_success()
                         by_seed[seed] = (
@@ -1081,6 +1237,7 @@ class EnsembleExecutor:
                                 else []
                             ),
                             breaker=breaker,
+                            backend=backend,
                         )
                     except AnnealerError:
                         raise
@@ -1102,6 +1259,7 @@ class EnsembleExecutor:
                                 else []
                             ),
                             breaker=breaker,
+                            backend=backend,
                         )
                     self._emit(on_run_complete, by_seed[seed][1])
                 if pool_broke or supervisor.starved():

@@ -39,14 +39,17 @@ import os
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, TypeVar
 
 from repro.errors import AnnealerError
 from repro.utils.rng import RandomState
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.result uses repro.runtime
-    from repro.annealer.result import AnnealResult
+    from repro.runtime.telemetry import RunResultLike
     from repro.tsp.instance import TSPInstance
+
+#: Any backend's run result (the corrupt fault tampers a copy of one).
+ResultT = TypeVar("ResultT", bound="RunResultLike")
 
 
 class FaultKind(str, Enum):
@@ -226,8 +229,8 @@ class FaultInjector:
             time.sleep(self.plan.hang_s)
 
     def post_solve(
-        self, seed: int, attempt: int, result: "AnnealResult"
-    ) -> "AnnealResult":
+        self, seed: int, attempt: int, result: ResultT
+    ) -> ResultT:
         """Tamper the result when a corrupt fault is scheduled."""
         if self.plan.fault_for(seed, attempt) is not FaultKind.CORRUPT:
             return result

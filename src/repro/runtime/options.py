@@ -31,7 +31,7 @@ from repro.runtime.faults import FaultPlan
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
     from repro.annealer.config import AnnealerConfig
-    from repro.tsp.instance import TSPInstance
+    from repro.backends.base import ProblemLike
 
 
 @dataclass(frozen=True)
@@ -180,7 +180,7 @@ class EnsembleOptions:
 
 @dataclass(frozen=True)
 class SolveRequest:
-    """One solve: instance + seeds + base config + options.
+    """One solve: problem + seeds + base config + options + backend.
 
     The single input type shared by
     :func:`repro.annealer.batch.solve_ensemble`,
@@ -189,30 +189,41 @@ class SolveRequest:
     Parameters
     ----------
     instance:
-        The problem.
+        The problem payload: a :class:`~repro.tsp.instance.TSPInstance`
+        for the TSP backends, an :class:`~repro.ising.model.IsingModel`
+        for ``simcim``, or a :class:`~repro.maxcut.problem.
+        MaxCutProblem` for ``maxcut-sb``.  Validated here against the
+        selected backend's declared
+        :meth:`~repro.backends.base.SolverBackend.capabilities`.
     seeds:
         Seeds; each produces an independent fabrication + anneal.
         Normalised to a tuple of ints; duplicates and empty sequences
         are rejected here, once, for every entry point.
     config:
         Base :class:`~repro.annealer.config.AnnealerConfig`; its
-        ``seed`` field is replaced per run.
+        ``seed`` field is replaced per run.  Only backends that declare
+        ``accepts_config`` (the default ``cluster-cim``) take one.
     reference:
-        Reference tour length for optimal ratios (computed from the
-        first seed when omitted).
+        Reference objective for optimal ratios (computed by the
+        backend from the first seed when omitted).
     options:
         Runtime tuning (see :class:`EnsembleOptions`).
     tag:
         Optional human label; the serving runtime folds it into the
         generated job id (and thus each record's ``worker`` field).
+    backend:
+        Registry name of the solver backend to dispatch to
+        (:func:`repro.backends.list_backends` enumerates them);
+        defaults to the clustered CIM annealer.
     """
 
-    instance: "TSPInstance"
+    instance: "ProblemLike"
     seeds: Tuple[int, ...]
     config: Optional["AnnealerConfig"] = None
     reference: Optional[float] = None
     options: EnsembleOptions = field(default_factory=EnsembleOptions)
     tag: str = ""
+    backend: str = "cluster-cim"
 
     def __post_init__(self) -> None:
         seeds = tuple(int(s) for s in self.seeds)
@@ -225,17 +236,32 @@ class SolveRequest:
                 f"duplicate seeds {dupes} would skew ensemble statistics; "
                 "pass distinct seeds"
             )
+        # Imported lazily: repro.backends sits above this module.
+        from repro.backends import problem_kind, resolve_backend
+
+        caps = resolve_backend(self.backend).capabilities()
+        kind = problem_kind(self.instance)
+        if kind not in caps.problem_kinds:
+            raise AnnealerError(
+                f"backend {self.backend!r} solves "
+                f"{sorted(caps.problem_kinds)} problems, got {kind!r}"
+            )
+        if self.config is not None and not caps.accepts_config:
+            raise AnnealerError(
+                f"backend {self.backend!r} does not take an AnnealerConfig"
+            )
 
     @classmethod
     def build(
         cls,
-        instance: "TSPInstance",
+        instance: "ProblemLike",
         seeds: Sequence[int],
         *,
         config: Optional["AnnealerConfig"] = None,
         reference: Optional[float] = None,
         options: Optional[EnsembleOptions] = None,
         tag: str = "",
+        backend: str = "cluster-cim",
     ) -> "SolveRequest":
         """Keyword-only constructor accepting any seed sequence."""
         return cls(
@@ -245,4 +271,5 @@ class SolveRequest:
             reference=reference,
             options=options or EnsembleOptions(),
             tag=tag,
+            backend=backend,
         )

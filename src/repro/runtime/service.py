@@ -419,13 +419,18 @@ class AnnealingService:
         # Imported lazily: repro.annealer imports repro.runtime.
         from repro.analysis.quality import summarize
         from repro.annealer.batch import EnsembleResult
-        from repro.tsp.reference import reference_length
+        from repro.backends import resolve_backend
 
         request = job.request
         seeds = list(request.seeds)
         reference = request.reference
         if reference is None:
-            reference = reference_length(request.instance, seed=int(seeds[0]))
+            # The backend supplies the quality denominator; the default
+            # cluster-cim backend computes the exact pre-registry
+            # greedy reference_length, bit-identical.
+            reference = resolve_backend(request.backend).reference(
+                request.instance, int(seeds[0])
+            )
 
         threshold = request.options.breaker_threshold
         breaker = CircuitBreaker(threshold) if threshold is not None else None
@@ -435,6 +440,7 @@ class AnnealingService:
             seeds,
             config=request.config,
             reference=reference,
+            backend=request.backend,
             on_run_complete=self._record_poster(job),
             pool=self._pool,
             worker_prefix=f"{self.name}/" if self.name else "",

@@ -14,14 +14,61 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
 
 from repro.errors import AnnealerError
 
 if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
     from pathlib import Path
 
-    from repro.annealer.result import AnnealResult
+    import numpy as np
+
+    from repro.annealer.result import LevelReport
+    from repro.cim.macro import CIMChip
+
+
+class RunResultLike(Protocol):
+    """Structural interface of one solve result, any backend.
+
+    :class:`~repro.annealer.result.AnnealResult` (the clustered CIM
+    annealer) and :class:`~repro.backends.base.BackendRunResult` (every
+    other registered backend) both satisfy it; the ensemble runtime,
+    telemetry extraction, and the wire codecs are written against this
+    protocol so they never need to know which backend produced a
+    result.  ``tour`` is the solution state vector — a city permutation
+    for TSP backends, a ±1 spin vector for Ising/Max-Cut backends —
+    and ``length`` is the minimised objective (tour length, Ising
+    energy, or negated cut value).
+    """
+
+    # Mutable attributes (the chaos layer's corrupt fault tampers with
+    # ``length`` on a copy to prove the integrity gate catches it).
+    tour: "np.ndarray"
+    length: float
+    wall_time_s: float
+
+    @property
+    def chip(self) -> Optional["CIMChip"]:
+        """Hardware event counters, or ``None`` for non-CIM backends."""
+        ...
+
+    @property
+    def levels(self) -> Sequence["LevelReport"]:
+        """Per-level solve reports (empty for flat, non-hierarchical backends)."""
+        ...
+
+    def optimal_ratio(self, reference_length: float) -> float:
+        """Objective relative to a reference value (0.0 when no reference)."""
+        ...
 
 
 class Stopwatch:
@@ -99,11 +146,19 @@ class RunTelemetry:
         id through as a suffix — ``"pool@job-0001"`` — so records from
         jobs multiplexed onto one shared pool stay attributable; a
         *named* service (a gateway shard) additionally prepends its
-        backend segment — ``"shard0/pool@job-0001"`` — so records
-        from multi-backend dispatch stay attributable too.  Parse the
-        pieces back with :attr:`job_id` and :attr:`backend`.
+        shard segment — ``"shard0/pool@job-0001"`` — so records from
+        sharded gateways stay attributable too.  Parse the pieces back
+        with :attr:`job_id` and :attr:`shard`.
     error:
         Repr of the terminal failure, empty on success.
+    backend:
+        Registry name of the solver backend that produced this run
+        (``"cluster-cim"``, ``"maxcut-sb"``, ...), stamped by the
+        ensemble executor on every record it emits.  Empty only for
+        records built by hand outside the runtime; the field is a real
+        dataclass field (not parsed out of ``worker``) so framed and
+        unframed records round-trip identically through
+        :meth:`to_json_line`.
     """
 
     seed: int
@@ -124,12 +179,13 @@ class RunTelemetry:
     faults_injected: List[str] = field(default_factory=list)
     backoff_s: float = 0.0
     first_error: str = ""
+    backend: str = ""
 
     @classmethod
     def from_result(
         cls,
         seed: int,
-        result: AnnealResult,
+        result: RunResultLike,
         reference: Optional[float] = None,
         retries: int = 0,
         worker: str = "serial",
@@ -195,11 +251,11 @@ class RunTelemetry:
         return job if sep else ""
 
     @property
-    def backend(self) -> str:
-        """Backend segment of ``worker`` (``"shard0"`` of
+    def shard(self) -> str:
+        """Shard segment of ``worker`` (``"shard0"`` of
         ``"shard0/pool@job-0001"``).
 
-        Empty for records produced outside a named backend (a plain
+        Empty for records produced outside a named service (a plain
         service or a direct executor run).
         """
         head, sep, _ = self.worker.partition("/")
@@ -232,9 +288,11 @@ class EnsembleTelemetry:
     times — their ratio is the effective parallel speedup.
     ``job_id`` is set by the serving runtime when the ensemble ran as a
     service job; empty for direct :func:`solve_ensemble`-style calls.
-    ``pool_rebuilds`` counts worker-pool replacements the self-healing
-    supervisor performed while this ensemble ran (broken or
-    hang-starved pools; see ``docs/robustness.md``).
+    ``backend`` is the registry name of the solver backend the ensemble
+    dispatched to (``"cluster-cim"`` by default).  ``pool_rebuilds``
+    counts worker-pool replacements the self-healing supervisor
+    performed while this ensemble ran (broken or hang-starved pools;
+    see ``docs/robustness.md``).
     """
 
     runs: List[RunTelemetry] = field(default_factory=list)
@@ -243,6 +301,7 @@ class EnsembleTelemetry:
     wall_time_s: float = 0.0
     job_id: str = ""
     pool_rebuilds: int = 0
+    backend: str = ""
 
     @property
     def n_runs(self) -> int:
@@ -313,6 +372,7 @@ class EnsembleTelemetry:
             "schema": "repro.ensemble_telemetry/v1",
             "mode": self.mode,
             "job_id": self.job_id,
+            "backend": self.backend,
             "max_workers": self.max_workers,
             "n_runs": self.n_runs,
             "n_failed": self.n_failed,
@@ -353,4 +413,5 @@ class EnsembleTelemetry:
             wall_time_s=float(data.get("wall_time_s", 0.0)),
             job_id=str(data.get("job_id", "")),
             pool_rebuilds=int(data.get("pool_rebuilds", 0)),
+            backend=str(data.get("backend", "")),
         )

@@ -1,0 +1,77 @@
+"""One-release deprecation shims for retired call signatures.
+
+The project's API policy (``docs/serving.md``, *Deprecation timeline*)
+is: a retired signature keeps working for exactly one release behind a
+:class:`DeprecationWarning`, then raises ``TypeError``.  This module
+holds the shared mechanics so every shimmed entry point warns with the
+same shape of message and maps legacy arguments identically.
+
+:func:`merge_legacy_args` is the workhorse: given the *old* positional
+order and whatever loose positionals/keywords the caller passed, it
+emits the warning and returns one merged ``{name: value}`` dict the
+caller folds into its params dataclass.  Collisions (positional +
+keyword for the same name, or unknown names) raise ``TypeError``
+immediately — exactly what the interpreter would have done against
+the old signature.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Sequence, Tuple
+
+
+def merge_legacy_args(
+    fn_name: str,
+    order: Sequence[str],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    *,
+    params_hint: str,
+    since: str,
+    removal: str,
+) -> Dict[str, Any]:
+    """Map a retired loose-argument call onto ``{name: value}``.
+
+    Parameters
+    ----------
+    fn_name:
+        The public entry point, for the warning/error messages.
+    order:
+        The *old* positional parameter order (after the problem
+        argument).
+    args, kwargs:
+        The loose positionals/keywords the caller actually passed.
+    params_hint:
+        What to pass instead (``"params=MaxCutAnnealParams(...)"``).
+    since, removal:
+        Release that deprecated the form and release that removes it.
+    """
+    if len(args) > len(order):
+        raise TypeError(
+            f"{fn_name}() takes at most {len(order)} legacy positional "
+            f"arguments ({', '.join(order)}), got {len(args)}"
+        )
+    merged: Dict[str, Any] = dict(zip(order, args))
+    unknown = sorted(set(kwargs) - set(order))
+    if unknown:
+        raise TypeError(
+            f"{fn_name}() got unexpected keyword argument(s) "
+            f"{', '.join(unknown)}; the new signature takes "
+            f"{params_hint}"
+        )
+    overlap = sorted(set(merged) & set(kwargs))
+    if overlap:
+        raise TypeError(
+            f"{fn_name}() got multiple values for argument(s) "
+            f"{', '.join(overlap)}"
+        )
+    merged.update(kwargs)
+    warnings.warn(
+        f"passing loose tuning arguments to {fn_name}() is deprecated "
+        f"since {since} and will be removed in {removal}; pass "
+        f"{params_hint} instead (results are unchanged either way)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return merged

@@ -1,0 +1,220 @@
+"""Per-backend behavior behind the SolverBackend interface."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.backends import (
+    BackendRunResult,
+    problem_kind,
+    resolve_backend,
+)
+from repro.errors import AnnealerError
+from repro.ising.model import IsingModel
+from repro.ising.schedule import VddSchedule
+from repro.ising.simcim import random_ising_model
+from repro.maxcut.generators import gset_style
+from repro.maxcut.solver import greedy_maxcut
+from repro.runtime.faults import ResultIntegrityError
+from repro.tsp.generators import random_uniform
+from repro.tsp.reference import reference_length
+from repro.tsp.tour import tour_length
+
+
+@pytest.fixture
+def tsp16():
+    return random_uniform(16, seed=7)
+
+
+@pytest.fixture
+def fast_config():
+    return AnnealerConfig(
+        schedule=VddSchedule(total_iterations=40, iterations_per_step=10)
+    )
+
+
+class TestProblemKind:
+    def test_kinds(self, tsp16):
+        assert problem_kind(tsp16) == "tsp"
+        assert problem_kind(random_ising_model(4, seed=0)) == "ising"
+        assert problem_kind(gset_style(8, seed=0)) == "maxcut"
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(AnnealerError, match="unsupported problem"):
+            problem_kind("not a problem")
+
+
+class TestCapabilityGuards:
+    def test_kind_mismatch_names_backend_and_kinds(self, tsp16):
+        with pytest.raises(
+            AnnealerError,
+            match=r"backend 'maxcut-sb' solves \['maxcut'\], got a 'tsp'",
+        ):
+            resolve_backend("maxcut-sb").compile(tsp16, None)
+
+    def test_dense_ising_size_cap(self):
+        big = random_uniform(65, seed=1)
+        with pytest.raises(
+            AnnealerError, match="limited to 64 cities, got 65"
+        ):
+            resolve_backend("dense-ising").compile(big, None)
+
+    def test_simcim_rejects_01_convention(self):
+        model = random_ising_model(6, seed=2)
+        lattice_gas = IsingModel(
+            model.couplings, model.field, convention="01"
+        )
+        with pytest.raises(AnnealerError, match="pm1 spin convention"):
+            resolve_backend("simcim").compile(lattice_gas, None)
+
+    def test_only_default_backend_is_batchable_and_configured(self):
+        default = resolve_backend("cluster-cim").capabilities()
+        assert default.batchable and default.accepts_config
+        for name in ("dense-ising", "maxcut-sb", "simcim"):
+            caps = resolve_backend(name).capabilities()
+            assert not caps.batchable
+            assert not caps.accepts_config
+
+
+class TestClusterCIM:
+    def test_solve_matches_direct_annealer(self, tsp16, fast_config):
+        # The registry route must stay bit-identical to constructing
+        # the paper's annealer by hand — same worker function.
+        impl = resolve_backend("cluster-cim")
+        plan = impl.compile(tsp16, fast_config)
+        via_backend = impl.solve(plan, 5)
+        direct = ClusteredCIMAnnealer(
+            replace(fast_config, seed=5)
+        ).solve(tsp16)
+        assert via_backend.length == direct.length
+        assert np.array_equal(via_backend.tour, direct.tour)
+
+    def test_compile_defaults_missing_config(self, tsp16):
+        plan = resolve_backend("cluster-cim").compile(tsp16, None)
+        assert plan.config == AnnealerConfig()
+        assert plan.backend == "cluster-cim"
+
+    def test_reference_is_greedy_reference_length(self, tsp16):
+        impl = resolve_backend("cluster-cim")
+        assert impl.reference(tsp16, 3) == reference_length(tsp16, seed=3)
+
+    def test_decode_view(self, tsp16, fast_config):
+        impl = resolve_backend("cluster-cim")
+        result = impl.solve(impl.compile(tsp16, fast_config), 1)
+        view = impl.decode(result)
+        assert view["backend"] == "cluster-cim"
+        assert sorted(view["tour"]) == list(range(16))
+        assert view["length"] == pytest.approx(result.length)
+
+
+class TestDenseIsing:
+    def test_solve_yields_valid_tour(self, tsp16):
+        impl = resolve_backend("dense-ising")
+        result = impl.solve(impl.compile(tsp16, None), 3)
+        impl.validate_result(tsp16, result)  # permutation + length agree
+        assert result.length == pytest.approx(
+            tour_length(tsp16, result.tour)
+        )
+        assert result.wall_time_s >= 0.0
+
+    def test_deterministic_per_seed(self, tsp16):
+        impl = resolve_backend("dense-ising")
+        plan = impl.compile(tsp16, None)
+        again = impl.solve(plan, 3)
+        assert np.array_equal(again.tour, impl.solve(plan, 3).tour)
+
+    def test_validate_rejects_tampered_length(self, tsp16):
+        impl = resolve_backend("dense-ising")
+        result = impl.solve(impl.compile(tsp16, None), 3)
+        result.length += 1.0
+        with pytest.raises(ResultIntegrityError, match="reported length"):
+            impl.validate_result(tsp16, result)
+
+    def test_validate_rejects_corrupted_tour(self, tsp16):
+        impl = resolve_backend("dense-ising")
+        result = impl.solve(impl.compile(tsp16, None), 3)
+        result.tour = np.zeros(16, dtype=np.int64)  # not a permutation
+        with pytest.raises(ResultIntegrityError, match="corrupted tour"):
+            impl.validate_result(tsp16, result)
+
+
+class TestMaxCutSB:
+    def test_objective_is_negated_cut(self):
+        problem = gset_style(30, seed=4)
+        impl = resolve_backend("maxcut-sb")
+        result = impl.solve(impl.compile(problem, None), 2)
+        impl.validate_result(problem, result)
+        spins = np.asarray(result.tour, dtype=np.float64)
+        assert result.length == pytest.approx(-problem.cut_value(spins))
+
+    def test_ratio_reads_cut_over_greedy(self):
+        # Both objective and reference are negated, so the ratio is the
+        # positive cut/greedy quality and > 1.0 means SB beat greedy.
+        problem = gset_style(30, seed=4)
+        impl = resolve_backend("maxcut-sb")
+        result = impl.solve(impl.compile(problem, None), 2)
+        ref = impl.reference(problem, 2)
+        assert ref == -greedy_maxcut(problem, seed=2).cut_value
+        assert ref < 0
+        assert result.optimal_ratio(ref) > 0
+
+    def test_validate_rejects_tampered_cut(self):
+        problem = gset_style(30, seed=4)
+        impl = resolve_backend("maxcut-sb")
+        result = impl.solve(impl.compile(problem, None), 2)
+        result.length -= 3.0
+        with pytest.raises(ResultIntegrityError, match="recomputed cut"):
+            impl.validate_result(problem, result)
+
+    def test_decode_restores_positive_cut(self):
+        problem = gset_style(30, seed=4)
+        impl = resolve_backend("maxcut-sb")
+        result = impl.solve(impl.compile(problem, None), 2)
+        view = impl.decode(result)
+        assert view["backend"] == "maxcut-sb"
+        assert view["cut_value"] == pytest.approx(-result.length)
+        assert set(view["spins"]) <= {-1, 1}
+
+
+class TestSimCIM:
+    def test_energy_matches_model(self):
+        model = random_ising_model(16, seed=6)
+        impl = resolve_backend("simcim")
+        result = impl.solve(impl.compile(model, None), 9)
+        impl.validate_result(model, result)
+        spins = np.asarray(result.tour, dtype=np.float64)
+        assert result.length == pytest.approx(model.energy(spins))
+
+    def test_no_reference_by_convention(self):
+        # Arbitrary spin glasses have no quality denominator; ratios
+        # read 0.0 rather than pretending a baseline exists.
+        model = random_ising_model(16, seed=6)
+        impl = resolve_backend("simcim")
+        assert impl.reference(model, 9) == 0.0
+
+    def test_validate_rejects_bad_spins(self):
+        model = random_ising_model(16, seed=6)
+        impl = resolve_backend("simcim")
+        result = impl.solve(impl.compile(model, None), 9)
+        result.tour = np.full(16, 2, dtype=np.int64)
+        with pytest.raises(ResultIntegrityError, match="corrupted spins"):
+            impl.validate_result(model, result)
+
+
+class TestBackendRunResult:
+    def test_zero_reference_means_no_ratio(self):
+        result = BackendRunResult(tour=np.array([1, -1]), length=-3.0)
+        assert result.optimal_ratio(0.0) == 0.0
+
+    def test_negative_reference_gives_positive_quality(self):
+        result = BackendRunResult(tour=np.array([1, -1]), length=-30.0)
+        assert result.optimal_ratio(-20.0) == pytest.approx(1.5)
+
+    def test_positive_reference_matches_tsp_semantics(self):
+        result = BackendRunResult(tour=np.arange(4), length=12.0)
+        assert result.optimal_ratio(10.0) == pytest.approx(1.2)

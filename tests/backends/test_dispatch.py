@@ -1,0 +1,163 @@
+"""Backend dispatch through the ensemble runtime.
+
+The acceptance bar of the registry redesign: a default-backend
+``SolveRequest`` must produce results bit-identical to constructing the
+paper's annealer directly (the pre-registry behavior), and every named
+backend must solve end-to-end through ``solve_ensemble`` with its
+telemetry stamped accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.annealer.batch import solve_ensemble
+from repro.annealer.config import AnnealerConfig
+from repro.annealer.hierarchical import ClusteredCIMAnnealer
+from repro.errors import AnnealerError
+from repro.ising.schedule import VddSchedule
+from repro.ising.simcim import random_ising_model
+from repro.maxcut.generators import gset_style
+from repro.runtime.options import SolveRequest
+from repro.tsp.generators import random_uniform
+from repro.tsp.reference import reference_length
+
+SEEDS = (3, 1, 2)
+
+
+@pytest.fixture
+def tsp16():
+    return random_uniform(16, seed=7)
+
+
+@pytest.fixture
+def fast_config():
+    return AnnealerConfig(
+        schedule=VddSchedule(total_iterations=40, iterations_per_step=10)
+    )
+
+
+class TestDefaultBackendBitIdentity:
+    def test_matches_direct_annealer_and_pre_registry_reference(
+        self, tsp16, fast_config
+    ):
+        request = SolveRequest.build(tsp16, SEEDS, config=fast_config)
+        ensemble = solve_ensemble(request)
+
+        direct = [
+            ClusteredCIMAnnealer(replace(fast_config, seed=s)).solve(tsp16)
+            for s in SEEDS
+        ]
+        assert [r.length for r in ensemble.results] == [
+            d.length for d in direct
+        ]
+        for ours, theirs in zip(ensemble.results, direct):
+            assert np.array_equal(ours.tour, theirs.tour)
+        assert ensemble.reference == reference_length(
+            tsp16, seed=SEEDS[0]
+        )
+
+    def test_explicit_name_equals_omitted_name(self, tsp16, fast_config):
+        implicit = solve_ensemble(
+            SolveRequest.build(tsp16, SEEDS, config=fast_config)
+        )
+        explicit = solve_ensemble(
+            SolveRequest.build(
+                tsp16, SEEDS, config=fast_config, backend="cluster-cim"
+            )
+        )
+        assert [r.length for r in implicit.results] == [
+            r.length for r in explicit.results
+        ]
+        assert implicit.reference == explicit.reference
+
+    def test_telemetry_stamped_with_default_backend(
+        self, tsp16, fast_config
+    ):
+        request = SolveRequest.build(tsp16, SEEDS, config=fast_config)
+        telemetry = solve_ensemble(request).telemetry
+        assert telemetry is not None
+        assert telemetry.backend == "cluster-cim"
+        assert all(r.backend == "cluster-cim" for r in telemetry.runs)
+
+
+class TestNamedBackendDispatch:
+    def test_dense_ising_end_to_end(self):
+        instance = random_uniform(10, seed=5)
+        request = SolveRequest.build(
+            instance, (1, 2), backend="dense-ising"
+        )
+        ensemble = solve_ensemble(request)
+        assert ensemble.n_runs == 2
+        assert ensemble.reference == reference_length(instance, seed=1)
+        assert all(r > 0 for r in ensemble.ratios)
+        telemetry = ensemble.telemetry
+        assert telemetry is not None
+        assert all(r.backend == "dense-ising" for r in telemetry.runs)
+
+    def test_maxcut_sb_end_to_end(self):
+        problem = gset_style(30, seed=4)
+        request = SolveRequest.build(problem, (1, 2), backend="maxcut-sb")
+        ensemble = solve_ensemble(request)
+        # length = -cut and reference = -greedy_cut: best is the run
+        # with the largest cut, and ratios read cut-over-greedy.
+        assert ensemble.reference < 0
+        assert ensemble.best.length == min(
+            r.length for r in ensemble.results
+        )
+        assert all(r > 0 for r in ensemble.ratios)
+
+    def test_simcim_end_to_end_ratios_zero(self):
+        model = random_ising_model(16, seed=6)
+        request = SolveRequest.build(model, (1, 2), backend="simcim")
+        ensemble = solve_ensemble(request)
+        assert ensemble.reference == 0.0
+        assert ensemble.ratios == [0.0, 0.0]
+        assert ensemble.ratio_stats is not None
+
+    def test_named_dispatch_is_deterministic(self):
+        instance = random_uniform(10, seed=5)
+        request = SolveRequest.build(
+            instance, (1, 2), backend="dense-ising"
+        )
+        first = solve_ensemble(request)
+        again = solve_ensemble(request)
+        assert [r.length for r in first.results] == [
+            r.length for r in again.results
+        ]
+
+
+class TestRequestValidation:
+    def test_unknown_backend_rejected_at_build(self, tsp16):
+        with pytest.raises(AnnealerError, match="unknown backend"):
+            SolveRequest.build(tsp16, (1,), backend="nope")
+
+    def test_payload_kind_checked_against_backend(self, tsp16):
+        with pytest.raises(
+            AnnealerError, match="backend 'simcim' solves"
+        ):
+            SolveRequest.build(tsp16, (1,), backend="simcim")
+
+    def test_config_rejected_for_configless_backend(
+        self, tsp16, fast_config
+    ):
+        with pytest.raises(
+            AnnealerError, match="does not take an AnnealerConfig"
+        ):
+            SolveRequest.build(
+                tsp16, (1,), config=fast_config, backend="dense-ising"
+            )
+
+    def test_solve_ensemble_keyword_backend_route(self):
+        # The loose-argument form threads backend= onto the request.
+        model = random_ising_model(8, seed=2)
+        ensemble = solve_ensemble(model, (4,), backend="simcim")
+        assert ensemble.n_runs == 1
+
+    def test_request_form_rejects_extra_backend(self, tsp16, fast_config):
+        request = SolveRequest.build(tsp16, (1,), config=fast_config)
+        with pytest.raises(AnnealerError, match="takes no other arguments"):
+            solve_ensemble(request, backend="dense-ising")

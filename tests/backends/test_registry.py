@@ -1,0 +1,85 @@
+"""The string-keyed backend registry: registration and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    SolverBackend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends import registry as registry_module
+from repro.backends.simcim import SimCIMBackend
+from repro.errors import AnnealerError
+
+
+class TestResolution:
+    def test_all_four_backends_registered_sorted(self):
+        assert list_backends() == (
+            "cluster-cim",
+            "dense-ising",
+            "maxcut-sb",
+            "simcim",
+        )
+        assert DEFAULT_BACKEND in list_backends()
+
+    def test_resolve_returns_one_shared_instance(self):
+        # Backends are stateless by contract; the registry hands every
+        # caller the same lazily-built instance.
+        first = resolve_backend("simcim")
+        assert resolve_backend("simcim") is first
+        assert isinstance(first, SolverBackend)
+
+    def test_every_listed_backend_resolves_consistently(self):
+        for name in list_backends():
+            caps = resolve_backend(name).capabilities()
+            assert caps.name == name
+            assert caps.problem_kinds  # never empty
+            assert caps.description
+
+    def test_unknown_backend_error_lists_known_names(self):
+        with pytest.raises(AnnealerError, match="unknown backend 'nope'"):
+            resolve_backend("nope")
+        with pytest.raises(AnnealerError, match="cluster-cim.*simcim"):
+            resolve_backend("nope")
+
+    def test_repr_carries_registry_name(self):
+        assert "simcim" in repr(resolve_backend("simcim"))
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("name", ["", "a/b", "shard0/cim", "pool@job"])
+    def test_framing_separator_names_rejected(self, name):
+        # "/" and "@" delimit the shard and job segments of the
+        # telemetry worker field; a backend name containing either
+        # would corrupt worker-string parsing.
+        with pytest.raises(AnnealerError, match="invalid backend name"):
+            register_backend(name)
+
+    def test_duplicate_name_rejected(self):
+        @register_backend("test-throwaway")
+        class FirstBackend(SimCIMBackend):
+            pass
+
+        try:
+            with pytest.raises(
+                AnnealerError,
+                match="backend 'test-throwaway' already registered to "
+                "FirstBackend",
+            ):
+                @register_backend("test-throwaway")
+                class SecondBackend(SimCIMBackend):
+                    pass
+        finally:
+            registry_module._REGISTRY.pop("test-throwaway", None)
+            registry_module._INSTANCES.pop("test-throwaway", None)
+        assert "test-throwaway" not in list_backends()
+
+    def test_reregistering_same_class_is_idempotent(self):
+        # Module reloads re-run the decorators; same class, same name
+        # must be a no-op, not an error.
+        assert register_backend("simcim")(SimCIMBackend) is SimCIMBackend
+        assert resolve_backend("simcim").capabilities().name == "simcim"

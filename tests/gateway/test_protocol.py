@@ -122,6 +122,83 @@ class TestSolveRequestRoundTrip:
         ]
 
 
+class TestProblemUnionWire:
+    """The tagged problem union + per-request backend on the wire."""
+
+    def test_pre_backend_payload_decodes_to_default(self, make_request):
+        # A recorded pre-1.3 body: no "backend" key, no instance
+        # "kind" tag.  It must decode to the default cluster-CIM
+        # request unchanged.
+        from repro.tsp.instance import TSPInstance
+
+        wire = encode_solve_request(make_request((5, 6)))
+        del wire["backend"]
+        del wire["instance"]["kind"]
+        back = decode_solve_request(json.loads(json.dumps(wire)))
+        assert back.backend == "cluster-cim"
+        assert isinstance(back.instance, TSPInstance)
+        assert back.seeds == (5, 6)
+
+    def test_backend_field_survives_round_trip(self, instance):
+        request = SolveRequest.build(instance, [1], backend="dense-ising")
+        assert wire_round_trip(request).backend == "dense-ising"
+
+    def test_ising_problem_lossless(self):
+        from repro.ising.simcim import random_ising_model
+
+        model = random_ising_model(6, seed=3)
+        request = SolveRequest.build(model, [1, 2], backend="simcim")
+        back = wire_round_trip(request)
+        assert back.backend == "simcim"
+        assert back.instance.convention == model.convention
+        np.testing.assert_allclose(
+            back.instance.couplings, model.couplings
+        )
+
+    def test_maxcut_problem_lossless(self):
+        from repro.maxcut import gset_style
+
+        problem = gset_style(12, seed=1)
+        request = SolveRequest.build(problem, [3], backend="maxcut-sb")
+        back = wire_round_trip(request)
+        assert back.backend == "maxcut-sb"
+        assert back.instance.n_nodes == problem.n_nodes
+        assert back.instance.name == problem.name
+        np.testing.assert_array_equal(
+            np.asarray(back.instance.edges), np.asarray(problem.edges)
+        )
+        np.testing.assert_allclose(
+            np.asarray(back.instance.weights), np.asarray(problem.weights)
+        )
+
+    def test_unknown_backend_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["backend"] = "quantum-tunneler"
+        with pytest.raises(ProtocolError, match="unknown backend"):
+            decode_solve_request(wire)
+
+    def test_unknown_problem_kind_rejected(self, make_request):
+        wire = encode_solve_request(make_request())
+        wire["instance"]["kind"] = "sudoku"
+        with pytest.raises(ProtocolError, match="unknown problem kind"):
+            decode_solve_request(wire)
+
+    def test_capability_mismatch_rejected(self, make_request):
+        # A TSP payload aimed at the Max-Cut backend is a 400, not a
+        # worker-side crash.
+        wire = encode_solve_request(make_request())
+        wire["backend"] = "maxcut-sb"
+        with pytest.raises(ProtocolError, match="invalid solve request"):
+            decode_solve_request(wire)
+
+    def test_config_rejected_for_configless_backend(self, make_request):
+        wire = encode_solve_request(make_request((1,)))
+        wire["backend"] = "dense-ising"
+        assert wire["config"] is not None
+        with pytest.raises(ProtocolError, match="invalid solve request"):
+            decode_solve_request(wire)
+
+
 class TestStrictValidation:
     def test_wrong_schema_rejected(self, make_request):
         wire = encode_solve_request(make_request())
@@ -249,7 +326,7 @@ class TestTelemetryFrames:
         assert back == parse_telemetry_frame(back.to_json_line())
         assert back.seed == 4
         assert back.worker == "shard1/pool@job-0007"
-        assert back.backend == "shard1"
+        assert back.shard == "shard1"
         assert back.job_id == "job-0007"
         assert back.faults_injected == ["crash"]
 

@@ -116,13 +116,13 @@ class TestRouting:
             for job in jobs:
                 await job.result()
 
-    async def test_worker_records_carry_backend_segment(self, make_request):
+    async def test_worker_records_carry_shard_segment(self, make_request):
         async with ShardRouter(shards=2) as router:
             job = await router.submit(make_request((1, 2)))
             await job.result()
             assert len(job.records) == 2
             for record in job.records:
-                assert record.backend == job.shard_name
+                assert record.shard == job.shard_name
                 assert record.job_id == job.job_id
                 assert record.worker == (
                     f"{job.shard_name}/serial@{job.job_id}"
@@ -229,6 +229,28 @@ class TestMetrics:
                 assert shard["pool_rebuilds"] == 0
                 assert shard["faults_by_kind"] == {}
                 assert "inflight" in shard and "skips" in shard
+
+    async def test_metrics_count_jobs_by_backend(self, make_request):
+        from repro.ising.simcim import random_ising_model
+        from repro.runtime.options import SolveRequest
+
+        async with ShardRouter(shards=2) as router:
+            jobs = [await router.submit(make_request((i,))) for i in range(2)]
+            spin_glass = SolveRequest.build(
+                random_ising_model(8, seed=1), (5,), backend="simcim"
+            )
+            jobs.append(await router.submit(spin_glass))
+            for job in jobs:
+                await job.result()
+            metrics = router.metrics()
+            assert metrics["jobs_by_backend"] == {
+                "cluster-cim": 2,
+                "simcim": 1,
+            }
+
+    async def test_backend_counter_absent_until_first_submit(self):
+        async with ShardRouter(shards=1) as router:
+            assert router.metrics()["jobs_by_backend"] == {}
 
     async def test_metrics_aggregate_injected_faults(self, make_request):
         from repro.runtime.faults import FaultPlan

@@ -88,7 +88,7 @@ class TestEndToEnd:
             assert sorted(r.seed for r in streamed) == [1, 2, 3]
             for record in streamed:
                 assert record.ok
-                assert record.backend == handle["shard"]
+                assert record.shard == handle["shard"]
                 assert record.job_id == job_id
 
             result = client.result(job_id)
@@ -126,6 +126,92 @@ class TestEndToEnd:
         assert metrics["schema"] == "repro.gateway_metrics/v1"
         assert metrics["jobs_submitted"] == 1
         assert sum(s["jobs"] for s in metrics["per_shard"]) == 1
+
+
+class TestBackendsOverHTTP:
+    async def test_all_registered_backends_solve_end_to_end(
+        self, make_request
+    ):
+        """The registry acceptance bar on the wire: one job per
+        registered backend submitted over HTTP, every one solving to
+        ``done`` and showing up in the per-backend metrics counters."""
+        from repro.backends import list_backends
+        from repro.ising.simcim import random_ising_model
+        from repro.maxcut.generators import gset_style
+        from repro.runtime.options import SolveRequest
+        from repro.tsp.generators import random_uniform
+
+        requests = {
+            "cluster-cim": make_request((1,)),
+            "dense-ising": SolveRequest.build(
+                random_uniform(10, seed=5), (1,), backend="dense-ising"
+            ),
+            "maxcut-sb": SolveRequest.build(
+                gset_style(20, seed=3), (1,), backend="maxcut-sb"
+            ),
+            "simcim": SolveRequest.build(
+                random_ising_model(12, seed=2), (1,), backend="simcim"
+            ),
+        }
+        assert tuple(sorted(requests)) == list_backends()
+
+        async with GatewayServer(ShardRouter(shards=2)) as server:
+            client = AsyncGatewayClient(server.url)
+            for name, request in requests.items():
+                handle = await client.submit(request)
+                result = await client.result(str(handle["job_id"]))
+                assert result["state"] == "done", name
+                assert result["seeds"] == [1]
+                assert len(result["lengths"]) == 1
+            metrics = await client.metrics()
+        assert metrics["jobs_by_backend"] == {
+            name: 1 for name in requests
+        }
+
+    async def test_async_submit_backend_override(self, instance):
+        # A config-free default request rerouted at submit time: the
+        # override rewrites the request client-side, so the job runs —
+        # and is counted — under the overriding backend.
+        from repro.runtime.options import SolveRequest
+
+        request = SolveRequest.build(instance, (1,))
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(request, backend="dense-ising")
+            result = await client.result(str(handle["job_id"]))
+            assert result["state"] == "done"
+            metrics = await client.metrics()
+        assert metrics["jobs_by_backend"] == {"dense-ising": 1}
+
+    async def test_backend_override_validates_client_side(
+        self, make_request
+    ):
+        # make_request carries an AnnealerConfig, which dense-ising
+        # refuses — the override must fail before any bytes hit the
+        # wire, with the same error a direct SolveRequest.build gives.
+        from repro.errors import AnnealerError
+
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            client = AsyncGatewayClient(server.url)
+            with pytest.raises(
+                AnnealerError, match="does not take an AnnealerConfig"
+            ):
+                await client.submit(
+                    make_request((1,)), backend="dense-ising"
+                )
+            metrics = await client.metrics()
+        assert metrics["jobs_submitted"] == 0
+
+    def test_sync_submit_and_solve_backend_override(self, instance):
+        from repro.runtime.options import SolveRequest
+
+        request = SolveRequest.build(instance, (2,))
+        with _GatewayThread(shards=1) as gateway:
+            client = GatewayClient(gateway.url)
+            result = client.solve(request, backend="dense-ising")
+            assert result["state"] == "done"
+            metrics = client.metrics()
+        assert metrics["jobs_by_backend"] == {"dense-ising": 1}
 
 
 class TestAsyncClient:
@@ -234,6 +320,12 @@ class TestHTTPErrors:
                 await client.result("ghost-0001")
             assert err.value.status == 404
             assert err.value.payload["error"] == "unknown_job"
+            # The message carries the server's code and text verbatim:
+            # no payload spelunking needed to see what went wrong.
+            assert str(err.value).startswith(
+                "gateway answered 404: unknown_job:"
+            )
+            assert "ghost-0001" in str(err.value)
 
     async def test_unknown_route_404(self):
         async with GatewayServer(ShardRouter(shards=1)) as server:

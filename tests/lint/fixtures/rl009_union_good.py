@@ -1,0 +1,115 @@
+"""Problem-union wire codec in bijection with its dataclasses
+(RL009-clean).
+
+Mirrors the backend-dispatch protocol shape: requests carry a
+``backend`` registry name and a kind-tagged problem union; each union
+member has its own encoder, ``_FIELDS`` guard, and decoder branch, and
+the dispatching ``encode_problem`` / ``decode_problem`` pair stays out
+of the rule's scope (no single dataclass to check it against).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+REQUEST_SCHEMA = "repro.solve_request/v1-union-fixture"
+
+
+@dataclass(frozen=True)
+class TSPPayload:
+    kind: str
+    coords: Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class IsingPayload:
+    kind: str
+    couplings: Tuple[Tuple[float, ...], ...]
+    convention: str = "pm1"
+
+
+@dataclass(frozen=True)
+class WireRequest:
+    problem: Any
+    seeds: Tuple[int, ...]
+    backend: str = "cluster-cim"
+    tag: str = ""
+
+
+_TSP_FIELDS = frozenset({"kind", "coords"})
+_ISING_FIELDS = frozenset({"kind", "couplings", "convention"})
+_REQUEST_FIELDS = frozenset(
+    {"schema", "problem", "seeds", "backend", "tag"}
+)
+
+
+def _reject_unknown(payload: Mapping[str, Any], allowed, what: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ValueError(f"{what} has unknown fields {unknown}")
+
+
+def encode_tsp(problem: TSPPayload) -> Dict[str, Any]:
+    return {
+        "kind": problem.kind,
+        "coords": problem.coords,
+    }
+
+
+def encode_ising(problem: IsingPayload) -> Dict[str, Any]:
+    return {
+        "kind": problem.kind,
+        "couplings": problem.couplings,
+        "convention": problem.convention,
+    }
+
+
+def encode_problem(problem: Any) -> Dict[str, Any]:
+    if isinstance(problem, TSPPayload):
+        return encode_tsp(problem)
+    return encode_ising(problem)
+
+
+def encode_request(request: WireRequest) -> Dict[str, Any]:
+    return {
+        "schema": REQUEST_SCHEMA,
+        "problem": encode_problem(request.problem),
+        "seeds": list(request.seeds),
+        "backend": request.backend,
+        "tag": request.tag,
+    }
+
+
+def decode_tsp(payload: Mapping[str, Any]) -> TSPPayload:
+    _reject_unknown(payload, _TSP_FIELDS, "tsp problem")
+    return TSPPayload(
+        kind=payload.get("kind", "tsp"),
+        coords=tuple(payload.get("coords", ())),
+    )
+
+
+def decode_ising(payload: Mapping[str, Any]) -> IsingPayload:
+    _reject_unknown(payload, _ISING_FIELDS, "ising problem")
+    return IsingPayload(
+        kind=payload.get("kind", "ising"),
+        couplings=tuple(payload.get("couplings", ())),
+        convention=payload.get("convention", "pm1"),
+    )
+
+
+def decode_problem(payload: Mapping[str, Any]) -> Any:
+    kind = payload.get("kind", "tsp")
+    if kind == "tsp":
+        return decode_tsp(payload)
+    if kind == "ising":
+        return decode_ising(payload)
+    raise ValueError(f"unknown problem kind {kind!r}")
+
+
+def decode_request(payload: Mapping[str, Any]) -> WireRequest:
+    _reject_unknown(payload, _REQUEST_FIELDS, "request")
+    return WireRequest(
+        problem=decode_problem(payload.get("problem", {})),
+        seeds=tuple(payload.get("seeds", ())),
+        backend=payload.get("backend", "cluster-cim"),
+        tag=payload.get("tag", ""),
+    )

@@ -66,6 +66,7 @@ def test_positive_fixture_fails(fixture: str, code: str, count: int):
         "rl005_good.py",
         "rl006_good.py",
         "rl009_good.py",
+        "rl009_union_good.py",
         "rl011_good.py",
     ],
 )

@@ -9,6 +9,7 @@ from repro.errors import ReproError
 from repro.maxcut.generators import planted_bisection, random_graph
 from repro.maxcut.scaling import spin_scaling_comparison
 from repro.maxcut.solver import (
+    MaxCutAnnealParams,
     anneal_maxcut,
     greedy_maxcut,
     local_search_improve,
@@ -55,43 +56,75 @@ class TestLocalSearch:
 class TestAnneal:
     def test_recovers_planted_cut(self):
         problem, _, planted_cut = planted_bisection(60, seed=13)
-        res = anneal_maxcut(problem, n_sweeps=150, seed=0)
+        res = anneal_maxcut(
+            problem, params=MaxCutAnnealParams(n_sweeps=150), seed=0
+        )
         assert res.cut_value >= 0.97 * planted_cut
 
     def test_beats_greedy_on_average(self):
         total_anneal, total_greedy = 0.0, 0.0
         for seed in range(4):
             p = random_graph(80, 0.15, seed=20 + seed, signed=True)
-            total_anneal += anneal_maxcut(p, n_sweeps=120, seed=seed).cut_value
+            total_anneal += anneal_maxcut(
+                p, params=MaxCutAnnealParams(n_sweeps=120), seed=seed
+            ).cut_value
             total_greedy += greedy_maxcut(p, seed=seed).cut_value
         assert total_anneal >= total_greedy
 
     def test_trace_and_acceptance(self):
         p = random_graph(30, 0.3, seed=14)
-        res = anneal_maxcut(p, n_sweeps=50, seed=1, record_every=10)
+        res = anneal_maxcut(
+            p,
+            params=MaxCutAnnealParams(n_sweeps=50, record_every=10),
+            seed=1,
+        )
         assert len(res.trace) == 6
         assert 0 < res.acceptance_rate < 1
 
     def test_deterministic(self):
         p = random_graph(30, 0.3, seed=15)
-        a = anneal_maxcut(p, n_sweeps=40, seed=2)
-        b = anneal_maxcut(p, n_sweeps=40, seed=2)
+        a = anneal_maxcut(p, params=MaxCutAnnealParams(n_sweeps=40), seed=2)
+        b = anneal_maxcut(p, params=MaxCutAnnealParams(n_sweeps=40), seed=2)
         assert a.cut_value == b.cut_value
 
     def test_initial_spins_respected(self):
         problem, planted, cut = planted_bisection(40, seed=16)
         res = anneal_maxcut(
-            problem, n_sweeps=1, t_start=1e-9, t_end=1e-9,
-            initial_spins=planted, seed=3,
+            problem,
+            params=MaxCutAnnealParams(n_sweeps=1, t_start=1e-9, t_end=1e-9),
+            initial_spins=planted,
+            seed=3,
         )
         assert res.cut_value >= cut - 1e-9  # frozen chain only improves
 
     def test_validation(self):
         p = random_graph(10, 0.5, seed=17)
         with pytest.raises(ReproError):
-            anneal_maxcut(p, n_sweeps=0)
+            anneal_maxcut(p, params=MaxCutAnnealParams(n_sweeps=0))
         with pytest.raises(ReproError):
-            anneal_maxcut(p, t_start=0.1, t_end=1.0)
+            anneal_maxcut(
+                p, params=MaxCutAnnealParams(t_start=0.1, t_end=1.0)
+            )
+
+    def test_legacy_loose_arguments_warn_once_then_match(self):
+        # Pre-1.3 signature: shimmed for one release (docs/serving.md).
+        p = random_graph(30, 0.3, seed=15)
+        new = anneal_maxcut(p, params=MaxCutAnnealParams(n_sweeps=40), seed=2)
+        with pytest.warns(DeprecationWarning, match="MaxCutAnnealParams"):
+            old_kw = anneal_maxcut(p, n_sweeps=40, seed=2)
+        with pytest.warns(DeprecationWarning):
+            old_pos = anneal_maxcut(p, 40, 2.0, 0.01, 2)
+        assert old_kw.cut_value == new.cut_value
+        assert old_pos.cut_value == new.cut_value
+
+    def test_legacy_shim_rejects_bad_mixes(self):
+        p = random_graph(10, 0.5, seed=17)
+        with pytest.raises(TypeError, match="not both"):
+            anneal_maxcut(p, n_sweeps=5, params=MaxCutAnnealParams())
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            anneal_maxcut(p, sweeps=5)
+        with pytest.raises(TypeError, match="multiple values"):
+            anneal_maxcut(p, 40, n_sweeps=40)
 
 
 class TestScaling:

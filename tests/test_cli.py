@@ -80,6 +80,74 @@ class TestSolve:
         assert "length=" in capsys.readouterr().out
 
 
+class TestSolveBackend:
+    def test_choices_literal_pins_registry(self):
+        # cli.py duplicates the registry names as literals so --help
+        # stays import-light; this pin keeps the two in sync.
+        from repro.backends import DEFAULT_BACKEND, list_backends
+        from repro.cli import _BACKEND_CHOICES, _DEFAULT_BACKEND
+
+        assert _BACKEND_CHOICES == list_backends()
+        assert _DEFAULT_BACKEND == DEFAULT_BACKEND
+
+    def test_maxcut_sb_single(self, capsys):
+        assert main(
+            ["solve", "--backend", "maxcut-sb", "--n", "30", "--seed", "2",
+             "--reference"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=maxcut-sb" in out
+        assert "objective=" in out
+        assert "optimal ratio" in out
+
+    def test_dense_ising_single(self, capsys):
+        assert main(
+            ["solve", "--backend", "dense-ising", "--n", "10", "--seed", "1"]
+        ) == 0
+        assert "backend=dense-ising" in capsys.readouterr().out
+
+    def test_simcim_ensemble(self, capsys):
+        assert main(
+            ["solve", "--backend", "simcim", "--n", "24", "--seed", "3",
+             "--ensemble", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ensemble : 2 runs" in out
+
+    def test_unknown_backend_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--backend", "not-a-backend", "--n", "30"])
+
+    def test_ppa_needs_default_backend(self, capsys):
+        assert main(
+            ["solve", "--backend", "simcim", "--n", "24", "--ppa"]
+        ) == 2
+        assert "--ppa" in capsys.readouterr().err
+
+    def test_svg_needs_tsp_backend(self, capsys, tmp_path):
+        assert main(
+            ["solve", "--backend", "maxcut-sb", "--n", "30",
+             "--svg", str(tmp_path / "t.svg")]
+        ) == 2
+        assert "--svg" in capsys.readouterr().err
+
+    def test_tsplib_rejected_for_non_tsp_backend(self, tmp_path, capsys):
+        inst = random_uniform(30, seed=3)
+        path = tmp_path / "demo.tsp"
+        with open(path, "w") as f:
+            write_tsplib(inst, f)
+        assert main(
+            ["solve", "--backend", "simcim", "--tsplib", str(path)]
+        ) == 2
+        assert "--tsplib" in capsys.readouterr().err
+
+    def test_dense_ising_size_cap_maps_to_exit_2(self, capsys):
+        assert main(
+            ["solve", "--backend", "dense-ising", "--n", "80"]
+        ) == 2
+        assert "64 cities" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.sram",
     "repro.cim",
     "repro.annealer",
+    "repro.backends",
     "repro.runtime",
     "repro.gateway",
     "repro.hardware",
@@ -35,7 +36,7 @@ class TestPublicAPI:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_headline_workflow_importable_from_root(self):
         # The README quickstart must work from the root namespace alone.
@@ -102,6 +103,38 @@ class TestPublicAPI:
             "parse_telemetry_frame",
             "policy_from_name",
         ]
+
+    def test_backends_surface_pinned(self):
+        # The registry's public surface is exactly this; registrant
+        # modules stay private (imported for their side effect only).
+        import repro.backends as backends
+
+        assert sorted(backends.__all__) == [
+            "BackendCapabilities",
+            "BackendPlan",
+            "BackendRunResult",
+            "DEFAULT_BACKEND",
+            "ProblemLike",
+            "SolverBackend",
+            "list_backends",
+            "problem_kind",
+            "register_backend",
+            "resolve_backend",
+        ]
+        assert backends.DEFAULT_BACKEND == "cluster-cim"
+        assert backends.list_backends() == (
+            "cluster-cim",
+            "dense-ising",
+            "maxcut-sb",
+            "simcim",
+        )
+
+    def test_backend_registry_importable_from_root(self):
+        from repro import DEFAULT_BACKEND, list_backends, resolve_backend
+
+        assert DEFAULT_BACKEND in list_backends()
+        impl = resolve_backend(DEFAULT_BACKEND)
+        assert impl.capabilities().accepts_config
 
     def test_serving_types_importable_from_root(self):
         from repro import (
