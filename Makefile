@@ -30,10 +30,13 @@ test:
 test-fast:
 	pytest tests/ -m "not slow"
 
-# Fault-injection suite: seeded crashes/hangs/broken pools on purpose
-# (docs/robustness.md).  Deselect everywhere else with -m "not chaos".
+# Fault-injection suite: seeded crashes/hangs/broken pools on purpose,
+# plus the shard-tier gateway chaos (evictions/failovers/stalls; marker
+# chaos_gateway) — docs/robustness.md.  Deselect the slow parts
+# elsewhere with -m "not chaos".
 test-chaos:
-	pytest tests/runtime/test_chaos.py tests/runtime/test_faults.py -q
+	pytest tests/runtime/test_chaos.py tests/runtime/test_faults.py \
+		tests/gateway/test_failover.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -201,6 +201,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="admitted jobs per shard before the gateway answers 429 "
         "(default: 16)",
     )
+    p_serve.add_argument(
+        "--probe-interval", type=float, default=0.25, metavar="S",
+        help="seconds between shard liveness probes (default: 0.25)",
+    )
+    p_serve.add_argument(
+        "--failover-budget", type=int, default=2, metavar="K",
+        help="re-dispatches a job may consume after shard loss before "
+        "it fails (default: 2)",
+    )
+    p_serve.add_argument(
+        "--stall-timeout", type=float, default=30.0, metavar="S",
+        help="seconds without stream progress before a running attempt "
+        "is failed over (default: 30)",
+    )
 
     p_submit = sub.add_parser(
         "submit", help="submit a solve to a running gateway"
@@ -250,7 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--stream", action="store_true",
-        help="stream one telemetry frame per completed run over SSE",
+        help="stream one telemetry frame per completed run over SSE "
+        "(dropped connections reconnect and resume via replay)",
+    )
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="end-to-end deadline in seconds; the gateway rejects or "
+        "fails the job with deadline_exceeded once it expires",
     )
     p_submit.add_argument(
         "--tag", default="cli", help="job label folded into the job id"
@@ -568,7 +588,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     options = EnsembleOptions(
         max_workers=args.workers, max_pending_jobs=args.max_pending
     )
-    router = ShardRouter(options, shards=args.shards, policy=args.policy)
+    router = ShardRouter(
+        options,
+        shards=args.shards,
+        policy=args.policy,
+        probe_interval_s=args.probe_interval,
+        failover_budget=args.failover_budget,
+        stall_timeout_s=args.stall_timeout,
+    )
 
     async def run() -> None:
         async with GatewayServer(
@@ -580,7 +607,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             print(
                 "endpoints: POST /v1/jobs   GET /v1/jobs/{id}[/events]   "
-                "DELETE /v1/jobs/{id}   GET /metrics"
+                "DELETE /v1/jobs/{id}   GET /metrics   GET /healthz   "
+                "GET /readyz"
             )
             await server.serve_forever()
 
@@ -618,6 +646,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         ),
         tag=args.tag,
         backend=args.backend,
+        deadline_s=args.deadline,
     )
     client = GatewayClient(args.url)
     try:
@@ -628,7 +657,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"state={handle['state']}"
         )
         if args.stream:
-            for record in client.stream(job_id):
+            for record in client.stream(job_id, reconnect=5):
                 print(record.to_json_line())
         result = client.result(job_id)
     except GatewayHTTPError as exc:

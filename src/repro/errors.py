@@ -60,6 +60,17 @@ class AnnealerError(ReproError):
     """Raised for invalid annealer configuration or runtime failures."""
 
 
+class DeadlineExceededError(AnnealerError):
+    """Raised when a request's end-to-end ``deadline_s`` budget expires.
+
+    Deadlines propagate from the client through the wire codec, are
+    checked at admission (a request whose budget is already spent is
+    rejected immediately), enforced during the solve via cooperative
+    cancellation, and shrink across gateway failovers.  On the wire
+    this maps to the ``deadline_exceeded`` error code (HTTP 504).
+    """
+
+
 class ConfigError(ReproError):
     """Raised when a configuration object contains inconsistent values."""
 

@@ -24,6 +24,7 @@ from repro.gateway.client import (
     GatewayClient,
     GatewayHTTPError,
 )
+from repro.gateway.health import ShardHealth, ShardState
 from repro.gateway.protocol import (
     ProtocolError,
     decode_solve_request,
@@ -33,6 +34,7 @@ from repro.gateway.protocol import (
 from repro.gateway.router import (
     GatewayJob,
     GatewayOverloadedError,
+    GatewayUnavailableError,
     LeastInflightPolicy,
     RoundRobinPolicy,
     RoutingPolicy,
@@ -49,11 +51,14 @@ __all__ = [
     "GatewayJob",
     "GatewayOverloadedError",
     "GatewayServer",
+    "GatewayUnavailableError",
     "LeastInflightPolicy",
     "ProtocolError",
     "RoundRobinPolicy",
     "RoutingPolicy",
+    "ShardHealth",
     "ShardRouter",
+    "ShardState",
     "UnknownJobError",
     "decode_solve_request",
     "encode_solve_request",

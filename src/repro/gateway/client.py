@@ -16,6 +16,14 @@ matching.  Streaming methods yield
 :class:`~repro.runtime.telemetry.RunTelemetry` records parsed from
 the SSE ``run`` events and end when the server sends the terminal
 ``end`` event.
+
+Resilience: submissions that bounce off backpressure (429), a
+not-ready gateway (503), or a refused connection are retried through
+the sanctioned :class:`~repro.runtime.faults.Backoff` pacing, bounded
+by ``submit_retries``; everything else surfaces immediately.
+``stream(..., reconnect=N)`` re-attaches a dropped SSE connection up
+to N times, resuming via the server's replay path and deduplicating
+frames whose seed was already delivered.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import asyncio
 import http.client
 import json
 from dataclasses import replace
-from typing import Any, AsyncIterator, Dict, Iterator, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, Iterator, Optional, Set, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import GatewayError
@@ -33,8 +41,13 @@ from repro.gateway.protocol import (
     encode_solve_request,
     parse_telemetry_frame,
 )
+from repro.runtime.faults import Backoff
 from repro.runtime.options import SolveRequest
 from repro.runtime.telemetry import RunTelemetry
+
+#: HTTP statuses a submission may retry: backpressure and not-ready
+#: are transient by definition; anything else is deterministic.
+_RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class GatewayHTTPError(GatewayError):
@@ -150,10 +163,25 @@ class GatewayClient:
     ...     print(record.seed, record.length)
     """
 
-    def __init__(self, url: str, *, timeout_s: float = 300.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout_s: float = 300.0,
+        submit_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+    ) -> None:
+        if submit_retries < 0:
+            raise GatewayError(
+                f"submit_retries must be >= 0, got {submit_retries}"
+            )
         self.url = url.rstrip("/")
         self.host, self.port = _split_url(self.url)
         self.timeout_s = timeout_s
+        self.submit_retries = int(submit_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
 
     # -- plumbing ------------------------------------------------------
     def _request(
@@ -186,12 +214,30 @@ class GatewayClient:
 
         ``backend`` re-targets the request at another registered
         solver backend without rebuilding it (validated client-side).
+        Backpressure (429), not-ready (503), and refused connections
+        are retried up to ``submit_retries`` times with deterministic
+        jittered backoff; other failures surface immediately.
         """
-        return self._request(
-            "POST",
-            "/v1/jobs",
-            body=encode_solve_request(_with_backend(request, backend)),
+        body = encode_solve_request(_with_backend(request, backend))
+        backoff = Backoff(
+            self.backoff_base_s,
+            self.backoff_cap_s,
+            seed=int(request.seeds[0]),
         )
+        for attempt in range(self.submit_retries + 1):
+            try:
+                return self._request("POST", "/v1/jobs", body=body)
+            except GatewayHTTPError as exc:
+                if (
+                    exc.status not in _RETRYABLE_STATUSES
+                    or attempt >= self.submit_retries
+                ):
+                    raise
+            except ConnectionRefusedError:
+                if attempt >= self.submit_retries:
+                    raise
+            backoff.wait(attempt + 1)
+        raise GatewayError("unreachable: submit retry loop exhausted")
 
     def result(self, job_id: str) -> Dict[str, Any]:
         """Long-poll the final ``repro.job_result/v1`` document."""
@@ -205,12 +251,10 @@ class GatewayClient:
         """Fetch the gateway's ``repro.gateway_metrics/v1`` counters."""
         return self._request("GET", "/metrics")
 
-    def stream(self, job_id: str) -> Iterator[RunTelemetry]:
-        """Yield each seed's telemetry record as the server streams it.
-
-        Replays from the first record (the server buffers), ends at
-        the terminal ``end`` event.
-        """
+    def _stream_once(self, job_id: str) -> Iterator[Optional[RunTelemetry]]:
+        """One SSE attach: yields records, then ``None`` on a clean
+        ``end`` event.  A generator that returns *without* yielding
+        ``None`` saw the connection drop mid-stream."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
@@ -229,10 +273,47 @@ class GatewayClient:
                     continue
                 record = _frame_from_event(*completed)
                 if record is None:
+                    yield None
                     return
                 yield record
         finally:
             conn.close()
+
+    def stream(
+        self, job_id: str, *, reconnect: int = 0
+    ) -> Iterator[RunTelemetry]:
+        """Yield each seed's telemetry record as the server streams it.
+
+        Replays from the first record (the server buffers), ends at
+        the terminal ``end`` event.  With ``reconnect > 0`` a dropped
+        connection (mid-stream EOF or a connection error) is
+        re-attached up to that many times; the server replays from the
+        start and frames whose seed was already delivered are skipped,
+        so consumers see each seed exactly once.
+        """
+        if reconnect < 0:
+            raise GatewayError(f"reconnect must be >= 0, got {reconnect}")
+        seen: Set[int] = set()
+        backoff = Backoff(self.backoff_base_s, self.backoff_cap_s, seed=0)
+        for attempt in range(reconnect + 1):
+            ended = False
+            try:
+                for item in self._stream_once(job_id):
+                    if item is None:
+                        ended = True
+                        break
+                    if int(item.seed) in seen:
+                        continue  # replayed after a reconnect
+                    seen.add(int(item.seed))
+                    yield item
+            except (ConnectionError, http.client.HTTPException, TimeoutError):
+                if attempt >= reconnect:
+                    raise
+                backoff.wait(attempt + 1)
+                continue
+            if ended or attempt >= reconnect:
+                return  # clean end, or out of reconnect budget
+            backoff.wait(attempt + 1)
 
     def solve(
         self, request: SolveRequest, *, backend: Optional[str] = None
@@ -251,9 +332,23 @@ class AsyncGatewayClient:
     run both sides single-process).
     """
 
-    def __init__(self, url: str) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        submit_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+    ) -> None:
+        if submit_retries < 0:
+            raise GatewayError(
+                f"submit_retries must be >= 0, got {submit_retries}"
+            )
         self.url = url.rstrip("/")
         self.host, self.port = _split_url(self.url)
+        self.submit_retries = int(submit_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
 
     # -- plumbing ------------------------------------------------------
     async def _connect(
@@ -306,12 +401,31 @@ class AsyncGatewayClient:
 
         ``backend`` re-targets the request at another registered
         solver backend without rebuilding it (validated client-side).
+        Backpressure (429), not-ready (503), and refused connections
+        are retried up to ``submit_retries`` times with deterministic
+        jittered backoff (non-blocking: ``asyncio.sleep``); other
+        failures surface immediately.
         """
-        return await self._request(
-            "POST",
-            "/v1/jobs",
-            body=encode_solve_request(_with_backend(request, backend)),
+        body = encode_solve_request(_with_backend(request, backend))
+        backoff = Backoff(
+            self.backoff_base_s,
+            self.backoff_cap_s,
+            seed=int(request.seeds[0]),
         )
+        for attempt in range(self.submit_retries + 1):
+            try:
+                return await self._request("POST", "/v1/jobs", body=body)
+            except GatewayHTTPError as exc:
+                if (
+                    exc.status not in _RETRYABLE_STATUSES
+                    or attempt >= self.submit_retries
+                ):
+                    raise
+            except ConnectionRefusedError:
+                if attempt >= self.submit_retries:
+                    raise
+            await asyncio.sleep(backoff.delay_s(attempt + 1))
+        raise GatewayError("unreachable: submit retry loop exhausted")
 
     async def result(self, job_id: str) -> Dict[str, Any]:
         """Long-poll the final ``repro.job_result/v1`` document."""
@@ -325,8 +439,11 @@ class AsyncGatewayClient:
         """Fetch the gateway's ``repro.gateway_metrics/v1`` counters."""
         return await self._request("GET", "/metrics")
 
-    async def stream(self, job_id: str) -> AsyncIterator[RunTelemetry]:
-        """Yield telemetry records from the SSE stream as they arrive."""
+    async def _stream_once(
+        self, job_id: str
+    ) -> AsyncIterator[Optional[RunTelemetry]]:
+        """One SSE attach: yields records, then ``None`` on a clean
+        ``end`` event (see the blocking client's ``_stream_once``)."""
         reader, writer, status = await self._connect(
             "GET", f"/v1/jobs/{job_id}/events", None
         )
@@ -343,7 +460,41 @@ class AsyncGatewayClient:
                     continue
                 record = _frame_from_event(*completed)
                 if record is None:
+                    yield None
                     return
                 yield record
         finally:
             writer.close()
+
+    async def stream(
+        self, job_id: str, *, reconnect: int = 0
+    ) -> AsyncIterator[RunTelemetry]:
+        """Yield telemetry records from the SSE stream as they arrive.
+
+        With ``reconnect > 0`` a dropped connection is re-attached up
+        to that many times, resuming via the server's replay path and
+        skipping frames whose seed was already delivered.
+        """
+        if reconnect < 0:
+            raise GatewayError(f"reconnect must be >= 0, got {reconnect}")
+        seen: Set[int] = set()
+        backoff = Backoff(self.backoff_base_s, self.backoff_cap_s, seed=0)
+        for attempt in range(reconnect + 1):
+            ended = False
+            try:
+                async for item in self._stream_once(job_id):
+                    if item is None:
+                        ended = True
+                        break
+                    if int(item.seed) in seen:
+                        continue  # replayed after a reconnect
+                    seen.add(int(item.seed))
+                    yield item
+            except (ConnectionError, asyncio.IncompleteReadError):
+                if attempt >= reconnect:
+                    raise
+                await asyncio.sleep(backoff.delay_s(attempt + 1))
+                continue
+            if ended or attempt >= reconnect:
+                return  # clean end, or out of reconnect budget
+            await asyncio.sleep(backoff.delay_s(attempt + 1))

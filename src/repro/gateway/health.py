@@ -1,0 +1,255 @@
+"""Shard health probing: liveness, eviction, probation, re-admission.
+
+The shard-tier analogue of the worker-tier supervision in
+:mod:`repro.runtime.faults`: the router cannot trust a shard just
+because it accepted a job, so :class:`ShardHealth` probes every shard
+on a fixed cadence and maintains a per-shard state machine::
+
+    HEALTHY --(eviction_threshold consecutive probe failures)--> EVICTED
+    EVICTED --(first probe success)--> PROBATION
+    PROBATION --(probation_probes consecutive successes)--> HEALTHY
+    PROBATION --(any probe failure)--> EVICTED
+
+The router routes only to non-``EVICTED`` shards and fails admitted
+jobs over when their shard is evicted mid-run (see
+:meth:`repro.gateway.router.ShardRouter`).
+
+Chaos is first-class: a seeded
+:class:`~repro.runtime.faults.ShardFaultPlan` executes *through the
+prober* — each probe tick the plan may crash a shard, blackhole its
+probe, or stall its streams — so a whole gateway-failover scenario is
+a pure function of one chaos seed, exactly like worker-tier
+:class:`~repro.runtime.faults.FaultPlan` runs.
+
+Timing note: probe cadence uses the event loop's clock
+(``loop.time()``); kernel timing stays with
+:class:`~repro.runtime.telemetry.Stopwatch` (lint rule RL006).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import GatewayError
+from repro.runtime.faults import ShardFaultKind, ShardFaultPlan
+
+if TYPE_CHECKING:
+    from repro.runtime.service import AnnealingService
+
+
+class ShardState(str, Enum):
+    """Health state of one shard, as seen by the prober."""
+
+    HEALTHY = "healthy"
+    PROBATION = "probation"
+    EVICTED = "evicted"
+
+
+class ShardHealth:
+    """Periodic liveness prober + eviction state machine over shards.
+
+    Owned by the :class:`~repro.gateway.router.ShardRouter`; probing is
+    cheap (an in-process ``started`` check per shard), so the default
+    cadence is aggressive.  All state transitions happen inside
+    :meth:`probe_once`, which tests drive manually — the background
+    task started by :meth:`start` only provides the cadence.
+
+    Parameters
+    ----------
+    shards:
+        The shard services to probe (shared with the router; never
+        copied).
+    probe_interval_s:
+        Cadence of the background probe loop.
+    eviction_threshold:
+        Consecutive probe failures before a ``HEALTHY`` shard is
+        evicted.
+    probation_probes:
+        Consecutive probe successes an ``EVICTED`` shard must pass
+        (after its first success moves it to ``PROBATION``) before
+        re-admission to ``HEALTHY``.
+    fault_plan:
+        Optional seeded :class:`ShardFaultPlan`; executed at the top
+        of each probe tick.
+    on_evict:
+        Router hook, called with the shard index the moment it is
+        evicted (the router uses it to fail over the shard's jobs).
+    on_stall:
+        Router hook for injected ``STREAM_STALL`` faults, called with
+        the shard index.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence["AnnealingService"],
+        *,
+        probe_interval_s: float = 0.25,
+        eviction_threshold: int = 3,
+        probation_probes: int = 2,
+        fault_plan: Optional[ShardFaultPlan] = None,
+        on_evict: Optional[Callable[[int], None]] = None,
+        on_stall: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if probe_interval_s <= 0:
+            raise GatewayError(
+                f"probe_interval_s must be > 0, got {probe_interval_s}"
+            )
+        if eviction_threshold < 1:
+            raise GatewayError(
+                f"eviction_threshold must be >= 1, got {eviction_threshold}"
+            )
+        if probation_probes < 1:
+            raise GatewayError(
+                f"probation_probes must be >= 1, got {probation_probes}"
+            )
+        self._shards = list(shards)
+        self.probe_interval_s = float(probe_interval_s)
+        self.eviction_threshold = int(eviction_threshold)
+        self.probation_probes = int(probation_probes)
+        self.fault_plan = fault_plan
+        self._on_evict = on_evict
+        self._on_stall = on_stall
+        self._states = [ShardState.HEALTHY for _ in self._shards]
+        self._fail_streaks = [0 for _ in self._shards]
+        self._pass_streaks = [0 for _ in self._shards]
+        self._tick = 0
+        self._probes = 0
+        self._evictions = 0
+        self._readmissions = 0
+        self._faults_injected: Dict[str, int] = {}
+        self._task: Optional["asyncio.Task[None]"] = None
+
+    # -- read surface ---------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Probe ticks executed so far (the fault plan's time axis)."""
+        return self._tick
+
+    @property
+    def probes(self) -> int:
+        """Individual shard probes executed (ticks × shards)."""
+        return self._probes
+
+    @property
+    def evictions(self) -> int:
+        """Shards evicted over the prober's lifetime (re-evictions
+        after probation count again)."""
+        return self._evictions
+
+    @property
+    def readmissions(self) -> int:
+        """Shards re-admitted to ``HEALTHY`` after probation."""
+        return self._readmissions
+
+    @property
+    def faults_injected(self) -> Dict[str, int]:
+        """Injected shard-fault counts by kind value."""
+        return dict(self._faults_injected)
+
+    def state(self, shard_index: int) -> ShardState:
+        """Current health state of one shard."""
+        return self._states[shard_index]
+
+    def is_routable(self, shard_index: int) -> bool:
+        """True when new jobs may be placed on the shard.
+
+        Probation counts: a recovering shard takes traffic (its solves
+        are deterministic, so a relapse just costs another failover).
+        """
+        return self._states[shard_index] is not ShardState.EVICTED
+
+    def shard_states(self) -> Dict[str, int]:
+        """State-name → shard-count summary (the ``/metrics`` shape)."""
+        counts = {state.value: 0 for state in ShardState}
+        for state in self._states:
+            counts[state.value] += 1
+        return counts
+
+    # -- probing --------------------------------------------------------
+    async def probe_once(self) -> None:
+        """Execute one probe tick: inject faults, probe, transition.
+
+        Deterministic given the fault plan and the shards' lifecycle
+        state — tests call this directly instead of sleeping through
+        the background cadence.
+        """
+        tick = self._tick
+        self._tick += 1
+        blackholed: List[bool] = [False for _ in self._shards]
+        if self.fault_plan is not None and self.fault_plan.enabled:
+            for index, shard in enumerate(self._shards):
+                kind = self.fault_plan.fault_for(index, tick)
+                if kind is None:
+                    continue
+                self._faults_injected[kind.value] = (
+                    self._faults_injected.get(kind.value, 0) + 1
+                )
+                if kind is ShardFaultKind.SHARD_CRASH:
+                    if not shard.closed:
+                        await shard.shutdown(drain=False)
+                elif kind is ShardFaultKind.PROBE_BLACKHOLE:
+                    blackholed[index] = True
+                elif self._on_stall is not None:
+                    self._on_stall(index)
+        for index, shard in enumerate(self._shards):
+            self._probes += 1
+            alive = shard.started and not blackholed[index]
+            self._observe(index, alive)
+
+    def _observe(self, index: int, alive: bool) -> None:
+        """Feed one probe outcome through the state machine."""
+        state = self._states[index]
+        if alive:
+            self._fail_streaks[index] = 0
+            if state is ShardState.EVICTED:
+                self._states[index] = ShardState.PROBATION
+                self._pass_streaks[index] = 1
+            elif state is ShardState.PROBATION:
+                self._pass_streaks[index] += 1
+                if self._pass_streaks[index] >= self.probation_probes:
+                    self._states[index] = ShardState.HEALTHY
+                    self._readmissions += 1
+            return
+        self._pass_streaks[index] = 0
+        self._fail_streaks[index] += 1
+        if state is ShardState.PROBATION:
+            # A relapse during probation re-evicts immediately: the
+            # shard already spent its benefit of the doubt.
+            self._evict(index)
+        elif (
+            state is ShardState.HEALTHY
+            and self._fail_streaks[index] >= self.eviction_threshold
+        ):
+            self._evict(index)
+
+    def _evict(self, index: int) -> None:
+        self._states[index] = ShardState.EVICTED
+        self._fail_streaks[index] = 0
+        self._evictions += 1
+        if self._on_evict is not None:
+            self._on_evict(index)
+
+    # -- background cadence ---------------------------------------------
+    async def start(self) -> None:
+        """Start the background probe loop (idempotent)."""
+        if self._task is not None:
+            return
+        self._task = asyncio.get_running_loop().create_task(
+            self._probe_loop(), name="repro-shard-health"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the background probe loop (idempotent)."""
+        task = self._task
+        self._task = None
+        if task is None:
+            return
+        task.cancel()
+        await asyncio.gather(task, return_exceptions=True)
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await self.probe_once()
+            await asyncio.sleep(self.probe_interval_s)

@@ -60,6 +60,7 @@ RESULT_SCHEMA = "repro.job_result/v1"
 ERROR_SCHEMA = "repro.error/v1"
 METRICS_SCHEMA = "repro.gateway_metrics/v1"
 END_SCHEMA = "repro.job_end/v1"
+HEALTH_SCHEMA = "repro.health/v1"
 
 
 class ProtocolError(GatewayError):
@@ -554,6 +555,7 @@ _REQUEST_FIELDS = frozenset(
         "options",
         "tag",
         "backend",
+        "deadline_s",
     }
 )
 
@@ -572,6 +574,7 @@ def encode_solve_request(request: SolveRequest) -> Dict[str, Any]:
         "options": encode_options(request.options),
         "tag": request.tag,
         "backend": request.backend,
+        "deadline_s": request.deadline_s,
     }
 
 
@@ -618,6 +621,7 @@ def decode_solve_request(payload: Any) -> SolveRequest:
             options=options,
             tag=_get_str(payload, "tag", ""),
             backend=_get_str(payload, "backend", "cluster-cim"),
+            deadline_s=_get_opt_float(payload, "deadline_s", None),
         )
     except ReproError as exc:
         raise ProtocolError(f"invalid solve request: {exc}") from exc
@@ -672,6 +676,15 @@ def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
         "schema": ERROR_SCHEMA,
         "error": code,
         "message": message,
+        **extra,
+    }
+
+
+def health_payload(status: str, **extra: Any) -> Dict[str, Any]:
+    """The ``repro.health/v1`` body (``/healthz`` and ``/readyz``)."""
+    return {
+        "schema": HEALTH_SCHEMA,
+        "status": status,
         **extra,
     }
 

@@ -18,7 +18,12 @@ surface:
   :func:`~repro.annealer.batch.solve_ensemble` of the same request);
 * ``DELETE /v1/jobs/{id}`` — cooperative cancellation;
 * ``GET /metrics`` — gateway + per-shard counters
-  (``repro.gateway_metrics/v1``).
+  (``repro.gateway_metrics/v1``);
+* ``GET /healthz`` — process liveness (always ``200`` while the
+  socket answers);
+* ``GET /readyz`` — readiness: ``200`` while at least one healthy
+  shard can take jobs, ``503`` with a ``repro.error/v1`` body
+  otherwise.
 
 Every non-2xx body is a ``repro.error/v1`` document.  Connections are
 one-request (``Connection: close``): the server is a test/benchmark
@@ -32,18 +37,20 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import GatewayError, ReproError
+from repro.errors import DeadlineExceededError, GatewayError, ReproError
 from repro.gateway.protocol import (
     END_SCHEMA,
     ProtocolError,
     decode_solve_request,
     encode_job_result,
     error_payload,
+    health_payload,
     job_payload,
 )
 from repro.gateway.router import (
     GatewayJob,
     GatewayOverloadedError,
+    GatewayUnavailableError,
     ShardRouter,
     UnknownJobError,
 )
@@ -60,6 +67,8 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -199,6 +208,39 @@ class GatewayServer:
                 raise _method_not_allowed(method, path)
             await _send_json(writer, 200, self.router.metrics())
             return
+        if path == "/healthz":
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            # Process liveness: answering at all is the signal.
+            await _send_json(
+                writer,
+                200,
+                health_payload("alive", shards=len(self.router.shards)),
+            )
+            return
+        if path == "/readyz":
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            healthy = self.router.healthy_shards
+            if healthy < 1:
+                raise _HttpError(
+                    503,
+                    error_payload(
+                        "not_ready",
+                        "no healthy shard can take jobs",
+                        retry=True,
+                    ),
+                )
+            await _send_json(
+                writer,
+                200,
+                health_payload(
+                    "ready",
+                    shards=len(self.router.shards),
+                    healthy_shards=healthy,
+                ),
+            )
+            return
         if path.startswith("/v1/jobs/"):
             tail = path[len("/v1/jobs/") :]
             if tail.endswith("/events"):
@@ -244,6 +286,14 @@ class GatewayServer:
             raise _HttpError(
                 429, error_payload("overloaded", str(exc), retry=True)
             ) from exc
+        except GatewayUnavailableError as exc:
+            raise _HttpError(
+                503, error_payload("unavailable", str(exc), retry=True)
+            ) from exc
+        except DeadlineExceededError as exc:
+            raise _HttpError(
+                504, error_payload("deadline_exceeded", str(exc))
+            ) from exc
         await _send_json(
             writer,
             202,
@@ -261,6 +311,13 @@ class GatewayServer:
         """``GET /v1/jobs/{id}``: long-poll the seed-ordered result."""
         try:
             result = await job.result()
+        except DeadlineExceededError as exc:
+            raise _HttpError(
+                504,
+                error_payload(
+                    "deadline_exceeded", str(exc), job_id=job.job_id
+                ),
+            ) from exc
         except ReproError as exc:
             if job.state is JobState.CANCELLED:
                 raise _HttpError(

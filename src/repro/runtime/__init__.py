@@ -43,6 +43,8 @@ from repro.runtime.faults import (
     FaultPlan,
     InjectedFault,
     ResultIntegrityError,
+    ShardFaultKind,
+    ShardFaultPlan,
 )
 from repro.runtime.options import EnsembleOptions, SolveRequest
 from repro.runtime.service import (
@@ -70,6 +72,8 @@ __all__ = [
     "JobState",
     "ResultIntegrityError",
     "RunTelemetry",
+    "ShardFaultKind",
+    "ShardFaultPlan",
     "SolveRequest",
     "solve_async",
     "solve_sync",

@@ -215,6 +215,14 @@ class SolveRequest:
         Registry name of the solver backend to dispatch to
         (:func:`repro.backends.list_backends` enumerates them);
         defaults to the clustered CIM annealer.
+    deadline_s:
+        End-to-end wall-clock budget for the whole request, measured
+        from admission.  ``None`` (default) means unbounded.  The
+        serving runtime rejects the request up front when the budget is
+        already spent, cancels the solve cooperatively when it expires
+        mid-run, and — across gateway failovers — re-dispatches with
+        only the *remaining* budget, so retries can never extend the
+        total wall time (:class:`~repro.errors.DeadlineExceededError`).
     """
 
     instance: "ProblemLike"
@@ -224,12 +232,17 @@ class SolveRequest:
     options: EnsembleOptions = field(default_factory=EnsembleOptions)
     tag: str = ""
     backend: str = "cluster-cim"
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         seeds = tuple(int(s) for s in self.seeds)
         object.__setattr__(self, "seeds", seeds)
         if not seeds:
             raise AnnealerError("need at least one seed")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise AnnealerError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
         if len(set(seeds)) != len(seeds):
             dupes = sorted({s for s in seeds if seeds.count(s) > 1})
             raise AnnealerError(
@@ -262,6 +275,7 @@ class SolveRequest:
         options: Optional[EnsembleOptions] = None,
         tag: str = "",
         backend: str = "cluster-cim",
+        deadline_s: Optional[float] = None,
     ) -> "SolveRequest":
         """Keyword-only constructor accepting any seed sequence."""
         return cls(
@@ -272,4 +286,5 @@ class SolveRequest:
             options=options or EnsembleOptions(),
             tag=tag,
             backend=backend,
+            deadline_s=deadline_s,
         )

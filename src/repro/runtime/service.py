@@ -55,7 +55,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import AnnealerError
+from repro.errors import AnnealerError, DeadlineExceededError
 from repro.runtime.executor import EnsembleExecutor
 from repro.runtime.faults import CircuitBreaker
 from repro.runtime.options import EnsembleOptions, SolveRequest
@@ -93,6 +93,8 @@ class Job:
         self._finished = asyncio.Event()
         self._wakeup = asyncio.Event()
         self._cancel_event = threading.Event()
+        self._deadline_hit = False
+        self._deadline_handle: Optional[asyncio.TimerHandle] = None
 
     # -- public read surface -------------------------------------------
     @property
@@ -109,6 +111,15 @@ class Job:
     def records(self) -> Tuple[RunTelemetry, ...]:
         """Snapshot of the telemetry records streamed so far."""
         return tuple(self._records)
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The terminal error (failed/cancelled jobs), else None.
+
+        Lets a supervisor classify an outcome without re-raising it
+        (:meth:`result` raises; this just reads).
+        """
+        return self._error
 
     def cancel(self) -> None:
         """Request cooperative cancellation.
@@ -171,12 +182,27 @@ class Job:
         self._records.append(record)
         self._notify()
 
+    def _deadline_fire(self) -> None:
+        """Loop-side deadline watchdog: the end-to-end budget expired.
+
+        Ordering matters: ``_deadline_hit`` is set *before* the cancel
+        event so the job thread, on observing the cancellation, always
+        attributes it to the deadline.
+        """
+        if self._finished.is_set():
+            return
+        self._deadline_hit = True
+        self._cancel_event.set()
+
     def _finish(
         self,
         state: JobState,
         result: Optional["EnsembleResult"] = None,
         error: Optional[BaseException] = None,
     ) -> None:
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
+            self._deadline_handle = None
         self._state = state
         self._result = result
         self._error = error
@@ -232,6 +258,12 @@ class AnnealingService:
     def started(self) -> bool:
         """True between :meth:`start` and :meth:`shutdown`."""
         return self._started and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran; a closed service never
+        restarts (front-ends must route around it)."""
+        return self._closed
 
     @property
     def jobs(self) -> Dict[str, Job]:
@@ -314,10 +346,23 @@ class AnnealingService:
             raise AnnealerError("service is shut down; no new jobs accepted")
         assert self._admission is not None
         assert self._loop is not None and self._job_threads is not None
+        enqueued_at = self._loop.time()
         await self._admission.acquire()
         if self._closed:  # shut down while we waited for admission
             self._admission.release()
             raise AnnealerError("service is shut down; no new jobs accepted")
+        remaining: Optional[float] = None
+        if request.deadline_s is not None:
+            # The admission wait already spent part of the end-to-end
+            # budget; reject up front when nothing is left rather than
+            # admitting a job doomed to be cancelled mid-solve.
+            remaining = request.deadline_s - (self._loop.time() - enqueued_at)
+            if remaining <= 0:
+                self._admission.release()
+                raise DeadlineExceededError(
+                    f"deadline of {request.deadline_s}s spent waiting for "
+                    "admission; rejecting instead of admitting a doomed job"
+                )
         if job_id is None:
             label = request.tag or "job"
             job_id = f"{label}-{next(self._counter):04d}"
@@ -325,6 +370,10 @@ class AnnealingService:
             self._admission.release()
             raise AnnealerError(f"duplicate job id {job_id!r}")
         job = Job(job_id, request)
+        if remaining is not None:
+            job._deadline_handle = self._loop.call_later(
+                remaining, job._deadline_fire
+            )
         self._inflight += 1
         self._jobs[job.job_id] = job
         fut = self._loop.run_in_executor(self._job_threads, self._run_job, job)
@@ -387,6 +436,17 @@ class AnnealingService:
     def _run_job(self, job: Job) -> None:
         """Job body; runs on a ``repro-job`` thread, never raises."""
         if job._cancel_event.is_set():
+            if job._deadline_hit:
+                self._post(
+                    job._finish,
+                    JobState.FAILED,
+                    None,
+                    DeadlineExceededError(
+                        f"job {job.job_id} deadline of "
+                        f"{job.request.deadline_s}s expired before start"
+                    ),
+                )
+                return
             self._post(
                 job._finish,
                 JobState.CANCELLED,
@@ -399,7 +459,17 @@ class AnnealingService:
             result = self._execute(job)
             self._post(job._finish, JobState.DONE, result, None)
         except AnnealerError as exc:
-            if job._cancel_event.is_set():
+            if job._deadline_hit:
+                self._post(
+                    job._finish,
+                    JobState.FAILED,
+                    None,
+                    DeadlineExceededError(
+                        f"job {job.job_id} deadline of "
+                        f"{job.request.deadline_s}s expired mid-solve: {exc}"
+                    ),
+                )
+            elif job._cancel_event.is_set():
                 self._post(
                     job._finish,
                     JobState.CANCELLED,

@@ -57,6 +57,7 @@ def make_request(instance, fast_config):
         *,
         options: Optional[EnsembleOptions] = None,
         tag: str = "t",
+        deadline_s: Optional[float] = None,
     ) -> SolveRequest:
         return SolveRequest.build(
             instance,
@@ -64,6 +65,7 @@ def make_request(instance, fast_config):
             config=fast_config,
             options=options or EnsembleOptions(),
             tag=tag,
+            deadline_s=deadline_s,
         )
 
     return build

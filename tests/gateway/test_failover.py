@@ -1,0 +1,426 @@
+"""Shard-tier resilience: eviction, failover, deadlines, reconnect.
+
+The gateway-chaos suite (marker ``chaos_gateway``; CI runs it as the
+fast gateway subset of the chaos job).  Timing-sensitive scenarios are
+made deterministic the same way the health unit tests are: the router
+is built with a near-infinite probe interval, and the tests drive
+:meth:`ShardHealth.probe_once` by hand at chosen points in the job's
+life, so a chaos schedule plays out identically on any machine.
+
+The chaos plans are pure schedules: ``_CRASH_PLAN`` / ``_STALL_PLAN``
+below pin (and assert) exactly which shard faults at which probe tick.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socketserver
+import threading
+from typing import List
+
+import pytest
+
+from repro.annealer.batch import solve_ensemble
+from repro.errors import GatewayError
+from repro.gateway import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayHTTPError,
+    GatewayServer,
+    GatewayUnavailableError,
+    ShardRouter,
+)
+from repro.runtime.faults import ShardFaultPlan
+from repro.runtime.options import EnsembleOptions
+from repro.runtime.service import JobState
+from repro.runtime.telemetry import RunTelemetry
+
+pytestmark = pytest.mark.chaos_gateway
+
+#: Generous guard so a bug hangs a test, not the whole suite.
+WAIT = 60.0
+
+#: Verified by the tests below: shard 0 draws exactly one fault at
+#: probe tick 6, shards 1 and 2 stay clean for the whole window.
+_CRASH_PLAN = ShardFaultPlan(seed=7, crash_rate=0.15, max_fault_ticks=8)
+_STALL_PLAN = ShardFaultPlan(seed=7, stall_rate=0.15, max_fault_ticks=8)
+
+#: Router knobs shared by the deterministic scenarios: failover
+#: pacing disabled, the probe loop effectively frozen (tests call
+#: probe_once by hand), one failed probe evicts.
+_MANUAL_PROBES = dict(
+    probe_interval_s=3600.0,
+    eviction_threshold=1,
+    failover_budget=2,
+)
+
+
+def _quiet_options() -> EnsembleOptions:
+    return EnsembleOptions(backoff_base_s=0.0)
+
+
+async def _wait_for_records(job, n: int) -> None:
+    """Poll until the gateway job has streamed at least ``n`` frames."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + WAIT
+    while len(job.records) < n:
+        assert loop.time() < deadline, f"stalled below {n} records"
+        await asyncio.sleep(0.01)
+
+
+def test_chaos_plans_are_the_expected_schedules():
+    # The scenario contract: everything below leans on these exact
+    # pure schedules, so pin them before any timing is involved.
+    assert _CRASH_PLAN.faults_for_shard(0, 8) == ((6, "shard-crash"),)
+    assert _CRASH_PLAN.faults_for_shard(1, 8) == ()
+    assert _CRASH_PLAN.faults_for_shard(2, 8) == ()
+    assert _STALL_PLAN.faults_for_shard(0, 8) == ((6, "stream-stall"),)
+    assert _STALL_PLAN.faults_for_shard(1, 8) == ()
+    assert _STALL_PLAN.faults_for_shard(2, 8) == ()
+
+
+class TestFailover:
+    async def test_shard_crash_acceptance_bit_identical(self, make_request):
+        """The acceptance bar: a 32-seed job through a 3-shard gateway
+        whose shard is chaos-crashed mid-stream still returns the
+        bit-identical ensemble (tours, lengths, seed order) and the
+        subscriber sees every seed exactly once."""
+        request = make_request(tuple(range(1, 33)))
+        local = await asyncio.to_thread(solve_ensemble, request)
+        router = ShardRouter(
+            _quiet_options(),
+            shards=3,
+            shard_fault_plan=_CRASH_PLAN,
+            **_MANUAL_PROBES,
+        )
+        async with GatewayServer(router) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(request)
+            job_id = str(handle["job_id"])
+            assert handle["shard"] == "shard0"  # round-robin starts at 0
+
+            streamed: List[RunTelemetry] = []
+
+            async def consume() -> None:
+                async for record in client.stream(job_id):
+                    streamed.append(record)
+
+            consumer = asyncio.get_running_loop().create_task(consume())
+            await _wait_for_records(router.get(job_id), 2)
+            # Play the chaos schedule out to (and past) tick 6, which
+            # crashes shard0; one failed probe then evicts it.
+            while router.health.tick < 7:
+                await router.health.probe_once()
+            result = await asyncio.wait_for(client.result(job_id), WAIT)
+            await asyncio.wait_for(consumer, WAIT)
+            metrics = await client.metrics()
+
+        # Deduplicated stream: each seed exactly once despite the
+        # replacement shard replaying the whole ensemble.
+        assert sorted(r.seed for r in streamed) == list(range(1, 33))
+        # Bit-identical outcome, in the request's seed order.
+        assert result["state"] == "done"
+        assert result["seeds"] == list(range(1, 33))
+        assert result["lengths"] == [r.length for r in local.results]
+        assert result["tours"] == [list(r.tour) for r in local.results]
+        # The resilience ledger counts the scenario exactly.
+        assert metrics["evictions"] == 1
+        assert metrics["failovers"] == 1
+        assert metrics["stalls"] == 0
+        assert metrics["shard_states"] == {
+            "healthy": 2, "probation": 0, "evicted": 1
+        }
+        assert metrics["per_shard"][0]["state"] == "evicted"
+
+    async def test_injected_stall_fails_over_without_eviction(
+        self, make_request
+    ):
+        # Enough seeds that the job far outlives the supervisor's
+        # stall poll; the short stall_timeout_s only tightens that
+        # poll — a *natural* stall would still need a 0.8s frame gap.
+        request = make_request(tuple(range(1, 49)))
+        local = await asyncio.to_thread(solve_ensemble, request)
+        router = ShardRouter(
+            _quiet_options(),
+            shards=3,
+            shard_fault_plan=_STALL_PLAN,
+            stall_timeout_s=0.8,
+            **_MANUAL_PROBES,
+        )
+        async with router:
+            job = await router.submit(request)
+            assert job.shard_name == "shard0"
+            await _wait_for_records(job, 2)
+            while router.health.tick < 7:
+                await router.health.probe_once()  # tick 6 injects the stall
+            result = await asyncio.wait_for(job.result(), WAIT)
+            metrics = router.metrics()
+        assert [r.length for r in result.results] == [
+            r.length for r in local.results
+        ]
+        assert sorted(r.seed for r in job.records) == list(range(1, 49))
+        assert job.failovers == 1
+        assert metrics["stalls"] == 1
+        assert metrics["failovers"] == 1
+        assert metrics["evictions"] == 0  # the shard itself stayed up
+        assert metrics["shard_states"]["healthy"] == 3
+
+    async def test_failover_budget_exhausted_fails_the_job(
+        self, make_request
+    ):
+        router = ShardRouter(
+            _quiet_options(),
+            shards=2,
+            probe_interval_s=3600.0,
+            failover_budget=0,
+        )
+        async with router:
+            job = await router.submit(make_request(tuple(range(1, 17))))
+            await _wait_for_records(job, 1)
+            await router.shards[job.shard_index].shutdown(drain=False)
+            with pytest.raises(GatewayError, match="failover budget"):
+                await asyncio.wait_for(job.result(), WAIT)
+            assert job.state is JobState.FAILED
+
+    async def test_no_fresh_shard_fails_the_job_and_submits_503(
+        self, make_request
+    ):
+        router = ShardRouter(
+            _quiet_options(),
+            shards=1,
+            probe_interval_s=3600.0,
+            failover_budget=2,
+        )
+        async with router:
+            job = await router.submit(make_request(tuple(range(1, 17))))
+            await _wait_for_records(job, 1)
+            await router.shards[0].shutdown(drain=False)
+            with pytest.raises(GatewayError, match="no unused healthy"):
+                await asyncio.wait_for(job.result(), WAIT)
+            # The only shard is down: new submissions bounce with the
+            # unavailable (503) error, not the overloaded (429) one.
+            with pytest.raises(GatewayUnavailableError):
+                await router.submit(make_request((99,)))
+
+
+class TestCancelDuringFailover:
+    async def test_cancel_mid_failover_acks_then_409(self, make_request):
+        # backoff_base_s=0.4 holds the supervisor in its failover
+        # pause for >= 0.2s — the window the cancel lands in.  Whether
+        # it lands in the pause or after the re-dispatch, the client
+        # contract is identical: cancel acks, result answers 409.
+        router = ShardRouter(
+            EnsembleOptions(backoff_base_s=0.4, backoff_cap_s=1.0),
+            shards=2,
+            probe_interval_s=3600.0,
+            failover_budget=2,
+        )
+        async with GatewayServer(router) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(make_request(tuple(range(1, 33))))
+            job_id = str(handle["job_id"])
+            await _wait_for_records(router.get(job_id), 2)
+            await router.shards[router.get(job_id).shard_index].shutdown(
+                drain=False
+            )
+            ack = await client.cancel(job_id)
+            assert ack["schema"] == "repro.job/v1"
+            with pytest.raises(GatewayHTTPError) as err:
+                await client.result(job_id)
+            assert err.value.status == 409
+            assert err.value.payload["error"] == "cancelled"
+
+
+class TestDeadlines:
+    async def test_deadline_exceeded_mid_run_answers_504(self, make_request):
+        # 32 fast seeds need ~0.5s; a 0.2s deadline expires mid-run.
+        request = make_request(tuple(range(1, 33)), deadline_s=0.2)
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(request)
+            job_id = str(handle["job_id"])
+            with pytest.raises(GatewayHTTPError) as err:
+                await client.result(job_id)
+            assert err.value.status == 504
+            assert err.value.payload["error"] == "deadline_exceeded"
+            assert err.value.payload["job_id"] == job_id
+
+    async def test_generous_deadline_completes(self, make_request):
+        request = make_request((1, 2), deadline_s=WAIT)
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            client = AsyncGatewayClient(server.url)
+            handle = await client.submit(request)
+            result = await client.result(str(handle["job_id"]))
+            assert result["state"] == "done"
+            assert result["seeds"] == [1, 2]
+
+
+class TestSubmitRetries:
+    async def test_async_submit_rides_out_backpressure(self, make_request):
+        # One shard, one admission slot: the second submission's first
+        # attempts bounce with 429 until the first job settles, and
+        # the client's bounded backoff absorbs the rejections.
+        router = ShardRouter(
+            EnsembleOptions(max_pending_jobs=1),
+            shards=1,
+            probe_interval_s=3600.0,
+        )
+        async with GatewayServer(router) as server:
+            client = AsyncGatewayClient(
+                server.url, submit_retries=8, backoff_base_s=0.05
+            )
+            first = await client.submit(make_request(tuple(range(1, 17))))
+            second = await client.submit(make_request((99,), tag="late"))
+            for handle in (first, second):
+                result = await client.result(str(handle["job_id"]))
+                assert result["state"] == "done"
+
+    async def test_zero_retries_surfaces_429_immediately(self, make_request):
+        router = ShardRouter(
+            EnsembleOptions(max_pending_jobs=1),
+            shards=1,
+            probe_interval_s=3600.0,
+        )
+        async with GatewayServer(router) as server:
+            client = AsyncGatewayClient(server.url, submit_retries=0)
+            first = await client.submit(make_request(tuple(range(1, 17))))
+            if not router.shards[0].at_capacity:
+                pytest.skip("job settled before overload could be observed")
+            with pytest.raises(GatewayHTTPError) as err:
+                await client.submit(make_request((99,)))
+            assert err.value.status == 429
+            await client.result(str(first["job_id"]))
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(GatewayError, match="submit_retries"):
+            GatewayClient("http://127.0.0.1:1", submit_retries=-1)
+        with pytest.raises(GatewayError, match="submit_retries"):
+            AsyncGatewayClient("http://127.0.0.1:1", submit_retries=-1)
+
+    def test_sync_submit_retries_transient_503(self, make_request):
+        # A stub gateway that answers 503 twice, then accepts: the
+        # blocking client must arrive on attempt 3 with the same body.
+        handle = json.dumps(
+            {"schema": "repro.job/v1", "job_id": "t-0001", "state": "pending"}
+        ).encode("utf-8")
+        unavailable = json.dumps(
+            {"schema": "repro.error/v1", "error": "unavailable",
+             "message": "warming up", "retry": True}
+        ).encode("utf-8")
+        hits: List[int] = []
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                while self.rfile.readline() not in (b"\r\n", b"\n", b""):
+                    pass  # drain request head; body is irrelevant
+                hits.append(1)
+                if len(hits) < 3:
+                    status, body = b"503 Service Unavailable", unavailable
+                else:
+                    status, body = b"200 OK", handle
+                self.wfile.write(
+                    b"HTTP/1.1 " + status + b"\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"Connection: close\r\n\r\n" + body
+                )
+
+        with socketserver.ThreadingTCPServer(
+            ("127.0.0.1", 0), _Handler
+        ) as stub:
+            thread = threading.Thread(
+                target=stub.serve_forever, daemon=True
+            )
+            thread.start()
+            port = stub.server_address[1]
+            client = GatewayClient(
+                f"http://127.0.0.1:{port}",
+                submit_retries=3,
+                backoff_base_s=0.0,
+            )
+            out = client.submit(make_request((1,)))
+            stub.shutdown()
+            thread.join(timeout=WAIT)
+        assert out["job_id"] == "t-0001"
+        assert len(hits) == 3
+
+
+class TestStreamReconnect:
+    @staticmethod
+    def _frame(index: int, record: RunTelemetry) -> bytes:
+        data = record.to_json_line().strip()
+        return f"event: run\r\nid: {index}\r\ndata: {data}\r\n\r\n".encode()
+
+    def _stub(self, connections: List[int]):
+        """An SSE stub: first attach drops after two frames (no end),
+        later attaches replay all three frames plus the end event."""
+        records = [RunTelemetry(seed=s) for s in (1, 2, 3)]
+
+        async def handler(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            while await reader.readline() not in (b"\r\n", b"\n", b""):
+                pass
+            connections.append(1)
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            count = 2 if len(connections) == 1 else 3
+            for i, record in enumerate(records[:count]):
+                writer.write(self._frame(i, record))
+            if count == 3:
+                end = json.dumps({"schema": "repro.job_end/v1"})
+                writer.write(
+                    f"event: end\r\nid: 3\r\ndata: {end}\r\n\r\n".encode()
+                )
+            await writer.drain()
+            writer.close()
+
+        return handler
+
+    async def test_reconnect_resumes_and_dedups(self):
+        connections: List[int] = []
+        server = await asyncio.start_server(
+            self._stub(connections), "127.0.0.1", 0
+        )
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = AsyncGatewayClient(
+                f"http://127.0.0.1:{port}", backoff_base_s=0.0
+            )
+            seeds = [
+                r.seed async for r in client.stream("x-0001", reconnect=2)
+            ]
+        finally:
+            server.close()
+            await server.wait_closed()
+        # The replayed frames 1 and 2 were deduplicated; the stream
+        # ends at the second attach's clean end event.
+        assert seeds == [1, 2, 3]
+        assert len(connections) == 2
+
+    async def test_reconnect_zero_keeps_silent_eof_contract(self):
+        connections: List[int] = []
+        server = await asyncio.start_server(
+            self._stub(connections), "127.0.0.1", 0
+        )
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = AsyncGatewayClient(f"http://127.0.0.1:{port}")
+            seeds = [r.seed async for r in client.stream("x-0001")]
+        finally:
+            server.close()
+            await server.wait_closed()
+        # Pre-resilience behavior, preserved at reconnect=0: a dropped
+        # stream returns what it got, silently.
+        assert seeds == [1, 2]
+        assert len(connections) == 1
+
+    async def test_negative_reconnect_rejected(self):
+        client = AsyncGatewayClient("http://127.0.0.1:1")
+        with pytest.raises(GatewayError, match="reconnect"):
+            async for _record in client.stream("x", reconnect=-1):
+                pass

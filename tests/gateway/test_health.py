@@ -1,0 +1,199 @@
+"""Unit tests for the shard health prober and its state machine.
+
+:class:`ShardHealth` is driven manually through :meth:`probe_once`
+against fake shards — every transition is a deterministic function of
+the probe outcomes, so no test here sleeps through the background
+cadence (one test starts/stops the real loop to cover the plumbing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway.health import ShardHealth, ShardState
+from repro.runtime.faults import ShardFaultPlan
+
+
+class _FakeShard:
+    """Just enough surface for the prober: started/closed/shutdown."""
+
+    def __init__(self, started: bool = True) -> None:
+        self.started = started
+        self.closed = False
+        self.shutdowns = 0
+
+    async def shutdown(self, drain: bool = True) -> None:
+        self.shutdowns += 1
+        self.started = False
+        self.closed = True
+
+
+async def _probe(health: ShardHealth, n: int) -> None:
+    for _ in range(n):
+        await health.probe_once()
+
+
+class TestValidation:
+    def test_probe_interval_positive(self):
+        with pytest.raises(GatewayError, match="probe_interval_s"):
+            ShardHealth([_FakeShard()], probe_interval_s=0.0)
+
+    def test_eviction_threshold_at_least_one(self):
+        with pytest.raises(GatewayError, match="eviction_threshold"):
+            ShardHealth([_FakeShard()], eviction_threshold=0)
+
+    def test_probation_probes_at_least_one(self):
+        with pytest.raises(GatewayError, match="probation_probes"):
+            ShardHealth([_FakeShard()], probation_probes=0)
+
+
+class TestStateMachine:
+    async def test_initially_healthy_and_routable(self):
+        health = ShardHealth([_FakeShard(), _FakeShard()])
+        assert health.state(0) is ShardState.HEALTHY
+        assert health.is_routable(0) and health.is_routable(1)
+        assert health.shard_states() == {
+            "healthy": 2, "probation": 0, "evicted": 0
+        }
+
+    async def test_eviction_after_consecutive_failures(self):
+        shard = _FakeShard(started=False)
+        health = ShardHealth([shard], eviction_threshold=3)
+        await _probe(health, 2)
+        assert health.state(0) is ShardState.HEALTHY  # streak not full
+        await health.probe_once()
+        assert health.state(0) is ShardState.EVICTED
+        assert not health.is_routable(0)
+        assert health.evictions == 1
+
+    async def test_fail_streak_resets_on_success(self):
+        shard = _FakeShard(started=False)
+        health = ShardHealth([shard], eviction_threshold=2)
+        await health.probe_once()  # fail 1
+        shard.started = True
+        await health.probe_once()  # pass: streak resets
+        shard.started = False
+        await health.probe_once()  # fail 1 again
+        assert health.state(0) is ShardState.HEALTHY
+        assert health.evictions == 0
+
+    async def test_probation_then_readmission(self):
+        shard = _FakeShard(started=False)
+        health = ShardHealth(
+            [shard], eviction_threshold=1, probation_probes=2
+        )
+        await health.probe_once()
+        assert health.state(0) is ShardState.EVICTED
+        shard.started = True
+        shard.closed = False
+        await health.probe_once()
+        assert health.state(0) is ShardState.PROBATION
+        # Probation takes traffic: a recovering shard is routable.
+        assert health.is_routable(0)
+        await health.probe_once()
+        assert health.state(0) is ShardState.HEALTHY
+        assert health.readmissions == 1
+
+    async def test_probation_relapse_evicts_immediately(self):
+        shard = _FakeShard(started=False)
+        health = ShardHealth(
+            [shard], eviction_threshold=3, probation_probes=5
+        )
+        await _probe(health, 3)
+        assert health.state(0) is ShardState.EVICTED
+        shard.started = True
+        await health.probe_once()
+        assert health.state(0) is ShardState.PROBATION
+        shard.started = False
+        await health.probe_once()  # one failure is enough in probation
+        assert health.state(0) is ShardState.EVICTED
+        assert health.evictions == 2
+
+    async def test_on_evict_hook_gets_shard_index(self):
+        evicted = []
+        health = ShardHealth(
+            [_FakeShard(), _FakeShard(started=False)],
+            eviction_threshold=1,
+            on_evict=evicted.append,
+        )
+        await health.probe_once()
+        assert evicted == [1]
+
+    async def test_probe_counters(self):
+        health = ShardHealth([_FakeShard(), _FakeShard(), _FakeShard()])
+        await _probe(health, 4)
+        assert health.tick == 4
+        assert health.probes == 12
+
+
+class TestFaultInjection:
+    async def test_blackhole_fails_probe_of_live_shard(self):
+        # Every tick in the window blackholes the probe; the shard
+        # itself stays up, yet it gets evicted like a dead one.
+        plan = ShardFaultPlan(seed=0, blackhole_rate=1.0, max_fault_ticks=2)
+        shard = _FakeShard()
+        health = ShardHealth(
+            [shard], eviction_threshold=2, fault_plan=plan
+        )
+        await _probe(health, 2)
+        assert shard.started  # never touched, only ignored
+        assert health.state(0) is ShardState.EVICTED
+        assert health.faults_injected == {"probe-blackhole": 2}
+
+    async def test_crash_shuts_the_shard_down_once(self):
+        plan = ShardFaultPlan(seed=0, crash_rate=1.0, max_fault_ticks=3)
+        shard = _FakeShard()
+        health = ShardHealth([shard], eviction_threshold=1, fault_plan=plan)
+        await _probe(health, 3)
+        # Later crash ticks hit an already-closed shard: no re-shutdown.
+        assert shard.shutdowns == 1
+        assert shard.closed
+        assert health.state(0) is ShardState.EVICTED
+        assert health.faults_injected == {"shard-crash": 3}
+
+    async def test_stall_invokes_router_hook(self):
+        plan = ShardFaultPlan(seed=0, stall_rate=1.0, max_fault_ticks=1)
+        stalled = []
+        shard = _FakeShard()
+        health = ShardHealth(
+            [shard], fault_plan=plan, on_stall=stalled.append
+        )
+        await _probe(health, 2)
+        assert stalled == [0]  # tick 1 is past the fault window
+        assert shard.started  # a stall does not kill the shard
+        assert health.state(0) is ShardState.HEALTHY
+        assert health.faults_injected == {"stream-stall": 1}
+
+    async def test_clean_ticks_after_window_allow_recovery(self):
+        plan = ShardFaultPlan(seed=0, blackhole_rate=1.0, max_fault_ticks=2)
+        shard = _FakeShard()
+        health = ShardHealth(
+            [shard],
+            eviction_threshold=1,
+            probation_probes=1,
+            fault_plan=plan,
+        )
+        await _probe(health, 2)
+        assert health.state(0) is ShardState.EVICTED
+        await _probe(health, 2)  # window closed: probes succeed again
+        assert health.state(0) is ShardState.HEALTHY
+        assert health.readmissions == 1
+
+
+class TestBackgroundLoop:
+    async def test_start_probe_stop(self):
+        health = ShardHealth([_FakeShard()], probe_interval_s=0.01)
+        await health.start()
+        await health.start()  # idempotent
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while health.tick < 3:
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.01)
+        await health.stop()
+        await health.stop()  # idempotent
+        tick = health.tick
+        await asyncio.sleep(0.05)
+        assert health.tick == tick  # loop really stopped

@@ -106,6 +106,20 @@ class TestSolveRequestRoundTrip:
         request = SolveRequest.build(instance, [1], reference=123.5)
         assert wire_round_trip(request).reference == 123.5
 
+    def test_deadline_survives(self, instance):
+        request = SolveRequest.build(instance, [1], deadline_s=12.5)
+        assert wire_round_trip(request).deadline_s == 12.5
+
+    def test_deadline_absent_stays_none(self, instance):
+        # Pre-deadline payloads (no "deadline_s" key) decode to an
+        # unbounded request, and None survives the round trip.
+        request = SolveRequest.build(instance, [1])
+        assert wire_round_trip(request).deadline_s is None
+        wire = encode_solve_request(request)
+        del wire["deadline_s"]
+        back = decode_solve_request(json.loads(json.dumps(wire)))
+        assert back.deadline_s is None
+
     def test_solved_identically_after_round_trip(self, make_request):
         # The acceptance bar: a request that crossed the wire solves
         # bit-identically to the original object.

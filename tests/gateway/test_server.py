@@ -389,7 +389,9 @@ class TestHTTPErrors:
             EnsembleOptions(max_pending_jobs=1), shards=1
         )
         async with GatewayServer(router) as server:
-            client = AsyncGatewayClient(server.url)
+            # submit_retries=0: the default retry policy would wait for
+            # the queue to drain and defeat the overload observation.
+            client = AsyncGatewayClient(server.url, submit_retries=0)
             first = await client.submit(make_request(tuple(range(5))))
             if not router.shards[0].at_capacity:
                 pytest.skip("job settled before overload could be observed")
@@ -412,6 +414,56 @@ class TestHTTPErrors:
 
         with pytest.raises(GatewayError, match="http://"):
             GatewayClient("ftp://example.com")
+
+
+class TestHealthEndpoints:
+    async def test_healthz_alive(self):
+        async with GatewayServer(ShardRouter(shards=2)) as server:
+            status, payload = await _raw_request(
+                server, "GET /healthz HTTP/1.1\r\n\r\n"
+            )
+        assert status == 200
+        assert payload["schema"] == "repro.health/v1"
+        assert payload["status"] == "alive"
+        assert payload["shards"] == 2
+
+    async def test_readyz_ready_with_healthy_shards(self):
+        async with GatewayServer(ShardRouter(shards=2)) as server:
+            status, payload = await _raw_request(
+                server, "GET /readyz HTTP/1.1\r\n\r\n"
+            )
+        assert status == 200
+        assert payload["schema"] == "repro.health/v1"
+        assert payload["status"] == "ready"
+        assert payload["shards"] == 2
+        assert payload["healthy_shards"] == 2
+
+    async def test_readyz_503_when_every_shard_is_down(self):
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            await server.router.shards[0].shutdown(drain=False)
+            status, payload = await _raw_request(
+                server, "GET /readyz HTTP/1.1\r\n\r\n"
+            )
+            # Liveness and readiness diverge: the process still
+            # answers /healthz while /readyz reports not ready.
+            alive_status, alive = await _raw_request(
+                server, "GET /healthz HTTP/1.1\r\n\r\n"
+            )
+        assert status == 503
+        assert payload["schema"] == "repro.error/v1"
+        assert payload["error"] == "not_ready"
+        assert payload["retry"] is True
+        assert alive_status == 200
+        assert alive["status"] == "alive"
+
+    async def test_health_endpoints_reject_post(self):
+        async with GatewayServer(ShardRouter(shards=1)) as server:
+            for path in ("/healthz", "/readyz"):
+                status, payload = await _raw_request(
+                    server, f"POST {path} HTTP/1.1\r\n\r\n"
+                )
+                assert status == 405
+                assert payload["error"] == "method_not_allowed"
 
 
 async def _raw_request(server: GatewayServer, text: str):

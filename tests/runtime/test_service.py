@@ -301,6 +301,64 @@ class TestShutdown:
         assert len(job.records) == 1  # seed 2 never dispatched
 
 
+class TestDeadlines:
+    async def test_deadline_expires_mid_run(
+        self, small_instance, monkeypatch
+    ):
+        from repro.errors import DeadlineExceededError
+
+        gate = Gate(monkeypatch)
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(
+                SolveRequest.build(small_instance, [1, 2], deadline_s=0.1)
+            )
+            # Hold every seed shut until the watchdog has fired, then
+            # open the gates: the solve observes the cancel event and
+            # the job fails with the deadline error, not a hang.
+            await asyncio.sleep(0.3)
+            gate.release_all()
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                await asyncio.wait_for(job.result(), WAIT)
+        assert job.state is JobState.FAILED
+
+    async def test_generous_deadline_completes(self, small_instance):
+        async with AnnealingService(serial_options()) as service:
+            job = await service.submit(
+                SolveRequest.build(small_instance, [1, 2], deadline_s=WAIT)
+            )
+            result = await asyncio.wait_for(job.result(), WAIT)
+        assert job.state is JobState.DONE
+        assert result.n_runs == 2
+
+    async def test_deadline_spent_in_admission_queue_rejects(
+        self, small_instance, monkeypatch
+    ):
+        from repro.errors import DeadlineExceededError
+
+        gate = Gate(monkeypatch)
+        options = serial_options(max_pending_jobs=1)
+        async with AnnealingService(options) as service:
+            job1 = await service.submit(SolveRequest.build(small_instance, [1]))
+            # Capacity 1: the second submit waits in admission while
+            # its whole end-to-end budget drains away.
+            submit2 = asyncio.create_task(
+                service.submit(
+                    SolveRequest.build(small_instance, [2], deadline_s=0.1)
+                )
+            )
+            await asyncio.sleep(0.3)
+            gate.release_all()
+            await asyncio.wait_for(job1.result(), WAIT)
+            with pytest.raises(DeadlineExceededError, match="admission"):
+                await asyncio.wait_for(submit2, WAIT)
+
+    def test_non_positive_deadline_rejected(self, small_instance):
+        with pytest.raises(AnnealerError, match="deadline_s"):
+            SolveRequest.build(small_instance, [1], deadline_s=0.0)
+        with pytest.raises(AnnealerError, match="deadline_s"):
+            SolveRequest.build(small_instance, [1], deadline_s=-1.0)
+
+
 class TestFailureSurfacing:
     async def test_strict_failure_fails_job(self, instance, monkeypatch):
         import repro.runtime.executor as executor_mod

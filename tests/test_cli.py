@@ -258,6 +258,51 @@ class TestSolveStream:
         assert "ensemble : 3 runs" in capsys.readouterr().out
 
 
+class TestServeSubmitFlags:
+    """Parser-level pins for the gateway resilience flags (the live
+    serve/submit round trip runs in CI's gateway-smoke job)."""
+
+    def test_serve_resilience_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.probe_interval == 0.25
+        assert args.failover_budget == 2
+        assert args.stall_timeout == 30.0
+
+    def test_serve_resilience_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--probe-interval", "0.05", "--failover-budget", "5",
+             "--stall-timeout", "2.5"]
+        )
+        assert args.probe_interval == 0.05
+        assert args.failover_budget == 5
+        assert args.stall_timeout == 2.5
+
+    def test_submit_deadline_flag(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:1", "--deadline", "12.5"]
+        )
+        assert args.deadline == 12.5
+        default = _build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:1"]
+        )
+        assert default.deadline is None
+
+    def test_submit_non_numeric_deadline_exits(self):
+        from repro.cli import _build_parser
+
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["submit", "--url", "http://127.0.0.1:1",
+                 "--deadline", "soon"]
+            )
+
+
 class TestSolveChaos:
     def test_chaos_seed_enables_fault_injection(self, capsys):
         assert main(

@@ -72,6 +72,8 @@ class TestPublicAPI:
             "JobState",
             "ResultIntegrityError",
             "RunTelemetry",
+            "ShardFaultKind",
+            "ShardFaultPlan",
             "SolveRequest",
             "solve_async",
             "solve_sync",
@@ -92,11 +94,14 @@ class TestPublicAPI:
             "GatewayJob",
             "GatewayOverloadedError",
             "GatewayServer",
+            "GatewayUnavailableError",
             "LeastInflightPolicy",
             "ProtocolError",
             "RoundRobinPolicy",
             "RoutingPolicy",
+            "ShardHealth",
             "ShardRouter",
+            "ShardState",
             "UnknownJobError",
             "decode_solve_request",
             "encode_solve_request",
@@ -185,6 +190,7 @@ class TestPublicAPI:
         from repro.gateway import (
             GatewayHTTPError,
             GatewayOverloadedError,
+            GatewayUnavailableError,
             ProtocolError,
             UnknownJobError,
         )
@@ -192,6 +198,7 @@ class TestPublicAPI:
         for exc in (
             ProtocolError,
             GatewayOverloadedError,
+            GatewayUnavailableError,
             UnknownJobError,
             GatewayHTTPError,
         ):
