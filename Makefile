@@ -47,13 +47,15 @@ bench-full:
 
 # Append a run record to the machine-readable throughput logs:
 # BENCH_ensemble.json (one ensemble, serial vs pool vs batched),
-# BENCH_service.json (AnnealingService, concurrent jobs, shared pool)
-# and BENCH_gateway.json.  Each run appends a timestamped entry
-# (schema repro.bench_log/v1) so the perf trajectory accumulates.
+# BENCH_service.json (AnnealingService, concurrent jobs, shared pool),
+# BENCH_gateway.json, and BENCH_workloads.json (QUBO problem families
+# x backends with per-step op counts).  Each run appends a timestamped
+# entry (schema repro.bench_log/v1) so the perf trajectory accumulates.
 bench-json:
 	pytest benchmarks/test_ext_ensemble_throughput.py \
 		benchmarks/test_ext_service_throughput.py \
-		benchmarks/test_ext_gateway_throughput.py --benchmark-only
+		benchmarks/test_ext_gateway_throughput.py \
+		benchmarks/test_ext_workloads.py --benchmark-only
 
 examples:
 	python examples/quickstart.py

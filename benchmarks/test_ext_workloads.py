@@ -1,0 +1,162 @@
+"""Extension — QUBO problem-family workloads with op-count accounting.
+
+Table I of the paper compares annealer variants by the *operations* a
+solve consumes, not only wall time.  This bench does the same for the
+:mod:`repro.problems` workload subsystem: each registered family
+(graph coloring, knapsack, Max-SAT) is reduced to a QUBO and solved on
+every QUBO-capable backend with the instrumented kernels, and the
+per-step spin-flip / MAC / RNG-draw counters captured by
+:class:`repro.problems.opcount.History` are asserted, tabulated, and
+appended to the machine-readable ``BENCH_workloads.json`` log at the
+repo root (entry schema ``repro.bench_workloads/v1``).
+
+Every leg is also a determinism check: solving the same (plan, seed)
+twice must yield bit-identical decoded solutions and identical op
+counts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+import pytest
+
+from benchmarks._common import (
+    append_bench_entry,
+    bench_scale,
+    bench_seed,
+    latest_bench_entry,
+    save_and_print,
+)
+from repro.backends import resolve_backend
+from repro.problems import list_families, make_problem
+from repro.utils.tables import Table
+
+#: Machine-readable run log appended to by ``make bench-json``.
+BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_workloads.json"
+
+#: Entry schema of one appended run record.
+WORKLOADS_SCHEMA = "repro.bench_workloads/v1"
+
+#: Every registered backend whose capabilities include ``qubo``.
+QUBO_BACKENDS = ("cluster-cim", "dense-ising", "simcim")
+
+
+def _family_size(family: str, scale: float) -> int:
+    """Scale-aware instance size (floors keep tiny mode meaningful)."""
+    if family == "coloring":
+        return max(8, int(80 * scale))
+    if family == "knapsack":
+        return max(6, int(48 * scale))
+    return max(6, int(48 * scale))  # maxsat variables
+
+
+def _solve_leg(
+    backend: str, family: str, size: int, seed: int
+) -> Dict[str, Any]:
+    """One (family, backend) leg: solve, decode, validate, count ops."""
+    fam = make_problem(family, size, seed)
+    qubo = fam.to_qubo()
+    impl = resolve_backend(backend)
+    plan = impl.compile(qubo, None)
+
+    result = impl.solve(plan, seed)
+    impl.validate_result(qubo, result)
+    rerun = impl.solve(plan, seed)
+    assert np.array_equal(result.tour, rerun.tour), (
+        f"{backend}/{family}: same seed must give bit-identical bits"
+    )
+    assert result.ops == rerun.ops, (
+        f"{backend}/{family}: same seed must give identical op counts"
+    )
+
+    history = result.history
+    assert history is not None and history.n_records > 0
+    assert history.final_totals() == result.ops
+    assert result.ops["macs"] > 0 and result.ops["rng_draws"] > 0
+
+    bits = np.asarray(result.tour, dtype=np.int64)
+    decoded = fam.decode(bits)
+    reference = impl.reference(qubo, seed)
+    return {
+        "backend": backend,
+        "n_qubo_vars": qubo.n_vars,
+        "energy": float(result.length),
+        "reference": float(reference),
+        "ratio": result.optimal_ratio(reference),
+        "feasible": bool(fam.is_feasible(decoded)),
+        "objective": float(fam.objective(decoded)),
+        "reference_objective": float(fam.objective(fam.reference())),
+        "ops": {k: int(v) for k, v in result.ops.items()},
+        "history": history.to_dict(),
+    }
+
+
+@pytest.mark.benchmark(group="ext-workloads")
+def test_workloads_opcounts_all_families(benchmark):
+    scale = bench_scale()
+    seed = bench_seed()
+
+    def run() -> Dict[str, Any]:
+        families: Dict[str, Any] = {}
+        for family in list_families():
+            size = _family_size(family, scale)
+            legs = [
+                _solve_leg(backend, family, size, seed)
+                for backend in QUBO_BACKENDS
+            ]
+            families[family] = {"size": size, "backends": legs}
+        return families
+
+    families = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension — per-solve op counts by family x backend "
+        f"(scale {scale:g}, seed {seed})",
+        ["family", "backend", "QUBO vars", "spin flips", "MACs",
+         "RNG draws", "energy", "feasible", "objective (ref)"],
+    )
+    for family, doc in families.items():
+        for leg in doc["backends"]:
+            ops = leg["ops"]
+            table.add_row([
+                family, leg["backend"], leg["n_qubo_vars"],
+                ops["spin_flips"], ops["macs"], ops["rng_draws"],
+                f"{leg['energy']:.1f}", leg["feasible"],
+                f"{leg['objective']:.0f} ({leg['reference_objective']:.0f})",
+            ])
+    table.add_note(
+        "Table-I-style functional accounting: MACs count field "
+        "evaluations, RNG draws count stochastic decisions"
+    )
+    save_and_print(table, "ext_workloads_opcounts")
+
+    # Every family ran on >= 2 backends with populated histories, and
+    # the knapsack/maxsat decoders guarantee feasibility by repair.
+    for family, doc in families.items():
+        assert len(doc["backends"]) >= 2
+        for leg in doc["backends"]:
+            assert leg["history"]["records"]
+            if family in ("knapsack", "maxsat"):
+                assert leg["feasible"]
+
+    payload = {
+        "schema": WORKLOADS_SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "families": families,
+    }
+    append_bench_entry(BENCH_JSON_PATH, payload)
+    print(f"[appended to {BENCH_JSON_PATH}]")
+
+    reread = latest_bench_entry(BENCH_JSON_PATH)
+    assert reread["schema"] == WORKLOADS_SCHEMA
+    assert sorted(reread["families"]) == sorted(list_families())
+    for doc in reread["families"].values():
+        for leg in doc["backends"]:
+            totals = leg["history"]["totals"]
+            assert totals == leg["ops"]
+            steps = [rec["step"] for rec in leg["history"]["records"]]
+            assert steps == sorted(steps)

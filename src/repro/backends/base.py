@@ -25,7 +25,7 @@ service, the HTTP gateway, and the CLI all dispatch through it.  See
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -39,10 +39,14 @@ if TYPE_CHECKING:
     from repro.cim.macro import CIMChip
     from repro.ising.model import IsingModel
     from repro.maxcut.problem import MaxCutProblem
+    from repro.problems.opcount import History
+    from repro.problems.qubo import QUBOProblem
     from repro.tsp.instance import TSPInstance
 
 #: Everything a :class:`~repro.runtime.options.SolveRequest` can carry.
-ProblemLike = Union["TSPInstance", "IsingModel", "MaxCutProblem"]
+ProblemLike = Union[
+    "TSPInstance", "IsingModel", "MaxCutProblem", "QUBOProblem"
+]
 
 
 def problem_kind(problem: object) -> str:
@@ -50,12 +54,14 @@ def problem_kind(problem: object) -> str:
 
     ``"tsp"`` for :class:`~repro.tsp.instance.TSPInstance`, ``"ising"``
     for :class:`~repro.ising.model.IsingModel`, ``"maxcut"`` for
-    :class:`~repro.maxcut.problem.MaxCutProblem`; anything else raises
+    :class:`~repro.maxcut.problem.MaxCutProblem`, ``"qubo"`` for
+    :class:`~repro.problems.qubo.QUBOProblem`; anything else raises
     :class:`~repro.errors.AnnealerError`.
     """
     # Imported lazily: the problem containers live below this package.
     from repro.ising.model import IsingModel
     from repro.maxcut.problem import MaxCutProblem
+    from repro.problems.qubo import QUBOProblem
     from repro.tsp.instance import TSPInstance
 
     if isinstance(problem, TSPInstance):
@@ -64,9 +70,11 @@ def problem_kind(problem: object) -> str:
         return "ising"
     if isinstance(problem, MaxCutProblem):
         return "maxcut"
+    if isinstance(problem, QUBOProblem):
+        return "qubo"
     raise AnnealerError(
         f"unsupported problem payload {type(problem).__name__!r} "
-        "(expected TSPInstance, IsingModel, or MaxCutProblem)"
+        "(expected TSPInstance, IsingModel, MaxCutProblem, or QUBOProblem)"
     )
 
 
@@ -132,18 +140,31 @@ class BackendRunResult:
     wall_time_s: float = 0.0
     chip: Optional["CIMChip"] = None
     levels: Tuple["LevelReport", ...] = ()
+    ops: Dict[str, int] = field(default_factory=dict)
+    history: Optional["History"] = None
 
     def optimal_ratio(self, reference_length: float) -> float:
         """``length / reference`` — 0.0 when no reference exists.
 
-        Unlike ``AnnealResult.optimal_ratio`` this accepts negative
-        references: Max-Cut scores ``length = -cut`` against
-        ``reference = -greedy_cut``, so the ratio is the (positive)
-        cut-over-greedy quality.
+        Sign conventions (pinned by ``tests/backends``):
+
+        * Unlike ``AnnealResult.optimal_ratio`` this accepts *negative*
+          references: Max-Cut scores ``length = -cut`` against
+          ``reference = -greedy_cut`` and penalty-QUBO energies go
+          negative too, so same-sign pairs yield the familiar positive
+          quality ratio.
+        * A mixed-sign pair yields a negative ratio — the solution sits
+          on the wrong side of zero relative to the baseline, and
+          hiding that by clamping would misreport quality.
+        * A zero, NaN, or infinite reference means "no usable
+          baseline" and reads 0.0 by convention (never a division
+          error), matching the "no reference" sentinel used across
+          telemetry.
         """
-        if not reference_length:
+        ref = float(reference_length)
+        if not ref or not np.isfinite(ref):
             return 0.0
-        return float(self.length) / float(reference_length)
+        return float(self.length) / ref
 
 
 class SolverBackend(ABC):

@@ -1,10 +1,14 @@
 """The default backend: the paper's clustered CIM annealer.
 
 Thin adapter only — the ensemble executor keeps dispatching default
-requests through its original ``_solve_one`` worker path (bit-identical
-to every pre-registry release, and what the test suite monkeypatches),
-so this class exists to give the default the same capability surface,
-reference, and integrity gate as every other registrant.
+TSP requests through its original ``_solve_one`` worker path
+(bit-identical to every pre-registry release, and what the test suite
+monkeypatches), so this class exists to give the default the same
+capability surface, reference, and integrity gate as every other
+registrant.  Compiled QUBO plans (graph coloring, knapsack, Max-SAT —
+:mod:`repro.problems`) anneal with the op-counted chromatic-parallel
+Gibbs kernel, the same odd/even independent-set update the clustered
+hardware path uses; those flow through the executor's registry route.
 """
 
 from __future__ import annotations
@@ -22,6 +26,28 @@ from repro.runtime.telemetry import RunResultLike
 
 if TYPE_CHECKING:
     from repro.annealer.config import AnnealerConfig
+    from repro.problems.qubo import QUBOProblem
+
+
+def _solve_qubo_chromatic(
+    problem: "QUBOProblem", seed: int
+) -> RunResultLike:
+    """One op-counted chromatic-Gibbs anneal (module-level: RL003)."""
+    import numpy as np
+
+    from repro.backends.base import BackendRunResult
+    from repro.problems.solvers import anneal_qubo_chromatic
+    from repro.runtime.telemetry import Stopwatch
+
+    watch = Stopwatch()
+    outcome = anneal_qubo_chromatic(problem, seed=int(seed))
+    return BackendRunResult(
+        tour=np.asarray(outcome.bits, dtype=np.int64),
+        length=float(outcome.energy),
+        wall_time_s=watch.elapsed_s(),
+        ops=outcome.history.final_totals(),
+        history=outcome.history,
+    )
 
 
 @register_backend(DEFAULT_BACKEND)
@@ -31,7 +57,7 @@ class ClusterCIMBackend(SolverBackend):
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name=DEFAULT_BACKEND,
-            problem_kinds=("tsp",),
+            problem_kinds=("tsp", "qubo"),
             batchable=True,
             accepts_config=True,
             description=(
@@ -43,8 +69,18 @@ class ClusterCIMBackend(SolverBackend):
         self, problem: ProblemLike, config: Optional["AnnealerConfig"]
     ) -> BackendPlan:
         from repro.annealer.config import AnnealerConfig
+        from repro.errors import AnnealerError
 
-        self._check_kind(problem)
+        kind = self._check_kind(problem)
+        if kind == "qubo":
+            # The AnnealerConfig describes the clustered TSP pipeline;
+            # QUBO plans run the chromatic Gibbs kernel instead.
+            if config is not None:
+                raise AnnealerError(
+                    "backend 'cluster-cim' does not accept an "
+                    "AnnealerConfig for qubo problems"
+                )
+            return BackendPlan(backend=DEFAULT_BACKEND, problem=problem)
         return BackendPlan(
             backend=DEFAULT_BACKEND,
             problem=problem,
@@ -52,6 +88,10 @@ class ClusterCIMBackend(SolverBackend):
         )
 
     def solve(self, plan: BackendPlan, seed: int) -> RunResultLike:
+        from repro.problems.qubo import QUBOProblem
+
+        if isinstance(plan.problem, QUBOProblem):
+            return _solve_qubo_chromatic(plan.problem, seed)
         # Same worker function the executor's default path uses, so a
         # registry-routed solve stays bit-identical to a direct one.
         from repro.runtime.executor import _solve_one
@@ -65,20 +105,33 @@ class ClusterCIMBackend(SolverBackend):
     def validate_result(
         self, problem: ProblemLike, result: RunResultLike
     ) -> None:
+        from repro.backends.qubo_support import validate_qubo_result
+        from repro.problems.qubo import QUBOProblem
         from repro.runtime.faults import validate_result
         from repro.tsp.instance import TSPInstance
 
+        if isinstance(problem, QUBOProblem):
+            validate_qubo_result(problem, result)
+            return
         assert isinstance(problem, TSPInstance)
         validate_result(problem, result)
 
     def reference(self, problem: ProblemLike, seed: int) -> float:
+        from repro.backends.qubo_support import qubo_reference
+        from repro.problems.qubo import QUBOProblem
         from repro.tsp.instance import TSPInstance
         from repro.tsp.reference import reference_length
 
+        if isinstance(problem, QUBOProblem):
+            return qubo_reference(problem, seed)
         assert isinstance(problem, TSPInstance)
         return float(reference_length(problem, seed=int(seed)))
 
     def decode(self, result: RunResultLike) -> Dict[str, Any]:
+        from repro.backends.qubo_support import decode_qubo_result
+
+        if getattr(result, "history", None) is not None:
+            return decode_qubo_result(DEFAULT_BACKEND, result)
         return {
             "backend": DEFAULT_BACKEND,
             "tour": [int(c) for c in result.tour],

@@ -6,6 +6,9 @@ textbook Eq. (3) mapping annealed by dense Gibbs sweeps — behind the
 models cap out fast (the mapping refuses N > 64 cities), which is
 exactly the contrast the paper draws against its clustered windows;
 serving both through one API makes that comparison a request parameter.
+Compiled QUBO plans (:mod:`repro.problems`) anneal with the op-counted
+*sequential* Gibbs kernel — the one-bit-at-a-time contrast to the
+default backend's chromatic-parallel updates.
 """
 
 from __future__ import annotations
@@ -25,9 +28,29 @@ from repro.runtime.telemetry import RunResultLike, Stopwatch
 
 if TYPE_CHECKING:
     from repro.annealer.config import AnnealerConfig
+    from repro.problems.qubo import QUBOProblem
 
 #: The dense mapping's hard size limit (N² spins, dense J).
 MAX_DENSE_CITIES = 64
+
+
+def _solve_qubo_sequential(
+    problem: "QUBOProblem", seed: int
+) -> RunResultLike:
+    """One op-counted sequential-Gibbs anneal (module-level: RL003)."""
+    import numpy as np
+
+    from repro.problems.solvers import anneal_qubo_sequential
+
+    watch = Stopwatch()
+    outcome = anneal_qubo_sequential(problem, seed=int(seed))
+    return BackendRunResult(
+        tour=np.asarray(outcome.bits, dtype=np.int64),
+        length=float(outcome.energy),
+        wall_time_s=watch.elapsed_s(),
+        ops=outcome.history.final_totals(),
+        history=outcome.history,
+    )
 
 
 @register_backend("dense-ising")
@@ -37,7 +60,7 @@ class DenseIsingBackend(SolverBackend):
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name="dense-ising",
-            problem_kinds=("tsp",),
+            problem_kinds=("tsp", "qubo"),
             batchable=False,
             accepts_config=False,
             description=(
@@ -48,9 +71,13 @@ class DenseIsingBackend(SolverBackend):
     def compile(
         self, problem: ProblemLike, config: Optional["AnnealerConfig"]
     ) -> BackendPlan:
+        from repro.problems.qubo import QUBOProblem
         from repro.tsp.instance import TSPInstance
 
-        self._check_kind(problem)
+        kind = self._check_kind(problem)
+        if kind == "qubo":
+            assert isinstance(problem, QUBOProblem)
+            return BackendPlan(backend="dense-ising", problem=problem)
         assert isinstance(problem, TSPInstance)
         if problem.n > MAX_DENSE_CITIES:
             raise AnnealerError(
@@ -61,8 +88,11 @@ class DenseIsingBackend(SolverBackend):
 
     def solve(self, plan: BackendPlan, seed: int) -> RunResultLike:
         from repro.ising.dense_annealer import anneal_dense_tsp
+        from repro.problems.qubo import QUBOProblem
         from repro.tsp.instance import TSPInstance
 
+        if isinstance(plan.problem, QUBOProblem):
+            return _solve_qubo_sequential(plan.problem, seed)
         assert isinstance(plan.problem, TSPInstance)
         watch = Stopwatch()
         annealed = anneal_dense_tsp(plan.problem, seed=int(seed))
@@ -75,11 +105,16 @@ class DenseIsingBackend(SolverBackend):
     def validate_result(
         self, problem: ProblemLike, result: RunResultLike
     ) -> None:
+        from repro.backends.qubo_support import validate_qubo_result
         from repro.errors import TSPError
+        from repro.problems.qubo import QUBOProblem
         from repro.runtime.faults import ResultIntegrityError
         from repro.tsp.instance import TSPInstance
         from repro.tsp.tour import tour_length, validate_tour
 
+        if isinstance(problem, QUBOProblem):
+            validate_qubo_result(problem, result)
+            return
         assert isinstance(problem, TSPInstance)
         try:
             validate_tour(result.tour, problem.n)
@@ -93,13 +128,21 @@ class DenseIsingBackend(SolverBackend):
             )
 
     def reference(self, problem: ProblemLike, seed: int) -> float:
+        from repro.backends.qubo_support import qubo_reference
+        from repro.problems.qubo import QUBOProblem
         from repro.tsp.instance import TSPInstance
         from repro.tsp.reference import reference_length
 
+        if isinstance(problem, QUBOProblem):
+            return qubo_reference(problem, seed)
         assert isinstance(problem, TSPInstance)
         return float(reference_length(problem, seed=int(seed)))
 
     def decode(self, result: RunResultLike) -> Dict[str, Any]:
+        from repro.backends.qubo_support import decode_qubo_result
+
+        if getattr(result, "history", None) is not None:
+            return decode_qubo_result("dense-ising", result)
         return {
             "backend": "dense-ising",
             "tour": [int(c) for c in result.tour],

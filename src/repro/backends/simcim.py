@@ -5,6 +5,10 @@ Wraps :func:`repro.ising.simcim.simcim_optimize` behind the
 Ising models submitted straight through ``SolveRequest`` and the
 gateway.  No quality reference exists for arbitrary spin glasses, so
 ``reference`` stays 0.0 and optimal ratios read 0.0 by convention.
+Compiled QUBO plans (:mod:`repro.problems`) relax through the
+op-counted SimCIM mirror kernel on the problem's Ising form and score
+in QUBO energy, with the greedy-descent reference every QUBO-capable
+backend shares.
 """
 
 from __future__ import annotations
@@ -26,6 +30,22 @@ from repro.runtime.telemetry import RunResultLike, Stopwatch
 
 if TYPE_CHECKING:
     from repro.annealer.config import AnnealerConfig
+    from repro.problems.qubo import QUBOProblem
+
+
+def _solve_qubo_simcim(problem: "QUBOProblem", seed: int) -> RunResultLike:
+    """One op-counted SimCIM relaxation (module-level: RL003)."""
+    from repro.problems.solvers import relax_qubo_simcim
+
+    watch = Stopwatch()
+    outcome = relax_qubo_simcim(problem, seed=int(seed))
+    return BackendRunResult(
+        tour=np.asarray(outcome.bits, dtype=np.int64),
+        length=float(outcome.energy),
+        wall_time_s=watch.elapsed_s(),
+        ops=outcome.history.final_totals(),
+        history=outcome.history,
+    )
 
 
 @register_backend("simcim")
@@ -35,7 +55,7 @@ class SimCIMBackend(SolverBackend):
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name="simcim",
-            problem_kinds=("ising",),
+            problem_kinds=("ising", "qubo"),
             batchable=False,
             accepts_config=False,
             description="SimCIM mean-field optimizer (pm1 Ising models)",
@@ -45,8 +65,12 @@ class SimCIMBackend(SolverBackend):
         self, problem: ProblemLike, config: Optional["AnnealerConfig"]
     ) -> BackendPlan:
         from repro.ising.model import IsingModel
+        from repro.problems.qubo import QUBOProblem
 
-        self._check_kind(problem)
+        kind = self._check_kind(problem)
+        if kind == "qubo":
+            assert isinstance(problem, QUBOProblem)
+            return BackendPlan(backend="simcim", problem=problem)
         assert isinstance(problem, IsingModel)
         if problem.convention != "pm1":
             raise AnnealerError(
@@ -58,7 +82,10 @@ class SimCIMBackend(SolverBackend):
     def solve(self, plan: BackendPlan, seed: int) -> RunResultLike:
         from repro.ising.model import IsingModel
         from repro.ising.simcim import simcim_optimize
+        from repro.problems.qubo import QUBOProblem
 
+        if isinstance(plan.problem, QUBOProblem):
+            return _solve_qubo_simcim(plan.problem, seed)
         assert isinstance(plan.problem, IsingModel)
         watch = Stopwatch()
         relaxed = simcim_optimize(plan.problem, seed=int(seed))
@@ -71,10 +98,15 @@ class SimCIMBackend(SolverBackend):
     def validate_result(
         self, problem: ProblemLike, result: RunResultLike
     ) -> None:
+        from repro.backends.qubo_support import validate_qubo_result
         from repro.errors import IsingError
         from repro.ising.model import IsingModel
+        from repro.problems.qubo import QUBOProblem
         from repro.runtime.faults import ResultIntegrityError
 
+        if isinstance(problem, QUBOProblem):
+            validate_qubo_result(problem, result)
+            return
         assert isinstance(problem, IsingModel)
         try:
             energy = problem.energy(
@@ -88,7 +120,19 @@ class SimCIMBackend(SolverBackend):
                 f"not match recomputed energy {energy}"
             )
 
+    def reference(self, problem: ProblemLike, seed: int) -> float:
+        from repro.backends.qubo_support import qubo_reference
+        from repro.problems.qubo import QUBOProblem
+
+        if isinstance(problem, QUBOProblem):
+            return qubo_reference(problem, seed)
+        return 0.0
+
     def decode(self, result: RunResultLike) -> Dict[str, Any]:
+        from repro.backends.qubo_support import decode_qubo_result
+
+        if getattr(result, "history", None) is not None:
+            return decode_qubo_result("simcim", result)
         return {
             "backend": "simcim",
             "spins": [int(s) for s in result.tour],

@@ -26,7 +26,15 @@ Installs as ``repro`` (console script) and also runs as
 * ``capacity``  — the Fig. 1 memory-capacity table for given sizes;
 * ``sram-curve`` — the Fig. 6b Monte-Carlo error-rate sweep;
 * ``ppa``       — size a chip for a target problem (Table II / Fig. 7 view);
-* ``maxcut``    — anneal a random Max-Cut instance (Table III workload).
+* ``maxcut``    — anneal a Max-Cut instance (Table III workload), random
+  or loaded from a rudy/``.mc`` edge-list file (``--file``);
+* ``problems``  — the QUBO workload subsystem (:mod:`repro.problems`):
+  ``list`` the registered problem families, ``convert`` published
+  ``.qubo``/BQP files to the ``repro.qubo/v1`` JSON interchange,
+  ``solve`` a family instance (or a QUBO file) on any QUBO-capable
+  backend with per-op instrumentation and a decoded, feasibility-checked
+  solution, and ``submit`` a family instance to a running gateway
+  (``docs/problems.md``).
 
 Examples
 --------
@@ -49,6 +57,13 @@ Examples
     repro sram-curve --samples 1000
     repro ppa --n 85900 --p 3
     repro maxcut --nodes 300 --sweeps 200
+    repro maxcut --file g05_60.0.mc --sweeps 400
+    repro problems list
+    repro problems convert bqp50-1.qubo bqp50-1.json
+    repro problems solve --family coloring --size 24 --backend simcim
+    repro problems solve --file bqp50-1.json --backend dense-ising
+    repro problems submit --url http://127.0.0.1:8642 --family knapsack \\
+                          --size 12 --ensemble 4
 """
 
 from __future__ import annotations
@@ -58,9 +73,12 @@ import sys
 from typing import TYPE_CHECKING, List, Optional
 
 if TYPE_CHECKING:  # CLI imports its heavy deps lazily per subcommand
+    import numpy as np
+
     from repro.annealer.batch import EnsembleResult
     from repro.annealer.config import AnnealerConfig
     from repro.backends.base import ProblemLike
+    from repro.problems import FamilyProblem
     from repro.runtime.options import SolveRequest
     from repro.tsp.instance import TSPInstance
 
@@ -79,6 +97,15 @@ from repro.utils.units import (
 #: :func:`repro.backends.list_backends`.
 _BACKEND_CHOICES = ("cluster-cim", "dense-ising", "maxcut-sb", "simcim")
 _DEFAULT_BACKEND = "cluster-cim"
+
+#: Backends whose capabilities include the ``qubo`` problem kind,
+#: duplicated as literals for the same lazy-``--help`` reason;
+#: ``tests/test_cli.py`` pins this against the registry capabilities.
+_QUBO_BACKEND_CHOICES = ("cluster-cim", "dense-ising", "simcim")
+
+#: Problem families of :mod:`repro.problems`, duplicated as literals;
+#: ``tests/test_cli.py`` pins this against ``list_families()``.
+_FAMILY_CHOICES = ("coloring", "knapsack", "maxsat")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -290,11 +317,94 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ppa.add_argument("--n", type=int, required=True, help="target cities")
     p_ppa.add_argument("--p", type=int, default=3, help="p_max")
 
-    p_mc = sub.add_parser("maxcut", help="anneal a random Max-Cut")
+    p_mc = sub.add_parser("maxcut", help="anneal a Max-Cut instance")
+    p_mc.add_argument(
+        "--file", metavar="FILE",
+        help="rudy/.mc edge-list file to load instead of a random graph",
+    )
     p_mc.add_argument("--nodes", type=int, default=200)
     p_mc.add_argument("--degree", type=float, default=6.0)
     p_mc.add_argument("--sweeps", type=int, default=200)
     p_mc.add_argument("--seed", type=int, default=0)
+
+    p_prob = sub.add_parser(
+        "problems", help="QUBO problem-family workloads (docs/problems.md)"
+    )
+    prob_sub = p_prob.add_subparsers(dest="problems_command", required=True)
+
+    prob_sub.add_parser(
+        "list", help="list the registered problem families"
+    )
+
+    p_conv = prob_sub.add_parser(
+        "convert",
+        help="convert a .qubo/BQP file to repro.qubo/v1 JSON interchange",
+    )
+    p_conv.add_argument(
+        "input", metavar="IN",
+        help="source file: repro.qubo/v1 JSON, qbsolv .qubo, or "
+        "Beasley/OR-Library BQP edge list",
+    )
+    p_conv.add_argument(
+        "output", metavar="OUT", help="destination repro.qubo/v1 JSON file"
+    )
+
+    p_psolve = prob_sub.add_parser(
+        "solve",
+        help="reduce a family instance to QUBO and solve it on a backend",
+    )
+    psrc = p_psolve.add_mutually_exclusive_group()
+    psrc.add_argument(
+        "--family", choices=_FAMILY_CHOICES, default="coloring",
+        help="problem family to mint a seeded random instance of "
+        "(default: coloring)",
+    )
+    psrc.add_argument(
+        "--file", metavar="FILE",
+        help="solve a raw QUBO from a JSON/.qubo/BQP file instead "
+        "(no family decode)",
+    )
+    p_psolve.add_argument(
+        "--size", type=int, default=16,
+        help="family instance size: nodes (coloring), items (knapsack), "
+        "or variables (maxsat); default 16",
+    )
+    p_psolve.add_argument("--seed", type=int, default=0)
+    p_psolve.add_argument(
+        "--backend", choices=_QUBO_BACKEND_CHOICES, default=_DEFAULT_BACKEND,
+        help="QUBO-capable solver backend (default: cluster-cim)",
+    )
+    p_psolve.add_argument(
+        "--reference", action="store_true",
+        help="also solve with the family's reference baseline (greedy "
+        "descent for raw QUBO files) and report the optimal ratio",
+    )
+
+    p_psub = prob_sub.add_parser(
+        "submit", help="submit a family instance to a running gateway"
+    )
+    p_psub.add_argument(
+        "--url", required=True, metavar="URL",
+        help="gateway base URL, e.g. http://127.0.0.1:8642",
+    )
+    p_psub.add_argument(
+        "--family", choices=_FAMILY_CHOICES, default="coloring",
+        help="problem family (default: coloring)",
+    )
+    p_psub.add_argument("--size", type=int, default=16)
+    p_psub.add_argument("--seed", type=int, default=0)
+    p_psub.add_argument(
+        "--backend", choices=_QUBO_BACKEND_CHOICES, default=_DEFAULT_BACKEND,
+        help="QUBO-capable solver backend the gateway dispatches to "
+        "(default: cluster-cim)",
+    )
+    p_psub.add_argument(
+        "--ensemble", type=int, default=1, metavar="K",
+        help="seeds SEED..SEED+K-1 (default: 1)",
+    )
+    p_psub.add_argument(
+        "--tag", default="cli", help="job label folded into the job id"
+    )
     return parser
 
 
@@ -756,6 +866,7 @@ def _cmd_ppa(args: argparse.Namespace) -> int:
 
 
 def _cmd_maxcut(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
     from repro.maxcut import (
         MaxCutAnnealParams,
         anneal_maxcut,
@@ -763,7 +874,18 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
         gset_style,
     )
 
-    problem = gset_style(args.nodes, avg_degree=args.degree, seed=args.seed)
+    if args.file:
+        from repro.problems.io import load_rudy
+
+        try:
+            problem = load_rudy(args.file)
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        problem = gset_style(
+            args.nodes, avg_degree=args.degree, seed=args.seed
+        )
     print(f"problem  : {problem}")
     greedy = greedy_maxcut(problem, seed=args.seed)
     annealed = anneal_maxcut(
@@ -777,6 +899,180 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One-line objective blurbs for ``repro problems list``; pinned by
+#: ``tests/test_cli.py`` to cover exactly ``list_families()``.
+_FAMILY_BLURBS = {
+    "coloring": "minimise edge conflicts over a fixed palette",
+    "knapsack": "maximise packed value under a weight capacity",
+    "maxsat": "maximise the total weight of satisfied clauses",
+}
+
+
+def _problems_list(args: argparse.Namespace) -> int:
+    from repro.problems import list_families, make_problem
+
+    table = Table(
+        "Registered QUBO problem families (docs/problems.md)",
+        ["family", "objective", "QUBO vars (size 16, seed 0)"],
+    )
+    for name in list_families():
+        sample = make_problem(name, 16, 0)
+        table.add_row([name, _FAMILY_BLURBS[name], sample.n_qubo_vars])
+    print(table)
+    return 0
+
+
+def _problems_convert(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.problems.io import load_qubo, save_qubo
+
+    try:
+        qubo = load_qubo(args.input)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    save_qubo(qubo, args.output)
+    print(f"loaded   : {qubo}")
+    print(f"written  : {args.output} (repro.qubo/v1 JSON)")
+    return 0
+
+
+def _family_solution_line(
+    fam: "FamilyProblem", solution: "np.ndarray"
+) -> str:
+    """One-line family-specific rendering of a decoded solution."""
+    from repro.problems import GraphColoringProblem, KnapsackProblem
+
+    if isinstance(fam, GraphColoringProblem):
+        return f"colors={[int(c) for c in solution]}"
+    if isinstance(fam, KnapsackProblem):
+        chosen = [i for i, b in enumerate(solution) if b]
+        return f"items={chosen}"
+    n_true = sum(int(b) for b in solution)
+    return f"assignment={n_true}/{fam.n_vars} true"
+
+
+def _problems_solve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.backends import resolve_backend
+    from repro.errors import ReproError
+    from repro.problems import FamilyProblem, make_problem
+
+    fam: Optional[FamilyProblem] = None
+    try:
+        if args.file:
+            from repro.problems.io import load_qubo
+
+            qubo = load_qubo(args.file)
+        else:
+            fam = make_problem(args.family, args.size, args.seed)
+            qubo = fam.to_qubo()
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if fam is not None:
+        print(f"instance : {fam}")
+    print(f"qubo     : {qubo}")
+    impl = resolve_backend(args.backend)
+    plan = impl.compile(qubo, None)
+    result = impl.solve(plan, args.seed)
+    view = impl.decode(result)
+    print(f"solution : backend={args.backend}  energy={view['energy']:.1f}")
+    ops = "  ".join(
+        f"{k}={v}" for k, v in sorted(view.get("ops", {}).items())
+    )
+    print(f"ops      : {ops or 'none'}")
+    if fam is not None:
+        decoded = fam.decode(np.asarray(view["bits"], dtype=np.int64))
+        print(
+            f"decoded  : {_family_solution_line(fam, decoded)}  "
+            f"feasible={fam.is_feasible(decoded)}  "
+            f"objective={fam.objective(decoded):.1f}"
+        )
+        print(
+            f"baseline : {fam.family} reference objective = "
+            f"{fam.objective(fam.reference()):.1f}"
+        )
+    if args.reference:
+        ref = impl.reference(qubo, args.seed)
+        print(
+            f"reference: {ref:.1f}  optimal ratio = "
+            f"{result.optimal_ratio(ref):.3f}"
+        )
+    return 0
+
+
+def _problems_submit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.errors import ReproError
+    from repro.gateway.client import GatewayClient, GatewayHTTPError
+    from repro.problems import make_problem
+    from repro.runtime.options import SolveRequest
+
+    try:
+        fam = make_problem(args.family, args.size, args.seed)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    qubo = fam.to_qubo()
+    print(f"instance : {fam}")
+    print(f"qubo     : {qubo}")
+    seeds = list(range(args.seed, args.seed + max(1, args.ensemble)))
+    request = SolveRequest.build(
+        qubo, seeds, tag=args.tag, backend=args.backend
+    )
+    client = GatewayClient(args.url)
+    try:
+        handle = client.submit(request)
+        job_id = str(handle["job_id"])
+        print(
+            f"job      : {job_id}  shard={handle['shard']}  "
+            f"state={handle['state']}"
+        )
+        result = client.result(job_id)
+    except GatewayHTTPError as exc:
+        print(f"error    : {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(
+            f"error    : cannot reach gateway at {args.url}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    best = result["best"]
+    print(
+        f"ensemble : {len(result['lengths'])} runs  "
+        f"best energy={best['length']:.1f}  shard={result['shard']}"
+    )
+    decoded = fam.decode(np.asarray(best["tour"], dtype=np.int64))
+    print(
+        f"decoded  : {_family_solution_line(fam, decoded)}  "
+        f"feasible={fam.is_feasible(decoded)}  "
+        f"objective={fam.objective(decoded):.1f}"
+    )
+    stats = result["ratio_stats"]
+    if stats is not None:
+        print(
+            f"quality  : ratio mean={stats['mean']:.3f}  "
+            f"min={stats['minimum']:.3f}  max={stats['maximum']:.3f}"
+        )
+    return 0
+
+
+_PROBLEMS_COMMANDS = {
+    "list": _problems_list,
+    "convert": _problems_convert,
+    "solve": _problems_solve,
+    "submit": _problems_submit,
+}
+
+
+def _cmd_problems(args: argparse.Namespace) -> int:
+    return _PROBLEMS_COMMANDS[args.problems_command](args)
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "serve": _cmd_serve,
@@ -785,6 +1081,7 @@ _COMMANDS = {
     "sram-curve": _cmd_sram_curve,
     "ppa": _cmd_ppa,
     "maxcut": _cmd_maxcut,
+    "problems": _cmd_problems,
 }
 
 

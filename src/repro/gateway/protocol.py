@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # import cycle: repro.annealer.batch imports runtime
     from repro.backends.base import ProblemLike
     from repro.ising.model import IsingModel
     from repro.maxcut.problem import MaxCutProblem
+    from repro.problems.qubo import QUBOProblem
 
 REQUEST_SCHEMA = "repro.solve_request/v1"
 TELEMETRY_SCHEMA = "repro.run_telemetry/v1"
@@ -183,6 +184,7 @@ def decode_instance(payload: Any) -> TSPInstance:
 # ----------------------------------------------------------------------
 _ISING_FIELDS = frozenset({"kind", "couplings", "field", "convention"})
 _MAXCUT_FIELDS = frozenset({"kind", "n_nodes", "edges", "weights", "name"})
+_QUBO_FIELDS = frozenset({"kind", "n_vars", "terms", "offset", "name"})
 
 
 def encode_ising_model(model: "IsingModel") -> Dict[str, Any]:
@@ -260,6 +262,43 @@ def decode_maxcut_problem(payload: Mapping[str, Any]) -> "MaxCutProblem":
         raise ProtocolError(f"invalid maxcut problem: {exc}") from exc
 
 
+def encode_qubo_problem(problem: "QUBOProblem") -> Dict[str, Any]:
+    """JSON view of a :class:`~repro.problems.qubo.QUBOProblem`.
+
+    COO terms over the canonical upper triangle — the same layout as
+    the ``repro.qubo/v1`` file interchange, minus the schema tag (the
+    ``kind`` discriminator plays that role on the wire).
+    """
+    from repro.problems.io import qubo_to_dict
+
+    doc = qubo_to_dict(problem)
+    return {
+        "kind": "qubo",
+        "n_vars": doc["n_vars"],
+        "terms": doc["terms"],
+        "offset": doc["offset"],
+        "name": doc["name"],
+    }
+
+
+def decode_qubo_problem(payload: Mapping[str, Any]) -> "QUBOProblem":
+    """Rebuild a :class:`QUBOProblem`; strict about shape and types."""
+    from repro.problems.io import QUBO_SCHEMA, qubo_from_dict
+
+    _reject_unknown(payload, _QUBO_FIELDS, "instance")
+    doc = {
+        "schema": QUBO_SCHEMA,
+        "n_vars": payload.get("n_vars"),
+        "terms": payload.get("terms"),
+        "offset": payload.get("offset", 0.0),
+        "name": _get_str(payload, "name", "qubo"),
+    }
+    try:
+        return qubo_from_dict(doc)
+    except ReproError as exc:
+        raise ProtocolError(f"invalid qubo problem: {exc}") from exc
+
+
 def encode_problem(problem: "ProblemLike") -> Dict[str, Any]:
     """Tagged JSON view of any problem payload.
 
@@ -269,11 +308,14 @@ def encode_problem(problem: "ProblemLike") -> Dict[str, Any]:
     """
     from repro.ising.model import IsingModel
     from repro.maxcut.problem import MaxCutProblem
+    from repro.problems.qubo import QUBOProblem
 
     if isinstance(problem, IsingModel):
         return encode_ising_model(problem)
     if isinstance(problem, MaxCutProblem):
         return encode_maxcut_problem(problem)
+    if isinstance(problem, QUBOProblem):
+        return encode_qubo_problem(problem)
     return {"kind": "tsp", **encode_instance(problem)}
 
 
@@ -291,6 +333,8 @@ def decode_problem(payload: Any) -> "ProblemLike":
         return decode_ising_model(payload)
     if kind == "maxcut":
         return decode_maxcut_problem(payload)
+    if kind == "qubo":
+        return decode_qubo_problem(payload)
     if kind != "tsp":
         raise ProtocolError(f"unknown problem kind {kind!r}")
     return decode_instance(

@@ -56,6 +56,7 @@ from typing import (
     Tuple,
 )
 
+from repro.backends.base import problem_kind
 from repro.errors import AnnealerError, DeadlineExceededError, GatewayError
 from repro.gateway.health import ShardHealth, ShardState
 from repro.runtime.faults import Backoff, ShardFaultPlan
@@ -374,6 +375,7 @@ class ShardRouter:
         self._failovers = 0
         self._stalls = 0
         self._by_backend: Dict[str, int] = {}
+        self._by_kind: Dict[str, int] = {}
         self._skips = [0 for _ in range(shards)]
         self._closed = False
 
@@ -458,6 +460,8 @@ class ShardRouter:
         self._by_backend[request.backend] = (
             self._by_backend.get(request.backend, 0) + 1
         )
+        kind = problem_kind(request.instance)
+        self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
         supervisor = asyncio.get_running_loop().create_task(
             self._supervise(routed), name=f"repro-supervise-{job_id}"
         )
@@ -722,6 +726,7 @@ class ShardRouter:
             "jobs_submitted": self._submitted,
             "jobs_rejected": self._rejected,
             "jobs_by_backend": dict(sorted(self._by_backend.items())),
+            "jobs_by_problem_kind": dict(sorted(self._by_kind.items())),
             "inflight": sum(s.inflight_jobs for s in self._shards),
             "failovers": self._failovers,
             "stalls": self._stalls,

@@ -14,8 +14,12 @@ that argument executable:
 * an annealed solver reusing :mod:`repro.ising`, plus greedy and
   random-rounding baselines;
 * :func:`spin_scaling_comparison` — the #spins-vs-problem-size law that
-  motivates Table III's normalisation.
+  motivates Table III's normalisation;
+* :func:`load_rudy` (re-exported from :mod:`repro.problems.io`) —
+  reader for published rudy/``.mc`` edge-list benchmark files.
 """
+
+from typing import TYPE_CHECKING, Any
 
 from repro.maxcut.bifurcation import (
     SBParams,
@@ -34,8 +38,27 @@ from repro.maxcut.solver import (
 )
 from repro.maxcut.scaling import spin_scaling_comparison
 
+if TYPE_CHECKING:
+    from repro.problems.io import load_rudy
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy alias: ``load_rudy`` lives in :mod:`repro.problems.io`.
+
+    Imported on first access (PEP 562) because an eager import would
+    cycle — ``repro.problems.io`` itself imports
+    :class:`~repro.maxcut.problem.MaxCutProblem`.
+    """
+    if name == "load_rudy":
+        from repro.problems.io import load_rudy
+
+        return load_rudy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "MaxCutProblem",
+    "load_rudy",
     "random_graph",
     "gset_style",
     "planted_bisection",

@@ -1,0 +1,249 @@
+"""Graph coloring → QUBO reduction (Lucas 2014, §6.1).
+
+One-hot variables ``x_{v,c}`` ("node v has color c", flat index
+``v * n_colors + c``) with the penalty Hamiltonian
+
+    H = A Σ_v (1 − Σ_c x_{v,c})²  +  B Σ_{(u,v)∈E} Σ_c x_{u,c} x_{v,c}
+
+The first term forces exactly one color per node, the second charges
+``B`` per monochromatic edge.  With ``A > B · max_degree`` breaking a
+one-hot constraint is never profitable (recoloring the node to any
+color costs at most ``B · degree`` in conflicts), so we pin
+``A = B · (max_degree + 1)``; see ``docs/problems.md`` for the
+argument.  A feasible coloring has QUBO energy exactly 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.problems.qubo import QUBOProblem
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class GraphColoringProblem:
+    """Color ``n_nodes`` with ``n_colors`` so no edge is monochromatic.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.
+    edges:
+        ``(u, v)`` pairs (0-indexed; duplicates and orientation merged).
+    n_colors:
+        Palette size.
+    name:
+        Display name.
+    """
+
+    family = "coloring"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Sequence[Tuple[int, int]],
+        n_colors: int,
+        name: str = "coloring",
+    ) -> None:
+        if n_nodes < 1:
+            raise ReproError(f"n_nodes must be >= 1, got {n_nodes}")
+        if n_colors < 1:
+            raise ReproError(f"n_colors must be >= 1, got {n_colors}")
+        seen = set()
+        clean: List[Tuple[int, int]] = []
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise ReproError(f"edge ({u}, {v}) out of range")
+            if u == v:
+                raise ReproError(f"self-loop on node {u}")
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                clean.append(key)
+        self.n_nodes = int(n_nodes)
+        self.n_colors = int(n_colors)
+        self.edges = sorted(clean)
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_qubo_vars(self) -> int:
+        """One bit per (node, color) pair."""
+        return self.n_nodes * self.n_colors
+
+    @property
+    def max_degree(self) -> int:
+        """Largest node degree (sets the penalty weight A)."""
+        degree = np.zeros(self.n_nodes, dtype=np.int64)
+        for u, v in self.edges:
+            degree[u] += 1
+            degree[v] += 1
+        return int(degree.max()) if self.n_nodes else 0
+
+    def _var(self, node: int, color: int) -> int:
+        return node * self.n_colors + color
+
+    def to_qubo(self, conflict_weight: float = 1.0) -> QUBOProblem:
+        """Compile to a :class:`QUBOProblem` (``A = B·(max_degree+1)``)."""
+        if conflict_weight <= 0:
+            raise ReproError(
+                f"conflict_weight must be > 0, got {conflict_weight}"
+            )
+        b = float(conflict_weight)
+        a = b * (self.max_degree + 1)
+        terms: List[Tuple[int, int, float]] = []
+        # A(1 - Σ_c x)² = A - 2A Σ_c x + A Σ_c x + 2A Σ_{c<c'} x_c x_c'
+        for v in range(self.n_nodes):
+            for c in range(self.n_colors):
+                terms.append((self._var(v, c), self._var(v, c), -a))
+                for c2 in range(c + 1, self.n_colors):
+                    terms.append((self._var(v, c), self._var(v, c2), 2.0 * a))
+        for u, v in self.edges:
+            for c in range(self.n_colors):
+                terms.append((self._var(u, c), self._var(v, c), b))
+        return QUBOProblem.from_terms(
+            self.n_qubo_vars,
+            terms,
+            offset=a * self.n_nodes,
+            name=f"{self.name}/qubo",
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, assignment: np.ndarray) -> np.ndarray:
+        """Check a per-node color vector (shape and palette range)."""
+        colors = np.asarray(assignment, dtype=np.int64)
+        if colors.shape != (self.n_nodes,):
+            raise ReproError(
+                f"assignment must have shape ({self.n_nodes},), "
+                f"got {colors.shape}"
+            )
+        if colors.size and (colors.min() < 0 or colors.max() >= self.n_colors):
+            raise ReproError("assignment colors out of palette range")
+        return colors
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Bit vector → per-node colors, with deterministic repair.
+
+        A node with exactly one set bit keeps that color; zero or
+        multiple set bits are repaired to the lowest-index color with
+        the fewest conflicts against already-decoded neighbours.
+        """
+        x = np.asarray(bits, dtype=np.float64)
+        if x.shape != (self.n_qubo_vars,):
+            raise ReproError(
+                f"bits must have shape ({self.n_qubo_vars},), got {x.shape}"
+            )
+        grid = x.reshape(self.n_nodes, self.n_colors)
+        colors = np.full(self.n_nodes, -1, dtype=np.int64)
+        neighbours: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        for u, v in self.edges:
+            neighbours[u].append(v)
+            neighbours[v].append(u)
+        for v in range(self.n_nodes):
+            on = np.nonzero(grid[v] > 0.5)[0]
+            if on.size == 1:
+                colors[v] = int(on[0])
+                continue
+            candidates = on if on.size else np.arange(self.n_colors)
+            conflicts = [
+                sum(
+                    1
+                    for nb in neighbours[v]
+                    if colors[nb] == int(c)
+                )
+                for c in candidates
+            ]
+            colors[v] = int(candidates[int(np.argmin(conflicts))])
+        return colors
+
+    def encode(self, assignment: np.ndarray) -> np.ndarray:
+        """Per-node colors → one-hot bit vector."""
+        colors = self.validate(assignment)
+        bits = np.zeros(self.n_qubo_vars)
+        for v in range(self.n_nodes):
+            bits[self._var(v, int(colors[v]))] = 1.0
+        return bits
+
+    def conflicts(self, assignment: np.ndarray) -> int:
+        """Number of monochromatic edges."""
+        colors = self.validate(assignment)
+        return sum(1 for u, v in self.edges if colors[u] == colors[v])
+
+    def is_feasible(self, assignment: np.ndarray) -> bool:
+        """True iff no edge is monochromatic."""
+        return self.conflicts(assignment) == 0
+
+    def objective(self, assignment: np.ndarray) -> float:
+        """Minimised objective: conflicting-edge count."""
+        return float(self.conflicts(assignment))
+
+    def reference(self) -> np.ndarray:
+        """Welsh–Powell greedy coloring, clamped to the palette.
+
+        Deterministic: nodes in decreasing-degree order (index
+        tie-break), each taking the lowest color unused by its
+        neighbours; overflow past the palette wraps to the
+        least-conflicting color.
+        """
+        degree = np.zeros(self.n_nodes, dtype=np.int64)
+        neighbours: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        for u, v in self.edges:
+            degree[u] += 1
+            degree[v] += 1
+            neighbours[u].append(v)
+            neighbours[v].append(u)
+        order = sorted(range(self.n_nodes), key=lambda v: (-degree[v], v))
+        colors = np.full(self.n_nodes, -1, dtype=np.int64)
+        for v in order:
+            used = {int(colors[nb]) for nb in neighbours[v] if colors[nb] >= 0}
+            free = next(
+                (c for c in range(self.n_colors) if c not in used), None
+            )
+            if free is not None:
+                colors[v] = free
+                continue
+            counts = [
+                sum(1 for nb in neighbours[v] if colors[nb] == c)
+                for c in range(self.n_colors)
+            ]
+            colors[v] = int(np.argmin(counts))
+        return colors
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphColoringProblem(name={self.name!r}, "
+            f"n_nodes={self.n_nodes}, n_edges={len(self.edges)}, "
+            f"n_colors={self.n_colors})"
+        )
+
+
+def random_coloring_problem(
+    n_nodes: int,
+    n_colors: int = 3,
+    edge_prob: float = 0.3,
+    seed: SeedLike = None,
+    name: str = "random-coloring",
+) -> GraphColoringProblem:
+    """A planted-coloring random graph (always ``n_colors``-colorable).
+
+    Nodes are secretly partitioned into ``n_colors`` classes and edges
+    are drawn only *between* classes with probability ``edge_prob``, so
+    the planted assignment is a feasible coloring and the QUBO optimum
+    is exactly 0.  Deterministic for a given seed.
+    """
+    if n_nodes < 2:
+        raise ReproError(f"n_nodes must be >= 2, got {n_nodes}")
+    if not 0.0 < edge_prob <= 1.0:
+        raise ReproError(f"edge_prob must be in (0, 1], got {edge_prob}")
+    rng = spawn_rng(seed)
+    planted = rng.integers(0, n_colors, size=n_nodes)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            if planted[u] != planted[v] and rng.random() < edge_prob:
+                edges.append((u, v))
+    return GraphColoringProblem(n_nodes, edges, n_colors, name=name)

@@ -1,0 +1,257 @@
+"""Workload I/O: the QUBO interchange format and published-file readers.
+
+Three ways a problem enters the subsystem from disk:
+
+* **JSON interchange** (``repro.qubo/v1``) — the strict, versioned
+  round-trip format used by ``repro problems convert`` and the tests.
+  Decoding follows the gateway codec's posture: unknown keys are
+  rejected, every field is type-checked, and malformed documents raise
+  :class:`~repro.errors.ReproError` with the offending field named.
+* **``.qubo`` / BQP text** — the two de-facto standards for published
+  QUBO instances: the qbsolv header format (``p qubo 0 maxNodes
+  nNodes nCouplers`` then 0-indexed ``i j value`` lines) and the
+  OR-Library/Beasley format (``n m`` then 1-indexed triples).
+  :func:`load_qubo_file` sniffs which one it is reading.
+* **rudy / ``.mc`` edge lists** — the standard Max-Cut exchange format
+  (``n m`` header then 1-indexed ``u v w`` edges).  :func:`load_rudy`
+  returns a :class:`~repro.maxcut.problem.MaxCutProblem` so published
+  G-set-style instances load without hand-written converters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import ReproError
+from repro.maxcut.problem import MaxCutProblem
+from repro.problems.qubo import QUBOProblem
+
+QUBO_SCHEMA = "repro.qubo/v1"
+
+_QUBO_DOC_FIELDS = frozenset({"schema", "name", "n_vars", "offset", "terms"})
+
+
+# ----------------------------------------------------------------------
+# JSON interchange (repro.qubo/v1)
+# ----------------------------------------------------------------------
+def qubo_to_dict(problem: QUBOProblem) -> Dict[str, Any]:
+    """Encode as a ``repro.qubo/v1`` document (COO terms, upper triangle)."""
+    terms: List[List[Union[int, float]]] = []
+    for i in range(problem.n_vars):
+        row = problem.q[i]
+        for j in range(i, problem.n_vars):
+            if row[j] != 0.0:
+                terms.append([int(i), int(j), float(row[j])])
+    return {
+        "schema": QUBO_SCHEMA,
+        "name": problem.name,
+        "n_vars": int(problem.n_vars),
+        "offset": float(problem.offset),
+        "terms": terms,
+    }
+
+
+def qubo_from_dict(doc: Any) -> QUBOProblem:
+    """Decode a ``repro.qubo/v1`` document (strict: unknown keys rejected)."""
+    if not isinstance(doc, dict):
+        raise ReproError(f"qubo document must be a mapping, got {type(doc).__name__}")
+    unknown = sorted(set(doc) - _QUBO_DOC_FIELDS)
+    if unknown:
+        raise ReproError(f"qubo document has unknown fields: {unknown}")
+    schema = doc.get("schema")
+    if schema != QUBO_SCHEMA:
+        raise ReproError(f"expected schema {QUBO_SCHEMA!r}, got {schema!r}")
+    name = doc.get("name", "qubo")
+    if not isinstance(name, str):
+        raise ReproError("qubo field 'name' must be a string")
+    n_vars = doc.get("n_vars")
+    if not isinstance(n_vars, int) or isinstance(n_vars, bool):
+        raise ReproError("qubo field 'n_vars' must be an integer")
+    offset = doc.get("offset", 0.0)
+    if isinstance(offset, bool) or not isinstance(offset, (int, float)):
+        raise ReproError("qubo field 'offset' must be a number")
+    raw_terms = doc.get("terms")
+    if not isinstance(raw_terms, list):
+        raise ReproError("qubo field 'terms' must be a list")
+    terms: List[Tuple[int, int, float]] = []
+    for k, item in enumerate(raw_terms):
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise ReproError(f"terms[{k}] must be an (i, j, value) triple")
+        i, j, value = item
+        if any(isinstance(v, bool) for v in (i, j)) or not (
+            isinstance(i, int) and isinstance(j, int)
+        ):
+            raise ReproError(f"terms[{k}] indices must be integers")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(f"terms[{k}] value must be a number")
+        terms.append((i, j, float(value)))
+    return QUBOProblem.from_terms(
+        n_vars, terms, offset=float(offset), name=name
+    )
+
+
+def save_qubo(problem: QUBOProblem, path: Union[str, Path]) -> None:
+    """Write the JSON interchange form to ``path``."""
+    Path(path).write_text(
+        json.dumps(qubo_to_dict(problem), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_qubo(path: Union[str, Path]) -> QUBOProblem:
+    """Load a QUBO from disk, sniffing JSON vs ``.qubo``/BQP text."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid JSON in {path}: {exc}") from exc
+        return qubo_from_dict(doc)
+    return _parse_qubo_text(text, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# .qubo / BQP text formats
+# ----------------------------------------------------------------------
+def load_qubo_file(path: Union[str, Path]) -> QUBOProblem:
+    """Load a ``.qubo`` (qbsolv) or BQP (OR-Library) text file."""
+    return _parse_qubo_text(
+        Path(path).read_text(encoding="utf-8"), source=str(path)
+    )
+
+
+def _parse_qubo_text(text: str, source: str = "<string>") -> QUBOProblem:
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith("c")
+    ]
+    if not lines:
+        raise ReproError(f"{source}: no parseable lines")
+    if lines[0].startswith("p"):
+        return _parse_qbsolv(lines, source)
+    return _parse_beasley(lines, source)
+
+
+def _parse_qbsolv(lines: List[str], source: str) -> QUBOProblem:
+    """qbsolv header: ``p qubo 0 maxNodes nNodes nCouplers``, 0-indexed."""
+    header = lines[0].split()
+    if len(header) != 6 or header[:2] != ["p", "qubo"]:
+        raise ReproError(f"{source}: malformed qbsolv header {lines[0]!r}")
+    try:
+        max_nodes = int(header[3])
+        n_nodes = int(header[4])
+        n_couplers = int(header[5])
+    except ValueError as exc:
+        raise ReproError(f"{source}: non-integer qbsolv header field") from exc
+    n_vars = max(max_nodes, 1)
+    terms: List[Tuple[int, int, float]] = []
+    n_diag = 0
+    for ln in lines[1:]:
+        parts = ln.split()
+        if len(parts) != 3:
+            raise ReproError(f"{source}: expected 'i j value', got {ln!r}")
+        try:
+            i, j, value = int(parts[0]), int(parts[1]), float(parts[2])
+        except ValueError as exc:
+            raise ReproError(f"{source}: malformed entry {ln!r}") from exc
+        if i == j:
+            n_diag += 1
+        terms.append((i, j, value))
+    n_off = len(terms) - n_diag
+    if n_diag != n_nodes or n_off != n_couplers:
+        raise ReproError(
+            f"{source}: header promises {n_nodes} nodes / {n_couplers} "
+            f"couplers, file has {n_diag} / {n_off}"
+        )
+    return QUBOProblem.from_terms(n_vars, terms, name=Path(source).stem)
+
+
+def _parse_beasley(lines: List[str], source: str) -> QUBOProblem:
+    """OR-Library BQP: ``n m`` then 1-indexed ``i j value`` triples."""
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ReproError(
+            f"{source}: expected 'n m' header, got {lines[0]!r}"
+        )
+    try:
+        n_vars, n_entries = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise ReproError(f"{source}: non-integer BQP header") from exc
+    body = lines[1:]
+    if len(body) != n_entries:
+        raise ReproError(
+            f"{source}: header promises {n_entries} entries, file has "
+            f"{len(body)}"
+        )
+    terms: List[Tuple[int, int, float]] = []
+    for ln in body:
+        parts = ln.split()
+        if len(parts) != 3:
+            raise ReproError(f"{source}: expected 'i j value', got {ln!r}")
+        try:
+            i, j, value = int(parts[0]), int(parts[1]), float(parts[2])
+        except ValueError as exc:
+            raise ReproError(f"{source}: malformed entry {ln!r}") from exc
+        if i < 1 or j < 1:
+            raise ReproError(
+                f"{source}: BQP indices are 1-based, got ({i}, {j})"
+            )
+        terms.append((i - 1, j - 1, value))
+    return QUBOProblem.from_terms(n_vars, terms, name=Path(source).stem)
+
+
+# ----------------------------------------------------------------------
+# rudy / .mc Max-Cut edge lists
+# ----------------------------------------------------------------------
+def load_rudy(path: Union[str, Path]) -> MaxCutProblem:
+    """Load a rudy/``.mc`` edge list as a :class:`MaxCutProblem`.
+
+    Format: optional ``c``-comment lines, an ``n m`` header, then ``m``
+    lines of 1-indexed ``u v weight`` edges (G-set style).
+    """
+    source = str(path)
+    lines = [
+        ln.strip()
+        for ln in Path(path).read_text(encoding="utf-8").splitlines()
+        if ln.strip() and not ln.lstrip().startswith(("c", "#"))
+    ]
+    if not lines:
+        raise ReproError(f"{source}: no parseable lines")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ReproError(
+            f"{source}: expected 'n_nodes n_edges' header, got {lines[0]!r}"
+        )
+    try:
+        n_nodes, n_edges = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise ReproError(f"{source}: non-integer rudy header") from exc
+    body = lines[1:]
+    if len(body) != n_edges:
+        raise ReproError(
+            f"{source}: header promises {n_edges} edges, file has {len(body)}"
+        )
+    edges: List[Tuple[int, int]] = []
+    weights: List[float] = []
+    for ln in body:
+        parts = ln.split()
+        if len(parts) not in (2, 3):
+            raise ReproError(f"{source}: expected 'u v [w]', got {ln!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError as exc:
+            raise ReproError(f"{source}: malformed edge {ln!r}") from exc
+        if u < 1 or v < 1:
+            raise ReproError(
+                f"{source}: rudy nodes are 1-based, got ({u}, {v})"
+            )
+        edges.append((u - 1, v - 1))
+        weights.append(w)
+    return MaxCutProblem(
+        n_nodes, edges, weights=weights, name=Path(source).stem
+    )

@@ -1,0 +1,248 @@
+"""0/1 knapsack → QUBO reduction (Lucas 2014, §5.2).
+
+Maximize ``Σ vᵢ xᵢ`` subject to ``Σ wᵢ xᵢ ≤ W``.  The inequality is
+turned into an equality with a binary-encoded slack ``S = Σ_k c_k y_k``
+that can represent any residual capacity in ``[0, W]``:
+
+    H = A (Σᵢ wᵢ xᵢ + Σ_k c_k y_k − W)²  −  B Σᵢ vᵢ xᵢ
+
+with slack coefficients ``c_k = 2^k`` for ``k < m`` and a final partial
+coefficient ``c_m = W + 1 − 2^m`` (``m = ⌊log₂ W⌋``), the standard
+bounded-integer encoding.  Violating the capacity by even one unit
+costs at least ``A`` while the best possible value gain is
+``B · max(v)``, so ``A = B · max(v) + 1`` makes every optimum of ``H``
+feasible; see ``docs/problems.md``.  At a feasible optimum the penalty
+term is 0 and ``H = −B · value + offset`` tracks the (negated) value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.problems.qubo import QUBOProblem
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def _slack_coefficients(capacity: int) -> List[int]:
+    """Binary coefficients spanning exactly ``[0, capacity]``."""
+    if capacity <= 0:
+        return []
+    coeffs: List[int] = []
+    total = 0
+    while total + (1 << len(coeffs)) <= capacity:
+        coeffs.append(1 << len(coeffs))
+        total += coeffs[-1]
+    if total < capacity:
+        coeffs.append(capacity - total)
+    return coeffs
+
+
+class KnapsackProblem:
+    """A 0/1 knapsack instance with integer weights and capacity.
+
+    Parameters
+    ----------
+    values:
+        Per-item values (positive).
+    weights:
+        Per-item integer weights (positive).
+    capacity:
+        Integer capacity ``W >= 1``.
+    name:
+        Display name.
+    """
+
+    family = "knapsack"
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        weights: Sequence[int],
+        capacity: int,
+        name: str = "knapsack",
+    ) -> None:
+        vals = np.asarray(values, dtype=np.float64)
+        wts = np.asarray(weights, dtype=np.int64)
+        if vals.ndim != 1 or vals.size < 1:
+            raise ReproError("values must be a non-empty 1-d sequence")
+        if wts.shape != vals.shape:
+            raise ReproError("weights must match values in length")
+        if not np.all(vals > 0):
+            raise ReproError("values must be positive")
+        if not np.all(wts > 0):
+            raise ReproError("weights must be positive integers")
+        if capacity < 1:
+            raise ReproError(f"capacity must be >= 1, got {capacity}")
+        self.values = vals
+        self.weights = wts
+        self.capacity = int(capacity)
+        self.name = str(name)
+        self.slack_coeffs = _slack_coefficients(self.capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        """Number of selectable items."""
+        return int(self.values.size)
+
+    @property
+    def n_qubo_vars(self) -> int:
+        """Item bits plus binary slack bits."""
+        return self.n_items + len(self.slack_coeffs)
+
+    def to_qubo(self, value_weight: float = 1.0) -> QUBOProblem:
+        """Compile to a :class:`QUBOProblem` (``A = B·max(v) + 1``)."""
+        if value_weight <= 0:
+            raise ReproError(
+                f"value_weight must be > 0, got {value_weight}"
+            )
+        b = float(value_weight)
+        a = b * float(self.values.max()) + 1.0
+        w = self.capacity
+        # Combined coefficient vector over (items, slack bits).
+        coeff = np.concatenate(
+            [self.weights.astype(np.float64), np.asarray(self.slack_coeffs, dtype=np.float64)]
+        )
+        n = coeff.size
+        terms: List[Tuple[int, int, float]] = []
+        # A(Σ a_l z_l - W)² = A Σ (a_l² - 2W a_l) z_l
+        #                   + 2A Σ_{l<l'} a_l a_l' z_l z_l' + A W².
+        for l in range(n):
+            terms.append((l, l, a * (coeff[l] ** 2 - 2.0 * w * coeff[l])))
+            for l2 in range(l + 1, n):
+                terms.append((l, l2, 2.0 * a * coeff[l] * coeff[l2]))
+        for i in range(self.n_items):
+            terms.append((i, i, -b * float(self.values[i])))
+        return QUBOProblem.from_terms(
+            n,
+            terms,
+            offset=a * float(w) ** 2,
+            name=f"{self.name}/qubo",
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, selection: np.ndarray) -> np.ndarray:
+        """Check a 0/1 item-selection vector."""
+        sel = np.asarray(selection, dtype=np.int64)
+        if sel.shape != (self.n_items,):
+            raise ReproError(
+                f"selection must have shape ({self.n_items},), "
+                f"got {sel.shape}"
+            )
+        if not set(np.unique(sel).tolist()) <= {0, 1}:
+            raise ReproError("selection values must be 0/1")
+        return sel
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Bit vector → item selection, with deterministic repair.
+
+        Slack bits are dropped; an over-capacity selection is repaired
+        by removing the lowest value/weight items (index tie-break)
+        until it fits.
+        """
+        x = np.asarray(bits, dtype=np.float64)
+        if x.shape != (self.n_qubo_vars,):
+            raise ReproError(
+                f"bits must have shape ({self.n_qubo_vars},), got {x.shape}"
+            )
+        sel = (x[: self.n_items] > 0.5).astype(np.int64)
+        load = int(self.weights @ sel)
+        if load > self.capacity:
+            ratio = self.values / self.weights
+            chosen = sorted(
+                np.nonzero(sel)[0].tolist(), key=lambda i: (ratio[i], -i)
+            )
+            for i in chosen:
+                if load <= self.capacity:
+                    break
+                sel[i] = 0
+                load -= int(self.weights[i])
+        return sel
+
+    def encode(self, selection: np.ndarray) -> np.ndarray:
+        """Item selection → bit vector with the slack set to the residual.
+
+        Raises for infeasible selections (the residual would be
+        negative and unrepresentable).
+        """
+        sel = self.validate(selection)
+        residual = self.capacity - int(self.weights @ sel)
+        if residual < 0:
+            raise ReproError(
+                f"selection exceeds capacity by {-residual}; cannot encode"
+            )
+        bits = np.zeros(self.n_qubo_vars)
+        bits[: self.n_items] = sel
+        # Greedy fill, largest coefficient first — spans [0, capacity].
+        order = sorted(
+            range(len(self.slack_coeffs)),
+            key=lambda k: -self.slack_coeffs[k],
+        )
+        for k in order:
+            if self.slack_coeffs[k] <= residual:
+                bits[self.n_items + k] = 1.0
+                residual -= self.slack_coeffs[k]
+        if residual != 0:
+            raise ReproError(
+                f"slack encoding failed with residual {residual}"
+            )  # pragma: no cover - coefficients span [0, W] by construction
+        return bits
+
+    def total_weight(self, selection: np.ndarray) -> int:
+        """Load of a selection."""
+        return int(self.weights @ self.validate(selection))
+
+    def is_feasible(self, selection: np.ndarray) -> bool:
+        """True iff the selection fits the capacity."""
+        return self.total_weight(selection) <= self.capacity
+
+    def objective(self, selection: np.ndarray) -> float:
+        """Maximised objective: total value of the selection."""
+        return float(self.values @ self.validate(selection))
+
+    def reference(self) -> np.ndarray:
+        """Exact optimum by dynamic programming over the capacity."""
+        n, w = self.n_items, self.capacity
+        best = np.zeros((n + 1, w + 1))
+        for i in range(1, n + 1):
+            wi = int(self.weights[i - 1])
+            vi = float(self.values[i - 1])
+            best[i] = best[i - 1]
+            if wi <= w:
+                take = best[i - 1, : w - wi + 1] + vi
+                best[i, wi:] = np.maximum(best[i - 1, wi:], take)
+        sel = np.zeros(n, dtype=np.int64)
+        remaining = w
+        for i in range(n, 0, -1):
+            if best[i, remaining] != best[i - 1, remaining]:
+                sel[i - 1] = 1
+                remaining -= int(self.weights[i - 1])
+        return sel
+
+    def __repr__(self) -> str:
+        return (
+            f"KnapsackProblem(name={self.name!r}, n_items={self.n_items}, "
+            f"capacity={self.capacity})"
+        )
+
+
+def random_knapsack_problem(
+    n_items: int,
+    seed: SeedLike = None,
+    name: str = "random-knapsack",
+) -> KnapsackProblem:
+    """A random instance with ~half the total weight as capacity.
+
+    Integer weights in ``[1, 9]``, values in ``[1, 20]``, capacity
+    ``max(1, ⌊Σw / 2⌋)``.  Deterministic for a given seed.
+    """
+    if n_items < 1:
+        raise ReproError(f"n_items must be >= 1, got {n_items}")
+    rng = spawn_rng(seed)
+    weights = rng.integers(1, 10, size=n_items)
+    values = rng.integers(1, 21, size=n_items).astype(np.float64)
+    capacity = max(1, int(weights.sum()) // 2)
+    return KnapsackProblem(values, weights, capacity, name=name)

@@ -1,0 +1,295 @@
+"""Weighted Max-SAT → QUBO reduction (quadratization by Rosenberg).
+
+Clauses are DIMACS-style literal tuples (``+v`` / ``−v``, 1-indexed,
+lengths 1–3) with positive weights; the QUBO minimises the total
+weight of *unsatisfied* clauses.  A clause ``(l₁ … l_k, w)`` is
+unsatisfied iff every literal is false, so its cost is
+
+    w · Π u_i       with  u_i = 1 − z_i
+
+where ``z_i = x_v`` for a positive literal and ``1 − x_v`` for a
+negative one — each ``u_i`` is affine in the decision bits.  Lengths 1
+and 2 expand directly into linear/quadratic terms.  A 3-clause's cubic
+monomial ``w·u₁u₂u₃`` is quadratized with one auxiliary bit ``a`` per
+clause via Rosenberg's penalty (Rosenberg 1975):
+
+    w·a·u₃  +  M·(u₁u₂ − 2u₁a − 2u₂a + 3a),   M = 2w
+
+The penalty is 0 exactly when ``a = u₁u₂`` and ≥ M otherwise; since
+mis-setting ``a`` can save at most ``w`` from the objective term,
+``M = 2w > w`` forces ``a = u₁u₂`` at every optimum, so the QUBO
+minimum equals the minimum unsatisfied weight (brute-forced in
+``tests/problems/test_maxsat.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.problems.qubo import QUBOProblem
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: A clause: DIMACS-style literals plus a positive weight.
+Clause = Tuple[Tuple[int, ...], float]
+
+
+class MaxSATProblem:
+    """A weighted Max-SAT instance with clauses of length 1–3.
+
+    Parameters
+    ----------
+    n_vars:
+        Number of boolean variables (literals are 1-indexed:
+        ``+3``/``−3`` refer to variable index 2).
+    clauses:
+        ``(literals, weight)`` pairs; weights must be positive and a
+        clause may not mention a variable twice.
+    name:
+        Display name.
+    """
+
+    family = "maxsat"
+
+    def __init__(
+        self,
+        n_vars: int,
+        clauses: Sequence[Clause],
+        name: str = "maxsat",
+    ) -> None:
+        if n_vars < 1:
+            raise ReproError(f"n_vars must be >= 1, got {n_vars}")
+        clean: List[Clause] = []
+        for k, (literals, weight) in enumerate(clauses):
+            lits = tuple(int(lit) for lit in literals)
+            if not 1 <= len(lits) <= 3:
+                raise ReproError(
+                    f"clause {k} must have 1-3 literals, got {len(lits)}"
+                )
+            variables = []
+            for lit in lits:
+                if lit == 0 or abs(lit) > n_vars:
+                    raise ReproError(
+                        f"clause {k} literal {lit} out of range "
+                        f"for n_vars={n_vars}"
+                    )
+                variables.append(abs(lit))
+            if len(set(variables)) != len(variables):
+                raise ReproError(f"clause {k} mentions a variable twice")
+            w = float(weight)
+            if w <= 0:
+                raise ReproError(f"clause {k} weight must be > 0, got {w}")
+            clean.append((lits, w))
+        if not clean:
+            raise ReproError("at least one clause is required")
+        self.n_vars = int(n_vars)
+        self.clauses = clean
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    @property
+    def n_aux(self) -> int:
+        """One Rosenberg auxiliary bit per 3-clause."""
+        return sum(1 for lits, _ in self.clauses if len(lits) == 3)
+
+    @property
+    def n_qubo_vars(self) -> int:
+        """Decision bits plus auxiliary bits."""
+        return self.n_vars + self.n_aux
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all clause weights."""
+        return float(sum(w for _, w in self.clauses))
+
+    @staticmethod
+    def _unsat_factor(lit: int) -> Tuple[int, float, float]:
+        """``u = c + d·x_v`` for literal ``lit`` (variable, c, d)."""
+        v = abs(lit) - 1
+        # Positive literal: u = 1 - x_v.  Negative: u = x_v.
+        return (v, 1.0, -1.0) if lit > 0 else (v, 0.0, 1.0)
+
+    def to_qubo(self) -> QUBOProblem:
+        """Compile to a :class:`QUBOProblem` minimising unsat weight."""
+        terms: List[Tuple[int, int, float]] = []
+        offset = 0.0
+
+        def add_product(
+            f1: Tuple[int, float, float],
+            f2: Tuple[int, float, float],
+            scale: float,
+        ) -> None:
+            """Accumulate ``scale·(c₁+d₁x₁)(c₂+d₂x₂)`` into the terms."""
+            nonlocal offset
+            v1, c1, d1 = f1
+            v2, c2, d2 = f2
+            offset += scale * c1 * c2
+            if scale * c1 * d2:
+                terms.append((v2, v2, scale * c1 * d2))
+            if scale * c2 * d1:
+                terms.append((v1, v1, scale * c2 * d1))
+            if scale * d1 * d2:
+                terms.append((v1, v2, scale * d1 * d2))
+
+        aux = self.n_vars
+        for lits, w in self.clauses:
+            factors = [self._unsat_factor(lit) for lit in lits]
+            if len(factors) == 1:
+                v, c, d = factors[0]
+                offset += w * c
+                if w * d:
+                    terms.append((v, v, w * d))
+            elif len(factors) == 2:
+                add_product(factors[0], factors[1], w)
+            else:
+                f1, f2, f3 = factors
+                a = (aux, 0.0, 1.0)
+                aux += 1
+                m = 2.0 * w
+                # w·a·u₃ + M·(u₁u₂ − 2u₁a − 2u₂a + 3a)
+                add_product(a, f3, w)
+                add_product(f1, f2, m)
+                add_product(f1, a, -2.0 * m)
+                add_product(f2, a, -2.0 * m)
+                terms.append((aux - 1, aux - 1, 3.0 * m))
+        return QUBOProblem.from_terms(
+            self.n_qubo_vars,
+            terms,
+            offset=offset,
+            name=f"{self.name}/qubo",
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, assignment: np.ndarray) -> np.ndarray:
+        """Check a 0/1 truth assignment over the decision variables."""
+        x = np.asarray(assignment, dtype=np.int64)
+        if x.shape != (self.n_vars,):
+            raise ReproError(
+                f"assignment must have shape ({self.n_vars},), got {x.shape}"
+            )
+        if not set(np.unique(x).tolist()) <= {0, 1}:
+            raise ReproError("assignment values must be 0/1")
+        return x
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Bit vector → truth assignment (auxiliary bits dropped)."""
+        x = np.asarray(bits, dtype=np.float64)
+        if x.shape != (self.n_qubo_vars,):
+            raise ReproError(
+                f"bits must have shape ({self.n_qubo_vars},), got {x.shape}"
+            )
+        return (x[: self.n_vars] > 0.5).astype(np.int64)
+
+    def encode(self, assignment: np.ndarray) -> np.ndarray:
+        """Truth assignment → bit vector with optimal auxiliary bits."""
+        x = self.validate(assignment)
+        bits = np.zeros(self.n_qubo_vars)
+        bits[: self.n_vars] = x
+        aux = self.n_vars
+        for lits, _ in self.clauses:
+            if len(lits) != 3:
+                continue
+            (v1, c1, d1), (v2, c2, d2) = (
+                self._unsat_factor(lits[0]),
+                self._unsat_factor(lits[1]),
+            )
+            u1 = c1 + d1 * float(x[v1])
+            u2 = c2 + d2 * float(x[v2])
+            bits[aux] = u1 * u2
+            aux += 1
+        return bits
+
+    def _literal_true(self, assignment: np.ndarray, lit: int) -> bool:
+        value = int(assignment[abs(lit) - 1])
+        return value == 1 if lit > 0 else value == 0
+
+    def satisfied_weight(self, assignment: np.ndarray) -> float:
+        """Total weight of satisfied clauses."""
+        x = self.validate(assignment)
+        return float(
+            sum(
+                w
+                for lits, w in self.clauses
+                if any(self._literal_true(x, lit) for lit in lits)
+            )
+        )
+
+    def unsat_weight(self, assignment: np.ndarray) -> float:
+        """Total weight of unsatisfied clauses (the QUBO objective)."""
+        return self.total_weight - self.satisfied_weight(assignment)
+
+    def is_feasible(self, assignment: np.ndarray) -> bool:
+        """Every 0/1 assignment is a valid Max-SAT solution."""
+        self.validate(assignment)
+        return True
+
+    def objective(self, assignment: np.ndarray) -> float:
+        """Maximised objective: satisfied clause weight."""
+        return self.satisfied_weight(assignment)
+
+    def reference(self) -> np.ndarray:
+        """Deterministic greedy: majority literal polarity by weight.
+
+        Each variable takes the polarity carrying more clause weight
+        across its occurrences (ties → true) — the classic
+        unit-propagation-free greedy baseline.
+        """
+        pos = np.zeros(self.n_vars)
+        neg = np.zeros(self.n_vars)
+        for lits, w in self.clauses:
+            for lit in lits:
+                if lit > 0:
+                    pos[lit - 1] += w
+                else:
+                    neg[-lit - 1] += w
+        return (pos >= neg).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxSATProblem(name={self.name!r}, n_vars={self.n_vars}, "
+            f"n_clauses={self.n_clauses})"
+        )
+
+
+def random_maxsat_problem(
+    n_vars: int,
+    n_clauses: int,
+    seed: SeedLike = None,
+    name: str = "random-maxsat",
+) -> MaxSATProblem:
+    """A planted-satisfiable weighted instance (mixed clause lengths).
+
+    A secret assignment is drawn first and one literal of every clause
+    is forced to agree with it, so the optimum satisfies everything and
+    the QUBO minimum is exactly 0.  Clause lengths mix 1/2/3 (mostly
+    3), weights are integers in ``[1, 5]``.  Deterministic for a given
+    seed.
+    """
+    if n_vars < 3:
+        raise ReproError(f"n_vars must be >= 3, got {n_vars}")
+    if n_clauses < 1:
+        raise ReproError(f"n_clauses must be >= 1, got {n_clauses}")
+    rng = spawn_rng(seed)
+    planted = rng.integers(0, 2, size=n_vars)
+    clauses: List[Clause] = []
+    lengths = rng.choice([1, 2, 3], size=n_clauses, p=[0.15, 0.25, 0.6])
+    for k in range(n_clauses):
+        length = int(lengths[k])
+        variables = rng.choice(n_vars, size=length, replace=False)
+        lits = []
+        for v in variables:
+            positive = bool(rng.integers(0, 2))
+            lits.append(int(v) + 1 if positive else -(int(v) + 1))
+        # Plant satisfiability: force one literal to agree.
+        pin = int(rng.integers(0, length))
+        v = abs(lits[pin]) - 1
+        lits[pin] = (v + 1) if planted[v] == 1 else -(v + 1)
+        clauses.append((tuple(lits), float(rng.integers(1, 6))))
+    return MaxSATProblem(n_vars, clauses, name=name)

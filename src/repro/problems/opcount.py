@@ -1,0 +1,120 @@
+"""Operation-count instrumentation for algorithmic-cost comparisons.
+
+The paper's Table I compares solvers by *operation counts* — MACs,
+spin updates, random draws — not wall-clock, because wall-clock mixes
+the algorithm with the host.  This module supplies the recording
+half of that methodology (the ``IAlgorithm``/history pattern of the
+QUBO-benchmark line of work): solver kernels call the named counting
+methods of an :class:`OpCounter` as they execute, and snapshot the
+cumulative counts into a :class:`History` every ``record_every``
+steps together with the current energy, so convergence can be plotted
+against *algorithmic* cost for every backend and problem family
+(``benchmarks/test_ext_workloads.py`` writes exactly that into
+``BENCH_workloads.json``).
+
+Both types are plain JSON-native data (picklable, RL003-safe), so a
+:class:`~repro.backends.base.BackendRunResult` can carry its history
+across the worker-pool boundary and the ensemble telemetry can embed
+the totals in every ``repro.run_telemetry/v1`` frame.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+HISTORY_SCHEMA = "repro.op_history/v1"
+
+
+class OpCounter:
+    """Named cumulative counters for one solver run.
+
+    * ``spin_flips`` — state bits/spins that actually changed value;
+    * ``macs`` — multiply-accumulate operations (local-field and
+      energy-difference evaluations; the CIM array's unit of work);
+    * ``rng_draws`` — random numbers consumed (the annealing noise
+      budget; the paper generates these from SRAM process variation).
+
+    Instrumentation-side energy evaluations (the snapshot taken when a
+    history record is written) are *not* counted — they are part of the
+    measurement, not the algorithm.
+    """
+
+    __slots__ = ("spin_flips", "macs", "rng_draws")
+
+    def __init__(self) -> None:
+        self.spin_flips = 0
+        self.macs = 0
+        self.rng_draws = 0
+
+    def spin_flip(self, count: int = 1) -> None:
+        """Record ``count`` state bits changing value."""
+        self.spin_flips += int(count)
+
+    def mac(self, count: int = 1) -> None:
+        """Record ``count`` multiply-accumulate operations."""
+        self.macs += int(count)
+
+    def rng_draw(self, count: int = 1) -> None:
+        """Record ``count`` random numbers consumed."""
+        self.rng_draws += int(count)
+
+    def totals(self) -> Dict[str, int]:
+        """JSON-native snapshot of the cumulative counts."""
+        return {
+            "spin_flips": int(self.spin_flips),
+            "macs": int(self.macs),
+            "rng_draws": int(self.rng_draws),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OpCounter(spin_flips={self.spin_flips}, macs={self.macs}, "
+            f"rng_draws={self.rng_draws})"
+        )
+
+
+class History:
+    """Per-step convergence records of one op-counted solve.
+
+    Each record is ``{"step", "energy", "spin_flips", "macs",
+    "rng_draws"}`` — the energy at that step next to the cumulative
+    operation counts spent to reach it.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def record(self, step: int, energy: float, ops: OpCounter) -> None:
+        """Snapshot the cumulative counts at ``step``."""
+        self.records.append(
+            {"step": int(step), "energy": float(energy), **ops.totals()}
+        )
+
+    @property
+    def n_records(self) -> int:
+        """Number of snapshots taken."""
+        return len(self.records)
+
+    def final_totals(self) -> Dict[str, int]:
+        """Cumulative op counts of the last snapshot (zeros when empty)."""
+        if not self.records:
+            return {"spin_flips": 0, "macs": 0, "rng_draws": 0}
+        last = self.records[-1]
+        return {
+            "spin_flips": int(last["spin_flips"]),
+            "macs": int(last["macs"]),
+            "rng_draws": int(last["rng_draws"]),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native view (schema-tagged, for bench artifacts)."""
+        return {
+            "schema": HISTORY_SCHEMA,
+            "totals": self.final_totals(),
+            "records": [dict(r) for r in self.records],
+        }
+
+    def __repr__(self) -> str:
+        return f"History(n_records={self.n_records})"

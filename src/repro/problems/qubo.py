@@ -1,0 +1,214 @@
+"""The QUBO problem container and the QUBO ↔ Ising bridge.
+
+QUBO (quadratic unconstrained binary optimization) is the lingua
+franca of annealer workloads: every problem family in this subsystem
+(graph coloring, 0/1 knapsack, Max-SAT — see ``docs/problems.md``)
+reduces to one, and every registered solver backend accepts the
+compiled form.  The container stores the *upper-triangular* coefficient
+matrix ``q`` with the linear terms on the diagonal, so the energy of a
+bit vector ``x ∈ {0,1}ⁿ`` is
+
+    E(x) = Σᵢ qᵢᵢ xᵢ + Σ_{i<j} qᵢⱼ xᵢ xⱼ + offset
+         = xᵀ q x + offset            (xᵢ² = xᵢ for binary x)
+
+:meth:`QUBOProblem.to_ising` maps onto the repo's
+:class:`~repro.ising.model.IsingModel` with its *double-counted* pm1
+convention (``H = -Σ_{i,j} Jᵢⱼ sᵢ sⱼ - Σᵢ hᵢ sᵢ``, every pair counted
+twice) via ``x = (1 + s) / 2``, returning the constant shift so that
+``E(x) = H(s) + ising_offset`` holds exactly — brute-forced in
+``tests/problems/test_qubo.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ising.model import IsingModel
+
+#: Dense ``q`` refusal threshold, mirroring MaxCutProblem.adjacency().
+MAX_DENSE_VARS = 4096
+
+
+class QUBOProblem:
+    """A QUBO instance over ``n_vars`` binary variables.
+
+    Parameters
+    ----------
+    q:
+        ``(n, n)`` coefficient matrix.  Any lower-triangle mass is
+        folded onto the upper triangle (``q[i, j] + q[j, i]`` for
+        ``i < j``); the diagonal holds the linear terms.
+    offset:
+        Constant added to every energy (reductions use it to carry the
+        constant part of their penalty expansion).
+    name:
+        Display name.
+    """
+
+    def __init__(
+        self,
+        q: np.ndarray,
+        offset: float = 0.0,
+        name: str = "qubo",
+    ) -> None:
+        mat = np.asarray(q, dtype=np.float64)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise ReproError(f"q must be square, got shape {mat.shape}")
+        n = mat.shape[0]
+        if n < 1:
+            raise ReproError("QUBO needs at least one variable")
+        if n > MAX_DENSE_VARS:
+            raise ReproError(
+                f"refusing dense QUBO for n={n} > {MAX_DENSE_VARS}"
+            )
+        if not np.all(np.isfinite(mat)):
+            raise ReproError("q must be finite")
+        # Canonical upper-triangular storage: fold the lower triangle up.
+        upper = np.triu(mat) + np.tril(mat, k=-1).T
+        self.n_vars = int(n)
+        self.q = upper
+        self.offset = float(offset)
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_terms(
+        cls,
+        n_vars: int,
+        terms: Sequence[Tuple[int, int, float]],
+        offset: float = 0.0,
+        name: str = "qubo",
+    ) -> "QUBOProblem":
+        """Build from COO-sparse ``(i, j, value)`` terms.
+
+        ``i == j`` terms are linear coefficients; duplicate and
+        transposed pairs are merged by summation, so reductions can
+        emit terms in whatever order their expansion produces them.
+        """
+        if n_vars < 1:
+            raise ReproError(f"n_vars must be >= 1, got {n_vars}")
+        if n_vars > MAX_DENSE_VARS:
+            raise ReproError(
+                f"refusing dense QUBO for n={n_vars} > {MAX_DENSE_VARS}"
+            )
+        mat = np.zeros((n_vars, n_vars))
+        for i, j, value in terms:
+            i, j = int(i), int(j)
+            if not (0 <= i < n_vars and 0 <= j < n_vars):
+                raise ReproError(
+                    f"term ({i}, {j}) out of range for n_vars={n_vars}"
+                )
+            lo, hi = (i, j) if i <= j else (j, i)
+            mat[lo, hi] += float(value)
+        return cls(mat, offset=offset, name=name)
+
+    @classmethod
+    def from_dense(
+        cls, q: np.ndarray, offset: float = 0.0, name: str = "qubo"
+    ) -> "QUBOProblem":
+        """Build from any dense square matrix (lower triangle folded up)."""
+        return cls(q, offset=offset, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_terms(self) -> int:
+        """Nonzero coefficients (linear + quadratic)."""
+        return int(np.count_nonzero(self.q))
+
+    def validate_state(self, bits: np.ndarray) -> np.ndarray:
+        """Check a 0/1 bit vector against the problem size."""
+        x = np.asarray(bits, dtype=np.float64)
+        if x.shape != (self.n_vars,):
+            raise ReproError(
+                f"state must have shape ({self.n_vars},), got {x.shape}"
+            )
+        if not set(np.unique(x).tolist()) <= {0.0, 1.0}:
+            raise ReproError("state values must be 0/1")
+        return x
+
+    def energy(self, bits: np.ndarray) -> float:
+        """``xᵀ q x + offset`` (the minimised objective)."""
+        x = self.validate_state(bits)
+        return float(x @ self.q @ x) + self.offset
+
+    def flip_delta(self, bits: np.ndarray, i: int) -> float:
+        """Energy change of toggling bit ``i`` (O(n))."""
+        x = self.validate_state(bits)
+        if not 0 <= i < self.n_vars:
+            raise ReproError(f"variable index {i} out of range")
+        # Coefficient of x_i given the others: q_ii + Σ_{j≠i} q_(ij) x_j.
+        coupled = float(self.q[i] @ x) + float(self.q[:, i] @ x)
+        local = coupled - 2.0 * float(self.q[i, i]) * float(x[i])
+        field = float(self.q[i, i]) + local
+        return (1.0 - 2.0 * float(x[i])) * field
+
+    # ------------------------------------------------------------------
+    def to_ising(self) -> Tuple[IsingModel, float]:
+        """Map onto a pm1 :class:`IsingModel` plus a constant shift.
+
+        With ``x = (1 + s) / 2`` and the repo's double-counted energy
+        ``H = -2 Σ_{i<j} Jᵢⱼ sᵢ sⱼ - Σᵢ hᵢ sᵢ``:
+
+        * ``Jᵢⱼ = -qᵢⱼ / 8`` for ``i < j`` (stored symmetric),
+        * ``hᵢ  = -(qᵢᵢ / 2 + Σ_{j≠i} q₍ᵢⱼ₎ / 4)``,
+        * ``ising_offset = offset + Σᵢ qᵢᵢ / 2 + Σ_{i<j} qᵢⱼ / 4``,
+
+        so ``energy(x) == model.energy(s) + ising_offset`` exactly.
+        """
+        upper = np.triu(self.q, k=1)
+        diag = np.diag(self.q)
+        coupling = -(upper + upper.T) / 8.0
+        row_sums = (upper + upper.T).sum(axis=1)
+        field = -(diag / 2.0 + row_sums / 4.0)
+        ising_offset = (
+            self.offset + float(diag.sum()) / 2.0 + float(upper.sum()) / 4.0
+        )
+        return IsingModel(coupling, field=field, convention="pm1"), ising_offset
+
+    @classmethod
+    def from_ising(
+        cls,
+        model: IsingModel,
+        ising_offset: float = 0.0,
+        name: str = "qubo",
+    ) -> "QUBOProblem":
+        """Inverse of :meth:`to_ising` (pm1 models only)."""
+        if model.convention != "pm1":
+            raise ReproError(
+                "from_ising needs the pm1 convention, got "
+                f"{model.convention!r}"
+            )
+        coupling = np.asarray(model.couplings)
+        upper = np.triu(-8.0 * coupling, k=1)
+        pair = upper + upper.T
+        diag = -2.0 * np.asarray(model.field) - pair.sum(axis=1) / 2.0
+        mat = upper + np.diag(diag)
+        offset = (
+            ising_offset - float(diag.sum()) / 2.0 - float(upper.sum()) / 4.0
+        )
+        return cls(mat, offset=offset, name=name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bits_to_spins(bits: np.ndarray) -> np.ndarray:
+        """``{0,1} → {-1,+1}`` (``s = 2x - 1``)."""
+        return 2.0 * np.asarray(bits, dtype=np.float64) - 1.0
+
+    @staticmethod
+    def spins_to_bits(spins: np.ndarray) -> np.ndarray:
+        """``{-1,+1} → {0,1}`` (``x = (s + 1) / 2``)."""
+        return (np.asarray(spins, dtype=np.float64) + 1.0) / 2.0
+
+    def interaction_edges(self) -> List[Tuple[int, int]]:
+        """``(i, j)`` pairs with a nonzero quadratic coefficient."""
+        rows, cols = np.nonzero(np.triu(self.q, k=1))
+        return [(int(i), int(j)) for i, j in zip(rows, cols)]
+
+    def __repr__(self) -> str:
+        return (
+            f"QUBOProblem(name={self.name!r}, n_vars={self.n_vars}, "
+            f"n_terms={self.n_terms})"
+        )

@@ -114,6 +114,21 @@ if TYPE_CHECKING:  # import cycle: repro.annealer.batch uses this module
 #: (the registrant modules sit above the runtime layer).
 _DEFAULT_BACKEND = "cluster-cim"
 
+def _default_path(instance: object, backend: str) -> bool:
+    """Does the pre-registry clustered-TSP dispatch path apply?
+
+    The default backend's original ``_solve_one`` worker path (and the
+    batched replica engine) only speaks TSP; a ``cluster-cim`` request
+    carrying any other payload kind (e.g. a compiled QUBO plan) routes
+    through the registry like a named backend would.
+    """
+    if backend != _DEFAULT_BACKEND:
+        return False
+    from repro.tsp.instance import TSPInstance
+
+    return isinstance(instance, TSPInstance)
+
+
 #: Fires with each run's telemetry record the moment it is final.
 RunCallback = Callable[[RunTelemetry], None]
 
@@ -436,7 +451,7 @@ class EnsembleExecutor:
             backend=backend,
         )
         ordered = list(request.seeds)
-        if config is None and backend == _DEFAULT_BACKEND:
+        if config is None and _default_path(instance, backend):
             from repro.annealer.config import AnnealerConfig
 
             config = AnnealerConfig()
@@ -461,7 +476,7 @@ class EnsembleExecutor:
         batching = (
             self.options.batch_size > 1
             and self._plan is None
-            and backend == _DEFAULT_BACKEND
+            and _default_path(instance, backend)
         )
         if batching:
             from repro.tsp.instance import TSPInstance
@@ -569,7 +584,7 @@ class EnsembleExecutor:
     ) -> RunResultLike:
         """One in-process solve attempt (chaos-wrapped when planned)."""
         plan = self._plan
-        if backend != _DEFAULT_BACKEND:
+        if not _default_path(instance, backend):
             if plan is not None:
                 return _solve_backend_injected(
                     backend, instance, config, seed, plan, attempt, False
@@ -596,7 +611,7 @@ class EnsembleExecutor:
         supply their own recomputation via
         :meth:`~repro.backends.base.SolverBackend.validate_result`.
         """
-        if backend == _DEFAULT_BACKEND:
+        if _default_path(instance, backend):
             from repro.tsp.instance import TSPInstance
 
             assert isinstance(instance, TSPInstance)
@@ -1026,7 +1041,7 @@ class EnsembleExecutor:
         assert pool is not None
         plan = self._plan
         try:
-            if backend != _DEFAULT_BACKEND:
+            if not _default_path(instance, backend):
                 if plan is not None:
                     return {
                         seed: pool.submit(

@@ -263,6 +263,13 @@ class SolveRequest:
             raise AnnealerError(
                 f"backend {self.backend!r} does not take an AnnealerConfig"
             )
+        # The AnnealerConfig describes the clustered TSP pipeline; QUBO
+        # plans anneal with their own kernels, so reject early rather
+        # than silently ignoring the config worker-side.
+        if self.config is not None and kind == "qubo":
+            raise AnnealerError(
+                "qubo problems do not take an AnnealerConfig"
+            )
 
     @classmethod
     def build(

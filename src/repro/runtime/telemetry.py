@@ -159,6 +159,12 @@ class RunTelemetry:
         dataclass field (not parsed out of ``worker``) so framed and
         unframed records round-trip identically through
         :meth:`to_json_line`.
+    ops:
+        Algorithmic operation counts of the solve (``spin_flips``,
+        ``macs``, ``rng_draws``) when the backend ran an op-counted
+        kernel (:mod:`repro.problems.opcount`); empty otherwise.
+        Complements the hardware-event counters above: those count
+        simulated chip cycles, these count solver operations.
     """
 
     seed: int
@@ -180,6 +186,7 @@ class RunTelemetry:
     backoff_s: float = 0.0
     first_error: str = ""
     backend: str = ""
+    ops: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_result(
@@ -215,6 +222,10 @@ class RunTelemetry:
             faults_injected=list(faults_injected or []),
             backoff_s=float(backoff_s),
             first_error=first_error,
+            ops={
+                str(k): int(v)
+                for k, v in (getattr(result, "ops", None) or {}).items()
+            },
         )
 
     @classmethod

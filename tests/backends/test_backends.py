@@ -40,9 +40,13 @@ def fast_config():
 
 class TestProblemKind:
     def test_kinds(self, tsp16):
+        from repro.problems import make_problem
+
         assert problem_kind(tsp16) == "tsp"
         assert problem_kind(random_ising_model(4, seed=0)) == "ising"
         assert problem_kind(gset_style(8, seed=0)) == "maxcut"
+        qubo = make_problem("coloring", 4, seed=0).to_qubo()
+        assert problem_kind(qubo) == "qubo"
 
     def test_foreign_payload_rejected(self):
         with pytest.raises(AnnealerError, match="unsupported problem"):
@@ -206,10 +210,104 @@ class TestSimCIM:
             impl.validate_result(model, result)
 
 
+class TestQUBOBackends:
+    """The shared QUBO path behind all three annealing backends."""
+
+    QUBO_BACKENDS = ("cluster-cim", "dense-ising", "simcim")
+
+    @pytest.fixture
+    def qubo(self):
+        from repro.problems import make_problem
+
+        return make_problem("coloring", 6, seed=2).to_qubo()
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_capability_advertises_qubo(self, name):
+        caps = resolve_backend(name).capabilities()
+        assert "qubo" in caps.problem_kinds
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_solve_validate_and_ops(self, qubo, name):
+        impl = resolve_backend(name)
+        result = impl.solve(impl.compile(qubo, None), 4)
+        impl.validate_result(qubo, result)
+        bits = np.asarray(result.tour, dtype=np.float64)
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+        assert result.length == pytest.approx(qubo.energy(bits))
+        assert result.ops["macs"] > 0
+        assert result.ops["rng_draws"] > 0
+        assert result.history is not None
+        assert result.history.final_totals() == result.ops
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_deterministic_per_seed(self, qubo, name):
+        impl = resolve_backend(name)
+        plan = impl.compile(qubo, None)
+        first = impl.solve(plan, 4)
+        again = impl.solve(plan, 4)
+        assert np.array_equal(first.tour, again.tour)
+        assert first.length == again.length
+        assert first.ops == again.ops
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_reference_is_greedy_descent(self, qubo, name):
+        from repro.problems import greedy_qubo_descent
+
+        impl = resolve_backend(name)
+        _, greedy_energy = greedy_qubo_descent(qubo, seed=4)
+        assert impl.reference(qubo, 4) == pytest.approx(greedy_energy)
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_validate_rejects_tampered_energy(self, qubo, name):
+        impl = resolve_backend(name)
+        result = impl.solve(impl.compile(qubo, None), 4)
+        result.length -= 5.0
+        with pytest.raises(ResultIntegrityError, match="reported energy"):
+            impl.validate_result(qubo, result)
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_validate_rejects_corrupted_bits(self, qubo, name):
+        impl = resolve_backend(name)
+        result = impl.solve(impl.compile(qubo, None), 4)
+        result.tour = np.full(qubo.n_vars, 2.0)
+        with pytest.raises(ResultIntegrityError, match="corrupted bits"):
+            impl.validate_result(qubo, result)
+
+    @pytest.mark.parametrize("name", QUBO_BACKENDS)
+    def test_decode_view(self, qubo, name):
+        impl = resolve_backend(name)
+        result = impl.solve(impl.compile(qubo, None), 4)
+        view = impl.decode(result)
+        assert view["backend"] == name
+        assert view["energy"] == pytest.approx(result.length)
+        assert set(view["bits"]) <= {0, 1}
+        assert view["ops"] == result.ops
+
+    def test_cluster_cim_rejects_config_for_qubo(self, qubo, fast_config):
+        with pytest.raises(AnnealerError, match="AnnealerConfig"):
+            resolve_backend("cluster-cim").compile(qubo, fast_config)
+
+
 class TestBackendRunResult:
+    """Sign conventions of optimal_ratio, pinned.
+
+    ``length`` is always the minimised objective.  Same-sign ratios are
+    positive quality numbers; a mixed-sign pair is reported as the raw
+    negative quotient (not clamped) so callers can see the anomaly; a
+    zero, NaN, or infinite reference yields 0.0 ("no baseline").
+    """
+
     def test_zero_reference_means_no_ratio(self):
         result = BackendRunResult(tour=np.array([1, -1]), length=-3.0)
         assert result.optimal_ratio(0.0) == 0.0
+
+    def test_nan_reference_means_no_ratio(self):
+        result = BackendRunResult(tour=np.array([1, -1]), length=-3.0)
+        assert result.optimal_ratio(float("nan")) == 0.0
+
+    def test_infinite_reference_means_no_ratio(self):
+        result = BackendRunResult(tour=np.array([1, -1]), length=-3.0)
+        assert result.optimal_ratio(float("inf")) == 0.0
 
     def test_negative_reference_gives_positive_quality(self):
         result = BackendRunResult(tour=np.array([1, -1]), length=-30.0)
@@ -218,3 +316,17 @@ class TestBackendRunResult:
     def test_positive_reference_matches_tsp_semantics(self):
         result = BackendRunResult(tour=np.arange(4), length=12.0)
         assert result.optimal_ratio(10.0) == pytest.approx(1.2)
+
+    def test_mixed_signs_stay_negative_not_clamped(self):
+        # A solver that crossed zero while its baseline did not: the
+        # ratio goes negative instead of masquerading as quality.
+        result = BackendRunResult(tour=np.array([1, -1]), length=-3.0)
+        assert result.optimal_ratio(6.0) == pytest.approx(-0.5)
+        flipped = BackendRunResult(tour=np.array([1, -1]), length=3.0)
+        assert flipped.optimal_ratio(-6.0) == pytest.approx(-0.5)
+
+    def test_zero_length_with_real_reference_is_exact_zero(self):
+        # e.g. a planted coloring solved to optimality: 0 conflicts
+        # over a positive greedy baseline reads as ratio 0.0.
+        result = BackendRunResult(tour=np.array([1, -1]), length=0.0)
+        assert result.optimal_ratio(4.0) == 0.0

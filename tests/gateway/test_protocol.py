@@ -185,6 +185,62 @@ class TestProblemUnionWire:
             np.asarray(back.instance.weights), np.asarray(problem.weights)
         )
 
+    def test_qubo_problem_lossless(self):
+        from repro.problems import make_problem
+
+        qubo = make_problem("coloring", 6, seed=4).to_qubo()
+        request = SolveRequest.build(qubo, [7, 8], backend="cluster-cim")
+        back = wire_round_trip(request)
+        assert back.backend == "cluster-cim"
+        assert back.instance.name == qubo.name
+        assert back.instance.offset == qubo.offset
+        np.testing.assert_array_equal(back.instance.q, qubo.q)
+        # Re-encoding the decoded request is byte-identical.
+        assert json.dumps(encode_solve_request(back), sort_keys=True) == (
+            json.dumps(encode_solve_request(request), sort_keys=True)
+        )
+
+    def test_qubo_with_config_rejected_on_wire(self, make_request):
+        from repro.gateway.protocol import encode_qubo_problem
+        from repro.problems import make_problem
+
+        qubo = make_problem("knapsack", 5, seed=0).to_qubo()
+        wire = encode_solve_request(make_request((1,)))
+        wire["instance"] = encode_qubo_problem(qubo)
+        assert wire["config"] is not None
+        with pytest.raises(ProtocolError, match="invalid solve request"):
+            decode_solve_request(wire)
+
+    def test_qubo_unknown_field_rejected(self):
+        from repro.problems import make_problem
+
+        qubo = make_problem("maxsat", 4, seed=0).to_qubo()
+        request = SolveRequest.build(qubo, [1], backend="simcim")
+        wire = encode_solve_request(request)
+        wire["instance"]["penalty"] = 2.0
+        with pytest.raises(
+            ProtocolError, match="unknown fields.*penalty"
+        ):
+            decode_solve_request(wire)
+
+    def test_pre_qubo_docs_unchanged_on_wire(self, make_request):
+        # Wire-drift guard: adding the qubo union member must not
+        # change the shape of the existing kinds' documents.
+        wire = encode_solve_request(make_request((1, 2)))
+        assert set(wire) == {
+            "schema",
+            "instance",
+            "seeds",
+            "config",
+            "reference",
+            "options",
+            "tag",
+            "backend",
+            "deadline_s",
+        }
+        assert wire["instance"]["kind"] == "tsp"
+        assert "qubo" not in json.dumps(wire)
+
     def test_unknown_backend_rejected(self, make_request):
         wire = encode_solve_request(make_request())
         wire["backend"] = "quantum-tunneler"

@@ -251,6 +251,31 @@ class TestMetrics:
     async def test_backend_counter_absent_until_first_submit(self):
         async with ShardRouter(shards=1) as router:
             assert router.metrics()["jobs_by_backend"] == {}
+            assert router.metrics()["jobs_by_problem_kind"] == {}
+
+    async def test_metrics_count_jobs_by_problem_kind(self, make_request):
+        from repro.problems import make_problem
+        from repro.runtime.options import SolveRequest
+
+        async with ShardRouter(shards=2) as router:
+            jobs = [await router.submit(make_request((i,))) for i in range(2)]
+            for family, backend in (
+                ("coloring", "cluster-cim"),
+                ("maxsat", "simcim"),
+            ):
+                qubo = make_problem(family, 6, seed=0).to_qubo()
+                jobs.append(
+                    await router.submit(
+                        SolveRequest.build(qubo, (3,), backend=backend)
+                    )
+                )
+            for job in jobs:
+                await job.result()
+            metrics = router.metrics()
+            assert metrics["jobs_by_problem_kind"] == {
+                "qubo": 2,
+                "tsp": 2,
+            }
 
     async def test_metrics_aggregate_injected_faults(self, make_request):
         from repro.runtime.faults import FaultPlan

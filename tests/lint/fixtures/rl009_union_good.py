@@ -27,6 +27,17 @@ class IsingPayload:
     convention: str = "pm1"
 
 
+class QUBOPayload:
+    """Plain-class union member (mirrors QUBOProblem): RL009 checks
+    wire codecs against *dataclasses*, so a plain payload class rides
+    outside the rule's scope while still using the same ``_FIELDS``
+    guard + encoder/decoder-branch discipline."""
+
+    def __init__(self, terms: Tuple[Tuple[int, int, float], ...]) -> None:
+        self.kind = "qubo"
+        self.terms = terms
+
+
 @dataclass(frozen=True)
 class WireRequest:
     problem: Any
@@ -37,6 +48,7 @@ class WireRequest:
 
 _TSP_FIELDS = frozenset({"kind", "coords"})
 _ISING_FIELDS = frozenset({"kind", "couplings", "convention"})
+_QUBO_FIELDS = frozenset({"kind", "terms"})
 _REQUEST_FIELDS = frozenset(
     {"schema", "problem", "seeds", "backend", "tag"}
 )
@@ -63,9 +75,18 @@ def encode_ising(problem: IsingPayload) -> Dict[str, Any]:
     }
 
 
+def encode_qubo(problem: QUBOPayload) -> Dict[str, Any]:
+    return {
+        "kind": problem.kind,
+        "terms": [list(term) for term in problem.terms],
+    }
+
+
 def encode_problem(problem: Any) -> Dict[str, Any]:
     if isinstance(problem, TSPPayload):
         return encode_tsp(problem)
+    if isinstance(problem, QUBOPayload):
+        return encode_qubo(problem)
     return encode_ising(problem)
 
 
@@ -96,12 +117,24 @@ def decode_ising(payload: Mapping[str, Any]) -> IsingPayload:
     )
 
 
+def decode_qubo(payload: Mapping[str, Any]) -> QUBOPayload:
+    _reject_unknown(payload, _QUBO_FIELDS, "qubo problem")
+    return QUBOPayload(
+        terms=tuple(
+            (int(i), int(j), float(v))
+            for i, j, v in payload.get("terms", ())
+        ),
+    )
+
+
 def decode_problem(payload: Mapping[str, Any]) -> Any:
     kind = payload.get("kind", "tsp")
     if kind == "tsp":
         return decode_tsp(payload)
     if kind == "ising":
         return decode_ising(payload)
+    if kind == "qubo":
+        return decode_qubo(payload)
     raise ValueError(f"unknown problem kind {kind!r}")
 
 

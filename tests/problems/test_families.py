@@ -1,0 +1,245 @@
+"""Family reductions: penalty math vs brute force, decode/encode, refs."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.problems import (
+    FAMILIES,
+    GraphColoringProblem,
+    KnapsackProblem,
+    MaxSATProblem,
+    list_families,
+    make_problem,
+    random_coloring_problem,
+    random_knapsack_problem,
+    random_maxsat_problem,
+)
+
+
+def brute_force_min(problem):
+    best_bits, best_energy = None, np.inf
+    for bits in itertools.product((0.0, 1.0), repeat=problem.n_vars):
+        x = np.array(bits)
+        e = problem.energy(x)
+        if e < best_energy:
+            best_bits, best_energy = x, e
+    return best_bits, best_energy
+
+
+class TestRegistry:
+    def test_families_listed_sorted(self):
+        assert list_families() == ("coloring", "knapsack", "maxsat")
+        assert set(FAMILIES) == set(list_families())
+
+    def test_make_problem_is_seed_deterministic(self):
+        for family in list_families():
+            a = make_problem(family, 10, 3)
+            b = make_problem(family, 10, 3)
+            np.testing.assert_array_equal(
+                a.to_qubo().q, b.to_qubo().q
+            )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ReproError, match="unknown problem family"):
+            make_problem("sudoku", 8, 0)
+
+
+class TestColoring:
+    @pytest.fixture
+    def triangle_plus_leaf(self):
+        # Triangle 0-1-2 (needs 3 colors) with pendant node 3.
+        return GraphColoringProblem(
+            4, [(0, 1), (1, 2), (0, 2), (2, 3)], n_colors=3
+        )
+
+    def test_qubo_energy_is_penalty_plus_conflicts(self, triangle_plus_leaf):
+        problem = triangle_plus_leaf
+        qubo = problem.to_qubo()
+        # Every valid one-hot assignment: energy == B * conflicts.
+        for colors in itertools.product(range(3), repeat=4):
+            assignment = np.array(colors)
+            energy = qubo.energy(problem.encode(assignment))
+            assert energy == pytest.approx(problem.conflicts(assignment))
+
+    def test_qubo_minimum_is_zero_iff_colorable(self, triangle_plus_leaf):
+        _, energy = brute_force_min(triangle_plus_leaf.to_qubo())
+        assert energy == pytest.approx(0.0)
+
+    def test_broken_onehot_never_beats_recoloring(self, triangle_plus_leaf):
+        # A > B*max_degree: the brute-force optimum is always one-hot.
+        bits, _ = brute_force_min(triangle_plus_leaf.to_qubo())
+        grid = bits.reshape(4, 3)
+        assert np.all(grid.sum(axis=1) == 1.0)
+
+    def test_decode_keeps_clean_onehot(self, triangle_plus_leaf):
+        assignment = np.array([0, 1, 2, 0])
+        decoded = triangle_plus_leaf.decode(
+            triangle_plus_leaf.encode(assignment)
+        )
+        np.testing.assert_array_equal(decoded, assignment)
+
+    def test_decode_repairs_zero_and_multi_hot(self, triangle_plus_leaf):
+        bits = np.zeros(12)
+        bits[0] = 1.0  # node 0 -> color 0
+        bits[3] = 1.0
+        bits[4] = 1.0  # node 1 multi-hot {0, 1}: repaired to 1 (0 taken)
+        # nodes 2, 3 zero-hot: repaired to least-conflicting.
+        decoded = triangle_plus_leaf.decode(bits)
+        assert decoded[0] == 0
+        assert decoded[1] == 1  # conflict-free candidate wins
+        assert triangle_plus_leaf.validate(decoded) is not None
+
+    def test_reference_three_colors_triangle(self, triangle_plus_leaf):
+        ref = triangle_plus_leaf.reference()
+        assert triangle_plus_leaf.is_feasible(ref)
+        assert triangle_plus_leaf.objective(ref) == 0.0
+
+    def test_planted_instance_is_colorable(self):
+        # 30 QUBO bits is too big to brute force; a planted 3-coloring
+        # exists by construction, so some assignment scores exactly 0.
+        problem = random_coloring_problem(10, n_colors=3, seed=5)
+        qubo = problem.to_qubo()
+        best = min(
+            qubo.energy(problem.encode(np.array(colors)))
+            for colors in itertools.product(range(3), repeat=10)
+        )
+        assert best == pytest.approx(0.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ReproError, match="self-loop"):
+            GraphColoringProblem(3, [(1, 1)], n_colors=2)
+
+    def test_duplicate_edges_merged(self):
+        problem = GraphColoringProblem(
+            3, [(0, 1), (1, 0), (0, 1)], n_colors=2
+        )
+        assert problem.edges == [(0, 1)]
+
+
+class TestKnapsack:
+    @pytest.fixture
+    def small(self):
+        return KnapsackProblem(
+            values=[10.0, 7.0, 5.0], weights=[4, 3, 2], capacity=5
+        )
+
+    def test_qubo_minimum_matches_dp_optimum(self, small):
+        # Exact DP says {items 1, 2}: value 12, weight 5 == capacity.
+        ref = small.reference()
+        np.testing.assert_array_equal(ref, [0, 1, 1])
+        qubo = small.to_qubo()
+        _, energy = brute_force_min(qubo)
+        assert energy == pytest.approx(qubo.energy(small.encode(ref)))
+
+    def test_encoded_feasible_selection_has_zero_penalty(self, small):
+        # Energy of an encoded feasible selection is exactly -B*value.
+        qubo = small.to_qubo()
+        for selection in itertools.product((0, 1), repeat=3):
+            sel = np.array(selection)
+            if small.total_weight(sel) > small.capacity:
+                continue
+            assert qubo.energy(small.encode(sel)) == pytest.approx(
+                -small.objective(sel)
+            )
+
+    def test_decode_drops_slack_bits(self, small):
+        bits = small.encode(np.array([1, 0, 0]))
+        decoded = small.decode(bits)
+        np.testing.assert_array_equal(decoded, [1, 0, 0])
+
+    def test_decode_repairs_overweight_by_value_density(self, small):
+        bits = np.zeros(small.n_qubo_vars)
+        bits[:3] = 1.0  # all items: weight 9 > capacity 5
+        decoded = small.decode(bits)
+        assert small.is_feasible(decoded)
+        # Lowest value/weight ratio (item 2, 2.5/unit) is evicted first.
+        np.testing.assert_array_equal(decoded, [1, 0, 0])
+
+    def test_infeasible_encode_rejected(self, small):
+        with pytest.raises(ReproError, match="capacity"):
+            small.encode(np.array([1, 1, 1]))
+
+    def test_dp_reference_beats_greedy_trap(self):
+        # Greedy-by-density picks item 0 (density 3) and stops; DP
+        # finds {1, 2} with value 8.
+        problem = KnapsackProblem(
+            values=[6.0, 4.0, 4.0], weights=[2, 2, 2], capacity=4
+        )
+        ref = problem.reference()
+        assert problem.is_feasible(ref)
+        assert problem.objective(ref) == 10.0
+
+    def test_random_instance_capacity_binds(self):
+        problem = random_knapsack_problem(12, seed=9)
+        assert problem.capacity >= 1
+        assert problem.capacity < int(np.sum(problem.weights))
+
+
+class TestMaxSAT:
+    @pytest.fixture
+    def mixed(self):
+        # Unit, binary, and ternary clauses with mixed polarities.
+        return MaxSATProblem(
+            3,
+            [
+                ((1,), 2.0),
+                ((-1, 2), 1.0),
+                ((1, -2, 3), 3.0),
+                ((-3,), 1.5),
+            ],
+        )
+
+    def test_unsat_weight_matches_qubo_on_every_assignment(self, mixed):
+        # The Rosenberg auxiliaries are exact: minimising over aux bits
+        # recovers the unsat weight for ALL 2^n assignments.
+        qubo = mixed.to_qubo()
+        for assignment in itertools.product((0, 1), repeat=3):
+            a = np.array(assignment)
+            assert qubo.energy(mixed.encode(a)) == pytest.approx(
+                mixed.unsat_weight(a)
+            )
+
+    def test_qubo_minimum_equals_best_assignment(self, mixed):
+        _, energy = brute_force_min(mixed.to_qubo())
+        best_unsat = min(
+            mixed.unsat_weight(np.array(a))
+            for a in itertools.product((0, 1), repeat=3)
+        )
+        assert energy == pytest.approx(best_unsat)
+
+    def test_objective_is_satisfied_weight(self, mixed):
+        a = np.array([1, 0, 0])
+        assert mixed.objective(a) == pytest.approx(
+            mixed.total_weight - mixed.unsat_weight(a)
+        )
+
+    def test_decode_truncates_aux_bits(self, mixed):
+        a = np.array([1, 1, 0])
+        bits = mixed.encode(a)
+        assert bits.shape == (mixed.n_qubo_vars,)
+        assert mixed.n_qubo_vars == 3 + 1  # one aux for the 3-clause
+        np.testing.assert_array_equal(mixed.decode(bits), a)
+
+    def test_planted_instance_is_satisfiable(self):
+        # encode() picks the minimizing aux bits, so scanning the 2^5
+        # primary assignments is enough to certify the QUBO optimum.
+        problem = random_maxsat_problem(5, n_clauses=15, seed=2)
+        qubo = problem.to_qubo()
+        best = min(
+            qubo.energy(problem.encode(np.array(a)))
+            for a in itertools.product((0, 1), repeat=5)
+        )
+        assert best == pytest.approx(0.0)
+
+    def test_rejects_variable_twice_in_clause(self):
+        with pytest.raises(ReproError, match="twice"):
+            MaxSATProblem(2, [((1, -1), 1.0)])
+
+    def test_rejects_oversized_clause(self):
+        with pytest.raises(ReproError):
+            MaxSATProblem(4, [((1, 2, 3, 4), 1.0)])

@@ -1,0 +1,227 @@
+"""Workload I/O: JSON interchange, .qubo/BQP readers, rudy edge lists."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.problems import (
+    QUBO_SCHEMA,
+    QUBOProblem,
+    load_qubo,
+    load_qubo_file,
+    load_rudy,
+    qubo_from_dict,
+    qubo_to_dict,
+    save_qubo,
+)
+
+
+@pytest.fixture
+def problem():
+    return QUBOProblem.from_terms(
+        4,
+        [(0, 0, -1.5), (1, 1, 2.0), (0, 1, 0.5), (2, 3, -3.0)],
+        offset=0.25,
+        name="t4",
+    )
+
+
+class TestJSONInterchange:
+    def test_dict_round_trip_exact(self, problem):
+        back = qubo_from_dict(qubo_to_dict(problem))
+        np.testing.assert_array_equal(back.q, problem.q)
+        assert back.offset == problem.offset
+        assert back.name == problem.name
+
+    def test_encode_is_json_serializable_and_tagged(self, problem):
+        doc = json.loads(json.dumps(qubo_to_dict(problem)))
+        assert doc["schema"] == QUBO_SCHEMA
+        assert doc["n_vars"] == 4
+        assert [0, 1, 0.5] in doc["terms"]
+
+    def test_file_round_trip(self, problem, tmp_path):
+        path = tmp_path / "t4.json"
+        save_qubo(problem, path)
+        back = load_qubo(path)
+        np.testing.assert_array_equal(back.q, problem.q)
+        assert back.offset == problem.offset
+
+    def test_unknown_field_rejected(self, problem):
+        doc = qubo_to_dict(problem)
+        doc["penalty"] = 3
+        with pytest.raises(ReproError, match="unknown fields.*penalty"):
+            qubo_from_dict(doc)
+
+    def test_wrong_schema_rejected(self, problem):
+        doc = qubo_to_dict(problem)
+        doc["schema"] = "repro.qubo/v2"
+        with pytest.raises(ReproError, match="expected schema"):
+            qubo_from_dict(doc)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ReproError, match="must be a mapping"):
+            qubo_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("n_vars", "four", "must be an integer"),
+            ("n_vars", True, "must be an integer"),
+            ("offset", "zero", "must be a number"),
+            ("terms", {"a": 1}, "must be a list"),
+            ("name", 7, "must be a string"),
+        ],
+    )
+    def test_bad_field_types_rejected(self, problem, field, value, match):
+        doc = qubo_to_dict(problem)
+        doc[field] = value
+        with pytest.raises(ReproError, match=match):
+            qubo_from_dict(doc)
+
+    @pytest.mark.parametrize(
+        "term,match",
+        [
+            ([0, 1], "triple"),
+            ([0.5, 1, 2.0], "indices must be integers"),
+            ([0, 1, "x"], "value must be a number"),
+            ([0, 9, 1.0], "out of range"),
+        ],
+    )
+    def test_bad_terms_rejected(self, problem, term, match):
+        doc = qubo_to_dict(problem)
+        doc["terms"] = [term]
+        with pytest.raises(ReproError, match=match):
+            qubo_from_dict(doc)
+
+    def test_invalid_json_file_named_in_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            load_qubo(path)
+
+
+class TestQbsolvReader:
+    def write(self, tmp_path, text):
+        path = tmp_path / "inst.qubo"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_parses_header_diag_and_couplers(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "c a comment\n"
+            "p qubo 0 3 3 2\n"
+            "0 0 -1.0\n1 1 -2.0\n2 2 0.5\n"
+            "0 1 2.0\n1 2 -1.0\n",
+        )
+        problem = load_qubo_file(path)
+        assert problem.n_vars == 3
+        assert problem.q[0, 0] == -1.0
+        assert problem.q[1, 2] == -1.0
+        assert problem.name == "inst"
+
+    def test_load_qubo_sniffs_text_format(self, tmp_path):
+        path = self.write(tmp_path, "p qubo 0 2 2 1\n0 0 1.0\n1 1 1.0\n0 1 -2.0\n")
+        assert load_qubo(path).n_vars == 2
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = self.write(tmp_path, "p qubo 0 2 2 5\n0 0 1.0\n1 1 1.0\n")
+        with pytest.raises(ReproError, match="header promises"):
+            load_qubo_file(path)
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = self.write(tmp_path, "p qubo 0 3\n0 0 1.0\n")
+        with pytest.raises(ReproError, match="malformed qbsolv header"):
+            load_qubo_file(path)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = self.write(tmp_path, "p qubo 0 1 1 0\n0 zero 1.0\n")
+        with pytest.raises(ReproError, match="malformed entry"):
+            load_qubo_file(path)
+
+
+class TestBeasleyReader:
+    def test_parses_one_indexed_triples(self, tmp_path):
+        path = tmp_path / "bqp3"
+        path.write_text("3 3\n1 1 4.0\n2 3 -1.5\n3 3 2.0\n", encoding="utf-8")
+        problem = load_qubo_file(path)
+        assert problem.n_vars == 3
+        assert problem.q[0, 0] == 4.0
+        assert problem.q[1, 2] == -1.5
+
+    def test_zero_index_rejected(self, tmp_path):
+        path = tmp_path / "bqp"
+        path.write_text("2 1\n0 1 1.0\n", encoding="utf-8")
+        with pytest.raises(ReproError, match="1-based"):
+            load_qubo_file(path)
+
+    def test_entry_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bqp"
+        path.write_text("2 3\n1 1 1.0\n", encoding="utf-8")
+        with pytest.raises(ReproError, match="header promises"):
+            load_qubo_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "bqp"
+        path.write_text("c only comments\n", encoding="utf-8")
+        with pytest.raises(ReproError, match="no parseable lines"):
+            load_qubo_file(path)
+
+
+class TestRudyReader:
+    def write(self, tmp_path, text):
+        path = tmp_path / "graph.mc"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_parses_weighted_edges(self, tmp_path):
+        path = self.write(
+            tmp_path, "# G-set style\n3 2\n1 2 1\n2 3 -1\n"
+        )
+        problem = load_rudy(path)
+        assert problem.n_nodes == 3
+        assert problem.n_edges == 2
+        assert problem.name == "graph"
+        assert {
+            tuple(edge) for edge in np.asarray(problem.edges).tolist()
+        } == {(0, 1), (1, 2)}
+
+    def test_weight_defaults_to_one(self, tmp_path):
+        path = self.write(tmp_path, "2 1\n1 2\n")
+        problem = load_rudy(path)
+        assert float(np.asarray(problem.weights)[0]) == 1.0
+
+    def test_loaded_graph_is_solvable(self, tmp_path):
+        from repro.maxcut import greedy_maxcut
+
+        path = self.write(
+            tmp_path, "4 4\n1 2 1\n2 3 1\n3 4 1\n4 1 1\n"
+        )
+        cut = greedy_maxcut(load_rudy(path), seed=0)
+        assert cut.cut_value == 4.0  # bipartite square: all edges cut
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = self.write(tmp_path, "3 5\n1 2 1\n")
+        with pytest.raises(ReproError, match="header promises"):
+            load_rudy(path)
+
+    def test_zero_index_rejected(self, tmp_path):
+        path = self.write(tmp_path, "2 1\n0 1 1\n")
+        with pytest.raises(ReproError, match="1-based"):
+            load_rudy(path)
+
+    def test_malformed_edge_rejected(self, tmp_path):
+        path = self.write(tmp_path, "2 1\n1 two 1\n")
+        with pytest.raises(ReproError, match="malformed edge"):
+            load_rudy(path)
+
+    def test_reexported_from_maxcut_package(self):
+        import repro.maxcut as maxcut
+        from repro.problems.io import load_rudy as canonical
+
+        assert maxcut.load_rudy is canonical
+        assert "load_rudy" in maxcut.__all__

@@ -1,0 +1,173 @@
+"""Op counters, histories, and the instrumented solver kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ising.simcim import SimCIMParams
+from repro.problems import (
+    HISTORY_SCHEMA,
+    History,
+    OpCounter,
+    QUBOProblem,
+    anneal_qubo_chromatic,
+    anneal_qubo_sequential,
+    greedy_qubo_descent,
+    relax_qubo_simcim,
+)
+
+
+@pytest.fixture
+def qubo():
+    rng = np.random.default_rng(21)
+    q = np.triu(rng.normal(size=(12, 12)))
+    # Sparsify so chromatic coloring has real independent sets.
+    q[np.abs(q) < 0.8] = 0.0
+    np.fill_diagonal(q, rng.normal(size=12))
+    return QUBOProblem(q, offset=0.5, name="kernels12")
+
+
+class TestOpCounter:
+    def test_counts_accumulate(self):
+        ops = OpCounter()
+        ops.spin_flip()
+        ops.spin_flip(3)
+        ops.mac(10)
+        ops.rng_draw(2)
+        assert ops.totals() == {
+            "spin_flips": 4,
+            "macs": 10,
+            "rng_draws": 2,
+        }
+
+    def test_fresh_counter_is_zero(self):
+        assert OpCounter().totals() == {
+            "spin_flips": 0,
+            "macs": 0,
+            "rng_draws": 0,
+        }
+
+
+class TestHistory:
+    def test_records_snapshot_cumulative_counts(self):
+        ops = OpCounter()
+        history = History()
+        ops.mac(5)
+        history.record(0, -1.0, ops)
+        ops.mac(5)
+        ops.spin_flip()
+        history.record(10, -2.5, ops)
+        assert history.n_records == 2
+        assert history.records[0]["macs"] == 5
+        assert history.records[1] == {
+            "step": 10,
+            "energy": -2.5,
+            "spin_flips": 1,
+            "macs": 10,
+            "rng_draws": 0,
+        }
+        assert history.final_totals()["macs"] == 10
+
+    def test_final_totals_on_empty_history(self):
+        assert History().final_totals() == {
+            "spin_flips": 0,
+            "macs": 0,
+            "rng_draws": 0,
+        }
+
+    def test_to_dict_is_schema_tagged(self):
+        ops = OpCounter()
+        history = History()
+        ops.rng_draw(4)
+        history.record(0, 1.5, ops)
+        doc = history.to_dict()
+        assert doc["schema"] == HISTORY_SCHEMA
+        assert doc["totals"] == history.final_totals()
+        assert doc["records"][0]["rng_draws"] == 4
+        # to_dict copies records — mutating the view must not alias.
+        doc["records"][0]["rng_draws"] = 99
+        assert history.records[0]["rng_draws"] == 4
+
+
+KERNELS = [
+    ("sequential", lambda p, seed: anneal_qubo_sequential(p, seed=seed)),
+    ("chromatic", lambda p, seed: anneal_qubo_chromatic(p, seed=seed)),
+    (
+        "simcim",
+        lambda p, seed: relax_qubo_simcim(
+            p, params=SimCIMParams(n_steps=120), seed=seed
+        ),
+    ),
+]
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name,kernel", KERNELS, ids=[k[0] for k in KERNELS])
+    def test_seed_determinism(self, qubo, name, kernel):
+        a = kernel(qubo, 5)
+        b = kernel(qubo, 5)
+        np.testing.assert_array_equal(a.bits, b.bits)
+        assert a.energy == b.energy
+        assert a.history.records == b.history.records
+        c = kernel(qubo, 6)
+        assert c.history.final_totals()["rng_draws"] > 0
+
+    @pytest.mark.parametrize("name,kernel", KERNELS, ids=[k[0] for k in KERNELS])
+    def test_reported_energy_matches_recompute(self, qubo, name, kernel):
+        outcome = kernel(qubo, 7)
+        assert outcome.energy == pytest.approx(
+            qubo.energy(outcome.bits), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name,kernel", KERNELS, ids=[k[0] for k in KERNELS])
+    def test_history_is_populated_and_monotone(self, qubo, name, kernel):
+        outcome = kernel(qubo, 8)
+        history = outcome.history
+        assert history.n_records >= 2
+        steps = [r["step"] for r in history.records]
+        assert steps == sorted(steps)
+        totals = history.final_totals()
+        assert totals["macs"] > 0
+        assert totals["rng_draws"] > 0
+        # Counts never decrease between snapshots.
+        for key in ("spin_flips", "macs", "rng_draws"):
+            series = [r[key] for r in history.records]
+            assert series == sorted(series)
+
+    def test_sequential_and_chromatic_charge_sparse_macs(self, qubo):
+        # One sweep charges sum(row_nnz + 1) MACs regardless of order,
+        # so both Gibbs kernels agree on MACs-per-sweep exactly.
+        seq = anneal_qubo_sequential(qubo, n_sweeps=3, seed=0)
+        chrom = anneal_qubo_chromatic(qubo, n_sweeps=3, seed=0)
+        assert (
+            seq.history.final_totals()["macs"]
+            == chrom.history.final_totals()["macs"]
+        )
+
+    def test_schedule_validation(self, qubo):
+        with pytest.raises(ReproError, match="n_sweeps"):
+            anneal_qubo_sequential(qubo, n_sweeps=0)
+        with pytest.raises(ReproError, match="t_start"):
+            anneal_qubo_sequential(qubo, t_start=0.01, t_end=1.0)
+        with pytest.raises(ReproError, match="t_end"):
+            anneal_qubo_chromatic(qubo, t_end=0.0, t_start=1.0)
+        with pytest.raises(ReproError, match="record_every"):
+            relax_qubo_simcim(qubo, record_every=0)
+
+
+class TestGreedyDescent:
+    def test_deterministic_and_locally_optimal(self, qubo):
+        bits_a, energy_a = greedy_qubo_descent(qubo, seed=3)
+        bits_b, energy_b = greedy_qubo_descent(qubo, seed=3)
+        np.testing.assert_array_equal(bits_a, bits_b)
+        assert energy_a == energy_b
+        assert energy_a == pytest.approx(qubo.energy(bits_a))
+        # 1-flip local optimum: no single toggle improves.
+        for i in range(qubo.n_vars):
+            assert qubo.flip_delta(bits_a, i) >= -1e-9
+
+    def test_max_passes_validated(self, qubo):
+        with pytest.raises(ReproError, match="max_passes"):
+            greedy_qubo_descent(qubo, max_passes=0)

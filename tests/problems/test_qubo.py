@@ -1,0 +1,132 @@
+"""The QUBO container: construction, energies, and the Ising bridge."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.problems import QUBOProblem
+
+
+def brute_force_min(problem: QUBOProblem):
+    """Exhaustive minimum over all 2^n assignments (n <= ~14)."""
+    best_bits, best_energy = None, np.inf
+    for bits in itertools.product((0.0, 1.0), repeat=problem.n_vars):
+        x = np.array(bits)
+        e = problem.energy(x)
+        if e < best_energy:
+            best_bits, best_energy = x, e
+    return best_bits, best_energy
+
+
+@pytest.fixture
+def random_qubo():
+    rng = np.random.default_rng(11)
+    q = np.triu(rng.normal(size=(6, 6)))
+    return QUBOProblem(q, offset=0.75, name="t6")
+
+
+class TestConstruction:
+    def test_lower_triangle_folds_up(self):
+        mat = np.array([[1.0, 0.0], [2.0, -1.0]])
+        problem = QUBOProblem(mat)
+        assert problem.q[0, 1] == 2.0
+        assert problem.q[1, 0] == 0.0
+
+    def test_from_terms_merges_duplicates_and_transposes(self):
+        problem = QUBOProblem.from_terms(
+            3, [(0, 1, 1.0), (1, 0, 2.0), (0, 1, 0.5), (2, 2, -1.0)]
+        )
+        assert problem.q[0, 1] == 3.5
+        assert problem.q[2, 2] == -1.0
+        assert problem.n_terms == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ReproError, match="square"):
+            QUBOProblem(np.zeros((2, 3)))
+
+    def test_rejects_non_finite(self):
+        q = np.zeros((2, 2))
+        q[0, 1] = np.nan
+        with pytest.raises(ReproError, match="finite"):
+            QUBOProblem(q)
+
+    def test_rejects_oversized(self):
+        from repro.problems.qubo import MAX_DENSE_VARS
+
+        with pytest.raises(ReproError, match=str(MAX_DENSE_VARS)):
+            QUBOProblem.from_terms(MAX_DENSE_VARS + 1, [])
+
+    def test_validate_state_rejects_non_binary(self, random_qubo):
+        with pytest.raises(ReproError, match="0/1"):
+            random_qubo.energy(np.full(6, 2.0))
+
+    def test_validate_state_rejects_wrong_length(self, random_qubo):
+        with pytest.raises(ReproError, match="shape"):
+            random_qubo.energy(np.zeros(5))
+
+
+class TestEnergy:
+    def test_energy_matches_quadratic_form(self, random_qubo):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = rng.integers(0, 2, 6).astype(np.float64)
+            expected = float(x @ random_qubo.q @ x) + random_qubo.offset
+            assert random_qubo.energy(x) == pytest.approx(expected)
+
+    def test_flip_delta_matches_recompute(self, random_qubo):
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, 6).astype(np.float64)
+        for i in range(6):
+            flipped = x.copy()
+            flipped[i] = 1.0 - flipped[i]
+            assert random_qubo.flip_delta(x, i) == pytest.approx(
+                random_qubo.energy(flipped) - random_qubo.energy(x)
+            )
+
+    def test_interaction_edges_cover_offdiagonal_terms(self, random_qubo):
+        edges = random_qubo.interaction_edges()
+        expected = {
+            (i, j)
+            for i in range(6)
+            for j in range(i + 1, 6)
+            if random_qubo.q[i, j] != 0.0
+        }
+        assert set(edges) == expected
+
+
+class TestIsingBridge:
+    def test_round_trip_identity(self, random_qubo):
+        model, ising_offset = random_qubo.to_ising()
+        back = QUBOProblem.from_ising(model, ising_offset)
+        np.testing.assert_allclose(back.q, random_qubo.q, atol=1e-12)
+        assert back.offset == pytest.approx(random_qubo.offset)
+
+    def test_energies_agree_on_every_assignment(self, random_qubo):
+        model, ising_offset = random_qubo.to_ising()
+        for bits in itertools.product((0.0, 1.0), repeat=6):
+            x = np.array(bits)
+            s = QUBOProblem.bits_to_spins(x)
+            assert random_qubo.energy(x) == pytest.approx(
+                model.energy(s) + ising_offset
+            )
+
+    def test_bits_spins_inverse_maps(self):
+        bits = np.array([0.0, 1.0, 1.0, 0.0])
+        spins = QUBOProblem.bits_to_spins(bits)
+        np.testing.assert_array_equal(spins, [-1.0, 1.0, 1.0, -1.0])
+        np.testing.assert_array_equal(
+            QUBOProblem.spins_to_bits(spins), bits
+        )
+
+    def test_ground_state_preserved(self, random_qubo):
+        _, qubo_min = brute_force_min(random_qubo)
+        model, ising_offset = random_qubo.to_ising()
+        spin_energies = [
+            model.energy(np.array(s)) + ising_offset
+            for s in itertools.product((-1.0, 1.0), repeat=6)
+        ]
+        assert min(spin_energies) == pytest.approx(qubo_min)

@@ -47,6 +47,149 @@ class TestMaxcut:
         out = capsys.readouterr().out
         assert "annealed" in out and "cut =" in out
 
+    def test_rudy_file(self, tmp_path, capsys):
+        path = tmp_path / "square.mc"
+        path.write_text("4 4\n1 2 1\n2 3 1\n3 4 1\n4 1 1\n", encoding="utf-8")
+        assert main(["maxcut", "--file", str(path), "--sweeps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "square" in out and "cut =" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["maxcut", "--file", str(tmp_path / "nope.mc")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestProblemsCLI:
+    def test_choices_literal_pin_registry(self):
+        # cli.py duplicates the family/backends as literals so --help
+        # stays import-light; these pins keep the copies in sync.
+        from repro.backends import list_backends, resolve_backend
+        from repro.cli import (
+            _FAMILY_BLURBS,
+            _FAMILY_CHOICES,
+            _QUBO_BACKEND_CHOICES,
+        )
+        from repro.problems import list_families
+
+        assert _FAMILY_CHOICES == list_families()
+        assert tuple(sorted(_FAMILY_BLURBS)) == list_families()
+        assert _QUBO_BACKEND_CHOICES == tuple(
+            name
+            for name in list_backends()
+            if "qubo" in resolve_backend(name).capabilities().problem_kinds
+        )
+
+    def test_list_renders_families(self, capsys):
+        assert main(["problems", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("coloring", "knapsack", "maxsat"):
+            assert family in out
+        assert "docs/problems.md" in out
+
+    def test_solve_family_end_to_end(self, capsys):
+        assert main(
+            ["problems", "solve", "--family", "knapsack", "--size", "6",
+             "--backend", "cluster-cim", "--reference"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "qubo     :" in out
+        assert "ops      :" in out and "macs=" in out
+        assert "decoded  : items=" in out
+        assert "feasible=" in out
+        assert "baseline : knapsack reference objective" in out
+        assert "optimal ratio" in out
+
+    def test_solve_every_family_parses_and_decodes(self, capsys):
+        for family, marker in (
+            ("coloring", "colors="),
+            ("knapsack", "items="),
+            ("maxsat", "assignment="),
+        ):
+            assert main(
+                ["problems", "solve", "--family", family, "--size", "5",
+                 "--backend", "dense-ising"]
+            ) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_solve_qubo_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.qubo"
+        path.write_text(
+            "p qubo 0 3 3 2\n0 0 -1.0\n1 1 -1.0\n2 2 2.0\n"
+            "0 1 3.0\n1 2 -0.5\n",
+            encoding="utf-8",
+        )
+        assert main(
+            ["problems", "solve", "--file", str(path), "--backend", "simcim"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "energy=" in out
+        assert "decoded" not in out  # raw QUBOs have no family decode
+
+    def test_solve_bad_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qubo"
+        bad.write_text("p qubo 0 2\n", encoding="utf-8")
+        assert main(
+            ["problems", "solve", "--file", str(bad)]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_convert_round_trip(self, tmp_path, capsys):
+        src = tmp_path / "inst.qubo"
+        src.write_text(
+            "p qubo 0 2 2 1\n0 0 1.0\n1 1 -1.0\n0 1 -2.0\n",
+            encoding="utf-8",
+        )
+        dst = tmp_path / "inst.json"
+        assert main(["problems", "convert", str(src), str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.qubo/v1" in out
+        from repro.problems import load_qubo
+
+        assert load_qubo(dst).n_vars == 2
+
+    def test_convert_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["problems", "convert", str(tmp_path / "none.qubo"),
+             str(tmp_path / "out.json")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_parser_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["problems", "submit", "--url", "http://127.0.0.1:1"]
+        )
+        assert args.family == "coloring"
+        assert args.size == 16
+        assert args.backend == "cluster-cim"
+        assert args.ensemble == 1
+        assert args.tag == "cli"
+
+    def test_submit_unreachable_gateway_exits_1(self, capsys):
+        assert main(
+            ["problems", "submit", "--url", "http://127.0.0.1:9",
+             "--family", "maxsat", "--size", "4"]
+        ) == 1
+        assert "cannot reach gateway" in capsys.readouterr().err
+
+    def test_unknown_family_exits(self):
+        with pytest.raises(SystemExit):
+            main(["problems", "solve", "--family", "sudoku"])
+
+    def test_family_and_file_mutually_exclusive(self):
+        # argparse only counts non-default values as "seen", so the
+        # conflict needs a family other than the coloring default.
+        with pytest.raises(SystemExit):
+            main(
+                ["problems", "solve", "--family", "maxsat",
+                 "--file", "x.qubo"]
+            )
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["problems"])
+
 
 class TestSolve:
     def test_synthetic(self, capsys):

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.hardware",
     "repro.analysis",
     "repro.maxcut",
+    "repro.problems",
     "repro.utils",
 ]
 
